@@ -1,0 +1,187 @@
+package repro
+
+// The benchmark harness: one benchmark per reproduced table and figure
+// of the paper, one per criterion study and ablation, plus performance
+// benchmarks of the core pipeline. Each experiment benchmark runs the
+// full regeneration of its artefact and asserts (once) that the
+// paper's qualitative shape held, so `go test -bench=.` doubles as a
+// reproduction audit.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	// Shape audit once, outside the timed loop.
+	if res := r.Run(42); !res.ShapeOK {
+		b.Fatalf("%s did not reproduce the paper's shape:\n%s", id, res.Summary())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Run(42)
+	}
+}
+
+// ---- Tables ----
+
+// BenchmarkTable1Aims regenerates Table 1 (the seven-aims taxonomy).
+func BenchmarkTable1Aims(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkTable2AcademicAims regenerates Table 2 (aims of academic
+// systems; 14 rows, 25 marks).
+func BenchmarkTable2AcademicAims(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkTable3Commercial regenerates Table 3 (eight commercial
+// systems with explanation facilities).
+func BenchmarkTable3Commercial(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkTable4Academic regenerates Table 4 (ten academic systems).
+func BenchmarkTable4Academic(b *testing.B) { benchExperiment(b, "T4") }
+
+// ---- Figures ----
+
+// BenchmarkFigure1Scrutable regenerates Figure 1: the SASY-style
+// scrutable holiday recommender walkthrough.
+func BenchmarkFigure1Scrutable(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkFigure2Treemap regenerates Figure 2: the squarified treemap
+// news visualization.
+func BenchmarkFigure2Treemap(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkFigure3Influence regenerates Figure 3: the LIBRA influence-
+// of-ratings explanation.
+func BenchmarkFigure3Influence(b *testing.B) { benchExperiment(b, "F3") }
+
+// ---- Criterion studies (Section 3) ----
+
+// BenchmarkE1Persuasion re-runs the Herlocker 21-interface persuasion
+// study.
+func BenchmarkE1Persuasion(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2Effectiveness re-runs Bilgic & Mooney's satisfaction-vs-
+// promotion protocol.
+func BenchmarkE2Effectiveness(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3ConversationalEfficiency re-runs the Adaptive Place
+// Advisor personalisation study.
+func BenchmarkE3ConversationalEfficiency(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4StructuredOverview re-runs Pu & Chen's completion-time
+// comparison.
+func BenchmarkE4StructuredOverview(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5TrustLoyalty re-runs the McNee et al. elicitation-
+// interface loyalty study.
+func BenchmarkE5TrustLoyalty(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Transparency re-runs the Section 3.1 transparency task.
+func BenchmarkE6Transparency(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Scrutability re-runs the Czarkowski-style scrutability
+// task.
+func BenchmarkE7Scrutability(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8DynamicCritiquing re-runs the McCarthy/Reilly compound-
+// critique efficiency study.
+func BenchmarkE8DynamicCritiquing(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9RatingShift re-runs Cosley et al.'s biased re-rating
+// study.
+func BenchmarkE9RatingShift(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10SatisfactionWalkthrough runs the Section 3.7 qualitative
+// walk-through with comment/frustration/delight/workaround logging.
+func BenchmarkE10SatisfactionWalkthrough(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11PersuasionBackfire runs the Section 2.4 longitudinal
+// backfire study: hype wins early sessions, loses trust and loyalty.
+func BenchmarkE11PersuasionBackfire(b *testing.B) { benchExperiment(b, "E11") }
+
+// ---- Ablations (Section 3.8 trade-offs) ----
+
+// BenchmarkA1DetailVsTime sweeps explanation detail against decision
+// quality and time.
+func BenchmarkA1DetailVsTime(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2PersuasionVsRegret sweeps hype against acceptance and
+// post-consumption regret.
+func BenchmarkA2PersuasionVsRegret(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3Personality compares the Section 4.6 personalities.
+func BenchmarkA3Personality(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkA4NeighbourhoodSize sweeps CF neighbourhood size against
+// accuracy and histogram persuasiveness.
+func BenchmarkA4NeighbourhoodSize(b *testing.B) { benchExperiment(b, "A4") }
+
+// BenchmarkA5AccuracyVsGrounding compares matrix factorisation against
+// explainable recommenders on accuracy and decision support.
+func BenchmarkA5AccuracyVsGrounding(b *testing.B) { benchExperiment(b, "A5") }
+
+// BenchmarkA6Diversification sweeps Ziegler-style topic
+// diversification against list score and diversity.
+func BenchmarkA6Diversification(b *testing.B) { benchExperiment(b, "A6") }
+
+// ---- Core pipeline performance ----
+
+func benchEngine(b *testing.B) (*dataset.Community, *core.Engine) {
+	b.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 42, Users: 200, Items: 300, RatingsPerUser: 30})
+	eng, err := core.New(c.Catalog, c.Ratings, core.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, eng
+}
+
+// BenchmarkEngineRecommend measures an explained top-10 for rotating
+// users on a 200x300 community.
+func BenchmarkEngineRecommend(b *testing.B) {
+	_, eng := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Recommend(model.UserID(i%200+1), 10); err != nil &&
+			err != recsys.ErrColdStart {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineExplain measures a single on-demand explanation.
+func BenchmarkEngineExplain(b *testing.B) {
+	c, eng := benchEngine(b)
+	items := c.Catalog.Items()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.Explain(model.UserID(i%200+1), items[i%len(items)].ID)
+	}
+}
+
+// BenchmarkEngineBrowseAll measures the predicted-ratings-for-
+// everything view.
+func BenchmarkEngineBrowseAll(b *testing.B) {
+	_, eng := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.BrowseAll(model.UserID(i%200 + 1))
+	}
+}
+
+// BenchmarkCommunityGeneration measures synthetic community build time.
+func BenchmarkCommunityGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = dataset.Movies(dataset.Config{Seed: uint64(i + 1), Users: 200, Items: 300, RatingsPerUser: 30})
+	}
+}

@@ -1,0 +1,86 @@
+// Command explainlab runs the evaluation laboratory: every reproduced
+// experiment (tables T1-T4, figures F1-F3, criterion studies E1-E9 and
+// ablations A1-A4), printing each report and a final scoreboard of
+// which paper shapes were reproduced.
+//
+// Usage:
+//
+//	explainlab                  # run everything at the default seed
+//	explainlab -only E1,E2      # a subset
+//	explainlab -seed 7          # another seed
+//	explainlab -summary         # scoreboard only, no report bodies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	summary := flag.Bool("summary", false, "print only the scoreboard")
+	workers := flag.Int("workers", runtime.NumCPU(), "experiments to run concurrently (results print in order)")
+	flag.Parse()
+
+	var runners []experiments.Runner
+	if *only == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "explainlab: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	// Experiments are independent and deterministic, so they can run
+	// concurrently; results are printed in registry order.
+	if *workers < 1 {
+		*workers = 1
+	}
+	results := make([]*experiments.Result, len(runners))
+	sem := make(chan struct{}, *workers)
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r experiments.Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = r.Run(*seed)
+		}(i, r)
+	}
+	wg.Wait()
+
+	failures := 0
+	var board strings.Builder
+	for _, res := range results {
+		if !*summary {
+			fmt.Printf("==== %s: %s (seed %d) ====\n\n", res.ID, res.Title, *seed)
+			fmt.Println(res.Report)
+		}
+		fmt.Println(res.Summary())
+		verdict := "reproduced"
+		if !res.ShapeOK {
+			verdict = "NOT REPRODUCED"
+			failures++
+		}
+		fmt.Fprintf(&board, "  %-3s %-55s %s\n", res.ID, res.Title, verdict)
+	}
+	fmt.Printf("\nScoreboard (seed %d):\n%s", *seed, board.String())
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "explainlab: %d experiment(s) failed to reproduce\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command recdemo runs a scripted end-to-end session against the
+// public Engine API: explained recommendations, an on-demand "why?",
+// a "why is this low?", rating and opinion feedback, and a surprise-me
+// request — the full explain-present-interact cycle of the paper on
+// one screen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/store"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "community seed (ignored with -load)")
+	user := flag.Int("user", 1, "user to run the session as")
+	load := flag.String("load", "", "directory with catalog.json and ratings.json (see cmd/datasetgen)")
+	flag.Parse()
+
+	catalog, ratings, err := loadOrGenerate(*load, *seed)
+	if err != nil {
+		log.Fatalf("recdemo: %v", err)
+	}
+	eng, err := core.New(catalog, ratings, core.WithSeed(*seed), core.WithPersonality(present.Frank))
+	if err != nil {
+		log.Fatalf("recdemo: %v", err)
+	}
+	u := model.UserID(*user)
+
+	fmt.Println("== Explained top-5 ==")
+	p, err := eng.Recommend(u, 5)
+	if err != nil {
+		log.Fatalf("recdemo: %v", err)
+	}
+	fmt.Println(p.Render())
+
+	top := p.Entries[0].Item
+	fmt.Printf("== Why %q? ==\n", top.Title)
+	exp, err := eng.Explain(u, top.ID)
+	if err != nil {
+		log.Fatalf("recdemo: %v", err)
+	}
+	fmt.Println(exp.Text)
+	if exp.Detail != "" {
+		fmt.Println(exp.Detail)
+	}
+
+	fmt.Println("== Browsing everything; why is the worst pick predicted low? ==")
+	view := eng.BrowseAll(u)
+	if len(view.Entries) > 0 {
+		worst := view.Entries[len(view.Entries)-1]
+		fmt.Printf("lowest prediction: %s (%.1f stars)\n", worst.Item.Title, worst.Prediction.Score)
+		if low, err := eng.WhyLow(u, worst.Item.ID); err == nil {
+			fmt.Println(low.Text)
+		} else {
+			fmt.Println("(no content-based reason available)")
+		}
+	}
+
+	fmt.Println("\n== Feedback: not interested in the top pick ==")
+	if err := eng.Opinion(u, interact.Opinion{Kind: interact.NoMoreLikeThis, Item: top.ID}); err != nil {
+		log.Fatalf("recdemo: %v", err)
+	}
+	fmt.Println("== And surprise me a little ==")
+	if err := eng.Opinion(u, interact.Opinion{Kind: interact.SurpriseMe}); err != nil {
+		log.Fatalf("recdemo: %v", err)
+	}
+	fmt.Printf("exploration slider now at %.0f%%\n\n", eng.Surprise(u)*100)
+
+	p2, err := eng.Recommend(u, 5)
+	if err != nil {
+		log.Fatalf("recdemo: %v", err)
+	}
+	fmt.Println("== Recommendations after feedback ==")
+	fmt.Println(p2.Render())
+}
+
+// loadOrGenerate reads a stored community from dir, or generates the
+// default movie community when dir is empty.
+func loadOrGenerate(dir string, seed uint64) (*model.Catalog, *model.Matrix, error) {
+	if dir == "" {
+		c := dataset.Movies(dataset.Config{Seed: seed, Users: 120, Items: 150, RatingsPerUser: 25})
+		return c.Catalog, c.Ratings, nil
+	}
+	return store.LoadDir(dir)
+}

@@ -1,0 +1,74 @@
+// Command recserver serves an explanation-capable recommender over
+// HTTP. It loads a stored community (see cmd/datasetgen) or generates
+// a synthetic one, then exposes the JSON API of internal/server.
+//
+//	recserver -addr :8080 -load ./data
+//	curl 'localhost:8080/recommend?user=1&n=5'
+//	curl 'localhost:8080/explain?user=1&item=42'
+//	curl -X POST -d '{"user":1,"item":42,"value":4.5}' localhost:8080/rate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "community seed (ignored with -load)")
+	load := flag.String("load", "", "directory with catalog.json and ratings.json")
+	personality := flag.String("personality", "neutral", "neutral, affirming, serendipitous, bold or frank")
+	flag.Parse()
+
+	catalog, ratings, err := loadOrGenerate(*load, *seed)
+	if err != nil {
+		log.Fatalf("recserver: %v", err)
+	}
+	p, err := parsePersonality(*personality)
+	if err != nil {
+		log.Fatalf("recserver: %v", err)
+	}
+	eng, err := core.New(catalog, ratings, core.WithSeed(*seed), core.WithPersonality(p))
+	if err != nil {
+		log.Fatalf("recserver: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("recserver: %d items, %d ratings, personality %s, listening on %s",
+		catalog.Len(), ratings.Len(), p, *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("recserver: %v", err)
+	}
+}
+
+func parsePersonality(name string) (present.Personality, error) {
+	for _, p := range []present.Personality{
+		present.Neutral, present.Affirming, present.Serendipitous, present.Bold, present.Frank,
+	} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return present.Neutral, fmt.Errorf("unknown personality %q", name)
+}
+
+func loadOrGenerate(dir string, seed uint64) (*model.Catalog, *model.Matrix, error) {
+	if dir == "" {
+		c := dataset.Movies(dataset.Config{Seed: seed, Users: 200, Items: 300, RatingsPerUser: 30})
+		return c.Catalog, c.Ratings, nil
+	}
+	return store.LoadDir(dir)
+}

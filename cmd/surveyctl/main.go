@@ -1,0 +1,62 @@
+// Command surveyctl prints the paper's reproduced artefacts: Tables
+// 1-4, the figure renderings (F1-F3), and the implementation index
+// mapping every catalogued facility class to the package implementing
+// it in this repository.
+//
+// Usage:
+//
+//	surveyctl              # print everything
+//	surveyctl -only T3     # one artefact
+//	surveyctl -seed 7      # figures are seeded simulations
+//	surveyctl -markdown    # tables as GitHub markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/survey"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "seed for the figure simulations")
+	only := flag.String("only", "", "print a single artefact (T1-T4, F1-F3, IMPL)")
+	markdown := flag.Bool("markdown", false, "render tables as markdown")
+	flag.Parse()
+
+	if *markdown {
+		for _, tbl := range []interface{ Markdown() string }{
+			survey.Table1(), survey.Table2(), survey.Table3(), survey.Table4(),
+		} {
+			fmt.Println(tbl.Markdown())
+		}
+		return
+	}
+
+	ids := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3"}
+	if *only != "" {
+		if *only == "IMPL" {
+			fmt.Println(survey.ImplementationIndex().String())
+			return
+		}
+		ids = []string{*only}
+	}
+	for _, id := range ids {
+		runner, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "surveyctl: unknown artefact %q\n", id)
+			os.Exit(2)
+		}
+		res := runner.Run(*seed)
+		fmt.Println(res.Report)
+		if !res.ShapeOK {
+			fmt.Fprintln(os.Stderr, res.Summary())
+			os.Exit(1)
+		}
+	}
+	if *only == "" {
+		fmt.Println(survey.ImplementationIndex().String())
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of Tintarev &
+// Masthoff, "A Survey of Explanations in Recommender Systems"
+// (WPRSIUI @ ICDE 2007): the seven-aims taxonomy, every explanation
+// style, presentation mode and interaction mode the survey catalogues,
+// the recommender substrates they need, and a simulated-user
+// laboratory that re-runs the user studies behind the paper's
+// evaluation criteria.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds
+// only the benchmark harness (bench_test.go), which regenerates every
+// table and figure; the library lives under internal/ and the
+// executables under cmd/.
+package repro

@@ -1,0 +1,82 @@
+// Camera critiquing: a conversational shopping session in the style of
+// Qwikshop / dynamic critiquing (survey Sections 4.5 and 5.2). Shows
+// the structured overview with trade-off category titles, then walks a
+// critique session — unit critiques ("cheaper") and mined compound
+// critiques ("Less Memory and Lower Resolution and Cheaper") — until a
+// satisfactory camera is on display.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/explain"
+	"repro/internal/interact"
+	"repro/internal/present"
+	"repro/internal/recsys/knowledge"
+)
+
+func main() {
+	c := dataset.Cameras(dataset.Config{Seed: 13, Users: 5, Items: 120, RatingsPerUser: 3})
+	rec := knowledge.New(c.Catalog)
+
+	// The shopper states requirements: a budget-conscious buyer who
+	// wants decent resolution.
+	lo, hi, _ := c.Catalog.NumericRange(dataset.CamPrice)
+	prefs := &knowledge.Preferences{
+		NumericIdeal:  map[string]float64{dataset.CamPrice: lo + (hi-lo)*0.15, dataset.CamResolution: 20},
+		NumericWeight: map[string]float64{dataset.CamPrice: 2, dataset.CamResolution: 1},
+	}
+
+	scored, err := rec.Recommend(prefs, nil, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Structured overview (Pu & Chen) ==")
+	ov, err := present.BuildOverview(c.Catalog, scored, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ov.Render())
+
+	fmt.Println("== Critique session ==")
+	session, err := interact.NewCritiqueSession(rec, prefs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func() {
+		cur := session.Current()
+		fmt.Printf("showing: %s  ($%.0f, %.1fMP, %.0fGB, %.0fg)\n",
+			cur.Title, cur.Numeric[dataset.CamPrice], cur.Numeric[dataset.CamResolution],
+			cur.Numeric[dataset.CamMemory], cur.Numeric[dataset.CamWeight])
+	}
+	show()
+
+	fmt.Println("\nuser: show me something cheaper")
+	if err := session.ApplyUnit(interact.Critique{Attr: dataset.CamPrice, Dir: knowledge.Better}); err != nil {
+		fmt.Println("system:", err)
+	}
+	show()
+
+	fmt.Println("\nAvailable compound critiques for this display:")
+	compounds := session.Compounds(0.15, 3, 4)
+	for i, cc := range compounds {
+		fmt.Printf("  %d. %s (matches %.0f%% of remaining cameras)\n", i+1, cc.Label, cc.Support*100)
+	}
+	if len(compounds) > 0 {
+		fmt.Printf("\nuser: picks %q\n", compounds[0].Label)
+		if err := session.ApplyCompound(compounds[0]); err != nil {
+			fmt.Println("system:", err)
+		}
+		show()
+	}
+
+	// Compare the final display against the overview's best match with
+	// a trade-off explanation.
+	if exp, err := explain.ExplainTradeoffs(c.Catalog, ov.Best.Item, session.Current()); err == nil {
+		fmt.Println("\n" + exp.Text)
+	}
+	fmt.Printf("\nsession length: %d critiques over %d remaining candidates\n",
+		session.Steps(), len(session.Candidates()))
+}

@@ -1,0 +1,59 @@
+// Movie dialog: the plain-English preference conversation the survey
+// quotes in Section 5.1 (Wärnestål's system), run against a synthetic
+// movie catalogue seeded with the paper's own example. The closing
+// line explains indirectly, "by reiterating (and satisfying) the
+// user's requirements."
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/interact"
+	"repro/internal/model"
+)
+
+func main() {
+	// A generated catalogue plus the paper's canonical movie, so the
+	// famous transcript can play out verbatim.
+	c := dataset.Movies(dataset.Config{Seed: 23, Users: 10, Items: 60, RatingsPerUser: 5})
+	c.Catalog.MustAdd(&model.Item{
+		ID: 1000, Title: "Pulp Fiction", Creator: "Bruce Willis",
+		Popularity: 0.97, Keywords: []string{"thriller"},
+	})
+
+	d := interact.NewNLDialog(c.Catalog)
+	for _, say := range []string{
+		"I feel like watching a thriller.",
+		"Uhm, I'm not sure",
+		"I think Bruce Willis is good",
+		"No",
+	} {
+		d.Say(say)
+	}
+	fmt.Println("== The paper's Section 5.1 dialog, live ==")
+	fmt.Println(d.Render())
+
+	// A second conversation that takes the other branches: the user
+	// names a favourite, has seen the first proposal, and the system
+	// moves on instead of dead-ending.
+	d2 := interact.NewNLDialog(c.Catalog)
+	fmt.Println("== A longer conversation ==")
+	for _, say := range []string{
+		"something in the western genre tonight",
+		"not sure about favourites",
+		"really, no idea",
+		"yes, seen that one",
+		"no",
+	} {
+		reply := d2.Say(say)
+		_ = reply
+		if d2.Done() {
+			break
+		}
+	}
+	fmt.Println(d2.Render())
+	if d2.Proposed() != nil {
+		fmt.Printf("settled on: %s\n", d2.Proposed().Title)
+	}
+}

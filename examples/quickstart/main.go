@@ -1,0 +1,41 @@
+// Quickstart: build a community, construct the Engine, and print an
+// explained top-5 plus an on-demand justification — the minimum a
+// downstream application needs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// A synthetic movie community: 120 users, 150 movies, seeded so
+	// every run prints the same thing.
+	community := dataset.Movies(dataset.Config{Seed: 7, Users: 120, Items: 150, RatingsPerUser: 25})
+
+	eng, err := core.New(community.Catalog, community.Ratings)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const user = 1
+	view, err := eng.Recommend(user, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(view.Render())
+
+	// Ask "why?" about the top pick.
+	why, err := eng.Explain(user, view.Entries[0].Item.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Why the top pick?")
+	fmt.Println("  " + why.Text)
+	if why.Detail != "" {
+		fmt.Println(why.Detail)
+	}
+}

@@ -1,0 +1,104 @@
+// Scrutable news: the survey's running example as a working program.
+// A football-and-technology fan gets preference-based explanations
+// ("You have been watching a lot of sport, and football in
+// particular"), asks why a hockey item is predicted low, gives opinion
+// feedback, and finally sees the day's news as a Figure-2 treemap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/explain"
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"repro/internal/recsys/content"
+	"repro/internal/rng"
+)
+
+func main() {
+	c := dataset.News(dataset.Config{Seed: 17, Users: 40, Items: 150, RatingsPerUser: 25})
+	const user = model.UserID(1)
+
+	// Install the paper's canonical taste and re-sample the user's
+	// history so the observable profile matches it.
+	c.Truth.InstallTaste(user, dataset.FootballFanTaste())
+	r := rng.New(99)
+	var history []model.ItemID
+	for i, it := range c.Catalog.Items() {
+		if i%3 == 0 {
+			history = append(history, it.ID)
+		}
+	}
+	c.Rerate(user, history, r)
+
+	kw := content.NewKeywordRecommender(c.Ratings, c.Catalog)
+	profEx := explain.NewProfileExplainer(kw)
+
+	fmt.Println("== Top stories with preference-based explanations ==")
+	p, err := present.TopN(c.Catalog, kw, profEx, user, 5, recsys.ExcludeRated(c.Ratings, user))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Render())
+
+	// Browse everything; ask why a hockey item is predicted low.
+	view := present.PredictedRatings(c.Catalog, kw, profEx, user)
+	fmt.Println("== Why is this predicted low? ==")
+	for i := len(view.Entries) - 1; i >= 0; i-- {
+		it := view.Entries[i].Item
+		if !it.HasKeyword("hockey") {
+			continue
+		}
+		fmt.Printf("%s (predicted %.1f stars)\n", it.Title, view.Entries[i].Prediction.Score)
+		if exp, err := view.WhyLow(it); err == nil {
+			fmt.Println("  " + exp.Text)
+		}
+		break
+	}
+
+	// Opinion feedback: no more hockey, surprise me a bit.
+	fb := interact.NewFeedbackModel()
+	for _, it := range c.Catalog.Items() {
+		if it.HasKeyword("hockey") {
+			_ = fb.Apply(interact.Opinion{Kind: interact.NoMoreLikeThis, Item: it.ID}, it)
+			break
+		}
+	}
+	_ = fb.Apply(interact.Opinion{Kind: interact.SurpriseMe}, nil)
+	fmt.Printf("\nfeedback applied: %d opinions, exploration at %.0f%%\n\n",
+		len(fb.History()), fb.Surprise()*100)
+
+	preds := kw.Recommend(user, 20, recsys.ExcludeRated(c.Ratings, user))
+	preds = fb.Rerank(c.Catalog, preds, rng.New(5))
+
+	// Figure 2: the personalised front page as a treemap — tile size is
+	// importance to this user, letter is the topic, upper case means
+	// recent.
+	fmt.Println("== Your front page as a treemap ==")
+	var tiles []present.TreemapItem
+	for _, pr := range preds {
+		it, err := c.Catalog.Item(pr.Item)
+		if err != nil {
+			continue
+		}
+		weight := (pr.Score - 1) * (0.5 + it.Popularity)
+		if weight <= 0 {
+			continue
+		}
+		tiles = append(tiles, present.TreemapItem{
+			Label:  it.Title,
+			Weight: weight,
+			Class:  it.Keywords[0],
+			Shade:  it.Recency,
+		})
+	}
+	nodes, err := present.Squarify(tiles, present.Rect{W: 72, H: 18})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(present.RenderTreemap(nodes, 72, 18))
+}

@@ -1,0 +1,313 @@
+// Package core is the public face of the library: an Engine that wires
+// a recommender, an explanation engine, presentation modes,
+// personality and per-user feedback into the explain-present-interact
+// cycle the survey describes ("explanations should be part of a cycle,
+// where the user understands what is going on in the system and exerts
+// control over the type of recommendations made").
+//
+// A downstream application typically does:
+//
+//	eng, err := core.New(catalog, ratings)
+//	view, err := eng.Recommend(userID, 10)     // explained top-N
+//	why, err := eng.Explain(userID, itemID)    // on-demand justification
+//	eng.Rate(userID, itemID, 4.5)              // rating feedback
+//	eng.Opinion(userID, interact.Opinion{...}) // opinion feedback
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/explain"
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+	"repro/internal/recsys/content"
+	"repro/internal/recsys/hybrid"
+	"repro/internal/rng"
+)
+
+// Engine is a configured explanation-capable recommender. It is safe
+// for concurrent use: operations serialise on an internal mutex (the
+// recommenders cache similarity computations lazily, so even reads
+// mutate state).
+type Engine struct {
+	mu      sync.Mutex
+	catalog *model.Catalog
+	ratings *model.Matrix
+
+	rec         recsys.Recommender
+	explainer   explain.Explainer
+	low         present.LowExplainer
+	personality present.Personality
+	rnd         *rng.RNG
+
+	// feedback holds per-user opinion state (Section 5.4).
+	feedback map[model.UserID]*interact.FeedbackModel
+
+	// bayes is the default content model, retained so influence
+	// weights can be edited; nil when a custom recommender was
+	// installed.
+	bayes *content.Bayes
+
+	stats Stats
+}
+
+// Stats are the engine's usage counters. The survey's Section 3 lists
+// exactly these as indirect measures: explanations inspected, repair
+// actions activated (re-ratings, opinions), interactions per session.
+type Stats struct {
+	Recommendations    int // Recommend calls served
+	ExplanationsServed int // explanations attached or fetched on demand
+	WhyLowQueries      int // "why is this low?" scrutiny
+	RepairActions      int // ratings changed/removed + opinions applied
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithRecommender replaces the default hybrid recommender.
+func WithRecommender(r recsys.Recommender) Option {
+	return func(e *Engine) { e.rec = r }
+}
+
+// WithExplainer replaces the default explainer.
+func WithExplainer(x explain.Explainer) Option {
+	return func(e *Engine) { e.explainer = x }
+}
+
+// WithPersonality sets the recommender personality (Section 4.6).
+// Non-neutral personalities disclose themselves in explanations.
+func WithPersonality(p present.Personality) Option {
+	return func(e *Engine) { e.personality = p }
+}
+
+// WithSeed seeds the engine's exploration randomness (surprise-me
+// picks). Engines with equal seeds behave identically.
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.rnd = rng.New(seed) }
+}
+
+// New builds an Engine over a catalogue and rating matrix. The default
+// configuration is a weighted hybrid of user-based collaborative
+// filtering and a naive-Bayes content model, explained by whichever
+// source dominates each prediction — collaborative evidence gets a
+// neighbour histogram, content evidence an influence report.
+func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, error) {
+	if cat == nil || cat.Len() == 0 {
+		return nil, errors.New("core: empty catalogue")
+	}
+	if ratings == nil {
+		return nil, errors.New("core: nil rating matrix")
+	}
+	e := &Engine{
+		catalog:  cat,
+		ratings:  ratings,
+		rnd:      rng.New(1),
+		feedback: map[model.UserID]*interact.FeedbackModel{},
+	}
+	knn := cf.NewUserKNN(ratings, cat, cf.Options{})
+	bayes := content.NewBayes(ratings, cat)
+	e.bayes = bayes
+	kw := content.NewKeywordRecommender(ratings, cat)
+	h := hybrid.New(cat,
+		hybrid.Source{Name: "collaborative", Weight: 2, Predictor: knn},
+		hybrid.Source{Name: "content", Weight: 1, Predictor: bayes},
+	)
+	e.rec = h
+	hx := explain.NewHybridExplainer(h, map[string]explain.Explainer{
+		"collaborative": explain.NewHistogramExplainer(knn),
+		"content":       explain.NewInfluenceExplainer(bayes, cat),
+	})
+	hx.Fallback = explain.NewProfileExplainer(kw)
+	e.explainer = hx
+	e.low = explain.NewProfileExplainer(kw)
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Catalog returns the engine's catalogue.
+func (e *Engine) Catalog() *model.Catalog { return e.catalog }
+
+// Ratings returns the engine's rating matrix.
+func (e *Engine) Ratings() *model.Matrix { return e.ratings }
+
+// feedbackFor lazily creates the per-user feedback model.
+func (e *Engine) feedbackFor(u model.UserID) *interact.FeedbackModel {
+	fb, ok := e.feedback[u]
+	if !ok {
+		fb = interact.NewFeedbackModel()
+		e.feedback[u] = fb
+	}
+	return fb
+}
+
+// Recommend returns an explained top-n presentation for u: base
+// predictions, personality adjustment, opinion-feedback re-ranking,
+// then explanation of each surviving entry.
+func (e *Engine) Recommend(u model.UserID, n int) (*present.Presentation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n <= 0 {
+		return nil, fmt.Errorf("core: n must be positive, got %d", n)
+	}
+	// Rank a wide pool so personality and feedback have room to work.
+	pool := n * 4
+	if pool < 20 {
+		pool = 20
+	}
+	preds := e.rec.Recommend(u, pool, recsys.ExcludeRated(e.ratings, u))
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("user %d: %w", u, recsys.ErrColdStart)
+	}
+	e.stats.Recommendations++
+	preds = e.personality.Apply(e.catalog, preds)
+	preds = e.feedbackFor(u).Rerank(e.catalog, preds, e.rnd)
+	preds = recsys.TopN(preds, n)
+	p := &present.Presentation{Title: fmt.Sprintf("Top %d for you", len(preds))}
+	for _, pr := range preds {
+		it, err := e.catalog.Item(pr.Item)
+		if err != nil {
+			continue
+		}
+		var exp *explain.Explanation
+		if got, err := e.explainer.Explain(u, it); err == nil {
+			exp = e.personality.Decorate(got)
+			e.stats.ExplanationsServed++
+		}
+		p.Entries = append(p.Entries, present.Entry{Item: it, Prediction: pr, Explanation: exp})
+	}
+	return p, nil
+}
+
+// Explain justifies recommending item to u on demand.
+func (e *Engine) Explain(u model.UserID, item model.ItemID) (*explain.Explanation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, err := e.catalog.Item(item)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	exp, err := e.explainer.Explain(u, it)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.ExplanationsServed++
+	return e.personality.Decorate(exp), nil
+}
+
+// WhyLow answers "why is this item predicted low for me?" — the
+// scrutability entry point of Section 4.4.
+func (e *Engine) WhyLow(u model.UserID, item model.ItemID) (*explain.Explanation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, err := e.catalog.Item(item)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	exp, err := e.low.ExplainLow(u, it)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.WhyLowQueries++
+	return exp, nil
+}
+
+// BrowseAll returns the predicted-ratings-for-everything view of
+// Section 4.4.
+func (e *Engine) BrowseAll(u model.UserID) *present.RatingsView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return present.PredictedRatings(e.catalog, e.rec, e.low, u)
+}
+
+// SimilarTo presents items similar to a seed item (Section 4.3).
+func (e *Engine) SimilarTo(u model.UserID, seed model.ItemID, n int) (*present.Presentation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, err := e.catalog.Item(seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return present.SimilarToTop(e.catalog, it, n, recsys.ExcludeRated(e.ratings, u)), nil
+}
+
+// Rate records (or corrects) a rating — Section 5.3 interaction. The
+// next Recommend call reflects it immediately, closing the
+// scrutability cycle.
+func (e *Engine) Rate(u model.UserID, item model.ItemID, value float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ratings.Set(u, item, model.ClampRating(value))
+	e.stats.RepairActions++
+}
+
+// RemoveRating withdraws a past rating.
+func (e *Engine) RemoveRating(u model.UserID, item model.ItemID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ratings.Delete(u, item)
+	e.stats.RepairActions++
+}
+
+// Opinion applies explicit opinion feedback (Section 5.4).
+func (e *Engine) Opinion(u model.UserID, op interact.Opinion) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var it *model.Item
+	if op.Kind != interact.SurpriseMe {
+		var err error
+		it, err = e.catalog.Item(op.Item)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if err := e.feedbackFor(u).Apply(op, it); err != nil {
+		return err
+	}
+	e.stats.RepairActions++
+	return nil
+}
+
+// ErrNoInfluenceModel is returned by SetInfluenceWeight when the
+// engine runs a custom recommender without an editable content model.
+var ErrNoInfluenceModel = errors.New("core: no editable influence model configured")
+
+// SetInfluenceWeight adjusts how strongly one of u's past ratings
+// influences content-based recommendations — the Figure-3
+// functionality the survey imagines ("it can be imagined that this
+// functionality could be implemented"). Weight 0 silences the rating,
+// 1 is the default. It counts as a repair action.
+func (e *Engine) SetInfluenceWeight(u model.UserID, item model.ItemID, weight float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bayes == nil {
+		return ErrNoInfluenceModel
+	}
+	if _, err := e.catalog.Item(item); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.bayes.SetInfluenceWeight(u, item, weight)
+	e.stats.RepairActions++
+	return nil
+}
+
+// Metrics returns a snapshot of the engine's usage counters.
+func (e *Engine) Metrics() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Surprise reports the user's current exploration rate — the sliding
+// bar of Section 5.4.
+func (e *Engine) Surprise(u model.UserID) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.feedbackFor(u).Surprise()
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/explain"
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"repro/internal/store"
+)
+
+func engine(t testing.TB, opts ...Option) (*dataset.Community, *Engine) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 401, Users: 60, Items: 80, RatingsPerUser: 20})
+	e, err := New(c.Catalog, c.Ratings, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, model.NewMatrix()); err == nil {
+		t.Fatal("nil catalogue accepted")
+	}
+	if _, err := New(model.NewCatalog("x"), model.NewMatrix()); err == nil {
+		t.Fatal("empty catalogue accepted")
+	}
+	cat := model.NewCatalog("x")
+	cat.MustAdd(&model.Item{ID: 1})
+	if _, err := New(cat, nil); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+}
+
+func TestRecommendExplainedTopN(t *testing.T) {
+	c, e := engine(t)
+	p, err := e.Recommend(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) != 5 {
+		t.Fatalf("entries = %d", len(p.Entries))
+	}
+	var explained int
+	for _, entry := range p.Entries {
+		if _, rated := c.Ratings.Get(1, entry.Item.ID); rated {
+			t.Fatalf("recommended already-rated item %d", entry.Item.ID)
+		}
+		if entry.Explanation != nil {
+			explained++
+			if entry.Explanation.Text == "" {
+				t.Fatal("empty explanation text")
+			}
+		}
+	}
+	if explained == 0 {
+		t.Fatal("no recommendations were explained")
+	}
+	if _, err := e.Recommend(1, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := e.Recommend(9999, 5); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("cold start err = %v", err)
+	}
+}
+
+func TestExplainOnDemand(t *testing.T) {
+	_, e := engine(t)
+	p, err := e.Recommend(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := e.Explain(2, p.Entries[0].Item.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Text == "" || !exp.Faithful {
+		t.Fatalf("explanation = %+v", exp)
+	}
+	if _, err := e.Explain(2, 99999); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+}
+
+func TestRatingFeedbackChangesRecommendations(t *testing.T) {
+	// The scrutability cycle: corrections must visibly steer the
+	// system. Rate the current top item with 1 star; it must vanish
+	// (it is now rated, hence excluded), and the matrix must hold the
+	// correction.
+	_, e := engine(t)
+	before, err := e.Recommend(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := before.Entries[0].Item.ID
+	e.Rate(3, top, 1)
+	if v, ok := e.Ratings().Get(3, top); !ok || v != 1 {
+		t.Fatalf("rating not stored: %v %v", v, ok)
+	}
+	after, err := e.Recommend(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range after.Entries {
+		if entry.Item.ID == top {
+			t.Fatal("rated item still recommended")
+		}
+	}
+	e.RemoveRating(3, top)
+	if _, ok := e.Ratings().Get(3, top); ok {
+		t.Fatal("rating not removed")
+	}
+}
+
+func TestOpinionFeedback(t *testing.T) {
+	_, e := engine(t)
+	p, err := e.Recommend(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := p.Entries[0].Item.ID
+	if err := e.Opinion(4, interact.Opinion{Kind: interact.NoMoreLikeThis, Item: blocked}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Recommend(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range after.Entries {
+		if entry.Item.ID == blocked {
+			t.Fatal("blocked item still recommended")
+		}
+	}
+	// Surprise-me moves the slider.
+	if e.Surprise(4) != 0 {
+		t.Fatal("fresh surprise rate should be 0")
+	}
+	if err := e.Opinion(4, interact.Opinion{Kind: interact.SurpriseMe}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Surprise(4) != 0.25 {
+		t.Fatalf("surprise = %v", e.Surprise(4))
+	}
+	// Unknown item rejected.
+	if err := e.Opinion(4, interact.Opinion{Kind: interact.MoreLikeThis, Item: 99999}); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+}
+
+func TestBrowseAllAndWhyLow(t *testing.T) {
+	c, e := engine(t)
+	v := e.BrowseAll(5)
+	if len(v.Entries) == 0 {
+		t.Fatal("browse view empty")
+	}
+	if len(v.Entries)+len(v.Unrated()) != c.Catalog.Len() {
+		t.Fatal("browse view incomplete")
+	}
+	lowest := v.Entries[len(v.Entries)-1].Item
+	if exp, err := e.WhyLow(5, lowest.ID); err == nil {
+		if !strings.Contains(exp.Text, "do not seem to like") {
+			t.Fatalf("WhyLow text = %q", exp.Text)
+		}
+	} else if !errors.Is(err, explain.ErrNoEvidence) {
+		t.Fatalf("WhyLow err = %v", err)
+	}
+}
+
+func TestSimilarTo(t *testing.T) {
+	c, e := engine(t)
+	seed := c.Catalog.Items()[0]
+	p, err := e.SimilarTo(6, seed.ID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range p.Entries {
+		if entry.Item.ID == seed.ID {
+			t.Fatal("seed item recommended as similar to itself")
+		}
+	}
+	if _, err := e.SimilarTo(6, 99999, 3); err == nil {
+		t.Fatal("unknown seed accepted")
+	}
+}
+
+func TestPersonalityOption(t *testing.T) {
+	_, frank := engine(t, WithPersonality(present.Frank))
+	p, err := frank.Recommend(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, entry := range p.Entries {
+		if entry.Explanation != nil &&
+			(strings.Contains(entry.Explanation.Text, "confident") ||
+				strings.Contains(entry.Explanation.Text, "long shot")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("frank personality did not disclose confidence")
+	}
+}
+
+func TestWithSeedDeterministic(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 402, Users: 40, Items: 60, RatingsPerUser: 15})
+	run := func() string {
+		e, err := New(c.Catalog, c.Ratings.Clone(), WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = e.Opinion(1, interact.Opinion{Kind: interact.SurpriseMe})
+		p, err := e.Recommend(1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Render()
+	}
+	if run() != run() {
+		t.Fatal("seeded engines diverged")
+	}
+}
+
+func TestWithRecommenderAndExplainerOptions(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 403, Users: 30, Items: 40, RatingsPerUser: 12})
+	fixed := stubRecommender{item: c.Catalog.Items()[0].ID}
+	e, err := New(c.Catalog, c.Ratings, WithRecommender(fixed), WithExplainer(stubExplainer{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Recommend(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entries[0].Explanation.Text != "stub explanation" {
+		t.Fatalf("custom explainer not used: %+v", p.Entries[0].Explanation)
+	}
+}
+
+type stubRecommender struct{ item model.ItemID }
+
+func (s stubRecommender) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	return recsys.Prediction{Item: i, Score: 4, Confidence: 1}, nil
+}
+
+func (s stubRecommender) Recommend(u model.UserID, n int, exclude func(model.ItemID) bool) []recsys.Prediction {
+	return []recsys.Prediction{{Item: s.item, Score: 4, Confidence: 1}}
+}
+
+type stubExplainer struct{}
+
+func (stubExplainer) Explain(model.UserID, *model.Item) (*explain.Explanation, error) {
+	return &explain.Explanation{Text: "stub explanation", Faithful: true}, nil
+}
+
+func (stubExplainer) Style() explain.Style { return explain.PreferenceBased }
+
+func TestEngineSurvivesStoreRoundTrip(t *testing.T) {
+	// Persisting a community and rebuilding the engine from the files
+	// must reproduce the exact recommendations — the store's sorted
+	// replay keeps even the floating-point state identical.
+	c := dataset.Movies(dataset.Config{Seed: 404, Users: 50, Items: 70, RatingsPerUser: 18})
+	orig, err := New(c.Catalog, c.Ratings, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Recommend(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var catBuf, matBuf bytes.Buffer
+	if err := store.SaveCatalog(&catBuf, c.Catalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveMatrix(&matBuf, c.Ratings); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := store.LoadCatalog(&catBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := store.LoadMatrix(&matBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := New(cat2, m2, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reloaded.Recommend(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatalf("recommendations differ after store round trip:\n--- want\n%s\n--- got\n%s",
+			want.Render(), got.Render())
+	}
+}
+
+func TestEngineConcurrentUse(t *testing.T) {
+	// The Engine promises safe concurrent use; hammer it from several
+	// goroutines (run with -race in CI).
+	_, e := engine(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := model.UserID(g%5 + 1)
+			for i := 0; i < 10; i++ {
+				_, _ = e.Recommend(u, 3)
+				_, _ = e.Explain(u, model.ItemID(i%20+1))
+				e.Rate(u, model.ItemID(i%20+1), float64(i%5)+1)
+				_ = e.Opinion(u, interact.Opinion{Kind: interact.SurpriseMe})
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestEngineMetrics(t *testing.T) {
+	_, e := engine(t)
+	if m := e.Metrics(); m != (Stats{}) {
+		t.Fatalf("fresh stats = %+v", m)
+	}
+	p, err := e.Recommend(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Rate(1, p.Entries[0].Item.ID, 2)
+	_ = e.Opinion(1, interact.Opinion{Kind: interact.SurpriseMe})
+	m := e.Metrics()
+	if m.Recommendations != 1 {
+		t.Fatalf("recommendations = %d", m.Recommendations)
+	}
+	if m.ExplanationsServed == 0 {
+		t.Fatal("no explanations counted")
+	}
+	if m.RepairActions != 2 {
+		t.Fatalf("repair actions = %d", m.RepairActions)
+	}
+}
+
+func TestEngineInfluenceEditing(t *testing.T) {
+	c, e := engine(t)
+	u := model.UserID(1)
+	var rated model.ItemID
+	for i := range c.Ratings.UserRatings(u) {
+		if rated == 0 || i < rated {
+			rated = i
+		}
+	}
+	if err := e.SetInfluenceWeight(u, rated, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetInfluenceWeight(u, 99999, 1); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+	// With a custom recommender there is no editable content model.
+	custom, err := New(c.Catalog, c.Ratings, WithRecommender(stubRecommender{item: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom.bayes = nil
+	if err := custom.SetInfluenceWeight(u, rated, 0.5); !errors.Is(err, ErrNoInfluenceModel) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// BookGenres are the content features of the book domain (LIBRA,
+// Amazon, the Bilgic & Mooney effectiveness study).
+var BookGenres = []string{
+	"classic", "mystery", "fantasy", "history", "biography", "poetry",
+	"science", "travel", "romance", "crime",
+}
+
+var bookAuthors = []string{
+	"Charles Dickens", "Imara Bell", "Tomas Reyes", "Yuki Sato",
+	"Greta Holm", "Omar Farouk", "Lena Vargas", "Piotr Zielinski",
+	"Maeve Connolly", "Sam Whitfield",
+}
+
+// Books generates a book community. Authors matter here: the paper's
+// Section 4.3 example ("You might also like... Oliver Twist by Charles
+// Dickens") and the "More later!" feedback (any future book by a liked
+// author) both key on Creator. A handful of real Dickens titles are
+// seeded so the worked examples render verbatim.
+func Books(cfg Config) *Community {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	cat := model.NewCatalog("books",
+		model.AttrDef{Name: "pages", Kind: model.Numeric, Unit: "pp"},
+	)
+	dickens := []string{"Great Expectations", "Oliver Twist", "Bleak House", "Hard Times"}
+	for i := 0; i < cfg.Items; i++ {
+		var title, author string
+		if i < len(dickens) {
+			title, author = dickens[i], "Charles Dickens"
+		} else {
+			title = titled(r, "Book", i+1)
+			author = bookAuthors[r.Intn(len(bookAuthors))]
+		}
+		keywords := pickSome(r, BookGenres, 1+r.Intn(3))
+		if author == "Charles Dickens" {
+			keywords = append(keywords, "classic")
+		}
+		it := &model.Item{
+			ID:         model.ItemID(i + 1),
+			Title:      title,
+			Creator:    author,
+			Keywords:   dedupe(keywords),
+			Numeric:    map[string]float64{"pages": 120 + float64(r.Intn(700))},
+			Popularity: zipfPopularity(i),
+			Recency:    r.Float64(),
+		}
+		cat.MustAdd(it)
+	}
+	truth := &Truth{tastes: map[model.UserID]*Taste{}, ranges: attrRanges(cat)}
+	for u := 1; u <= cfg.Users; u++ {
+		taste := &Taste{
+			Keyword:         map[string]float64{},
+			CategoricalPref: map[string]map[string]float64{},
+			Bias:            r.Norm(0, 0.3),
+			PopularityBias:  r.Norm(0.2, 0.3),
+		}
+		perm := r.Perm(len(BookGenres))
+		for rank, gi := range perm {
+			g := BookGenres[gi]
+			switch {
+			case rank < 2:
+				taste.Keyword[g] = 0.5 + 0.5*r.Float64()
+			case rank < 4:
+				taste.Keyword[g] = -(0.5 + 0.5*r.Float64())
+			default:
+				taste.Keyword[g] = r.Norm(0, 0.2)
+			}
+		}
+		truth.tastes[model.UserID(u)] = taste
+	}
+	c := &Community{Catalog: cat, Ratings: model.NewMatrix(), Truth: truth, Noise: cfg.Noise}
+	populate(c, cfg, r)
+	return c
+}
+
+func dedupe(ss []string) []string {
+	seen := map[string]bool{}
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

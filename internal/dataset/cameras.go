@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Camera attribute names, exported so critique and overview tests can
+// refer to them without string literals scattered around.
+const (
+	CamPrice      = "price"
+	CamResolution = "resolution"
+	CamZoom       = "zoom"
+	CamMemory     = "memory"
+	CamWeight     = "weight"
+	CamBrand      = "brand"
+	CamType       = "type"
+)
+
+var cameraBrands = []string{"Axiom", "Lumo", "Prisma", "Vanta", "Kite"}
+var cameraTypes = []string{"compact", "bridge", "dslr"}
+
+// Cameras generates the digital-camera domain used by the critiquing
+// studies (McCarthy et al.'s "Less Memory and Lower Resolution and
+// Cheaper") and Pu & Chen's structured-overview experiments. It is an
+// attribute catalogue: tastes are MAUT ideal points, not keyword
+// affinities, and attribute values correlate realistically (a DSLR is
+// heavier, pricier and sharper).
+func Cameras(cfg Config) *Community {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	cat := model.NewCatalog("cameras",
+		model.AttrDef{Name: CamPrice, Kind: model.Numeric, LessIsBetter: true, Unit: "$"},
+		model.AttrDef{Name: CamResolution, Kind: model.Numeric, Unit: "MP"},
+		model.AttrDef{Name: CamZoom, Kind: model.Numeric, Unit: "x"},
+		model.AttrDef{Name: CamMemory, Kind: model.Numeric, Unit: "GB"},
+		model.AttrDef{Name: CamWeight, Kind: model.Numeric, LessIsBetter: true, Unit: "g"},
+		model.AttrDef{Name: CamBrand, Kind: model.Categorical},
+		model.AttrDef{Name: CamType, Kind: model.Categorical},
+	)
+	for i := 0; i < cfg.Items; i++ {
+		typ := cameraTypes[r.Intn(len(cameraTypes))]
+		var price, res, zoom, mem, weight float64
+		switch typ {
+		case "compact":
+			price = 80 + 170*r.Float64()
+			res = 8 + 8*r.Float64()
+			zoom = 3 + 5*r.Float64()
+			mem = 4 + float64(r.Intn(4))*4
+			weight = 120 + 130*r.Float64()
+		case "bridge":
+			price = 200 + 300*r.Float64()
+			res = 12 + 8*r.Float64()
+			zoom = 10 + 30*r.Float64()
+			mem = 8 + float64(r.Intn(4))*8
+			weight = 350 + 300*r.Float64()
+		default: // dslr
+			price = 450 + 900*r.Float64()
+			res = 18 + 14*r.Float64()
+			zoom = 1 + 4*r.Float64()
+			mem = 16 + float64(r.Intn(4))*16
+			weight = 500 + 600*r.Float64()
+		}
+		brand := cameraBrands[r.Intn(len(cameraBrands))]
+		it := &model.Item{
+			ID:      model.ItemID(i + 1),
+			Title:   fmt.Sprintf("%s %s-%d", brand, shortType(typ), 100+i),
+			Creator: brand,
+			Numeric: map[string]float64{
+				CamPrice:      round2(price),
+				CamResolution: round2(res),
+				CamZoom:       round2(zoom),
+				CamMemory:     mem,
+				CamWeight:     round2(weight),
+			},
+			Categorical: map[string]string{CamBrand: brand, CamType: typ},
+			Popularity:  zipfPopularity(i),
+			Recency:     r.Float64(),
+		}
+		cat.MustAdd(it)
+	}
+	truth := &Truth{tastes: map[model.UserID]*Taste{}, ranges: attrRanges(cat)}
+	for u := 1; u <= cfg.Users; u++ {
+		truth.tastes[model.UserID(u)] = cameraTaste(r, cat)
+	}
+	c := &Community{Catalog: cat, Ratings: model.NewMatrix(), Truth: truth, Noise: cfg.Noise}
+	populate(c, cfg, r)
+	return c
+}
+
+// cameraTaste draws a shopper profile: an ideal point inside the
+// attribute ranges with per-attribute importance weights.
+func cameraTaste(r *rng.RNG, cat *model.Catalog) *Taste {
+	taste := &Taste{
+		NumericIdeal:    map[string]float64{},
+		NumericWeight:   map[string]float64{},
+		CategoricalPref: map[string]map[string]float64{},
+		Bias:            r.Norm(0, 0.2),
+	}
+	for _, attr := range []string{CamPrice, CamResolution, CamZoom, CamMemory, CamWeight} {
+		lo, hi, ok := cat.NumericRange(attr)
+		if !ok {
+			continue
+		}
+		def, _ := cat.AttrDef(attr)
+		// Budget shoppers idealise low price/weight; everyone idealises
+		// somewhere in-range for the rest.
+		var ideal float64
+		if def.LessIsBetter {
+			ideal = lo + (hi-lo)*0.25*r.Float64()
+		} else {
+			ideal = lo + (hi-lo)*(0.4+0.6*r.Float64())
+		}
+		taste.NumericIdeal[attr] = ideal
+		taste.NumericWeight[attr] = 0.3 + r.Float64()
+	}
+	if r.Bernoulli(0.4) {
+		taste.CategoricalPref[CamBrand] = map[string]float64{
+			cameraBrands[r.Intn(len(cameraBrands))]: 0.4,
+		}
+	}
+	return taste
+}
+
+func shortType(t string) string {
+	switch t {
+	case "compact":
+		return "C"
+	case "bridge":
+		return "B"
+	default:
+		return "D"
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

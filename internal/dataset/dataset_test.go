@@ -1,0 +1,327 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func communities(cfg Config) map[string]*Community {
+	return map[string]*Community{
+		"movies":      Movies(cfg),
+		"books":       Books(cfg),
+		"news":        News(cfg),
+		"cameras":     Cameras(cfg),
+		"restaurants": Restaurants(cfg),
+		"holidays":    Holidays(cfg),
+	}
+}
+
+func TestAllDomainsGenerate(t *testing.T) {
+	cfg := Config{Seed: 1, Users: 40, Items: 60, RatingsPerUser: 10}
+	for name, c := range communities(cfg) {
+		if c.Catalog.Len() != 60 {
+			t.Errorf("%s: catalog has %d items, want 60", name, c.Catalog.Len())
+		}
+		if c.Truth.Users() != 40 {
+			t.Errorf("%s: truth has %d users, want 40", name, c.Truth.Users())
+		}
+		if c.Ratings.Len() == 0 {
+			t.Errorf("%s: no ratings generated", name)
+		}
+		if got := len(c.UserIDs()); got != 40 {
+			t.Errorf("%s: UserIDs returned %d ids", name, got)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cfg := Config{Seed: 7, Users: 20, Items: 30, RatingsPerUser: 8}
+	a := Movies(cfg)
+	b := Movies(cfg)
+	if a.Ratings.Len() != b.Ratings.Len() {
+		t.Fatalf("rating counts differ: %d vs %d", a.Ratings.Len(), b.Ratings.Len())
+	}
+	for _, u := range a.Ratings.Users() {
+		for i, v := range a.Ratings.UserRatings(u) {
+			if w, ok := b.Ratings.Get(u, i); !ok || w != v {
+				t.Fatalf("rating (%d,%d) differs: %v vs %v,%v", u, i, v, w, ok)
+			}
+		}
+	}
+	// And different seeds genuinely differ.
+	c := Movies(Config{Seed: 8, Users: 20, Items: 30, RatingsPerUser: 8})
+	diff := false
+	for _, u := range a.Ratings.Users() {
+		for i, v := range a.Ratings.UserRatings(u) {
+			if w, ok := c.Ratings.Get(u, i); !ok || w != v {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 7 and 8 produced identical communities")
+	}
+}
+
+func TestRatingsAreOnScaleAndQuantized(t *testing.T) {
+	for name, c := range communities(Config{Seed: 3, Users: 30, Items: 50, RatingsPerUser: 12}) {
+		for _, u := range c.Ratings.Users() {
+			for _, v := range c.Ratings.UserRatings(u) {
+				if v < model.MinRating || v > model.MaxRating {
+					t.Fatalf("%s: rating %v off scale", name, v)
+				}
+				if v*2 != float64(int(v*2)) {
+					t.Fatalf("%s: rating %v not on half-star grid", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestUtilityWithinScaleQuick(t *testing.T) {
+	c := Movies(Config{Seed: 5, Users: 30, Items: 50, RatingsPerUser: 5})
+	items := c.Catalog.Items()
+	f := func(u uint8, i uint16) bool {
+		uid := model.UserID(int(u)%30 + 1)
+		it := items[int(i)%len(items)]
+		v := c.Truth.Utility(uid, it)
+		return v >= model.MinRating && v <= model.MaxRating
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilityUnknownUserIsMidpoint(t *testing.T) {
+	c := Movies(Config{Seed: 5, Users: 5, Items: 10, RatingsPerUser: 3})
+	it := c.Catalog.Items()[0]
+	if v := c.Truth.Utility(999, it); v != 3 {
+		t.Fatalf("unknown user utility = %v, want 3", v)
+	}
+}
+
+func TestTasteShapesUtility(t *testing.T) {
+	// A user who loves football must on average prefer football items
+	// to hockey items. Uses the canonical taste from the paper.
+	c := News(Config{Seed: 11, Users: 10, Items: 400, RatingsPerUser: 5})
+	c.Truth.InstallTaste(1, FootballFanTaste())
+	var footSum, hockSum float64
+	var footN, hockN int
+	for _, it := range c.Catalog.Items() {
+		switch {
+		case it.HasKeyword("football"):
+			footSum += c.Truth.Utility(1, it)
+			footN++
+		case it.HasKeyword("hockey"):
+			hockSum += c.Truth.Utility(1, it)
+			hockN++
+		}
+	}
+	if footN == 0 || hockN == 0 {
+		t.Fatal("generated news lacks football or hockey items")
+	}
+	if footSum/float64(footN) <= hockSum/float64(hockN)+0.5 {
+		t.Fatalf("football mean %.2f not clearly above hockey mean %.2f",
+			footSum/float64(footN), hockSum/float64(hockN))
+	}
+}
+
+func TestCameraAttributesPresent(t *testing.T) {
+	c := Cameras(Config{Seed: 2, Users: 10, Items: 40, RatingsPerUser: 5})
+	for _, it := range c.Catalog.Items() {
+		for _, attr := range []string{CamPrice, CamResolution, CamZoom, CamMemory, CamWeight} {
+			if _, ok := it.Numeric[attr]; !ok {
+				t.Fatalf("camera %q missing %s", it.Title, attr)
+			}
+		}
+		if it.Categorical[CamBrand] == "" || it.Categorical[CamType] == "" {
+			t.Fatalf("camera %q missing categorical attributes", it.Title)
+		}
+	}
+	def, ok := c.Catalog.AttrDef(CamPrice)
+	if !ok || !def.LessIsBetter {
+		t.Fatal("price should be declared less-is-better")
+	}
+}
+
+func TestCameraTypeCorrelations(t *testing.T) {
+	c := Cameras(Config{Seed: 4, Users: 5, Items: 300, RatingsPerUser: 3})
+	sums := map[string][2]float64{} // type -> (price sum, count)
+	for _, it := range c.Catalog.Items() {
+		typ := it.Categorical[CamType]
+		s := sums[typ]
+		s[0] += it.Numeric[CamPrice]
+		s[1]++
+		sums[typ] = s
+	}
+	compact := sums["compact"][0] / sums["compact"][1]
+	dslr := sums["dslr"][0] / sums["dslr"][1]
+	if dslr <= compact {
+		t.Fatalf("dslr mean price %.0f should exceed compact %.0f", dslr, compact)
+	}
+}
+
+func TestBooksIncludeDickensSeeds(t *testing.T) {
+	c := Books(Config{Seed: 1, Users: 5, Items: 20, RatingsPerUser: 3})
+	var found int
+	for _, it := range c.Catalog.Items() {
+		if it.Creator == "Charles Dickens" {
+			found++
+			if !it.HasKeyword("classic") {
+				t.Fatalf("Dickens book %q missing classic keyword", it.Title)
+			}
+		}
+	}
+	if found < 4 {
+		t.Fatalf("found %d Dickens books, want >= 4", found)
+	}
+}
+
+func TestNewsItemsCarryTopicAndSubtopic(t *testing.T) {
+	c := News(Config{Seed: 9, Users: 5, Items: 50, RatingsPerUser: 3})
+	for _, it := range c.Catalog.Items() {
+		if len(it.Keywords) != 2 {
+			t.Fatalf("news item %q keywords = %v", it.Title, it.Keywords)
+		}
+		topic := it.Keywords[0]
+		subs, ok := NewsSubtopics[topic]
+		if !ok {
+			t.Fatalf("unknown topic %q", topic)
+		}
+		legal := false
+		for _, s := range subs {
+			if s == it.Keywords[1] {
+				legal = true
+			}
+		}
+		if !legal {
+			t.Fatalf("subtopic %q not under topic %q", it.Keywords[1], topic)
+		}
+	}
+}
+
+func TestPopularityDecreasesWithRank(t *testing.T) {
+	c := Movies(Config{Seed: 1, Users: 5, Items: 50, RatingsPerUser: 3})
+	items := c.Catalog.Items()
+	if items[0].Popularity <= items[49].Popularity {
+		t.Fatal("popularity should decay with rank")
+	}
+}
+
+func TestHolidayKidFriendlyTastes(t *testing.T) {
+	c := Holidays(Config{Seed: 13, Users: 200, Items: 50, RatingsPerUser: 5})
+	withKids := 0
+	for u := 1; u <= 200; u++ {
+		taste := c.Truth.Taste(model.UserID(u))
+		if taste == nil {
+			t.Fatalf("user %d missing taste", u)
+		}
+		if p, ok := taste.CategoricalPref[HolKids]; ok && p["yes"] > 0 {
+			withKids++
+		}
+	}
+	if withKids < 30 || withKids > 120 {
+		t.Fatalf("%d of 200 users travel with children; expected roughly 35%%", withKids)
+	}
+}
+
+func TestRestaurantCuisineAffectsUtility(t *testing.T) {
+	c := Restaurants(Config{Seed: 17, Users: 50, Items: 200, RatingsPerUser: 5})
+	// For each user, their top-preferred cuisine items should average
+	// higher utility than their most-disliked cuisine items.
+	better := 0
+	for u := 1; u <= 50; u++ {
+		taste := c.Truth.Taste(model.UserID(u))
+		var best, worst string
+		bestV, worstV := -2.0, 2.0
+		for cuisine, v := range taste.Keyword {
+			if v > bestV {
+				best, bestV = cuisine, v
+			}
+			if v < worstV {
+				worst, worstV = cuisine, v
+			}
+		}
+		var bSum, wSum float64
+		var bN, wN int
+		for _, it := range c.Catalog.Items() {
+			switch it.Categorical[RestCuisine] {
+			case best:
+				bSum += c.Truth.Utility(model.UserID(u), it)
+				bN++
+			case worst:
+				wSum += c.Truth.Utility(model.UserID(u), it)
+				wN++
+			}
+		}
+		if bN > 0 && wN > 0 && bSum/float64(bN) > wSum/float64(wN) {
+			better++
+		}
+	}
+	if better < 45 {
+		t.Fatalf("cuisine preference visible for only %d/50 users", better)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Movies(Config{Seed: 1})
+	if c.Catalog.Len() != 300 || c.Truth.Users() != 200 {
+		t.Fatalf("defaults not applied: %d items, %d users", c.Catalog.Len(), c.Truth.Users())
+	}
+	if c.Noise != 0.6 {
+		t.Fatalf("default noise = %v", c.Noise)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	got := dedupe([]string{"a", "b", "a", "c", "b"})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("dedupe = %v", got)
+	}
+}
+
+func TestRerateMatchesInstalledTaste(t *testing.T) {
+	c := News(Config{Seed: 23, Users: 10, Items: 120, RatingsPerUser: 10})
+	u := model.UserID(1)
+	c.Truth.InstallTaste(u, FootballFanTaste())
+	var history []model.ItemID
+	for i, it := range c.Catalog.Items() {
+		if i%2 == 0 {
+			history = append(history, it.ID)
+		}
+	}
+	r := rng.New(3)
+	c.Rerate(u, history, r)
+	// Old ratings gone, exactly the history rated.
+	if got := len(c.Ratings.UserRatings(u)); got != len(history) {
+		t.Fatalf("user has %d ratings, want %d", got, len(history))
+	}
+	// Ratings track the installed taste: football items outrate hockey.
+	var footSum, hockSum float64
+	var footN, hockN int
+	for id, v := range c.Ratings.UserRatings(u) {
+		it, _ := c.Catalog.Item(id)
+		switch {
+		case it.HasKeyword("football"):
+			footSum += v
+			footN++
+		case it.HasKeyword("hockey"):
+			hockSum += v
+			hockN++
+		}
+	}
+	if footN == 0 || hockN == 0 {
+		t.Skip("history lacks football or hockey items at this seed")
+	}
+	if footSum/float64(footN) <= hockSum/float64(hockN) {
+		t.Fatalf("rerated football mean %.2f not above hockey %.2f",
+			footSum/float64(footN), hockSum/float64(hockN))
+	}
+	// Other users untouched.
+	if len(c.Ratings.UserRatings(2)) == 0 {
+		t.Fatal("rerate clobbered another user")
+	}
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Holiday attribute names. The SASY example in the paper (Figure 1)
+// personalises holidays on attributes the user volunteered (budget,
+// travelling with children) and attributes the system inferred.
+const (
+	HolPrice    = "price"
+	HolClimate  = "climate"
+	HolSetting  = "setting" // beach, city, mountains, countryside
+	HolKids     = "kidfriendly"
+	HolDuration = "duration"
+)
+
+var holidayPlaces = []string{
+	"Costa Azul", "Lake Miren", "Porto Velho", "Mount Ardan",
+	"Isla Blanca", "Riverford", "Sunhaven", "Kalmar Bay",
+	"Vale of Gerel", "New Carthage",
+}
+
+// Holidays generates the holiday domain behind the scrutable adaptive
+// hypertext example (Czarkowski's SASY, Figure 1) and Top Case.
+func Holidays(cfg Config) *Community {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	cat := model.NewCatalog("holidays",
+		model.AttrDef{Name: HolPrice, Kind: model.Numeric, LessIsBetter: true, Unit: "$"},
+		model.AttrDef{Name: HolDuration, Kind: model.Numeric, Unit: "days"},
+		model.AttrDef{Name: HolClimate, Kind: model.Categorical},
+		model.AttrDef{Name: HolSetting, Kind: model.Categorical},
+		model.AttrDef{Name: HolKids, Kind: model.Categorical},
+	)
+	climates := []string{"tropical", "temperate", "cold"}
+	settings := []string{"beach", "city", "mountains", "countryside"}
+	yesno := []string{"yes", "no"}
+	for i := 0; i < cfg.Items; i++ {
+		setting := settings[r.Intn(len(settings))]
+		it := &model.Item{
+			ID:       model.ItemID(i + 1),
+			Title:    fmt.Sprintf("%s %s break #%d", holidayPlaces[r.Intn(len(holidayPlaces))], setting, i+1),
+			Keywords: []string{setting},
+			Numeric: map[string]float64{
+				HolPrice:    300 + 2700*r.Float64(),
+				HolDuration: float64(3 + r.Intn(12)),
+			},
+			Categorical: map[string]string{
+				HolClimate: climates[r.Intn(len(climates))],
+				HolSetting: setting,
+				HolKids:    yesno[r.Intn(2)],
+			},
+			Popularity: zipfPopularity(i),
+			Recency:    r.Float64(),
+		}
+		cat.MustAdd(it)
+	}
+	truth := &Truth{tastes: map[model.UserID]*Taste{}, ranges: attrRanges(cat)}
+	for u := 1; u <= cfg.Users; u++ {
+		taste := &Taste{
+			NumericIdeal:    map[string]float64{},
+			NumericWeight:   map[string]float64{},
+			CategoricalPref: map[string]map[string]float64{},
+			Bias:            r.Norm(0, 0.2),
+		}
+		lo, hi, _ := cat.NumericRange(HolPrice)
+		taste.NumericIdeal[HolPrice] = lo + (hi-lo)*0.4*r.Float64()
+		taste.NumericWeight[HolPrice] = 0.5 + r.Float64()
+		taste.CategoricalPref[HolSetting] = map[string]float64{
+			settings[r.Intn(len(settings))]: 0.7,
+		}
+		taste.CategoricalPref[HolClimate] = map[string]float64{
+			climates[r.Intn(len(climates))]: 0.4,
+		}
+		if r.Bernoulli(0.35) {
+			// Travelling with children: kid-friendliness becomes a
+			// strong preference — the attribute SASY's profile exposes.
+			taste.CategoricalPref[HolKids] = map[string]float64{"yes": 0.8, "no": -0.8}
+		}
+		truth.tastes[model.UserID(u)] = taste
+	}
+	c := &Community{Catalog: cat, Ratings: model.NewMatrix(), Truth: truth, Noise: cfg.Noise}
+	populate(c, cfg, r)
+	return c
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// MovieGenres are the content features of the movie domain. The list
+// covers the paper's running examples: comedies (transparency task,
+// Sec 3.1), Disney movies (scrutability task, Sec 3.2), war movies and
+// documentaries (the TiVo anecdote, Sec 2.1).
+var MovieGenres = []string{
+	"comedy", "drama", "thriller", "action", "romance", "documentary",
+	"war", "disney", "horror", "scifi", "western", "musical",
+}
+
+var movieDirectors = []string{
+	"A. Calder", "B. Okafor", "C. Lindqvist", "D. Moreau", "E. Tanaka",
+	"F. Herrera", "G. Novak", "H. Baptiste",
+}
+
+// Movies generates a movie community: a catalogue with genre keywords
+// plus users whose tastes are genre affinities. This is the substrate
+// for the collaborative-filtering studies (Herlocker persuasion,
+// Cosley rating shift, transparency and scrutability tasks).
+func Movies(cfg Config) *Community {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	cat := model.NewCatalog("movies")
+	for i := 0; i < cfg.Items; i++ {
+		nGenres := 1 + r.Intn(3)
+		it := &model.Item{
+			ID:         model.ItemID(i + 1),
+			Title:      titled(r, "Movie", i+1),
+			Creator:    movieDirectors[r.Intn(len(movieDirectors))],
+			Keywords:   pickSome(r, MovieGenres, nGenres),
+			Popularity: zipfPopularity(i),
+			Recency:    r.Float64(),
+		}
+		cat.MustAdd(it)
+	}
+	truth := &Truth{tastes: map[model.UserID]*Taste{}, ranges: attrRanges(cat)}
+	for u := 1; u <= cfg.Users; u++ {
+		taste := &Taste{
+			Keyword:        map[string]float64{},
+			Bias:           r.Norm(0, 0.3),
+			PopularityBias: r.Norm(0.3, 0.4),
+		}
+		// Each user loves a couple of genres, dislikes a couple, and is
+		// lukewarm on the rest — the structure the survey's worked
+		// examples ("likes football, not hockey") assume.
+		perm := r.Perm(len(MovieGenres))
+		for rank, gi := range perm {
+			g := MovieGenres[gi]
+			switch {
+			case rank < 2:
+				taste.Keyword[g] = 0.6 + 0.4*r.Float64()
+			case rank < 4:
+				taste.Keyword[g] = -(0.6 + 0.4*r.Float64())
+			default:
+				taste.Keyword[g] = r.Norm(0, 0.25)
+			}
+		}
+		truth.tastes[model.UserID(u)] = taste
+	}
+	c := &Community{Catalog: cat, Ratings: model.NewMatrix(), Truth: truth, Noise: cfg.Noise}
+	populate(c, cfg, r)
+	return c
+}

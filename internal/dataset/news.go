@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// News topics and subtopics. The paper's running example (Sections
+// 4.1-4.4) is a user who watches a lot of sport — football in
+// particular, not hockey or tennis — and also likes technology news.
+// Items carry both the broad topic and the subtopic as keywords so
+// explanations can say "this is a sports item, but it is about hockey".
+var (
+	NewsTopics = []string{"sport", "technology", "politics", "business", "culture", "science"}
+
+	// NewsSubtopics maps each topic to its subtopics.
+	NewsSubtopics = map[string][]string{
+		"sport":      {"football", "hockey", "tennis", "athletics"},
+		"technology": {"gadgets", "software", "internet", "hardware"},
+		"politics":   {"elections", "policy", "world"},
+		"business":   {"markets", "startups", "trade"},
+		"culture":    {"film", "music", "books"},
+		"science":    {"space", "health", "climate"},
+	}
+)
+
+var newsHeadlineTemplates = []string{
+	"%s update: what happened today",
+	"Analysis: the week in %s",
+	"Breaking: major development in %s",
+	"%s briefing for the morning",
+	"Why everyone is talking about %s",
+}
+
+// News generates a news community. Recency is first-class here: the
+// treemap (Figure 2) shades by recency and the Top Item explanation
+// cites "the most popular and recent item from the world cup".
+func News(cfg Config) *Community {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	cat := model.NewCatalog("news",
+		model.AttrDef{Name: "words", Kind: model.Numeric},
+		model.AttrDef{Name: "region", Kind: model.Categorical},
+	)
+	regions := []string{"local", "national", "world"}
+	for i := 0; i < cfg.Items; i++ {
+		topic := NewsTopics[r.Intn(len(NewsTopics))]
+		subs := NewsSubtopics[topic]
+		sub := subs[r.Intn(len(subs))]
+		it := &model.Item{
+			ID:       model.ItemID(i + 1),
+			Title:    fmt.Sprintf(newsHeadlineTemplates[r.Intn(len(newsHeadlineTemplates))], sub),
+			Keywords: []string{topic, sub},
+			Numeric:  map[string]float64{"words": 150 + float64(r.Intn(1800))},
+			Categorical: map[string]string{
+				"region": regions[r.Intn(len(regions))],
+			},
+			Popularity: zipfPopularity(i),
+			Recency:    r.Float64(),
+		}
+		cat.MustAdd(it)
+	}
+	truth := &Truth{tastes: map[model.UserID]*Taste{}, ranges: attrRanges(cat)}
+	for u := 1; u <= cfg.Users; u++ {
+		taste := &Taste{
+			Keyword:        map[string]float64{},
+			Bias:           r.Norm(0, 0.25),
+			PopularityBias: r.Norm(0.4, 0.3),
+		}
+		// Users like 1-2 broad topics, and within a liked topic they
+		// have sharply differentiated subtopic preferences (football
+		// yes, hockey no).
+		perm := r.Perm(len(NewsTopics))
+		for rank, ti := range perm {
+			topic := NewsTopics[ti]
+			var topicAff float64
+			switch {
+			case rank < 2:
+				topicAff = 0.5 + 0.4*r.Float64()
+			case rank < 4:
+				topicAff = r.Norm(0, 0.2)
+			default:
+				topicAff = -(0.3 + 0.4*r.Float64())
+			}
+			taste.Keyword[topic] = topicAff
+			for si, sub := range NewsSubtopics[topic] {
+				if topicAff > 0.4 {
+					if si == 0 || r.Bernoulli(0.3) {
+						taste.Keyword[sub] = 0.6 + 0.4*r.Float64()
+					} else {
+						taste.Keyword[sub] = -(0.4 + 0.4*r.Float64())
+					}
+				} else {
+					taste.Keyword[sub] = r.Norm(topicAff/2, 0.2)
+				}
+			}
+		}
+		truth.tastes[model.UserID(u)] = taste
+	}
+	c := &Community{Catalog: cat, Ratings: model.NewMatrix(), Truth: truth, Noise: cfg.Noise}
+	populate(c, cfg, r)
+	return c
+}
+
+// FootballFanTaste returns the paper's canonical example user: loves
+// sport (football especially) and technology, dislikes hockey and
+// tennis. Experiments that replay the Section 4 worked examples
+// install this taste for a chosen user ID.
+func FootballFanTaste() *Taste {
+	return &Taste{
+		Keyword: map[string]float64{
+			"sport": 0.9, "football": 1.0, "hockey": -0.8, "tennis": -0.6,
+			"athletics":  0.1,
+			"technology": 0.7, "gadgets": 0.8, "software": 0.2,
+			"politics": -0.4, "business": -0.2, "culture": -0.3, "science": 0.0,
+		},
+		PopularityBias: 0.4,
+	}
+}
+
+// InstallTaste replaces (or adds) the latent taste of user u. It is
+// used by experiments that need a scripted user inside a generated
+// community.
+func (t *Truth) InstallTaste(u model.UserID, taste *Taste) {
+	t.tastes[u] = taste
+}

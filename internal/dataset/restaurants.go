@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Restaurant attribute names.
+const (
+	RestCuisine  = "cuisine"
+	RestPrice    = "price"
+	RestDistance = "distance"
+	RestNoise    = "ambience" // quiet..lively, numeric 0..10
+	RestParking  = "parking"
+)
+
+var cuisines = []string{
+	"italian", "thai", "mexican", "japanese", "indian", "french",
+	"greek", "vegan", "steakhouse", "seafood",
+}
+
+var restaurantNames = []string{
+	"Olive & Ash", "Blue Lantern", "Casa Verde", "Night Market",
+	"The Copper Pot", "Saffron House", "Driftwood", "Juniper",
+	"Red Maple", "Harbor Lights",
+}
+
+// Restaurants generates the conversational-recommendation domain of
+// Thompson, Goeker & Langley's Adaptive Place Advisor (Section 3.6).
+// Conversations iterate over attribute constraints (cuisine, price,
+// distance), so every item is densely attributed.
+func Restaurants(cfg Config) *Community {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	cat := model.NewCatalog("restaurants",
+		model.AttrDef{Name: RestPrice, Kind: model.Numeric, LessIsBetter: true, Unit: "$"},
+		model.AttrDef{Name: RestDistance, Kind: model.Numeric, LessIsBetter: true, Unit: "km"},
+		model.AttrDef{Name: RestNoise, Kind: model.Numeric},
+		model.AttrDef{Name: RestCuisine, Kind: model.Categorical},
+		model.AttrDef{Name: RestParking, Kind: model.Categorical},
+	)
+	parking := []string{"street", "lot", "none"}
+	for i := 0; i < cfg.Items; i++ {
+		cuisine := cuisines[r.Intn(len(cuisines))]
+		it := &model.Item{
+			ID:       model.ItemID(i + 1),
+			Title:    fmt.Sprintf("%s (%s #%d)", restaurantNames[r.Intn(len(restaurantNames))], cuisine, i+1),
+			Creator:  cuisine,
+			Keywords: []string{cuisine},
+			Numeric: map[string]float64{
+				RestPrice:    10 + 90*r.Float64(),
+				RestDistance: round2(0.2 + 25*r.Float64()),
+				RestNoise:    float64(r.Intn(11)),
+			},
+			Categorical: map[string]string{
+				RestCuisine: cuisine,
+				RestParking: parking[r.Intn(len(parking))],
+			},
+			Popularity: zipfPopularity(i),
+			Recency:    r.Float64(),
+		}
+		cat.MustAdd(it)
+	}
+	truth := &Truth{tastes: map[model.UserID]*Taste{}, ranges: attrRanges(cat)}
+	for u := 1; u <= cfg.Users; u++ {
+		taste := &Taste{
+			Keyword:         map[string]float64{},
+			NumericIdeal:    map[string]float64{},
+			NumericWeight:   map[string]float64{},
+			CategoricalPref: map[string]map[string]float64{RestCuisine: {}},
+			Bias:            r.Norm(0, 0.2),
+		}
+		perm := r.Perm(len(cuisines))
+		for rank, ci := range perm {
+			cuisine := cuisines[ci]
+			switch {
+			case rank < 2:
+				taste.Keyword[cuisine] = 0.7 + 0.3*r.Float64()
+				taste.CategoricalPref[RestCuisine][cuisine] = 0.5
+			case rank < 4:
+				taste.Keyword[cuisine] = -(0.5 + 0.5*r.Float64())
+				taste.CategoricalPref[RestCuisine][cuisine] = -0.5
+			default:
+				taste.Keyword[cuisine] = r.Norm(0, 0.2)
+			}
+		}
+		lo, hi, _ := cat.NumericRange(RestPrice)
+		taste.NumericIdeal[RestPrice] = lo + (hi-lo)*0.3*r.Float64()
+		taste.NumericWeight[RestPrice] = 0.5 + r.Float64()
+		taste.NumericIdeal[RestDistance] = 0.5 + 5*r.Float64()
+		taste.NumericWeight[RestDistance] = 0.5 + r.Float64()
+		truth.tastes[model.UserID(u)] = taste
+	}
+	c := &Community{Catalog: cat, Ratings: model.NewMatrix(), Truth: truth, Noise: cfg.Noise}
+	populate(c, cfg, r)
+	return c
+}

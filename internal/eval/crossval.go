@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Cross-validation over rating matrices: the standard protocol behind
+// every accuracy number in the recommender literature the survey
+// leans on. Folds are deterministic in the seed and partition the
+// rating set exactly.
+
+// Fold is one train/test split.
+type Fold struct {
+	Train *model.Matrix
+	Test  []model.Rating
+}
+
+// ErrBadFoldCount is returned for k < 2 or k larger than the rating
+// count.
+var ErrBadFoldCount = errors.New("eval: fold count must be in [2, #ratings]")
+
+// KFold splits the matrix into k folds. Every rating appears in
+// exactly one test set; each fold's training matrix is the complement.
+func KFold(m *model.Matrix, k int, seed uint64) ([]Fold, error) {
+	if k < 2 || k > m.Len() {
+		return nil, fmt.Errorf("%w: k=%d over %d ratings", ErrBadFoldCount, k, m.Len())
+	}
+	// Deterministic rating list: users sorted, items sorted.
+	var all []model.Rating
+	for _, u := range m.Users() {
+		ratings := m.UserRatings(u)
+		ids := make([]model.ItemID, 0, len(ratings))
+		for i := range ratings {
+			ids = append(ids, i)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, i := range ids {
+			all = append(all, model.Rating{User: u, Item: i, Value: ratings[i]})
+		}
+	}
+	r := rng.New(seed)
+	r.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	folds := make([]Fold, k)
+	for idx, rt := range all {
+		f := idx % k
+		folds[f].Test = append(folds[f].Test, rt)
+	}
+	for f := range folds {
+		train := m.Clone()
+		for _, rt := range folds[f].Test {
+			train.Delete(rt.User, rt.Item)
+		}
+		folds[f].Train = train
+	}
+	return folds, nil
+}
+
+// CrossValResult aggregates per-fold errors.
+type CrossValResult struct {
+	FoldMAE  []float64
+	FoldRMSE []float64
+	// Coverage is the fraction of test ratings the predictor could
+	// score at all (cold starts reduce it).
+	Coverage float64
+}
+
+// MeanMAE returns the mean of the per-fold MAEs.
+func (r CrossValResult) MeanMAE() float64 { return stats.Mean(r.FoldMAE) }
+
+// MeanRMSE returns the mean of the per-fold RMSEs.
+func (r CrossValResult) MeanRMSE() float64 { return stats.Mean(r.FoldRMSE) }
+
+// CrossValidate trains a predictor on each fold's training matrix and
+// scores it on the held-out ratings. The trainer is called once per
+// fold.
+func CrossValidate(m *model.Matrix, k int, seed uint64, trainer func(train *model.Matrix) recsys.Predictor) (CrossValResult, error) {
+	folds, err := KFold(m, k, seed)
+	if err != nil {
+		return CrossValResult{}, err
+	}
+	var res CrossValResult
+	var predicted, total int
+	for _, fold := range folds {
+		p := trainer(fold.Train)
+		var pred, actual []float64
+		for _, rt := range fold.Test {
+			total++
+			pr, err := p.Predict(rt.User, rt.Item)
+			if err != nil {
+				continue
+			}
+			predicted++
+			pred = append(pred, pr.Score)
+			actual = append(actual, rt.Value)
+		}
+		if len(pred) == 0 {
+			continue
+		}
+		mae, err := MAE(pred, actual)
+		if err != nil {
+			return CrossValResult{}, err
+		}
+		rmse, err := RMSE(pred, actual)
+		if err != nil {
+			return CrossValResult{}, err
+		}
+		res.FoldMAE = append(res.FoldMAE, mae)
+		res.FoldRMSE = append(res.FoldRMSE, rmse)
+	}
+	if total > 0 {
+		res.Coverage = float64(predicted) / float64(total)
+	}
+	if len(res.FoldMAE) == 0 {
+		return res, errors.New("eval: no fold produced any prediction")
+	}
+	if math.IsNaN(res.MeanMAE()) {
+		return res, errors.New("eval: NaN fold error")
+	}
+	return res, nil
+}

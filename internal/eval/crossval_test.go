@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+)
+
+func TestKFoldPartitionsExactly(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 81, Users: 30, Items: 40, RatingsPerUser: 10})
+	folds, err := KFold(c.Ratings, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[[2]int]int{}
+	total := 0
+	for _, f := range folds {
+		total += len(f.Test)
+		for _, rt := range f.Test {
+			seen[[2]int{int(rt.User), int(rt.Item)}]++
+			// Test ratings are absent from that fold's training matrix.
+			if _, ok := f.Train.Get(rt.User, rt.Item); ok {
+				t.Fatalf("test rating (%d,%d) leaked into training", rt.User, rt.Item)
+			}
+		}
+		if f.Train.Len()+len(f.Test) != c.Ratings.Len() {
+			t.Fatalf("fold sizes inconsistent: %d + %d != %d",
+				f.Train.Len(), len(f.Test), c.Ratings.Len())
+		}
+	}
+	if total != c.Ratings.Len() {
+		t.Fatalf("test sets cover %d of %d ratings", total, c.Ratings.Len())
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("rating %v in %d test sets", key, n)
+		}
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 82, Users: 20, Items: 30, RatingsPerUser: 8})
+	a, _ := KFold(c.Ratings, 4, 9)
+	b, _ := KFold(c.Ratings, 4, 9)
+	for f := range a {
+		if len(a[f].Test) != len(b[f].Test) {
+			t.Fatal("fold sizes differ between runs")
+		}
+		for i := range a[f].Test {
+			if a[f].Test[i] != b[f].Test[i] {
+				t.Fatal("fold contents differ between runs")
+			}
+		}
+	}
+	// Different seeds shuffle differently.
+	d, _ := KFold(c.Ratings, 4, 10)
+	same := true
+	for i := range a[0].Test {
+		if i < len(d[0].Test) && a[0].Test[i] != d[0].Test[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical folds")
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	m := model.NewMatrix()
+	m.Set(1, 1, 3)
+	if _, err := KFold(m, 1, 0); !errors.Is(err, ErrBadFoldCount) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := KFold(m, 5, 0); !errors.Is(err, ErrBadFoldCount) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrossValidateCF(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 83, Users: 120, Items: 80, RatingsPerUser: 30})
+	res, err := CrossValidate(c.Ratings, 5, 3, func(train *model.Matrix) recsys.Predictor {
+		return cf.NewUserKNN(train, c.Catalog, cf.Options{K: 20})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldMAE) != 5 {
+		t.Fatalf("fold MAEs = %v", res.FoldMAE)
+	}
+	if res.MeanMAE() <= 0 || res.MeanMAE() > 1.5 {
+		t.Fatalf("MAE = %v", res.MeanMAE())
+	}
+	if res.MeanRMSE() < res.MeanMAE() {
+		t.Fatalf("RMSE %v < MAE %v", res.MeanRMSE(), res.MeanMAE())
+	}
+	if res.Coverage < 0.8 {
+		t.Fatalf("coverage = %v", res.Coverage)
+	}
+}
+
+func TestCrossValidateDegeneratePredictor(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 84, Users: 10, Items: 15, RatingsPerUser: 5})
+	_, err := CrossValidate(c.Ratings, 3, 1, func(*model.Matrix) recsys.Predictor {
+		return failingPredictor{}
+	})
+	if err == nil {
+		t.Fatal("all-failing predictor should error")
+	}
+}
+
+type failingPredictor struct{}
+
+func (failingPredictor) Predict(model.UserID, model.ItemID) (recsys.Prediction, error) {
+	return recsys.Prediction{}, recsys.ErrColdStart
+}

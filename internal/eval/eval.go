@@ -1,0 +1,157 @@
+// Package eval implements the evaluation measures of the survey's
+// Section 3: the classic accuracy metrics the paper says "can only
+// partially evaluate a recommender system" (MAE, RMSE, precision,
+// recall), the beyond-accuracy measures it cites (coverage, diversity,
+// serendipity), and the per-aim instruments — trust questionnaires,
+// loyalty proxies, task outcomes — that the criterion experiments
+// aggregate.
+package eval
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/model"
+)
+
+// ErrMismatchedSamples is returned when paired metric inputs differ in
+// length or are empty.
+var ErrMismatchedSamples = errors.New("eval: mismatched or empty samples")
+
+// MAE returns the mean absolute error between predictions and actuals.
+func MAE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return 0, ErrMismatchedSamples
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return 0, ErrMismatchedSamples
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// PrecisionRecallAtK scores a ranked recommendation list against a
+// relevance set: precision = relevant retrieved / k-or-fewer
+// retrieved, recall = relevant retrieved / all relevant. A k <= 0
+// means the whole list. An empty relevance set yields zero recall.
+func PrecisionRecallAtK(ranked []model.ItemID, relevant map[model.ItemID]bool, k int) (precision, recall float64) {
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0, 0
+	}
+	var hit int
+	for _, id := range ranked[:k] {
+		if relevant[id] {
+			hit++
+		}
+	}
+	precision = float64(hit) / float64(k)
+	if len(relevant) > 0 {
+		recall = float64(hit) / float64(len(relevant))
+	}
+	return precision, recall
+}
+
+// F1 combines precision and recall; zero when both are zero.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// CatalogCoverage returns the fraction of the catalogue that appears
+// in at least one recommendation list.
+func CatalogCoverage(lists [][]model.ItemID, catalogSize int) float64 {
+	if catalogSize <= 0 {
+		return 0
+	}
+	seen := map[model.ItemID]bool{}
+	for _, l := range lists {
+		for _, id := range l {
+			seen[id] = true
+		}
+	}
+	return float64(len(seen)) / float64(catalogSize)
+}
+
+// IntraListDiversity returns 1 minus the mean pairwise keyword Jaccard
+// similarity of a recommendation list (Ziegler et al.'s topic
+// diversification intuition). Single-item or empty lists score 0.
+func IntraListDiversity(cat *model.Catalog, list []model.ItemID) float64 {
+	items := make([]*model.Item, 0, len(list))
+	for _, id := range list {
+		if it, err := cat.Item(id); err == nil {
+			items = append(items, it)
+		}
+	}
+	if len(items) < 2 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			sum += 1 - jaccard(items[i].Keywords, items[j].Keywords)
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := map[string]bool{}
+	for _, k := range a {
+		set[k] = true
+	}
+	var inter int
+	union := map[string]bool{}
+	for _, k := range a {
+		union[k] = true
+	}
+	for _, k := range b {
+		if set[k] {
+			inter++
+		}
+		union[k] = true
+	}
+	return float64(inter) / float64(len(union))
+}
+
+// Serendipity returns the fraction of recommended items that are both
+// relevant and unexpected (popularity below popThreshold) — McNee et
+// al.'s "accuracy is not enough" measure.
+func Serendipity(cat *model.Catalog, list []model.ItemID, relevant map[model.ItemID]bool, popThreshold float64) float64 {
+	if len(list) == 0 {
+		return 0
+	}
+	var hits int
+	for _, id := range list {
+		it, err := cat.Item(id)
+		if err != nil {
+			continue
+		}
+		if relevant[id] && it.Popularity < popThreshold {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(list))
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func TestMAEAndRMSE(t *testing.T) {
+	pred := []float64{3, 4, 5}
+	actual := []float64{4, 4, 3}
+	mae, err := MAE(pred, actual)
+	if err != nil || mae != 1 {
+		t.Fatalf("MAE = %v, %v", mae, err)
+	}
+	rmse, err := RMSE(pred, actual)
+	if err != nil || math.Abs(rmse-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %v, %v", rmse, err)
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrMismatchedSamples) {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatchedSamples) {
+		t.Fatalf("mismatch err = %v", err)
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	ranked := []model.ItemID{1, 2, 3, 4, 5}
+	relevant := map[model.ItemID]bool{1: true, 3: true, 9: true}
+	p, r := PrecisionRecallAtK(ranked, relevant, 3)
+	if p != 2.0/3 || r != 2.0/3 {
+		t.Fatalf("P/R@3 = %v, %v", p, r)
+	}
+	p, r = PrecisionRecallAtK(ranked, relevant, 0) // whole list
+	if p != 2.0/5 || r != 2.0/3 {
+		t.Fatalf("P/R@all = %v, %v", p, r)
+	}
+	p, r = PrecisionRecallAtK(nil, relevant, 3)
+	if p != 0 || r != 0 {
+		t.Fatalf("empty list P/R = %v, %v", p, r)
+	}
+	_, r = PrecisionRecallAtK(ranked, nil, 3)
+	if r != 0 {
+		t.Fatalf("empty relevance recall = %v", r)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if F1(0, 0) != 0 {
+		t.Fatal("F1(0,0)")
+	}
+	if got := F1(0.5, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("F1 = %v", got)
+	}
+}
+
+func TestCatalogCoverage(t *testing.T) {
+	lists := [][]model.ItemID{{1, 2}, {2, 3}}
+	if got := CatalogCoverage(lists, 10); got != 0.3 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if CatalogCoverage(nil, 0) != 0 {
+		t.Fatal("degenerate coverage")
+	}
+}
+
+func TestIntraListDiversity(t *testing.T) {
+	cat := model.NewCatalog("t")
+	cat.MustAdd(&model.Item{ID: 1, Keywords: []string{"a"}})
+	cat.MustAdd(&model.Item{ID: 2, Keywords: []string{"a"}})
+	cat.MustAdd(&model.Item{ID: 3, Keywords: []string{"b"}})
+	same := IntraListDiversity(cat, []model.ItemID{1, 2})
+	diff := IntraListDiversity(cat, []model.ItemID{1, 3})
+	if same != 0 || diff != 1 {
+		t.Fatalf("diversity same=%v diff=%v", same, diff)
+	}
+	if IntraListDiversity(cat, []model.ItemID{1}) != 0 {
+		t.Fatal("singleton diversity should be 0")
+	}
+	// Unknown IDs are skipped, not fatal.
+	if IntraListDiversity(cat, []model.ItemID{1, 999}) != 0 {
+		t.Fatal("unknown id handling")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if jaccard(nil, nil) != 1 {
+		t.Fatal("empty sets are identical")
+	}
+	if got := jaccard([]string{"a", "b"}, []string{"b", "c"}); got != 1.0/3 {
+		t.Fatalf("jaccard = %v", got)
+	}
+}
+
+func TestSerendipity(t *testing.T) {
+	cat := model.NewCatalog("t")
+	cat.MustAdd(&model.Item{ID: 1, Popularity: 0.9})
+	cat.MustAdd(&model.Item{ID: 2, Popularity: 0.1})
+	cat.MustAdd(&model.Item{ID: 3, Popularity: 0.1})
+	relevant := map[model.ItemID]bool{1: true, 2: true}
+	// Item 2 is relevant and obscure; item 1 relevant but popular;
+	// item 3 obscure but irrelevant.
+	if got := Serendipity(cat, []model.ItemID{1, 2, 3}, relevant, 0.5); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("serendipity = %v", got)
+	}
+	if Serendipity(cat, nil, relevant, 0.5) != 0 {
+		t.Fatal("empty list serendipity")
+	}
+}
+
+func TestTrustQuestionnaire(t *testing.T) {
+	q := NewTrustQuestionnaire()
+	if len(q.Dimensions) != 5 {
+		t.Fatalf("dimensions = %v", q.Dimensions)
+	}
+	r := rng.New(3)
+	var lowSum, highSum float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		lowSum += q.Administer(0.1, r).Overall()
+		highSum += q.Administer(0.9, r).Overall()
+	}
+	low, high := lowSum/n, highSum/n
+	if high <= low+2 {
+		t.Fatalf("questionnaire should separate trust levels: %v vs %v", low, high)
+	}
+	resp := q.Administer(0.5, r)
+	for d, v := range resp.Scores {
+		if v < 1 || v > 7 {
+			t.Fatalf("dimension %s score %v off Likert scale", d, v)
+		}
+	}
+}
+
+func TestSummarizeTasks(t *testing.T) {
+	rep := SummarizeTasks([]TaskOutcome{
+		{Correct: true, Seconds: 30},
+		{Correct: false, Seconds: 90, GaveUp: true},
+		{Correct: true, Seconds: 60},
+	})
+	if rep.N != 3 || math.Abs(rep.CorrectRate-2.0/3) > 1e-12 || math.Abs(rep.GaveUpRate-1.0/3) > 1e-12 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.TimeSummary.Mean != 60 {
+		t.Fatalf("mean time = %v", rep.TimeSummary.Mean)
+	}
+	if SummarizeTasks(nil).N != 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestWalkthroughLog(t *testing.T) {
+	var w WalkthroughLog
+	if w.PositiveRatio() != 0.5 {
+		t.Fatal("empty ratio should be neutral")
+	}
+	for _, k := range []string{"+", "+", "-", "frustrated", "delighted", "workaround", "bogus"} {
+		w.Record(k)
+	}
+	if w.Positive != 2 || w.Negative != 1 || w.Frustrated != 1 || w.Delighted != 1 || w.Workarounds != 1 {
+		t.Fatalf("log = %+v", w)
+	}
+	if math.Abs(w.PositiveRatio()-2.0/3) > 1e-12 {
+		t.Fatalf("ratio = %v", w.PositiveRatio())
+	}
+	if !strings.Contains(w.String(), "comments +2/-1") {
+		t.Fatalf("String = %q", w.String())
+	}
+}

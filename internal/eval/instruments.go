@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TrustQuestionnaire models the five-dimensional trust scale the
+// survey cites (Ohanian 1990, adapted to recommender systems as
+// suggested in Section 3.3). Each dimension is a 1-7 Likert item; the
+// simulated response is driven by the respondent's latent trust state
+// plus response noise — the instrument's unreliability is part of the
+// simulation, mirroring the paper's caveat that stated preferences and
+// behaviour diverge.
+type TrustQuestionnaire struct {
+	// Dimensions of the validated scale.
+	Dimensions []string
+}
+
+// NewTrustQuestionnaire returns the five-dimension instrument.
+func NewTrustQuestionnaire() *TrustQuestionnaire {
+	return &TrustQuestionnaire{Dimensions: []string{
+		"expertise", "trustworthiness", "attractiveness", "reliability", "intention-to-return",
+	}}
+}
+
+// QuestionnaireResponse is one filled-in questionnaire.
+type QuestionnaireResponse struct {
+	Scores map[string]float64 // per dimension, 1-7
+}
+
+// Overall returns the mean across dimensions.
+func (r QuestionnaireResponse) Overall() float64 {
+	var sum float64
+	for _, v := range r.Scores {
+		sum += v
+	}
+	return sum / float64(len(r.Scores))
+}
+
+// Administer produces a response from a latent trust level in [0,1].
+func (q *TrustQuestionnaire) Administer(trust float64, r *rng.RNG) QuestionnaireResponse {
+	resp := QuestionnaireResponse{Scores: map[string]float64{}}
+	for _, d := range q.Dimensions {
+		v := 1 + 6*trust + r.Norm(0, 0.7)
+		if v < 1 {
+			v = 1
+		}
+		if v > 7 {
+			v = 7
+		}
+		resp.Scores[d] = v
+	}
+	return resp
+}
+
+// TaskOutcome records one task-based trial (transparency and
+// scrutability studies, Sections 3.1-3.2).
+type TaskOutcome struct {
+	Correct bool
+	Seconds float64
+	// GaveUp marks abandonment (patience exhausted) — counted as
+	// incorrect but tracked separately because the Czarkowski study
+	// found time/correctness misleading when interface issues arose.
+	GaveUp bool
+}
+
+// TaskReport aggregates task outcomes.
+type TaskReport struct {
+	N            int
+	CorrectRate  float64
+	GaveUpRate   float64
+	TimeSummary  stats.Summary
+	TimesSeconds []float64
+}
+
+// SummarizeTasks aggregates trials into a report.
+func SummarizeTasks(outcomes []TaskOutcome) TaskReport {
+	rep := TaskReport{N: len(outcomes)}
+	if len(outcomes) == 0 {
+		return rep
+	}
+	var correct, gaveUp int
+	for _, o := range outcomes {
+		if o.Correct {
+			correct++
+		}
+		if o.GaveUp {
+			gaveUp++
+		}
+		rep.TimesSeconds = append(rep.TimesSeconds, o.Seconds)
+	}
+	rep.CorrectRate = float64(correct) / float64(len(outcomes))
+	rep.GaveUpRate = float64(gaveUp) / float64(len(outcomes))
+	rep.TimeSummary = stats.Summarize(rep.TimesSeconds)
+	return rep
+}
+
+// WalkthroughLog collects the qualitative satisfaction measures of
+// Section 3.7: positive and negative comments, frustration and
+// delight events, and workarounds.
+type WalkthroughLog struct {
+	Positive, Negative    int
+	Frustrated, Delighted int
+	Workarounds           int
+}
+
+// Record notes one event by kind: "+", "-", "frustrated", "delighted",
+// "workaround". Unknown kinds are ignored.
+func (w *WalkthroughLog) Record(kind string) {
+	switch kind {
+	case "+":
+		w.Positive++
+	case "-":
+		w.Negative++
+	case "frustrated":
+		w.Frustrated++
+	case "delighted":
+		w.Delighted++
+	case "workaround":
+		w.Workarounds++
+	}
+}
+
+// PositiveRatio returns positive/(positive+negative), or 0.5 with no
+// comments.
+func (w *WalkthroughLog) PositiveRatio() float64 {
+	total := w.Positive + w.Negative
+	if total == 0 {
+		return 0.5
+	}
+	return float64(w.Positive) / float64(total)
+}
+
+// String renders the log for reports.
+func (w *WalkthroughLog) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comments +%d/-%d (ratio %.2f), frustrated %d, delighted %d, workarounds %d",
+		w.Positive, w.Negative, w.PositiveRatio(), w.Frustrated, w.Delighted, w.Workarounds)
+	return b.String()
+}

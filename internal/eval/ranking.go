@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// Ranking-quality measures over graded relevance. The survey's
+// effectiveness criterion "is most closely related to accuracy
+// measures such as precision and recall" (Section 3.5); nDCG and MRR
+// extend that to position-aware evaluation of the ranked lists the
+// presentation layer actually shows.
+
+// DCGAtK returns the discounted cumulative gain of a ranked list
+// against graded relevances (missing items count zero). k <= 0 means
+// the whole list. An item's gain is realised at its first occurrence
+// only, so malformed lists with duplicates cannot inflate the score.
+func DCGAtK(ranked []model.ItemID, relevance map[model.ItemID]float64, k int) float64 {
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	var dcg float64
+	seen := map[model.ItemID]bool{}
+	for pos := 0; pos < k; pos++ {
+		id := ranked[pos]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		rel := relevance[id]
+		if rel == 0 {
+			continue
+		}
+		dcg += (math.Pow(2, rel) - 1) / math.Log2(float64(pos)+2)
+	}
+	return dcg
+}
+
+// NDCGAtK returns the normalised DCG in [0, 1]: the list's DCG divided
+// by the DCG of the ideal ordering of the relevance set. Zero when the
+// relevance set is empty.
+func NDCGAtK(ranked []model.ItemID, relevance map[model.ItemID]float64, k int) float64 {
+	if len(relevance) == 0 {
+		return 0
+	}
+	ideal := idealDCG(relevance, k, len(ranked))
+	if ideal == 0 {
+		return 0
+	}
+	return DCGAtK(ranked, relevance, k) / ideal
+}
+
+func idealDCG(relevance map[model.ItemID]float64, k, listLen int) float64 {
+	rels := make([]float64, 0, len(relevance))
+	for _, r := range relevance {
+		if r > 0 {
+			rels = append(rels, r)
+		}
+	}
+	// Descending sort of relevances.
+	for i := 0; i < len(rels); i++ {
+		for j := i + 1; j < len(rels); j++ {
+			if rels[j] > rels[i] {
+				rels[i], rels[j] = rels[j], rels[i]
+			}
+		}
+	}
+	if k <= 0 {
+		k = listLen
+	}
+	if k <= 0 || k > len(rels) {
+		k = len(rels)
+	}
+	var dcg float64
+	for pos := 0; pos < k; pos++ {
+		dcg += (math.Pow(2, rels[pos]) - 1) / math.Log2(float64(pos)+2)
+	}
+	return dcg
+}
+
+// MRR returns the mean reciprocal rank of the first relevant item over
+// a set of ranked lists; lists with no relevant item contribute zero.
+func MRR(lists [][]model.ItemID, relevant map[model.ItemID]bool) float64 {
+	if len(lists) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range lists {
+		for pos, id := range l {
+			if relevant[id] {
+				sum += 1 / float64(pos+1)
+				break
+			}
+		}
+	}
+	return sum / float64(len(lists))
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func TestDCGHandComputed(t *testing.T) {
+	ranked := []model.ItemID{1, 2, 3}
+	rel := map[model.ItemID]float64{1: 3, 3: 1}
+	// DCG = (2^3-1)/log2(2) + 0 + (2^1-1)/log2(4) = 7 + 0.5
+	if got := DCGAtK(ranked, rel, 0); math.Abs(got-7.5) > 1e-12 {
+		t.Fatalf("DCG = %v, want 7.5", got)
+	}
+	// At k=1 only the first position counts.
+	if got := DCGAtK(ranked, rel, 1); got != 7 {
+		t.Fatalf("DCG@1 = %v", got)
+	}
+}
+
+func TestNDCGPerfectOrdering(t *testing.T) {
+	rel := map[model.ItemID]float64{1: 3, 2: 2, 3: 1}
+	perfect := []model.ItemID{1, 2, 3}
+	if got := NDCGAtK(perfect, rel, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect nDCG = %v", got)
+	}
+	worst := []model.ItemID{9, 8, 7, 3, 2, 1}
+	if got := NDCGAtK(worst, rel, 0); got >= 1 || got <= 0 {
+		t.Fatalf("degraded nDCG = %v", got)
+	}
+	if NDCGAtK(perfect, nil, 0) != 0 {
+		t.Fatal("empty relevance should score 0")
+	}
+}
+
+func TestNDCGBoundsQuick(t *testing.T) {
+	r := rng.New(3)
+	f := func(n uint8) bool {
+		size := int(n%20) + 1
+		ranked := make([]model.ItemID, size)
+		rel := map[model.ItemID]float64{}
+		for i := range ranked {
+			ranked[i] = model.ItemID(r.Intn(30))
+			if r.Bernoulli(0.4) {
+				rel[model.ItemID(r.Intn(30))] = float64(r.Intn(3) + 1)
+			}
+		}
+		v := NDCGAtK(ranked, rel, 0)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	lists := [][]model.ItemID{
+		{5, 1, 2}, // relevant at rank 2
+		{1, 9, 9}, // rank 1
+		{9, 9, 9}, // none
+	}
+	relevant := map[model.ItemID]bool{1: true, 2: true}
+	want := (0.5 + 1 + 0) / 3
+	if got := MRR(lists, relevant); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MRR = %v, want %v", got, want)
+	}
+	if MRR(nil, relevant) != 0 {
+		t.Fatal("empty lists MRR")
+	}
+}
+
+func TestNDCGRewardsBetterOrderingOnRealRecommender(t *testing.T) {
+	// nDCG of a taste-ordered list must beat a reversed one.
+	rel := map[model.ItemID]float64{1: 3, 2: 3, 3: 2, 4: 1}
+	good := []model.ItemID{1, 2, 3, 4, 5, 6}
+	bad := []model.ItemID{6, 5, 4, 3, 2, 1}
+	if NDCGAtK(good, rel, 0) <= NDCGAtK(bad, rel, 0) {
+		t.Fatal("nDCG did not reward better ordering")
+	}
+}

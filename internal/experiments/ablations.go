@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+	"repro/internal/stats"
+	"repro/internal/tablewriter"
+	"repro/internal/usersim"
+)
+
+// RunA4 sweeps the CF neighbourhood size K and reports both prediction
+// accuracy (held-out MAE) and the persuasiveness of the histogram
+// explanation built from the same neighbourhood. The design point the
+// sweep illuminates: tiny neighbourhoods make weak histograms (little
+// social proof) and noisy predictions; very large ones dilute
+// similarity. Explanation quality and accuracy are coupled through the
+// same evidence.
+func RunA4(seed uint64) *Result {
+	r := newResult("A4", "Ablation: CF neighbourhood size")
+	c := dataset.Movies(dataset.Config{Seed: seed, Users: 200, Items: 100, RatingsPerUser: 40})
+	pop := usersim.NewPopulation(c, 100, seed+15)
+
+	// Hold out one rating per user for MAE.
+	type holdout struct {
+		u model.UserID
+		i model.ItemID
+		v float64
+	}
+	// Deterministic holdout: each user's three lowest-ID rated items
+	// (map iteration order must never leak into experiment output).
+	var held []holdout
+	train := c.Ratings.Clone()
+	for _, u := range c.Ratings.Users() {
+		ids := make([]model.ItemID, 0, len(c.Ratings.UserRatings(u)))
+		for i := range c.Ratings.UserRatings(u) {
+			ids = append(ids, i)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for k := 0; k < 3 && k < len(ids); k++ {
+			v, _ := c.Ratings.Get(u, ids[k])
+			held = append(held, holdout{u, ids[k], v})
+		}
+	}
+	for _, h := range held {
+		train.Delete(h.u, h.i)
+	}
+
+	ks := []int{3, 5, 10, 20, 40}
+	tbl := tablewriter.New("K", "Held-out MAE", "Mean histogram intent (1-7)", "Mean neighbours shown").
+		SetTitle("A4: neighbourhood size vs accuracy and histogram persuasiveness").
+		SetAligns(tablewriter.AlignRight, tablewriter.AlignRight, tablewriter.AlignRight, tablewriter.AlignRight)
+	maes := make([]float64, 0, len(ks))
+	intents := make([]float64, 0, len(ks))
+	for _, k := range ks {
+		knn := cf.NewUserKNN(train, c.Catalog, cf.Options{K: k})
+		var errSum float64
+		var n int
+		for _, h := range held {
+			pred, err := knn.Predict(h.u, h.i)
+			if err != nil {
+				continue
+			}
+			errSum += math.Abs(pred.Score - h.v)
+			n++
+		}
+		mae := errSum / float64(n)
+
+		var intentXs []float64
+		var nbCount float64
+		var nbN int
+		for _, u := range pop.Users {
+			var done int
+			for _, it := range c.Catalog.Items() {
+				if done >= 2 {
+					break
+				}
+				if _, rated := train.Get(u.ID, it.ID); rated {
+					continue
+				}
+				nbs := knn.Neighbors(u.ID, it.ID)
+				if len(nbs) == 0 {
+					continue
+				}
+				pred, err := knn.Predict(u.ID, it.ID)
+				if err != nil {
+					continue
+				}
+				avg, _ := train.ItemMean(it.ID)
+				ev := explain.PersuasionEvidence{
+					Item: it, Neighbors: nbs, Prediction: pred, ItemAvg: avg, PastAccuracy: 0.7,
+				}
+				pi := explain.Herlocker21()[0] // histogram-grouped
+				intentXs = append(intentXs, u.Intent(it, usersim.Stimulus{
+					Support: pi.Support(ev),
+					Clarity: pi.Clarity,
+				}))
+				nbCount += float64(len(nbs))
+				nbN++
+				done++
+			}
+		}
+		meanIntent := stats.Mean(intentXs)
+		maes = append(maes, mae)
+		intents = append(intents, meanIntent)
+		tbl.AddRow(k, mae, meanIntent, nbCount/float64(nbN))
+	}
+	r.Report = tbl.String()
+
+	bestMAEAt := 0
+	for i := range maes {
+		if maes[i] < maes[bestMAEAt] {
+			bestMAEAt = i
+		}
+	}
+	r.metric("mae_k3", maes[0])
+	r.metric("mae_best", maes[bestMAEAt])
+	r.metric("best_k", float64(ks[bestMAEAt]))
+	r.metric("intent_k3", intents[0])
+	r.metric("intent_k40", intents[len(intents)-1])
+
+	r.check(ks[bestMAEAt] >= 10,
+		"accuracy improves beyond tiny neighbourhoods (best K = %d)", ks[bestMAEAt])
+	r.check(maes[0] > maes[bestMAEAt],
+		"K=3 is worse than the best K (%.3f > %.3f)", maes[0], maes[bestMAEAt])
+	return r
+}
+
+// RunA6 sweeps the topic-diversification strength of Ziegler et al.
+// (the survey's reference [39]) against list quality: as the
+// diversification factor grows, intra-list topic diversity rises while
+// the mean predicted score of the list falls — the diversity/accuracy
+// trade-off the survey's introduction cites alongside serendipity as
+// "increasingly seen as important" beyond raw accuracy.
+func RunA6(seed uint64) *Result {
+	r := newResult("A6", "Ablation: topic diversification vs accuracy")
+	c := dataset.News(dataset.Config{Seed: seed, Users: 100, Items: 150, RatingsPerUser: 25})
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 15})
+
+	lambdas := []float64{1, 0.8, 0.6, 0.4}
+	tbl := tablewriter.New("Lambda", "Mean list score", "Intra-list diversity", "Mean true utility").
+		SetTitle("A6: diversification strength vs score and diversity (top-10 lists)").
+		SetAligns(tablewriter.AlignRight, tablewriter.AlignRight, tablewriter.AlignRight, tablewriter.AlignRight)
+	scores := make([]float64, 0, len(lambdas))
+	diversities := make([]float64, 0, len(lambdas))
+	for _, lambda := range lambdas {
+		var scoreSum, divSum, truthSum float64
+		var n int
+		for u := 1; u <= 100; u++ {
+			uid := model.UserID(u)
+			preds := knn.Recommend(uid, 40, recsys.ExcludeRated(c.Ratings, uid))
+			if len(preds) < 10 {
+				continue
+			}
+			list := present.Diversify(c.Catalog, preds, lambda, 10)
+			var ids []model.ItemID
+			for _, p := range list {
+				ids = append(ids, p.Item)
+				scoreSum += p.Score
+				if it, err := c.Catalog.Item(p.Item); err == nil {
+					truthSum += c.Truth.Utility(uid, it)
+				}
+			}
+			divSum += eval.IntraListDiversity(c.Catalog, ids)
+			n++
+		}
+		meanScore := scoreSum / float64(n*10)
+		meanDiv := divSum / float64(n)
+		scores = append(scores, meanScore)
+		diversities = append(diversities, meanDiv)
+		tbl.AddRow(lambda, meanScore, meanDiv, truthSum/float64(n*10))
+	}
+	r.Report = tbl.String()
+	r.metric("score_lambda1", scores[0])
+	r.metric("score_lambda04", scores[len(scores)-1])
+	r.metric("diversity_lambda1", diversities[0])
+	r.metric("diversity_lambda04", diversities[len(diversities)-1])
+	r.check(diversities[len(diversities)-1] > diversities[0],
+		"diversification raises intra-list diversity (%.3f > %.3f)",
+		diversities[len(diversities)-1], diversities[0])
+	r.check(scores[len(scores)-1] < scores[0],
+		"diversification costs predicted score (%.3f < %.3f)",
+		scores[len(scores)-1], scores[0])
+	for i := 1; i < len(diversities); i++ {
+		r.check(diversities[i] >= diversities[i-1]-0.01,
+			"diversity responds monotonically at lambda=%.1f", lambdas[i])
+	}
+	return r
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys/cf"
+	"repro/internal/stats"
+	"repro/internal/tablewriter"
+	"repro/internal/usersim"
+)
+
+// RunE11 tests the survey's Section 2.4 warning that "too much
+// persuasion may backfire once users realize that they have tried or
+// bought items that they do not really want": two otherwise identical
+// systems serve users over repeated sessions, one with honest
+// explanations (faithful, no hype), one with hyped ones. The hyped
+// system wins the first sessions on acceptance — and then pays for it:
+// every over-sold item that disappoints erodes trust, acceptance
+// converges down, and fewer users keep coming back.
+func RunE11(seed uint64) *Result {
+	r := newResult("E11", "Persuasion backfire over repeated sessions (Section 2.4)")
+	c := dataset.Movies(dataset.Config{Seed: seed, Users: 160, Items: 150, RatingsPerUser: 25})
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 20})
+
+	const sessions = 10
+
+	type series struct {
+		accept [sessions]float64 // acceptance rate per session
+		n      [sessions]int
+		trust  []float64 // final trust per user
+		stayed []float64 // sessions attended per user
+	}
+
+	run := func(hyped bool, popSeed uint64) *series {
+		pop := usersim.NewPopulation(c, 80, popSeed)
+		out := &series{}
+		for _, u := range pop.Users {
+			consumed := map[model.ItemID]bool{}
+			attended := 0
+			for sess := 0; sess < sessions; sess++ {
+				attended++
+				recs := knn.Recommend(u.ID, 1, func(i model.ItemID) bool {
+					if consumed[i] {
+						return true
+					}
+					_, rated := c.Ratings.Get(u.ID, i)
+					return rated
+				})
+				if len(recs) == 0 {
+					break
+				}
+				it, err := c.Catalog.Item(recs[0].Item)
+				if err != nil {
+					break
+				}
+				consumed[it.ID] = true
+				s := usersim.Stimulus{Shown: recs[0].Score, Clarity: 0.9, Support: 0.3, Informativeness: 0.3}
+				claim := recs[0].Score
+				if hyped {
+					// The bold sell: inflated claim, heavy hype, and
+					// nothing for the user's own judgement.
+					claim = model.ClampRating(recs[0].Score + 1)
+					s = usersim.Stimulus{Shown: claim, Clarity: 0.9, Support: 0.6, Hype: 0.8}
+				}
+				out.n[sess]++
+				if u.Intent(it, s) >= 4.8 {
+					out.accept[sess]++
+					experienced := u.Consume(it)
+					// Trust updates against the *claim* the display
+					// made; honest displays also soften failures the
+					// way explanations do (Section 2.3).
+					u.UpdateTrust(claim, experienced, !hyped)
+				}
+				if !u.WillReturn() {
+					break
+				}
+			}
+			out.trust = append(out.trust, u.Trust)
+			out.stayed = append(out.stayed, float64(attended))
+		}
+		return out
+	}
+
+	honest := run(false, seed+18)
+	hyped := run(true, seed+18) // same population draw: paired design
+
+	tbl := tablewriter.New("Session", "Honest acceptance", "Hyped acceptance").
+		SetTitle("E11: acceptance per session under honest vs hyped explanations").
+		SetAligns(tablewriter.AlignRight, tablewriter.AlignRight, tablewriter.AlignRight)
+	rate := func(s *series, i int) float64 {
+		if s.n[i] == 0 {
+			return 0
+		}
+		return s.accept[i] / float64(s.n[i])
+	}
+	for i := 0; i < sessions; i++ {
+		if honest.n[i] == 0 && hyped.n[i] == 0 {
+			break
+		}
+		tbl.AddRow(i+1, rate(honest, i), rate(hyped, i))
+	}
+	r.Report = tbl.String()
+
+	earlyHonest := (rate(honest, 0) + rate(honest, 1)) / 2
+	earlyHyped := (rate(hyped, 0) + rate(hyped, 1)) / 2
+	r.metric("early_accept_honest", earlyHonest)
+	r.metric("early_accept_hyped", earlyHyped)
+	r.metric("final_trust_honest", stats.Mean(honest.trust))
+	r.metric("final_trust_hyped", stats.Mean(hyped.trust))
+	r.metric("sessions_honest", stats.Mean(honest.stayed))
+	r.metric("sessions_hyped", stats.Mean(hyped.stayed))
+
+	r.check(earlyHyped > earlyHonest,
+		"hype wins the first sessions (%.2f > %.2f acceptance)", earlyHyped, earlyHonest)
+	r.check(stats.Mean(hyped.trust) < stats.Mean(honest.trust),
+		"hype ends with less trust (%.2f < %.2f)", stats.Mean(hyped.trust), stats.Mean(honest.trust))
+	r.check(stats.Mean(hyped.stayed) < stats.Mean(honest.stayed),
+		"hype loses loyalty (%.1f < %.1f sessions attended)",
+		stats.Mean(hyped.stayed), stats.Mean(honest.stayed))
+	return r
+}

@@ -1,0 +1,129 @@
+// Package experiments contains one runner per reproduced artefact of
+// the paper: the four survey tables (T1-T4), the three figures
+// (F1-F3), the eleven criterion studies (E1-E11) and the
+// six trade-off ablations (A1-A6). Each runner is
+// deterministic in its seed and returns a Result with a rendered
+// report, headline metrics, and a ShapeOK verdict stating whether the
+// qualitative finding the paper reports was reproduced.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	ID    string
+	Title string
+	// Report is the full rendered output (tables, transcripts,
+	// figures).
+	Report string
+	// Metrics holds the headline numbers, keyed by stable names used in
+	// EXPERIMENTS.md.
+	Metrics map[string]float64
+	// ShapeOK reports whether the paper's qualitative finding held in
+	// this run; Notes explain what was checked.
+	ShapeOK bool
+	Notes   []string
+}
+
+// metric records a metric value, allocating the map on first use.
+func (r *Result) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
+}
+
+// check records one shape assertion; all must hold for ShapeOK.
+func (r *Result) check(ok bool, format string, args ...interface{}) {
+	status := "PASS"
+	if !ok {
+		status = "FAIL"
+		r.ShapeOK = false
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("[%s] %s", status, fmt.Sprintf(format, args...)))
+}
+
+// newResult starts a Result with ShapeOK true until a check fails.
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, ShapeOK: true}
+}
+
+// MetricNames returns the sorted metric keys, for stable reporting.
+func (r *Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary renders the result header, metrics and shape notes (without
+// the full report body).
+func (r *Result) Summary() string {
+	var b strings.Builder
+	verdict := "shape reproduced"
+	if !r.ShapeOK {
+		verdict = "SHAPE NOT REPRODUCED"
+	}
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, verdict)
+	for _, name := range r.MetricNames() {
+		fmt.Fprintf(&b, "   %-32s %10.4f\n", name, r.Metrics[name])
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(seed uint64) *Result
+}
+
+// All returns every experiment in presentation order: tables, figures,
+// criterion studies, ablations.
+func All() []Runner {
+	return []Runner{
+		{"T1", "Table 1: aims taxonomy", RunT1},
+		{"T2", "Table 2: aims of academic systems", RunT2},
+		{"T3", "Table 3: commercial systems", RunT3},
+		{"T4", "Table 4: academic systems", RunT4},
+		{"F1", "Figure 1: scrutable adaptive hypertext (SASY)", RunF1},
+		{"F2", "Figure 2: treemap news visualization", RunF2},
+		{"F3", "Figure 3: influence of ratings (LIBRA)", RunF3},
+		{"E1", "Persuasion across 21 explanation interfaces (Herlocker)", RunE1},
+		{"E2", "Effectiveness: satisfaction vs promotion (Bilgic & Mooney)", RunE2},
+		{"E3", "Conversational efficiency (Adaptive Place Advisor)", RunE3},
+		{"E4", "Completion time with structured overview (Pu & Chen)", RunE4},
+		{"E5", "Trust and loyalty (McNee et al.)", RunE5},
+		{"E6", "Transparency task", RunE6},
+		{"E7", "Scrutability task (Czarkowski)", RunE7},
+		{"E8", "Dynamic critiquing efficiency (McCarthy et al.)", RunE8},
+		{"E9", "Persuasive rating shift (Cosley et al.)", RunE9},
+		{"E10", "Satisfaction walk-through (Section 3.7)", RunE10},
+		{"E11", "Persuasion backfire over repeated sessions (Section 2.4)", RunE11},
+		{"A1", "Ablation: explanation detail vs efficiency", RunA1},
+		{"A2", "Ablation: persuasion vs effectiveness", RunA2},
+		{"A3", "Ablation: recommender personality", RunA3},
+		{"A4", "Ablation: CF neighbourhood size", RunA4},
+		{"A5", "Ablation: accuracy vs explanation grounding", RunA5},
+		{"A6", "Ablation: topic diversification vs accuracy", RunA6},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

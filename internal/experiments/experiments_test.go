@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 24 {
+		t.Fatalf("registry has %d experiments, want 24 (4 tables, 3 figures, 11 studies, 6 ablations)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate runner %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for _, id := range []string{"T1", "T4", "F1", "F3", "E1", "E9", "A1", "A4"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("ByID(%s) missing", id)
+		}
+	}
+	if _, ok := ByID("Z9"); ok {
+		t.Fatal("ByID should reject unknown ids")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := newResult("X", "test")
+	if !r.ShapeOK {
+		t.Fatal("fresh result should be OK until a check fails")
+	}
+	r.metric("b", 2)
+	r.metric("a", 1)
+	names := r.MetricNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("MetricNames = %v", names)
+	}
+	r.check(true, "fine")
+	if !r.ShapeOK {
+		t.Fatal("passing check must not flip ShapeOK")
+	}
+	r.check(false, "boom %d", 7)
+	if r.ShapeOK {
+		t.Fatal("failing check must flip ShapeOK")
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "SHAPE NOT REPRODUCED") ||
+		!strings.Contains(sum, "[FAIL] boom 7") ||
+		!strings.Contains(sum, "[PASS] fine") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}
+
+// TestTablesAndFiguresReproduce runs the fast artefact experiments and
+// requires the paper shapes to hold.
+func TestTablesAndFiguresReproduce(t *testing.T) {
+	for _, id := range []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3"} {
+		r, _ := ByID(id)
+		res := r.Run(42)
+		if !res.ShapeOK {
+			t.Errorf("%s failed:\n%s", id, res.Summary())
+		}
+		if res.Report == "" {
+			t.Errorf("%s produced no report", id)
+		}
+	}
+}
+
+// TestCriterionStudiesReproduce runs the nine Section 3 studies at the
+// reference seed. These are the headline reproduction results.
+func TestCriterionStudiesReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation studies skipped in -short mode")
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, _ := ByID(id)
+			res := r.Run(42)
+			if !res.ShapeOK {
+				t.Errorf("%s failed:\n%s", id, res.Summary())
+			}
+		})
+	}
+}
+
+// TestAblationsReproduce runs the four design-trade-off ablations.
+func TestAblationsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation studies skipped in -short mode")
+	}
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, _ := ByID(id)
+			res := r.Run(42)
+			if !res.ShapeOK {
+				t.Errorf("%s failed:\n%s", id, res.Summary())
+			}
+		})
+	}
+}
+
+// TestSeedRobustness re-runs every experiment on alternative seeds:
+// the reproduced shapes are properties of the design, not of one lucky
+// draw.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for _, seed := range []uint64{7, 99} {
+		seed := seed
+		for _, r := range All() {
+			r := r
+			t.Run(r.ID, func(t *testing.T) {
+				t.Parallel()
+				res := r.Run(seed)
+				if !res.ShapeOK {
+					t.Errorf("seed %d: %s failed:\n%s", seed, res.ID, res.Summary())
+				}
+			})
+		}
+	}
+}
+
+// TestDeterminism: the same seed must yield byte-identical reports for
+// the simulation experiments.
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	for _, id := range []string{"E1", "E3", "A4"} {
+		r, _ := ByID(id)
+		a := r.Run(9)
+		b := r.Run(9)
+		if a.Report != b.Report {
+			t.Errorf("%s not deterministic", id)
+		}
+		for k, v := range a.Metrics {
+			if b.Metrics[k] != v {
+				t.Errorf("%s metric %s differs: %v vs %v", id, k, v, b.Metrics[k])
+			}
+		}
+	}
+}

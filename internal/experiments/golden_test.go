@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestGoldenArtefacts pins the byte-exact output of the deterministic
+// paper artefacts at the reference seed. Any unintended change to a
+// table layout, figure rendering or catalogue row shows up as a diff
+// here. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenArtefacts -update
+func TestGoldenArtefacts(t *testing.T) {
+	for _, id := range []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			got := r.Run(42).Report
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file.\n--- got\n%s\n--- want\n%s",
+					id, got, string(want))
+			}
+		})
+	}
+}

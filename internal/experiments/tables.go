@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/survey"
+)
+
+// RunT1 regenerates Table 1 (the aims taxonomy). The shape check: all
+// seven aims with their paper definitions.
+func RunT1(seed uint64) *Result {
+	r := newResult("T1", "Table 1: aims taxonomy")
+	tbl := survey.Table1()
+	r.Report = tbl.String()
+	r.metric("aims", float64(len(survey.AllAims)))
+	r.check(len(survey.AllAims) == 7, "seven aims defined")
+	r.check(strings.Contains(r.Report, "Help users make good decisions"),
+		"effectiveness definition matches the paper")
+	return r
+}
+
+// RunT2 regenerates Table 2 (aims of academic systems).
+func RunT2(seed uint64) *Result {
+	r := newResult("T2", "Table 2: aims of academic systems")
+	tbl := survey.Table2()
+	r.Report = tbl.String()
+	rows := len(survey.Table2Systems())
+	marks := strings.Count(r.Report, "X")
+	r.metric("rows", float64(rows))
+	r.metric("marks", float64(marks))
+	r.check(rows == 14, "14 academic systems state aims (got %d)", rows)
+	r.check(marks == 25, "25 aim marks as in the paper's layout (got %d)", marks)
+	// Every aim column is used at least once.
+	for _, a := range survey.AllAims {
+		r.check(len(survey.WithAim(a)) > 0, "aim %s stated by at least one system", a.Abbrev())
+	}
+	return r
+}
+
+// RunT3 regenerates Table 3 (commercial systems).
+func RunT3(seed uint64) *Result {
+	r := newResult("T3", "Table 3: commercial systems")
+	tbl := survey.Table3()
+	r.Report = tbl.String() + "\n" + survey.ImplementationIndex().String()
+	r.metric("rows", float64(tbl.NumRows()))
+	r.check(tbl.NumRows() == 8, "eight commercial systems (got %d)", tbl.NumRows())
+	for _, name := range []string{"Amazon", "Pandora", "Qwikshop"} {
+		r.check(strings.Contains(r.Report, name), "row %s present", name)
+	}
+	return r
+}
+
+// RunT4 regenerates Table 4 (academic systems).
+func RunT4(seed uint64) *Result {
+	r := newResult("T4", "Table 4: academic systems")
+	tbl := survey.Table4()
+	r.Report = tbl.String()
+	r.metric("rows", float64(tbl.NumRows()))
+	r.check(tbl.NumRows() == 10, "ten academic systems (got %d)", tbl.NumRows())
+	r.check(strings.Contains(r.Report, "Structured overview"),
+		"Pu & Chen's organizational structure row present")
+	r.check(strings.Contains(r.Report, "ADAPTIVE PLACE ADVISOR"),
+		"conversational recommender row present")
+	return r
+}

@@ -1,0 +1,150 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/recsys/content"
+	"repro/internal/tablewriter"
+)
+
+// InfluenceExplainer reproduces the LIBRA influence interface of
+// Figure 3: for a recommended book it shows which of the user's past
+// ratings influenced the recommendation the most, as percentages.
+type InfluenceExplainer struct {
+	bayes *content.Bayes
+	cat   *model.Catalog
+	// MaxRows bounds the influence table (default 5, like the figure).
+	MaxRows int
+}
+
+// NewInfluenceExplainer builds an influence explainer over a
+// naive-Bayes content model.
+func NewInfluenceExplainer(b *content.Bayes, cat *model.Catalog) *InfluenceExplainer {
+	return &InfluenceExplainer{bayes: b, cat: cat, MaxRows: 5}
+}
+
+// Style implements Explainer.
+func (e *InfluenceExplainer) Style() Style { return ContentBased }
+
+// Explain implements Explainer.
+func (e *InfluenceExplainer) Explain(u model.UserID, item *model.Item) (*Explanation, error) {
+	infl, err := e.bayes.Influences(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("influences for user %d, item %d: %w (%v)", u, item.ID, ErrNoEvidence, err)
+	}
+	if len(infl) == 0 {
+		return nil, fmt.Errorf("user %d, item %d: %w", u, item.ID, ErrNoEvidence)
+	}
+	pred, err := e.bayes.Predict(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("predicting item %d: %w", item.ID, err)
+	}
+	rows := infl
+	if e.MaxRows > 0 && len(rows) > e.MaxRows {
+		rows = rows[:e.MaxRows]
+	}
+	tbl := tablewriter.New("Your rating", "Title", "Influence").
+		SetTitle(fmt.Sprintf("Ratings that most influenced recommending %q:", item.Title)).
+		SetAligns(tablewriter.AlignRight, tablewriter.AlignLeft, tablewriter.AlignRight)
+	var topTitle string
+	for i, in := range rows {
+		it, err := e.cat.Item(in.Item)
+		if err != nil {
+			continue
+		}
+		if i == 0 {
+			topTitle = it.Title
+		}
+		tbl.AddRow(ratedPhrase(in.Rating), it.Title, fmt.Sprintf("%.0f%%", in.Percent))
+	}
+	text := fmt.Sprintf("Your rating of %q influenced this recommendation the most.", topTitle)
+	return &Explanation{
+		Style:      ContentBased,
+		Text:       text,
+		Detail:     tbl.String(),
+		Confidence: pred.Confidence,
+		Faithful:   true,
+		Evidence:   Evidence{Influences: infl},
+	}, nil
+}
+
+// KeywordExplainer renders per-feature content explanations:
+// "recommended because it is a comedy, and you have liked comedies".
+type KeywordExplainer struct {
+	bayes *content.Bayes
+	// MaxKeywords bounds how many features are named (default 2).
+	MaxKeywords int
+}
+
+// NewKeywordExplainer builds a keyword explainer over a naive-Bayes
+// content model.
+func NewKeywordExplainer(b *content.Bayes) *KeywordExplainer {
+	return &KeywordExplainer{bayes: b, MaxKeywords: 2}
+}
+
+// Style implements Explainer.
+func (e *KeywordExplainer) Style() Style { return ContentBased }
+
+// Explain implements Explainer.
+func (e *KeywordExplainer) Explain(u model.UserID, item *model.Item) (*Explanation, error) {
+	kcs, err := e.bayes.KeywordContributions(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("contributions for user %d, item %d: %w (%v)", u, item.ID, ErrNoEvidence, err)
+	}
+	if len(kcs) == 0 {
+		return nil, fmt.Errorf("item %d carries no content features: %w", item.ID, ErrNoEvidence)
+	}
+	pred, err := e.bayes.Predict(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("predicting item %d: %w", item.ID, err)
+	}
+	var pros, cons []string
+	for _, kc := range kcs {
+		switch {
+		case kc.Weight > 0.05:
+			pros = append(pros, kc.Keyword)
+		case kc.Weight < -0.05:
+			cons = append(cons, kc.Keyword)
+		}
+	}
+	limit := func(ss []string) []string {
+		if e.MaxKeywords > 0 && len(ss) > e.MaxKeywords {
+			return ss[:e.MaxKeywords]
+		}
+		return ss
+	}
+	var text string
+	switch {
+	case len(pros) > 0 && len(cons) > 0:
+		text = fmt.Sprintf("%q matches your interest in %s, although you have not liked %s items before.",
+			item.Title, joinAnd(limit(pros)), joinAnd(limit(cons)))
+	case len(pros) > 0:
+		text = fmt.Sprintf("We recommend %q because you have liked %s items.",
+			item.Title, joinAnd(limit(pros)))
+	case len(cons) > 0:
+		text = fmt.Sprintf("%q is a %s item, and you do not seem to like %s.",
+			item.Title, joinAnd(limit(cons)), joinAnd(limit(cons)))
+	default:
+		text = fmt.Sprintf("%q is unlike anything you have rated, so this is an experiment.", item.Title)
+	}
+	return &Explanation{
+		Style:      ContentBased,
+		Text:       text,
+		Confidence: pred.Confidence,
+		Faithful:   true,
+		Evidence:   Evidence{Keywords: kcs},
+	}, nil
+}
+
+func joinAnd(ss []string) string {
+	switch len(ss) {
+	case 0:
+		return ""
+	case 1:
+		return ss[0]
+	default:
+		return strings.Join(ss[:len(ss)-1], ", ") + " and " + ss[len(ss)-1]
+	}
+}

@@ -1,0 +1,38 @@
+package explain_test
+
+import (
+	"fmt"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+// The Qwikshop-style trade-off phrase from the survey's Section 5.2,
+// generated from two real items.
+func ExampleTradeoffPhrase() {
+	cat := model.NewCatalog("cameras",
+		model.AttrDef{Name: "memory", Kind: model.Numeric},
+		model.AttrDef{Name: "resolution", Kind: model.Numeric},
+		model.AttrDef{Name: "price", Kind: model.Numeric, LessIsBetter: true},
+	)
+	ref := &model.Item{ID: 1, Title: "Current", Numeric: map[string]float64{
+		"memory": 32, "resolution": 24, "price": 800,
+	}}
+	alt := &model.Item{ID: 2, Title: "Alternative", Numeric: map[string]float64{
+		"memory": 8, "resolution": 10, "price": 200,
+	}}
+	cat.MustAdd(ref)
+	cat.MustAdd(alt)
+	fmt.Println(explain.TradeoffPhrase(knowledge.Compare(cat, ref, alt)))
+	// Output:
+	// Less Memory and Lower Resolution and Cheaper
+}
+
+// The social framing of Section 4.3.
+func ExampleSocialPhrase() {
+	book := &model.Item{Title: "Oliver Twist", Creator: "Charles Dickens"}
+	fmt.Println(explain.SocialPhrase(book))
+	// Output:
+	// People like you liked... Oliver Twist by Charles Dickens
+}

@@ -1,0 +1,164 @@
+// Package explain is the heart of the reproduction: it generates
+// user-facing explanations for recommendations in the three styles the
+// survey's conclusion identifies —
+//
+//   - content-based: "We have recommended X because you liked Y"
+//   - collaborative-based: "People who liked X also liked Y"
+//   - preference-based: "Your interests suggest that you would like X"
+//
+// — plus confidence statements ("frank" systems, Section 2.3),
+// trade-off explanations ("cheaper but lower resolution", Section 5.2)
+// and the Herlocker et al. catalogue of 21 explanation interfaces used
+// by the persuasion experiment (Section 3.4).
+//
+// Every explanation carries both rendered Text and typed Evidence so
+// that presenters can re-render the same facts (as a histogram, a
+// percentage table, a sentence) and the simulated-user laboratory can
+// score how convincing and how faithful the explanation is.
+package explain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+	"repro/internal/recsys/content"
+	"repro/internal/recsys/hybrid"
+	"repro/internal/recsys/knowledge"
+	"repro/internal/stats"
+)
+
+// Style is the content category of an explanation, following the
+// survey's Tables 3-4 "Explanation" column.
+type Style int
+
+// Explanation styles.
+const (
+	ContentBased Style = iota
+	CollaborativeBased
+	PreferenceBased
+)
+
+func (s Style) String() string {
+	switch s {
+	case ContentBased:
+		return "content-based"
+	case CollaborativeBased:
+		return "collaborative-based"
+	case PreferenceBased:
+		return "preference-based"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Evidence is the typed payload behind an explanation. Exactly the
+// fields relevant to the generating style are populated.
+type Evidence struct {
+	// Histogram of neighbours' ratings (collaborative style).
+	Histogram *stats.Histogram
+	// Neighbors behind a user-based CF prediction.
+	Neighbors []cf.UserNeighbor
+	// SimilarItems behind an item-based CF prediction.
+	SimilarItems []cf.ItemNeighbor
+	// Influences of past ratings (content style, Figure 3).
+	Influences []content.Influence
+	// Keywords contributing to a content prediction.
+	Keywords []content.KeywordContribution
+	// Breakdown of a knowledge-based utility (preference style).
+	Breakdown []knowledge.AttrScore
+	// Tradeoffs against a reference item (critiquing).
+	Tradeoffs []knowledge.Tradeoff
+	// Sources of a hybrid prediction.
+	Sources []hybrid.Contribution
+}
+
+// Explanation is one rendered justification for recommending an item
+// to a user.
+type Explanation struct {
+	Style Style
+	// Text is the natural-language rendering shown to the user.
+	Text string
+	// Detail is an optional multi-line elaboration (histogram art,
+	// influence tables) shown when the interface has room for it.
+	Detail string
+	// Confidence is the recommender's confidence in the underlying
+	// prediction, carried so "frank" interfaces can disclose it.
+	Confidence float64
+	// Faithful reports whether the explanation actually reflects the
+	// evidence that produced the recommendation (true for everything
+	// this package generates from live evidence; persuasion-experiment
+	// boilerplate interfaces set it false). Effectiveness depends on
+	// faithfulness; persuasion does not — that asymmetry is the
+	// paper's Section 3.8 trade-off.
+	Faithful bool
+	// Evidence holds the structured payload the Text was rendered from.
+	Evidence Evidence
+}
+
+// Explainer generates explanations for (user, item) pairs. Each
+// recommender family has at least one Explainer over its evidence.
+type Explainer interface {
+	// Explain justifies recommending item to user u. Implementations
+	// return ErrNoEvidence (possibly wrapped) when they cannot ground
+	// an explanation in actual data.
+	Explain(u model.UserID, item *model.Item) (*Explanation, error)
+	// Style reports the explanation style this explainer produces.
+	Style() Style
+}
+
+// ErrNoEvidence is returned when an explainer has no data to ground an
+// explanation in. Callers may fall back to a vaguer style — but the
+// fallback is explicit, never silent.
+var ErrNoEvidence = errors.New("explain: no evidence for explanation")
+
+// countGoodBad splits neighbour ratings into the "good" (>= 4) and
+// "bad" (<= 2) clusters of the winning Herlocker histogram interface.
+func countGoodBad(neighbors []cf.UserNeighbor) (good, neutral, bad int) {
+	for _, nb := range neighbors {
+		switch {
+		case nb.Rating >= 4:
+			good++
+		case nb.Rating <= 2:
+			bad++
+		default:
+			neutral++
+		}
+	}
+	return good, neutral, bad
+}
+
+// confidencePhrase renders a frank confidence statement (Section 2.3:
+// "a user may appreciate when a system is frank and admits that it is
+// not confident about a particular recommendation").
+func confidencePhrase(conf float64) string {
+	switch {
+	case conf >= 0.75:
+		return "We are confident in this recommendation."
+	case conf >= 0.45:
+		return "We are fairly sure about this recommendation."
+	case conf >= 0.2:
+		return "We are not very confident about this recommendation."
+	default:
+		return "This is a long shot: we have little data to go on."
+	}
+}
+
+// WithFrankConfidence appends the confidence phrase to an explanation,
+// returning the modified explanation for chaining.
+func WithFrankConfidence(e *Explanation) *Explanation {
+	e.Text = e.Text + " " + confidencePhrase(e.Confidence)
+	return e
+}
+
+// ratedPhrase renders "4.5 stars" style fragments.
+func ratedPhrase(v float64) string {
+	return fmt.Sprintf("%.1f stars", v)
+}
+
+// Describe renders a one-line summary of a prediction for transcripts.
+func Describe(item *model.Item, p recsys.Prediction) string {
+	return fmt.Sprintf("%s — predicted %s (confidence %.0f%%)", item.Title, ratedPhrase(p.Score), p.Confidence*100)
+}

@@ -1,0 +1,352 @@
+package explain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+	"repro/internal/recsys/content"
+)
+
+func movieCommunity(t testing.TB) *dataset.Community {
+	t.Helper()
+	return dataset.Movies(dataset.Config{Seed: 101, Users: 60, Items: 80, RatingsPerUser: 20})
+}
+
+// pickExplainable returns a (user, item) pair for which the user-based
+// CF model has neighbours and no self-rating.
+func pickExplainable(t testing.TB, c *dataset.Community, knn *cf.UserKNN) (model.UserID, *model.Item) {
+	t.Helper()
+	for u := 1; u <= 20; u++ {
+		uid := model.UserID(u)
+		for _, it := range c.Catalog.Items() {
+			if _, rated := c.Ratings.Get(uid, it.ID); rated {
+				continue
+			}
+			if len(knn.Neighbors(uid, it.ID)) >= 5 {
+				return uid, it
+			}
+		}
+	}
+	t.Fatal("no explainable pair found")
+	return 0, nil
+}
+
+func TestStyleString(t *testing.T) {
+	if ContentBased.String() != "content-based" ||
+		CollaborativeBased.String() != "collaborative-based" ||
+		PreferenceBased.String() != "preference-based" {
+		t.Fatal("style strings")
+	}
+	if Style(9).String() == "" {
+		t.Fatal("unknown style should stringify")
+	}
+}
+
+func TestHistogramExplainer(t *testing.T) {
+	c := movieCommunity(t)
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 15})
+	u, it := pickExplainable(t, c, knn)
+	e := NewHistogramExplainer(knn)
+	if e.Style() != CollaborativeBased {
+		t.Fatal("style")
+	}
+	exp, err := e.Explain(u, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, it.Title) {
+		t.Fatalf("text does not cite the item: %q", exp.Text)
+	}
+	if !strings.Contains(exp.Text, "neighbours") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if exp.Evidence.Histogram == nil || exp.Evidence.Histogram.Total() != len(exp.Evidence.Neighbors) {
+		t.Fatal("histogram evidence inconsistent with neighbours")
+	}
+	if exp.Detail == "" || !strings.Contains(exp.Detail, "#") {
+		t.Fatalf("histogram detail missing:\n%s", exp.Detail)
+	}
+	if !exp.Faithful {
+		t.Fatal("histogram explanations are grounded and must be faithful")
+	}
+}
+
+func TestHistogramExplainerNoEvidence(t *testing.T) {
+	c := movieCommunity(t)
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 15})
+	it := c.Catalog.Items()[0]
+	_, err := NewHistogramExplainer(knn).Explain(9999, it)
+	if !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNeighborCountExplainer(t *testing.T) {
+	c := movieCommunity(t)
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 15})
+	u, it := pickExplainable(t, c, knn)
+	exp, err := NewNeighborCountExplainer(knn).Explain(u, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "similar to you") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if len(exp.Evidence.Neighbors) == 0 {
+		t.Fatal("evidence missing")
+	}
+}
+
+func TestItemSimilarityExplainer(t *testing.T) {
+	c := movieCommunity(t)
+	knn := cf.NewItemKNN(c.Ratings, c.Catalog, cf.Options{K: 10})
+	e := NewItemSimilarityExplainer(knn, c.Catalog)
+	var exp *Explanation
+	var who model.UserID
+	var target *model.Item
+	// Find any pair with liked similar items.
+	for u := 1; u <= 30 && exp == nil; u++ {
+		for _, it := range c.Catalog.Items() {
+			if _, rated := c.Ratings.Get(model.UserID(u), it.ID); rated {
+				continue
+			}
+			if got, err := e.Explain(model.UserID(u), it); err == nil {
+				exp, who, target = got, model.UserID(u), it
+				break
+			}
+		}
+	}
+	if exp == nil {
+		t.Fatal("no explainable pair for item similarity")
+	}
+	_ = who
+	if !strings.Contains(exp.Text, "because you liked") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if !strings.Contains(exp.Text, target.Title) {
+		t.Fatalf("text does not cite target: %q", exp.Text)
+	}
+	// Citation cap respected.
+	if n := strings.Count(exp.Text, "\""); n > 2+2*e.MaxCited {
+		t.Fatalf("too many citations in %q", exp.Text)
+	}
+	// All cited evidence items were liked (>= 4).
+	for _, nb := range exp.Evidence.SimilarItems {
+		if nb.Rating < 4 {
+			t.Fatalf("cited item rated %.1f, must be liked", nb.Rating)
+		}
+	}
+}
+
+func TestSocialPhrase(t *testing.T) {
+	it := &model.Item{Title: "Oliver Twist", Creator: "Charles Dickens"}
+	got := SocialPhrase(it)
+	if got != "People like you liked... Oliver Twist by Charles Dickens" {
+		t.Fatalf("SocialPhrase = %q", got)
+	}
+	if SocialPhrase(&model.Item{Title: "X"}) != "People like you liked... X" {
+		t.Fatal("creator-less phrase")
+	}
+}
+
+func TestInfluenceExplainer(t *testing.T) {
+	c := dataset.Books(dataset.Config{Seed: 103, Users: 40, Items: 60, RatingsPerUser: 15})
+	b := content.NewBayes(c.Ratings, c.Catalog)
+	e := NewInfluenceExplainer(b, c.Catalog)
+	u := model.UserID(1)
+	var target *model.Item
+	for _, it := range c.Catalog.Items() {
+		if _, rated := c.Ratings.Get(u, it.ID); !rated {
+			target = it
+			break
+		}
+	}
+	exp, err := e.Explain(u, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "influenced this recommendation the most") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if !strings.Contains(exp.Detail, "Influence") {
+		t.Fatalf("detail missing table:\n%s", exp.Detail)
+	}
+	if len(exp.Evidence.Influences) == 0 {
+		t.Fatal("influence evidence missing")
+	}
+	// Detail table respects MaxRows.
+	lines := strings.Count(exp.Detail, "\n")
+	if lines > e.MaxRows+3 {
+		t.Fatalf("detail too long (%d lines):\n%s", lines, exp.Detail)
+	}
+}
+
+func TestInfluenceExplainerColdStart(t *testing.T) {
+	c := dataset.Books(dataset.Config{Seed: 103, Users: 5, Items: 10, RatingsPerUser: 3})
+	e := NewInfluenceExplainer(content.NewBayes(c.Ratings, c.Catalog), c.Catalog)
+	if _, err := e.Explain(999, c.Catalog.Items()[0]); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKeywordExplainer(t *testing.T) {
+	cat := model.NewCatalog("movies")
+	cat.MustAdd(&model.Item{ID: 1, Title: "A", Keywords: []string{"comedy"}})
+	cat.MustAdd(&model.Item{ID: 2, Title: "B", Keywords: []string{"comedy"}})
+	cat.MustAdd(&model.Item{ID: 3, Title: "C", Keywords: []string{"horror"}})
+	cat.MustAdd(&model.Item{ID: 4, Title: "Candidate", Keywords: []string{"comedy"}})
+	cat.MustAdd(&model.Item{ID: 5, Title: "Scary", Keywords: []string{"horror"}})
+	m := model.NewMatrix()
+	m.Set(1, 1, 5)
+	m.Set(1, 2, 5)
+	m.Set(1, 3, 1)
+	b := content.NewBayes(m, cat)
+	e := NewKeywordExplainer(b)
+	pos, err := e.Explain(1, mustItem(t, cat, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pos.Text, "because you have liked comedy") {
+		t.Fatalf("positive text = %q", pos.Text)
+	}
+	neg, err := e.Explain(1, mustItem(t, cat, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(neg.Text, "do not seem to like horror") {
+		t.Fatalf("negative text = %q", neg.Text)
+	}
+}
+
+func TestJoinAnd(t *testing.T) {
+	if joinAnd(nil) != "" {
+		t.Fatal("empty")
+	}
+	if joinAnd([]string{"a"}) != "a" {
+		t.Fatal("one")
+	}
+	if joinAnd([]string{"a", "b"}) != "a and b" {
+		t.Fatal("two")
+	}
+	if joinAnd([]string{"a", "b", "c"}) != "a, b and c" {
+		t.Fatal("three")
+	}
+}
+
+func TestConfidencePhrases(t *testing.T) {
+	cases := []struct {
+		conf float64
+		want string
+	}{
+		{0.9, "confident"},
+		{0.5, "fairly sure"},
+		{0.3, "not very confident"},
+		{0.05, "long shot"},
+	}
+	for _, c := range cases {
+		if got := confidencePhrase(c.conf); !strings.Contains(got, c.want) {
+			t.Fatalf("confidencePhrase(%v) = %q", c.conf, got)
+		}
+	}
+	e := &Explanation{Text: "Base.", Confidence: 0.1}
+	if got := WithFrankConfidence(e).Text; !strings.Contains(got, "long shot") {
+		t.Fatalf("frank text = %q", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	it := &model.Item{Title: "X"}
+	got := Describe(it, recsys.Prediction{Score: 4.25, Confidence: 0.8})
+	if !strings.Contains(got, "X") || !strings.Contains(got, "4.2 stars") || !strings.Contains(got, "80%") {
+		t.Fatalf("Describe = %q", got)
+	}
+}
+
+func mustItem(t *testing.T, cat *model.Catalog, id model.ItemID) *model.Item {
+	t.Helper()
+	it, err := cat.Item(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestExplainerStyles(t *testing.T) {
+	c := movieCommunity(t)
+	uknn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 10})
+	iknn := cf.NewItemKNN(c.Ratings, c.Catalog, cf.Options{K: 10})
+	bayes := content.NewBayes(c.Ratings, c.Catalog)
+	cases := []struct {
+		ex   Explainer
+		want Style
+	}{
+		{NewHistogramExplainer(uknn), CollaborativeBased},
+		{NewNeighborCountExplainer(uknn), CollaborativeBased},
+		{NewItemSimilarityExplainer(iknn, c.Catalog), ContentBased},
+		{NewInfluenceExplainer(bayes, c.Catalog), ContentBased},
+		{NewKeywordExplainer(bayes), ContentBased},
+	}
+	for _, tc := range cases {
+		if got := tc.ex.Style(); got != tc.want {
+			t.Errorf("%T.Style() = %v, want %v", tc.ex, got, tc.want)
+		}
+	}
+}
+
+func TestNeighborCountNoEvidence(t *testing.T) {
+	c := movieCommunity(t)
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 10})
+	if _, err := NewNeighborCountExplainer(knn).Explain(9999, c.Catalog.Items()[0]); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestItemSimilarityNoLikedItems(t *testing.T) {
+	// A user who hated everything has no liked items to cite.
+	cat := model.NewCatalog("t")
+	cat.MustAdd(&model.Item{ID: 1, Title: "a"})
+	cat.MustAdd(&model.Item{ID: 2, Title: "b"})
+	cat.MustAdd(&model.Item{ID: 3, Title: "c"})
+	m := model.NewMatrix()
+	for u := model.UserID(1); u <= 3; u++ {
+		m.Set(u, 1, 1.5)
+		m.Set(u, 2, 1)
+		m.Set(u, 3, 2)
+	}
+	knn := cf.NewItemKNN(m, cat, cf.Options{K: 5, MinOverlap: 2})
+	e := NewItemSimilarityExplainer(knn, cat)
+	it, _ := cat.Item(3)
+	if _, err := e.Explain(1, it); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKeywordExplainerNoFeatures(t *testing.T) {
+	cat := model.NewCatalog("t")
+	cat.MustAdd(&model.Item{ID: 1, Keywords: []string{"a"}})
+	cat.MustAdd(&model.Item{ID: 2}) // featureless candidate
+	m := model.NewMatrix()
+	m.Set(1, 1, 5)
+	e := NewKeywordExplainer(content.NewBayes(m, cat))
+	if _, err := e.Explain(1, mustItem(t, cat, 2)); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cold user.
+	if _, err := e.Explain(9, mustItem(t, cat, 1)); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("cold err = %v", err)
+	}
+}
+
+func TestInfluenceExplainerUnknownItem(t *testing.T) {
+	c := movieCommunity(t)
+	bayes := content.NewBayes(c.Ratings, c.Catalog)
+	e := NewInfluenceExplainer(bayes, c.Catalog)
+	if _, err := e.Explain(1, &model.Item{ID: 99999, Title: "ghost"}); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+}

@@ -1,0 +1,323 @@
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+	"repro/internal/stats"
+)
+
+// PersuasionEvidence bundles the live data available to a persuasion
+// interface for one (user, item) pair: the CF neighbourhood, the
+// system's prediction, catalogue facts and the system's historical
+// accuracy for this user.
+type PersuasionEvidence struct {
+	Item       *model.Item
+	Neighbors  []cf.UserNeighbor
+	Prediction recsys.Prediction
+	ItemAvg    float64 // community average rating of the item
+	// PastAccuracy is the fraction of past predictions that were
+	// within one star for this user ("MovieLens has predicted
+	// correctly for you 80% of the time").
+	PastAccuracy float64
+}
+
+// goodBadFractions summarises the neighbourhood.
+func (ev PersuasionEvidence) goodBadFractions() (good, bad float64) {
+	g, _, b := countGoodBad(ev.Neighbors)
+	n := len(ev.Neighbors)
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(g) / float64(n), float64(b) / float64(n)
+}
+
+// PersuasionInterface is one of the 21 explanation interfaces from
+// Herlocker, Konstan & Riedl (2000), "Explaining collaborative
+// filtering recommendations", as re-run by experiment E1 (Section 3.4
+// of the survey). The original paper measured, for each interface, the
+// mean likelihood (1-7) that users would see the movie; the clustered
+// ratings histogram won, several data-free or confusing displays
+// scored below the no-explanation base case.
+//
+// Exact wordings and screenshots are not reproducible from the survey,
+// so each interface here is characterised by the two features the
+// outcome shape depends on:
+//
+//   - Clarity: how easily a user decodes the display (confusing
+//     interfaces annoy and depress acceptance);
+//   - Support: the signed evidence strength in [-1, 1] the display
+//     conveys for the item, computed from live evidence when the
+//     display is grounded in data, fixed when it is boilerplate.
+type PersuasionInterface struct {
+	ID   int
+	Name string
+	// Clarity in [0, 1].
+	Clarity float64
+	// Grounded reports whether the display reflects per-user evidence.
+	// Ungrounded displays (awards, critics) persuade but cannot inform,
+	// which is exactly the persuasiveness/effectiveness trade-off of
+	// Section 3.8.
+	Grounded bool
+	// boilerplate is the fixed support for ungrounded displays.
+	boilerplate float64
+	support     func(PersuasionEvidence) float64
+	render      func(PersuasionEvidence) string
+}
+
+// Support returns the signed support in [-1, 1] the interface conveys.
+func (pi PersuasionInterface) Support(ev PersuasionEvidence) float64 {
+	if !pi.Grounded {
+		return pi.boilerplate
+	}
+	s := pi.support(ev)
+	if s > 1 {
+		s = 1
+	}
+	if s < -1 {
+		s = -1
+	}
+	return s
+}
+
+// Render produces the display text shown to the user.
+func (pi PersuasionInterface) Render(ev PersuasionEvidence) string {
+	if pi.render == nil {
+		return ""
+	}
+	return pi.render(ev)
+}
+
+// scoreSupport maps a rating-scale value onto [-1, 1] around the
+// midpoint.
+func scoreSupport(v float64) float64 {
+	return (v - 3) / 2
+}
+
+// Herlocker21 returns the interface catalogue, ordered by ID. ID 21 is
+// the no-explanation base case.
+func Herlocker21() []PersuasionInterface {
+	// The clustered display communicates the *ratio* of the good to the
+	// bad cluster (neutral ratings visually recede), so its support is
+	// (good-bad)/(good+bad).
+	histSupport := func(ev PersuasionEvidence) float64 {
+		good, bad := ev.goodBadFractions()
+		if good+bad == 0 {
+			return 0
+		}
+		return (good - bad) / (good + bad)
+	}
+	ifaces := []PersuasionInterface{
+		{
+			ID: 1, Name: "histogram-grouped", Clarity: 0.95, Grounded: true,
+			support: histSupport,
+			render: func(ev PersuasionEvidence) string {
+				g, n, b := countGoodBad(ev.Neighbors)
+				hist := stats.NewHistogram(model.MinRating, model.MaxRating, 5)
+				for _, nb := range ev.Neighbors {
+					hist.Add(nb.Rating)
+				}
+				return fmt.Sprintf("Your neighbours' ratings for %q (good: %d, neutral: %d, bad: %d)\n%s",
+					ev.Item.Title, g, n, b, hist.Render(24))
+			},
+		},
+		{
+			ID: 2, Name: "past-performance", Clarity: 0.9, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 {
+				return (ev.PastAccuracy*2 - 1) * scoreSupport(ev.Prediction.Score)
+			},
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("MovieLens has predicted correctly for you %.0f%% of the time in the past.",
+					ev.PastAccuracy*100)
+			},
+		},
+		{
+			ID: 3, Name: "neighbor-count", Clarity: 0.85, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 {
+				good, _ := ev.goodBadFractions()
+				return good
+			},
+			render: func(ev PersuasionEvidence) string {
+				g, _, _ := countGoodBad(ev.Neighbors)
+				return fmt.Sprintf("%d of your %d nearest neighbours rated %q 4 stars or above.",
+					g, len(ev.Neighbors), ev.Item.Title)
+			},
+		},
+		{
+			ID: 4, Name: "histogram-ungrouped", Clarity: 0.7, Grounded: true,
+			support: histSupport,
+			render: func(ev PersuasionEvidence) string {
+				hist := stats.NewHistogram(model.MinRating, model.MaxRating, 9)
+				for _, nb := range ev.Neighbors {
+					hist.Add(nb.Rating)
+				}
+				return hist.Render(24)
+			},
+		},
+		{
+			ID: 5, Name: "neighbor-table", Clarity: 0.5, Grounded: true,
+			support: histSupport,
+			render: func(ev PersuasionEvidence) string {
+				var b strings.Builder
+				fmt.Fprintf(&b, "Neighbour ratings for %q:\n", ev.Item.Title)
+				for _, nb := range ev.Neighbors {
+					fmt.Fprintf(&b, "  user %4d  sim %.2f  rated %.1f\n", nb.User, nb.Similarity, nb.Rating)
+				}
+				return b.String()
+			},
+		},
+		{
+			ID: 6, Name: "similar-items", Clarity: 0.8, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 { return scoreSupport(ev.Prediction.Score) },
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("%q is similar to other items you have rated highly.", ev.Item.Title)
+			},
+		},
+		{
+			ID: 7, Name: "favourite-creator", Clarity: 0.75, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 { return 0.6 * scoreSupport(ev.Prediction.Score) },
+			render: func(ev PersuasionEvidence) string {
+				if ev.Item.Creator == "" {
+					return fmt.Sprintf("%q features contributors you have liked.", ev.Item.Title)
+				}
+				return fmt.Sprintf("%q is by %s, whose work you have liked.", ev.Item.Title, ev.Item.Creator)
+			},
+		},
+		{
+			ID: 8, Name: "confidence-display", Clarity: 0.7, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 {
+				return ev.Prediction.Confidence * scoreSupport(ev.Prediction.Score)
+			},
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("Predicted %.1f stars with %.0f%% confidence.",
+					ev.Prediction.Score, ev.Prediction.Confidence*100)
+			},
+		},
+		{
+			ID: 9, Name: "won-awards", Clarity: 0.8, Grounded: false, boilerplate: 0.35,
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("%q has won several awards.", ev.Item.Title)
+			},
+		},
+		{
+			ID: 10, Name: "average-rating", Clarity: 0.85, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 { return scoreSupport(ev.ItemAvg) },
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("The average rating of %q is %.1f stars.", ev.Item.Title, ev.ItemAvg)
+			},
+		},
+		{
+			ID: 11, Name: "predicted-rating", Clarity: 0.8, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 { return scoreSupport(ev.Prediction.Score) },
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("MovieLens predicts you would rate %q %.1f stars.", ev.Item.Title, ev.Prediction.Score)
+			},
+		},
+		{
+			ID: 12, Name: "closest-neighbor-quote", Clarity: 0.75, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 {
+				if len(ev.Neighbors) == 0 {
+					return 0
+				}
+				return scoreSupport(ev.Neighbors[0].Rating)
+			},
+			render: func(ev PersuasionEvidence) string {
+				if len(ev.Neighbors) == 0 {
+					return ""
+				}
+				return fmt.Sprintf("The user most similar to you rated %q %.1f stars.",
+					ev.Item.Title, ev.Neighbors[0].Rating)
+			},
+		},
+		{
+			ID: 13, Name: "percent-liked", Clarity: 0.85, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 {
+				good, _ := ev.goodBadFractions()
+				return good*2 - 1
+			},
+			render: func(ev PersuasionEvidence) string {
+				good, _ := ev.goodBadFractions()
+				return fmt.Sprintf("%.0f%% of users like you liked %q.", good*100, ev.Item.Title)
+			},
+		},
+		{
+			ID: 14, Name: "critics-score", Clarity: 0.8, Grounded: false, boilerplate: 0.3,
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("Critics praise %q.", ev.Item.Title)
+			},
+		},
+		{
+			ID: 15, Name: "recommend-count", Clarity: 0.7, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 {
+				n := float64(len(ev.Neighbors)) / 20
+				if n > 1 {
+					n = 1
+				}
+				return 0.5 * n
+			},
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("%d users contributed to this recommendation.", len(ev.Neighbors))
+			},
+		},
+		{
+			ID: 16, Name: "demographic-match", Clarity: 0.6, Grounded: false, boilerplate: 0.15,
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("%q is popular among people with your profile.", ev.Item.Title)
+			},
+		},
+		{
+			ID: 17, Name: "popularity", Clarity: 0.8, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 { return ev.Item.Popularity - 0.3 },
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("%q is one of the most viewed items this week.", ev.Item.Title)
+			},
+		},
+		{
+			ID: 18, Name: "genre-match", Clarity: 0.75, Grounded: true,
+			support: func(ev PersuasionEvidence) float64 { return 0.5 * scoreSupport(ev.Prediction.Score) },
+			render: func(ev PersuasionEvidence) string {
+				return fmt.Sprintf("%q matches the genres you watch most.", ev.Item.Title)
+			},
+		},
+		{
+			ID: 19, Name: "correlation-graph", Clarity: 0.15, Grounded: true,
+			support: histSupport,
+			render: func(ev PersuasionEvidence) string {
+				var b strings.Builder
+				b.WriteString("Neighbour correlation scatter (sim vs rating):\n")
+				for _, nb := range ev.Neighbors {
+					fmt.Fprintf(&b, "  (%.3f, %.2f)", nb.Similarity, nb.Rating)
+				}
+				b.WriteByte('\n')
+				return b.String()
+			},
+		},
+		{
+			ID: 20, Name: "raw-data-dump", Clarity: 0.05, Grounded: true,
+			support: histSupport,
+			render: func(ev PersuasionEvidence) string {
+				var b strings.Builder
+				b.WriteString("DEBUG neighbourhood state:\n")
+				for _, nb := range ev.Neighbors {
+					fmt.Fprintf(&b, "u=%d;s=%.6f;r=%.2f|", nb.User, nb.Similarity, nb.Rating)
+				}
+				b.WriteByte('\n')
+				return b.String()
+			},
+		},
+		{
+			ID: 21, Name: "no-explanation", Clarity: 1, Grounded: false, boilerplate: 0,
+			render: func(ev PersuasionEvidence) string { return "" },
+		},
+	}
+	sort.Slice(ifaces, func(a, b int) bool { return ifaces[a].ID < ifaces[b].ID })
+	return ifaces
+}
+
+// BaseInterfaceID is the no-explanation control condition in
+// Herlocker21.
+const BaseInterfaceID = 21

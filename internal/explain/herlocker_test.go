@@ -1,0 +1,235 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+	"repro/internal/recsys/hybrid"
+)
+
+func sampleEvidence(good, bad int) PersuasionEvidence {
+	var nbs []cf.UserNeighbor
+	id := model.UserID(1)
+	for i := 0; i < good; i++ {
+		nbs = append(nbs, cf.UserNeighbor{User: id, Similarity: 0.9, Rating: 4.5})
+		id++
+	}
+	for i := 0; i < bad; i++ {
+		nbs = append(nbs, cf.UserNeighbor{User: id, Similarity: 0.8, Rating: 1.5})
+		id++
+	}
+	return PersuasionEvidence{
+		Item:         &model.Item{ID: 7, Title: "The Crimson Harbor", Creator: "A. Calder", Popularity: 0.8},
+		Neighbors:    nbs,
+		Prediction:   recsys.Prediction{Item: 7, Score: 4.2, Confidence: 0.7},
+		ItemAvg:      4.0,
+		PastAccuracy: 0.8,
+	}
+}
+
+func TestHerlocker21Complete(t *testing.T) {
+	ifaces := Herlocker21()
+	if len(ifaces) != 21 {
+		t.Fatalf("got %d interfaces, want 21", len(ifaces))
+	}
+	seen := map[int]bool{}
+	names := map[string]bool{}
+	for i, pi := range ifaces {
+		if pi.ID != i+1 {
+			t.Fatalf("interfaces not ordered by ID: index %d has ID %d", i, pi.ID)
+		}
+		if seen[pi.ID] || names[pi.Name] {
+			t.Fatalf("duplicate interface %d %q", pi.ID, pi.Name)
+		}
+		seen[pi.ID] = true
+		names[pi.Name] = true
+		if pi.Clarity < 0 || pi.Clarity > 1 {
+			t.Fatalf("%s clarity %v out of range", pi.Name, pi.Clarity)
+		}
+	}
+	if ifaces[BaseInterfaceID-1].Name != "no-explanation" {
+		t.Fatalf("base interface = %q", ifaces[BaseInterfaceID-1].Name)
+	}
+}
+
+func TestSupportBoundsAllInterfaces(t *testing.T) {
+	evs := []PersuasionEvidence{
+		sampleEvidence(10, 0),
+		sampleEvidence(0, 10),
+		sampleEvidence(5, 5),
+		sampleEvidence(0, 0),
+	}
+	for _, pi := range Herlocker21() {
+		for _, ev := range evs {
+			s := pi.Support(ev)
+			if s < -1 || s > 1 {
+				t.Fatalf("%s support %v out of [-1,1]", pi.Name, s)
+			}
+		}
+	}
+}
+
+func TestHistogramInterfaceTracksEvidence(t *testing.T) {
+	ifaces := Herlocker21()
+	hist := ifaces[0]
+	if hist.Name != "histogram-grouped" {
+		t.Fatalf("interface 1 = %q", hist.Name)
+	}
+	sGood := hist.Support(sampleEvidence(10, 0))
+	sBad := hist.Support(sampleEvidence(0, 10))
+	if sGood <= 0 || sBad >= 0 {
+		t.Fatalf("grouped histogram support: good=%v bad=%v", sGood, sBad)
+	}
+	if sGood != 1 || sBad != -1 {
+		t.Fatalf("pure neighbourhoods should saturate support: %v, %v", sGood, sBad)
+	}
+}
+
+func TestUngroundedInterfacesIgnoreEvidence(t *testing.T) {
+	for _, pi := range Herlocker21() {
+		if pi.Grounded {
+			continue
+		}
+		a := pi.Support(sampleEvidence(10, 0))
+		b := pi.Support(sampleEvidence(0, 10))
+		if a != b {
+			t.Fatalf("ungrounded %s changed support with evidence: %v vs %v", pi.Name, a, b)
+		}
+	}
+}
+
+func TestBaseInterfaceZeroSupportEmptyRender(t *testing.T) {
+	base := Herlocker21()[BaseInterfaceID-1]
+	ev := sampleEvidence(8, 2)
+	if base.Support(ev) != 0 {
+		t.Fatalf("base support = %v", base.Support(ev))
+	}
+	if base.Render(ev) != "" {
+		t.Fatalf("base render = %q", base.Render(ev))
+	}
+}
+
+func TestAllRendersProduceText(t *testing.T) {
+	ev := sampleEvidence(8, 2)
+	for _, pi := range Herlocker21() {
+		if pi.ID == BaseInterfaceID {
+			continue
+		}
+		out := pi.Render(ev)
+		if out == "" {
+			t.Fatalf("%s rendered empty display", pi.Name)
+		}
+	}
+	// A few spot checks on wording.
+	byName := map[string]PersuasionInterface{}
+	for _, pi := range Herlocker21() {
+		byName[pi.Name] = pi
+	}
+	if got := byName["past-performance"].Render(ev); !strings.Contains(got, "80%") {
+		t.Fatalf("past-performance = %q", got)
+	}
+	if got := byName["favourite-creator"].Render(ev); !strings.Contains(got, "A. Calder") {
+		t.Fatalf("favourite-creator = %q", got)
+	}
+	if got := byName["average-rating"].Render(ev); !strings.Contains(got, "4.0") {
+		t.Fatalf("average-rating = %q", got)
+	}
+}
+
+func TestClosestNeighborQuoteEmptyNeighborhood(t *testing.T) {
+	var quote PersuasionInterface
+	for _, pi := range Herlocker21() {
+		if pi.Name == "closest-neighbor-quote" {
+			quote = pi
+		}
+	}
+	ev := sampleEvidence(0, 0)
+	if quote.Support(ev) != 0 {
+		t.Fatal("empty neighbourhood should give zero support")
+	}
+	if quote.Render(ev) != "" {
+		t.Fatal("empty neighbourhood should render nothing")
+	}
+}
+
+func TestHybridExplainerDelegatesToDominantSource(t *testing.T) {
+	cat := model.NewCatalog("t")
+	it := &model.Item{ID: 1, Title: "X"}
+	cat.MustAdd(it)
+	strong := hybrid.Source{Name: "strong", Weight: 3, Predictor: constPredictor{score: 4.5, conf: 0.9}}
+	weak := hybrid.Source{Name: "weak", Weight: 1, Predictor: constPredictor{score: 2, conf: 0.2}}
+	h := hybrid.New(cat, strong, weak)
+	e := NewHybridExplainer(h, map[string]Explainer{
+		"strong": stubExplainer{text: "from strong"},
+		"weak":   stubExplainer{text: "from weak"},
+	})
+	exp, err := e.Explain(1, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Text != "from strong" {
+		t.Fatalf("delegated to wrong source: %q", exp.Text)
+	}
+	if len(exp.Evidence.Sources) != 2 {
+		t.Fatal("provenance not attached")
+	}
+}
+
+func TestHybridExplainerFallsBackToGeneric(t *testing.T) {
+	cat := model.NewCatalog("t")
+	it := &model.Item{ID: 1, Title: "X"}
+	cat.MustAdd(it)
+	h := hybrid.New(cat, hybrid.Source{Name: "s", Weight: 1, Predictor: constPredictor{score: 4, conf: 0.5}})
+	e := NewHybridExplainer(h, map[string]Explainer{
+		"s": stubExplainer{err: ErrNoEvidence},
+	})
+	exp, err := e.Explain(1, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "Your interests suggest") {
+		t.Fatalf("generic fallback missing: %q", exp.Text)
+	}
+	if e.Style() != PreferenceBased {
+		t.Fatal("style")
+	}
+}
+
+func TestHybridExplainerUsesConfiguredFallback(t *testing.T) {
+	cat := model.NewCatalog("t")
+	it := &model.Item{ID: 1, Title: "X"}
+	cat.MustAdd(it)
+	h := hybrid.New(cat, hybrid.Source{Name: "s", Weight: 1, Predictor: constPredictor{score: 4, conf: 0.5}})
+	e := NewHybridExplainer(h, nil)
+	e.Fallback = stubExplainer{text: "fallback text"}
+	exp, err := e.Explain(1, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Text != "fallback text" {
+		t.Fatalf("text = %q", exp.Text)
+	}
+}
+
+type constPredictor struct{ score, conf float64 }
+
+func (p constPredictor) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	return recsys.Prediction{Item: i, Score: p.score, Confidence: p.conf}, nil
+}
+
+type stubExplainer struct {
+	text string
+	err  error
+}
+
+func (s stubExplainer) Explain(model.UserID, *model.Item) (*Explanation, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	return &Explanation{Style: ContentBased, Text: s.text, Faithful: true}, nil
+}
+
+func (s stubExplainer) Style() Style { return ContentBased }

@@ -1,0 +1,63 @@
+package explain
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/recsys/hybrid"
+)
+
+// HybridExplainer explains hybrid recommendations by delegating to the
+// explainer of the ensemble's dominant source — so a recommendation
+// that is mostly collaborative evidence gets a collaborative
+// explanation, not a vague generic one.
+type HybridExplainer struct {
+	h *hybrid.Hybrid
+	// bysource maps source names (hybrid.Source.Name) to explainers.
+	bySource map[string]Explainer
+	// Fallback is used when the dominant source has no registered
+	// explainer or its explainer has no evidence. Optional.
+	Fallback Explainer
+}
+
+// NewHybridExplainer builds an explainer for h. bySource maps source
+// names to the explainer for that source's evidence.
+func NewHybridExplainer(h *hybrid.Hybrid, bySource map[string]Explainer) *HybridExplainer {
+	return &HybridExplainer{h: h, bySource: bySource}
+}
+
+// Style reports the preference-based style: the hybrid's own framing
+// is "your interests suggest X", refined per-call by delegation.
+func (e *HybridExplainer) Style() Style { return PreferenceBased }
+
+// Explain implements Explainer.
+func (e *HybridExplainer) Explain(u model.UserID, item *model.Item) (*Explanation, error) {
+	pred, contribs, err := e.h.Provenance(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid provenance for item %d: %w (%v)", item.ID, ErrNoEvidence, err)
+	}
+	dom, err := hybrid.Dominant(contribs)
+	if err != nil {
+		return nil, fmt.Errorf("item %d: %w (%v)", item.ID, ErrNoEvidence, err)
+	}
+	if sub, ok := e.bySource[dom.Name]; ok {
+		if exp, err := sub.Explain(u, item); err == nil {
+			exp.Evidence.Sources = contribs
+			return exp, nil
+		}
+	}
+	if e.Fallback != nil {
+		if exp, err := e.Fallback.Explain(u, item); err == nil {
+			exp.Evidence.Sources = contribs
+			return exp, nil
+		}
+	}
+	// Last resort: the honest generic preference-based sentence.
+	return &Explanation{
+		Style:      PreferenceBased,
+		Text:       fmt.Sprintf("Your interests suggest that you would like %q.", item.Title),
+		Confidence: pred.Confidence,
+		Faithful:   true,
+		Evidence:   Evidence{Sources: contribs},
+	}, nil
+}

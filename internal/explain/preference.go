@@ -1,0 +1,273 @@
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/recsys/content"
+	"repro/internal/recsys/knowledge"
+)
+
+// ProfileExplainer renders preference-based explanations from a
+// keyword profile, reproducing the survey's Section 4 worked examples:
+//
+//	"You have been watching a lot of sport, and football in
+//	particular. This is the most popular and recent item from the
+//	football section."
+//
+// and, for low predictions (Section 4.4),
+//
+//	"This is a sport item, but it is about hockey. You do not seem
+//	to like hockey!"
+type ProfileExplainer struct {
+	rec *content.KeywordRecommender
+}
+
+// NewProfileExplainer builds a profile explainer over a keyword
+// recommender.
+func NewProfileExplainer(rec *content.KeywordRecommender) *ProfileExplainer {
+	return &ProfileExplainer{rec: rec}
+}
+
+// Style implements Explainer.
+func (e *ProfileExplainer) Style() Style { return PreferenceBased }
+
+// Explain implements Explainer, producing the positive justification.
+func (e *ProfileExplainer) Explain(u model.UserID, item *model.Item) (*Explanation, error) {
+	profile, err := e.rec.ProfileFor(u)
+	if err != nil {
+		return nil, fmt.Errorf("profile for user %d: %w (%v)", u, ErrNoEvidence, err)
+	}
+	liked := likedItemKeywords(profile, item)
+	if len(liked) == 0 {
+		return nil, fmt.Errorf("user %d, item %d: no liked features: %w", u, item.ID, ErrNoEvidence)
+	}
+	pred, err := e.rec.Predict(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("predicting item %d: %w", item.ID, err)
+	}
+	var text string
+	if len(liked) >= 2 {
+		// Broad interest plus a sharper one: the paper's exact shape.
+		text = fmt.Sprintf("You have been watching a lot of %s, and %s in particular. %s",
+			liked[0].Keyword, liked[1].Keyword, qualityClause(item, liked[1].Keyword))
+	} else {
+		text = fmt.Sprintf("You have been watching a lot of %s. %s",
+			liked[0].Keyword, qualityClause(item, liked[0].Keyword))
+	}
+	return &Explanation{
+		Style:      PreferenceBased,
+		Text:       text,
+		Confidence: pred.Confidence,
+		Faithful:   true,
+		Evidence:   Evidence{Keywords: toContributions(liked)},
+	}, nil
+}
+
+// ExplainLow justifies a *low* prediction: the Section 4.4 example of
+// a user asking why local hockey results are predicted poorly. It
+// returns ErrNoEvidence when no disliked feature explains the score.
+func (e *ProfileExplainer) ExplainLow(u model.UserID, item *model.Item) (*Explanation, error) {
+	profile, err := e.rec.ProfileFor(u)
+	if err != nil {
+		return nil, fmt.Errorf("profile for user %d: %w (%v)", u, ErrNoEvidence, err)
+	}
+	var worst string
+	worstW := 0.0
+	var context string
+	for _, k := range item.Keywords {
+		w, ok := profile.Weights[k]
+		if !ok {
+			continue
+		}
+		if w < worstW {
+			worst, worstW = k, w
+		}
+		if w > likedWeight && context == "" {
+			context = k
+		}
+	}
+	if worst == "" {
+		return nil, fmt.Errorf("user %d, item %d: no disliked features: %w", u, item.ID, ErrNoEvidence)
+	}
+	pred, err := e.rec.Predict(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("predicting item %d: %w", item.ID, err)
+	}
+	var text string
+	if context != "" {
+		text = fmt.Sprintf("This is a %s item, but it is about %s. You do not seem to like %s!",
+			context, worst, worst)
+	} else {
+		text = fmt.Sprintf("This item is about %s, and you do not seem to like %s.", worst, worst)
+	}
+	return &Explanation{
+		Style:      PreferenceBased,
+		Text:       text,
+		Confidence: pred.Confidence,
+		Faithful:   true,
+		Evidence: Evidence{Keywords: []content.KeywordContribution{
+			{Keyword: worst, Weight: worstW},
+		}},
+	}, nil
+}
+
+// likedWeight is the profile weight above which a keyword counts as a
+// liked interest for explanation text. Profiles are normalised to
+// [-1, 1], and broad topics (sport) dilute across many items, so the
+// bar is deliberately low.
+const likedWeight = 0.1
+
+// likedItemKeywords returns the item's keywords the profile likes
+// (weight > likedWeight), sorted ascending by weight so the broader,
+// weaker interest precedes the sharper one — matching "a lot of
+// sport, and football in particular".
+func likedItemKeywords(p *content.Profile, item *model.Item) []content.KeywordContribution {
+	var out []content.KeywordContribution
+	for _, k := range item.Keywords {
+		if w, ok := p.Weights[k]; ok && w > likedWeight {
+			out = append(out, content.KeywordContribution{Keyword: k, Weight: w})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Weight != out[b].Weight {
+			return out[a].Weight < out[b].Weight
+		}
+		return out[a].Keyword < out[b].Keyword
+	})
+	return out
+}
+
+func toContributions(ks []content.KeywordContribution) []content.KeywordContribution {
+	return append([]content.KeywordContribution(nil), ks...)
+}
+
+// qualityClause renders the trailing sentence citing popularity and
+// recency, e.g. "This is the most popular and recent item from the
+// football section."
+func qualityClause(item *model.Item, keyword string) string {
+	switch {
+	case item.Popularity > 0.5 && item.Recency > 0.5:
+		return fmt.Sprintf("This is the most popular and recent item from the %s section.", keyword)
+	case item.Popularity > 0.5:
+		return fmt.Sprintf("This is one of the most popular %s items.", keyword)
+	case item.Recency > 0.5:
+		return fmt.Sprintf("This is one of the newest %s items.", keyword)
+	default:
+		return fmt.Sprintf("It is a %s item you have not seen yet.", keyword)
+	}
+}
+
+// UtilityExplainer renders preference-based explanations for
+// knowledge-based (MAUT) recommendations: which requirements the item
+// satisfies and where it falls short.
+type UtilityExplainer struct {
+	cat *model.Catalog
+}
+
+// NewUtilityExplainer builds a utility explainer over cat's schema.
+func NewUtilityExplainer(cat *model.Catalog) *UtilityExplainer {
+	return &UtilityExplainer{cat: cat}
+}
+
+// Style reports the produced style.
+func (e *UtilityExplainer) Style() Style { return PreferenceBased }
+
+// ExplainScored justifies one knowledge.ScoredItem. (The Explainer
+// interface does not fit here: knowledge-based recommendation has no
+// persistent user ID, only stated preferences, so the scored item is
+// passed directly.)
+func (e *UtilityExplainer) ExplainScored(s knowledge.ScoredItem) (*Explanation, error) {
+	if len(s.Breakdown) == 0 {
+		return nil, fmt.Errorf("item %d has no utility breakdown: %w", s.Item.ID, ErrNoEvidence)
+	}
+	sorted := append([]knowledge.AttrScore(nil), s.Breakdown...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Score != sorted[b].Score {
+			return sorted[a].Score > sorted[b].Score
+		}
+		return sorted[a].Attr < sorted[b].Attr
+	})
+	var strong, weak []string
+	for _, as := range sorted {
+		switch {
+		case as.Score >= 0.75:
+			strong = append(strong, as.Attr)
+		case as.Score <= 0.4:
+			weak = append(weak, as.Attr)
+		}
+	}
+	var text string
+	switch {
+	case len(strong) > 0 && len(weak) > 0:
+		text = fmt.Sprintf("%q matches your requirements on %s (%.0f%% overall), but is weaker on %s.",
+			s.Item.Title, joinAnd(strong), s.Utility*100, joinAnd(weak))
+	case len(strong) > 0:
+		text = fmt.Sprintf("%q matches your requirements on %s (%.0f%% overall).",
+			s.Item.Title, joinAnd(strong), s.Utility*100)
+	default:
+		text = fmt.Sprintf("%q is the best compromise available (%.0f%% match), though no single requirement is fully met.",
+			s.Item.Title, s.Utility*100)
+	}
+	return &Explanation{
+		Style:      PreferenceBased,
+		Text:       text,
+		Confidence: s.Utility,
+		Faithful:   true,
+		Evidence:   Evidence{Breakdown: s.Breakdown},
+	}, nil
+}
+
+// TradeoffPhrase renders the McCarthy-style compound critique label
+// for an alternative relative to a reference item: "Less Memory and
+// Lower Resolution and Cheaper". Same-direction attributes are
+// skipped; it returns "" when nothing differs.
+func TradeoffPhrase(tradeoffs []knowledge.Tradeoff) string {
+	var parts []string
+	for _, to := range tradeoffs {
+		if to.Direction == knowledge.Same {
+			continue
+		}
+		parts = append(parts, to.Phrase)
+	}
+	return strings.Join(parts, " and ")
+}
+
+// ExplainTradeoffs renders a full trade-off explanation of alt against
+// ref, e.g. "Compared with the Vanta D-101, this camera is Cheaper and
+// Lighter, but has Lower Resolution."
+func ExplainTradeoffs(cat *model.Catalog, ref, alt *model.Item) (*Explanation, error) {
+	tos := knowledge.Compare(cat, ref, alt)
+	var gains, losses []string
+	for _, to := range tos {
+		switch to.Direction {
+		case knowledge.Better:
+			gains = append(gains, to.Phrase)
+		case knowledge.Worse:
+			losses = append(losses, to.Phrase)
+		case knowledge.Different:
+			gains = append(gains, to.Phrase)
+		}
+	}
+	if len(gains)+len(losses) == 0 {
+		return nil, fmt.Errorf("items %d and %d do not differ: %w", ref.ID, alt.ID, ErrNoEvidence)
+	}
+	var text string
+	switch {
+	case len(gains) > 0 && len(losses) > 0:
+		text = fmt.Sprintf("Compared with %q, %q is %s, but %s.",
+			ref.Title, alt.Title, joinAnd(gains), joinAnd(losses))
+	case len(gains) > 0:
+		text = fmt.Sprintf("Compared with %q, %q is %s.", ref.Title, alt.Title, joinAnd(gains))
+	default:
+		text = fmt.Sprintf("Compared with %q, %q is %s.", ref.Title, alt.Title, joinAnd(losses))
+	}
+	return &Explanation{
+		Style:    PreferenceBased,
+		Text:     text,
+		Faithful: true,
+		Evidence: Evidence{Tradeoffs: tos},
+	}, nil
+}

@@ -1,0 +1,205 @@
+package explain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys/content"
+	"repro/internal/recsys/knowledge"
+)
+
+// newsFanFixture builds the paper's football-and-technology running
+// example: a user whose history is heavy on sport/football.
+func newsFanFixture() (*model.Matrix, *model.Catalog, model.UserID) {
+	cat := model.NewCatalog("news")
+	add := func(id model.ItemID, title string, pop, rec float64, kws ...string) {
+		cat.MustAdd(&model.Item{ID: id, Title: title, Keywords: kws, Popularity: pop, Recency: rec})
+	}
+	add(1, "World cup qualifier report", 0.9, 0.9, "sport", "football")
+	add(2, "League results roundup", 0.7, 0.8, "sport", "football")
+	add(3, "Transfer window rumours", 0.6, 0.7, "sport", "football")
+	add(4, "Hockey semifinal", 0.6, 0.7, "sport", "hockey")
+	add(5, "Gadget of the day", 0.5, 0.9, "technology", "gadgets")
+	add(6, "Election coverage", 0.5, 0.5, "politics", "elections")
+	add(7, "World cup final preview", 0.95, 0.95, "sport", "football") // candidate
+	add(8, "Local hockey results", 0.4, 0.6, "sport", "hockey")        // candidate, disliked subtopic
+	add(9, "Space telescope images", 0.5, 0.5, "science", "space")     // unknown topic
+	m := model.NewMatrix()
+	u := model.UserID(1)
+	m.Set(u, 1, 5)
+	m.Set(u, 2, 5)
+	m.Set(u, 3, 5)
+	m.Set(u, 4, 3)
+	m.Set(u, 5, 4.5)
+	m.Set(u, 6, 2.5)
+	return m, cat, u
+}
+
+func TestProfileExplainerPositive(t *testing.T) {
+	m, cat, u := newsFanFixture()
+	e := NewProfileExplainer(content.NewKeywordRecommender(m, cat))
+	if e.Style() != PreferenceBased {
+		t.Fatal("style")
+	}
+	exp, err := e.Explain(u, mustItem(t, cat, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's shape: broad interest first, sharper one second.
+	if !strings.Contains(exp.Text, "a lot of sport, and football in particular") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if !strings.Contains(exp.Text, "most popular and recent item from the football section") {
+		t.Fatalf("quality clause missing: %q", exp.Text)
+	}
+	if !exp.Faithful {
+		t.Fatal("profile explanations are grounded")
+	}
+}
+
+func TestProfileExplainerLow(t *testing.T) {
+	m, cat, u := newsFanFixture()
+	e := NewProfileExplainer(content.NewKeywordRecommender(m, cat))
+	exp, err := e.ExplainLow(u, mustItem(t, cat, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Text != "This is a sport item, but it is about hockey. You do not seem to like hockey!" {
+		t.Fatalf("text = %q", exp.Text)
+	}
+}
+
+func TestProfileExplainerNoEvidence(t *testing.T) {
+	m, cat, u := newsFanFixture()
+	e := NewProfileExplainer(content.NewKeywordRecommender(m, cat))
+	// Item 9's topic (science/space) is unknown to the profile.
+	if _, err := e.Explain(u, mustItem(t, cat, 9)); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("positive err = %v", err)
+	}
+	if _, err := e.ExplainLow(u, mustItem(t, cat, 9)); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("low err = %v", err)
+	}
+	// Unknown user.
+	if _, err := e.Explain(999, mustItem(t, cat, 7)); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("cold err = %v", err)
+	}
+}
+
+func TestQualityClauseVariants(t *testing.T) {
+	cases := []struct {
+		pop, rec float64
+		want     string
+	}{
+		{0.9, 0.9, "most popular and recent"},
+		{0.9, 0.1, "most popular"},
+		{0.1, 0.9, "newest"},
+		{0.1, 0.1, "not seen yet"},
+	}
+	for _, c := range cases {
+		it := &model.Item{Popularity: c.pop, Recency: c.rec}
+		if got := qualityClause(it, "football"); !strings.Contains(got, c.want) {
+			t.Fatalf("qualityClause(pop=%v, rec=%v) = %q", c.pop, c.rec, got)
+		}
+	}
+}
+
+func TestUtilityExplainerStrongAndWeak(t *testing.T) {
+	cat := model.NewCatalog("cameras",
+		model.AttrDef{Name: "price", Kind: model.Numeric, LessIsBetter: true},
+		model.AttrDef{Name: "resolution", Kind: model.Numeric},
+	)
+	it := &model.Item{ID: 1, Title: "Axiom C-100"}
+	e := NewUtilityExplainer(cat)
+	if e.Style() != PreferenceBased {
+		t.Fatal("style")
+	}
+	exp, err := e.ExplainScored(knowledge.ScoredItem{
+		Item:    it,
+		Utility: 0.7,
+		Breakdown: []knowledge.AttrScore{
+			{Attr: "price", Score: 0.95, Weight: 1},
+			{Attr: "resolution", Score: 0.2, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "matches your requirements on price") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if !strings.Contains(exp.Text, "weaker on resolution") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if !strings.Contains(exp.Text, "70%") {
+		t.Fatalf("utility percent missing: %q", exp.Text)
+	}
+}
+
+func TestUtilityExplainerNoBreakdown(t *testing.T) {
+	e := NewUtilityExplainer(model.NewCatalog("x"))
+	_, err := e.ExplainScored(knowledge.ScoredItem{Item: &model.Item{ID: 1}})
+	if !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUtilityExplainerAllWeak(t *testing.T) {
+	e := NewUtilityExplainer(model.NewCatalog("x"))
+	exp, err := e.ExplainScored(knowledge.ScoredItem{
+		Item:    &model.Item{ID: 1, Title: "Meh"},
+		Utility: 0.3,
+		Breakdown: []knowledge.AttrScore{
+			{Attr: "price", Score: 0.3, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "best compromise") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+}
+
+func TestTradeoffPhraseMatchesPaperExample(t *testing.T) {
+	// The survey quotes Qwikshop: "Less Memory and Lower Resolution and
+	// Cheaper". Build two cameras with exactly those differences.
+	cat := model.NewCatalog("cameras",
+		model.AttrDef{Name: "memory", Kind: model.Numeric},
+		model.AttrDef{Name: "resolution", Kind: model.Numeric},
+		model.AttrDef{Name: "price", Kind: model.Numeric, LessIsBetter: true},
+	)
+	ref := &model.Item{ID: 1, Title: "Ref", Numeric: map[string]float64{
+		"memory": 32, "resolution": 24, "price": 800,
+	}}
+	alt := &model.Item{ID: 2, Title: "Alt", Numeric: map[string]float64{
+		"memory": 8, "resolution": 10, "price": 200,
+	}}
+	cat.MustAdd(ref)
+	cat.MustAdd(alt)
+	phrase := TradeoffPhrase(knowledge.Compare(cat, ref, alt))
+	if phrase != "Less Memory and Lower Resolution and Cheaper" {
+		t.Fatalf("phrase = %q", phrase)
+	}
+}
+
+func TestExplainTradeoffs(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 7, Users: 3, Items: 30, RatingsPerUser: 2})
+	items := c.Catalog.Items()
+	exp, err := ExplainTradeoffs(c.Catalog, items[0], items[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "Compared with") {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if len(exp.Evidence.Tradeoffs) == 0 {
+		t.Fatal("tradeoff evidence missing")
+	}
+	// Identical items: no explanation.
+	if _, err := ExplainTradeoffs(c.Catalog, items[0], items[0]); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("identical err = %v", err)
+	}
+}

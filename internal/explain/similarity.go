@@ -1,0 +1,83 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/recsys/content"
+)
+
+// SimilarityExplainer implements the survey's first future-work
+// direction as a working explainer: "a system that can explain to the
+// user in their own terms why items are recommended is likely to
+// increase user trust, as well as system transparency and
+// scrutability." It justifies a similar-item recommendation by naming
+// the shared aspects, weighted by how much this user cares about each.
+type SimilarityExplainer struct {
+	rec *content.KeywordRecommender
+	// Seed is the reference item recommendations are similar to.
+	Seed *model.Item
+	// MaxAspects bounds how many shared aspects are named (default 2).
+	MaxAspects int
+}
+
+// NewSimilarityExplainer builds an explainer for items similar to seed.
+func NewSimilarityExplainer(rec *content.KeywordRecommender, seed *model.Item) *SimilarityExplainer {
+	return &SimilarityExplainer{rec: rec, Seed: seed, MaxAspects: 2}
+}
+
+// Style implements Explainer.
+func (e *SimilarityExplainer) Style() Style { return ContentBased }
+
+// Explain implements Explainer: "Similar to <seed> — both are football
+// items, and you watch a lot of football."
+func (e *SimilarityExplainer) Explain(u model.UserID, item *model.Item) (*Explanation, error) {
+	score, aspects, err := e.rec.PersonalizedSimilarity(u, e.Seed, item)
+	if err != nil {
+		return nil, fmt.Errorf("similarity to %q: %w (%v)", e.Seed.Title, ErrNoEvidence, err)
+	}
+	if len(aspects) == 0 {
+		return nil, fmt.Errorf("items %d and %d share nothing: %w", e.Seed.ID, item.ID, ErrNoEvidence)
+	}
+	shown := aspects
+	if e.MaxAspects > 0 && len(shown) > e.MaxAspects {
+		shown = shown[:e.MaxAspects]
+	}
+	var parts []string
+	var lovedAspect string
+	for _, a := range shown {
+		parts = append(parts, a.Aspect)
+		if a.UserWeight > 0.3 && lovedAspect == "" && !strings.HasPrefix(a.Aspect, "by ") {
+			lovedAspect = a.Aspect
+		}
+	}
+	var text string
+	switch {
+	case strings.HasPrefix(parts[0], "by ") && len(parts) > 1:
+		text = fmt.Sprintf("Similar to %q: both %s, and both are %s items.",
+			e.Seed.Title, parts[0], joinAnd(parts[1:]))
+	case strings.HasPrefix(parts[0], "by "):
+		text = fmt.Sprintf("Similar to %q: both %s.", e.Seed.Title, parts[0])
+	default:
+		text = fmt.Sprintf("Similar to %q: both are %s items.", e.Seed.Title, joinAnd(parts))
+	}
+	if lovedAspect != "" {
+		text += fmt.Sprintf(" You watch a lot of %s.", lovedAspect)
+	}
+	return &Explanation{
+		Style:      ContentBased,
+		Text:       text,
+		Confidence: score,
+		Faithful:   true,
+		Evidence:   Evidence{Keywords: aspectsToContributions(aspects)},
+	}, nil
+}
+
+func aspectsToContributions(aspects []content.SharedAspect) []content.KeywordContribution {
+	out := make([]content.KeywordContribution, 0, len(aspects))
+	for _, a := range aspects {
+		out = append(out, content.KeywordContribution{Keyword: a.Aspect, Weight: a.UserWeight})
+	}
+	return out
+}

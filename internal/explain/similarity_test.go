@@ -1,0 +1,80 @@
+package explain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/recsys/content"
+)
+
+func similarityFixture() (*content.KeywordRecommender, *model.Catalog, model.UserID) {
+	cat := model.NewCatalog("news")
+	add := func(id model.ItemID, title, creator string, kws ...string) {
+		cat.MustAdd(&model.Item{ID: id, Title: title, Creator: creator, Keywords: kws})
+	}
+	add(1, "Derby report", "", "sport", "football")
+	add(2, "Cup final recap", "", "sport", "football")
+	add(3, "Budget vote", "", "politics", "elections")
+	add(4, "World cup preview", "", "sport", "football") // seed
+	add(5, "League table shakeup", "", "sport", "football")
+	add(6, "Space probe", "", "science", "space")
+	add(7, "Novel A", "A. Writer", "culture", "books")
+	add(8, "Novel B", "A. Writer", "culture", "poetry")
+	m := model.NewMatrix()
+	m.Set(1, 1, 5)
+	m.Set(1, 2, 5)
+	m.Set(1, 3, 1.5)
+	return content.NewKeywordRecommender(m, cat), cat, 1
+}
+
+func TestSimilarityExplainerUserTerms(t *testing.T) {
+	rec, cat, u := similarityFixture()
+	seed := mustItem(t, cat, 4)
+	e := NewSimilarityExplainer(rec, seed)
+	if e.Style() != ContentBased {
+		t.Fatal("style")
+	}
+	exp, err := e.Explain(u, mustItem(t, cat, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, `Similar to "World cup preview"`) {
+		t.Fatalf("text = %q", exp.Text)
+	}
+	if !strings.Contains(exp.Text, "football") {
+		t.Fatalf("shared aspect missing: %q", exp.Text)
+	}
+	// The adaptation: the loved aspect is called out in the user's
+	// terms.
+	if !strings.Contains(exp.Text, "You watch a lot of football.") {
+		t.Fatalf("user-terms clause missing: %q", exp.Text)
+	}
+	if !exp.Faithful || len(exp.Evidence.Keywords) == 0 {
+		t.Fatalf("evidence missing: %+v", exp)
+	}
+}
+
+func TestSimilarityExplainerSharedCreator(t *testing.T) {
+	rec, cat, u := similarityFixture()
+	e := NewSimilarityExplainer(rec, mustItem(t, cat, 7))
+	exp, err := e.Explain(u, mustItem(t, cat, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "by A. Writer") {
+		t.Fatalf("creator aspect missing: %q", exp.Text)
+	}
+}
+
+func TestSimilarityExplainerNoOverlap(t *testing.T) {
+	rec, cat, u := similarityFixture()
+	e := NewSimilarityExplainer(rec, mustItem(t, cat, 4))
+	if _, err := e.Explain(u, mustItem(t, cat, 6)); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.Explain(99, mustItem(t, cat, 5)); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("cold err = %v", err)
+	}
+}

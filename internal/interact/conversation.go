@@ -1,0 +1,342 @@
+package interact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+// Dialog is a conversational recommender in the style of the Adaptive
+// Place Advisor (Thompson, Goeker & Langley 2004; survey Sections 5.1
+// and 3.6): the system elicits attribute constraints one question at a
+// time, narrowing the candidate set, and proposes items once the set
+// is small enough. Users "elaborate their requirements over the course
+// of an extended dialog" instead of a single-shot query.
+//
+// A personalised user model (Prefill) answers questions the system
+// already knows the answer to — the mechanism behind the study's
+// finding that personalisation significantly reduces interactions.
+type Dialog struct {
+	rec         *knowledge.Recommender
+	constraints []knowledge.Constraint
+	asked       map[string]bool
+	rejected    map[model.ItemID]bool
+	// ProposeAt is the candidate-set size at which the dialog stops
+	// asking and starts proposing (default 5).
+	ProposeAt int
+
+	questions int
+	proposals int
+}
+
+// NewDialog starts a dialog over the recommender's catalogue.
+func NewDialog(rec *knowledge.Recommender) *Dialog {
+	return &Dialog{
+		rec:       rec,
+		asked:     map[string]bool{},
+		rejected:  map[model.ItemID]bool{},
+		ProposeAt: 5,
+	}
+}
+
+// Prefill applies a personalised user model: every attribute the prior
+// knows is answered silently, without costing a question. Categorical
+// preferences become equality constraints; numeric ideals on
+// less-is-better attributes become upper bounds at 130% of the ideal
+// (a tolerant budget), other numeric attributes are left to scoring.
+func (d *Dialog) Prefill(prior *knowledge.Preferences) {
+	if prior == nil {
+		return
+	}
+	// Constraints are added in sorted attribute order so that the
+	// relax-on-empty behaviour (which drops the newest constraint) is
+	// deterministic.
+	catAttrs := make([]string, 0, len(prior.CategoricalPrefer))
+	for attr := range prior.CategoricalPrefer {
+		catAttrs = append(catAttrs, attr)
+	}
+	sort.Strings(catAttrs)
+	for _, attr := range catAttrs {
+		if d.asked[attr] {
+			continue
+		}
+		d.asked[attr] = true
+		d.constraints = append(d.constraints, knowledge.Constraint{Attr: attr, Op: knowledge.Eq, Str: prior.CategoricalPrefer[attr]})
+	}
+	numAttrs := make([]string, 0, len(prior.NumericIdeal))
+	for attr := range prior.NumericIdeal {
+		numAttrs = append(numAttrs, attr)
+	}
+	sort.Strings(numAttrs)
+	for _, attr := range numAttrs {
+		if d.asked[attr] {
+			continue
+		}
+		def, ok := d.rec.Catalog().AttrDef(attr)
+		if !ok || def.Kind != model.Numeric || !def.LessIsBetter {
+			continue
+		}
+		d.asked[attr] = true
+		d.constraints = append(d.constraints, knowledge.Constraint{Attr: attr, Op: knowledge.Le, Num: prior.NumericIdeal[attr] * 1.3})
+	}
+	d.relaxUntilNonEmpty()
+}
+
+// NextQuestion returns the next attribute to ask about, or ok=false
+// when the dialog should move to proposing (all attributes asked or
+// few enough candidates remain). Each call that returns an attribute
+// costs one interaction.
+func (d *Dialog) NextQuestion() (model.AttrDef, bool) {
+	if len(d.Candidates()) <= d.ProposeAt {
+		return model.AttrDef{}, false
+	}
+	for _, def := range d.rec.Catalog().Attrs {
+		if !d.asked[def.Name] {
+			d.asked[def.Name] = true
+			d.questions++
+			return def, true
+		}
+	}
+	return model.AttrDef{}, false
+}
+
+// AnswerCategorical answers the current question with an equality
+// constraint. If the constraint empties the candidate set it is
+// dropped again — the system shows what does exist instead of a dead
+// end (Section 5.2's flight-search complaint).
+func (d *Dialog) AnswerCategorical(attr, value string) {
+	d.constraints = append(d.constraints, knowledge.Constraint{Attr: attr, Op: knowledge.Eq, Str: value})
+	d.relaxUntilNonEmpty()
+}
+
+// AnswerNumericMax answers with an upper bound.
+func (d *Dialog) AnswerNumericMax(attr string, max float64) {
+	d.constraints = append(d.constraints, knowledge.Constraint{Attr: attr, Op: knowledge.Le, Num: max})
+	d.relaxUntilNonEmpty()
+}
+
+// DontCare records that the user has no requirement on the attribute.
+func (d *Dialog) DontCare(attr string) {
+	// The attribute was already marked asked by NextQuestion; nothing
+	// to constrain.
+}
+
+// relaxUntilNonEmpty drops the newest constraints until candidates
+// exist again.
+func (d *Dialog) relaxUntilNonEmpty() {
+	for len(d.constraints) > 0 && len(d.Candidates()) == 0 {
+		d.constraints = d.constraints[:len(d.constraints)-1]
+	}
+}
+
+// Candidates returns the items satisfying the current constraints,
+// minus rejected proposals.
+func (d *Dialog) Candidates() []*model.Item {
+	var out []*model.Item
+	for _, it := range d.rec.Filter(d.constraints) {
+		if !d.rejected[it.ID] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// ErrDialogExhausted is returned when every candidate has been
+// rejected.
+var ErrDialogExhausted = errors.New("interact: dialog has no candidates left")
+
+// Propose scores the remaining candidates under prefs and returns the
+// best. Each proposal costs one interaction.
+func (d *Dialog) Propose(prefs *knowledge.Preferences) (knowledge.ScoredItem, error) {
+	cands := d.Candidates()
+	if len(cands) == 0 {
+		return knowledge.ScoredItem{}, ErrDialogExhausted
+	}
+	d.proposals++
+	best := knowledge.ScoredItem{Utility: -1}
+	for _, it := range cands {
+		u, breakdown, err := d.rec.Utility(prefs, it)
+		if err != nil {
+			continue
+		}
+		if u > best.Utility || (u == best.Utility && best.Item != nil && it.ID < best.Item.ID) {
+			best = knowledge.ScoredItem{Item: it, Utility: u, Breakdown: breakdown}
+		}
+	}
+	if best.Item == nil {
+		// Preferences score nothing (e.g. empty model): fall back to
+		// the first candidate so the dialog can still conclude.
+		best = knowledge.ScoredItem{Item: cands[0]}
+	}
+	return best, nil
+}
+
+// Reject records that the user declined a proposal.
+func (d *Dialog) Reject(item model.ItemID) {
+	d.rejected[item] = true
+}
+
+// Interactions returns the conversation cost so far: questions asked
+// plus proposals made — the efficiency measure of Section 3.6.
+func (d *Dialog) Interactions() int { return d.questions + d.proposals }
+
+// Questions returns only the elicitation questions asked.
+func (d *Dialog) Questions() int { return d.questions }
+
+// CritiqueSession is a critique-driven shopping loop (Section 5.2,
+// McCarthy et al. / Reilly et al.): the system shows one item, the
+// user critiques it ("cheaper", or a compound critique), the candidate
+// set narrows, and a new reference item is shown.
+type CritiqueSession struct {
+	rec        *knowledge.Recommender
+	prefs      *knowledge.Preferences
+	candidates []*model.Item
+	current    *model.Item
+	steps      int
+	// SelectNearest switches the display policy after a critique: when
+	// false (default) the next item is the best match under the
+	// session preferences; when true it is the item most similar to
+	// the previous one that satisfies the critique — the FindMe-style
+	// "like this, but cheaper" behaviour, under which unit critiques
+	// move in small steps and compound critiques leap.
+	SelectNearest bool
+}
+
+// ErrNoMatches is returned when a critique matches nothing; the
+// session state is unchanged so the user can try another critique —
+// the "show what types of items do exist" behaviour the survey
+// contrasts with dead-end error messages.
+var ErrNoMatches = errors.New("interact: no items match that critique")
+
+// NewCritiqueSession starts a session over the recommender's items
+// filtered by constraints, showing the best item under prefs first.
+func NewCritiqueSession(rec *knowledge.Recommender, prefs *knowledge.Preferences, constraints []knowledge.Constraint) (*CritiqueSession, error) {
+	cands := rec.Filter(constraints)
+	if len(cands) == 0 {
+		return nil, ErrDialogExhausted
+	}
+	s := &CritiqueSession{rec: rec, prefs: prefs, candidates: cands}
+	s.current = s.bestOf(cands)
+	return s, nil
+}
+
+func (s *CritiqueSession) bestOf(cands []*model.Item) *model.Item {
+	best := cands[0]
+	bestU := -1.0
+	for _, it := range cands {
+		u, _, err := s.rec.Utility(s.prefs, it)
+		if err != nil {
+			continue
+		}
+		if u > bestU || (u == bestU && it.ID < best.ID) {
+			best, bestU = it, u
+		}
+	}
+	return best
+}
+
+// Current returns the item on display.
+func (s *CritiqueSession) Current() *model.Item { return s.current }
+
+// Candidates returns the remaining candidate set (including current).
+func (s *CritiqueSession) Candidates() []*model.Item { return s.candidates }
+
+// Steps returns how many critiques have been applied — the session
+// length measure of experiment E8.
+func (s *CritiqueSession) Steps() int { return s.steps }
+
+// ApplyUnit applies a single-attribute critique.
+func (s *CritiqueSession) ApplyUnit(c Critique) error {
+	return s.apply(func() []*model.Item {
+		return ApplyCritique(s.rec.Catalog(), s.current, s.candidates, c)
+	})
+}
+
+// ApplyCompound applies a compound critique.
+func (s *CritiqueSession) ApplyCompound(cc CompoundCritique) error {
+	return s.apply(func() []*model.Item {
+		return ApplyCompound(s.rec.Catalog(), s.current, s.candidates, cc)
+	})
+}
+
+func (s *CritiqueSession) apply(filter func() []*model.Item) error {
+	next := filter()
+	if len(next) == 0 {
+		return fmt.Errorf("%w (still showing %q)", ErrNoMatches, s.current.Title)
+	}
+	prev := s.current
+	s.candidates = next
+	if s.SelectNearest {
+		s.current = s.nearestTo(prev, next)
+	} else {
+		s.current = s.bestOf(next)
+	}
+	s.steps++
+	return nil
+}
+
+// nearestTo returns the candidate closest to ref in normalised
+// attribute space (Euclidean over numeric attributes, unit penalty per
+// categorical mismatch), ties broken by item ID.
+func (s *CritiqueSession) nearestTo(ref *model.Item, cands []*model.Item) *model.Item {
+	cat := s.rec.Catalog()
+	best := cands[0]
+	bestD := s.distance(cat, ref, cands[0])
+	for _, it := range cands[1:] {
+		d := s.distance(cat, ref, it)
+		if d < bestD || (d == bestD && it.ID < best.ID) {
+			best, bestD = it, d
+		}
+	}
+	return best
+}
+
+func (s *CritiqueSession) distance(cat *model.Catalog, a, b *model.Item) float64 {
+	var sum float64
+	for _, def := range cat.Attrs {
+		switch def.Kind {
+		case model.Numeric:
+			va, okA := a.Numeric[def.Name]
+			vb, okB := b.Numeric[def.Name]
+			if !okA || !okB {
+				continue
+			}
+			lo, hi, ok := cat.NumericRange(def.Name)
+			span := hi - lo
+			if !ok || span <= 0 {
+				span = 1
+			}
+			d := (va - vb) / span
+			sum += d * d
+		case model.Categorical:
+			if a.Categorical[def.Name] != b.Categorical[def.Name] {
+				sum += 1
+			}
+		}
+	}
+	return sum
+}
+
+// Compounds mines the compound critiques currently available, with
+// their live support. It surfaces at most n (0 = all).
+func (s *CritiqueSession) Compounds(minSupport float64, maxParts, n int) []CompoundCritique {
+	ccs, err := MineCompoundCritiques(s.rec.Catalog(), s.current, s.candidates, minSupport, maxParts)
+	if err != nil {
+		return nil
+	}
+	// Only multi-part patterns count as compound critiques in the UI;
+	// single-part ones are the unit critique menu.
+	var out []CompoundCritique
+	for _, cc := range ccs {
+		if len(cc.Parts) >= 2 {
+			out = append(out, cc)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package interact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+func restaurantSetup(t testing.TB) (*dataset.Community, *knowledge.Recommender) {
+	t.Helper()
+	c := dataset.Restaurants(dataset.Config{Seed: 61, Users: 5, Items: 120, RatingsPerUser: 3})
+	return c, knowledge.New(c.Catalog)
+}
+
+func TestDialogNarrowsWithAnswers(t *testing.T) {
+	_, rec := restaurantSetup(t)
+	d := NewDialog(rec)
+	before := len(d.Candidates())
+	def, ok := d.NextQuestion()
+	if !ok {
+		t.Fatal("dialog should ask with a full candidate set")
+	}
+	if def.Name != dataset.RestPrice {
+		t.Fatalf("first question = %q, want schema order", def.Name)
+	}
+	d.AnswerNumericMax(dataset.RestPrice, 40)
+	after := len(d.Candidates())
+	if after >= before || after == 0 {
+		t.Fatalf("answer did not narrow sensibly: %d -> %d", before, after)
+	}
+	for _, it := range d.Candidates() {
+		if it.Numeric[dataset.RestPrice] > 40 {
+			t.Fatalf("constraint violated: %v", it.Numeric[dataset.RestPrice])
+		}
+	}
+	if d.Questions() != 1 || d.Interactions() != 1 {
+		t.Fatalf("counters = %d questions, %d interactions", d.Questions(), d.Interactions())
+	}
+}
+
+func TestDialogImpossibleConstraintRelaxed(t *testing.T) {
+	_, rec := restaurantSetup(t)
+	d := NewDialog(rec)
+	d.NextQuestion()
+	before := len(d.Candidates())
+	d.AnswerNumericMax(dataset.RestPrice, 0.01) // impossible
+	if len(d.Candidates()) != before {
+		t.Fatal("impossible constraint should be dropped, not dead-end")
+	}
+}
+
+func TestDialogStopsAskingWhenFewCandidates(t *testing.T) {
+	_, rec := restaurantSetup(t)
+	d := NewDialog(rec)
+	d.ProposeAt = 1000 // higher than catalogue size
+	if _, ok := d.NextQuestion(); ok {
+		t.Fatal("no question should be asked when candidates <= ProposeAt")
+	}
+}
+
+func TestDialogProposeAndReject(t *testing.T) {
+	c, rec := restaurantSetup(t)
+	d := NewDialog(rec)
+	prefs := &knowledge.Preferences{
+		CategoricalPrefer: map[string]string{dataset.RestCuisine: "thai"},
+		NumericIdeal:      map[string]float64{dataset.RestPrice: 20},
+	}
+	first, err := d.Propose(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Item == nil {
+		t.Fatal("no proposal")
+	}
+	d.Reject(first.Item.ID)
+	second, err := d.Propose(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Item.ID == first.Item.ID {
+		t.Fatal("rejected item proposed again")
+	}
+	if second.Utility > first.Utility {
+		t.Fatalf("second proposal better than first: %v > %v", second.Utility, first.Utility)
+	}
+	if d.Interactions() != 2 {
+		t.Fatalf("interactions = %d", d.Interactions())
+	}
+	_ = c
+}
+
+func TestDialogExhaustion(t *testing.T) {
+	cat := model.NewCatalog("tiny", model.AttrDef{Name: "x", Kind: model.Numeric})
+	cat.MustAdd(&model.Item{ID: 1, Numeric: map[string]float64{"x": 1}})
+	rec := knowledge.New(cat)
+	d := NewDialog(rec)
+	prefs := &knowledge.Preferences{NumericIdeal: map[string]float64{"x": 1}}
+	got, err := d.Propose(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reject(got.Item.ID)
+	if _, err := d.Propose(prefs); !errors.Is(err, ErrDialogExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPrefillReducesQuestions(t *testing.T) {
+	// The E3 mechanism: a personalised prior answers questions without
+	// asking them, so the dialog reaches proposal size with fewer
+	// interactions.
+	_, rec := restaurantSetup(t)
+
+	runDialog := func(prior *knowledge.Preferences) int {
+		d := NewDialog(rec)
+		d.ProposeAt = 8
+		d.Prefill(prior)
+		answers := map[string]func(){
+			dataset.RestPrice:    func() { d.AnswerNumericMax(dataset.RestPrice, 45) },
+			dataset.RestDistance: func() { d.AnswerNumericMax(dataset.RestDistance, 8) },
+			dataset.RestCuisine:  func() { d.AnswerCategorical(dataset.RestCuisine, "italian") },
+			dataset.RestParking:  func() { d.AnswerCategorical(dataset.RestParking, "lot") },
+		}
+		for {
+			def, ok := d.NextQuestion()
+			if !ok {
+				break
+			}
+			if f, ok := answers[def.Name]; ok {
+				f()
+			} else {
+				d.DontCare(def.Name)
+			}
+		}
+		return d.Interactions()
+	}
+
+	cold := runDialog(nil)
+	warm := runDialog(&knowledge.Preferences{
+		CategoricalPrefer: map[string]string{dataset.RestCuisine: "italian"},
+		NumericIdeal:      map[string]float64{dataset.RestPrice: 35},
+	})
+	if warm >= cold {
+		t.Fatalf("personalised dialog should need fewer interactions: warm=%d cold=%d", warm, cold)
+	}
+}
+
+func TestPrefillNilPrior(t *testing.T) {
+	_, rec := restaurantSetup(t)
+	d := NewDialog(rec)
+	d.Prefill(nil) // no-op, no panic
+	if d.Interactions() != 0 {
+		t.Fatal("prefill should not count interactions")
+	}
+}

@@ -1,0 +1,294 @@
+// Package interact implements the survey's Section 5: the ways a user
+// gives feedback to a recommender. It provides requirement
+// specification dialogs (5.1), critiquing including dynamically mined
+// compound critiques (5.2), scrutable rating editing (5.3), opinion
+// feedback — more-like-this, no-more-like-this, surprise-me (5.4) —
+// and the SASY-style scrutable user profile (Figure 1).
+package interact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+// Critique is one user request to alter the current recommendation
+// along an attribute (Section 5.2): "show me something cheaper" /
+// "a different brand".
+type Critique struct {
+	Attr string
+	// Dir is the requested direction for numeric attributes: Better
+	// means "improve this attribute" in the schema's sense (cheaper
+	// for less-is-better, more for the rest). For categorical
+	// attributes Dir is Different ("another brand") or Same.
+	Dir knowledge.Direction
+}
+
+// String renders the critique for transcripts.
+func (c Critique) String() string { return c.Attr + ":" + c.Dir.String() }
+
+// UnitCritiques enumerates the atomic critiques the interface offers
+// for a catalogue: better/worse on every numeric attribute and
+// different on every categorical one.
+func UnitCritiques(cat *model.Catalog) []Critique {
+	var out []Critique
+	for _, def := range cat.Attrs {
+		switch def.Kind {
+		case model.Numeric:
+			out = append(out,
+				Critique{Attr: def.Name, Dir: knowledge.Better},
+				Critique{Attr: def.Name, Dir: knowledge.Worse})
+		case model.Categorical:
+			out = append(out, Critique{Attr: def.Name, Dir: knowledge.Different})
+		}
+	}
+	return out
+}
+
+// Matches reports whether candidate satisfies the critique relative to
+// the reference item.
+func (c Critique) Matches(cat *model.Catalog, ref, cand *model.Item) bool {
+	for _, to := range knowledge.Compare(cat, ref, cand) {
+		if to.Attr != c.Attr {
+			continue
+		}
+		return to.Direction == c.Dir
+	}
+	return false
+}
+
+// ApplyCritique filters candidates to those satisfying the critique
+// relative to ref. The reference itself never survives.
+func ApplyCritique(cat *model.Catalog, ref *model.Item, cands []*model.Item, c Critique) []*model.Item {
+	var out []*model.Item
+	for _, cand := range cands {
+		if cand.ID == ref.ID {
+			continue
+		}
+		if c.Matches(cat, ref, cand) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// CompoundCritique is a dynamically mined pattern of unit critiques
+// that co-occur among the remaining candidates (Reilly et al. 2004,
+// "Dynamic critiquing"; the survey's Qwikshop example "Less Memory and
+// Lower Resolution and Cheaper").
+type CompoundCritique struct {
+	Parts []Critique
+	// Support is the fraction of candidates matching all parts.
+	Support float64
+	// Label is the user-facing description built from trade-off
+	// phrases.
+	Label string
+}
+
+// ApplyCompound filters candidates to those satisfying every part.
+func ApplyCompound(cat *model.Catalog, ref *model.Item, cands []*model.Item, cc CompoundCritique) []*model.Item {
+	out := cands
+	for _, part := range cc.Parts {
+		out = ApplyCritique(cat, ref, out, part)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// ErrNoCandidates is returned when critique mining has nothing to
+// mine over.
+var ErrNoCandidates = errors.New("interact: no candidates to mine critiques from")
+
+// MineCompoundCritiques finds the frequent critique patterns among
+// candidates relative to ref using an Apriori-style levelwise search:
+// patterns of up to maxParts unit critiques whose joint support is at
+// least minSupport. Patterns are returned by descending support, then
+// lexicographic label; subsumed patterns (same support as a superset)
+// are kept — the interface ranks, the user chooses.
+func MineCompoundCritiques(cat *model.Catalog, ref *model.Item, cands []*model.Item, minSupport float64, maxParts int) ([]CompoundCritique, error) {
+	others := make([]*model.Item, 0, len(cands))
+	for _, c := range cands {
+		if c.ID != ref.ID {
+			others = append(others, c)
+		}
+	}
+	if len(others) == 0 {
+		return nil, ErrNoCandidates
+	}
+	if maxParts < 1 {
+		maxParts = 1
+	}
+	// Transaction encoding: per candidate, the set of non-Same critique
+	// directions it exhibits vs ref, with the display phrase.
+	type token struct {
+		crit   Critique
+		phrase string
+	}
+	transactions := make([][]string, len(others))
+	tokens := map[string]token{}
+	for i, cand := range others {
+		for _, to := range knowledge.Compare(cat, ref, cand) {
+			if to.Direction == knowledge.Same {
+				continue
+			}
+			key := to.Attr + ":" + to.Direction.String()
+			tokens[key] = token{crit: Critique{Attr: to.Attr, Dir: to.Direction}, phrase: to.Phrase}
+			transactions[i] = append(transactions[i], key)
+		}
+		sort.Strings(transactions[i])
+	}
+	support := func(pattern []string) float64 {
+		n := 0
+	next:
+		for _, tx := range transactions {
+			for _, want := range pattern {
+				if !containsSorted(tx, want) {
+					continue next
+				}
+			}
+			n++
+		}
+		return float64(n) / float64(len(others))
+	}
+	// Level 1: frequent single critiques.
+	var level [][]string
+	for key := range tokens {
+		if support([]string{key}) >= minSupport {
+			level = append(level, []string{key})
+		}
+	}
+	sortPatterns(level)
+	var frequent [][]string
+	frequent = append(frequent, level...)
+	for size := 2; size <= maxParts && len(level) > 0; size++ {
+		var next [][]string
+		seen := map[string]bool{}
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				cand := joinPatterns(level[i], level[j], size)
+				if cand == nil {
+					continue
+				}
+				key := strings.Join(cand, "|")
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if !patternConsistent(cand) {
+					continue
+				}
+				if support(cand) >= minSupport {
+					next = append(next, cand)
+				}
+			}
+		}
+		sortPatterns(next)
+		frequent = append(frequent, next...)
+		level = next
+	}
+	out := make([]CompoundCritique, 0, len(frequent))
+	for _, pattern := range frequent {
+		cc := CompoundCritique{Support: support(pattern)}
+		var phrases []string
+		for _, key := range pattern {
+			tk := tokens[key]
+			cc.Parts = append(cc.Parts, tk.crit)
+			phrases = append(phrases, tk.phrase)
+		}
+		cc.Label = strings.Join(phrases, " and ")
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Support != out[b].Support {
+			return out[a].Support > out[b].Support
+		}
+		if len(out[a].Parts) != len(out[b].Parts) {
+			return len(out[a].Parts) > len(out[b].Parts)
+		}
+		return out[a].Label < out[b].Label
+	})
+	return out, nil
+}
+
+// patternConsistent rejects self-contradictory patterns such as
+// "price better and price worse".
+func patternConsistent(pattern []string) bool {
+	attrs := map[string]bool{}
+	for _, key := range pattern {
+		attr := strings.SplitN(key, ":", 2)[0]
+		if attrs[attr] {
+			return false
+		}
+		attrs[attr] = true
+	}
+	return true
+}
+
+// joinPatterns merges two sorted size-(k-1) patterns sharing a
+// (k-2)-prefix into a size-k candidate, the classic Apriori join.
+func joinPatterns(a, b []string, size int) []string {
+	if len(a) != size-1 || len(b) != size-1 {
+		return nil
+	}
+	for i := 0; i < size-2; i++ {
+		if a[i] != b[i] {
+			return nil
+		}
+	}
+	last := size - 2
+	if a[last] == b[last] {
+		return nil
+	}
+	merged := append(append([]string(nil), a...), b[last])
+	sort.Strings(merged)
+	return merged
+}
+
+func sortPatterns(ps [][]string) {
+	sort.Slice(ps, func(a, b int) bool {
+		return strings.Join(ps[a], "|") < strings.Join(ps[b], "|")
+	})
+}
+
+func containsSorted(sorted []string, want string) bool {
+	i := sort.SearchStrings(sorted, want)
+	return i < len(sorted) && sorted[i] == want
+}
+
+// DescribeCritique renders a critique against the catalogue schema for
+// menus, e.g. "cheaper" or "different brand". It reuses the knowledge
+// package's phrase vocabulary via a two-item synthetic comparison so
+// the menu and the trade-off explanations speak the same language.
+func DescribeCritique(cat *model.Catalog, c Critique) string {
+	def, ok := cat.AttrDef(c.Attr)
+	if !ok {
+		return fmt.Sprintf("%s (%s)", c.Attr, c.Dir)
+	}
+	if def.Kind == model.Categorical {
+		return "different " + def.Name
+	}
+	// Better on a less-is-better attribute means the value decreases;
+	// otherwise the table flips accordingly.
+	increase := (c.Dir == knowledge.Better) != def.LessIsBetter
+	delta := 10.0
+	if !increase {
+		delta = -10
+	}
+	synth := model.NewCatalog("phrase", def)
+	a := &model.Item{ID: 1, Numeric: map[string]float64{def.Name: 100}}
+	b := &model.Item{ID: 2, Numeric: map[string]float64{def.Name: 100 + delta}}
+	synth.MustAdd(a)
+	synth.MustAdd(b)
+	for _, to := range knowledge.Compare(synth, a, b) {
+		if to.Attr == def.Name {
+			return strings.ToLower(to.Phrase)
+		}
+	}
+	return def.Name
+}

@@ -1,0 +1,281 @@
+package interact
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+func cameraCatalog() *model.Catalog {
+	cat := model.NewCatalog("cameras",
+		model.AttrDef{Name: "price", Kind: model.Numeric, LessIsBetter: true, Unit: "$"},
+		model.AttrDef{Name: "resolution", Kind: model.Numeric, Unit: "MP"},
+		model.AttrDef{Name: "memory", Kind: model.Numeric, Unit: "GB"},
+		model.AttrDef{Name: "brand", Kind: model.Categorical},
+	)
+	add := func(id model.ItemID, price, res, mem float64, brand string) *model.Item {
+		it := &model.Item{
+			ID:          id,
+			Title:       brand,
+			Numeric:     map[string]float64{"price": price, "resolution": res, "memory": mem},
+			Categorical: map[string]string{"brand": brand},
+		}
+		cat.MustAdd(it)
+		return it
+	}
+	add(1, 500, 20, 32, "Axiom") // reference
+	add(2, 200, 10, 8, "Axiom")  // cheaper, lower res, less memory
+	add(3, 250, 12, 8, "Lumo")   // cheaper, lower res, less memory, diff brand
+	add(4, 800, 30, 64, "Vanta") // pricier, better specs
+	add(5, 480, 19, 32, "Axiom") // nearly identical to ref
+	return cat
+}
+
+func TestUnitCritiquesEnumeration(t *testing.T) {
+	cat := cameraCatalog()
+	cs := UnitCritiques(cat)
+	// 3 numeric * 2 directions + 1 categorical = 7.
+	if len(cs) != 7 {
+		t.Fatalf("got %d unit critiques: %v", len(cs), cs)
+	}
+}
+
+func TestApplyCritiqueCheaper(t *testing.T) {
+	cat := cameraCatalog()
+	ref, _ := cat.Item(1)
+	cheaper := ApplyCritique(cat, ref, cat.Items(), Critique{Attr: "price", Dir: knowledge.Better})
+	if len(cheaper) != 3 { // items 2, 3 and the slightly-cheaper 5
+		t.Fatalf("cheaper = %v", ids(cheaper))
+	}
+	for _, it := range cheaper {
+		if it.Numeric["price"] >= ref.Numeric["price"] {
+			t.Fatalf("item %d not cheaper", it.ID)
+		}
+	}
+	// Reference never survives.
+	for _, it := range cheaper {
+		if it.ID == ref.ID {
+			t.Fatal("reference survived its own critique")
+		}
+	}
+}
+
+func TestApplyCritiqueDifferentBrand(t *testing.T) {
+	cat := cameraCatalog()
+	ref, _ := cat.Item(1)
+	diff := ApplyCritique(cat, ref, cat.Items(), Critique{Attr: "brand", Dir: knowledge.Different})
+	if len(diff) != 2 { // Lumo and Vanta
+		t.Fatalf("different brand = %v", ids(diff))
+	}
+}
+
+func TestMineCompoundCritiquesFindsPaperPattern(t *testing.T) {
+	cat := cameraCatalog()
+	ref, _ := cat.Item(1)
+	ccs, err := MineCompoundCritiques(cat, ref, cat.Items(), 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ccs) == 0 {
+		t.Fatal("no compound critiques mined")
+	}
+	// Items 2 and 3 (half the candidates) are cheaper AND lower
+	// resolution AND less memory — the Qwikshop pattern must appear.
+	var found *CompoundCritique
+	for i := range ccs {
+		if len(ccs[i].Parts) == 3 && strings.Contains(ccs[i].Label, "Cheaper") &&
+			strings.Contains(ccs[i].Label, "Lower Resolution") &&
+			strings.Contains(ccs[i].Label, "Less Memory") {
+			found = &ccs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("Qwikshop pattern missing from %+v", ccs)
+	}
+	if found.Support != 0.5 {
+		t.Fatalf("pattern support = %v, want 0.5", found.Support)
+	}
+	// Sorted by support descending.
+	for i := 1; i < len(ccs); i++ {
+		if ccs[i-1].Support < ccs[i].Support {
+			t.Fatal("compound critiques not sorted by support")
+		}
+	}
+}
+
+func TestMineCompoundNoContradictions(t *testing.T) {
+	cat := cameraCatalog()
+	ref, _ := cat.Item(1)
+	ccs, err := MineCompoundCritiques(cat, ref, cat.Items(), 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range ccs {
+		seen := map[string]bool{}
+		for _, part := range cc.Parts {
+			if seen[part.Attr] {
+				t.Fatalf("contradictory pattern %+v", cc)
+			}
+			seen[part.Attr] = true
+		}
+	}
+}
+
+func TestMineCompoundSupportsAreHonest(t *testing.T) {
+	cat := cameraCatalog()
+	ref, _ := cat.Item(1)
+	ccs, err := MineCompoundCritiques(cat, ref, cat.Items(), 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := cat.Items()
+	for _, cc := range ccs {
+		matched := ApplyCompound(cat, ref, cands, cc)
+		want := cc.Support * 4 // 4 candidates besides ref
+		if float64(len(matched)) != want {
+			t.Fatalf("pattern %q support %v but matches %d of 4", cc.Label, cc.Support, len(matched))
+		}
+	}
+}
+
+func TestMineCompoundErrors(t *testing.T) {
+	cat := cameraCatalog()
+	ref, _ := cat.Item(1)
+	if _, err := MineCompoundCritiques(cat, ref, []*model.Item{ref}, 0.5, 2); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDescribeCritique(t *testing.T) {
+	cat := cameraCatalog()
+	cases := []struct {
+		c    Critique
+		want string
+	}{
+		{Critique{Attr: "price", Dir: knowledge.Better}, "cheaper"},
+		{Critique{Attr: "price", Dir: knowledge.Worse}, "more expensive"},
+		{Critique{Attr: "resolution", Dir: knowledge.Better}, "higher resolution"},
+		{Critique{Attr: "memory", Dir: knowledge.Worse}, "less memory"},
+		{Critique{Attr: "brand", Dir: knowledge.Different}, "different brand"},
+	}
+	for _, c := range cases {
+		if got := DescribeCritique(cat, c.c); got != c.want {
+			t.Fatalf("DescribeCritique(%v) = %q, want %q", c.c, got, c.want)
+		}
+	}
+	// Unknown attribute falls back to a technical rendering.
+	if got := DescribeCritique(cat, Critique{Attr: "bogus", Dir: knowledge.Better}); !strings.Contains(got, "bogus") {
+		t.Fatalf("unknown attr = %q", got)
+	}
+}
+
+func TestCritiqueString(t *testing.T) {
+	c := Critique{Attr: "price", Dir: knowledge.Better}
+	if c.String() != "price:better" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestCritiqueSessionNarrowsMonotonically(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 51, Users: 3, Items: 80, RatingsPerUser: 2})
+	rec := knowledge.New(c.Catalog)
+	lo, hi, _ := c.Catalog.NumericRange(dataset.CamPrice)
+	prefs := &knowledge.Preferences{
+		NumericIdeal: map[string]float64{dataset.CamPrice: lo + (hi-lo)*0.3, dataset.CamResolution: 20},
+	}
+	s, err := NewCritiqueSession(rec, prefs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(s.Candidates())
+	if err := s.ApplyUnit(Critique{Attr: dataset.CamPrice, Dir: knowledge.Better}); err != nil {
+		t.Fatal(err)
+	}
+	after := len(s.Candidates())
+	if after >= before {
+		t.Fatalf("critique did not narrow: %d -> %d", before, after)
+	}
+	if s.Steps() != 1 {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+	// Every remaining candidate is cheaper than the old reference was…
+	// except we replaced current; just re-check narrowing again works.
+	if err := s.ApplyUnit(Critique{Attr: dataset.CamPrice, Dir: knowledge.Better}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Candidates()) >= after {
+		t.Fatal("second critique did not narrow")
+	}
+}
+
+func TestCritiqueSessionNoMatchesKeepsState(t *testing.T) {
+	cat := cameraCatalog()
+	rec := knowledge.New(cat)
+	prefs := &knowledge.Preferences{NumericIdeal: map[string]float64{"price": 100}}
+	s, err := NewCritiqueSession(rec, prefs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrow down to the cheapest; then asking for cheaper again fails.
+	for {
+		if err := s.ApplyUnit(Critique{Attr: "price", Dir: knowledge.Better}); err != nil {
+			if !errors.Is(err, ErrNoMatches) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			break
+		}
+	}
+	if len(s.Candidates()) == 0 || s.Current() == nil {
+		t.Fatal("failed critique should not destroy session state")
+	}
+	if s.Current().Numeric["price"] != 200 {
+		t.Fatalf("should end on the cheapest item, got %v", s.Current().Numeric["price"])
+	}
+}
+
+func TestCritiqueSessionCompounds(t *testing.T) {
+	cat := cameraCatalog()
+	rec := knowledge.New(cat)
+	prefs := &knowledge.Preferences{NumericIdeal: map[string]float64{"resolution": 20}}
+	s, err := NewCritiqueSession(rec, prefs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccs := s.Compounds(0.3, 3, 5)
+	for _, cc := range ccs {
+		if len(cc.Parts) < 2 {
+			t.Fatalf("unit critique leaked into compounds: %+v", cc)
+		}
+	}
+	if len(ccs) > 5 {
+		t.Fatal("cap not respected")
+	}
+	if len(ccs) > 0 {
+		if err := s.ApplyCompound(ccs[0]); err != nil {
+			t.Fatalf("applying mined compound failed: %v", err)
+		}
+	}
+}
+
+func TestNewCritiqueSessionEmpty(t *testing.T) {
+	cat := cameraCatalog()
+	rec := knowledge.New(cat)
+	_, err := NewCritiqueSession(rec, &knowledge.Preferences{}, []knowledge.Constraint{
+		{Attr: "price", Op: knowledge.Le, Num: 1},
+	})
+	if !errors.Is(err, ErrDialogExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func ids(items []*model.Item) []model.ItemID {
+	out := make([]model.ItemID, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}

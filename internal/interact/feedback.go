@@ -1,0 +1,246 @@
+package interact
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/rng"
+)
+
+// OpinionKind enumerates the explicit opinion feedback of Section 5.4.
+type OpinionKind int
+
+// Opinion kinds.
+const (
+	// MoreLikeThis: the user wants more items of this type right now.
+	MoreLikeThis OpinionKind = iota
+	// MoreLater ("More later!"): liked the type, had enough for now —
+	// keep it in the profile but stop showing similar items this
+	// session.
+	MoreLater
+	// GiveMeMore ("Give me more!"): discovered a new vein, dig in.
+	GiveMeMore
+	// AlreadyKnow ("I already know this!"): correct recommendation,
+	// already consumed; do not increase the likelihood of similar
+	// recommendations, but do not treat it as negative.
+	AlreadyKnow
+	// NoMoreLikeThis ("No more like this!"): dislike or disinterest.
+	NoMoreLikeThis
+	// NotThisAspect: a finer-grained negative — the user likes the item
+	// in general but rejects one aspect (the paper's example: likes the
+	// sport, not the distant location). Requires Aspect.
+	NotThisAspect
+	// SurpriseMe: broaden horizons with random recommendations.
+	SurpriseMe
+)
+
+func (k OpinionKind) String() string {
+	switch k {
+	case MoreLikeThis:
+		return "more-like-this"
+	case MoreLater:
+		return "more-later"
+	case GiveMeMore:
+		return "give-me-more"
+	case AlreadyKnow:
+		return "already-know"
+	case NoMoreLikeThis:
+		return "no-more-like-this"
+	case NotThisAspect:
+		return "not-this-aspect"
+	case SurpriseMe:
+		return "surprise-me"
+	default:
+		return fmt.Sprintf("OpinionKind(%d)", int(k))
+	}
+}
+
+// Opinion is one piece of explicit feedback about an item (or, for
+// SurpriseMe, about the session).
+type Opinion struct {
+	Kind OpinionKind
+	Item model.ItemID
+	// Aspect names the rejected keyword for NotThisAspect.
+	Aspect string
+}
+
+// ErrBadOpinion is returned for structurally invalid feedback.
+var ErrBadOpinion = errors.New("interact: invalid opinion")
+
+// FeedbackModel accumulates opinion feedback and re-ranks candidate
+// predictions accordingly. It layers on top of any recommender: the
+// base scores come in, boosts and blocks are applied, and (when the
+// user asked to be surprised) random exploration is mixed in with its
+// extent visible on a sliding scale — the paper's "mark on a sliding
+// bar to which extent it offers random recommendations".
+type FeedbackModel struct {
+	// boosts adjusts keyword scores: positive for MoreLikeThis /
+	// GiveMeMore, negative for NoMoreLikeThis / NotThisAspect.
+	boosts map[string]float64
+	// sessionMuted keywords (MoreLater) are filtered this session but
+	// keep their positive boost for future sessions.
+	sessionMuted map[string]bool
+	// blockedItems are never shown again.
+	blockedItems map[model.ItemID]bool
+	// knownItems came back as AlreadyKnow: excluded from candidates,
+	// no boost change.
+	knownItems map[model.ItemID]bool
+	// surprise in [0,1] is the exploration rate.
+	surprise float64
+	history  []Opinion
+}
+
+// NewFeedbackModel returns an empty feedback model.
+func NewFeedbackModel() *FeedbackModel {
+	return &FeedbackModel{
+		boosts:       map[string]float64{},
+		sessionMuted: map[string]bool{},
+		blockedItems: map[model.ItemID]bool{},
+		knownItems:   map[model.ItemID]bool{},
+	}
+}
+
+// Surprise returns the current exploration rate — the value the
+// sliding bar displays.
+func (f *FeedbackModel) Surprise() float64 { return f.surprise }
+
+// History returns all applied opinions in order.
+func (f *FeedbackModel) History() []Opinion { return f.history }
+
+// Boost returns the accumulated boost for a keyword.
+func (f *FeedbackModel) Boost(keyword string) float64 { return f.boosts[keyword] }
+
+// Apply folds one opinion into the model. The item resolves keyword
+// effects; it may be nil only for SurpriseMe.
+func (f *FeedbackModel) Apply(op Opinion, item *model.Item) error {
+	switch op.Kind {
+	case SurpriseMe:
+		f.surprise = clamp01(f.surprise + 0.25)
+	case MoreLikeThis:
+		if item == nil {
+			return fmt.Errorf("%w: %s needs an item", ErrBadOpinion, op.Kind)
+		}
+		for _, k := range item.Keywords {
+			f.boosts[k] += 0.3
+		}
+	case GiveMeMore:
+		if item == nil {
+			return fmt.Errorf("%w: %s needs an item", ErrBadOpinion, op.Kind)
+		}
+		for _, k := range item.Keywords {
+			f.boosts[k] += 0.6
+		}
+	case MoreLater:
+		if item == nil {
+			return fmt.Errorf("%w: %s needs an item", ErrBadOpinion, op.Kind)
+		}
+		for _, k := range item.Keywords {
+			f.boosts[k] += 0.3
+			f.sessionMuted[k] = true
+		}
+	case AlreadyKnow:
+		if item == nil {
+			return fmt.Errorf("%w: %s needs an item", ErrBadOpinion, op.Kind)
+		}
+		f.knownItems[item.ID] = true
+	case NoMoreLikeThis:
+		if item == nil {
+			return fmt.Errorf("%w: %s needs an item", ErrBadOpinion, op.Kind)
+		}
+		f.blockedItems[item.ID] = true
+		for _, k := range item.Keywords {
+			f.boosts[k] -= 0.5
+		}
+	case NotThisAspect:
+		if item == nil || op.Aspect == "" {
+			return fmt.Errorf("%w: %s needs an item and an aspect", ErrBadOpinion, op.Kind)
+		}
+		if !item.HasKeyword(op.Aspect) {
+			return fmt.Errorf("%w: item %d has no aspect %q", ErrBadOpinion, item.ID, op.Aspect)
+		}
+		// Penalise only the rejected aspect; gently support the rest.
+		f.boosts[op.Aspect] -= 0.6
+		for _, k := range item.Keywords {
+			if k != op.Aspect {
+				f.boosts[k] += 0.15
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadOpinion, int(op.Kind))
+	}
+	f.history = append(f.history, op)
+	return nil
+}
+
+// Rerank applies the model to base predictions over cat: blocked and
+// known items are removed, keyword boosts shift scores, muted keywords
+// are filtered for this session, and with probability proportional to
+// the surprise rate random unseen items are spliced in near the top.
+// rnd drives the exploration; the input slice is not modified.
+func (f *FeedbackModel) Rerank(cat *model.Catalog, preds []recsys.Prediction, rnd *rng.RNG) []recsys.Prediction {
+	kept := make([]recsys.Prediction, 0, len(preds))
+	present := map[model.ItemID]bool{}
+	for _, p := range preds {
+		it, err := cat.Item(p.Item)
+		if err != nil || f.blockedItems[p.Item] || f.knownItems[p.Item] {
+			continue
+		}
+		muted := false
+		var boost float64
+		for _, k := range it.Keywords {
+			if f.sessionMuted[k] {
+				muted = true
+			}
+			boost += f.boosts[k]
+		}
+		if muted {
+			continue
+		}
+		p.Score = model.ClampRating(p.Score + boost)
+		kept = append(kept, p)
+		present[p.Item] = true
+	}
+	recsys.SortPredictions(kept)
+	if f.surprise > 0 && rnd != nil {
+		// Splice surprise picks: items outside the candidate list,
+		// inserted with midpoint scores so they surface without
+		// pretending to be sure bets.
+		nSurprise := int(f.surprise * 3)
+		items := cat.Items()
+		for i := 0; i < nSurprise && len(items) > 0; i++ {
+			it := items[rnd.Intn(len(items))]
+			if present[it.ID] || f.blockedItems[it.ID] || f.knownItems[it.ID] {
+				continue
+			}
+			present[it.ID] = true
+			pick := recsys.Prediction{Item: it.ID, Score: 3, Confidence: 0}
+			pos := 0
+			if len(kept) > 0 {
+				pos = rnd.Intn(minInt(3, len(kept)) + 1)
+			}
+			kept = append(kept, recsys.Prediction{})
+			copy(kept[pos+1:], kept[pos:])
+			kept[pos] = pick
+		}
+	}
+	return kept
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

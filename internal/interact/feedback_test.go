@@ -1,0 +1,217 @@
+package interact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/rng"
+)
+
+func feedbackCatalog() *model.Catalog {
+	cat := model.NewCatalog("news")
+	cat.MustAdd(&model.Item{ID: 1, Title: "Football final", Keywords: []string{"sport", "football"}})
+	cat.MustAdd(&model.Item{ID: 2, Title: "Hockey derby", Keywords: []string{"sport", "hockey"}})
+	cat.MustAdd(&model.Item{ID: 3, Title: "Gadget news", Keywords: []string{"technology", "gadgets"}})
+	cat.MustAdd(&model.Item{ID: 4, Title: "Away game report", Keywords: []string{"sport", "football", "distant"}})
+	return cat
+}
+
+func basePreds() []recsys.Prediction {
+	return []recsys.Prediction{
+		{Item: 1, Score: 3.9, Confidence: 0.8},
+		{Item: 2, Score: 3.8, Confidence: 0.7},
+		{Item: 3, Score: 3.5, Confidence: 0.6},
+		{Item: 4, Score: 3.4, Confidence: 0.6},
+	}
+}
+
+func TestMoreLikeThisBoosts(t *testing.T) {
+	cat := feedbackCatalog()
+	f := NewFeedbackModel()
+	it, _ := cat.Item(3)
+	if err := f.Apply(Opinion{Kind: MoreLikeThis, Item: 3}, it); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Rerank(cat, basePreds(), nil)
+	if out[0].Item != 3 {
+		t.Fatalf("boosted item should lead, got %d", out[0].Item)
+	}
+	if f.Boost("technology") <= 0 {
+		t.Fatal("boost not recorded")
+	}
+}
+
+func TestNoMoreLikeThisBlocksAndPenalises(t *testing.T) {
+	cat := feedbackCatalog()
+	f := NewFeedbackModel()
+	it, _ := cat.Item(2)
+	if err := f.Apply(Opinion{Kind: NoMoreLikeThis, Item: 2}, it); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Rerank(cat, basePreds(), nil)
+	for _, p := range out {
+		if p.Item == 2 {
+			t.Fatal("blocked item still present")
+		}
+	}
+	// The shared "sport" keyword was penalised, so football items sink
+	// below technology.
+	if out[0].Item != 3 {
+		t.Fatalf("expected technology first after sport penalty, got %d", out[0].Item)
+	}
+}
+
+func TestAlreadyKnowExcludesWithoutPenalty(t *testing.T) {
+	cat := feedbackCatalog()
+	f := NewFeedbackModel()
+	it, _ := cat.Item(1)
+	if err := f.Apply(Opinion{Kind: AlreadyKnow, Item: 1}, it); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Rerank(cat, basePreds(), nil)
+	for _, p := range out {
+		if p.Item == 1 {
+			t.Fatal("known item still present")
+		}
+	}
+	if f.Boost("football") != 0 {
+		t.Fatal("AlreadyKnow must not change keyword boosts")
+	}
+	// Other football items keep their ranking (no penalty).
+	if out[0].Item != 2 {
+		t.Fatalf("ranking disturbed: %v", out)
+	}
+}
+
+func TestMoreLaterMutesSessionKeepsBoost(t *testing.T) {
+	cat := feedbackCatalog()
+	f := NewFeedbackModel()
+	it, _ := cat.Item(1)
+	if err := f.Apply(Opinion{Kind: MoreLater, Item: 1}, it); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Rerank(cat, basePreds(), nil)
+	// Everything sharing the muted keywords disappears this session.
+	for _, p := range out {
+		if p.Item == 1 || p.Item == 2 || p.Item == 4 {
+			t.Fatalf("muted sport item %d still shown", p.Item)
+		}
+	}
+	if f.Boost("football") <= 0 {
+		t.Fatal("MoreLater must keep a positive boost for later sessions")
+	}
+}
+
+func TestNotThisAspect(t *testing.T) {
+	cat := feedbackCatalog()
+	f := NewFeedbackModel()
+	it, _ := cat.Item(4)
+	// The paper's example: likes the sport, not the distant location.
+	if err := f.Apply(Opinion{Kind: NotThisAspect, Item: 4, Aspect: "distant"}, it); err != nil {
+		t.Fatal(err)
+	}
+	if f.Boost("distant") >= 0 {
+		t.Fatal("rejected aspect should be penalised")
+	}
+	if f.Boost("football") <= 0 {
+		t.Fatal("other aspects should be gently supported")
+	}
+	// Aspect must exist on the item.
+	if err := f.Apply(Opinion{Kind: NotThisAspect, Item: 4, Aspect: "space"}, it); !errors.Is(err, ErrBadOpinion) {
+		t.Fatalf("bogus aspect err = %v", err)
+	}
+}
+
+func TestSurpriseMeMixesExploration(t *testing.T) {
+	cat := feedbackCatalog()
+	f := NewFeedbackModel()
+	if err := f.Apply(Opinion{Kind: SurpriseMe}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Surprise() != 0.25 {
+		t.Fatalf("surprise = %v", f.Surprise())
+	}
+	// Crank it up; the slider saturates at 1.
+	for i := 0; i < 10; i++ {
+		_ = f.Apply(Opinion{Kind: SurpriseMe}, nil)
+	}
+	if f.Surprise() != 1 {
+		t.Fatalf("surprise = %v, want saturated 1", f.Surprise())
+	}
+	// With full surprise and a list missing item 4, exploration can
+	// surface it.
+	preds := basePreds()[:3]
+	found := false
+	r := rng.New(7)
+	for trial := 0; trial < 50 && !found; trial++ {
+		out := f.Rerank(cat, preds, r)
+		for _, p := range out {
+			if p.Item == 4 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("surprise never surfaced an unseen item in 50 trials")
+	}
+}
+
+func TestRerankNoDuplicatesUnderSurprise(t *testing.T) {
+	cat := feedbackCatalog()
+	f := NewFeedbackModel()
+	for i := 0; i < 4; i++ {
+		_ = f.Apply(Opinion{Kind: SurpriseMe}, nil)
+	}
+	r := rng.New(9)
+	for trial := 0; trial < 30; trial++ {
+		out := f.Rerank(cat, basePreds(), r)
+		seen := map[model.ItemID]bool{}
+		for _, p := range out {
+			if seen[p.Item] {
+				t.Fatalf("duplicate item %d in %v", p.Item, out)
+			}
+			seen[p.Item] = true
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	f := NewFeedbackModel()
+	for _, kind := range []OpinionKind{MoreLikeThis, MoreLater, GiveMeMore, AlreadyKnow, NoMoreLikeThis} {
+		if err := f.Apply(Opinion{Kind: kind, Item: 1}, nil); !errors.Is(err, ErrBadOpinion) {
+			t.Fatalf("%v with nil item: err = %v", kind, err)
+		}
+	}
+	if err := f.Apply(Opinion{Kind: OpinionKind(99)}, nil); !errors.Is(err, ErrBadOpinion) {
+		t.Fatalf("unknown kind err = %v", err)
+	}
+	if len(f.History()) != 0 {
+		t.Fatal("failed opinions must not enter history")
+	}
+}
+
+func TestOpinionKindStrings(t *testing.T) {
+	kinds := []OpinionKind{MoreLikeThis, MoreLater, GiveMeMore, AlreadyKnow, NoMoreLikeThis, NotThisAspect, SurpriseMe}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestGiveMeMoreStrongerThanMoreLikeThis(t *testing.T) {
+	cat := feedbackCatalog()
+	a := NewFeedbackModel()
+	b := NewFeedbackModel()
+	it, _ := cat.Item(1)
+	_ = a.Apply(Opinion{Kind: MoreLikeThis, Item: 1}, it)
+	_ = b.Apply(Opinion{Kind: GiveMeMore, Item: 1}, it)
+	if b.Boost("football") <= a.Boost("football") {
+		t.Fatal("GiveMeMore should boost harder than MoreLikeThis")
+	}
+}

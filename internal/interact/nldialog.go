@@ -1,0 +1,200 @@
+package interact
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// NLDialog reproduces the plain-English preference dialog the survey
+// quotes from Wärnestål (Section 5.1):
+//
+//	User:   I feel like watching a thriller.
+//	System: Can you tell me one of your favourite thriller movies?
+//	User:   Uhm, I'm not sure
+//	System: Okay. Can you tell me one of your favourite actors or
+//	        actresses?
+//	User:   I think Bruce Willis is good
+//	System: I see. Have you seen Pulp Fiction?
+//	User:   No
+//	System: Pulp Fiction is a thriller starring Bruce Willis
+//
+// As the survey notes, the final line "does not explain directly ...
+// It does however do so indirectly, by reiterating (and satisfying)
+// the user's requirements." The dialog is a small state machine over
+// the catalogue: a genre request, an optional favourite-item or
+// favourite-creator elicitation, and a proposal whose phrasing
+// reiterates the collected requirements.
+type NLDialog struct {
+	cat *model.Catalog
+
+	state      nlState
+	genre      string
+	creator    string
+	rejected   map[model.ItemID]bool
+	proposed   *model.Item
+	transcript []DialogLine
+}
+
+// DialogLine is one utterance of the conversation.
+type DialogLine struct {
+	Who  string // "User" or "System"
+	Text string
+}
+
+type nlState int
+
+const (
+	nlAwaitGenre nlState = iota
+	nlAwaitFavoriteItem
+	nlAwaitCreator
+	nlAwaitVerdict
+	nlDone
+)
+
+// NewNLDialog starts a conversation over the catalogue.
+func NewNLDialog(cat *model.Catalog) *NLDialog {
+	return &NLDialog{cat: cat, rejected: map[model.ItemID]bool{}}
+}
+
+// Transcript returns the conversation so far.
+func (d *NLDialog) Transcript() []DialogLine { return d.transcript }
+
+// Render prints the transcript in the paper's format.
+func (d *NLDialog) Render() string {
+	var b strings.Builder
+	for _, l := range d.transcript {
+		fmt.Fprintf(&b, "%s: %s\n", l.Who, l.Text)
+	}
+	return b.String()
+}
+
+func (d *NLDialog) user(text string) { d.transcript = append(d.transcript, DialogLine{"User", text}) }
+func (d *NLDialog) system(text string) string {
+	d.transcript = append(d.transcript, DialogLine{"System", text})
+	return text
+}
+
+// Say routes a free-text user utterance by dialog state, extracting
+// genre, title or creator mentions from the catalogue's vocabulary.
+// The returned string is the system's reply.
+func (d *NLDialog) Say(text string) string {
+	d.user(text)
+	lower := strings.ToLower(text)
+	switch d.state {
+	case nlAwaitGenre:
+		for _, g := range d.cat.Keywords() {
+			if strings.Contains(lower, strings.ToLower(g)) {
+				d.genre = g
+				d.state = nlAwaitFavoriteItem
+				return d.system(fmt.Sprintf("Can you tell me one of your favourite %s movies?", g))
+			}
+		}
+		return d.system("What kind of movie do you feel like?")
+	case nlAwaitFavoriteItem:
+		if isUnsure(lower) {
+			d.state = nlAwaitCreator
+			return d.system("Okay. Can you tell me one of your favourite actors or actresses?")
+		}
+		for _, it := range d.cat.Items() {
+			if it.Title != "" && strings.Contains(lower, strings.ToLower(it.Title)) {
+				d.creator = it.Creator
+				return d.propose()
+			}
+		}
+		d.state = nlAwaitCreator
+		return d.system("I don't know that one. Can you tell me one of your favourite actors or actresses?")
+	case nlAwaitCreator:
+		for _, it := range d.cat.Items() {
+			if it.Creator != "" && strings.Contains(lower, strings.ToLower(it.Creator)) {
+				d.creator = it.Creator
+				return d.propose()
+			}
+		}
+		if isUnsure(lower) {
+			// Propose on genre alone.
+			return d.propose()
+		}
+		return d.system("I don't recognise that name. Anyone else you like?")
+	case nlAwaitVerdict:
+		switch {
+		case strings.Contains(lower, "no"):
+			// "Have you seen X?" -> No: the proposal stands, with the
+			// indirect explanation.
+			return d.explainProposal()
+		case strings.Contains(lower, "yes"), strings.Contains(lower, "seen it"):
+			if d.proposed != nil {
+				d.rejected[d.proposed.ID] = true
+			}
+			return d.propose()
+		default:
+			return d.system(fmt.Sprintf("Have you seen %s?", d.proposed.Title))
+		}
+	default:
+		return d.system("Enjoy the movie!")
+	}
+}
+
+func isUnsure(lower string) bool {
+	for _, cue := range []string{"not sure", "don't know", "dont know", "no idea", "uhm", "um"} {
+		if strings.Contains(lower, cue) {
+			return true
+		}
+	}
+	return false
+}
+
+// propose selects the best unrejected item matching the collected
+// requirements (genre, then creator, most popular first) and asks the
+// "Have you seen X?" question.
+func (d *NLDialog) propose() string {
+	var best *model.Item
+	for _, it := range d.cat.Items() {
+		if d.rejected[it.ID] {
+			continue
+		}
+		if d.genre != "" && !it.HasKeyword(d.genre) {
+			continue
+		}
+		if d.creator != "" && it.Creator != d.creator {
+			continue
+		}
+		if best == nil || it.Popularity > best.Popularity {
+			best = it
+		}
+	}
+	if best == nil && d.creator != "" {
+		// Relax the creator constraint rather than dead-ending.
+		d.creator = ""
+		return d.propose()
+	}
+	if best == nil {
+		d.state = nlDone
+		return d.system(fmt.Sprintf("I'm afraid I have no more %s movies to suggest.", d.genre))
+	}
+	d.proposed = best
+	d.state = nlAwaitVerdict
+	return d.system(fmt.Sprintf("I see. Have you seen %s?", best.Title))
+}
+
+// explainProposal delivers the indirect explanation that reiterates
+// the satisfied requirements.
+func (d *NLDialog) explainProposal() string {
+	d.state = nlDone
+	switch {
+	case d.genre != "" && d.creator != "":
+		return d.system(fmt.Sprintf("%s is a %s starring %s", d.proposed.Title, d.genre, d.creator))
+	case d.genre != "":
+		return d.system(fmt.Sprintf("%s is a %s", d.proposed.Title, d.genre))
+	default:
+		return d.system(fmt.Sprintf("%s should suit you", d.proposed.Title))
+	}
+}
+
+// Proposed returns the item currently on the table (nil before the
+// first proposal).
+func (d *NLDialog) Proposed() *model.Item { return d.proposed }
+
+// Done reports whether the conversation has concluded.
+func (d *NLDialog) Done() bool { return d.state == nlDone }

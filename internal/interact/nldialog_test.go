@@ -1,0 +1,120 @@
+package interact
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// pulpFixture builds a catalogue containing the paper's example movie.
+func pulpFixture() *model.Catalog {
+	cat := model.NewCatalog("movies")
+	add := func(id model.ItemID, title, creator string, pop float64, kws ...string) {
+		cat.MustAdd(&model.Item{ID: id, Title: title, Creator: creator, Popularity: pop, Keywords: kws})
+	}
+	add(1, "Pulp Fiction", "Bruce Willis", 0.9, "thriller")
+	add(2, "Die Harder Still", "Bruce Willis", 0.7, "action")
+	add(3, "Quiet Thriller", "Someone Else", 0.5, "thriller")
+	add(4, "A Comedy", "Nobody", 0.8, "comedy")
+	return cat
+}
+
+func TestNLDialogReproducesPaperTranscript(t *testing.T) {
+	d := NewNLDialog(pulpFixture())
+	replies := []struct {
+		say  string
+		want string
+	}{
+		{"I feel like watching a thriller.", "Can you tell me one of your favourite thriller movies?"},
+		{"Uhm, I'm not sure", "Okay. Can you tell me one of your favourite actors or actresses?"},
+		{"I think Bruce Willis is good", "I see. Have you seen Pulp Fiction?"},
+		{"No", "Pulp Fiction is a thriller starring Bruce Willis"},
+	}
+	for _, step := range replies {
+		got := d.Say(step.say)
+		if got != step.want {
+			t.Fatalf("Say(%q) = %q, want %q\ntranscript:\n%s", step.say, got, step.want, d.Render())
+		}
+	}
+	if !d.Done() {
+		t.Fatal("dialog should conclude after the indirect explanation")
+	}
+	if d.Proposed() == nil || d.Proposed().Title != "Pulp Fiction" {
+		t.Fatalf("proposed = %+v", d.Proposed())
+	}
+	// The transcript alternates User/System and renders in the paper's
+	// format.
+	out := d.Render()
+	if !strings.HasPrefix(out, "User: I feel like watching a thriller.") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if len(d.Transcript()) != 8 {
+		t.Fatalf("transcript has %d lines", len(d.Transcript()))
+	}
+}
+
+func TestNLDialogAlreadySeenMovesOn(t *testing.T) {
+	d := NewNLDialog(pulpFixture())
+	d.Say("something with a thriller in it")
+	d.Say("no idea")
+	d.Say("Bruce Willis")
+	got := d.Say("Yes, seen it")
+	// Pulp Fiction rejected; no other Bruce Willis thriller exists, so
+	// the creator constraint relaxes to keep the conversation alive.
+	if !strings.Contains(got, "Quiet Thriller") {
+		t.Fatalf("after rejection got %q", got)
+	}
+}
+
+func TestNLDialogFavoriteTitleShortcut(t *testing.T) {
+	d := NewNLDialog(pulpFixture())
+	d.Say("a thriller please")
+	got := d.Say("I loved Pulp Fiction")
+	// Naming a favourite seeds the creator and proposes; the favourite
+	// itself is the best match (the dialog asks before assuming it is
+	// seen).
+	if !strings.Contains(got, "Have you seen") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNLDialogUnknownGenreReprompts(t *testing.T) {
+	d := NewNLDialog(pulpFixture())
+	if got := d.Say("surprise me somehow"); !strings.Contains(got, "What kind of movie") {
+		t.Fatalf("got %q", got)
+	}
+	// Still answerable afterwards.
+	if got := d.Say("a comedy then"); !strings.Contains(got, "favourite comedy movies") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNLDialogUnknownCreatorReprompts(t *testing.T) {
+	d := NewNLDialog(pulpFixture())
+	d.Say("thriller")
+	d.Say("not sure")
+	if got := d.Say("Maximilian Obscure is great"); !strings.Contains(got, "don't recognise") {
+		t.Fatalf("got %q", got)
+	}
+	// Giving up on the creator proposes on genre alone.
+	if got := d.Say("I really don't know"); !strings.Contains(got, "Have you seen") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNLDialogExhaustion(t *testing.T) {
+	cat := model.NewCatalog("movies")
+	cat.MustAdd(&model.Item{ID: 1, Title: "Only Thriller", Popularity: 0.5, Keywords: []string{"thriller"}})
+	d := NewNLDialog(cat)
+	d.Say("thriller")
+	d.Say("not sure")
+	d.Say("no favourites, sorry, really not sure")
+	got := d.Say("yes, seen it")
+	if !strings.Contains(got, "no more thriller movies") {
+		t.Fatalf("got %q", got)
+	}
+	if !d.Done() {
+		t.Fatal("exhausted dialog should be done")
+	}
+}

@@ -1,0 +1,179 @@
+package interact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+// The scrutable user profile of Czarkowski's SASY (survey Figure 1,
+// Sections 2.2 and 3.2): the user can see that adaptation is based on
+// personal attributes stored in their profile, that the profile mixes
+// information they volunteered with information the system inferred,
+// and that they can change it to control the personalisation.
+
+// Provenance records how a profile entry came to be.
+type Provenance int
+
+// Provenance values.
+const (
+	// Volunteered entries were stated by the user.
+	Volunteered Provenance = iota
+	// Inferred entries were derived by the system from observations.
+	Inferred
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case Volunteered:
+		return "volunteered"
+	case Inferred:
+		return "inferred"
+	default:
+		return fmt.Sprintf("Provenance(%d)", int(p))
+	}
+}
+
+// ProfileEntry is one personal attribute with provenance and the
+// evidence behind it.
+type ProfileEntry struct {
+	Key    string
+	Value  string
+	Source Provenance
+	// Evidence explains an inferred entry ("you recorded 12 war
+	// movies"); empty for volunteered ones.
+	Evidence string
+}
+
+// ChangeKind classifies profile mutations for the audit log.
+type ChangeKind int
+
+// Profile change kinds.
+const (
+	ChangeSet ChangeKind = iota
+	ChangeCorrect
+	ChangeRemove
+)
+
+// Change is one audit-log record.
+type Change struct {
+	Kind     ChangeKind
+	Key      string
+	Old, New string
+}
+
+// ScrutableProfile is an editable, inspectable user model.
+type ScrutableProfile struct {
+	entries map[string]ProfileEntry
+	log     []Change
+}
+
+// NewScrutableProfile returns an empty profile.
+func NewScrutableProfile() *ScrutableProfile {
+	return &ScrutableProfile{entries: map[string]ProfileEntry{}}
+}
+
+// ErrNoEntry is returned when correcting or removing an absent key.
+var ErrNoEntry = errors.New("interact: no such profile entry")
+
+// Set records an entry (system- or user-initiated). Inferred values
+// never overwrite a volunteered one — the user's own statement wins,
+// which is the control guarantee scrutability promises.
+func (p *ScrutableProfile) Set(e ProfileEntry) {
+	if old, ok := p.entries[e.Key]; ok && old.Source == Volunteered && e.Source == Inferred {
+		return
+	}
+	old := p.entries[e.Key]
+	p.entries[e.Key] = e
+	p.log = append(p.log, Change{Kind: ChangeSet, Key: e.Key, Old: old.Value, New: e.Value})
+}
+
+// Correct overrides an entry with a user-stated value, marking it
+// volunteered. It fails for unknown keys so typos surface.
+func (p *ScrutableProfile) Correct(key, value string) error {
+	old, ok := p.entries[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoEntry, key)
+	}
+	p.entries[key] = ProfileEntry{Key: key, Value: value, Source: Volunteered}
+	p.log = append(p.log, Change{Kind: ChangeCorrect, Key: key, Old: old.Value, New: value})
+	return nil
+}
+
+// Remove deletes an entry entirely.
+func (p *ScrutableProfile) Remove(key string) error {
+	old, ok := p.entries[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoEntry, key)
+	}
+	delete(p.entries, key)
+	p.log = append(p.log, Change{Kind: ChangeRemove, Key: key, Old: old.Value})
+	return nil
+}
+
+// Get returns an entry.
+func (p *ScrutableProfile) Get(key string) (ProfileEntry, bool) {
+	e, ok := p.entries[key]
+	return e, ok
+}
+
+// Entries returns all entries sorted by key.
+func (p *ScrutableProfile) Entries() []ProfileEntry {
+	out := make([]ProfileEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// Log returns the audit trail.
+func (p *ScrutableProfile) Log() []Change { return p.log }
+
+// Render draws the profile the way SASY's "why?" page does: every
+// attribute, its value, where it came from, and the evidence for
+// inferred entries — with the standing invitation to change it.
+func (p *ScrutableProfile) Render() string {
+	var b strings.Builder
+	b.WriteString("Your profile (you can change any entry):\n")
+	for _, e := range p.Entries() {
+		fmt.Fprintf(&b, "  %-16s = %-14s [%s]", e.Key, e.Value, e.Source)
+		if e.Evidence != "" {
+			fmt.Fprintf(&b, " — %s", e.Evidence)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ToPreferences compiles the profile into a knowledge-based preference
+// model against a catalogue schema: entries whose key matches a
+// categorical attribute become preferred values; entries matching a
+// numeric attribute (parsed "ideal:<x>" is not supported — numeric
+// ideals are profile-external) are skipped. This is how the scrutable
+// holiday recommender turns "travelling with children = yes" into
+// personalisation the user can see and veto.
+func (p *ScrutableProfile) ToPreferences(cat *model.Catalog) *knowledge.Preferences {
+	prefs := &knowledge.Preferences{
+		CategoricalPrefer: map[string]string{},
+		CategoricalWeight: map[string]float64{},
+	}
+	for _, e := range p.Entries() {
+		def, ok := cat.AttrDef(e.Key)
+		if !ok || def.Kind != model.Categorical {
+			continue
+		}
+		prefs.CategoricalPrefer[e.Key] = e.Value
+		// Volunteered statements weigh more than inferences.
+		if e.Source == Volunteered {
+			prefs.CategoricalWeight[e.Key] = 2
+		} else {
+			prefs.CategoricalWeight[e.Key] = 1
+		}
+	}
+	return prefs
+}

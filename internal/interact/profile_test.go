@@ -1,0 +1,186 @@
+package interact
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+func TestScrutableProfileSetAndRender(t *testing.T) {
+	p := NewScrutableProfile()
+	p.Set(ProfileEntry{Key: "budget", Value: "low", Source: Volunteered})
+	p.Set(ProfileEntry{Key: "kidfriendly", Value: "yes", Source: Inferred,
+		Evidence: "you searched for family rooms twice"})
+	out := p.Render()
+	if !strings.Contains(out, "budget") || !strings.Contains(out, "[volunteered]") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "[inferred] — you searched for family rooms twice") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "you can change any entry") {
+		t.Fatalf("scrutability invitation missing:\n%s", out)
+	}
+}
+
+func TestInferredNeverOverwritesVolunteered(t *testing.T) {
+	p := NewScrutableProfile()
+	p.Set(ProfileEntry{Key: "climate", Value: "cold", Source: Volunteered})
+	p.Set(ProfileEntry{Key: "climate", Value: "tropical", Source: Inferred})
+	e, _ := p.Get("climate")
+	if e.Value != "cold" || e.Source != Volunteered {
+		t.Fatalf("volunteered entry was overwritten: %+v", e)
+	}
+	// But volunteered can overwrite inferred.
+	p.Set(ProfileEntry{Key: "setting", Value: "beach", Source: Inferred})
+	p.Set(ProfileEntry{Key: "setting", Value: "city", Source: Volunteered})
+	e, _ = p.Get("setting")
+	if e.Value != "city" {
+		t.Fatalf("user statement should win: %+v", e)
+	}
+}
+
+func TestCorrectMarksVolunteered(t *testing.T) {
+	p := NewScrutableProfile()
+	p.Set(ProfileEntry{Key: "kidfriendly", Value: "no", Source: Inferred, Evidence: "guessed"})
+	if err := p.Correct("kidfriendly", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := p.Get("kidfriendly")
+	if e.Value != "yes" || e.Source != Volunteered || e.Evidence != "" {
+		t.Fatalf("corrected entry = %+v", e)
+	}
+	if err := p.Correct("nonexistent", "x"); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoveAndLog(t *testing.T) {
+	p := NewScrutableProfile()
+	p.Set(ProfileEntry{Key: "a", Value: "1", Source: Inferred})
+	if err := p.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Get("a"); ok {
+		t.Fatal("entry not removed")
+	}
+	if err := p.Remove("a"); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	log := p.Log()
+	if len(log) != 2 || log[0].Kind != ChangeSet || log[1].Kind != ChangeRemove {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	p := NewScrutableProfile()
+	p.Set(ProfileEntry{Key: "z", Value: "1", Source: Inferred})
+	p.Set(ProfileEntry{Key: "a", Value: "2", Source: Inferred})
+	es := p.Entries()
+	if es[0].Key != "a" || es[1].Key != "z" {
+		t.Fatalf("entries = %+v", es)
+	}
+}
+
+func TestToPreferencesWeightsProvenance(t *testing.T) {
+	c := dataset.Holidays(dataset.Config{Seed: 5, Users: 3, Items: 20, RatingsPerUser: 2})
+	p := NewScrutableProfile()
+	p.Set(ProfileEntry{Key: dataset.HolKids, Value: "yes", Source: Volunteered})
+	p.Set(ProfileEntry{Key: dataset.HolClimate, Value: "tropical", Source: Inferred, Evidence: "booked Costa Azul"})
+	p.Set(ProfileEntry{Key: "shoe-size", Value: "43", Source: Volunteered}) // not in schema
+	prefs := p.ToPreferences(c.Catalog)
+	if prefs.CategoricalPrefer[dataset.HolKids] != "yes" {
+		t.Fatal("kidfriendly preference missing")
+	}
+	if prefs.CategoricalWeight[dataset.HolKids] != 2 || prefs.CategoricalWeight[dataset.HolClimate] != 1 {
+		t.Fatalf("weights = %+v", prefs.CategoricalWeight)
+	}
+	if _, ok := prefs.CategoricalPrefer["shoe-size"]; ok {
+		t.Fatal("non-schema entry leaked into preferences")
+	}
+}
+
+func TestScrutinizationChangesRecommendations(t *testing.T) {
+	// End-to-end scrutability: correcting a wrong inference must change
+	// what the knowledge-based recommender returns — "the user exerts
+	// control over the type of recommendations made".
+	c := dataset.Holidays(dataset.Config{Seed: 8, Users: 3, Items: 60, RatingsPerUser: 2})
+	rec := knowledge.New(c.Catalog)
+	p := NewScrutableProfile()
+	p.Set(ProfileEntry{Key: dataset.HolKids, Value: "no", Source: Inferred, Evidence: "no child tickets observed"})
+	before, err := rec.Recommend(p.ToPreferences(c.Catalog), nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Correct(dataset.HolKids, "yes"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := rec.Recommend(p.ToPreferences(c.Catalog), nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before[0].Item.Categorical[dataset.HolKids] != "no" {
+		t.Fatalf("pre-correction top item should be kid-unfriendly: %+v", before[0].Item.Categorical)
+	}
+	if after[0].Item.Categorical[dataset.HolKids] != "yes" {
+		t.Fatalf("post-correction top item should be kid-friendly: %+v", after[0].Item.Categorical)
+	}
+}
+
+func TestProvenanceString(t *testing.T) {
+	if Volunteered.String() != "volunteered" || Inferred.String() != "inferred" {
+		t.Fatal("provenance strings")
+	}
+	if Provenance(7).String() == "" {
+		t.Fatal("unknown provenance should stringify")
+	}
+}
+
+func TestRatingEditor(t *testing.T) {
+	m := model.NewMatrix()
+	e := NewRatingEditor(m, 1)
+	e.Rate(10, 4)
+	if v, _ := m.Get(1, 10); v != 4 {
+		t.Fatal("rate failed")
+	}
+	e.Rate(10, 9) // clamped
+	if v, _ := m.Get(1, 10); v != 5 {
+		t.Fatalf("clamp failed: %v", v)
+	}
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(1, 10); v != 4 {
+		t.Fatalf("undo re-rate: %v", v)
+	}
+	if err := e.Remove(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(1, 10); ok {
+		t.Fatal("remove failed")
+	}
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(1, 10); v != 4 {
+		t.Fatalf("undo remove: %v", v)
+	}
+	// Undo the original rate: rating disappears entirely.
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(1, 10); ok {
+		t.Fatal("undo of initial rate should delete")
+	}
+	if err := e.Undo(); !errors.Is(err, ErrNothingToUndo) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.Remove(999); !errors.Is(err, ErrNoRating) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package interact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+// Property: every item returned by ApplyCritique satisfies the
+// critique relative to the reference, and the reference never appears.
+func TestApplyCritiqueSoundnessQuick(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 101, Users: 3, Items: 60, RatingsPerUser: 2})
+	items := c.Catalog.Items()
+	crits := UnitCritiques(c.Catalog)
+	f := func(refIdx uint16, critIdx uint8) bool {
+		ref := items[int(refIdx)%len(items)]
+		crit := crits[int(critIdx)%len(crits)]
+		out := ApplyCritique(c.Catalog, ref, items, crit)
+		for _, it := range out {
+			if it.ID == ref.ID {
+				return false
+			}
+			if !crit.Matches(c.Catalog, ref, it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compound critique supports are exact — the advertised
+// support times the candidate count equals the number of matching
+// items — and every mined pattern is internally consistent.
+func TestMineCompoundExactSupportQuick(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 103, Users: 3, Items: 40, RatingsPerUser: 2})
+	items := c.Catalog.Items()
+	f := func(refIdx uint16, minSupRaw uint8) bool {
+		ref := items[int(refIdx)%len(items)]
+		minSup := 0.05 + float64(minSupRaw%50)/100
+		ccs, err := MineCompoundCritiques(c.Catalog, ref, items, minSup, 3)
+		if err != nil {
+			return false
+		}
+		others := len(items) - 1
+		for _, cc := range ccs {
+			if cc.Support < minSup {
+				return false
+			}
+			attrs := map[string]bool{}
+			for _, p := range cc.Parts {
+				if attrs[p.Attr] {
+					return false // contradictory pattern survived
+				}
+				attrs[p.Attr] = true
+			}
+			matched := ApplyCompound(c.Catalog, ref, items, cc)
+			if math.Abs(float64(len(matched))-cc.Support*float64(others)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a critique session's candidate set never grows, and the
+// current item is always among the candidates.
+func TestCritiqueSessionInvariantsQuick(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 107, Users: 3, Items: 80, RatingsPerUser: 2})
+	rec := knowledge.New(c.Catalog)
+	prefs := &knowledge.Preferences{NumericIdeal: map[string]float64{dataset.CamPrice: 200}}
+	crits := UnitCritiques(c.Catalog)
+	f := func(moves []uint8, nearest bool) bool {
+		s, err := NewCritiqueSession(rec, prefs, nil)
+		if err != nil {
+			return false
+		}
+		s.SelectNearest = nearest
+		prev := len(s.Candidates())
+		for _, m := range moves {
+			if len(moves) > 12 {
+				moves = moves[:12]
+			}
+			crit := crits[int(m)%len(crits)]
+			if err := s.ApplyUnit(crit); err != nil {
+				continue // no matches: state must be unchanged
+			}
+			cur := len(s.Candidates())
+			if cur > prev || cur == 0 {
+				return false
+			}
+			prev = cur
+			found := false
+			for _, it := range s.Candidates() {
+				if it.ID == s.Current().ID {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the scrutable profile's volunteered-wins rule holds under
+// arbitrary interleavings of Set operations.
+func TestScrutableProfileProtectionQuick(t *testing.T) {
+	f := func(ops []struct {
+		Key       uint8
+		Val       uint8
+		Volunteer bool
+	}) bool {
+		p := NewScrutableProfile()
+		lastVolunteered := map[string]string{}
+		for _, op := range ops {
+			key := string(rune('a' + op.Key%5))
+			val := string(rune('0' + op.Val%10))
+			src := Inferred
+			if op.Volunteer {
+				src = Volunteered
+				lastVolunteered[key] = val
+			}
+			p.Set(ProfileEntry{Key: key, Value: val, Source: src})
+		}
+		for key, want := range lastVolunteered {
+			e, ok := p.Get(key)
+			if !ok || e.Value != want || e.Source != Volunteered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rating-editor undo is an exact inverse — after any
+// sequence of edits, undoing everything restores the matrix.
+func TestRatingEditorUndoAllQuick(t *testing.T) {
+	f := func(ops []struct {
+		Item   uint8
+		Value  uint8
+		Remove bool
+	}) bool {
+		m := model.NewMatrix()
+		m.Set(1, 1, 3)
+		m.Set(1, 2, 4.5)
+		before := map[model.ItemID]float64{}
+		for i, v := range m.UserRatings(1) {
+			before[i] = v
+		}
+		ed := NewRatingEditor(m, 1)
+		for _, op := range ops {
+			item := model.ItemID(op.Item%6 + 1)
+			if op.Remove {
+				_ = ed.Remove(item) // may fail for absent ratings; fine
+			} else {
+				ed.Rate(item, float64(op.Value%5)+1)
+			}
+		}
+		for ed.Edits() > 0 {
+			if err := ed.Undo(); err != nil {
+				return false
+			}
+		}
+		after := m.UserRatings(1)
+		if len(after) != len(before) {
+			return false
+		}
+		for i, v := range before {
+			if after[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package interact
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// RatingEditor implements Section 5.3: the user corrects predicted
+// ratings or modifies past ratings, with an undo log. The paper notes
+// ratings are often easier to modify than computed influence; the
+// editor therefore edits only the rating matrix and lets influence be
+// recomputed downstream.
+type RatingEditor struct {
+	m    *model.Matrix
+	user model.UserID
+	log  []ratingChange
+}
+
+type ratingChange struct {
+	item     model.ItemID
+	old      float64
+	hadOld   bool
+	deleted  bool
+	newValue float64
+}
+
+// NewRatingEditor wraps a matrix for one user's edits.
+func NewRatingEditor(m *model.Matrix, user model.UserID) *RatingEditor {
+	return &RatingEditor{m: m, user: user}
+}
+
+// ErrNothingToUndo is returned by Undo on an empty log.
+var ErrNothingToUndo = errors.New("interact: nothing to undo")
+
+// ErrNoRating is returned when removing a rating that does not exist.
+var ErrNoRating = errors.New("interact: no rating to remove")
+
+// Rate sets (or re-rates) an item. Values are clamped to the scale.
+func (e *RatingEditor) Rate(item model.ItemID, value float64) {
+	old, had := e.m.Get(e.user, item)
+	v := model.ClampRating(value)
+	e.m.Set(e.user, item, v)
+	e.log = append(e.log, ratingChange{item: item, old: old, hadOld: had, newValue: v})
+}
+
+// Remove withdraws a past rating.
+func (e *RatingEditor) Remove(item model.ItemID) error {
+	old, had := e.m.Get(e.user, item)
+	if !had {
+		return fmt.Errorf("%w: item %d", ErrNoRating, item)
+	}
+	e.m.Delete(e.user, item)
+	e.log = append(e.log, ratingChange{item: item, old: old, hadOld: true, deleted: true})
+	return nil
+}
+
+// Undo reverts the most recent edit.
+func (e *RatingEditor) Undo() error {
+	if len(e.log) == 0 {
+		return ErrNothingToUndo
+	}
+	last := e.log[len(e.log)-1]
+	e.log = e.log[:len(e.log)-1]
+	switch {
+	case last.deleted:
+		e.m.Set(e.user, last.item, last.old)
+	case last.hadOld:
+		e.m.Set(e.user, last.item, last.old)
+	default:
+		e.m.Delete(e.user, last.item)
+	}
+	return nil
+}
+
+// Edits returns the number of edits still on the undo log.
+func (e *RatingEditor) Edits() int { return len(e.log) }

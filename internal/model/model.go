@@ -1,0 +1,401 @@
+// Package model defines the domain types shared by every recommender,
+// explainer, presenter and experiment in this repository: items with
+// content and attribute metadata, users, ratings, sparse rating
+// matrices and attribute-typed catalogues.
+//
+// The survey spans very different item domains — movies, books, news,
+// digital cameras, restaurants, holidays — so Item carries both
+// unstructured content features (keywords such as genres or topics)
+// and structured attributes (price, resolution, ...) described by an
+// AttrDef schema on the owning Catalog. Collaborative filtering uses
+// the rating Matrix; content-based recommenders use keywords;
+// knowledge-based recommenders and critiquing use the attribute schema.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ItemID identifies an item within a catalogue.
+type ItemID int
+
+// UserID identifies a user within a community.
+type UserID int
+
+// Rating scale bounds used throughout (the paper's running example is
+// a 0-5 star scale; we use 1-5 like MovieLens, the dataset behind most
+// of the studies the survey cites).
+const (
+	MinRating = 1.0
+	MaxRating = 5.0
+)
+
+// ClampRating clamps v into the valid rating scale.
+func ClampRating(v float64) float64 {
+	if v < MinRating {
+		return MinRating
+	}
+	if v > MaxRating {
+		return MaxRating
+	}
+	return v
+}
+
+// AttrKind classifies a structured item attribute.
+type AttrKind int
+
+// Attribute kinds.
+const (
+	// Numeric attributes support ordering, trade-off direction and
+	// critiques such as "cheaper" or "higher resolution".
+	Numeric AttrKind = iota
+	// Categorical attributes support equality critiques such as
+	// "a different brand" or hard constraints such as "cuisine=thai".
+	Categorical
+)
+
+func (k AttrKind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("AttrKind(%d)", int(k))
+	}
+}
+
+// AttrDef describes one structured attribute in a catalogue schema.
+type AttrDef struct {
+	Name string
+	Kind AttrKind
+	// LessIsBetter marks numeric attributes where smaller values are
+	// generally preferable (price, weight). It drives the direction
+	// language in trade-off explanations: "cheaper" vs "more expensive".
+	LessIsBetter bool
+	// Unit is a display suffix for numeric attributes, e.g. "$" or "MP".
+	Unit string
+}
+
+// Item is a recommendable object.
+type Item struct {
+	ID      ItemID
+	Title   string
+	Creator string // author, director, artist, manufacturer...
+
+	// Keywords are unstructured content features: genres, topics,
+	// ingredients. Content-based recommenders and the content-style
+	// explanations ("because you liked other comedies") consume these.
+	Keywords []string
+
+	// Numeric and Categorical hold structured attribute values keyed by
+	// AttrDef.Name. Knowledge-based recommendation, critiquing and the
+	// structured overview consume these.
+	Numeric     map[string]float64
+	Categorical map[string]string
+
+	// Popularity in [0,1]; 1 is a blockbuster. Used by personality
+	// (affirming vs serendipitous) and by "most popular item" text.
+	Popularity float64
+	// Recency in [0,1]; 1 is brand new. Used by the treemap shading and
+	// by "most recent item" explanation text.
+	Recency float64
+}
+
+// HasKeyword reports whether the item carries keyword k.
+func (it *Item) HasKeyword(k string) bool {
+	for _, kw := range it.Keywords {
+		if kw == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the item. Interaction components that
+// let users alter items (scrutability) operate on clones so the
+// catalogue itself stays immutable.
+func (it *Item) Clone() *Item {
+	cp := *it
+	cp.Keywords = append([]string(nil), it.Keywords...)
+	if it.Numeric != nil {
+		cp.Numeric = make(map[string]float64, len(it.Numeric))
+		for k, v := range it.Numeric {
+			cp.Numeric[k] = v
+		}
+	}
+	if it.Categorical != nil {
+		cp.Categorical = make(map[string]string, len(it.Categorical))
+		for k, v := range it.Categorical {
+			cp.Categorical[k] = v
+		}
+	}
+	return &cp
+}
+
+// Catalog is a typed collection of items from one domain.
+type Catalog struct {
+	Domain string
+	Attrs  []AttrDef
+	items  []*Item
+	byID   map[ItemID]*Item
+}
+
+// NewCatalog creates an empty catalogue for the named domain with the
+// given attribute schema.
+func NewCatalog(domain string, attrs ...AttrDef) *Catalog {
+	return &Catalog{
+		Domain: domain,
+		Attrs:  attrs,
+		byID:   make(map[ItemID]*Item),
+	}
+}
+
+// ErrDuplicateItem is returned when adding an item whose ID already
+// exists in the catalogue.
+var ErrDuplicateItem = errors.New("model: duplicate item id")
+
+// ErrUnknownItem is returned by lookups for absent item IDs.
+var ErrUnknownItem = errors.New("model: unknown item id")
+
+// Add inserts an item into the catalogue.
+func (c *Catalog) Add(it *Item) error {
+	if _, ok := c.byID[it.ID]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateItem, it.ID)
+	}
+	c.items = append(c.items, it)
+	c.byID[it.ID] = it
+	return nil
+}
+
+// MustAdd inserts an item and panics on duplicate IDs. Dataset
+// generators, which control IDs, use this.
+func (c *Catalog) MustAdd(it *Item) {
+	if err := c.Add(it); err != nil {
+		panic(err)
+	}
+}
+
+// Item returns the item with the given ID.
+func (c *Catalog) Item(id ItemID) (*Item, error) {
+	it, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownItem, id)
+	}
+	return it, nil
+}
+
+// Len returns the number of items.
+func (c *Catalog) Len() int { return len(c.items) }
+
+// Items returns the items in insertion order. The returned slice is
+// shared; callers must not modify it.
+func (c *Catalog) Items() []*Item { return c.items }
+
+// AttrDef returns the schema entry for name.
+func (c *Catalog) AttrDef(name string) (AttrDef, bool) {
+	for _, a := range c.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrDef{}, false
+}
+
+// Keywords returns the sorted set of all keywords appearing in the
+// catalogue.
+func (c *Catalog) Keywords() []string {
+	set := map[string]bool{}
+	for _, it := range c.items {
+		for _, k := range it.Keywords {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumericRange returns the min and max value of a numeric attribute
+// across the catalogue. ok is false when no item carries the attribute.
+func (c *Catalog) NumericRange(attr string) (lo, hi float64, ok bool) {
+	first := true
+	for _, it := range c.items {
+		v, has := it.Numeric[attr]
+		if !has {
+			continue
+		}
+		if first {
+			lo, hi, first = v, v, false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, !first
+}
+
+// Rating is one (user, item, value) observation.
+type Rating struct {
+	User  UserID
+	Item  ItemID
+	Value float64
+}
+
+// Matrix is a sparse user-item rating matrix with dual (by-user and
+// by-item) indexes. The zero value is not usable; construct with
+// NewMatrix.
+// Sums are maintained incrementally so that means never depend on map
+// iteration order — experiment output must be bit-identical across
+// runs, and floating-point addition is not commutative under
+// reordering.
+type Matrix struct {
+	byUser   map[UserID]map[ItemID]float64
+	byItem   map[ItemID]map[UserID]float64
+	userSum  map[UserID]float64
+	itemSum  map[ItemID]float64
+	totalSum float64
+	count    int
+}
+
+// NewMatrix returns an empty rating matrix.
+func NewMatrix() *Matrix {
+	return &Matrix{
+		byUser:  make(map[UserID]map[ItemID]float64),
+		byItem:  make(map[ItemID]map[UserID]float64),
+		userSum: make(map[UserID]float64),
+		itemSum: make(map[ItemID]float64),
+	}
+}
+
+// Set records (or overwrites) a rating.
+func (m *Matrix) Set(u UserID, i ItemID, v float64) {
+	if m.byUser[u] == nil {
+		m.byUser[u] = make(map[ItemID]float64)
+	}
+	if m.byItem[i] == nil {
+		m.byItem[i] = make(map[UserID]float64)
+	}
+	if old, existed := m.byUser[u][i]; existed {
+		m.userSum[u] -= old
+		m.itemSum[i] -= old
+		m.totalSum -= old
+	} else {
+		m.count++
+	}
+	m.byUser[u][i] = v
+	m.byItem[i][u] = v
+	m.userSum[u] += v
+	m.itemSum[i] += v
+	m.totalSum += v
+}
+
+// Delete removes a rating if present. Scrutable profiles use this when
+// a user withdraws a past rating.
+func (m *Matrix) Delete(u UserID, i ItemID) {
+	old, ok := m.byUser[u][i]
+	if !ok {
+		return
+	}
+	delete(m.byUser[u], i)
+	delete(m.byItem[i], u)
+	m.userSum[u] -= old
+	m.itemSum[i] -= old
+	m.totalSum -= old
+	m.count--
+}
+
+// Get returns the rating and whether it exists.
+func (m *Matrix) Get(u UserID, i ItemID) (float64, bool) {
+	v, ok := m.byUser[u][i]
+	return v, ok
+}
+
+// Len returns the number of stored ratings.
+func (m *Matrix) Len() int { return m.count }
+
+// UserRatings returns u's ratings. The returned map is shared; callers
+// must not modify it.
+func (m *Matrix) UserRatings(u UserID) map[ItemID]float64 { return m.byUser[u] }
+
+// ItemRatings returns all ratings of item i keyed by user. The returned
+// map is shared; callers must not modify it.
+func (m *Matrix) ItemRatings(i ItemID) map[UserID]float64 { return m.byItem[i] }
+
+// Users returns the user IDs present in the matrix, sorted.
+func (m *Matrix) Users() []UserID {
+	out := make([]UserID, 0, len(m.byUser))
+	for u := range m.byUser {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RatedItems returns the item IDs with at least one rating, sorted.
+func (m *Matrix) RatedItems() []ItemID {
+	out := make([]ItemID, 0, len(m.byItem))
+	for i := range m.byItem {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// UserMean returns the mean of u's ratings; ok is false when u has no
+// ratings.
+func (m *Matrix) UserMean(u UserID) (float64, bool) {
+	n := len(m.byUser[u])
+	if n == 0 {
+		return 0, false
+	}
+	return m.userSum[u] / float64(n), true
+}
+
+// ItemMean returns the mean rating of item i; ok is false when i has
+// no ratings.
+func (m *Matrix) ItemMean(i ItemID) (float64, bool) {
+	n := len(m.byItem[i])
+	if n == 0 {
+		return 0, false
+	}
+	return m.itemSum[i] / float64(n), true
+}
+
+// GlobalMean returns the mean over all ratings, or the scale midpoint
+// when empty (a serviceable prior).
+func (m *Matrix) GlobalMean() float64 {
+	if m.count == 0 {
+		return (MinRating + MaxRating) / 2
+	}
+	return m.totalSum / float64(m.count)
+}
+
+// Clone returns a deep copy of the matrix. Experiments that mutate a
+// community (scrutability corrections, re-rating) clone first. The
+// copy is rebuilt in sorted order so its incremental sums are
+// bit-identical across runs.
+func (m *Matrix) Clone() *Matrix {
+	cp := NewMatrix()
+	for _, u := range m.Users() {
+		rs := m.byUser[u]
+		items := make([]ItemID, 0, len(rs))
+		for i := range rs {
+			items = append(items, i)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		for _, i := range items {
+			cp.Set(u, i, rs[i])
+		}
+	}
+	return cp
+}

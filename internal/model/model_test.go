@@ -1,0 +1,235 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestClampRating(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {1, 1}, {3.2, 3.2}, {5, 5}, {9, 5}, {-2, 1},
+	}
+	for _, c := range cases {
+		if got := ClampRating(c.in); got != c.want {
+			t.Fatalf("ClampRating(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAttrKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Categorical.String() != "categorical" {
+		t.Fatal("AttrKind strings wrong")
+	}
+	if AttrKind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestItemHasKeyword(t *testing.T) {
+	it := &Item{Keywords: []string{"comedy", "romance"}}
+	if !it.HasKeyword("comedy") || it.HasKeyword("horror") {
+		t.Fatal("HasKeyword wrong")
+	}
+}
+
+func TestItemCloneIsDeep(t *testing.T) {
+	it := &Item{
+		ID:          1,
+		Title:       "Great Expectations",
+		Keywords:    []string{"classic"},
+		Numeric:     map[string]float64{"pages": 544},
+		Categorical: map[string]string{"language": "en"},
+	}
+	cp := it.Clone()
+	cp.Keywords[0] = "mutated"
+	cp.Numeric["pages"] = 1
+	cp.Categorical["language"] = "fr"
+	if it.Keywords[0] != "classic" || it.Numeric["pages"] != 544 || it.Categorical["language"] != "en" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestItemCloneNilMaps(t *testing.T) {
+	cp := (&Item{ID: 2}).Clone()
+	if cp.Numeric != nil || cp.Categorical != nil {
+		t.Fatal("Clone invented maps for nil originals")
+	}
+}
+
+func TestCatalogAddAndLookup(t *testing.T) {
+	c := NewCatalog("books", AttrDef{Name: "pages", Kind: Numeric})
+	c.MustAdd(&Item{ID: 1, Title: "Oliver Twist"})
+	if err := c.Add(&Item{ID: 1}); !errors.Is(err, ErrDuplicateItem) {
+		t.Fatalf("duplicate add error = %v", err)
+	}
+	it, err := c.Item(1)
+	if err != nil || it.Title != "Oliver Twist" {
+		t.Fatalf("Item lookup = %v, %v", it, err)
+	}
+	if _, err := c.Item(99); !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("missing lookup error = %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCatalogMustAddPanics(t *testing.T) {
+	c := NewCatalog("x")
+	c.MustAdd(&Item{ID: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd should panic on duplicate")
+		}
+	}()
+	c.MustAdd(&Item{ID: 1})
+}
+
+func TestCatalogAttrDef(t *testing.T) {
+	c := NewCatalog("cameras",
+		AttrDef{Name: "price", Kind: Numeric, LessIsBetter: true, Unit: "$"},
+		AttrDef{Name: "brand", Kind: Categorical},
+	)
+	def, ok := c.AttrDef("price")
+	if !ok || !def.LessIsBetter || def.Unit != "$" {
+		t.Fatalf("AttrDef(price) = %+v, %v", def, ok)
+	}
+	if _, ok := c.AttrDef("nope"); ok {
+		t.Fatal("unexpected attr found")
+	}
+}
+
+func TestCatalogKeywordsSortedUnique(t *testing.T) {
+	c := NewCatalog("movies")
+	c.MustAdd(&Item{ID: 1, Keywords: []string{"drama", "comedy"}})
+	c.MustAdd(&Item{ID: 2, Keywords: []string{"comedy", "action"}})
+	got := c.Keywords()
+	want := []string{"action", "comedy", "drama"}
+	if len(got) != len(want) {
+		t.Fatalf("Keywords = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keywords = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNumericRange(t *testing.T) {
+	c := NewCatalog("cameras", AttrDef{Name: "price", Kind: Numeric})
+	c.MustAdd(&Item{ID: 1, Numeric: map[string]float64{"price": 300}})
+	c.MustAdd(&Item{ID: 2, Numeric: map[string]float64{"price": 150}})
+	c.MustAdd(&Item{ID: 3}) // no price
+	lo, hi, ok := c.NumericRange("price")
+	if !ok || lo != 150 || hi != 300 {
+		t.Fatalf("NumericRange = %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := c.NumericRange("weight"); ok {
+		t.Fatal("range of absent attribute should report !ok")
+	}
+}
+
+func TestMatrixSetGetDelete(t *testing.T) {
+	m := NewMatrix()
+	m.Set(1, 10, 4)
+	if v, ok := m.Get(1, 10); !ok || v != 4 {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+	m.Set(1, 10, 5) // overwrite must not double count
+	if m.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", m.Len())
+	}
+	m.Delete(1, 10)
+	if _, ok := m.Get(1, 10); ok || m.Len() != 0 {
+		t.Fatal("Delete failed")
+	}
+	m.Delete(1, 10) // idempotent
+	if m.Len() != 0 {
+		t.Fatal("double delete corrupted count")
+	}
+}
+
+func TestMatrixDualIndexConsistencyQuick(t *testing.T) {
+	// Property: after any sequence of sets, the by-user and by-item
+	// indexes agree on every rating.
+	f := func(ops []struct {
+		U uint8
+		I uint8
+		V uint8
+	}) bool {
+		m := NewMatrix()
+		for _, op := range ops {
+			m.Set(UserID(op.U%10), ItemID(op.I%10), float64(op.V%5)+1)
+		}
+		total := 0
+		for _, u := range m.Users() {
+			for i, v := range m.UserRatings(u) {
+				got, ok := m.ItemRatings(i)[u]
+				if !ok || got != v {
+					return false
+				}
+				total++
+			}
+		}
+		return total == m.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMeans(t *testing.T) {
+	m := NewMatrix()
+	if _, ok := m.UserMean(1); ok {
+		t.Fatal("mean of absent user should be !ok")
+	}
+	if gm := m.GlobalMean(); gm != 3 {
+		t.Fatalf("empty global mean = %v, want midpoint 3", gm)
+	}
+	m.Set(1, 10, 2)
+	m.Set(1, 11, 4)
+	m.Set(2, 10, 5)
+	if v, ok := m.UserMean(1); !ok || v != 3 {
+		t.Fatalf("UserMean = %v %v", v, ok)
+	}
+	if v, ok := m.ItemMean(10); !ok || v != 3.5 {
+		t.Fatalf("ItemMean = %v %v", v, ok)
+	}
+	if gm := m.GlobalMean(); gm != (2+4+5)/3.0 {
+		t.Fatalf("GlobalMean = %v", gm)
+	}
+}
+
+func TestMatrixUsersAndItemsSorted(t *testing.T) {
+	m := NewMatrix()
+	m.Set(3, 30, 1)
+	m.Set(1, 10, 1)
+	m.Set(2, 20, 1)
+	us := m.Users()
+	for i := 1; i < len(us); i++ {
+		if us[i-1] >= us[i] {
+			t.Fatalf("Users not sorted: %v", us)
+		}
+	}
+	is := m.RatedItems()
+	for i := 1; i < len(is); i++ {
+		if is[i-1] >= is[i] {
+			t.Fatalf("RatedItems not sorted: %v", is)
+		}
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix()
+	m.Set(1, 10, 4)
+	cp := m.Clone()
+	cp.Set(1, 10, 1)
+	cp.Set(2, 20, 5)
+	if v, _ := m.Get(1, 10); v != 4 {
+		t.Fatal("Clone shares storage")
+	}
+	if m.Len() != 1 || cp.Len() != 2 {
+		t.Fatalf("lens = %d %d", m.Len(), cp.Len())
+	}
+}

@@ -1,0 +1,107 @@
+package present
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// Topic diversification after Ziegler, McNee, Konstan & Lausen
+// (WWW'05, the survey's reference [39] for "diversity"): a greedy
+// re-ranker that trades predicted score against similarity to the
+// items already chosen, so the final list does not collapse onto one
+// topic. Because the survey's transparency criterion applies to any
+// factor that shapes recommendations, the re-ranker also produces a
+// disclosure sentence.
+
+// Diversify greedily selects up to n predictions: at each step the
+// candidate maximising
+//
+//	lambda*normalisedScore - (1-lambda)*maxKeywordSimilarityToChosen
+//
+// is taken. lambda=1 reproduces the score ranking; lambda=0 ignores
+// scores entirely. The input must be sorted by descending score (as
+// Recommend returns); it is not modified.
+func Diversify(cat *model.Catalog, preds []recsys.Prediction, lambda float64, n int) []recsys.Prediction {
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	if n <= 0 || n > len(preds) {
+		n = len(preds)
+	}
+	if len(preds) == 0 {
+		return nil
+	}
+	remaining := append([]recsys.Prediction(nil), preds...)
+	out := make([]recsys.Prediction, 0, n)
+	var chosen []*model.Item
+	for len(out) < n && len(remaining) > 0 {
+		bestIdx := -1
+		bestVal := 0.0
+		for i, p := range remaining {
+			it, err := cat.Item(p.Item)
+			if err != nil {
+				continue
+			}
+			norm := (p.Score - model.MinRating) / (model.MaxRating - model.MinRating)
+			var maxSim float64
+			for _, ch := range chosen {
+				if s := keywordJaccard(it, ch); s > maxSim {
+					maxSim = s
+				}
+			}
+			val := lambda*norm - (1-lambda)*maxSim
+			if bestIdx == -1 || val > bestVal {
+				bestIdx, bestVal = i, val
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		pick := remaining[bestIdx]
+		if it, err := cat.Item(pick.Item); err == nil {
+			chosen = append(chosen, it)
+		}
+		out = append(out, pick)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out
+}
+
+func keywordJaccard(a, b *model.Item) float64 {
+	if len(a.Keywords) == 0 && len(b.Keywords) == 0 {
+		return 1
+	}
+	set := map[string]bool{}
+	union := map[string]bool{}
+	for _, k := range a.Keywords {
+		set[k] = true
+		union[k] = true
+	}
+	var inter int
+	for _, k := range b.Keywords {
+		if set[k] {
+			inter++
+		}
+		union[k] = true
+	}
+	if len(union) == 0 {
+		return 0
+	}
+	return float64(inter) / float64(len(union))
+}
+
+// DiversificationNote is the transparency disclosure for a diversified
+// list; empty at lambda >= 1 (no diversification happened).
+func DiversificationNote(lambda float64) string {
+	if lambda >= 1 {
+		return ""
+	}
+	return fmt.Sprintf(
+		"We varied the topics in this list (diversification strength %.0f%%), so some items outrank higher-scored but repetitive ones.",
+		(1-lambda)*100)
+}

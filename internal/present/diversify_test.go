@@ -1,0 +1,124 @@
+package present
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+)
+
+func diversifyFixture() (*model.Catalog, []recsys.Prediction) {
+	cat := model.NewCatalog("news")
+	add := func(id model.ItemID, score float64, kws ...string) recsys.Prediction {
+		cat.MustAdd(&model.Item{ID: id, Keywords: kws})
+		return recsys.Prediction{Item: id, Score: score}
+	}
+	preds := []recsys.Prediction{
+		add(1, 4.8, "sport", "football"),
+		add(2, 4.7, "sport", "football"),
+		add(3, 4.6, "sport", "football"),
+		add(4, 4.2, "technology", "gadgets"),
+		add(5, 4.0, "culture", "film"),
+	}
+	return cat, preds
+}
+
+func TestDiversifyLambdaOneKeepsRanking(t *testing.T) {
+	cat, preds := diversifyFixture()
+	out := Diversify(cat, preds, 1, 5)
+	for i := range preds {
+		if out[i].Item != preds[i].Item {
+			t.Fatalf("lambda=1 changed the ranking: %v", out)
+		}
+	}
+}
+
+func TestDiversifyBreaksTopicMonoculture(t *testing.T) {
+	cat, preds := diversifyFixture()
+	out := Diversify(cat, preds, 0.5, 3)
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// The top pick keeps its place; the rest should not all be
+	// football.
+	if out[0].Item != 1 {
+		t.Fatalf("best item displaced: %v", out)
+	}
+	topics := map[model.ItemID]bool{2: true, 3: true}
+	if topics[out[1].Item] && topics[out[2].Item] {
+		t.Fatalf("list is still all football: %v", out)
+	}
+	// Measured diversity improves over the plain top-3.
+	plain := []model.ItemID{preds[0].Item, preds[1].Item, preds[2].Item}
+	var divd []model.ItemID
+	for _, p := range out {
+		divd = append(divd, p.Item)
+	}
+	if eval.IntraListDiversity(cat, divd) <= eval.IntraListDiversity(cat, plain) {
+		t.Fatal("diversification did not raise intra-list diversity")
+	}
+}
+
+func TestDiversifyInputUntouched(t *testing.T) {
+	cat, preds := diversifyFixture()
+	first := preds[0].Item
+	Diversify(cat, preds, 0.3, 5)
+	if preds[0].Item != first {
+		t.Fatal("input slice mutated")
+	}
+}
+
+func TestDiversifyDegenerate(t *testing.T) {
+	cat, preds := diversifyFixture()
+	if out := Diversify(cat, nil, 0.5, 3); out != nil {
+		t.Fatal("empty input should return nil")
+	}
+	// Out-of-range lambda clamps rather than panicking.
+	if out := Diversify(cat, preds, -1, 2); len(out) != 2 {
+		t.Fatalf("lambda clamp low: %v", out)
+	}
+	if out := Diversify(cat, preds, 2, 2); len(out) != 2 || out[0].Item != 1 {
+		t.Fatalf("lambda clamp high: %v", out)
+	}
+	// n beyond input length returns everything.
+	if out := Diversify(cat, preds, 0.5, 99); len(out) != len(preds) {
+		t.Fatalf("n clamp: %v", out)
+	}
+}
+
+func TestDiversifyOnRealRecommender(t *testing.T) {
+	c := dataset.News(dataset.Config{Seed: 131, Users: 40, Items: 120, RatingsPerUser: 25})
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 15})
+	u := model.UserID(1)
+	preds := knn.Recommend(u, 30, recsys.ExcludeRated(c.Ratings, u))
+	if len(preds) < 10 {
+		t.Skip("not enough candidates")
+	}
+	plain := preds[:10]
+	diverse := Diversify(c.Catalog, preds, 0.6, 10)
+	toIDs := func(ps []recsys.Prediction) []model.ItemID {
+		out := make([]model.ItemID, len(ps))
+		for i, p := range ps {
+			out[i] = p.Item
+		}
+		return out
+	}
+	if eval.IntraListDiversity(c.Catalog, toIDs(diverse)) <
+		eval.IntraListDiversity(c.Catalog, toIDs(plain)) {
+		t.Fatal("diversification reduced diversity on a real list")
+	}
+}
+
+func TestDiversificationNote(t *testing.T) {
+	if DiversificationNote(1) != "" {
+		t.Fatal("no note at lambda=1")
+	}
+	note := DiversificationNote(0.6)
+	if !strings.Contains(note, "40%") || !strings.Contains(note, "varied the topics") {
+		t.Fatalf("note = %q", note)
+	}
+}

@@ -1,0 +1,103 @@
+package present
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Faceted browsing (Yee et al. 2003, cited in Section 4.5): each item
+// aspect becomes a facet with levels, and the user can see how many
+// items are available at each level — "the user can see where they
+// are in the search space".
+
+// FacetLevel is one value of a facet with its item count.
+type FacetLevel struct {
+	Value string
+	Count int
+}
+
+// Facet is one aspect of the items (a categorical attribute or the
+// keyword vocabulary) with per-level counts.
+type Facet struct {
+	Name   string
+	Levels []FacetLevel
+}
+
+// BuildFacets computes facets over the given items: one facet per
+// categorical attribute in the schema, plus a "keyword" facet when
+// items carry keywords. Levels are sorted by descending count, then
+// value.
+func BuildFacets(cat *model.Catalog, items []*model.Item) []Facet {
+	var facets []Facet
+	for _, def := range cat.Attrs {
+		if def.Kind != model.Categorical {
+			continue
+		}
+		counts := map[string]int{}
+		for _, it := range items {
+			if v, ok := it.Categorical[def.Name]; ok {
+				counts[v]++
+			}
+		}
+		if len(counts) > 0 {
+			facets = append(facets, Facet{Name: def.Name, Levels: sortedLevels(counts)})
+		}
+	}
+	kw := map[string]int{}
+	for _, it := range items {
+		for _, k := range it.Keywords {
+			kw[k]++
+		}
+	}
+	if len(kw) > 0 {
+		facets = append(facets, Facet{Name: "keyword", Levels: sortedLevels(kw)})
+	}
+	return facets
+}
+
+func sortedLevels(counts map[string]int) []FacetLevel {
+	levels := make([]FacetLevel, 0, len(counts))
+	for v, c := range counts {
+		levels = append(levels, FacetLevel{Value: v, Count: c})
+	}
+	sort.Slice(levels, func(a, b int) bool {
+		if levels[a].Count != levels[b].Count {
+			return levels[a].Count > levels[b].Count
+		}
+		return levels[a].Value < levels[b].Value
+	})
+	return levels
+}
+
+// Narrow returns the items matching one facet level: either a
+// categorical attribute value or (for the "keyword" facet) a keyword.
+func Narrow(items []*model.Item, facetName, value string) []*model.Item {
+	var out []*model.Item
+	for _, it := range items {
+		if facetName == "keyword" {
+			if it.HasKeyword(value) {
+				out = append(out, it)
+			}
+			continue
+		}
+		if it.Categorical[facetName] == value {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// RenderFacets draws the facet sidebar: names, levels, counts.
+func RenderFacets(facets []Facet) string {
+	var b strings.Builder
+	for _, f := range facets {
+		fmt.Fprintf(&b, "%s:\n", f.Name)
+		for _, l := range f.Levels {
+			fmt.Fprintf(&b, "  %s (%d)\n", l.Value, l.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package present
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+// Overview is the structured overview of Pu & Chen (Section 4.5): the
+// best-matching item at the top, followed by categories of trade-off
+// alternatives, each titled by its shared trade-off pattern, e.g.
+// "[these laptops]... are cheaper and lighter, but have lower
+// processor speed".
+type Overview struct {
+	Best       knowledge.ScoredItem
+	Categories []OverviewCategory
+}
+
+// OverviewCategory is one group of alternatives sharing a trade-off
+// pattern against the best item.
+type OverviewCategory struct {
+	// Title is the human-readable trade-off description.
+	Title string
+	// Pattern is the canonical attribute-direction signature the
+	// category groups by, e.g. "price:better|resolution:worse".
+	Pattern string
+	// Items are the members, best utility first.
+	Items []knowledge.ScoredItem
+	// MatchScore orders categories: mean utility of members, so
+	// categories closer to the user's requirements come first.
+	MatchScore float64
+}
+
+// BuildOverview groups scored alternatives by their trade-off pattern
+// against the best item. Items whose pattern shows no differences are
+// folded into the best item's own "very similar" category. maxPerCat
+// bounds category size (0 means unbounded).
+func BuildOverview(cat *model.Catalog, scored []knowledge.ScoredItem, maxPerCat int) (*Overview, error) {
+	if len(scored) == 0 {
+		return nil, fmt.Errorf("structured overview: %w", explain.ErrNoEvidence)
+	}
+	best := scored[0]
+	groups := map[string]*OverviewCategory{}
+	for _, s := range scored[1:] {
+		tos := knowledge.Compare(cat, best.Item, s.Item)
+		pattern := patternOf(tos)
+		g, ok := groups[pattern]
+		if !ok {
+			g = &OverviewCategory{Title: titleOf(tos), Pattern: pattern}
+			groups[pattern] = g
+		}
+		if maxPerCat <= 0 || len(g.Items) < maxPerCat {
+			g.Items = append(g.Items, s)
+		}
+	}
+	ov := &Overview{Best: best}
+	for _, g := range groups {
+		var sum float64
+		for _, s := range g.Items {
+			sum += s.Utility
+		}
+		g.MatchScore = sum / float64(len(g.Items))
+		ov.Categories = append(ov.Categories, *g)
+	}
+	// The order of the titles depends on how well the category matches
+	// the user's requirements (the paper's phrasing).
+	sort.Slice(ov.Categories, func(a, b int) bool {
+		if ov.Categories[a].MatchScore != ov.Categories[b].MatchScore {
+			return ov.Categories[a].MatchScore > ov.Categories[b].MatchScore
+		}
+		return ov.Categories[a].Pattern < ov.Categories[b].Pattern
+	})
+	return ov, nil
+}
+
+// patternOf canonicalises the non-Same trade-offs into a grouping key.
+func patternOf(tos []knowledge.Tradeoff) string {
+	var parts []string
+	for _, to := range tos {
+		if to.Direction == knowledge.Same {
+			continue
+		}
+		parts = append(parts, to.Attr+":"+to.Direction.String())
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "similar"
+	}
+	return strings.Join(parts, "|")
+}
+
+// titleOf renders the category title from the trade-off pattern.
+func titleOf(tos []knowledge.Tradeoff) string {
+	var gains, losses []string
+	for _, to := range tos {
+		switch to.Direction {
+		case knowledge.Better:
+			gains = append(gains, strings.ToLower(to.Phrase))
+		case knowledge.Worse:
+			losses = append(losses, strings.ToLower(to.Phrase))
+		case knowledge.Different:
+			gains = append(gains, strings.ToLower(to.Phrase))
+		}
+	}
+	switch {
+	case len(gains) > 0 && len(losses) > 0:
+		return fmt.Sprintf("...are %s, but %s", strings.Join(gains, " and "), strings.Join(losses, " and "))
+	case len(gains) > 0:
+		return fmt.Sprintf("...are %s", strings.Join(gains, " and "))
+	case len(losses) > 0:
+		return fmt.Sprintf("...are %s", strings.Join(losses, " and "))
+	default:
+		return "...are very similar"
+	}
+}
+
+// Render draws the overview: best match then categories in order.
+func (o *Overview) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Best match: %s (%.0f%% match)\n", o.Best.Item.Title, o.Best.Utility*100)
+	for _, c := range o.Categories {
+		fmt.Fprintf(&b, "\nAlternatives that %s:\n", strings.TrimPrefix(c.Title, "..."))
+		for _, s := range c.Items {
+			fmt.Fprintf(&b, "  - %s (%.0f%% match)\n", s.Item.Title, s.Utility*100)
+		}
+	}
+	return b.String()
+}
+
+// NumAlternatives returns the total number of grouped alternatives.
+func (o *Overview) NumAlternatives() int {
+	var n int
+	for _, c := range o.Categories {
+		n += len(c.Items)
+	}
+	return n
+}

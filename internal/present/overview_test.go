@@ -1,0 +1,162 @@
+package present
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/recsys/knowledge"
+)
+
+func overviewFixture() (*model.Catalog, []knowledge.ScoredItem) {
+	cat := model.NewCatalog("cameras",
+		model.AttrDef{Name: "price", Kind: model.Numeric, LessIsBetter: true},
+		model.AttrDef{Name: "resolution", Kind: model.Numeric},
+	)
+	mk := func(id model.ItemID, title string, price, res, util float64) knowledge.ScoredItem {
+		it := &model.Item{ID: id, Title: title, Numeric: map[string]float64{"price": price, "resolution": res}}
+		cat.MustAdd(it)
+		return knowledge.ScoredItem{Item: it, Utility: util}
+	}
+	best := mk(1, "Best", 400, 20, 0.9)
+	cheaper1 := mk(2, "CheapA", 150, 10, 0.7)
+	cheaper2 := mk(3, "CheapB", 180, 11, 0.65)
+	pricier := mk(4, "Pro", 900, 30, 0.5)
+	return cat, []knowledge.ScoredItem{best, cheaper1, cheaper2, pricier}
+}
+
+func TestBuildOverviewGroupsByPattern(t *testing.T) {
+	cat, scored := overviewFixture()
+	ov, err := BuildOverview(cat, scored, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Best.Item.Title != "Best" {
+		t.Fatalf("best = %q", ov.Best.Item.Title)
+	}
+	if len(ov.Categories) != 2 {
+		t.Fatalf("categories = %d: %+v", len(ov.Categories), ov.Categories)
+	}
+	// The cheaper/lower-res category has two members and higher mean
+	// utility, so it comes first.
+	first := ov.Categories[0]
+	if len(first.Items) != 2 {
+		t.Fatalf("first category has %d items", len(first.Items))
+	}
+	if !strings.Contains(first.Title, "cheaper") || !strings.Contains(first.Title, "lower resolution") {
+		t.Fatalf("first title = %q", first.Title)
+	}
+	second := ov.Categories[1]
+	if !strings.Contains(second.Title, "more expensive") || !strings.Contains(second.Title, "higher resolution") {
+		t.Fatalf("second title = %q", second.Title)
+	}
+	if ov.NumAlternatives() != 3 {
+		t.Fatalf("alternatives = %d", ov.NumAlternatives())
+	}
+}
+
+func TestBuildOverviewMaxPerCategory(t *testing.T) {
+	cat, scored := overviewFixture()
+	ov, err := BuildOverview(cat, scored, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ov.Categories {
+		if len(c.Items) > 1 {
+			t.Fatalf("category exceeds cap: %+v", c)
+		}
+	}
+}
+
+func TestBuildOverviewEmpty(t *testing.T) {
+	cat, _ := overviewFixture()
+	if _, err := BuildOverview(cat, nil, 0); !errors.Is(err, explain.ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverviewRender(t *testing.T) {
+	cat, scored := overviewFixture()
+	ov, _ := BuildOverview(cat, scored, 0)
+	out := ov.Render()
+	if !strings.Contains(out, "Best match: Best (90% match)") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "Alternatives that are cheaper") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "CheapA (70% match)") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestOverviewOnGeneratedCameras(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 11, Users: 3, Items: 60, RatingsPerUser: 2})
+	r := knowledge.New(c.Catalog)
+	lo, hi, _ := c.Catalog.NumericRange(dataset.CamPrice)
+	prefs := &knowledge.Preferences{
+		NumericIdeal:  map[string]float64{dataset.CamPrice: lo + (hi-lo)*0.2, dataset.CamResolution: 18},
+		NumericWeight: map[string]float64{dataset.CamPrice: 2, dataset.CamResolution: 1},
+	}
+	scored, err := r.Recommend(prefs, nil, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := BuildOverview(c.Catalog, scored, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov.Categories) == 0 {
+		t.Fatal("no categories built")
+	}
+	// Categories are ordered by match score.
+	for i := 1; i < len(ov.Categories); i++ {
+		if ov.Categories[i-1].MatchScore < ov.Categories[i].MatchScore {
+			t.Fatal("categories not ordered by match")
+		}
+	}
+}
+
+func TestFacets(t *testing.T) {
+	c := dataset.Restaurants(dataset.Config{Seed: 3, Users: 3, Items: 40, RatingsPerUser: 2})
+	facets := BuildFacets(c.Catalog, c.Catalog.Items())
+	var cuisine *Facet
+	for i := range facets {
+		if facets[i].Name == dataset.RestCuisine {
+			cuisine = &facets[i]
+		}
+	}
+	if cuisine == nil {
+		t.Fatal("cuisine facet missing")
+	}
+	var total int
+	for _, l := range cuisine.Levels {
+		total += l.Count
+	}
+	if total != 40 {
+		t.Fatalf("cuisine level counts sum to %d, want 40", total)
+	}
+	for i := 1; i < len(cuisine.Levels); i++ {
+		if cuisine.Levels[i-1].Count < cuisine.Levels[i].Count {
+			t.Fatal("levels not sorted by count")
+		}
+	}
+	// Narrowing by a level yields exactly that count.
+	lvl := cuisine.Levels[0]
+	narrowed := Narrow(c.Catalog.Items(), dataset.RestCuisine, lvl.Value)
+	if len(narrowed) != lvl.Count {
+		t.Fatalf("narrow returned %d, facet said %d", len(narrowed), lvl.Count)
+	}
+	// Keyword facet present and narrowable.
+	kwNarrow := Narrow(c.Catalog.Items(), "keyword", lvl.Value)
+	if len(kwNarrow) != lvl.Count {
+		t.Fatalf("keyword narrow = %d", len(kwNarrow))
+	}
+	out := RenderFacets(facets)
+	if !strings.Contains(out, "cuisine:") || !strings.Contains(out, "(") {
+		t.Fatalf("facet render:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+package present
+
+import (
+	"fmt"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// Personality angles the choice of recommended items or the predicted
+// ratings (Section 4.6). A recommender can be affirming (familiar,
+// trust-building), serendipitous (novel, satisfaction-building), bold
+// (recommend more strongly than the evidence supports) or frank
+// (state true confidence). When such factors shape the recommendation
+// the survey's transparency criterion says they must be disclosed —
+// so Apply returns both the adjusted predictions and the disclosure
+// sentence.
+type Personality int
+
+// Personalities.
+const (
+	Neutral Personality = iota
+	Affirming
+	Serendipitous
+	Bold
+	Frank
+)
+
+func (p Personality) String() string {
+	switch p {
+	case Neutral:
+		return "neutral"
+	case Affirming:
+		return "affirming"
+	case Serendipitous:
+		return "serendipitous"
+	case Bold:
+		return "bold"
+	case Frank:
+		return "frank"
+	default:
+		return fmt.Sprintf("Personality(%d)", int(p))
+	}
+}
+
+// Disclosure returns the transparency sentence describing how the
+// personality shapes recommendations; empty for Neutral.
+func (p Personality) Disclosure() string {
+	switch p {
+	case Affirming:
+		return "We lean toward items you are likely to already know."
+	case Serendipitous:
+		return "We lean toward novel items to surprise you."
+	case Bold:
+		return "We state our recommendations more strongly than our raw predictions."
+	case Frank:
+		return "We always disclose how confident we are."
+	default:
+		return ""
+	}
+}
+
+// Apply adjusts a ranked prediction list according to the personality
+// and re-sorts it. The catalogue supplies popularity for the
+// familiarity-driven personalities. The input slice is not modified.
+func (p Personality) Apply(cat *model.Catalog, preds []recsys.Prediction) []recsys.Prediction {
+	out := append([]recsys.Prediction(nil), preds...)
+	switch p {
+	case Affirming:
+		// Boost familiar (popular) items: a conservative, trust-first
+		// strategy (the survey cites Amazon's familiar-item bias).
+		for i := range out {
+			if it, err := cat.Item(out[i].Item); err == nil {
+				out[i].Score = model.ClampRating(out[i].Score + 0.6*(it.Popularity-0.3))
+			}
+		}
+	case Serendipitous:
+		// Boost novel (unpopular, recent) items to surprise the user.
+		for i := range out {
+			if it, err := cat.Item(out[i].Item); err == nil {
+				out[i].Score = model.ClampRating(out[i].Score + 0.6*(0.7-it.Popularity) + 0.2*(it.Recency-0.5))
+			}
+		}
+	case Bold:
+		// Exaggerate deviations from the midpoint.
+		for i := range out {
+			mid := (model.MinRating + model.MaxRating) / 2
+			out[i].Score = model.ClampRating(mid + 1.5*(out[i].Score-mid))
+		}
+	case Frank, Neutral:
+		// No score changes; Frank affects rendering only.
+	}
+	recsys.SortPredictions(out)
+	return out
+}
+
+// Decorate attaches the personality's rendering effects to an
+// explanation: Frank appends the confidence phrase, every non-neutral
+// personality appends its disclosure.
+func (p Personality) Decorate(e *explain.Explanation) *explain.Explanation {
+	if e == nil {
+		return nil
+	}
+	if p == Frank {
+		explain.WithFrankConfidence(e)
+	}
+	if d := p.Disclosure(); d != "" && p != Frank {
+		e.Text += " (" + d + ")"
+	}
+	return e
+}

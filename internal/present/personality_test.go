@@ -1,0 +1,115 @@
+package present
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+func personalityFixture() (*model.Catalog, []recsys.Prediction) {
+	cat := model.NewCatalog("movies")
+	cat.MustAdd(&model.Item{ID: 1, Title: "Blockbuster", Popularity: 0.95, Recency: 0.5})
+	cat.MustAdd(&model.Item{ID: 2, Title: "Obscure Gem", Popularity: 0.05, Recency: 0.9})
+	preds := []recsys.Prediction{
+		{Item: 1, Score: 4.0, Confidence: 0.8},
+		{Item: 2, Score: 4.0, Confidence: 0.6},
+	}
+	return cat, preds
+}
+
+func TestAffirmingBoostsPopular(t *testing.T) {
+	cat, preds := personalityFixture()
+	out := Affirming.Apply(cat, preds)
+	if out[0].Item != 1 {
+		t.Fatalf("affirming should rank the blockbuster first, got %d", out[0].Item)
+	}
+	if out[0].Score <= out[1].Score {
+		t.Fatal("scores should separate")
+	}
+}
+
+func TestSerendipitousBoostsNovel(t *testing.T) {
+	cat, preds := personalityFixture()
+	out := Serendipitous.Apply(cat, preds)
+	if out[0].Item != 2 {
+		t.Fatalf("serendipitous should rank the obscure item first, got %d", out[0].Item)
+	}
+}
+
+func TestBoldExaggerates(t *testing.T) {
+	cat := model.NewCatalog("t")
+	cat.MustAdd(&model.Item{ID: 1})
+	cat.MustAdd(&model.Item{ID: 2})
+	preds := []recsys.Prediction{
+		{Item: 1, Score: 4.0},
+		{Item: 2, Score: 2.0},
+	}
+	out := Bold.Apply(cat, preds)
+	if out[0].Score != 4.5 || out[1].Score != 1.5 {
+		t.Fatalf("bold scores = %v, %v", out[0].Score, out[1].Score)
+	}
+}
+
+func TestNeutralAndFrankKeepScores(t *testing.T) {
+	cat, preds := personalityFixture()
+	for _, p := range []Personality{Neutral, Frank} {
+		out := p.Apply(cat, preds)
+		for i := range out {
+			if out[i].Score != 4.0 {
+				t.Fatalf("%v modified scores: %v", p, out[i].Score)
+			}
+		}
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	cat, preds := personalityFixture()
+	Bold.Apply(cat, preds)
+	if preds[0].Score != 4.0 {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestDisclosures(t *testing.T) {
+	if Neutral.Disclosure() != "" {
+		t.Fatal("neutral should not disclose")
+	}
+	for _, p := range []Personality{Affirming, Serendipitous, Bold, Frank} {
+		if p.Disclosure() == "" {
+			t.Fatalf("%v missing disclosure", p)
+		}
+	}
+}
+
+func TestDecorate(t *testing.T) {
+	e := &explain.Explanation{Text: "Base.", Confidence: 0.9}
+	Frank.Decorate(e)
+	if !strings.Contains(e.Text, "confident") {
+		t.Fatalf("frank decoration missing: %q", e.Text)
+	}
+	e2 := &explain.Explanation{Text: "Base."}
+	Serendipitous.Decorate(e2)
+	if !strings.Contains(e2.Text, "novel items") {
+		t.Fatalf("serendipitous decoration missing: %q", e2.Text)
+	}
+	if Neutral.Decorate(nil) != nil {
+		t.Fatal("nil explanation should pass through")
+	}
+}
+
+func TestPersonalityStrings(t *testing.T) {
+	for p, want := range map[Personality]string{
+		Neutral: "neutral", Affirming: "affirming", Serendipitous: "serendipitous",
+		Bold: "bold", Frank: "frank",
+	} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Personality(42).String() == "" {
+		t.Fatal("unknown personality should stringify")
+	}
+}

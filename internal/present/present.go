@@ -1,0 +1,240 @@
+// Package present implements the recommendation presentation modes of
+// the survey's Section 4: top item, top-N, similar-to-top, predicted
+// ratings for all items, the structured overview of Pu & Chen, the
+// treemap visualization (Figure 2), faceted browsing, and recommender
+// "personality" (Section 4.6).
+//
+// Presenters take scored items plus optional explanations and produce
+// a Presentation — an ordered, rendered view. The survey's point is
+// that presentation and explanation are entangled ("some ways of
+// offering recommendations can be seen as an explanation in itself");
+// keeping both in one Entry makes that entanglement explicit.
+package present
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// Entry is one presented item: prediction plus optional explanation.
+type Entry struct {
+	Item        *model.Item
+	Prediction  recsys.Prediction
+	Explanation *explain.Explanation
+}
+
+// Presentation is an ordered, titled view of recommended items.
+type Presentation struct {
+	Title   string
+	Entries []Entry
+}
+
+// Render draws the presentation as plain text: rank, stars, title, and
+// the explanation sentence when present.
+func (p *Presentation) Render() string {
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	for i, e := range p.Entries {
+		fmt.Fprintf(&b, "%2d. %s  %s\n", i+1, stars(e.Prediction.Score), e.Item.Title)
+		if e.Explanation != nil && e.Explanation.Text != "" {
+			fmt.Fprintf(&b, "    %s\n", e.Explanation.Text)
+		}
+	}
+	return b.String()
+}
+
+// stars renders a score as a five-character star bar, e.g. "[****-]".
+func stars(score float64) string {
+	full := int(score + 0.5)
+	if full < 0 {
+		full = 0
+	}
+	if full > 5 {
+		full = 5
+	}
+	return "[" + strings.Repeat("*", full) + strings.Repeat("-", 5-full) + "]"
+}
+
+// Explainer is the subset of explain.Explainer presenters need; it is
+// redeclared here so presenters accept any explanation source.
+type Explainer interface {
+	Explain(u model.UserID, item *model.Item) (*explain.Explanation, error)
+}
+
+// explainIfPossible attaches an explanation when the explainer has
+// evidence; a missing explanation is not an error at presentation time.
+func explainIfPossible(ex Explainer, u model.UserID, it *model.Item) *explain.Explanation {
+	if ex == nil {
+		return nil
+	}
+	e, err := ex.Explain(u, it)
+	if err != nil {
+		return nil
+	}
+	return e
+}
+
+// TopItem presents the single best recommendation (Section 4.1) with
+// its explanation.
+func TopItem(cat *model.Catalog, rec recsys.Recommender, ex Explainer, u model.UserID, exclude func(model.ItemID) bool) (*Presentation, error) {
+	preds := rec.Recommend(u, 1, exclude)
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("top item for user %d: %w", u, recsys.ErrColdStart)
+	}
+	it, err := cat.Item(preds[0].Item)
+	if err != nil {
+		return nil, fmt.Errorf("top item for user %d: %w", u, err)
+	}
+	return &Presentation{
+		Title: "Recommended for you",
+		Entries: []Entry{{
+			Item:        it,
+			Prediction:  preds[0],
+			Explanation: explainIfPossible(ex, u, it),
+		}},
+	}, nil
+}
+
+// TopN presents the n best recommendations (Section 4.2).
+func TopN(cat *model.Catalog, rec recsys.Recommender, ex Explainer, u model.UserID, n int, exclude func(model.ItemID) bool) (*Presentation, error) {
+	preds := rec.Recommend(u, n, exclude)
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("top-%d for user %d: %w", n, u, recsys.ErrColdStart)
+	}
+	p := &Presentation{Title: fmt.Sprintf("Top %d for you", len(preds))}
+	for _, pr := range preds {
+		it, err := cat.Item(pr.Item)
+		if err != nil {
+			continue
+		}
+		p.Entries = append(p.Entries, Entry{
+			Item:        it,
+			Prediction:  pr,
+			Explanation: explainIfPossible(ex, u, it),
+		})
+	}
+	return p, nil
+}
+
+// SimilarToTop presents items similar to a seed item the user liked
+// (Section 4.3): "You might also like... Oliver Twist by Charles
+// Dickens". Similarity here is content similarity: shared creator
+// first, then keyword overlap.
+func SimilarToTop(cat *model.Catalog, seed *model.Item, n int, exclude func(model.ItemID) bool) *Presentation {
+	type cand struct {
+		item  *model.Item
+		score float64
+	}
+	var cands []cand
+	for _, it := range cat.Items() {
+		if it.ID == seed.ID {
+			continue
+		}
+		if exclude != nil && exclude(it.ID) {
+			continue
+		}
+		s := keywordOverlap(seed, it)
+		if it.Creator != "" && it.Creator == seed.Creator {
+			s += 1
+		}
+		if s > 0 {
+			cands = append(cands, cand{item: it, score: s})
+		}
+	}
+	// Highest similarity first; ties by ID for determinism.
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].score > cands[i].score ||
+				(cands[j].score == cands[i].score && cands[j].item.ID < cands[i].item.ID) {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	if n > 0 && len(cands) > n {
+		cands = cands[:n]
+	}
+	p := &Presentation{Title: fmt.Sprintf("Because you liked %q", seed.Title)}
+	for _, c := range cands {
+		who := c.item.Title
+		if c.item.Creator != "" {
+			who += " by " + c.item.Creator
+		}
+		p.Entries = append(p.Entries, Entry{
+			Item: c.item,
+			Explanation: &explain.Explanation{
+				Style:    explain.ContentBased,
+				Text:     fmt.Sprintf("You might also like... %s", who),
+				Faithful: true,
+			},
+		})
+	}
+	return p
+}
+
+func keywordOverlap(a, b *model.Item) float64 {
+	var n float64
+	for _, k := range a.Keywords {
+		if b.HasKeyword(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// PredictedRatings presents every item with its predicted rating
+// (Section 4.4), letting users browse the full space. Items the
+// predictor cannot score are listed unrated at the end, keeping the
+// browsing surface complete. WhyLow (on the returned view) answers
+// the "why is this predicted low?" question.
+type RatingsView struct {
+	Presentation
+	user    model.UserID
+	low     LowExplainer
+	unrated []*model.Item
+}
+
+// LowExplainer answers "why is this item predicted low?" — the
+// scrutability entry point of Section 4.4.
+type LowExplainer interface {
+	ExplainLow(u model.UserID, item *model.Item) (*explain.Explanation, error)
+}
+
+// PredictedRatings builds the browse-everything view for user u.
+func PredictedRatings(cat *model.Catalog, pred recsys.Predictor, low LowExplainer, u model.UserID) *RatingsView {
+	v := &RatingsView{user: u, low: low}
+	v.Title = "All items with predicted ratings"
+	var preds []recsys.Prediction
+	byItem := map[model.ItemID]*model.Item{}
+	for _, it := range cat.Items() {
+		p, err := pred.Predict(u, it.ID)
+		if err != nil {
+			v.unrated = append(v.unrated, it)
+			continue
+		}
+		preds = append(preds, p)
+		byItem[it.ID] = it
+	}
+	recsys.SortPredictions(preds)
+	for _, p := range preds {
+		v.Entries = append(v.Entries, Entry{Item: byItem[p.Item], Prediction: p})
+	}
+	return v
+}
+
+// Unrated returns the items that could not be scored.
+func (v *RatingsView) Unrated() []*model.Item { return v.unrated }
+
+// WhyLow explains a low prediction for an item in the view.
+func (v *RatingsView) WhyLow(item *model.Item) (*explain.Explanation, error) {
+	if v.low == nil {
+		return nil, fmt.Errorf("item %d: %w", item.ID, explain.ErrNoEvidence)
+	}
+	return v.low.ExplainLow(v.user, item)
+}

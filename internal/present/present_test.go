@@ -1,0 +1,175 @@
+package present
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+	"repro/internal/recsys/content"
+)
+
+func movieSetup(t testing.TB) (*dataset.Community, *cf.UserKNN) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 201, Users: 50, Items: 60, RatingsPerUser: 20})
+	return c, cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 15})
+}
+
+func TestTopItem(t *testing.T) {
+	c, knn := movieSetup(t)
+	ex := explain.NewHistogramExplainer(knn)
+	u := model.UserID(1)
+	p, err := TopItem(c.Catalog, knn, ex, u, recsys.ExcludeRated(c.Ratings, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) != 1 {
+		t.Fatalf("entries = %d", len(p.Entries))
+	}
+	out := p.Render()
+	if !strings.Contains(out, "Recommended for you") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, p.Entries[0].Item.Title) {
+		t.Fatalf("item title missing:\n%s", out)
+	}
+}
+
+func TestTopItemColdStart(t *testing.T) {
+	c, knn := movieSetup(t)
+	if _, err := TopItem(c.Catalog, knn, nil, 9999, nil); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTopNSortedWithExplanations(t *testing.T) {
+	c, knn := movieSetup(t)
+	ex := explain.NewNeighborCountExplainer(knn)
+	u := model.UserID(2)
+	p, err := TopN(c.Catalog, knn, ex, u, 5, recsys.ExcludeRated(c.Ratings, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) != 5 {
+		t.Fatalf("entries = %d", len(p.Entries))
+	}
+	for i := 1; i < len(p.Entries); i++ {
+		if p.Entries[i-1].Prediction.Score < p.Entries[i].Prediction.Score {
+			t.Fatal("not sorted")
+		}
+	}
+	var explained int
+	for _, e := range p.Entries {
+		if e.Explanation != nil {
+			explained++
+		}
+	}
+	if explained == 0 {
+		t.Fatal("no entries carried explanations")
+	}
+}
+
+func TestStars(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  string
+	}{
+		{5, "[*****]"}, {4.4, "[****-]"}, {1, "[*----]"}, {0, "[-----]"},
+	}
+	for _, c := range cases {
+		if got := stars(c.score); got != c.want {
+			t.Fatalf("stars(%v) = %q, want %q", c.score, got, c.want)
+		}
+	}
+}
+
+func TestSimilarToTopPrefersSameCreator(t *testing.T) {
+	cat := model.NewCatalog("books")
+	seed := &model.Item{ID: 1, Title: "Great Expectations", Creator: "Charles Dickens", Keywords: []string{"classic"}}
+	cat.MustAdd(seed)
+	cat.MustAdd(&model.Item{ID: 2, Title: "Oliver Twist", Creator: "Charles Dickens", Keywords: []string{"classic"}})
+	cat.MustAdd(&model.Item{ID: 3, Title: "Other Classic", Creator: "Someone Else", Keywords: []string{"classic"}})
+	cat.MustAdd(&model.Item{ID: 4, Title: "Unrelated", Creator: "Nobody", Keywords: []string{"scifi"}})
+	p := SimilarToTop(cat, seed, 2, nil)
+	if len(p.Entries) != 2 {
+		t.Fatalf("entries = %d", len(p.Entries))
+	}
+	if p.Entries[0].Item.ID != 2 {
+		t.Fatalf("same-creator item should rank first, got %d", p.Entries[0].Item.ID)
+	}
+	if got := p.Entries[0].Explanation.Text; got != "You might also like... Oliver Twist by Charles Dickens" {
+		t.Fatalf("explanation = %q", got)
+	}
+	// Unrelated item (no overlap) must not appear at all.
+	for _, e := range p.Entries {
+		if e.Item.ID == 4 {
+			t.Fatal("unrelated item included")
+		}
+	}
+}
+
+func TestSimilarToTopExcludes(t *testing.T) {
+	cat := model.NewCatalog("books")
+	seed := &model.Item{ID: 1, Keywords: []string{"a"}}
+	cat.MustAdd(seed)
+	cat.MustAdd(&model.Item{ID: 2, Keywords: []string{"a"}})
+	p := SimilarToTop(cat, seed, 5, func(i model.ItemID) bool { return i == 2 })
+	if len(p.Entries) != 0 {
+		t.Fatalf("excluded item leaked: %d entries", len(p.Entries))
+	}
+}
+
+func TestPredictedRatingsViewAndWhyLow(t *testing.T) {
+	c, _ := movieSetup(t)
+	kw := content.NewKeywordRecommender(c.Ratings, c.Catalog)
+	low := explain.NewProfileExplainer(kw)
+	u := model.UserID(3)
+	v := PredictedRatings(c.Catalog, kw, low, u)
+	if len(v.Entries)+len(v.Unrated()) != c.Catalog.Len() {
+		t.Fatalf("view covers %d+%d of %d items",
+			len(v.Entries), len(v.Unrated()), c.Catalog.Len())
+	}
+	for i := 1; i < len(v.Entries); i++ {
+		if v.Entries[i-1].Prediction.Score < v.Entries[i].Prediction.Score {
+			t.Fatal("ratings view not sorted")
+		}
+	}
+	// Ask why the lowest-predicted item is low; it should either
+	// explain or report no evidence — never panic or fabricate.
+	lowest := v.Entries[len(v.Entries)-1]
+	exp, err := v.WhyLow(lowest.Item)
+	if err != nil && !errors.Is(err, explain.ErrNoEvidence) {
+		t.Fatalf("WhyLow error = %v", err)
+	}
+	if err == nil && !strings.Contains(exp.Text, "do not seem to like") {
+		t.Fatalf("WhyLow text = %q", exp.Text)
+	}
+}
+
+func TestPredictedRatingsNilLowExplainer(t *testing.T) {
+	c, _ := movieSetup(t)
+	kw := content.NewKeywordRecommender(c.Ratings, c.Catalog)
+	v := PredictedRatings(c.Catalog, kw, nil, 3)
+	if _, err := v.WhyLow(c.Catalog.Items()[0]); !errors.Is(err, explain.ErrNoEvidence) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenderIncludesExplanations(t *testing.T) {
+	p := &Presentation{
+		Title: "T",
+		Entries: []Entry{{
+			Item:        &model.Item{Title: "Item A"},
+			Prediction:  recsys.Prediction{Score: 4},
+			Explanation: &explain.Explanation{Text: "Because reasons."},
+		}},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "Because reasons.") || !strings.Contains(out, "[****-]") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

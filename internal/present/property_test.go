@@ -1,0 +1,133 @@
+package present
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/recsys"
+	"repro/internal/recsys/knowledge"
+	"repro/internal/rng"
+)
+
+// Property: the structured overview partitions the non-best scored
+// items — every alternative lands in exactly one category (with no
+// per-category cap).
+func TestOverviewPartitionQuick(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 111, Users: 3, Items: 60, RatingsPerUser: 2})
+	rec := knowledge.New(c.Catalog)
+	lo, hi, _ := c.Catalog.NumericRange(dataset.CamPrice)
+	f := func(idealFrac, resFrac uint8, n uint8) bool {
+		prefs := &knowledge.Preferences{
+			NumericIdeal: map[string]float64{
+				dataset.CamPrice:      lo + (hi-lo)*float64(idealFrac%100)/100,
+				dataset.CamResolution: 8 + float64(resFrac%24),
+			},
+		}
+		count := int(n%20) + 3
+		scored, err := rec.Recommend(prefs, nil, count)
+		if err != nil || len(scored) < 2 {
+			return true
+		}
+		ov, err := BuildOverview(c.Catalog, scored, 0)
+		if err != nil {
+			return false
+		}
+		seen := map[int64]int{}
+		for _, cat := range ov.Categories {
+			for _, s := range cat.Items {
+				seen[int64(s.Item.ID)]++
+			}
+		}
+		if len(seen) != len(scored)-1 {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// Categories ordered by match score.
+		for i := 1; i < len(ov.Categories); i++ {
+			if ov.Categories[i-1].MatchScore < ov.Categories[i].MatchScore {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: personality adjustment preserves the candidate set — it
+// reorders and rescales, never adds or drops items.
+func TestPersonalityPreservesSetQuick(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 113, Users: 20, Items: 60, RatingsPerUser: 12})
+	personalities := []Personality{Neutral, Affirming, Serendipitous, Bold, Frank}
+	r := rng.New(7)
+	f := func(pIdx uint8, n uint8) bool {
+		p := personalities[int(pIdx)%len(personalities)]
+		count := int(n%20) + 1
+		var in []int64
+		items := c.Catalog.Items()
+		var predictions []recsys.Prediction
+		seen := map[int]bool{}
+		for i := 0; i < count; i++ {
+			idx := r.Intn(len(items))
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			predictions = append(predictions, recsys.Prediction{Item: items[idx].ID, Score: 1 + 4*r.Float64()})
+			in = append(in, int64(items[idx].ID))
+		}
+		out := p.Apply(c.Catalog, predictions)
+		if len(out) != len(predictions) {
+			return false
+		}
+		got := map[int64]bool{}
+		for _, pr := range out {
+			got[int64(pr.Item)] = true
+		}
+		for _, id := range in {
+			if !got[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the treemap renders without gaps for any tile count that
+// lays out successfully.
+func TestTreemapRenderGapFreeQuick(t *testing.T) {
+	r := rng.New(11)
+	classes := []string{"sport", "tech", "politics", "culture"}
+	f := func(n uint8) bool {
+		count := int(n%15) + 1
+		items := make([]TreemapItem, count)
+		for i := range items {
+			items[i] = TreemapItem{
+				Label:  "x",
+				Weight: 0.2 + r.Float64()*5,
+				Class:  classes[r.Intn(len(classes))],
+				Shade:  r.Float64(),
+			}
+		}
+		nodes, err := Squarify(items, Rect{W: 48, H: 14})
+		if err != nil {
+			return false
+		}
+		out := RenderTreemap(nodes, 48, 14)
+		grid := strings.Split(out, "legend:")[0]
+		return !strings.Contains(grid, " ")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+package present
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The treemap of Figure 2 (newsmap-style): topic areas get colours,
+// square size represents importance to the current user, and shade
+// represents recency. We implement the squarified treemap algorithm
+// (Bruls, Huizing & van Wijk 2000) over a character grid: "colour" is
+// the topic's letter, "shade" is upper case (fresh) vs lower case
+// (stale).
+
+// TreemapItem is one tile to lay out.
+type TreemapItem struct {
+	Label  string
+	Weight float64 // relative area; must be > 0
+	Class  string  // topic; determines the fill letter
+	Shade  float64 // recency in [0,1]; >= 0.5 renders upper case
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// TreemapNode is a laid-out tile.
+type TreemapNode struct {
+	Item TreemapItem
+	Rect Rect
+}
+
+// ErrNoItems is returned when laying out an empty or zero-weight set.
+var ErrNoItems = errors.New("present: no treemap items with positive weight")
+
+// Squarify lays items out inside bounds with areas proportional to
+// weights, keeping aspect ratios near 1. Items with non-positive
+// weight are dropped. The input order does not matter: tiles are
+// placed largest-first, as the algorithm requires.
+func Squarify(items []TreemapItem, bounds Rect) ([]TreemapNode, error) {
+	var kept []TreemapItem
+	var total float64
+	for _, it := range items {
+		if it.Weight > 0 {
+			kept = append(kept, it)
+			total += it.Weight
+		}
+	}
+	if len(kept) == 0 || bounds.Area() <= 0 {
+		return nil, ErrNoItems
+	}
+	sort.SliceStable(kept, func(a, b int) bool { return kept[a].Weight > kept[b].Weight })
+	// Normalise weights to areas.
+	scale := bounds.Area() / total
+	areas := make([]float64, len(kept))
+	for i, it := range kept {
+		areas[i] = it.Weight * scale
+	}
+	var nodes []TreemapNode
+	squarify(kept, areas, bounds, &nodes)
+	return nodes, nil
+}
+
+// squarify recursively fills free with rows of tiles.
+func squarify(items []TreemapItem, areas []float64, free Rect, out *[]TreemapNode) {
+	if len(items) == 0 {
+		return
+	}
+	short := math.Min(free.W, free.H)
+	if short <= 0 {
+		// Degenerate space: stack everything with zero extent to keep
+		// area bookkeeping consistent.
+		for i := range items {
+			*out = append(*out, TreemapNode{Item: items[i], Rect: Rect{X: free.X, Y: free.Y}})
+		}
+		return
+	}
+	// Grow the current row while it improves the worst aspect ratio.
+	row := 1
+	for row < len(items) {
+		if worstAspect(areas[:row+1], short) <= worstAspect(areas[:row], short) {
+			row++
+		} else {
+			break
+		}
+	}
+	layoutRow(items[:row], areas[:row], free, out)
+	var rowArea float64
+	for _, a := range areas[:row] {
+		rowArea += a
+	}
+	// Shrink the free rectangle by the laid row.
+	if free.W >= free.H {
+		usedW := rowArea / free.H
+		free = Rect{X: free.X + usedW, Y: free.Y, W: free.W - usedW, H: free.H}
+	} else {
+		usedH := rowArea / free.W
+		free = Rect{X: free.X, Y: free.Y + usedH, W: free.W, H: free.H - usedH}
+	}
+	squarify(items[row:], areas[row:], free, out)
+}
+
+// worstAspect returns the worst (largest) aspect ratio of a row of the
+// given areas laid along a side of length short.
+func worstAspect(areas []float64, short float64) float64 {
+	var sum, maxA, minA float64
+	minA = math.Inf(1)
+	for _, a := range areas {
+		sum += a
+		if a > maxA {
+			maxA = a
+		}
+		if a < minA {
+			minA = a
+		}
+	}
+	if sum == 0 || minA == 0 {
+		return math.Inf(1)
+	}
+	s2 := sum * sum
+	sh2 := short * short
+	return math.Max(sh2*maxA/s2, s2/(sh2*minA))
+}
+
+// layoutRow places one row of tiles along the short side of free.
+func layoutRow(items []TreemapItem, areas []float64, free Rect, out *[]TreemapNode) {
+	var rowArea float64
+	for _, a := range areas {
+		rowArea += a
+	}
+	if free.W >= free.H {
+		// Vertical strip on the left of the free rect.
+		w := rowArea / free.H
+		y := free.Y
+		for i := range items {
+			h := areas[i] / w
+			*out = append(*out, TreemapNode{Item: items[i], Rect: Rect{X: free.X, Y: y, W: w, H: h}})
+			y += h
+		}
+	} else {
+		h := rowArea / free.W
+		x := free.X
+		for i := range items {
+			w := areas[i] / h
+			*out = append(*out, TreemapNode{Item: items[i], Rect: Rect{X: x, Y: free.Y, W: w, H: h}})
+			x += w
+		}
+	}
+}
+
+// RenderTreemap rasterises laid-out nodes onto a cols x rows character
+// grid. Each tile is filled with the first letter of its class —
+// upper case when Shade >= 0.5 (recent), lower case otherwise — and a
+// legend mapping letters to classes and the largest tile's label is
+// appended.
+func RenderTreemap(nodes []TreemapNode, cols, rows int) string {
+	if cols <= 0 || rows <= 0 || len(nodes) == 0 {
+		return ""
+	}
+	// The layout bounds are inferred from the nodes.
+	var maxX, maxY float64
+	for _, n := range nodes {
+		if v := n.Rect.X + n.Rect.W; v > maxX {
+			maxX = v
+		}
+		if v := n.Rect.Y + n.Rect.H; v > maxY {
+			maxY = v
+		}
+	}
+	if maxX <= 0 || maxY <= 0 {
+		return ""
+	}
+	// Rasterise by cell-centre containment: because the tiles partition
+	// the plane, every cell centre falls inside exactly one tile, so
+	// the grid is guaranteed gap-free regardless of rounding.
+	grid := make([][]byte, rows)
+	classes := assignClassLetters(nodes)
+	fills := make([]byte, len(nodes))
+	for i, n := range nodes {
+		letter := classes[n.Item.Class]
+		fills[i] = letter
+		if n.Item.Shade < 0.5 {
+			fills[i] = lower(letter)
+		}
+	}
+	for y := 0; y < rows; y++ {
+		grid[y] = bytes(cols, ' ')
+		cy := (float64(y) + 0.5) / float64(rows) * maxY
+		for x := 0; x < cols; x++ {
+			cx := (float64(x) + 0.5) / float64(cols) * maxX
+			for i, n := range nodes {
+				if cx >= n.Rect.X && cx < n.Rect.X+n.Rect.W &&
+					cy >= n.Rect.Y && cy < n.Rect.Y+n.Rect.H {
+					grid[y][x] = fills[i]
+					break
+				}
+			}
+			if grid[y][x] == ' ' {
+				// Floating-point seam: adopt the nearest painted
+				// neighbour so the rendering stays gap-free.
+				if x > 0 {
+					grid[y][x] = grid[y][x-1]
+				} else if y > 0 {
+					grid[y][x] = grid[y-1][x]
+				} else if len(fills) > 0 {
+					grid[y][x] = fills[0]
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	// Legend, sorted for stable output.
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	b.WriteString("legend:")
+	for _, c := range names {
+		fmt.Fprintf(&b, " %c=%s", classes[c], c)
+	}
+	b.WriteString(" (UPPER = recent)\n")
+	return b.String()
+}
+
+func bytes(n int, fill byte) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+// assignClassLetters gives every class a distinct letter: the first
+// letter of its name when free, otherwise a later letter of the name,
+// otherwise the next free letter of the alphabet. Classes are
+// processed in sorted order so the assignment is stable.
+func assignClassLetters(nodes []TreemapNode) map[string]byte {
+	names := map[string]bool{}
+	for _, n := range nodes {
+		names[n.Item.Class] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for c := range names {
+		sorted = append(sorted, c)
+	}
+	sort.Strings(sorted)
+	used := map[byte]bool{}
+	out := map[string]byte{}
+	for _, class := range sorted {
+		letter := byte(0)
+		for i := 0; i < len(class); i++ {
+			c := upper(class[i])
+			if c >= 'A' && c <= 'Z' && !used[c] {
+				letter = c
+				break
+			}
+		}
+		if letter == 0 {
+			for c := byte('A'); c <= 'Z'; c++ {
+				if !used[c] {
+					letter = c
+					break
+				}
+			}
+		}
+		if letter == 0 {
+			letter = '?'
+		}
+		used[letter] = true
+		out[class] = letter
+	}
+	return out
+}
+
+func upper(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c - 'A' + 'a'
+	}
+	return c
+}

@@ -1,0 +1,208 @@
+package present
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSquarifyAreaProportionalToWeight(t *testing.T) {
+	items := []TreemapItem{
+		{Label: "a", Weight: 6, Class: "sport"},
+		{Label: "b", Weight: 3, Class: "tech"},
+		{Label: "c", Weight: 1, Class: "politics"},
+	}
+	bounds := Rect{W: 100, H: 60}
+	nodes, err := Squarify(items, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	total := bounds.Area()
+	for _, n := range nodes {
+		wantArea := n.Item.Weight / 10 * total
+		if math.Abs(n.Rect.Area()-wantArea) > 1e-6 {
+			t.Fatalf("tile %q area %v, want %v", n.Item.Label, n.Rect.Area(), wantArea)
+		}
+	}
+}
+
+func TestSquarifyPropertyQuick(t *testing.T) {
+	// Properties: total area preserved; every tile inside bounds; no
+	// pairwise overlap beyond floating-point tolerance.
+	r := rng.New(31)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		items := make([]TreemapItem, n)
+		for i := range items {
+			items[i] = TreemapItem{Label: "x", Weight: 0.1 + r.Float64()*9}
+		}
+		bounds := Rect{W: 80, H: 24}
+		nodes, err := Squarify(items, bounds)
+		if err != nil || len(nodes) != n {
+			return false
+		}
+		var sum float64
+		const eps = 1e-6
+		for i, a := range nodes {
+			sum += a.Rect.Area()
+			if a.Rect.X < -eps || a.Rect.Y < -eps ||
+				a.Rect.X+a.Rect.W > bounds.W+eps || a.Rect.Y+a.Rect.H > bounds.H+eps {
+				return false
+			}
+			for j := i + 1; j < len(nodes); j++ {
+				if overlapArea(a.Rect, nodes[j].Rect) > eps {
+					return false
+				}
+			}
+		}
+		return math.Abs(sum-bounds.Area()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func overlapArea(a, b Rect) float64 {
+	w := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+	h := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+func TestSquarifyAspectRatiosReasonable(t *testing.T) {
+	// The point of squarified treemaps: on near-uniform weights tiles
+	// should be roughly square, not slivers.
+	items := make([]TreemapItem, 9)
+	for i := range items {
+		items[i] = TreemapItem{Label: "x", Weight: 1}
+	}
+	nodes, err := Squarify(items, Rect{W: 90, H: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		ar := n.Rect.W / n.Rect.H
+		if ar < 1 {
+			ar = 1 / ar
+		}
+		if ar > 2.5 {
+			t.Fatalf("tile aspect ratio %v too elongated: %+v", ar, n.Rect)
+		}
+	}
+}
+
+func TestSquarifyDropsNonPositiveWeights(t *testing.T) {
+	nodes, err := Squarify([]TreemapItem{
+		{Label: "ok", Weight: 2},
+		{Label: "zero", Weight: 0},
+		{Label: "neg", Weight: -1},
+	}, Rect{W: 10, H: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Item.Label != "ok" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+}
+
+func TestSquarifyErrors(t *testing.T) {
+	if _, err := Squarify(nil, Rect{W: 10, H: 10}); !errors.Is(err, ErrNoItems) {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := Squarify([]TreemapItem{{Weight: 1}}, Rect{}); !errors.Is(err, ErrNoItems) {
+		t.Fatalf("zero-bounds err = %v", err)
+	}
+}
+
+func TestRenderTreemap(t *testing.T) {
+	nodes, err := Squarify([]TreemapItem{
+		{Label: "world cup", Weight: 6, Class: "sport", Shade: 0.9},
+		{Label: "gadgets", Weight: 3, Class: "tech", Shade: 0.2},
+		{Label: "vote", Weight: 1, Class: "politics", Shade: 0.6},
+	}, Rect{W: 40, H: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTreemap(nodes, 40, 12)
+	if !strings.Contains(out, "S") {
+		t.Fatalf("recent sport tile should be upper case:\n%s", out)
+	}
+	if !strings.Contains(out, "t") || strings.Contains(strings.Split(out, "legend:")[0], "T") {
+		t.Fatalf("stale tech tile should be lower case only:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: P=politics S=sport T=tech") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	// Every grid cell is filled (treemaps tile the plane).
+	gridPart := strings.Split(out, "legend:")[0]
+	for _, line := range strings.Split(strings.TrimRight(gridPart, "\n"), "\n") {
+		if strings.Contains(line, " ") {
+			t.Fatalf("unfilled cells in row %q", line)
+		}
+		if len(line) != 40 {
+			t.Fatalf("row width %d, want 40", len(line))
+		}
+	}
+}
+
+func TestRenderTreemapDegenerate(t *testing.T) {
+	if RenderTreemap(nil, 10, 10) != "" {
+		t.Fatal("empty nodes should render nothing")
+	}
+	nodes, _ := Squarify([]TreemapItem{{Weight: 1, Class: "x"}}, Rect{W: 10, H: 10})
+	if RenderTreemap(nodes, 0, 5) != "" {
+		t.Fatal("zero cols should render nothing")
+	}
+}
+
+func TestAssignClassLetters(t *testing.T) {
+	nodes := []TreemapNode{
+		{Item: TreemapItem{Class: "sport"}},
+		{Item: TreemapItem{Class: "science"}}, // collides on S
+		{Item: TreemapItem{Class: "tech"}},
+		{Item: TreemapItem{Class: ""}},
+	}
+	letters := assignClassLetters(nodes)
+	seen := map[byte]bool{}
+	for class, l := range letters {
+		if seen[l] {
+			t.Fatalf("duplicate letter %c in %v", l, letters)
+		}
+		seen[l] = true
+		_ = class
+	}
+	// Science sorts before sport, so science keeps S and sport falls
+	// back to its next distinct letter P.
+	if letters["science"] != 'S' || letters["sport"] != 'P' || letters["tech"] != 'T' {
+		t.Fatalf("letters = %v", letters)
+	}
+	if lower('A') != 'a' || lower('z') != 'z' || lower('?') != '?' {
+		t.Fatal("lower")
+	}
+	if upper('a') != 'A' || upper('Z') != 'Z' || upper('9') != '9' {
+		t.Fatal("upper")
+	}
+}
+
+func TestRenderTreemapLegendNoDuplicateLetters(t *testing.T) {
+	nodes, err := Squarify([]TreemapItem{
+		{Label: "a", Weight: 2, Class: "sport"},
+		{Label: "b", Weight: 2, Class: "science"},
+	}, Rect{W: 20, H: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTreemap(nodes, 20, 10)
+	if !strings.Contains(out, "S=science") || !strings.Contains(out, "P=sport") {
+		t.Fatalf("legend:\n%s", out)
+	}
+}

@@ -1,0 +1,360 @@
+// Package cf implements neighbourhood-based collaborative filtering:
+// user-based kNN with Pearson correlation and item-based kNN with
+// adjusted cosine similarity.
+//
+// Both algorithms retain their *evidence*: the neighbours (users or
+// items) that contributed to each prediction, with similarities and
+// ratings. That evidence is what the survey's collaborative-style
+// explanations are made of — Herlocker et al.'s winning interface is
+// literally a histogram of how similar users rated the item, and
+// Amazon-style "customers who liked X also liked Y" needs the
+// contributing items.
+package cf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// UserNeighbor is one similar user's contribution to a prediction.
+type UserNeighbor struct {
+	User       model.UserID
+	Similarity float64 // Pearson correlation in [-1, 1]
+	Rating     float64 // the neighbour's rating of the target item
+}
+
+// ItemNeighbor is one similar already-rated item's contribution.
+type ItemNeighbor struct {
+	Item       model.ItemID
+	Similarity float64 // adjusted cosine in [-1, 1]
+	Rating     float64 // the user's own rating of that item
+}
+
+// Options configure either kNN variant.
+type Options struct {
+	// K is the neighbourhood size (default 20).
+	K int
+	// MinOverlap is the minimum number of co-rated items required
+	// before a similarity is trusted (default 3). Pairs below the
+	// threshold are treated as strangers.
+	MinOverlap int
+	// ShrinkAt damps similarities computed from few co-ratings:
+	// sim' = sim * overlap/(overlap+ShrinkAt). Default 5; zero keeps
+	// raw similarities (used by the ablation benchmarks).
+	ShrinkAt float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 20
+	}
+	if o.MinOverlap == 0 {
+		o.MinOverlap = 3
+	}
+	if o.ShrinkAt == 0 {
+		o.ShrinkAt = 5
+	}
+	return o
+}
+
+// UserKNN is user-based collaborative filtering over a fixed rating
+// matrix. Similarities are computed lazily and cached; the recommender
+// is safe for concurrent reads only after a warm-up or when used from
+// one goroutine (our experiments are single-goroutine per community).
+type UserKNN struct {
+	m    *model.Matrix
+	cat  *model.Catalog
+	opts Options
+	sims map[model.UserID]map[model.UserID]simEntry
+}
+
+type simEntry struct {
+	sim     float64
+	overlap int
+}
+
+// NewUserKNN builds a user-based kNN recommender over m and cat.
+func NewUserKNN(m *model.Matrix, cat *model.Catalog, opts Options) *UserKNN {
+	return &UserKNN{
+		m:    m,
+		cat:  cat,
+		opts: opts.withDefaults(),
+		sims: make(map[model.UserID]map[model.UserID]simEntry),
+	}
+}
+
+// Name implements recsys.Named.
+func (k *UserKNN) Name() string { return "user-knn" }
+
+// K returns the configured neighbourhood size.
+func (k *UserKNN) K() int { return k.opts.K }
+
+func (k *UserKNN) similarity(a, b model.UserID) simEntry {
+	if a > b {
+		a, b = b, a
+	}
+	if row, ok := k.sims[a]; ok {
+		if e, ok := row[b]; ok {
+			return e
+		}
+	}
+	e := pearson(k.m.UserRatings(a), k.m.UserRatings(b))
+	if e.overlap < k.opts.MinOverlap {
+		e.sim = 0
+	} else if k.opts.ShrinkAt > 0 {
+		e.sim *= float64(e.overlap) / (float64(e.overlap) + k.opts.ShrinkAt)
+	}
+	if k.sims[a] == nil {
+		k.sims[a] = make(map[model.UserID]simEntry)
+	}
+	k.sims[a][b] = e
+	return e
+}
+
+// pearson computes the Pearson correlation over co-rated items. The
+// co-rated set is accumulated in sorted item order so the floating-
+// point sums — and therefore every downstream ranking — are
+// bit-identical across runs regardless of map iteration order.
+func pearson(a, b map[model.ItemID]float64) simEntry {
+	shared := make([]model.ItemID, 0, len(a))
+	for i := range a {
+		if _, ok := b[i]; ok {
+			shared = append(shared, i)
+		}
+	}
+	n := len(shared)
+	if n < 2 {
+		return simEntry{overlap: n}
+	}
+	sort.Slice(shared, func(x, y int) bool { return shared[x] < shared[y] })
+	var sumA, sumB float64
+	for _, i := range shared {
+		sumA += a[i]
+		sumB += b[i]
+	}
+	meanA, meanB := sumA/float64(n), sumB/float64(n)
+	var sab, saa, sbb float64
+	for _, i := range shared {
+		da, db := a[i]-meanA, b[i]-meanB
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return simEntry{overlap: n}
+	}
+	return simEntry{sim: sab / math.Sqrt(saa*sbb), overlap: n}
+}
+
+// Neighbors returns up to K most similar users (by |similarity|) who
+// rated item i, sorted by descending similarity. This is the evidence
+// behind both the prediction and the histogram explanation.
+func (k *UserKNN) Neighbors(u model.UserID, i model.ItemID) []UserNeighbor {
+	raters := k.m.ItemRatings(i)
+	cands := make([]UserNeighbor, 0, len(raters))
+	for v, rating := range raters {
+		if v == u {
+			continue
+		}
+		e := k.similarity(u, v)
+		if e.sim <= 0 {
+			// Negative or zero correlations carry little predictive
+			// value in sparse data and confuse explanation histograms;
+			// standard practice keeps positive neighbours only.
+			continue
+		}
+		cands = append(cands, UserNeighbor{User: v, Similarity: e.sim, Rating: rating})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Similarity != cands[b].Similarity {
+			return cands[a].Similarity > cands[b].Similarity
+		}
+		return cands[a].User < cands[b].User
+	})
+	if len(cands) > k.opts.K {
+		cands = cands[:k.opts.K]
+	}
+	return cands
+}
+
+// Predict implements recsys.Predictor with the classic mean-centred
+// weighted average:
+//
+//	pred(u,i) = mean(u) + sum(sim(u,v) * (r(v,i) - mean(v))) / sum(|sim|)
+func (k *UserKNN) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	neighbors := k.Neighbors(u, i)
+	if len(neighbors) == 0 {
+		return recsys.Prediction{}, fmt.Errorf("user %d, item %d: %w", u, i, recsys.ErrColdStart)
+	}
+	userMean, ok := k.m.UserMean(u)
+	if !ok {
+		userMean = k.m.GlobalMean()
+	}
+	var num, den float64
+	for _, nb := range neighbors {
+		nbMean, _ := k.m.UserMean(nb.User)
+		num += nb.Similarity * (nb.Rating - nbMean)
+		den += math.Abs(nb.Similarity)
+	}
+	if den == 0 {
+		return recsys.Prediction{}, fmt.Errorf("user %d, item %d: %w", u, i, recsys.ErrColdStart)
+	}
+	score := model.ClampRating(userMean + num/den)
+	return recsys.Prediction{Item: i, Score: score, Confidence: k.confidence(neighbors)}, nil
+}
+
+// confidence maps neighbourhood evidence to [0,1]: full confidence
+// needs a full neighbourhood of strongly similar users. This follows
+// Herlocker et al. (2004)'s observation that support (how many
+// neighbours) and similarity strength drive prediction reliability.
+func (k *UserKNN) confidence(neighbors []UserNeighbor) float64 {
+	if len(neighbors) == 0 {
+		return 0
+	}
+	var simSum float64
+	for _, nb := range neighbors {
+		simSum += nb.Similarity
+	}
+	support := float64(len(neighbors)) / float64(k.opts.K)
+	strength := simSum / float64(len(neighbors))
+	c := support * (0.5 + 0.5*strength)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// Recommend implements recsys.Recommender.
+func (k *UserKNN) Recommend(u model.UserID, n int, exclude func(model.ItemID) bool) []recsys.Prediction {
+	return recsys.TopN(recsys.RankAll(k, k.cat, u, exclude), n)
+}
+
+// ItemKNN is item-based collaborative filtering with adjusted cosine
+// similarity (each rating centred on its user's mean before the cosine,
+// as in Sarwar et al.). Evidence is the set of the user's own rated
+// items most similar to the target — the "because you liked Y" form.
+type ItemKNN struct {
+	m    *model.Matrix
+	cat  *model.Catalog
+	opts Options
+	sims map[model.ItemID]map[model.ItemID]simEntry
+}
+
+// NewItemKNN builds an item-based kNN recommender over m and cat.
+func NewItemKNN(m *model.Matrix, cat *model.Catalog, opts Options) *ItemKNN {
+	return &ItemKNN{
+		m:    m,
+		cat:  cat,
+		opts: opts.withDefaults(),
+		sims: make(map[model.ItemID]map[model.ItemID]simEntry),
+	}
+}
+
+// Name implements recsys.Named.
+func (k *ItemKNN) Name() string { return "item-knn" }
+
+func (k *ItemKNN) similarity(a, b model.ItemID) simEntry {
+	if a > b {
+		a, b = b, a
+	}
+	if row, ok := k.sims[a]; ok {
+		if e, ok := row[b]; ok {
+			return e
+		}
+	}
+	e := k.adjustedCosine(a, b)
+	if e.overlap < k.opts.MinOverlap {
+		e.sim = 0
+	} else if k.opts.ShrinkAt > 0 {
+		e.sim *= float64(e.overlap) / (float64(e.overlap) + k.opts.ShrinkAt)
+	}
+	if k.sims[a] == nil {
+		k.sims[a] = make(map[model.ItemID]simEntry)
+	}
+	k.sims[a][b] = e
+	return e
+}
+
+func (k *ItemKNN) adjustedCosine(a, b model.ItemID) simEntry {
+	ra, rb := k.m.ItemRatings(a), k.m.ItemRatings(b)
+	shared := make([]model.UserID, 0, len(ra))
+	for u := range ra {
+		if _, ok := rb[u]; ok {
+			shared = append(shared, u)
+		}
+	}
+	n := len(shared)
+	if n < 2 {
+		return simEntry{overlap: n}
+	}
+	// Sorted accumulation keeps the sums deterministic; see pearson.
+	sort.Slice(shared, func(x, y int) bool { return shared[x] < shared[y] })
+	var sab, saa, sbb float64
+	for _, u := range shared {
+		mean, _ := k.m.UserMean(u)
+		da, db := ra[u]-mean, rb[u]-mean
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return simEntry{overlap: n}
+	}
+	return simEntry{sim: sab / math.Sqrt(saa*sbb), overlap: n}
+}
+
+// Neighbors returns up to K of the user's own rated items most similar
+// to target, sorted by descending similarity.
+func (k *ItemKNN) Neighbors(u model.UserID, target model.ItemID) []ItemNeighbor {
+	rated := k.m.UserRatings(u)
+	cands := make([]ItemNeighbor, 0, len(rated))
+	for j, rating := range rated {
+		if j == target {
+			continue
+		}
+		e := k.similarity(target, j)
+		if e.sim <= 0 {
+			continue
+		}
+		cands = append(cands, ItemNeighbor{Item: j, Similarity: e.sim, Rating: rating})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Similarity != cands[b].Similarity {
+			return cands[a].Similarity > cands[b].Similarity
+		}
+		return cands[a].Item < cands[b].Item
+	})
+	if len(cands) > k.opts.K {
+		cands = cands[:k.opts.K]
+	}
+	return cands
+}
+
+// Predict implements recsys.Predictor with the similarity-weighted
+// average of the user's own ratings of similar items.
+func (k *ItemKNN) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	neighbors := k.Neighbors(u, i)
+	if len(neighbors) == 0 {
+		return recsys.Prediction{}, fmt.Errorf("user %d, item %d: %w", u, i, recsys.ErrColdStart)
+	}
+	var num, den float64
+	for _, nb := range neighbors {
+		num += nb.Similarity * nb.Rating
+		den += nb.Similarity
+	}
+	score := model.ClampRating(num / den)
+	support := float64(len(neighbors)) / float64(k.opts.K)
+	if support > 1 {
+		support = 1
+	}
+	return recsys.Prediction{Item: i, Score: score, Confidence: support}, nil
+}
+
+// Recommend implements recsys.Recommender.
+func (k *ItemKNN) Recommend(u model.UserID, n int, exclude func(model.ItemID) bool) []recsys.Prediction {
+	return recsys.TopN(recsys.RankAll(k, k.cat, u, exclude), n)
+}

@@ -1,0 +1,295 @@
+package cf
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// tinyMatrix builds a hand-checkable community: users 1 and 2 agree,
+// user 3 disagrees with both.
+func tinyMatrix() (*model.Matrix, *model.Catalog) {
+	m := model.NewMatrix()
+	// items 1..5
+	set := func(u model.UserID, vals ...float64) {
+		for i, v := range vals {
+			if v > 0 {
+				m.Set(u, model.ItemID(i+1), v)
+			}
+		}
+	}
+	set(1, 5, 4, 1, 2, 0) // user 1
+	set(2, 5, 5, 1, 1, 4) // user 2 — similar to 1, rated item 5
+	set(3, 1, 2, 5, 5, 1) // user 3 — opposite taste
+	cat := model.NewCatalog("t")
+	for i := 1; i <= 5; i++ {
+		cat.MustAdd(&model.Item{ID: model.ItemID(i), Title: "item"})
+	}
+	return m, cat
+}
+
+func TestPearsonHandComputed(t *testing.T) {
+	a := map[model.ItemID]float64{1: 1, 2: 2, 3: 3}
+	b := map[model.ItemID]float64{1: 2, 2: 4, 3: 6}
+	e := pearson(a, b)
+	if e.overlap != 3 || math.Abs(e.sim-1) > 1e-12 {
+		t.Fatalf("pearson = %+v, want sim 1 overlap 3", e)
+	}
+	c := map[model.ItemID]float64{1: 3, 2: 2, 3: 1}
+	if e := pearson(a, c); math.Abs(e.sim+1) > 1e-12 {
+		t.Fatalf("anti-correlated sim = %v, want -1", e.sim)
+	}
+	// Constant ratings have no variance: similarity undefined -> 0.
+	d := map[model.ItemID]float64{1: 3, 2: 3, 3: 3}
+	if e := pearson(a, d); e.sim != 0 {
+		t.Fatalf("zero-variance sim = %v", e.sim)
+	}
+	// Disjoint users.
+	if e := pearson(a, map[model.ItemID]float64{9: 1}); e.overlap != 0 || e.sim != 0 {
+		t.Fatalf("disjoint = %+v", e)
+	}
+}
+
+func TestUserKNNPredictAgreesWithLikeMindedNeighbor(t *testing.T) {
+	m, cat := tinyMatrix()
+	k := NewUserKNN(m, cat, Options{K: 2, MinOverlap: 2, ShrinkAt: -1})
+	// ShrinkAt < 0 disables shrinkage entirely for hand-checking.
+	pred, err := k.Predict(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 2 (similar, rated item5 = 4, own mean 3.2) pulls user 1's
+	// mean (3.0) up; user 3 is negatively correlated and excluded.
+	if pred.Score <= 3.0 {
+		t.Fatalf("prediction %v should exceed user 1's mean", pred.Score)
+	}
+	if pred.Confidence <= 0 || pred.Confidence > 1 {
+		t.Fatalf("confidence %v out of range", pred.Confidence)
+	}
+}
+
+func TestUserKNNNeighborsExcludeSelfAndNegative(t *testing.T) {
+	m, cat := tinyMatrix()
+	k := NewUserKNN(m, cat, Options{K: 5, MinOverlap: 2})
+	nbs := k.Neighbors(1, 5)
+	for _, nb := range nbs {
+		if nb.User == 1 {
+			t.Fatal("self included in neighbourhood")
+		}
+		if nb.Similarity <= 0 {
+			t.Fatalf("non-positive neighbour retained: %+v", nb)
+		}
+	}
+}
+
+func TestUserKNNColdStart(t *testing.T) {
+	m, cat := tinyMatrix()
+	k := NewUserKNN(m, cat, Options{})
+	// User 99 rated nothing: no similarities, no neighbours.
+	_, err := k.Predict(99, 1)
+	if !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("cold-start error = %v", err)
+	}
+}
+
+func TestUserKNNMinOverlapGate(t *testing.T) {
+	m := model.NewMatrix()
+	m.Set(1, 1, 5)
+	m.Set(1, 2, 1)
+	m.Set(2, 1, 5)
+	m.Set(2, 2, 1)
+	m.Set(2, 3, 5)
+	cat := model.NewCatalog("t")
+	for i := 1; i <= 3; i++ {
+		cat.MustAdd(&model.Item{ID: model.ItemID(i)})
+	}
+	strict := NewUserKNN(m, cat, Options{K: 5, MinOverlap: 3})
+	if _, err := strict.Predict(1, 3); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("overlap gate should zero the similarity, got %v", err)
+	}
+	loose := NewUserKNN(m, cat, Options{K: 5, MinOverlap: 2})
+	if _, err := loose.Predict(1, 3); err != nil {
+		t.Fatalf("loose gate should predict: %v", err)
+	}
+}
+
+func TestPredictionsClampedToScaleQuick(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 21, Users: 40, Items: 60, RatingsPerUser: 15})
+	k := NewUserKNN(c.Ratings, c.Catalog, Options{K: 10})
+	items := c.Catalog.Items()
+	f := func(u uint8, i uint16) bool {
+		pred, err := k.Predict(model.UserID(int(u)%40+1), items[int(i)%len(items)].ID)
+		if err != nil {
+			return true // cold start is acceptable
+		}
+		return pred.Score >= model.MinRating && pred.Score <= model.MaxRating &&
+			pred.Confidence >= 0 && pred.Confidence <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserKNNBeatsGlobalMeanOnHeldOut(t *testing.T) {
+	// The CF substrate must actually work: hold out one rating per user
+	// and compare |error| against the global-mean and user-mean
+	// baselines on a reasonably dense community.
+	c := dataset.Movies(dataset.Config{Seed: 31, Users: 200, Items: 100, RatingsPerUser: 40})
+	m := c.Ratings
+	type holdout struct {
+		u model.UserID
+		i model.ItemID
+		v float64
+	}
+	var held []holdout
+	for _, u := range m.Users() {
+		for i, v := range m.UserRatings(u) {
+			held = append(held, holdout{u, i, v})
+			break // one per user
+		}
+	}
+	train := m.Clone()
+	for _, h := range held {
+		train.Delete(h.u, h.i)
+	}
+	k := NewUserKNN(train, c.Catalog, Options{K: 25})
+	gm := train.GlobalMean()
+	var cfErr, gmErr, umErr float64
+	var n int
+	for _, h := range held {
+		pred, err := k.Predict(h.u, h.i)
+		if err != nil {
+			continue
+		}
+		um, _ := train.UserMean(h.u)
+		cfErr += math.Abs(pred.Score - h.v)
+		gmErr += math.Abs(gm - h.v)
+		umErr += math.Abs(um - h.v)
+		n++
+	}
+	if n < len(held)/2 {
+		t.Fatalf("too many cold starts: %d of %d predicted", n, len(held))
+	}
+	if cfErr >= gmErr || cfErr >= umErr {
+		t.Fatalf("CF MAE %.3f not better than baselines (global %.3f, user-mean %.3f, n=%d)",
+			cfErr/float64(n), gmErr/float64(n), umErr/float64(n), n)
+	}
+}
+
+func TestRecommendSortedAndExcludesRated(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 41, Users: 30, Items: 50, RatingsPerUser: 12})
+	k := NewUserKNN(c.Ratings, c.Catalog, Options{K: 10})
+	u := model.UserID(1)
+	recs := k.Recommend(u, 10, recsys.ExcludeRated(c.Ratings, u))
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Score < recs[i].Score {
+			t.Fatal("recommendations not sorted by score")
+		}
+	}
+	for _, r := range recs {
+		if _, rated := c.Ratings.Get(u, r.Item); rated {
+			t.Fatalf("recommended already-rated item %d", r.Item)
+		}
+	}
+}
+
+func TestItemKNNPredict(t *testing.T) {
+	m, cat := tinyMatrix()
+	k := NewItemKNN(m, cat, Options{K: 5, MinOverlap: 2})
+	pred, err := k.Predict(2, 5) // user 2 rated item 5 = 4; still predictable from others
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Score < model.MinRating || pred.Score > model.MaxRating {
+		t.Fatalf("score %v off scale", pred.Score)
+	}
+}
+
+func TestItemKNNNeighborsAreUsersOwnItems(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 51, Users: 40, Items: 60, RatingsPerUser: 15})
+	k := NewItemKNN(c.Ratings, c.Catalog, Options{K: 8})
+	u := model.UserID(3)
+	var target model.ItemID
+	for _, it := range c.Catalog.Items() {
+		if _, rated := c.Ratings.Get(u, it.ID); !rated {
+			target = it.ID
+			break
+		}
+	}
+	nbs := k.Neighbors(u, target)
+	if len(nbs) == 0 {
+		t.Skip("no positive item neighbours for this draw")
+	}
+	for _, nb := range nbs {
+		if _, rated := c.Ratings.Get(u, nb.Item); !rated {
+			t.Fatalf("neighbour %d was not rated by user", nb.Item)
+		}
+		if nb.Item == target {
+			t.Fatal("target item is its own neighbour")
+		}
+	}
+}
+
+func TestItemKNNColdStart(t *testing.T) {
+	m, cat := tinyMatrix()
+	k := NewItemKNN(m, cat, Options{})
+	if _, err := k.Predict(99, 1); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("cold start = %v", err)
+	}
+}
+
+func TestSimilarityCacheConsistency(t *testing.T) {
+	m, cat := tinyMatrix()
+	k := NewUserKNN(m, cat, Options{K: 5, MinOverlap: 2})
+	a := k.similarity(1, 2)
+	b := k.similarity(2, 1) // symmetric lookup must hit the same entry
+	if a != b {
+		t.Fatalf("similarity not symmetric: %+v vs %+v", a, b)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.K != 20 || o.MinOverlap != 3 || o.ShrinkAt != 5 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestNames(t *testing.T) {
+	m, cat := tinyMatrix()
+	if NewUserKNN(m, cat, Options{}).Name() != "user-knn" {
+		t.Fatal("user name")
+	}
+	if NewItemKNN(m, cat, Options{}).Name() != "item-knn" {
+		t.Fatal("item name")
+	}
+}
+
+func BenchmarkUserKNNPredict(b *testing.B) {
+	c := dataset.Movies(dataset.Config{Seed: 61, Users: 200, Items: 300, RatingsPerUser: 30})
+	k := NewUserKNN(c.Ratings, c.Catalog, Options{K: 20})
+	items := c.Catalog.Items()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := model.UserID(i%200 + 1)
+		_, _ = k.Predict(u, items[i%len(items)].ID)
+	}
+}
+
+func BenchmarkUserKNNRecommend(b *testing.B) {
+	c := dataset.Movies(dataset.Config{Seed: 62, Users: 100, Items: 200, RatingsPerUser: 25})
+	k := NewUserKNN(c.Ratings, c.Catalog, Options{K: 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := model.UserID(i%100 + 1)
+		_ = k.Recommend(u, 10, recsys.ExcludeRated(c.Ratings, u))
+	}
+}

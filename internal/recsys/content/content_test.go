@@ -1,0 +1,404 @@
+package content
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// comedyFanFixture builds a tiny catalogue and one user who loves
+// comedies (5s) and hates horror (1s).
+func comedyFanFixture() (*model.Matrix, *model.Catalog, model.UserID) {
+	cat := model.NewCatalog("movies")
+	items := []struct {
+		id model.ItemID
+		kw []string
+	}{
+		{1, []string{"comedy"}},
+		{2, []string{"comedy"}},
+		{3, []string{"horror"}},
+		{4, []string{"horror"}},
+		{5, []string{"comedy"}},  // candidate
+		{6, []string{"horror"}},  // candidate
+		{7, []string{"western"}}, // unseen genre candidate
+	}
+	for _, e := range items {
+		cat.MustAdd(&model.Item{ID: e.id, Title: "t", Keywords: e.kw})
+	}
+	m := model.NewMatrix()
+	u := model.UserID(1)
+	m.Set(u, 1, 5)
+	m.Set(u, 2, 5)
+	m.Set(u, 3, 1)
+	m.Set(u, 4, 1)
+	return m, cat, u
+}
+
+func TestKeywordProfileSignsMatchTaste(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	r := NewKeywordRecommender(m, cat)
+	p, err := r.ProfileFor(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weights["comedy"] <= 0 {
+		t.Fatalf("comedy weight = %v, want positive", p.Weights["comedy"])
+	}
+	if p.Weights["horror"] >= 0 {
+		t.Fatalf("horror weight = %v, want negative", p.Weights["horror"])
+	}
+	if p.Rated != 4 || p.Mean != 3 {
+		t.Fatalf("profile stats = %+v", p)
+	}
+}
+
+func TestKeywordPredictOrdersGenres(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	r := NewKeywordRecommender(m, cat)
+	comedy, err := r.Predict(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horror, err := r.Predict(u, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comedy.Score <= horror.Score {
+		t.Fatalf("comedy %.2f should beat horror %.2f", comedy.Score, horror.Score)
+	}
+}
+
+func TestKeywordPredictUnseenGenreLowConfidence(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	r := NewKeywordRecommender(m, cat)
+	pred, err := r.Predict(u, 7) // western: never rated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Confidence != 0 {
+		t.Fatalf("unseen-genre confidence = %v, want 0", pred.Confidence)
+	}
+}
+
+func TestKeywordColdStart(t *testing.T) {
+	m, cat, _ := comedyFanFixture()
+	r := NewKeywordRecommender(m, cat)
+	if _, err := r.Predict(99, 5); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("cold start = %v", err)
+	}
+	if _, err := r.ProfileFor(99); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("profile cold start = %v", err)
+	}
+}
+
+func TestProfileTopBottomKeywords(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	r := NewKeywordRecommender(m, cat)
+	p, _ := r.ProfileFor(u)
+	top := p.TopKeywords(1)
+	if len(top) != 1 || top[0].Keyword != "comedy" {
+		t.Fatalf("TopKeywords = %v", top)
+	}
+	bottom := p.BottomKeywords(1)
+	if len(bottom) != 1 || bottom[0].Keyword != "horror" {
+		t.Fatalf("BottomKeywords = %v", bottom)
+	}
+	if got := p.TopKeywords(100); len(got) != len(p.Weights) {
+		t.Fatalf("over-asking should return all: %d", len(got))
+	}
+}
+
+func TestBayesPredictOrdersGenres(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	b := NewBayes(m, cat)
+	comedy, err := b.Predict(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horror, err := b.Predict(u, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comedy.Score <= horror.Score {
+		t.Fatalf("comedy %.2f should beat horror %.2f", comedy.Score, horror.Score)
+	}
+	if comedy.Score <= 3 {
+		t.Fatalf("comedy score %.2f should sit above the midpoint", comedy.Score)
+	}
+	if horror.Score >= 3 {
+		t.Fatalf("horror score %.2f should sit below the midpoint", horror.Score)
+	}
+}
+
+func TestBayesColdStart(t *testing.T) {
+	m, cat, _ := comedyFanFixture()
+	b := NewBayes(m, cat)
+	if _, err := b.Predict(42, 5); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("cold start = %v", err)
+	}
+}
+
+func TestBayesKeywordContributions(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	b := NewBayes(m, cat)
+	kcs, err := b.KeywordContributions(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kcs) != 1 || kcs[0].Keyword != "comedy" || kcs[0].Weight <= 0 {
+		t.Fatalf("contributions = %+v", kcs)
+	}
+	kcs, err = b.KeywordContributions(u, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kcs[0].Weight >= 0 {
+		t.Fatalf("horror contribution = %+v, want negative", kcs[0])
+	}
+}
+
+func TestBayesInfluencesFavorSharedKeywords(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	b := NewBayes(m, cat)
+	infl, err := b.Influences(u, 5) // candidate comedy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infl) != 4 {
+		t.Fatalf("got %d influences, want one per rating", len(infl))
+	}
+	byItem := map[model.ItemID]Influence{}
+	var pctSum float64
+	for _, in := range infl {
+		byItem[in.Item] = in
+		pctSum += in.Percent
+	}
+	// The rated comedies must push the comedy candidate up...
+	if byItem[1].Weight <= 0 || byItem[2].Weight <= 0 {
+		t.Fatalf("comedy ratings should have positive influence: %+v", infl)
+	}
+	// ...and removing a hated horror film should not raise the comedy's
+	// score (weights <= 0 modulo prior effects; allow small epsilon).
+	if byItem[3].Weight > 0.2 || byItem[4].Weight > 0.2 {
+		t.Fatalf("horror ratings should not support the comedy: %+v", infl)
+	}
+	if math.Abs(pctSum-100) > 1e-6 {
+		t.Fatalf("percentages sum to %v, want 100", pctSum)
+	}
+	// Sorted by |weight| descending.
+	for i := 1; i < len(infl); i++ {
+		if math.Abs(infl[i-1].Weight) < math.Abs(infl[i].Weight) {
+			t.Fatal("influences not sorted by magnitude")
+		}
+	}
+}
+
+func TestBayesInfluenceSingleRating(t *testing.T) {
+	cat := model.NewCatalog("x")
+	cat.MustAdd(&model.Item{ID: 1, Keywords: []string{"a"}})
+	cat.MustAdd(&model.Item{ID: 2, Keywords: []string{"a"}})
+	m := model.NewMatrix()
+	m.Set(1, 1, 5)
+	b := NewBayes(m, cat)
+	infl, err := b.Influences(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infl) != 1 || infl[0].Percent != 100 {
+		t.Fatalf("single-rating influence = %+v", infl)
+	}
+}
+
+func TestLogOddsToRatingBounds(t *testing.T) {
+	if v := logOddsToRating(0); math.Abs(v-3) > 1e-9 {
+		t.Fatalf("neutral log-odds -> %v, want 3", v)
+	}
+	if v := logOddsToRating(100); v > model.MaxRating || v < 4.99 {
+		t.Fatalf("huge log-odds -> %v", v)
+	}
+	if v := logOddsToRating(-100); v < model.MinRating || v > 1.01 {
+		t.Fatalf("huge negative log-odds -> %v", v)
+	}
+}
+
+func TestBayesScoreWithinScaleQuick(t *testing.T) {
+	c := dataset.Books(dataset.Config{Seed: 71, Users: 30, Items: 60, RatingsPerUser: 12})
+	b := NewBayes(c.Ratings, c.Catalog)
+	items := c.Catalog.Items()
+	f := func(u uint8, i uint16) bool {
+		pred, err := b.Predict(model.UserID(int(u)%30+1), items[int(i)%len(items)].ID)
+		if err != nil {
+			return true
+		}
+		return pred.Score >= model.MinRating && pred.Score <= model.MaxRating &&
+			pred.Confidence >= 0 && pred.Confidence <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBayesTracksGroundTruthDirection(t *testing.T) {
+	// On a generated community, Bayes predictions should correlate
+	// positively with true utilities for unrated items.
+	c := dataset.Movies(dataset.Config{Seed: 81, Users: 40, Items: 120, RatingsPerUser: 30})
+	b := NewBayes(c.Ratings, c.Catalog)
+	var agree, total int
+	for u := 1; u <= 20; u++ {
+		uid := model.UserID(u)
+		recs := b.Recommend(uid, c.Catalog.Len(), recsys.ExcludeRated(c.Ratings, uid))
+		if len(recs) < 10 {
+			continue
+		}
+		topTruth := 0.0
+		botTruth := 0.0
+		for _, r := range recs[:5] {
+			it, _ := c.Catalog.Item(r.Item)
+			topTruth += c.Truth.Utility(uid, it)
+		}
+		for _, r := range recs[len(recs)-5:] {
+			it, _ := c.Catalog.Item(r.Item)
+			botTruth += c.Truth.Utility(uid, it)
+		}
+		total++
+		if topTruth > botTruth {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no users evaluated")
+	}
+	if float64(agree)/float64(total) < 0.85 {
+		t.Fatalf("top-ranked items beat bottom-ranked in truth for only %d/%d users", agree, total)
+	}
+}
+
+func TestRecommendExcludes(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	b := NewBayes(m, cat)
+	recs := b.Recommend(u, 10, recsys.ExcludeRated(m, u))
+	for _, r := range recs {
+		if _, rated := m.Get(u, r.Item); rated {
+			t.Fatalf("recommended rated item %d", r.Item)
+		}
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d recs, want the 3 unrated items", len(recs))
+	}
+}
+
+func TestNames(t *testing.T) {
+	m, cat, _ := comedyFanFixture()
+	if NewKeywordRecommender(m, cat).Name() != "keyword-profile" {
+		t.Fatal("keyword name")
+	}
+	if NewBayes(m, cat).Name() != "naive-bayes" {
+		t.Fatal("bayes name")
+	}
+}
+
+func BenchmarkBayesPredict(b *testing.B) {
+	c := dataset.Books(dataset.Config{Seed: 91, Users: 100, Items: 200, RatingsPerUser: 25})
+	bayes := NewBayes(c.Ratings, c.Catalog)
+	items := c.Catalog.Items()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = bayes.Predict(model.UserID(i%100+1), items[i%len(items)].ID)
+	}
+}
+
+func BenchmarkBayesInfluences(b *testing.B) {
+	c := dataset.Books(dataset.Config{Seed: 92, Users: 50, Items: 100, RatingsPerUser: 20})
+	bayes := NewBayes(c.Ratings, c.Catalog)
+	items := c.Catalog.Items()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = bayes.Influences(model.UserID(i%50+1), items[i%len(items)].ID)
+	}
+}
+
+func TestInfluenceWeightEditing(t *testing.T) {
+	// The survey's "imagined" Figure-3 functionality: the user turns
+	// down the influence of one past rating and the recommendation's
+	// influence report responds.
+	m, cat, u := comedyFanFixture()
+	b := NewBayes(m, cat)
+	before, err := b.Influences(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pctBefore := map[model.ItemID]float64{}
+	for _, in := range before {
+		pctBefore[in.Item] = in.Percent
+	}
+
+	// Halve the influence of rated comedy #1.
+	b.SetInfluenceWeight(u, 1, 0.5)
+	if b.InfluenceWeight(u, 1) != 0.5 {
+		t.Fatalf("weight = %v", b.InfluenceWeight(u, 1))
+	}
+	after, err := b.Influences(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pctAfter := map[model.ItemID]float64{}
+	for _, in := range after {
+		pctAfter[in.Item] = in.Percent
+	}
+	if pctAfter[1] >= pctBefore[1] {
+		t.Fatalf("down-weighted rating still as influential: %.1f%% -> %.1f%%",
+			pctBefore[1], pctAfter[1])
+	}
+
+	// Zero weight silences the rating entirely: the model behaves as
+	// if it were removed.
+	b.SetInfluenceWeight(u, 1, 0)
+	zeroed, err := b.Influences(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range zeroed {
+		if in.Item == 1 && math.Abs(in.Weight) > 1e-9 {
+			t.Fatalf("zero-weight rating still has influence %v", in.Weight)
+		}
+	}
+
+	// Clamping and reset.
+	b.SetInfluenceWeight(u, 1, 99)
+	if b.InfluenceWeight(u, 1) != 4 {
+		t.Fatalf("clamp high = %v", b.InfluenceWeight(u, 1))
+	}
+	b.SetInfluenceWeight(u, 1, -3)
+	if b.InfluenceWeight(u, 1) != 0 {
+		t.Fatalf("clamp low = %v", b.InfluenceWeight(u, 1))
+	}
+	if b.InfluenceWeight(u, 999) != 1 {
+		t.Fatal("unset weight should default to 1")
+	}
+}
+
+func TestInfluenceWeightChangesPrediction(t *testing.T) {
+	m, cat, u := comedyFanFixture()
+	b := NewBayes(m, cat)
+	before, err := b.Predict(u, 6) // horror candidate
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silencing the user's horror hatred should raise the horror
+	// candidate's score.
+	b.SetInfluenceWeight(u, 3, 0)
+	b.SetInfluenceWeight(u, 4, 0)
+	after, err := b.Predict(u, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Score <= before.Score {
+		t.Fatalf("prediction did not respond to influence edit: %.2f -> %.2f",
+			before.Score, after.Score)
+	}
+}

@@ -1,0 +1,185 @@
+package content
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// similarityFixture: a football fan with a rated history, plus seed and
+// candidate items.
+func similarityFixture() (*KeywordRecommender, *model.Catalog, model.UserID) {
+	cat := model.NewCatalog("news")
+	add := func(id model.ItemID, creator string, kws ...string) {
+		cat.MustAdd(&model.Item{ID: id, Title: "item", Creator: creator, Keywords: kws})
+	}
+	add(1, "", "sport", "football")
+	add(2, "", "sport", "football")
+	add(3, "", "politics", "elections")
+	add(4, "", "sport", "football") // seed
+	add(5, "", "sport", "football") // shares loved aspects
+	add(6, "", "sport", "hockey")   // shares only sport
+	add(7, "", "culture", "film")   // shares nothing
+	add(8, "A. Writer", "culture", "film")
+	add(9, "A. Writer", "culture", "music") // shares creator with 8
+	m := model.NewMatrix()
+	m.Set(1, 1, 5)
+	m.Set(1, 2, 5)
+	m.Set(1, 3, 1.5)
+	return NewKeywordRecommender(m, cat), cat, 1
+}
+
+func item(t *testing.T, cat *model.Catalog, id model.ItemID) *model.Item {
+	t.Helper()
+	it, err := cat.Item(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestPersonalizedSimilarityWeightsByTaste(t *testing.T) {
+	r, cat, u := similarityFixture()
+	seed := item(t, cat, 4)
+	loved, lovedAspects, err := r.PersonalizedSimilarity(u, seed, item(t, cat, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, _, err := r.PersonalizedSimilarity(u, seed, item(t, cat, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loved <= weak {
+		t.Fatalf("shared loved aspects should score higher: %.3f vs %.3f", loved, weak)
+	}
+	if len(lovedAspects) != 2 {
+		t.Fatalf("aspects = %+v", lovedAspects)
+	}
+	var pct float64
+	for _, a := range lovedAspects {
+		pct += a.Contribution
+	}
+	if pct < 0.999 || pct > 1.001 {
+		t.Fatalf("contributions sum to %v", pct)
+	}
+}
+
+func TestPersonalizedSimilarityDisjointItems(t *testing.T) {
+	r, cat, u := similarityFixture()
+	score, aspects, err := r.PersonalizedSimilarity(u, item(t, cat, 4), item(t, cat, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 || aspects != nil {
+		t.Fatalf("disjoint items: score %v, aspects %v", score, aspects)
+	}
+}
+
+func TestPersonalizedSimilarityCreatorCounts(t *testing.T) {
+	r, cat, u := similarityFixture()
+	score, aspects, err := r.PersonalizedSimilarity(u, item(t, cat, 8), item(t, cat, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score <= 0 {
+		t.Fatal("shared creator should produce similarity")
+	}
+	found := false
+	for _, a := range aspects {
+		if a.Aspect == "by A. Writer" && a.UserWeight == creatorAspectWeight {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("creator aspect missing: %+v", aspects)
+	}
+}
+
+func TestPersonalizedSimilarityColdStart(t *testing.T) {
+	r, cat, _ := similarityFixture()
+	if _, _, err := r.PersonalizedSimilarity(42, item(t, cat, 4), item(t, cat, 5)); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPersonalizedSimilarityBoundsQuick(t *testing.T) {
+	c := dataset.News(dataset.Config{Seed: 91, Users: 20, Items: 80, RatingsPerUser: 15})
+	r := NewKeywordRecommender(c.Ratings, c.Catalog)
+	items := c.Catalog.Items()
+	f := func(a, b uint16, uRaw uint8) bool {
+		u := model.UserID(int(uRaw)%20 + 1)
+		ia, ib := items[int(a)%len(items)], items[int(b)%len(items)]
+		score, aspects, err := r.PersonalizedSimilarity(u, ia, ib)
+		if err != nil {
+			return true
+		}
+		if score < 0 || score > 1 {
+			return false
+		}
+		var sum float64
+		for _, asp := range aspects {
+			sum += asp.Contribution
+		}
+		return len(aspects) == 0 || (sum > 0.999 && sum < 1.001)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersonalizedSimilaritySymmetricOnKeywords(t *testing.T) {
+	// For items without creators the measure is symmetric.
+	r, cat, u := similarityFixture()
+	ab, _, _ := r.PersonalizedSimilarity(u, item(t, cat, 4), item(t, cat, 6))
+	ba, _, _ := r.PersonalizedSimilarity(u, item(t, cat, 6), item(t, cat, 4))
+	if ab != ba {
+		t.Fatalf("similarity not symmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestSimilarInUserTerms(t *testing.T) {
+	r, cat, u := similarityFixture()
+	seed := item(t, cat, 4)
+	got, err := r.SimilarInUserTerms(u, seed, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no similar items")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Score < got[i].Score {
+			t.Fatal("not sorted")
+		}
+	}
+	for _, s := range got {
+		if s.Item.ID == seed.ID {
+			t.Fatal("seed in its own results")
+		}
+		if s.Score <= 0 {
+			t.Fatal("zero-similarity item included")
+		}
+	}
+	// The football twin outranks the hockey cousin.
+	if got[0].Item.ID != 1 && got[0].Item.ID != 2 && got[0].Item.ID != 5 {
+		t.Fatalf("top similar = %d, want a football item", got[0].Item.ID)
+	}
+	// Exclusion respected.
+	got2, err := r.SimilarInUserTerms(u, seed, 10, func(i model.ItemID) bool { return i == got[0].Item.ID })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got2 {
+		if s.Item.ID == got[0].Item.ID {
+			t.Fatal("excluded item returned")
+		}
+	}
+	// Cold start.
+	if _, err := r.SimilarInUserTerms(42, seed, 3, nil); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package group implements group recommendation with group-aware
+// explanations, after INTRIGUE (Ardissono et al., the survey's
+// reference [2]): a tourist-attraction recommender that served
+// heterogeneous groups — families with children, for instance — and
+// explained recommendations in terms of the subgroups they suit.
+//
+// Three classic aggregation strategies are provided; each carries its
+// own explanation shape, because *why the group gets this item*
+// depends on how the group's tastes were merged:
+//
+//   - Average: "a good fit across the whole group";
+//   - LeastMisery: "nobody will be miserable — even the least
+//     enthusiastic member scores it 3.5";
+//   - MostPleasure: "someone will love it".
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// Strategy is a group aggregation rule.
+type Strategy int
+
+// Aggregation strategies.
+const (
+	// Average scores an item by the mean of members' predictions.
+	Average Strategy = iota
+	// LeastMisery scores by the minimum member prediction.
+	LeastMisery
+	// MostPleasure scores by the maximum member prediction.
+	MostPleasure
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Average:
+		return "average"
+	case LeastMisery:
+		return "least-misery"
+	case MostPleasure:
+		return "most-pleasure"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Prediction is a group-level score with its per-member breakdown —
+// the evidence group explanations are made of.
+type Prediction struct {
+	Item  model.ItemID
+	Score float64
+	// PerMember holds each member's individual prediction.
+	PerMember map[model.UserID]float64
+	// Low and High are the members with the weakest and strongest
+	// individual predictions.
+	Low, High model.UserID
+}
+
+// ErrEmptyGroup is returned for groups with no members.
+var ErrEmptyGroup = errors.New("group: empty group")
+
+// Recommender aggregates an individual predictor over groups.
+type Recommender struct {
+	base recsys.Predictor
+	cat  *model.Catalog
+	// MinCoverage is the fraction of members that must be predictable
+	// for a group prediction to stand (default 1: everyone).
+	MinCoverage float64
+}
+
+// New builds a group recommender over an individual predictor.
+func New(base recsys.Predictor, cat *model.Catalog) *Recommender {
+	return &Recommender{base: base, cat: cat, MinCoverage: 1}
+}
+
+// Predict scores one item for the group under the strategy.
+func (r *Recommender) Predict(members []model.UserID, item model.ItemID, strategy Strategy) (Prediction, error) {
+	if len(members) == 0 {
+		return Prediction{}, ErrEmptyGroup
+	}
+	switch strategy {
+	case Average, LeastMisery, MostPleasure:
+	default:
+		return Prediction{}, fmt.Errorf("group: unknown strategy %d", int(strategy))
+	}
+	p := Prediction{Item: item, PerMember: map[model.UserID]float64{}}
+	for _, u := range members {
+		pred, err := r.base.Predict(u, item)
+		if err != nil {
+			continue
+		}
+		p.PerMember[u] = pred.Score
+	}
+	covered := float64(len(p.PerMember)) / float64(len(members))
+	if len(p.PerMember) == 0 || covered < r.MinCoverage {
+		return Prediction{}, fmt.Errorf("item %d predictable for %.0f%% of the group: %w",
+			item, covered*100, recsys.ErrColdStart)
+	}
+	// Deterministic member order for low/high ties.
+	ordered := append([]model.UserID(nil), members...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a] < ordered[b] })
+	first := true
+	var sum float64
+	for _, u := range ordered {
+		v, ok := p.PerMember[u]
+		if !ok {
+			continue
+		}
+		sum += v
+		if first {
+			p.Low, p.High = u, u
+			first = false
+			continue
+		}
+		if v < p.PerMember[p.Low] {
+			p.Low = u
+		}
+		if v > p.PerMember[p.High] {
+			p.High = u
+		}
+	}
+	switch strategy {
+	case Average:
+		p.Score = sum / float64(len(p.PerMember))
+	case LeastMisery:
+		p.Score = p.PerMember[p.Low]
+	case MostPleasure:
+		p.Score = p.PerMember[p.High]
+	}
+	return p, nil
+}
+
+// Recommend ranks the catalogue for the group, excluding items for
+// which exclude returns true, and returns up to n predictions.
+func (r *Recommender) Recommend(members []model.UserID, strategy Strategy, n int, exclude func(model.ItemID) bool) ([]Prediction, error) {
+	if len(members) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	var out []Prediction
+	for _, it := range r.cat.Items() {
+		if exclude != nil && exclude(it.ID) {
+			continue
+		}
+		p, err := r.Predict(members, it.ID, strategy)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Item < out[b].Item
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// Explain renders the group explanation for a prediction under the
+// strategy that produced it. names maps member IDs to display names;
+// absent members are named "member N".
+func Explain(p Prediction, strategy Strategy, names map[model.UserID]string) string {
+	name := func(u model.UserID) string {
+		if n, ok := names[u]; ok {
+			return n
+		}
+		return fmt.Sprintf("member %d", u)
+	}
+	switch strategy {
+	case LeastMisery:
+		return fmt.Sprintf(
+			"Chosen so nobody is miserable: even the least enthusiastic of you (%s) is predicted to rate it %.1f stars.",
+			name(p.Low), p.PerMember[p.Low])
+	case MostPleasure:
+		return fmt.Sprintf(
+			"Chosen because someone will love it: %s is predicted to rate it %.1f stars.",
+			name(p.High), p.PerMember[p.High])
+	default:
+		return fmt.Sprintf(
+			"A good fit across the whole group: average predicted rating %.1f stars (from %s's %.1f up to %s's %.1f).",
+			p.Score, name(p.Low), p.PerMember[p.Low], name(p.High), p.PerMember[p.High])
+	}
+}

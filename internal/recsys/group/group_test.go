@@ -1,0 +1,187 @@
+package group
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/recsys/cf"
+)
+
+// tablePredictor serves fixed scores for hand-checkable aggregation.
+type tablePredictor map[model.UserID]map[model.ItemID]float64
+
+func (t tablePredictor) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	if v, ok := t[u][i]; ok {
+		return recsys.Prediction{Item: i, Score: v, Confidence: 1}, nil
+	}
+	return recsys.Prediction{}, recsys.ErrColdStart
+}
+
+func fixture() (*Recommender, []model.UserID) {
+	cat := model.NewCatalog("movies")
+	cat.MustAdd(&model.Item{ID: 1, Title: "Family film"})
+	cat.MustAdd(&model.Item{ID: 2, Title: "Divisive film"})
+	cat.MustAdd(&model.Item{ID: 3, Title: "Partial film"})
+	base := tablePredictor{
+		1: {1: 4.0, 2: 5.0},
+		2: {1: 4.0, 2: 1.0},
+		3: {1: 3.5, 2: 4.5, 3: 4.0},
+	}
+	return New(base, cat), []model.UserID{1, 2, 3}
+}
+
+func TestStrategies(t *testing.T) {
+	r, members := fixture()
+	avg, err := r.Predict(members, 1, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Score != (4.0+4.0+3.5)/3 {
+		t.Fatalf("average = %v", avg.Score)
+	}
+	lm, err := r.Predict(members, 2, LeastMisery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Score != 1.0 || lm.Low != 2 {
+		t.Fatalf("least misery = %+v", lm)
+	}
+	mp, err := r.Predict(members, 2, MostPleasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Score != 5.0 || mp.High != 1 {
+		t.Fatalf("most pleasure = %+v", mp)
+	}
+}
+
+func TestCoverageGate(t *testing.T) {
+	r, members := fixture()
+	// Item 3 is predictable only for user 3.
+	if _, err := r.Predict(members, 3, Average); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("partial coverage err = %v", err)
+	}
+	r.MinCoverage = 0.3
+	p, err := r.Predict(members, 3, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Score != 4.0 {
+		t.Fatalf("relaxed coverage score = %v", p.Score)
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	r, _ := fixture()
+	if _, err := r.Predict(nil, 1, Average); !errors.Is(err, ErrEmptyGroup) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.Recommend(nil, Average, 3, nil); !errors.Is(err, ErrEmptyGroup) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeastMiseryAvoidsDivisiveItems(t *testing.T) {
+	r, members := fixture()
+	recs, err := r.Recommend(members[:2], LeastMisery, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 1 (4.0/4.0) must beat item 2 (5.0/1.0) under least misery.
+	if recs[0].Item != 1 {
+		t.Fatalf("least misery picked the divisive film: %+v", recs)
+	}
+	// Under most pleasure the order flips.
+	recs, err = r.Recommend(members[:2], MostPleasure, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Item != 2 {
+		t.Fatalf("most pleasure should pick the divisive film: %+v", recs)
+	}
+}
+
+func TestExplainShapes(t *testing.T) {
+	r, members := fixture()
+	names := map[model.UserID]string{1: "Ada", 2: "Ben"}
+	lm, _ := r.Predict(members[:2], 2, LeastMisery)
+	got := Explain(lm, LeastMisery, names)
+	if !strings.Contains(got, "nobody is miserable") || !strings.Contains(got, "Ben") ||
+		!strings.Contains(got, "1.0 stars") {
+		t.Fatalf("least-misery explanation = %q", got)
+	}
+	mp, _ := r.Predict(members[:2], 2, MostPleasure)
+	got = Explain(mp, MostPleasure, names)
+	if !strings.Contains(got, "someone will love it") || !strings.Contains(got, "Ada") {
+		t.Fatalf("most-pleasure explanation = %q", got)
+	}
+	avg, _ := r.Predict(members[:2], 1, Average)
+	got = Explain(avg, Average, nil)
+	if !strings.Contains(got, "whole group") || !strings.Contains(got, "member 1") {
+		t.Fatalf("average explanation = %q", got)
+	}
+}
+
+func TestGroupOverRealCommunity(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 121, Users: 60, Items: 80, RatingsPerUser: 20})
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 15})
+	r := New(knn, c.Catalog)
+	r.MinCoverage = 1
+	members := []model.UserID{1, 2, 3}
+	exclude := func(i model.ItemID) bool {
+		for _, u := range members {
+			if _, rated := c.Ratings.Get(u, i); rated {
+				return true
+			}
+		}
+		return false
+	}
+	recs, err := r.Recommend(members, LeastMisery, 5, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no group recommendations")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Score < recs[i].Score {
+			t.Fatal("not sorted")
+		}
+	}
+	// Least-misery invariant: the group score is the min member score.
+	for _, p := range recs {
+		min := 99.0
+		for _, v := range p.PerMember {
+			if v < min {
+				min = v
+			}
+		}
+		if p.Score != min {
+			t.Fatalf("least-misery score %v != min member %v", p.Score, min)
+		}
+	}
+	// And no member rated the recommended items.
+	for _, p := range recs {
+		if exclude(p.Item) {
+			t.Fatal("excluded item recommended")
+		}
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if Average.String() != "average" || LeastMisery.String() != "least-misery" ||
+		MostPleasure.String() != "most-pleasure" {
+		t.Fatal("strategy strings")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy should stringify")
+	}
+	r, members := fixture()
+	if _, err := r.Predict(members, 1, Strategy(9)); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

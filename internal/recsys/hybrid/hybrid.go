@@ -1,0 +1,134 @@
+// Package hybrid combines multiple recommenders into a weighted
+// ensemble that keeps provenance: every prediction can report which
+// source algorithms contributed and how much.
+//
+// Provenance matters for explanation quality. The survey's conclusion
+// distinguishes explanation styles by content ("because you liked Y"
+// vs "people like you liked Y"); a hybrid that forgets its sources can
+// only produce the vague "your interests suggest X". Keeping the
+// decomposition lets the explanation engine pick the style matching
+// the dominant evidence.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// Source is one weighted member of the ensemble.
+type Source struct {
+	Name      string
+	Weight    float64
+	Predictor recsys.Predictor
+}
+
+// Contribution reports one source's share of a hybrid prediction.
+type Contribution struct {
+	Name   string
+	Score  float64 // the source's own predicted rating
+	Weight float64 // configured weight
+	Share  float64 // normalised share of the final score, in [0, 1]
+}
+
+// Hybrid is a weighted-average ensemble over a shared catalogue.
+type Hybrid struct {
+	cat     *model.Catalog
+	sources []Source
+}
+
+// New builds a hybrid over cat from the given sources. It panics when
+// no source is supplied or any weight is non-positive — both are
+// programming errors, not runtime conditions.
+func New(cat *model.Catalog, sources ...Source) *Hybrid {
+	if len(sources) == 0 {
+		panic("hybrid: no sources")
+	}
+	for _, s := range sources {
+		if s.Weight <= 0 {
+			panic(fmt.Sprintf("hybrid: source %q has non-positive weight", s.Name))
+		}
+	}
+	return &Hybrid{cat: cat, sources: sources}
+}
+
+// Name implements recsys.Named.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Sources returns the configured sources.
+func (h *Hybrid) Sources() []Source { return h.sources }
+
+// Predict implements recsys.Predictor: the weight-normalised average
+// of every source that can produce a prediction. Sources returning
+// errors are skipped; if all fail, the last error is wrapped.
+func (h *Hybrid) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	pred, _, err := h.predictWithProvenance(u, i)
+	return pred, err
+}
+
+// Provenance returns the hybrid prediction together with each
+// contributing source's share.
+func (h *Hybrid) Provenance(u model.UserID, i model.ItemID) (recsys.Prediction, []Contribution, error) {
+	return h.predictWithProvenance(u, i)
+}
+
+func (h *Hybrid) predictWithProvenance(u model.UserID, i model.ItemID) (recsys.Prediction, []Contribution, error) {
+	var contribs []Contribution
+	var wsum, score, conf float64
+	var lastErr error
+	for _, s := range h.sources {
+		p, err := s.Predictor.Predict(u, i)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		contribs = append(contribs, Contribution{Name: s.Name, Score: p.Score, Weight: s.Weight})
+		wsum += s.Weight
+		score += s.Weight * p.Score
+		conf += s.Weight * p.Confidence
+	}
+	if wsum == 0 {
+		if lastErr == nil {
+			lastErr = recsys.ErrColdStart
+		}
+		return recsys.Prediction{}, nil, fmt.Errorf("hybrid: all sources failed: %w", lastErr)
+	}
+	for idx := range contribs {
+		contribs[idx].Share = contribs[idx].Weight / wsum
+	}
+	// Answering with only a fraction of the ensemble is weaker
+	// evidence; scale confidence by the answered weight share.
+	var totalWeight float64
+	for _, s := range h.sources {
+		totalWeight += s.Weight
+	}
+	pred := recsys.Prediction{
+		Item:       i,
+		Score:      model.ClampRating(score / wsum),
+		Confidence: (conf / wsum) * (wsum / totalWeight),
+	}
+	return pred, contribs, nil
+}
+
+// Recommend implements recsys.Recommender.
+func (h *Hybrid) Recommend(u model.UserID, n int, exclude func(model.ItemID) bool) []recsys.Prediction {
+	return recsys.TopN(recsys.RankAll(h, h.cat, u, exclude), n)
+}
+
+// Dominant returns the contribution with the largest share, which the
+// explanation engine uses to choose an explanation style. It returns
+// an error when provenance is empty.
+func Dominant(contribs []Contribution) (Contribution, error) {
+	if len(contribs) == 0 {
+		return Contribution{}, errors.New("hybrid: no contributions")
+	}
+	best := contribs[0]
+	for _, c := range contribs[1:] {
+		if c.Share > best.Share {
+			best = c
+		}
+	}
+	return best, nil
+}

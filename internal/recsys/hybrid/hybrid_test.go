@@ -1,0 +1,174 @@
+package hybrid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// stubPredictor returns a fixed prediction or error.
+type stubPredictor struct {
+	score, conf float64
+	err         error
+}
+
+func (s stubPredictor) Predict(model.UserID, model.ItemID) (recsys.Prediction, error) {
+	if s.err != nil {
+		return recsys.Prediction{}, s.err
+	}
+	return recsys.Prediction{Score: s.score, Confidence: s.conf}, nil
+}
+
+func smallCatalog(n int) *model.Catalog {
+	cat := model.NewCatalog("t")
+	for i := 1; i <= n; i++ {
+		cat.MustAdd(&model.Item{ID: model.ItemID(i)})
+	}
+	return cat
+}
+
+func TestWeightedAverage(t *testing.T) {
+	h := New(smallCatalog(1),
+		Source{Name: "a", Weight: 3, Predictor: stubPredictor{score: 4, conf: 1}},
+		Source{Name: "b", Weight: 1, Predictor: stubPredictor{score: 2, conf: 0.5}},
+	)
+	p, err := h.Predict(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3.0*4 + 1.0*2) / 4
+	if math.Abs(p.Score-want) > 1e-12 {
+		t.Fatalf("score = %v, want %v", p.Score, want)
+	}
+	wantConf := (3.0*1 + 1.0*0.5) / 4
+	if math.Abs(p.Confidence-wantConf) > 1e-12 {
+		t.Fatalf("confidence = %v, want %v", p.Confidence, wantConf)
+	}
+}
+
+func TestFailedSourceSkippedAndConfidencePenalised(t *testing.T) {
+	h := New(smallCatalog(1),
+		Source{Name: "a", Weight: 1, Predictor: stubPredictor{score: 4, conf: 1}},
+		Source{Name: "b", Weight: 1, Predictor: stubPredictor{err: recsys.ErrColdStart}},
+	)
+	p, err := h.Predict(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Score != 4 {
+		t.Fatalf("score = %v", p.Score)
+	}
+	if math.Abs(p.Confidence-0.5) > 1e-12 {
+		t.Fatalf("confidence = %v, want halved to 0.5", p.Confidence)
+	}
+}
+
+func TestAllSourcesFail(t *testing.T) {
+	h := New(smallCatalog(1),
+		Source{Name: "a", Weight: 1, Predictor: stubPredictor{err: recsys.ErrColdStart}},
+	)
+	_, err := h.Predict(1, 1)
+	if !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProvenanceShares(t *testing.T) {
+	h := New(smallCatalog(1),
+		Source{Name: "cf", Weight: 2, Predictor: stubPredictor{score: 5, conf: 1}},
+		Source{Name: "content", Weight: 2, Predictor: stubPredictor{score: 3, conf: 1}},
+	)
+	_, contribs, err := h.Provenance(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contribs) != 2 {
+		t.Fatalf("contribs = %+v", contribs)
+	}
+	var shares float64
+	for _, c := range contribs {
+		if c.Share != 0.5 {
+			t.Fatalf("share = %v, want 0.5", c.Share)
+		}
+		shares += c.Share
+	}
+	if shares != 1 {
+		t.Fatalf("shares sum to %v", shares)
+	}
+}
+
+func TestDominant(t *testing.T) {
+	contribs := []Contribution{
+		{Name: "a", Share: 0.2},
+		{Name: "b", Share: 0.5},
+		{Name: "c", Share: 0.3},
+	}
+	d, err := Dominant(contribs)
+	if err != nil || d.Name != "b" {
+		t.Fatalf("Dominant = %+v, %v", d, err)
+	}
+	if _, err := Dominant(nil); err == nil {
+		t.Fatal("Dominant(nil) should error")
+	}
+}
+
+func TestScoreClamped(t *testing.T) {
+	h := New(smallCatalog(1),
+		Source{Name: "a", Weight: 1, Predictor: stubPredictor{score: 99, conf: 1}},
+	)
+	p, err := h.Predict(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Score != model.MaxRating {
+		t.Fatalf("score = %v, want clamped", p.Score)
+	}
+}
+
+func TestRecommendRanks(t *testing.T) {
+	// Predictor that scores item i as float64(i).
+	f := predictFunc(func(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+		return recsys.Prediction{Item: i, Score: float64(i), Confidence: 1}, nil
+	})
+	h := New(smallCatalog(4), Source{Name: "f", Weight: 1, Predictor: f})
+	recs := h.Recommend(1, 2, nil)
+	if len(recs) != 2 || recs[0].Item != 4 || recs[1].Item != 3 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+type predictFunc func(model.UserID, model.ItemID) (recsys.Prediction, error)
+
+func (f predictFunc) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	return f(u, i)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cat := smallCatalog(1)
+	for name, f := range map[string]func(){
+		"no sources":  func() { New(cat) },
+		"zero weight": func() { New(cat, Source{Name: "a", Weight: 0, Predictor: stubPredictor{}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNameAndSources(t *testing.T) {
+	h := New(smallCatalog(1), Source{Name: "a", Weight: 1, Predictor: stubPredictor{score: 3}})
+	if h.Name() != "hybrid" {
+		t.Fatal("name")
+	}
+	if len(h.Sources()) != 1 || h.Sources()[0].Name != "a" {
+		t.Fatal("sources")
+	}
+}

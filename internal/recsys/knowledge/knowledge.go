@@ -1,0 +1,423 @@
+// Package knowledge implements preference- (knowledge-) based
+// recommendation: items are scored against explicitly stated user
+// requirements with an additive multi-attribute utility (MAUT) value
+// function, optionally filtered by hard constraints.
+//
+// This is the recommendation style behind most "preference-based"
+// explanation rows in the survey's Tables 3 and 4 (Qwikshop, Top Case,
+// Adaptive Place Advisor, the Organizational Structure interface): the
+// system knows *why* it ranks an item highly — per-attribute utility
+// contributions — so explanations and trade-off comparisons ("cheaper
+// but lower resolution") fall out of the score decomposition.
+package knowledge
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	Eq Op = iota // categorical or numeric equality
+	Ne           // categorical inequality
+	Le           // numeric <=
+	Ge           // numeric >=
+)
+
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Le:
+		return "<="
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Constraint is a hard requirement over one attribute ("cuisine =
+// thai", "price <= 400"). Items failing any constraint are filtered
+// out before scoring — the Section 5.1 "user specifies their
+// requirements" interaction.
+type Constraint struct {
+	Attr string
+	Op   Op
+	Str  string  // comparison value for categorical attributes
+	Num  float64 // comparison value for numeric attributes
+}
+
+// String renders the constraint for dialog transcripts.
+func (c Constraint) String() string {
+	if c.Str != "" {
+		return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Str)
+	}
+	return fmt.Sprintf("%s %s %.4g", c.Attr, c.Op, c.Num)
+}
+
+// Matches reports whether an item satisfies the constraint. Items
+// lacking the attribute fail it.
+func (c Constraint) Matches(it *model.Item) bool {
+	if s, ok := it.Categorical[c.Attr]; ok {
+		switch c.Op {
+		case Eq:
+			return s == c.Str
+		case Ne:
+			return s != c.Str
+		default:
+			return false
+		}
+	}
+	v, ok := it.Numeric[c.Attr]
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case Eq:
+		return v == c.Num
+	case Ne:
+		return v != c.Num
+	case Le:
+		return v <= c.Num
+	case Ge:
+		return v >= c.Num
+	default:
+		return false
+	}
+}
+
+// Preferences is a MAUT value model over catalogue attributes.
+type Preferences struct {
+	// NumericIdeal is the preferred value per numeric attribute;
+	// utility decays linearly with normalised distance from it.
+	NumericIdeal map[string]float64
+	// NumericWeight is the relative importance of each numeric
+	// attribute (default 1 when listed in NumericIdeal but absent here).
+	NumericWeight map[string]float64
+	// CategoricalPrefer maps categorical attributes to their preferred
+	// value; matching scores 1, otherwise 0.
+	CategoricalPrefer map[string]string
+	// CategoricalWeight is the importance of each categorical
+	// preference (default 1).
+	CategoricalWeight map[string]float64
+}
+
+// Clone deep-copies the preferences so dialogs can evolve them without
+// aliasing the caller's model.
+func (p *Preferences) Clone() *Preferences {
+	cp := &Preferences{
+		NumericIdeal:      map[string]float64{},
+		NumericWeight:     map[string]float64{},
+		CategoricalPrefer: map[string]string{},
+		CategoricalWeight: map[string]float64{},
+	}
+	for k, v := range p.NumericIdeal {
+		cp.NumericIdeal[k] = v
+	}
+	for k, v := range p.NumericWeight {
+		cp.NumericWeight[k] = v
+	}
+	for k, v := range p.CategoricalPrefer {
+		cp.CategoricalPrefer[k] = v
+	}
+	for k, v := range p.CategoricalWeight {
+		cp.CategoricalWeight[k] = v
+	}
+	return cp
+}
+
+// AttrScore is one attribute's contribution to an item's utility.
+type AttrScore struct {
+	Attr   string
+	Score  float64 // per-attribute satisfaction in [0, 1]
+	Weight float64 // importance weight
+}
+
+// ScoredItem is an item with its utility and per-attribute breakdown.
+type ScoredItem struct {
+	Item      *model.Item
+	Utility   float64 // weighted mean of attribute scores, in [0, 1]
+	Breakdown []AttrScore
+}
+
+// ErrNoPreferences is returned when scoring with an empty value model.
+var ErrNoPreferences = errors.New("knowledge: empty preference model")
+
+// Recommender scores catalogue items against Preferences.
+type Recommender struct {
+	cat *model.Catalog
+}
+
+// New builds a knowledge-based recommender over cat.
+func New(cat *model.Catalog) *Recommender {
+	return &Recommender{cat: cat}
+}
+
+// Name identifies the algorithm for provenance.
+func (r *Recommender) Name() string { return "maut" }
+
+// Catalog exposes the catalogue (presenters need attribute schemas).
+func (r *Recommender) Catalog() *model.Catalog { return r.cat }
+
+// Filter returns the items satisfying every constraint, in catalogue
+// order.
+func (r *Recommender) Filter(constraints []Constraint) []*model.Item {
+	var out []*model.Item
+	for _, it := range r.cat.Items() {
+		ok := true
+		for _, c := range constraints {
+			if !c.Matches(it) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Utility scores one item under prefs, returning the weighted utility
+// in [0,1] and the per-attribute breakdown (sorted by attribute name
+// for determinism).
+func (r *Recommender) Utility(prefs *Preferences, it *model.Item) (float64, []AttrScore, error) {
+	if len(prefs.NumericIdeal)+len(prefs.CategoricalPrefer) == 0 {
+		return 0, nil, ErrNoPreferences
+	}
+	var breakdown []AttrScore
+	var wsum, usum float64
+	// Iterate in sorted attribute order so the weighted sums are
+	// bit-identical across runs.
+	for _, attr := range sortedKeys(prefs.NumericIdeal) {
+		ideal := prefs.NumericIdeal[attr]
+		v, ok := it.Numeric[attr]
+		if !ok {
+			continue
+		}
+		lo, hi, ok := r.cat.NumericRange(attr)
+		span := hi - lo
+		if !ok || span <= 0 {
+			span = 1
+		}
+		score := 1 - math.Abs(v-ideal)/span
+		if score < 0 {
+			score = 0
+		}
+		w := prefs.NumericWeight[attr]
+		if w == 0 {
+			w = 1
+		}
+		breakdown = append(breakdown, AttrScore{Attr: attr, Score: score, Weight: w})
+		wsum += w
+		usum += w * score
+	}
+	for _, attr := range sortedStrKeys(prefs.CategoricalPrefer) {
+		want := prefs.CategoricalPrefer[attr]
+		v, ok := it.Categorical[attr]
+		if !ok {
+			continue
+		}
+		score := 0.0
+		if v == want {
+			score = 1
+		}
+		w := prefs.CategoricalWeight[attr]
+		if w == 0 {
+			w = 1
+		}
+		breakdown = append(breakdown, AttrScore{Attr: attr, Score: score, Weight: w})
+		wsum += w
+		usum += w * score
+	}
+	if wsum == 0 {
+		return 0, nil, fmt.Errorf("item %d shares no attributes with the preference model: %w", it.ID, ErrNoPreferences)
+	}
+	sort.Slice(breakdown, func(a, b int) bool { return breakdown[a].Attr < breakdown[b].Attr })
+	return usum / wsum, breakdown, nil
+}
+
+// Recommend filters by constraints, scores the survivors under prefs
+// and returns up to n results sorted by descending utility (ties by
+// item ID).
+func (r *Recommender) Recommend(prefs *Preferences, constraints []Constraint, n int) ([]ScoredItem, error) {
+	candidates := r.Filter(constraints)
+	out := make([]ScoredItem, 0, len(candidates))
+	for _, it := range candidates {
+		u, breakdown, err := r.Utility(prefs, it)
+		if err != nil {
+			if errors.Is(err, ErrNoPreferences) && len(prefs.NumericIdeal)+len(prefs.CategoricalPrefer) == 0 {
+				return nil, err
+			}
+			continue
+		}
+		out = append(out, ScoredItem{Item: it, Utility: u, Breakdown: breakdown})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Utility != out[b].Utility {
+			return out[a].Utility > out[b].Utility
+		}
+		return out[a].Item.ID < out[b].Item.ID
+	})
+	if n >= 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// sortedKeys returns map keys ascending, for order-stable accumulation.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStrKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Direction classifies how an alternative compares to a reference item
+// on one attribute.
+type Direction int
+
+// Trade-off directions.
+const (
+	Better Direction = iota
+	Worse
+	Same
+	Different // categorical difference with no better/worse ordering
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Better:
+		return "better"
+	case Worse:
+		return "worse"
+	case Same:
+		return "same"
+	case Different:
+		return "different"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Tradeoff describes one attribute difference between an alternative
+// and a reference item. The Phrase is the user-facing fragment used by
+// McCarthy-style compound critique labels ("Cheaper", "Less Memory").
+type Tradeoff struct {
+	Attr      string
+	Direction Direction
+	Delta     float64 // alternative minus reference (numeric only)
+	Phrase    string
+}
+
+// Compare returns the attribute-by-attribute trade-offs of alt against
+// ref, in catalogue schema order. Numeric deltas below 2% of the
+// attribute range count as Same.
+func Compare(cat *model.Catalog, ref, alt *model.Item) []Tradeoff {
+	var out []Tradeoff
+	for _, def := range cat.Attrs {
+		switch def.Kind {
+		case model.Numeric:
+			rv, okR := ref.Numeric[def.Name]
+			av, okA := alt.Numeric[def.Name]
+			if !okR || !okA {
+				continue
+			}
+			lo, hi, ok := cat.NumericRange(def.Name)
+			span := hi - lo
+			if !ok || span <= 0 {
+				span = 1
+			}
+			delta := av - rv
+			if math.Abs(delta)/span < 0.02 {
+				out = append(out, Tradeoff{Attr: def.Name, Direction: Same, Delta: delta, Phrase: "similar " + def.Name})
+				continue
+			}
+			dir := Better
+			if (delta > 0) == def.LessIsBetter {
+				dir = Worse
+			}
+			out = append(out, Tradeoff{
+				Attr:      def.Name,
+				Direction: dir,
+				Delta:     delta,
+				Phrase:    phraseFor(def, delta),
+			})
+		case model.Categorical:
+			rv, okR := ref.Categorical[def.Name]
+			av, okA := alt.Categorical[def.Name]
+			if !okR || !okA {
+				continue
+			}
+			if rv == av {
+				out = append(out, Tradeoff{Attr: def.Name, Direction: Same, Phrase: "same " + def.Name})
+			} else {
+				out = append(out, Tradeoff{Attr: def.Name, Direction: Different, Phrase: "different " + def.Name + " (" + av + ")"})
+			}
+		}
+	}
+	return out
+}
+
+// phraseFor builds the natural fragment for a numeric difference,
+// using domain vocabulary for the attributes the paper quotes.
+func phraseFor(def model.AttrDef, delta float64) string {
+	increased := delta > 0
+	switch def.Name {
+	case "price":
+		if increased {
+			return "More Expensive"
+		}
+		return "Cheaper"
+	case "memory":
+		if increased {
+			return "More Memory"
+		}
+		return "Less Memory"
+	case "resolution":
+		if increased {
+			return "Higher Resolution"
+		}
+		return "Lower Resolution"
+	case "weight":
+		if increased {
+			return "Heavier"
+		}
+		return "Lighter"
+	case "zoom":
+		if increased {
+			return "More Zoom"
+		}
+		return "Less Zoom"
+	case "distance":
+		if increased {
+			return "Farther Away"
+		}
+		return "Closer"
+	}
+	if increased {
+		return "More " + def.Name
+	}
+	return "Less " + def.Name
+}

@@ -1,0 +1,319 @@
+package knowledge
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func cameraFixture() *model.Catalog {
+	cat := model.NewCatalog("cameras",
+		model.AttrDef{Name: "price", Kind: model.Numeric, LessIsBetter: true, Unit: "$"},
+		model.AttrDef{Name: "resolution", Kind: model.Numeric, Unit: "MP"},
+		model.AttrDef{Name: "memory", Kind: model.Numeric, Unit: "GB"},
+		model.AttrDef{Name: "brand", Kind: model.Categorical},
+	)
+	add := func(id model.ItemID, price, res, mem float64, brand string) {
+		cat.MustAdd(&model.Item{
+			ID:          id,
+			Title:       brand,
+			Numeric:     map[string]float64{"price": price, "resolution": res, "memory": mem},
+			Categorical: map[string]string{"brand": brand},
+		})
+	}
+	add(1, 100, 8, 4, "Axiom")   // cheap, low spec
+	add(2, 300, 16, 16, "Lumo")  // mid
+	add(3, 900, 30, 64, "Axiom") // expensive, high spec
+	return cat
+}
+
+func TestConstraintMatches(t *testing.T) {
+	cat := cameraFixture()
+	it, _ := cat.Item(2)
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Constraint{Attr: "price", Op: Le, Num: 400}, true},
+		{Constraint{Attr: "price", Op: Le, Num: 200}, false},
+		{Constraint{Attr: "price", Op: Ge, Num: 200}, true},
+		{Constraint{Attr: "price", Op: Eq, Num: 300}, true},
+		{Constraint{Attr: "price", Op: Ne, Num: 300}, false},
+		{Constraint{Attr: "brand", Op: Eq, Str: "Lumo"}, true},
+		{Constraint{Attr: "brand", Op: Ne, Str: "Axiom"}, true},
+		{Constraint{Attr: "brand", Op: Eq, Str: "Axiom"}, false},
+		{Constraint{Attr: "missing", Op: Eq, Str: "x"}, false},
+		{Constraint{Attr: "brand", Op: Le, Str: "Lumo"}, false}, // Le on categorical
+	}
+	for _, c := range cases {
+		if got := c.c.Matches(it); got != c.want {
+			t.Fatalf("constraint %v on item 2 = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Attr: "price", Op: Le, Num: 400}
+	if c.String() != "price <= 400" {
+		t.Fatalf("String = %q", c.String())
+	}
+	c2 := Constraint{Attr: "brand", Op: Eq, Str: "Lumo"}
+	if c2.String() != "brand = Lumo" {
+		t.Fatalf("String = %q", c2.String())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := New(cameraFixture())
+	got := r.Filter([]Constraint{{Attr: "price", Op: Le, Num: 400}})
+	if len(got) != 2 {
+		t.Fatalf("filtered %d items, want 2", len(got))
+	}
+	got = r.Filter([]Constraint{
+		{Attr: "price", Op: Le, Num: 400},
+		{Attr: "brand", Op: Eq, Str: "Axiom"},
+	})
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("conjunction filter = %v", got)
+	}
+	if got := r.Filter(nil); len(got) != 3 {
+		t.Fatalf("nil constraints should pass everything, got %d", len(got))
+	}
+}
+
+func TestUtilityPrefersIdealPoint(t *testing.T) {
+	r := New(cameraFixture())
+	prefs := &Preferences{
+		NumericIdeal:  map[string]float64{"price": 100, "resolution": 8},
+		NumericWeight: map[string]float64{"price": 2, "resolution": 1},
+	}
+	u1, breakdown, err := r.Utility(prefs, mustItem(t, r, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u3, _, err := r.Utility(prefs, mustItem(t, r, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 <= u3 {
+		t.Fatalf("cheap camera %v should beat expensive %v for a budget shopper", u1, u3)
+	}
+	if len(breakdown) != 2 {
+		t.Fatalf("breakdown = %+v", breakdown)
+	}
+	// Breakdown sorted by attribute name.
+	if breakdown[0].Attr != "price" || breakdown[1].Attr != "resolution" {
+		t.Fatalf("breakdown order = %+v", breakdown)
+	}
+	// Item 1 matches the ideal exactly on both attributes.
+	if breakdown[0].Score != 1 || breakdown[1].Score != 1 {
+		t.Fatalf("perfect match should score 1: %+v", breakdown)
+	}
+}
+
+func TestUtilityCategorical(t *testing.T) {
+	r := New(cameraFixture())
+	prefs := &Preferences{
+		CategoricalPrefer: map[string]string{"brand": "Axiom"},
+	}
+	u1, _, _ := r.Utility(prefs, mustItem(t, r, 1))
+	u2, _, _ := r.Utility(prefs, mustItem(t, r, 2))
+	if u1 != 1 || u2 != 0 {
+		t.Fatalf("brand utility = %v, %v", u1, u2)
+	}
+}
+
+func TestUtilityErrors(t *testing.T) {
+	r := New(cameraFixture())
+	if _, _, err := r.Utility(&Preferences{}, mustItem(t, r, 1)); !errors.Is(err, ErrNoPreferences) {
+		t.Fatalf("empty prefs error = %v", err)
+	}
+	prefs := &Preferences{NumericIdeal: map[string]float64{"nonexistent": 1}}
+	if _, _, err := r.Utility(prefs, mustItem(t, r, 1)); !errors.Is(err, ErrNoPreferences) {
+		t.Fatalf("unshared attrs error = %v", err)
+	}
+}
+
+func TestUtilityBoundsQuick(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 3, Users: 5, Items: 80, RatingsPerUser: 3})
+	r := New(c.Catalog)
+	items := c.Catalog.Items()
+	lo, hi, _ := c.Catalog.NumericRange(dataset.CamPrice)
+	f := func(i uint16, idealFrac float64) bool {
+		if idealFrac < 0 {
+			idealFrac = -idealFrac
+		}
+		idealFrac -= float64(int(idealFrac)) // frac part in [0,1)
+		prefs := &Preferences{
+			NumericIdeal: map[string]float64{dataset.CamPrice: lo + (hi-lo)*idealFrac},
+		}
+		u, _, err := r.Utility(prefs, items[int(i)%len(items)])
+		if err != nil {
+			return false
+		}
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendRanksAndTruncates(t *testing.T) {
+	r := New(cameraFixture())
+	prefs := &Preferences{NumericIdeal: map[string]float64{"price": 100}}
+	recs, err := r.Recommend(prefs, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d recs", len(recs))
+	}
+	if recs[0].Item.ID != 1 {
+		t.Fatalf("best item = %d, want the cheapest", recs[0].Item.ID)
+	}
+	if recs[0].Utility < recs[1].Utility {
+		t.Fatal("not sorted")
+	}
+	// n = -1 means all.
+	all, _ := r.Recommend(prefs, nil, -1)
+	if len(all) != 3 {
+		t.Fatalf("all = %d", len(all))
+	}
+}
+
+func TestRecommendEmptyPrefsError(t *testing.T) {
+	r := New(cameraFixture())
+	if _, err := r.Recommend(&Preferences{}, nil, 3); !errors.Is(err, ErrNoPreferences) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecommendWithConstraints(t *testing.T) {
+	r := New(cameraFixture())
+	prefs := &Preferences{NumericIdeal: map[string]float64{"resolution": 30}}
+	recs, err := r.Recommend(prefs, []Constraint{{Attr: "price", Op: Le, Num: 400}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range recs {
+		if s.Item.Numeric["price"] > 400 {
+			t.Fatalf("constraint violated: %+v", s.Item)
+		}
+	}
+	if len(recs) != 2 || recs[0].Item.ID != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestCompareTradeoffs(t *testing.T) {
+	cat := cameraFixture()
+	ref := mustCatItem(t, cat, 3) // expensive high spec
+	alt := mustCatItem(t, cat, 1) // cheap low spec
+	tos := Compare(cat, ref, alt)
+	byAttr := map[string]Tradeoff{}
+	for _, to := range tos {
+		byAttr[to.Attr] = to
+	}
+	if to := byAttr["price"]; to.Direction != Better || to.Phrase != "Cheaper" {
+		t.Fatalf("price tradeoff = %+v", to)
+	}
+	if to := byAttr["resolution"]; to.Direction != Worse || to.Phrase != "Lower Resolution" {
+		t.Fatalf("resolution tradeoff = %+v", to)
+	}
+	if to := byAttr["memory"]; to.Direction != Worse || to.Phrase != "Less Memory" {
+		t.Fatalf("memory tradeoff = %+v", to)
+	}
+	if to := byAttr["brand"]; to.Direction != Same {
+		t.Fatalf("brand tradeoff = %+v (both Axiom)", to)
+	}
+}
+
+func TestCompareCategoricalDifference(t *testing.T) {
+	cat := cameraFixture()
+	tos := Compare(cat, mustCatItem(t, cat, 1), mustCatItem(t, cat, 2))
+	for _, to := range tos {
+		if to.Attr == "brand" {
+			if to.Direction != Different {
+				t.Fatalf("brand = %+v", to)
+			}
+			return
+		}
+	}
+	t.Fatal("brand tradeoff missing")
+}
+
+func TestCompareSameItemAllSame(t *testing.T) {
+	cat := cameraFixture()
+	it := mustCatItem(t, cat, 2)
+	for _, to := range Compare(cat, it, it) {
+		if to.Direction != Same {
+			t.Fatalf("self-comparison produced %+v", to)
+		}
+	}
+}
+
+func TestPhraseForGenericAttr(t *testing.T) {
+	def := model.AttrDef{Name: "battery", Kind: model.Numeric}
+	if got := phraseFor(def, 5); got != "More battery" {
+		t.Fatalf("phrase = %q", got)
+	}
+	if got := phraseFor(def, -5); got != "Less battery" {
+		t.Fatalf("phrase = %q", got)
+	}
+}
+
+func TestPreferencesClone(t *testing.T) {
+	p := &Preferences{
+		NumericIdeal:      map[string]float64{"price": 100},
+		NumericWeight:     map[string]float64{"price": 2},
+		CategoricalPrefer: map[string]string{"brand": "Axiom"},
+		CategoricalWeight: map[string]float64{"brand": 1},
+	}
+	cp := p.Clone()
+	cp.NumericIdeal["price"] = 900
+	cp.CategoricalPrefer["brand"] = "Lumo"
+	if p.NumericIdeal["price"] != 100 || p.CategoricalPrefer["brand"] != "Axiom" {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestOpAndDirectionStrings(t *testing.T) {
+	if Eq.String() != "=" || Ne.String() != "!=" || Le.String() != "<=" || Ge.String() != ">=" {
+		t.Fatal("op strings")
+	}
+	if Better.String() != "better" || Worse.String() != "worse" ||
+		Same.String() != "same" || Different.String() != "different" {
+		t.Fatal("direction strings")
+	}
+}
+
+func mustItem(t *testing.T, r *Recommender, id model.ItemID) *model.Item {
+	t.Helper()
+	return mustCatItem(t, r.Catalog(), id)
+}
+
+func mustCatItem(t *testing.T, cat *model.Catalog, id model.ItemID) *model.Item {
+	t.Helper()
+	it, err := cat.Item(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func BenchmarkRecommend(b *testing.B) {
+	c := dataset.Cameras(dataset.Config{Seed: 5, Users: 5, Items: 300, RatingsPerUser: 3})
+	r := New(c.Catalog)
+	lo, hi, _ := c.Catalog.NumericRange(dataset.CamPrice)
+	prefs := &Preferences{
+		NumericIdeal:  map[string]float64{dataset.CamPrice: lo + (hi-lo)*0.2, dataset.CamResolution: 20},
+		NumericWeight: map[string]float64{dataset.CamPrice: 2},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = r.Recommend(prefs, nil, 10)
+	}
+}

@@ -1,0 +1,188 @@
+// Package mf implements matrix-factorisation collaborative filtering
+// (FunkSVD-style biased latent factors trained by stochastic gradient
+// descent).
+//
+// In this repository MF plays the role of the *unexplainable strong
+// baseline*: its latent factors predict well but name nothing a user
+// recognises, so its explanations can only be the vague
+// preference-based fallback. Ablation A5 uses it to quantify the
+// survey's implicit tension between prediction accuracy and
+// explanation quality — a recommender that cannot ground its
+// explanations gains persuasion only through hype and loses
+// effectiveness.
+package mf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/rng"
+)
+
+// Options configure training.
+type Options struct {
+	// Factors is the latent dimensionality (default 16).
+	Factors int
+	// Epochs of SGD over all ratings (default 30).
+	Epochs int
+	// LearningRate for SGD (default 0.01).
+	LearningRate float64
+	// Regularization strength (default 0.05).
+	Regularization float64
+	// Seed for factor initialisation and example shuffling.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Factors == 0 {
+		o.Factors = 16
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 30
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.01
+	}
+	if o.Regularization == 0 {
+		o.Regularization = 0.05
+	}
+	return o
+}
+
+// Model is a trained factorisation.
+type Model struct {
+	cat  *model.Catalog
+	opts Options
+
+	mean       float64
+	userBias   map[model.UserID]float64
+	itemBias   map[model.ItemID]float64
+	userFactor map[model.UserID][]float64
+	itemFactor map[model.ItemID][]float64
+	// trainCount supports a crude per-user confidence.
+	trainCount map[model.UserID]int
+}
+
+// Train fits a model to the matrix. Training is deterministic in
+// opts.Seed: examples are visited in a seeded shuffled order each
+// epoch.
+func Train(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed + 0x5eed)
+	md := &Model{
+		cat:        cat,
+		opts:       opts,
+		mean:       m.GlobalMean(),
+		userBias:   map[model.UserID]float64{},
+		itemBias:   map[model.ItemID]float64{},
+		userFactor: map[model.UserID][]float64{},
+		itemFactor: map[model.ItemID][]float64{},
+		trainCount: map[model.UserID]int{},
+	}
+	// Deterministic example list: sorted users, sorted items.
+	type example struct {
+		u model.UserID
+		i model.ItemID
+		v float64
+	}
+	var examples []example
+	for _, u := range m.Users() {
+		ratings := m.UserRatings(u)
+		ids := make([]model.ItemID, 0, len(ratings))
+		for i := range ratings {
+			ids = append(ids, i)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, i := range ids {
+			examples = append(examples, example{u, i, ratings[i]})
+		}
+		md.trainCount[u] = len(ids)
+	}
+	factors := func() []float64 {
+		f := make([]float64, opts.Factors)
+		for k := range f {
+			f[k] = r.Norm(0, 0.1)
+		}
+		return f
+	}
+	for _, ex := range examples {
+		if md.userFactor[ex.u] == nil {
+			md.userFactor[ex.u] = factors()
+		}
+		if md.itemFactor[ex.i] == nil {
+			md.itemFactor[ex.i] = factors()
+		}
+	}
+	lr, reg := opts.LearningRate, opts.Regularization
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		for _, idx := range order {
+			ex := examples[idx]
+			uf, itf := md.userFactor[ex.u], md.itemFactor[ex.i]
+			pred := md.raw(ex.u, ex.i)
+			err := ex.v - pred
+			md.userBias[ex.u] += lr * (err - reg*md.userBias[ex.u])
+			md.itemBias[ex.i] += lr * (err - reg*md.itemBias[ex.i])
+			for k := 0; k < opts.Factors; k++ {
+				du := lr * (err*itf[k] - reg*uf[k])
+				di := lr * (err*uf[k] - reg*itf[k])
+				uf[k] += du
+				itf[k] += di
+			}
+		}
+	}
+	return md
+}
+
+// Name implements recsys.Named.
+func (md *Model) Name() string { return "matrix-factorisation" }
+
+func (md *Model) raw(u model.UserID, i model.ItemID) float64 {
+	v := md.mean + md.userBias[u] + md.itemBias[i]
+	uf, itf := md.userFactor[u], md.itemFactor[i]
+	for k := 0; k < len(uf) && k < len(itf); k++ {
+		v += uf[k] * itf[k]
+	}
+	return v
+}
+
+// Predict implements recsys.Predictor. Users or items never seen in
+// training fall back to biases around the global mean; a user with no
+// training data at all is a cold start.
+func (md *Model) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
+	if md.trainCount[u] == 0 {
+		return recsys.Prediction{}, fmt.Errorf("user %d: %w", u, recsys.ErrColdStart)
+	}
+	score := model.ClampRating(md.raw(u, i))
+	conf := math.Min(1, float64(md.trainCount[u])/20)
+	return recsys.Prediction{Item: i, Score: score, Confidence: conf}, nil
+}
+
+// Recommend implements recsys.Recommender.
+func (md *Model) Recommend(u model.UserID, n int, exclude func(model.ItemID) bool) []recsys.Prediction {
+	return recsys.TopN(recsys.RankAll(md, md.cat, u, exclude), n)
+}
+
+// FactorNorms reports the L2 norm of each latent dimension across
+// items — diagnostic only. The point of exposing it is what it does
+// NOT contain: anything a user could recognise. This is the
+// explanation gap ablation A5 measures.
+func (md *Model) FactorNorms() []float64 {
+	norms := make([]float64, md.opts.Factors)
+	for _, f := range md.itemFactor {
+		for k, v := range f {
+			norms[k] += v * v
+		}
+	}
+	for k := range norms {
+		norms[k] = math.Sqrt(norms[k])
+	}
+	return norms
+}

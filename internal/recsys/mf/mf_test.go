@@ -1,0 +1,170 @@
+package mf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+func trainSmall(t testing.TB, opts Options) (*dataset.Community, *Model) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 71, Users: 80, Items: 100, RatingsPerUser: 25})
+	return c, Train(c.Ratings, c.Catalog, opts)
+}
+
+func TestPredictOnScale(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 1})
+	for _, it := range c.Catalog.Items()[:20] {
+		p, err := md.Predict(1, it.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Score < model.MinRating || p.Score > model.MaxRating {
+			t.Fatalf("score %v off scale", p.Score)
+		}
+		if p.Confidence < 0 || p.Confidence > 1 {
+			t.Fatalf("confidence %v", p.Confidence)
+		}
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	_, md := trainSmall(t, Options{Seed: 1})
+	if _, err := md.Predict(9999, 1); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrainingFitsObservedRatings(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 1})
+	var errSum float64
+	var n int
+	for _, u := range c.Ratings.Users() {
+		for i, v := range c.Ratings.UserRatings(u) {
+			p, err := md.Predict(u, i)
+			if err != nil {
+				continue
+			}
+			errSum += math.Abs(p.Score - v)
+			n++
+		}
+	}
+	// The generator's rating noise is sigma 0.6, so an MAE around 0.5
+	// on training data is close to irreducible; far above that means
+	// SGD failed to fit anything.
+	trainMAE := errSum / float64(n)
+	if trainMAE > 0.6 {
+		t.Fatalf("training MAE %.3f too high; SGD not converging", trainMAE)
+	}
+}
+
+func TestBeatsMeanBaselineHeldOut(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 73, Users: 150, Items: 100, RatingsPerUser: 35})
+	type holdout struct {
+		u model.UserID
+		i model.ItemID
+		v float64
+	}
+	var held []holdout
+	train := c.Ratings.Clone()
+	for _, u := range c.Ratings.Users() {
+		var pick model.ItemID
+		for i := range c.Ratings.UserRatings(u) {
+			if pick == 0 || i < pick {
+				pick = i
+			}
+		}
+		v, _ := c.Ratings.Get(u, pick)
+		held = append(held, holdout{u, pick, v})
+		train.Delete(u, pick)
+	}
+	md := Train(train, c.Catalog, Options{Seed: 3})
+	gm := train.GlobalMean()
+	var mfErr, gmErr float64
+	for _, h := range held {
+		p, err := md.Predict(h.u, h.i)
+		if err != nil {
+			continue
+		}
+		mfErr += math.Abs(p.Score - h.v)
+		gmErr += math.Abs(gm - h.v)
+	}
+	if mfErr >= gmErr {
+		t.Fatalf("MF MAE %.3f not better than global mean %.3f", mfErr/float64(len(held)), gmErr/float64(len(held)))
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 75, Users: 30, Items: 40, RatingsPerUser: 10})
+	a := Train(c.Ratings, c.Catalog, Options{Seed: 5, Epochs: 5})
+	b := Train(c.Ratings, c.Catalog, Options{Seed: 5, Epochs: 5})
+	for _, it := range c.Catalog.Items() {
+		pa, errA := a.Predict(1, it.ID)
+		pb, errB := b.Predict(1, it.ID)
+		if (errA == nil) != (errB == nil) || pa.Score != pb.Score {
+			t.Fatalf("training not deterministic at item %d: %v vs %v", it.ID, pa.Score, pb.Score)
+		}
+	}
+}
+
+func TestRecommendSortedExcludesRated(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 1})
+	u := model.UserID(2)
+	recs := md.Recommend(u, 10, recsys.ExcludeRated(c.Ratings, u))
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Score < recs[i].Score {
+			t.Fatal("not sorted")
+		}
+	}
+	for _, p := range recs {
+		if _, rated := c.Ratings.Get(u, p.Item); rated {
+			t.Fatal("rated item recommended")
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Factors != 16 || o.Epochs != 30 || o.LearningRate != 0.01 || o.Regularization != 0.05 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestFactorNorms(t *testing.T) {
+	_, md := trainSmall(t, Options{Seed: 1, Factors: 8})
+	norms := md.FactorNorms()
+	if len(norms) != 8 {
+		t.Fatalf("norms = %v", norms)
+	}
+	var nonzero int
+	for _, v := range norms {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("all factors collapsed to zero")
+	}
+}
+
+func TestName(t *testing.T) {
+	_, md := trainSmall(t, Options{Seed: 1, Epochs: 1})
+	if md.Name() != "matrix-factorisation" {
+		t.Fatal("name")
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	c := dataset.Movies(dataset.Config{Seed: 77, Users: 100, Items: 150, RatingsPerUser: 25})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Train(c.Ratings, c.Catalog, Options{Seed: uint64(i + 1), Epochs: 10})
+	}
+}

@@ -1,0 +1,107 @@
+// Package recsys defines the interfaces shared by every recommendation
+// algorithm in the repository, and ranking helpers built on them.
+//
+// The survey's Tables 3 and 4 classify systems by the *content* of
+// their explanations — collaborative-based, content-based or
+// preference-based — independent of the underlying algorithm. To make
+// that separation concrete, recommenders here expose two things: a
+// numeric Prediction (score plus confidence) through the common
+// interface, and algorithm-specific *evidence* (neighbours, feature
+// influences, utility breakdowns) through their own methods, which the
+// explain package turns into user-facing explanations.
+package recsys
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// ErrColdStart is returned when an algorithm has no basis at all for a
+// prediction (no overlapping ratings, no profile). Callers may fall
+// back to item or global means — explicitly, so that the "frank"
+// low-confidence path of Section 2.3 stays visible.
+var ErrColdStart = errors.New("recsys: insufficient data for prediction")
+
+// Prediction is one scored item.
+type Prediction struct {
+	Item  model.ItemID
+	Score float64 // predicted rating on [MinRating, MaxRating]
+	// Confidence in [0, 1]: how sure the recommender is of Score. The
+	// paper's Section 4.6 distinguishes recommendation strength (Score)
+	// from confidence; both are first-class here so personalities and
+	// "frank" explanations can use them.
+	Confidence float64
+}
+
+// Predictor predicts a single user-item rating.
+type Predictor interface {
+	Predict(u model.UserID, i model.ItemID) (Prediction, error)
+}
+
+// Recommender ranks candidate items for a user.
+type Recommender interface {
+	Predictor
+	// Recommend returns up to n predictions sorted by descending score.
+	// Items for which exclude returns true are skipped; a nil exclude
+	// skips nothing. Implementations conventionally exclude items the
+	// user has already rated themselves.
+	Recommend(u model.UserID, n int, exclude func(model.ItemID) bool) []Prediction
+}
+
+// Name identifies an algorithm for provenance in hybrid explanations.
+type Named interface {
+	Name() string
+}
+
+// RankAll predicts every catalogue item for u with p, skipping
+// excluded items and prediction failures, and returns the results
+// sorted by descending score (ties broken by item ID for determinism).
+func RankAll(p Predictor, cat *model.Catalog, u model.UserID, exclude func(model.ItemID) bool) []Prediction {
+	preds := make([]Prediction, 0, cat.Len())
+	for _, it := range cat.Items() {
+		if exclude != nil && exclude(it.ID) {
+			continue
+		}
+		pr, err := p.Predict(u, it.ID)
+		if err != nil {
+			continue
+		}
+		preds = append(preds, pr)
+	}
+	SortPredictions(preds)
+	return preds
+}
+
+// SortPredictions orders predictions by descending score, breaking
+// ties by ascending item ID so output is deterministic.
+func SortPredictions(preds []Prediction) {
+	sort.Slice(preds, func(a, b int) bool {
+		if preds[a].Score != preds[b].Score {
+			return preds[a].Score > preds[b].Score
+		}
+		return preds[a].Item < preds[b].Item
+	})
+}
+
+// TopN truncates a sorted prediction list to at most n entries.
+func TopN(preds []Prediction, n int) []Prediction {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(preds) {
+		n = len(preds)
+	}
+	return preds[:n]
+}
+
+// ExcludeRated returns an exclude function that skips items u has
+// already rated in m — the standard candidate filter.
+func ExcludeRated(m *model.Matrix, u model.UserID) func(model.ItemID) bool {
+	rated := m.UserRatings(u)
+	return func(i model.ItemID) bool {
+		_, ok := rated[i]
+		return ok
+	}
+}

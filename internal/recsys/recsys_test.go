@@ -1,0 +1,80 @@
+package recsys
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+type scoreByID struct{ failOn model.ItemID }
+
+func (s scoreByID) Predict(u model.UserID, i model.ItemID) (Prediction, error) {
+	if i == s.failOn {
+		return Prediction{}, errors.New("boom")
+	}
+	return Prediction{Item: i, Score: float64(i % 7), Confidence: 1}, nil
+}
+
+func catN(n int) *model.Catalog {
+	cat := model.NewCatalog("t")
+	for i := 1; i <= n; i++ {
+		cat.MustAdd(&model.Item{ID: model.ItemID(i)})
+	}
+	return cat
+}
+
+func TestRankAllSortsAndSkips(t *testing.T) {
+	cat := catN(10)
+	preds := RankAll(scoreByID{failOn: 5}, cat, 1, func(i model.ItemID) bool { return i == 3 })
+	if len(preds) != 8 { // 10 minus excluded 3 minus failing 5
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].Score < preds[i].Score {
+			t.Fatal("not sorted by score")
+		}
+		if preds[i-1].Score == preds[i].Score && preds[i-1].Item >= preds[i].Item {
+			t.Fatal("ties not broken by item id")
+		}
+	}
+	for _, p := range preds {
+		if p.Item == 3 || p.Item == 5 {
+			t.Fatalf("item %d should have been skipped", p.Item)
+		}
+	}
+}
+
+func TestRankAllNilExclude(t *testing.T) {
+	preds := RankAll(scoreByID{}, catN(4), 1, nil)
+	if len(preds) != 4 {
+		t.Fatalf("got %d", len(preds))
+	}
+}
+
+func TestTopN(t *testing.T) {
+	preds := []Prediction{{Item: 1}, {Item: 2}, {Item: 3}}
+	if got := TopN(preds, 2); len(got) != 2 {
+		t.Fatalf("TopN(2) = %d", len(got))
+	}
+	if got := TopN(preds, 10); len(got) != 3 {
+		t.Fatalf("TopN(10) = %d", len(got))
+	}
+	if got := TopN(preds, -1); len(got) != 0 {
+		t.Fatalf("TopN(-1) = %d", len(got))
+	}
+}
+
+func TestExcludeRated(t *testing.T) {
+	m := model.NewMatrix()
+	m.Set(1, 10, 4)
+	ex := ExcludeRated(m, 1)
+	if !ex(10) || ex(11) {
+		t.Fatal("ExcludeRated wrong")
+	}
+	// A user with no ratings excludes nothing.
+	ex2 := ExcludeRated(m, 2)
+	if ex2(10) {
+		t.Fatal("empty user should exclude nothing")
+	}
+}

@@ -1,0 +1,280 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for n := 1; n <= 40; n++ {
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormScaling(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Norm(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Norm(10,2) mean = %v", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Exp(0)")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermIsPermutationQuick(t *testing.T) {
+	r := New(31)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(37)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("picked zero-weight index %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPickDegenerate(t *testing.T) {
+	r := New(41)
+	if got := r.Pick([]float64{0, 0}); got != 0 {
+		t.Fatalf("Pick of all-zero weights = %d, want 0", got)
+	}
+	if got := r.Pick([]float64{5}); got != 0 {
+		t.Fatalf("Pick of single weight = %d, want 0", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(43)
+	const n = 50000
+	var sum int
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(3)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Poisson(3) mean = %v", mean)
+	}
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(47)
+	child := parent.Split()
+	// The child stream must not simply mirror the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and child agreed on %d of 100 draws", same)
+	}
+}
+
+func TestShuffleCoversAllOrders(t *testing.T) {
+	r := New(53)
+	counts := map[[3]int]int{}
+	for i := 0; i < 6000; i++ {
+		s := []int{0, 1, 2}
+		r.ShuffleInts(s)
+		counts[[3]int{s[0], s[1], s[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("3-element shuffle produced %d distinct orders, want 6", len(counts))
+	}
+	for order, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("order %v occurred %d times out of 6000, far from uniform", order, c)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

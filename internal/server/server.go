@@ -1,0 +1,346 @@
+// Package server exposes the Engine over HTTP as a small JSON API —
+// the deployment surface every commercial system in the survey's
+// Table 3 had. Endpoints cover the full explain-present-interact
+// cycle:
+//
+//	GET  /recommend?user=U&n=N     explained top-N
+//	GET  /explain?user=U&item=I    on-demand justification
+//	GET  /whylow?user=U&item=I     "why is this predicted low?"
+//	GET  /similar?user=U&item=I&n=N
+//	POST /rate     {"user":U,"item":I,"value":V}
+//	POST /opinion  {"user":U,"kind":"no-more-like-this","item":I,"aspect":""}
+//	POST /influence {"user":U,"item":I,"weight":0.5}
+//	GET  /healthz
+//	GET  /metrics  usage counters in Prometheus text format
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+)
+
+// Server wraps an Engine with HTTP handlers.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+}
+
+// New builds a Server over an engine.
+func New(engine *core.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/whylow", s.handleWhyLow)
+	s.mux.HandleFunc("/similar", s.handleSimilar)
+	s.mux.HandleFunc("/rate", s.handleRate)
+	s.mux.HandleFunc("/opinion", s.handleOpinion)
+	s.mux.HandleFunc("/influence", s.handleInfluence)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorJSON is the error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// statusFor maps domain errors onto HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, recsys.ErrColdStart), errors.Is(err, explain.ErrNoEvidence):
+		return http.StatusNotFound
+	case errors.Is(err, model.ErrUnknownItem):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		if def >= 0 {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing required query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", key, err)
+	}
+	return v, nil
+}
+
+// entryJSON is one recommendation in a response.
+type entryJSON struct {
+	Item        model.ItemID `json:"item"`
+	Title       string       `json:"title"`
+	Score       float64      `json:"score"`
+	Confidence  float64      `json:"confidence"`
+	Explanation string       `json:"explanation,omitempty"`
+	Detail      string       `json:"detail,omitempty"`
+	Style       string       `json:"style,omitempty"`
+}
+
+func toEntries(p *present.Presentation) []entryJSON {
+	out := make([]entryJSON, 0, len(p.Entries))
+	for _, e := range p.Entries {
+		ej := entryJSON{
+			Item:       e.Item.ID,
+			Title:      e.Item.Title,
+			Score:      e.Prediction.Score,
+			Confidence: e.Prediction.Confidence,
+		}
+		if e.Explanation != nil {
+			ej.Explanation = e.Explanation.Text
+			ej.Detail = e.Explanation.Detail
+			ej.Style = e.Explanation.Style.String()
+		}
+		out = append(out, ej)
+	}
+	return out
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	user, err := queryInt(r, "user", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := queryInt(r, "n", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.engine.Recommend(model.UserID(user), n)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"user":            user,
+		"recommendations": toEntries(p),
+	})
+}
+
+type explanationJSON struct {
+	Text       string  `json:"text"`
+	Detail     string  `json:"detail,omitempty"`
+	Style      string  `json:"style"`
+	Confidence float64 `json:"confidence"`
+	Faithful   bool    `json:"faithful"`
+}
+
+func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
+	f func(u model.UserID, i model.ItemID) (*explain.Explanation, error)) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	user, err := queryInt(r, "user", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	item, err := queryInt(r, "item", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	exp, err := f(model.UserID(user), model.ItemID(item))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explanationJSON{
+		Text: exp.Text, Detail: exp.Detail, Style: exp.Style.String(),
+		Confidence: exp.Confidence, Faithful: exp.Faithful,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.explainEndpoint(w, r, s.engine.Explain)
+}
+
+func (s *Server) handleWhyLow(w http.ResponseWriter, r *http.Request) {
+	s.explainEndpoint(w, r, s.engine.WhyLow)
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	user, err := queryInt(r, "user", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	item, err := queryInt(r, "item", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := queryInt(r, "n", 5)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.engine.SimilarTo(model.UserID(user), model.ItemID(item), n)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"seed":    item,
+		"similar": toEntries(p),
+	})
+}
+
+type rateRequest struct {
+	User  model.UserID `json:"user"`
+	Item  model.ItemID `json:"item"`
+	Value float64      `json:"value"`
+}
+
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req rateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if req.Value < model.MinRating || req.Value > model.MaxRating {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("value %v outside [%v, %v]", req.Value, model.MinRating, model.MaxRating))
+		return
+	}
+	if _, err := s.engine.Catalog().Item(req.Item); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.engine.Rate(req.User, req.Item, req.Value)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "rated"})
+}
+
+type opinionRequest struct {
+	User   model.UserID `json:"user"`
+	Kind   string       `json:"kind"`
+	Item   model.ItemID `json:"item,omitempty"`
+	Aspect string       `json:"aspect,omitempty"`
+}
+
+// opinionKinds maps wire names to OpinionKind values; the names are
+// the String() forms.
+var opinionKinds = map[string]interact.OpinionKind{
+	interact.MoreLikeThis.String():   interact.MoreLikeThis,
+	interact.MoreLater.String():      interact.MoreLater,
+	interact.GiveMeMore.String():     interact.GiveMeMore,
+	interact.AlreadyKnow.String():    interact.AlreadyKnow,
+	interact.NoMoreLikeThis.String(): interact.NoMoreLikeThis,
+	interact.NotThisAspect.String():  interact.NotThisAspect,
+	interact.SurpriseMe.String():     interact.SurpriseMe,
+}
+
+func (s *Server) handleOpinion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req opinionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	kind, ok := opinionKinds[req.Kind]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown opinion kind %q", req.Kind))
+		return
+	}
+	err := s.engine.Opinion(req.User, interact.Opinion{Kind: kind, Item: req.Item, Aspect: req.Aspect})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   "applied",
+		"surprise": s.engine.Surprise(req.User),
+	})
+}
+
+type influenceRequest struct {
+	User   model.UserID `json:"user"`
+	Item   model.ItemID `json:"item"`
+	Weight float64      `json:"weight"`
+}
+
+// handleInfluence adjusts how strongly a past rating influences the
+// content model — the Figure-3 scrutability extension.
+func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req influenceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if err := s.engine.SetInfluenceWeight(req.User, req.Item, req.Weight); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "adjusted"})
+}
+
+// handleMetrics exposes the engine's usage counters in Prometheus
+// text format — the survey's indirect efficiency/satisfaction measures
+// (inspected explanations, repair-action activations) as live gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.engine.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "recsys_recommendations_total %d\n", m.Recommendations)
+	fmt.Fprintf(w, "recsys_explanations_served_total %d\n", m.ExplanationsServed)
+	fmt.Fprintf(w, "recsys_whylow_queries_total %d\n", m.WhyLowQueries)
+	fmt.Fprintf(w, "recsys_repair_actions_total %d\n", m.RepairActions)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"items":  s.engine.Catalog().Len(),
+	})
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func testServer(t testing.TB) (*dataset.Community, *Server) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 501, Users: 50, Items: 70, RatingsPerUser: 18})
+	eng, err := core.New(c.Catalog, c.Ratings, core.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, New(eng)
+}
+
+func doJSON(t *testing.T, s *Server, method, path string, body interface{}) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]interface{}
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("invalid JSON response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, out
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	_, s := testServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/recommend?user=1&n=5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	recs, ok := out["recommendations"].([]interface{})
+	if !ok || len(recs) != 5 {
+		t.Fatalf("recommendations = %v", out["recommendations"])
+	}
+	first := recs[0].(map[string]interface{})
+	if first["title"] == "" || first["score"] == nil {
+		t.Fatalf("entry = %v", first)
+	}
+	if _, hasExp := first["explanation"]; !hasExp {
+		t.Fatalf("top recommendation not explained: %v", first)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	_, s := testServer(t)
+	if rec, _ := doJSON(t, s, http.MethodGet, "/recommend", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing user: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodGet, "/recommend?user=abc", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad user: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodGet, "/recommend?user=9999", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("cold start: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodPost, "/recommend?user=1", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("method: %d", rec.Code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, s := testServer(t)
+	_, out := doJSON(t, s, http.MethodGet, "/recommend?user=2&n=1", nil)
+	recs := out["recommendations"].([]interface{})
+	item := int(recs[0].(map[string]interface{})["item"].(float64))
+
+	rec, exp := doJSON(t, s, http.MethodGet, fmt.Sprintf("/explain?user=2&item=%d", item), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, exp)
+	}
+	if exp["text"] == "" || exp["style"] == "" {
+		t.Fatalf("explanation = %v", exp)
+	}
+	if exp["faithful"] != true {
+		t.Fatalf("explanation not faithful: %v", exp)
+	}
+	if rec, _ := doJSON(t, s, http.MethodGet, "/explain?user=2&item=99999", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown item: %d", rec.Code)
+	}
+}
+
+func TestWhyLowEndpoint(t *testing.T) {
+	c, s := testServer(t)
+	// Find any item for which whylow answers for user 3.
+	found := false
+	for _, it := range c.Catalog.Items() {
+		rec, out := doJSON(t, s, http.MethodGet, fmt.Sprintf("/whylow?user=3&item=%d", it.ID), nil)
+		if rec.Code == http.StatusOK {
+			found = true
+			if out["text"] == "" {
+				t.Fatalf("whylow = %v", out)
+			}
+			break
+		}
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("unexpected status %d: %v", rec.Code, out)
+		}
+	}
+	if !found {
+		t.Fatal("no item produced a why-low explanation")
+	}
+}
+
+func TestSimilarEndpoint(t *testing.T) {
+	c, s := testServer(t)
+	seed := c.Catalog.Items()[0]
+	rec, out := doJSON(t, s, http.MethodGet, fmt.Sprintf("/similar?user=1&item=%d&n=3", seed.ID), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	similar, ok := out["similar"].([]interface{})
+	if !ok || len(similar) == 0 {
+		t.Fatalf("similar = %v", out)
+	}
+}
+
+func TestRateEndpoint(t *testing.T) {
+	c, s := testServer(t)
+	item := c.Catalog.Items()[0].ID
+	rec, _ := doJSON(t, s, http.MethodPost, "/rate", rateRequest{User: 1, Item: item, Value: 4.5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if v, ok := c.Ratings.Get(1, item); !ok || v != 4.5 {
+		t.Fatalf("rating not stored: %v %v", v, ok)
+	}
+	// Validation.
+	if rec, _ := doJSON(t, s, http.MethodPost, "/rate", rateRequest{User: 1, Item: item, Value: 9}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("off-scale rating: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodPost, "/rate", rateRequest{User: 1, Item: 99999, Value: 3}); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown item: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodGet, "/rate", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("method: %d", rec.Code)
+	}
+}
+
+func TestOpinionEndpoint(t *testing.T) {
+	c, s := testServer(t)
+	item := c.Catalog.Items()[0].ID
+	rec, out := doJSON(t, s, http.MethodPost, "/opinion",
+		opinionRequest{User: 1, Kind: "no-more-like-this", Item: item})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	// Surprise-me reports the slider.
+	rec, out = doJSON(t, s, http.MethodPost, "/opinion", opinionRequest{User: 1, Kind: "surprise-me"})
+	if rec.Code != http.StatusOK || out["surprise"].(float64) != 0.25 {
+		t.Fatalf("surprise response = %d %v", rec.Code, out)
+	}
+	// Unknown kind.
+	if rec, _ := doJSON(t, s, http.MethodPost, "/opinion", opinionRequest{User: 1, Kind: "meh"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown kind: %d", rec.Code)
+	}
+	// Unknown item.
+	if rec, _ := doJSON(t, s, http.MethodPost, "/opinion",
+		opinionRequest{User: 1, Kind: "more-like-this", Item: 99999}); rec.Code == http.StatusOK {
+		t.Fatal("unknown item accepted")
+	}
+	// Malformed body.
+	req := httptest.NewRequest(http.MethodPost, "/opinion", bytes.NewBufferString("{nope"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", w.Code)
+	}
+}
+
+func TestOpinionAffectsRecommendations(t *testing.T) {
+	// Full loop over HTTP: block the top pick, recommend again, gone.
+	_, s := testServer(t)
+	_, out := doJSON(t, s, http.MethodGet, "/recommend?user=4&n=5", nil)
+	top := int(out["recommendations"].([]interface{})[0].(map[string]interface{})["item"].(float64))
+	rec, _ := doJSON(t, s, http.MethodPost, "/opinion",
+		opinionRequest{User: 4, Kind: "no-more-like-this", Item: model.ItemID(top)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("opinion status = %d", rec.Code)
+	}
+	_, out = doJSON(t, s, http.MethodGet, "/recommend?user=4&n=5", nil)
+	for _, e := range out["recommendations"].([]interface{}) {
+		if int(e.(map[string]interface{})["item"].(float64)) == top {
+			t.Fatal("blocked item still recommended over HTTP")
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, s := testServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", rec.Code, out)
+	}
+	if out["items"].(float64) != 70 {
+		t.Fatalf("items = %v", out["items"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, s := testServer(t)
+	// Generate some traffic first.
+	doJSON(t, s, http.MethodGet, "/recommend?user=1&n=3", nil)
+	doJSON(t, s, http.MethodPost, "/opinion", opinionRequest{User: 1, Kind: "surprise-me"})
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"recsys_recommendations_total 1",
+		"recsys_repair_actions_total 1",
+		"recsys_explanations_served_total",
+		"recsys_whylow_queries_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestInfluenceEndpoint(t *testing.T) {
+	c, s := testServer(t)
+	// Pick an item user 1 has rated.
+	var rated model.ItemID
+	for i := range c.Ratings.UserRatings(1) {
+		if rated == 0 || i < rated {
+			rated = i
+		}
+	}
+	rec, _ := doJSON(t, s, http.MethodPost, "/influence",
+		influenceRequest{User: 1, Item: rated, Weight: 0.25})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodPost, "/influence",
+		influenceRequest{User: 1, Item: 99999, Weight: 0.5}); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown item: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodGet, "/influence", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("method: %d", rec.Code)
+	}
+}
+
+func TestEndpointMethodAndParamValidation(t *testing.T) {
+	_, s := testServer(t)
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodPost, "/explain?user=1&item=1", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/explain?item=1", http.StatusBadRequest},
+		{http.MethodGet, "/explain?user=1&item=zz", http.StatusBadRequest},
+		{http.MethodPost, "/similar?user=1&item=1", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/similar?item=1", http.StatusBadRequest},
+		{http.MethodGet, "/similar?user=1", http.StatusBadRequest},
+		{http.MethodGet, "/similar?user=1&item=1&n=zz", http.StatusBadRequest},
+		{http.MethodGet, "/similar?user=1&item=99999", http.StatusNotFound},
+		{http.MethodGet, "/recommend?user=1&n=zz", http.StatusBadRequest},
+		{http.MethodPost, "/whylow?user=1&item=1", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		rec, _ := doJSON(t, s, c.method, c.path, nil)
+		if rec.Code != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, rec.Code, c.want)
+		}
+	}
+	// Malformed rate body.
+	req := httptest.NewRequest(http.MethodPost, "/rate", bytes.NewBufferString("{"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed rate body: %d", w.Code)
+	}
+	// Malformed influence body.
+	req = httptest.NewRequest(http.MethodPost, "/influence", bytes.NewBufferString("{"))
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed influence body: %d", w.Code)
+	}
+}

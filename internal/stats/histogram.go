@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval. The paper's
+// most persuasive explanation interface (Herlocker et al. 2000) is a
+// histogram of neighbours' ratings, so the histogram is also a
+// user-facing rendering primitive, not just an analysis tool.
+type Histogram struct {
+	Lo, Hi float64 // closed interval covered by the bins
+	Counts []int   // one counter per bin
+}
+
+// NewHistogram creates a histogram of bins equal-width bins on [lo, hi].
+// It panics when bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram interval is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records an observation. Values outside [Lo, Hi] are clamped into
+// the nearest bin so that no observation is silently dropped.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.binOf(x)]++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return len(h.Counts) - 1
+	}
+	b := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinLabel returns a short label for bin i, e.g. "[1.0,2.0)".
+func (h *Histogram) BinLabel(i int) string {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	lo := h.Lo + float64(i)*w
+	if i == len(h.Counts)-1 {
+		return fmt.Sprintf("[%.1f,%.1f]", lo, h.Hi)
+	}
+	return fmt.Sprintf("[%.1f,%.1f)", lo, lo+w)
+}
+
+// Render draws the histogram as horizontal ASCII bars, scaled so the
+// largest bin uses width characters. This is the rendering used by the
+// Herlocker-style neighbour-ratings explanation.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-12s |%-*s %d\n", h.BinLabel(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(1, 5, 4) // bins [1,2) [2,3) [3,4) [4,5]
+	for _, v := range []float64{1, 1.5, 2, 3.9, 4, 5} {
+		h.Add(v)
+	}
+	want := []int{2, 1, 1, 2}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(+100)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("outliers not clamped: %v", h.Counts)
+	}
+}
+
+func TestHistogramTotalPreservedQuick(t *testing.T) {
+	r := rng.New(9)
+	f := func(n uint16) bool {
+		count := int(n%500) + 1
+		h := NewHistogram(0, 1, 7)
+		for i := 0; i < count; i++ {
+			h.Add(r.Norm(0.5, 0.6)) // deliberately spills outside [0,1]
+		}
+		return h.Total() == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero bins":      func() { NewHistogram(0, 1, 0) },
+		"empty interval": func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramBinLabels(t *testing.T) {
+	h := NewHistogram(1, 5, 4)
+	if got := h.BinLabel(0); got != "[1.0,2.0)" {
+		t.Fatalf("label 0 = %q", got)
+	}
+	if got := h.BinLabel(3); got != "[4.0,5.0]" {
+		t.Fatalf("last label = %q", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(1, 5, 4)
+	for i := 0; i < 8; i++ {
+		h.Add(4.5)
+	}
+	h.Add(1.5)
+	out := h.Render(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("render produced %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], strings.Repeat("#", 20)) {
+		t.Fatalf("dominant bin should hit full width:\n%s", out)
+	}
+	// A non-empty bin must draw at least one mark even when tiny.
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("small bin lost its mark:\n%s", out)
+	}
+	// Width <= 0 falls back to a default rather than panicking.
+	if NewHistogram(0, 1, 2).Render(0) == "" {
+		t.Fatal("zero-width render should still produce output")
+	}
+}

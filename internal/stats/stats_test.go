@@ -1,0 +1,360 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdErr(nil) != 0 {
+		t.Fatal("empty-sample statistics should be zero")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("singleton variance should be zero")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median should be zero")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Fatalf("singleton quantile = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestWelchTTestDetectsDifference(t *testing.T) {
+	r := rng.New(1)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = r.Norm(0, 1)
+		b[i] = r.Norm(1, 1)
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.01) {
+		t.Fatalf("failed to detect 1-sigma mean shift: %+v", res)
+	}
+	if res.T >= 0 {
+		t.Fatalf("t should be negative for mean(a) < mean(b): %+v", res)
+	}
+}
+
+func TestWelchTTestNullIsCalibrated(t *testing.T) {
+	// Under the null the p-value should be roughly uniform: about 5% of
+	// replications significant at alpha = 0.05.
+	r := rng.New(2)
+	sig := 0
+	const reps = 400
+	for rep := 0; rep < reps; rep++ {
+		a := make([]float64, 50)
+		b := make([]float64, 50)
+		for i := range a {
+			a[i] = r.Norm(0, 1)
+			b[i] = r.Norm(0, 1)
+		}
+		res, err := WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			sig++
+		}
+	}
+	rate := float64(sig) / reps
+	if rate > 0.10 {
+		t.Fatalf("null rejection rate %.3f, want ~0.05", rate)
+	}
+}
+
+func TestWelchTTestKnownValue(t *testing.T) {
+	// Reference values computed independently (Welch formulas plus
+	// numeric integration of the t density): t = -2.95132,
+	// df = 27.3501, p = 0.006422.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 31.2}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.T, -2.95132, 0.001) {
+		t.Fatalf("t = %v, want about -2.95132", res.T)
+	}
+	if !almost(res.DF, 27.3501, 0.01) {
+		t.Fatalf("df = %v, want about 27.3501", res.DF)
+	}
+	if !almost(res.P, 0.006422, 0.0005) {
+		t.Fatalf("p = %v, want about 0.006422", res.P)
+	}
+}
+
+func TestWelchTTestErrors(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for tiny sample")
+	}
+}
+
+func TestWelchTTestConstantSamples(t *testing.T) {
+	res, err := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("identical constant samples: p = %v, want 1", res.P)
+	}
+	res, err = WelchTTest([]float64{5, 5, 5}, []float64{6, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("distinct constant samples: p = %v, want 0", res.P)
+	}
+}
+
+func TestPairedTTest(t *testing.T) {
+	a := []float64{5, 6, 7, 8, 9, 10}
+	b := []float64{4, 5, 6, 7, 8, 9}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Differences are constant 1 with zero variance: infinitely strong.
+	if res.P != 0 {
+		t.Fatalf("constant-difference paired test: p = %v", res.P)
+	}
+	if _, err := PairedTTest([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("self-paired test: p = %v, want 1", res.P)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	c, err := PearsonCorrelation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	c, err = PearsonCorrelation(a, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v", c)
+	}
+	if _, err := PearsonCorrelation(a, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Fatal("expected error for zero-variance sample")
+	}
+}
+
+func TestSpearmanHandlesMonotoneNonlinear(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	c, err := SpearmanCorrelation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c, 1, 1e-12) {
+		t.Fatalf("Spearman of monotone map = %v, want 1", c)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksAreAPermutationQuick(t *testing.T) {
+	r := rng.New(3)
+	f := func(n uint8) bool {
+		size := int(n%20) + 2
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		ranks := Ranks(xs)
+		// Sum of ranks must equal n(n+1)/2 even with ties.
+		var sum float64
+		for _, rk := range ranks {
+			sum += rk
+		}
+		return almost(sum, float64(size*(size+1))/2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCohenD(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{3, 4, 5, 6, 7}
+	d := CohenD(a, b)
+	if !almost(d, -2/math.Sqrt(2.5), 1e-9) {
+		t.Fatalf("CohenD = %v", d)
+	}
+	if CohenD([]float64{1}, b) != 0 {
+		t.Fatal("CohenD with tiny sample should be 0")
+	}
+}
+
+func TestConfidenceIntervalShrinks(t *testing.T) {
+	r := rng.New(4)
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = r.Norm(0, 1)
+	}
+	for i := range large {
+		large[i] = r.Norm(0, 1)
+	}
+	if ConfidenceInterval95(small) <= ConfidenceInterval95(large) {
+		t.Fatal("CI should shrink with sample size")
+	}
+	if ConfidenceInterval95([]float64{1}) != 0 {
+		t.Fatal("CI of singleton should be 0")
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, df := range []float64{1, 2, 3, 5, 10, 30, 100, 1000} {
+		v := tCritical95(df)
+		if v > prev {
+			t.Fatalf("tCritical95 not monotone at df=%v: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+	if !almost(tCritical95(1e6), 1.959964, 1e-3) {
+		t.Fatalf("large-df critical value = %v", tCritical95(1e6))
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta endpoints wrong")
+	}
+	// I_x(1,1) = x exactly.
+	for _, x := range []float64{0.1, 0.37, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); !almost(got, x, 1e-9) {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		lhs := regIncBeta(2.5, 3.5, x)
+		rhs := 1 - regIncBeta(3.5, 2.5, 1-x)
+		if !almost(lhs, rhs, 1e-9) {
+			t.Fatalf("beta symmetry violated at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min":      func() { Min(nil) },
+		"Max":      func() { Max(nil) },
+		"Quantile": func() { Quantile(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s(empty) should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMatchesSortedOrder(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got := Quantile(xs, 0); got != sorted[0] {
+		t.Fatalf("q0 = %v, want %v", got, sorted[0])
+	}
+	if got := Quantile(xs, 1); got != sorted[100] {
+		t.Fatalf("q1 = %v, want %v", got, sorted[100])
+	}
+	if got := Quantile(xs, 0.5); got != sorted[50] {
+		t.Fatalf("q0.5 = %v, want %v", got, sorted[50])
+	}
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// Fuzzing the decoders: arbitrary bytes must produce an error or a
+// valid object — never a panic, never an off-scale rating.
+
+func FuzzLoadMatrix(f *testing.F) {
+	c := dataset.Movies(dataset.Config{Seed: 1, Users: 5, Items: 8, RatingsPerUser: 3})
+	var buf bytes.Buffer
+	if err := SaveMatrix(&buf, c.Ratings); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"ratings":[]}`)
+	f.Add(`{"version":1,"ratings":[{"user":1,"item":2,"value":3.5}]}`)
+	f.Add(`{nope`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := LoadMatrix(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, u := range m.Users() {
+			for _, v := range m.UserRatings(u) {
+				if v < 1 || v > 5 {
+					t.Fatalf("decoder admitted off-scale rating %v", v)
+				}
+			}
+		}
+	})
+}
+
+func FuzzLoadCatalog(f *testing.F) {
+	c := dataset.Cameras(dataset.Config{Seed: 1, Users: 3, Items: 5, RatingsPerUser: 2})
+	var buf bytes.Buffer
+	if err := SaveCatalog(&buf, c.Catalog); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"domain":"x","items":[{"id":1,"title":"a"}]}`)
+	f.Add(`{"version":1,"domain":"x","items":[{"id":1},{"id":1}]}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		cat, err := LoadCatalog(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded catalogue must have unique IDs.
+		seen := map[int64]bool{}
+		for _, it := range cat.Items() {
+			if seen[int64(it.ID)] {
+				t.Fatal("duplicate item id survived decoding")
+			}
+			seen[int64(it.ID)] = true
+		}
+	})
+}
+
+func FuzzLoadProfile(f *testing.F) {
+	f.Add(`{"version":1,"entries":[{"key":"a","value":"b","source":"inferred"}]}`)
+	f.Add(`{"version":1,"entries":[{"key":"a","value":"b","source":"volunteered","evidence":"x"}]}`)
+	f.Add(`{"version":1,"entries":null}`)
+	f.Add(`x`)
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := LoadProfile(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, e := range p.Entries() {
+			if e.Source.String() != "inferred" && e.Source.String() != "volunteered" {
+				t.Fatalf("invalid provenance survived decoding: %v", e.Source)
+			}
+		}
+	})
+}

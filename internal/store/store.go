@@ -1,0 +1,268 @@
+// Package store persists the library's state as versioned JSON:
+// catalogues, rating matrices and scrutable profiles. Output is
+// deterministic (sorted keys and rows) so saved files diff cleanly and
+// fixtures can be committed.
+//
+// The scrutable profile's serialisation is part of the paper's
+// scrutability story: a profile a user can inspect and correct should
+// also be a profile they can export and carry — every entry round-
+// trips with its provenance and evidence.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/interact"
+	"repro/internal/model"
+)
+
+// Version is the current on-disk format version.
+const Version = 1
+
+// ErrVersion is wrapped into errors for files written by an
+// incompatible format version.
+var errVersion = fmt.Errorf("store: unsupported format version (want %d)", Version)
+
+type attrJSON struct {
+	Name         string `json:"name"`
+	Kind         string `json:"kind"`
+	LessIsBetter bool   `json:"lessIsBetter,omitempty"`
+	Unit         string `json:"unit,omitempty"`
+}
+
+type itemJSON struct {
+	ID          model.ItemID       `json:"id"`
+	Title       string             `json:"title"`
+	Creator     string             `json:"creator,omitempty"`
+	Keywords    []string           `json:"keywords,omitempty"`
+	Numeric     map[string]float64 `json:"numeric,omitempty"`
+	Categorical map[string]string  `json:"categorical,omitempty"`
+	Popularity  float64            `json:"popularity"`
+	Recency     float64            `json:"recency"`
+}
+
+type catalogJSON struct {
+	Version int        `json:"version"`
+	Domain  string     `json:"domain"`
+	Attrs   []attrJSON `json:"attrs,omitempty"`
+	Items   []itemJSON `json:"items"`
+}
+
+// SaveCatalog writes cat as JSON.
+func SaveCatalog(w io.Writer, cat *model.Catalog) error {
+	doc := catalogJSON{Version: Version, Domain: cat.Domain}
+	for _, a := range cat.Attrs {
+		doc.Attrs = append(doc.Attrs, attrJSON{
+			Name: a.Name, Kind: a.Kind.String(), LessIsBetter: a.LessIsBetter, Unit: a.Unit,
+		})
+	}
+	for _, it := range cat.Items() {
+		doc.Items = append(doc.Items, itemJSON{
+			ID: it.ID, Title: it.Title, Creator: it.Creator,
+			Keywords: it.Keywords, Numeric: it.Numeric, Categorical: it.Categorical,
+			Popularity: it.Popularity, Recency: it.Recency,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("store: encoding catalogue: %w", err)
+	}
+	return nil
+}
+
+// LoadCatalog reads a catalogue written by SaveCatalog.
+func LoadCatalog(r io.Reader) (*model.Catalog, error) {
+	var doc catalogJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("store: decoding catalogue: %w", err)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("%w: got %d", errVersion, doc.Version)
+	}
+	attrs := make([]model.AttrDef, 0, len(doc.Attrs))
+	for _, a := range doc.Attrs {
+		kind := model.Numeric
+		switch a.Kind {
+		case model.Numeric.String():
+			kind = model.Numeric
+		case model.Categorical.String():
+			kind = model.Categorical
+		default:
+			return nil, fmt.Errorf("store: unknown attribute kind %q", a.Kind)
+		}
+		attrs = append(attrs, model.AttrDef{
+			Name: a.Name, Kind: kind, LessIsBetter: a.LessIsBetter, Unit: a.Unit,
+		})
+	}
+	cat := model.NewCatalog(doc.Domain, attrs...)
+	for _, it := range doc.Items {
+		if err := cat.Add(&model.Item{
+			ID: it.ID, Title: it.Title, Creator: it.Creator,
+			Keywords: it.Keywords, Numeric: it.Numeric, Categorical: it.Categorical,
+			Popularity: it.Popularity, Recency: it.Recency,
+		}); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return cat, nil
+}
+
+type ratingJSON struct {
+	User  model.UserID `json:"user"`
+	Item  model.ItemID `json:"item"`
+	Value float64      `json:"value"`
+}
+
+type matrixJSON struct {
+	Version int          `json:"version"`
+	Ratings []ratingJSON `json:"ratings"`
+}
+
+// SaveMatrix writes the rating matrix with rows sorted by (user, item).
+func SaveMatrix(w io.Writer, m *model.Matrix) error {
+	doc := matrixJSON{Version: Version}
+	for _, u := range m.Users() {
+		ratings := m.UserRatings(u)
+		ids := make([]model.ItemID, 0, len(ratings))
+		for i := range ratings {
+			ids = append(ids, i)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, i := range ids {
+			doc.Ratings = append(doc.Ratings, ratingJSON{User: u, Item: i, Value: ratings[i]})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("store: encoding matrix: %w", err)
+	}
+	return nil
+}
+
+// LoadMatrix reads a matrix written by SaveMatrix. Ratings are
+// replayed in file order, which SaveMatrix guarantees is sorted, so
+// reloaded matrices are bit-identical to their source.
+func LoadMatrix(r io.Reader) (*model.Matrix, error) {
+	var doc matrixJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("store: decoding matrix: %w", err)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("%w: got %d", errVersion, doc.Version)
+	}
+	m := model.NewMatrix()
+	for _, rt := range doc.Ratings {
+		if rt.Value < model.MinRating || rt.Value > model.MaxRating {
+			return nil, fmt.Errorf("store: rating %v for (%d,%d) off scale", rt.Value, rt.User, rt.Item)
+		}
+		m.Set(rt.User, rt.Item, rt.Value)
+	}
+	return m, nil
+}
+
+type profileEntryJSON struct {
+	Key      string `json:"key"`
+	Value    string `json:"value"`
+	Source   string `json:"source"`
+	Evidence string `json:"evidence,omitempty"`
+}
+
+type profileJSON struct {
+	Version int                `json:"version"`
+	Entries []profileEntryJSON `json:"entries"`
+}
+
+// SaveProfile writes a scrutable profile. The audit log is session
+// state and intentionally not persisted; entries carry their
+// provenance, which is what the next session needs.
+func SaveProfile(w io.Writer, p *interact.ScrutableProfile) error {
+	doc := profileJSON{Version: Version}
+	for _, e := range p.Entries() {
+		doc.Entries = append(doc.Entries, profileEntryJSON{
+			Key: e.Key, Value: e.Value, Source: e.Source.String(), Evidence: e.Evidence,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("store: encoding profile: %w", err)
+	}
+	return nil
+}
+
+// LoadProfile reads a profile written by SaveProfile.
+func LoadProfile(r io.Reader) (*interact.ScrutableProfile, error) {
+	var doc profileJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("store: decoding profile: %w", err)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("%w: got %d", errVersion, doc.Version)
+	}
+	p := interact.NewScrutableProfile()
+	for _, e := range doc.Entries {
+		var source interact.Provenance
+		switch e.Source {
+		case interact.Volunteered.String():
+			source = interact.Volunteered
+		case interact.Inferred.String():
+			source = interact.Inferred
+		default:
+			return nil, fmt.Errorf("store: unknown provenance %q", e.Source)
+		}
+		p.Set(interact.ProfileEntry{Key: e.Key, Value: e.Value, Source: source, Evidence: e.Evidence})
+	}
+	return p, nil
+}
+
+// LoadDir reads a community saved as catalog.json and ratings.json in
+// dir (the layout cmd/datasetgen writes).
+func LoadDir(dir string) (*model.Catalog, *model.Matrix, error) {
+	cf, err := os.Open(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	defer cf.Close()
+	catalog, err := LoadCatalog(cf)
+	if err != nil {
+		return nil, nil, err
+	}
+	rf, err := os.Open(filepath.Join(dir, "ratings.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	defer rf.Close()
+	ratings, err := LoadMatrix(rf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return catalog, ratings, nil
+}
+
+// SaveDir writes a community as catalog.json and ratings.json in dir,
+// creating it if needed.
+func SaveDir(dir string, catalog *model.Catalog, ratings *model.Matrix) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	cf, err := os.Create(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer cf.Close()
+	if err := SaveCatalog(cf, catalog); err != nil {
+		return err
+	}
+	rf, err := os.Create(filepath.Join(dir, "ratings.json"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer rf.Close()
+	return SaveMatrix(rf, ratings)
+}

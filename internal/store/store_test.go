@@ -1,0 +1,191 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/interact"
+	"repro/internal/model"
+)
+
+func TestCatalogRoundTrip(t *testing.T) {
+	c := dataset.Cameras(dataset.Config{Seed: 3, Users: 3, Items: 25, RatingsPerUser: 2})
+	var buf bytes.Buffer
+	if err := SaveCatalog(&buf, c.Catalog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain != c.Catalog.Domain || got.Len() != c.Catalog.Len() {
+		t.Fatalf("domain/len mismatch: %s %d", got.Domain, got.Len())
+	}
+	if len(got.Attrs) != len(c.Catalog.Attrs) {
+		t.Fatalf("attrs = %d, want %d", len(got.Attrs), len(c.Catalog.Attrs))
+	}
+	def, ok := got.AttrDef(dataset.CamPrice)
+	if !ok || !def.LessIsBetter || def.Unit != "$" || def.Kind != model.Numeric {
+		t.Fatalf("price attr = %+v", def)
+	}
+	for _, orig := range c.Catalog.Items() {
+		it, err := got.Item(orig.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Title != orig.Title || it.Creator != orig.Creator ||
+			it.Popularity != orig.Popularity || it.Recency != orig.Recency {
+			t.Fatalf("item %d fields differ", orig.ID)
+		}
+		if len(it.Numeric) != len(orig.Numeric) || it.Numeric[dataset.CamPrice] != orig.Numeric[dataset.CamPrice] {
+			t.Fatalf("item %d numeric differ", orig.ID)
+		}
+		if it.Categorical[dataset.CamBrand] != orig.Categorical[dataset.CamBrand] {
+			t.Fatalf("item %d categorical differ", orig.ID)
+		}
+	}
+}
+
+func TestCatalogSaveDeterministic(t *testing.T) {
+	c := dataset.Books(dataset.Config{Seed: 5, Users: 3, Items: 15, RatingsPerUser: 2})
+	var a, b bytes.Buffer
+	if err := SaveCatalog(&a, c.Catalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCatalog(&b, c.Catalog); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("catalogue serialisation not deterministic")
+	}
+}
+
+func TestMatrixRoundTripBitIdentical(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 7, Users: 20, Items: 30, RatingsPerUser: 10})
+	var buf bytes.Buffer
+	if err := SaveMatrix(&buf, c.Ratings); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Ratings.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), c.Ratings.Len())
+	}
+	for _, u := range c.Ratings.Users() {
+		for i, v := range c.Ratings.UserRatings(u) {
+			if w, ok := got.Get(u, i); !ok || w != v {
+				t.Fatalf("rating (%d,%d) = %v,%v", u, i, w, ok)
+			}
+		}
+		// Incremental sums replay in sorted order, so means are
+		// bit-identical too.
+		a, _ := c.Ratings.UserMean(u)
+		b, _ := got.UserMean(u)
+		if a != b {
+			t.Fatalf("user %d mean differs after reload: %v vs %v", u, a, b)
+		}
+	}
+	if got.GlobalMean() != c.Ratings.GlobalMean() {
+		t.Fatal("global mean differs after reload")
+	}
+}
+
+func TestMatrixRejectsOffScale(t *testing.T) {
+	if _, err := LoadMatrix(strings.NewReader(
+		`{"version":1,"ratings":[{"user":1,"item":1,"value":9}]}`)); err == nil {
+		t.Fatal("off-scale rating accepted")
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := interact.NewScrutableProfile()
+	p.Set(interact.ProfileEntry{Key: "climate", Value: "tropical", Source: interact.Volunteered})
+	p.Set(interact.ProfileEntry{Key: "kidfriendly", Value: "yes", Source: interact.Inferred, Evidence: "searched family rooms"})
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := got.Get("kidfriendly")
+	if !ok || e.Source != interact.Inferred || e.Evidence != "searched family rooms" {
+		t.Fatalf("entry = %+v, %v", e, ok)
+	}
+	e2, _ := got.Get("climate")
+	if e2.Source != interact.Volunteered {
+		t.Fatalf("provenance lost: %+v", e2)
+	}
+	// Reloaded profiles keep the scrutability guarantee: inferred
+	// values still cannot overwrite the reloaded volunteered ones.
+	got.Set(interact.ProfileEntry{Key: "climate", Value: "cold", Source: interact.Inferred})
+	e3, _ := got.Get("climate")
+	if e3.Value != "tropical" {
+		t.Fatal("volunteered protection lost after reload")
+	}
+}
+
+func TestVersionChecks(t *testing.T) {
+	if _, err := LoadCatalog(strings.NewReader(`{"version":99,"domain":"x","items":[]}`)); err == nil {
+		t.Fatal("future catalogue version accepted")
+	}
+	if _, err := LoadMatrix(strings.NewReader(`{"version":0,"ratings":[]}`)); err == nil {
+		t.Fatal("zero matrix version accepted")
+	}
+	if _, err := LoadProfile(strings.NewReader(`{"version":2,"entries":[]}`)); err == nil {
+		t.Fatal("future profile version accepted")
+	}
+}
+
+func TestCorruptInput(t *testing.T) {
+	for name, f := range map[string]func() error{
+		"catalog": func() error { _, err := LoadCatalog(strings.NewReader("{nope")); return err },
+		"matrix":  func() error { _, err := LoadMatrix(strings.NewReader("[]")); return err },
+		"profile": func() error { _, err := LoadProfile(strings.NewReader("")); return err },
+	} {
+		if err := f(); err == nil {
+			t.Fatalf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestUnknownEnumValues(t *testing.T) {
+	if _, err := LoadCatalog(strings.NewReader(
+		`{"version":1,"domain":"x","attrs":[{"name":"a","kind":"weird"}],"items":[]}`)); err == nil {
+		t.Fatal("unknown attr kind accepted")
+	}
+	if _, err := LoadProfile(strings.NewReader(
+		`{"version":1,"entries":[{"key":"a","value":"b","source":"psychic"}]}`)); err == nil {
+		t.Fatal("unknown provenance accepted")
+	}
+}
+
+func TestDuplicateItemRejected(t *testing.T) {
+	if _, err := LoadCatalog(strings.NewReader(
+		`{"version":1,"domain":"x","items":[{"id":1,"title":"a"},{"id":1,"title":"b"}]}`)); err == nil {
+		t.Fatal("duplicate item id accepted")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 31, Users: 10, Items: 15, RatingsPerUser: 5})
+	dir := t.TempDir()
+	if err := SaveDir(dir, c.Catalog, c.Ratings); err != nil {
+		t.Fatal(err)
+	}
+	catalog, ratings, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catalog.Len() != c.Catalog.Len() || ratings.Len() != c.Ratings.Len() {
+		t.Fatalf("round trip lost data: %d items, %d ratings", catalog.Len(), ratings.Len())
+	}
+	if _, _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Package survey encodes the paper itself as data: the seven
+// explanation aims of Table 1, and the catalogue of commercial and
+// academic recommender systems with explanation facilities that
+// Tables 2, 3 and 4 classify. Renderers regenerate the paper's tables;
+// a query API lets experiments and documentation slice the catalogue;
+// and every facility class named in the tables carries a pointer to
+// the package in this repository that implements a working instance
+// of it.
+package survey
+
+import "fmt"
+
+// Aim is one of the seven goals an explanation facility can pursue
+// (Table 1).
+type Aim int
+
+// The seven aims, in the paper's order.
+const (
+	Transparency Aim = iota
+	Scrutability
+	Trust
+	Effectiveness
+	Persuasiveness
+	Efficiency
+	Satisfaction
+)
+
+// AllAims lists the aims in Table 1 order.
+var AllAims = []Aim{
+	Transparency, Scrutability, Trust, Effectiveness,
+	Persuasiveness, Efficiency, Satisfaction,
+}
+
+func (a Aim) String() string {
+	switch a {
+	case Transparency:
+		return "Transparency"
+	case Scrutability:
+		return "Scrutability"
+	case Trust:
+		return "Trust"
+	case Effectiveness:
+		return "Effectiveness"
+	case Persuasiveness:
+		return "Persuasiveness"
+	case Efficiency:
+		return "Efficiency"
+	case Satisfaction:
+		return "Satisfaction"
+	default:
+		return fmt.Sprintf("Aim(%d)", int(a))
+	}
+}
+
+// Abbrev returns the column abbreviation used in Tables 1 and 2.
+func (a Aim) Abbrev() string {
+	switch a {
+	case Transparency:
+		return "Tra."
+	case Scrutability:
+		return "Scr."
+	case Trust:
+		return "Trust"
+	case Effectiveness:
+		return "Efk."
+	case Persuasiveness:
+		return "Pers."
+	case Efficiency:
+		return "Efc."
+	case Satisfaction:
+		return "Sat."
+	default:
+		return "?"
+	}
+}
+
+// Definition returns the Table 1 definition.
+func (a Aim) Definition() string {
+	switch a {
+	case Transparency:
+		return "Explain how the system works"
+	case Scrutability:
+		return "Allow users to tell the system it is wrong"
+	case Trust:
+		return "Increase users' confidence in the system"
+	case Effectiveness:
+		return "Help users make good decisions"
+	case Persuasiveness:
+		return "Convince users to try or buy"
+	case Efficiency:
+		return "Help users make decisions faster"
+	case Satisfaction:
+		return "Increase the ease of usability or enjoyment"
+	default:
+		return ""
+	}
+}

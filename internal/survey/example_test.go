@@ -1,0 +1,37 @@
+package survey_test
+
+import (
+	"fmt"
+
+	"repro/internal/survey"
+)
+
+// The aims taxonomy is data: iterate it, query it, render it.
+func ExampleAllAims() {
+	for _, a := range survey.AllAims[:3] {
+		fmt.Printf("%s (%s): %s\n", a, a.Abbrev(), a.Definition())
+	}
+	// Output:
+	// Transparency (Tra.): Explain how the system works
+	// Scrutability (Scr.): Allow users to tell the system it is wrong
+	// Trust (Trust): Increase users' confidence in the system
+}
+
+// Query the system catalogue for everything stating an aim.
+func ExampleWithAim() {
+	for _, s := range survey.WithAim(survey.Scrutability) {
+		fmt.Println(s.Name)
+	}
+	// Output:
+	// SASY
+	// Dynamic critiquing
+}
+
+// The three explanation styles carry their canonical phrases.
+func ExampleExplanationStyle_CanonicalPhrase() {
+	fmt.Println(survey.StyleCollaborative.CanonicalPhrase())
+	fmt.Println(survey.StyleContent.CanonicalPhrase())
+	// Output:
+	// People who liked X also liked Y
+	// We have recommended X because you liked Y
+}

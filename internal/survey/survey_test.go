@@ -1,0 +1,185 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAimTaxonomyComplete(t *testing.T) {
+	if len(AllAims) != 7 {
+		t.Fatalf("paper defines seven aims, got %d", len(AllAims))
+	}
+	seenAbbrev := map[string]bool{}
+	for _, a := range AllAims {
+		if a.String() == "" || a.Definition() == "" || a.Abbrev() == "?" {
+			t.Fatalf("aim %d incompletely defined", a)
+		}
+		if seenAbbrev[a.Abbrev()] {
+			t.Fatalf("duplicate abbreviation %q", a.Abbrev())
+		}
+		seenAbbrev[a.Abbrev()] = true
+	}
+	// Spot-check against the paper's Table 1.
+	if Effectiveness.Definition() != "Help users make good decisions" {
+		t.Fatalf("effectiveness definition = %q", Effectiveness.Definition())
+	}
+	if Persuasiveness.Abbrev() != "Pers." {
+		t.Fatalf("abbrev = %q", Persuasiveness.Abbrev())
+	}
+}
+
+func TestCatalogueCounts(t *testing.T) {
+	if got := len(ByKind(Commercial)); got != 8 {
+		t.Fatalf("Table 3 has 8 commercial systems, catalogue has %d", got)
+	}
+	if got := len(Table2Systems()); got != 14 {
+		t.Fatalf("Table 2 has 14 academic rows, catalogue has %d", got)
+	}
+	// The paper's Table 2 layout carries exactly 25 aim marks.
+	var marks int
+	for _, s := range Table2Systems() {
+		marks += len(s.Aims)
+	}
+	if marks != 25 {
+		t.Fatalf("Table 2 mark count = %d, want 25", marks)
+	}
+}
+
+func TestTable4RowsPresent(t *testing.T) {
+	tbl := Table4()
+	out := tbl.String()
+	for _, name := range table4Rows {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 4 missing %q:\n%s", name, out)
+		}
+	}
+	if tbl.NumRows() != 10 {
+		t.Fatalf("Table 4 rows = %d, want 10", tbl.NumRows())
+	}
+}
+
+func TestTable3MatchesPaperRows(t *testing.T) {
+	out := Table3().String()
+	checks := []string{
+		"Amazon", "Findory", "LibraryThing", "LoveFilm",
+		"OkCupid", "Pandora", "StumbleUpon", "Qwikshop",
+		// Spot-check cells transcribed from the paper.
+		"People to date", "Digital cameras", "Alteration", "(Implicit) rating",
+	}
+	for _, c := range checks {
+		if !strings.Contains(out, c) {
+			t.Fatalf("Table 3 missing %q:\n%s", c, out)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	out := Table2().String()
+	for _, abbrev := range []string{"Tra.", "Scr.", "Trust", "Efk.", "Pers.", "Efc.", "Sat."} {
+		if !strings.Contains(out, abbrev) {
+			t.Fatalf("Table 2 missing column %q:\n%s", abbrev, out)
+		}
+	}
+	if strings.Count(out, "X") != 25 {
+		t.Fatalf("Table 2 renders %d marks, want 25:\n%s", strings.Count(out, "X"), out)
+	}
+	// SASY's row must mark scrutability.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "SASY") && !strings.Contains(line, "X") {
+			t.Fatalf("SASY row has no marks: %q", line)
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1().String()
+	if !strings.Contains(out, "Table 1.") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	for _, a := range AllAims {
+		if !strings.Contains(out, a.Definition()) {
+			t.Fatalf("Table 1 missing %q", a.Definition())
+		}
+	}
+}
+
+func TestWithAim(t *testing.T) {
+	scrutable := WithAim(Scrutability)
+	foundSASY := false
+	for _, s := range scrutable {
+		if s.Name == "SASY" {
+			foundSASY = true
+		}
+	}
+	if !foundSASY {
+		t.Fatal("SASY should state scrutability")
+	}
+	// Every aim is stated by at least one system (the paper discusses
+	// examples for all seven).
+	for _, a := range AllAims {
+		if len(WithAim(a)) == 0 {
+			t.Fatalf("no system states %v", a)
+		}
+	}
+}
+
+func TestCanonicalPhrases(t *testing.T) {
+	if StyleCollaborative.CanonicalPhrase() != "People who liked X also liked Y" {
+		t.Fatalf("collaborative phrase = %q", StyleCollaborative.CanonicalPhrase())
+	}
+	if StyleContent.CanonicalPhrase() == "" || StylePreference.CanonicalPhrase() == "" {
+		t.Fatal("canonical phrases incomplete")
+	}
+}
+
+func TestImplementationIndexComplete(t *testing.T) {
+	out := ImplementationIndex().String()
+	for _, want := range []string{
+		"internal/present.TopItem", "internal/present.BuildOverview",
+		"internal/explain.{HistogramExplainer", "internal/interact.CritiqueSession",
+		"internal/interact.Dialog", "internal/interact.FeedbackModel",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("implementation index missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEveryTableFacilityIsImplemented(t *testing.T) {
+	// The guarantee behind Tables 3-4: every presentation, explanation
+	// and interaction class used by any catalogued system maps to a
+	// real package in this repository.
+	for _, s := range Systems() {
+		for _, p := range s.Presentations {
+			if p.ImplementedBy() == "" {
+				t.Fatalf("%s: presentation %v unimplemented", s.Name, p)
+			}
+		}
+		for _, e := range s.Explanations {
+			if e.ImplementedBy() == "" {
+				t.Fatalf("%s: explanation %v unimplemented", s.Name, e)
+			}
+		}
+		for _, m := range s.Interactions {
+			switch m {
+			case InteractVaried, InteractNone:
+				continue // not a concrete facility
+			}
+			if m.ImplementedBy() == "" {
+				t.Fatalf("%s: interaction %v unimplemented", s.Name, m)
+			}
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Commercial.String() != "commercial" || Academic.String() != "academic" {
+		t.Fatal("kind strings")
+	}
+	if PresTopItem.String() != "Top item" || PresStructuredOverview.String() != "Structured overview" {
+		t.Fatal("presentation strings")
+	}
+	if InteractSpecifyReqs.String() != "Specify reqs." {
+		t.Fatal("interaction strings")
+	}
+}

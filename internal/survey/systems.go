@@ -1,0 +1,404 @@
+package survey
+
+import "fmt"
+
+// SystemKind separates the commercial catalogue (Table 3) from the
+// academic one (Tables 2 and 4).
+type SystemKind int
+
+// System kinds.
+const (
+	Commercial SystemKind = iota
+	Academic
+)
+
+func (k SystemKind) String() string {
+	switch k {
+	case Commercial:
+		return "commercial"
+	case Academic:
+		return "academic"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(k))
+	}
+}
+
+// PresentationMode enumerates the Section 4 presentation styles as
+// they appear in the tables' "Presentation" column.
+type PresentationMode int
+
+// Presentation modes.
+const (
+	PresTopItem PresentationMode = iota
+	PresTopN
+	PresSimilarToTop
+	PresPredictedRatings
+	PresStructuredOverview
+)
+
+func (p PresentationMode) String() string {
+	switch p {
+	case PresTopItem:
+		return "Top item"
+	case PresTopN:
+		return "Top-N"
+	case PresSimilarToTop:
+		return "Similar to top item(s)"
+	case PresPredictedRatings:
+		return "Predicted ratings"
+	case PresStructuredOverview:
+		return "Structured overview"
+	default:
+		return fmt.Sprintf("PresentationMode(%d)", int(p))
+	}
+}
+
+// ImplementedBy names the package in this repository providing a
+// working instance of the presentation mode.
+func (p PresentationMode) ImplementedBy() string {
+	switch p {
+	case PresTopItem:
+		return "internal/present.TopItem"
+	case PresTopN:
+		return "internal/present.TopN"
+	case PresSimilarToTop:
+		return "internal/present.SimilarToTop"
+	case PresPredictedRatings:
+		return "internal/present.PredictedRatings"
+	case PresStructuredOverview:
+		return "internal/present.BuildOverview"
+	default:
+		return ""
+	}
+}
+
+// ExplanationStyle mirrors the tables' "Explanation" column: the
+// content of the explanation regardless of the underlying algorithm.
+type ExplanationStyle int
+
+// Explanation styles.
+const (
+	StyleContent ExplanationStyle = iota
+	StyleCollaborative
+	StylePreference
+)
+
+func (s ExplanationStyle) String() string {
+	switch s {
+	case StyleContent:
+		return "Content-based"
+	case StyleCollaborative:
+		return "Collaborative-based"
+	case StylePreference:
+		return "Preference-based"
+	default:
+		return fmt.Sprintf("ExplanationStyle(%d)", int(s))
+	}
+}
+
+// CanonicalPhrase returns the conclusion section's canonical example
+// of each style.
+func (s ExplanationStyle) CanonicalPhrase() string {
+	switch s {
+	case StyleContent:
+		return "We have recommended X because you liked Y"
+	case StyleCollaborative:
+		return "People who liked X also liked Y"
+	case StylePreference:
+		return "Your interests suggest that you would like X"
+	default:
+		return ""
+	}
+}
+
+// ImplementedBy names the explain-package generators for the style.
+func (s ExplanationStyle) ImplementedBy() string {
+	switch s {
+	case StyleContent:
+		return "internal/explain.{ItemSimilarityExplainer,InfluenceExplainer,KeywordExplainer}"
+	case StyleCollaborative:
+		return "internal/explain.{HistogramExplainer,NeighborCountExplainer}"
+	case StylePreference:
+		return "internal/explain.{ProfileExplainer,UtilityExplainer}"
+	default:
+		return ""
+	}
+}
+
+// InteractionMode mirrors the tables' "Interaction" column (Section 5).
+type InteractionMode int
+
+// Interaction modes.
+const (
+	InteractRating InteractionMode = iota
+	InteractImplicitRating
+	InteractOpinion
+	InteractSpecifyReqs
+	InteractAlteration
+	InteractVaried
+	InteractNone
+)
+
+func (m InteractionMode) String() string {
+	switch m {
+	case InteractRating:
+		return "Rating"
+	case InteractImplicitRating:
+		return "(Implicit) rating"
+	case InteractOpinion:
+		return "Opinion"
+	case InteractSpecifyReqs:
+		return "Specify reqs."
+	case InteractAlteration:
+		return "Alteration"
+	case InteractVaried:
+		return "(varied)"
+	case InteractNone:
+		return "(None)"
+	default:
+		return fmt.Sprintf("InteractionMode(%d)", int(m))
+	}
+}
+
+// ImplementedBy names the interact-package component for the mode.
+func (m InteractionMode) ImplementedBy() string {
+	switch m {
+	case InteractRating, InteractImplicitRating:
+		return "internal/interact.RatingEditor"
+	case InteractOpinion:
+		return "internal/interact.FeedbackModel"
+	case InteractSpecifyReqs:
+		return "internal/interact.Dialog"
+	case InteractAlteration:
+		return "internal/interact.CritiqueSession"
+	default:
+		return ""
+	}
+}
+
+// System is one catalogue row.
+type System struct {
+	Name string
+	// Ref is the paper's citation key, e.g. "[5]"; empty for
+	// commercial systems.
+	Ref           string
+	Kind          SystemKind
+	ItemType      string
+	Presentations []PresentationMode
+	Explanations  []ExplanationStyle
+	// ExplanationNote annotates the Explanation column, e.g.
+	// "(Implicit)" distinctions are carried in Interactions instead;
+	// this is for free-text qualifiers.
+	ExplanationNote string
+	Interactions    []InteractionMode
+	// Aims are the stated aims for Table 2 (academic systems only;
+	// systems without clearly stated aims have none, matching the
+	// paper's "systems for which no clear aims are stated are
+	// omitted").
+	Aims []Aim
+}
+
+// HasAim reports whether the system states the aim.
+func (s System) HasAim(a Aim) bool {
+	for _, x := range s.Aims {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Systems returns the full catalogue: the eight commercial systems of
+// Table 3 followed by the ten academic systems of Table 4. Rows are
+// transcribed from the paper; the Table 2 aim assignments are a
+// documented reconstruction (see EXPERIMENTS.md) — the paper's layout
+// fixes how many aims each system states (25 marks across 14 rows)
+// but not, unambiguously, which columns they fall in.
+func Systems() []System {
+	return []System{
+		// ---- Table 3: commercial ----
+		{
+			Name: "Amazon", Kind: Commercial, ItemType: "e.g. Books, Movies",
+			Presentations: []PresentationMode{PresSimilarToTop},
+			Explanations:  []ExplanationStyle{StyleContent},
+			Interactions:  []InteractionMode{InteractRating, InteractOpinion},
+		},
+		{
+			Name: "Findory", Kind: Commercial, ItemType: "News",
+			Presentations: []PresentationMode{PresSimilarToTop},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractImplicitRating},
+		},
+		{
+			Name: "LibraryThing", Kind: Commercial, ItemType: "Books",
+			Presentations: []PresentationMode{PresSimilarToTop},
+			Explanations:  []ExplanationStyle{StyleCollaborative},
+			Interactions:  []InteractionMode{InteractRating},
+		},
+		{
+			Name: "LoveFilm", Kind: Commercial, ItemType: "Movies",
+			Presentations: []PresentationMode{PresTopN, PresPredictedRatings},
+			Explanations:  []ExplanationStyle{StyleContent},
+			Interactions:  []InteractionMode{InteractRating},
+		},
+		{
+			Name: "OkCupid", Kind: Commercial, ItemType: "People to date",
+			Presentations: []PresentationMode{PresTopN, PresPredictedRatings},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractSpecifyReqs},
+		},
+		{
+			Name: "Pandora", Kind: Commercial, ItemType: "Music",
+			Presentations: []PresentationMode{PresTopItem},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractOpinion},
+		},
+		{
+			Name: "StumbleUpon", Kind: Commercial, ItemType: "Web pages",
+			Presentations: []PresentationMode{PresTopItem},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractOpinion},
+		},
+		{
+			Name: "Qwikshop", Ref: "[20]", Kind: Commercial, ItemType: "Digital cameras",
+			Presentations: []PresentationMode{PresTopItem, PresSimilarToTop},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractAlteration},
+		},
+
+		// ---- Table 4: academic (aims reconstruct Table 2) ----
+		{
+			Name: "INTRIGUE", Ref: "[2]", Kind: Academic, ItemType: "Tourist attractions",
+			Presentations: []PresentationMode{PresTopN},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractNone},
+			Aims:          []Aim{Transparency, Satisfaction},
+		},
+		{
+			Name: "LIBRA", Ref: "[5]", Kind: Academic, ItemType: "Books",
+			Presentations: []PresentationMode{PresTopN, PresPredictedRatings},
+			Explanations:  []ExplanationStyle{StyleContent, StyleCollaborative},
+			Interactions:  []InteractionMode{InteractRating},
+			Aims:          []Aim{Effectiveness},
+		},
+		{
+			Name: "News Dude", Ref: "[6]", Kind: Academic, ItemType: "News",
+			Presentations: []PresentationMode{PresTopN},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractOpinion},
+			Aims:          []Aim{Transparency, Trust},
+		},
+		{
+			Name: "MYCIN", Ref: "[7]", Kind: Academic, ItemType: "Prescriptions",
+			Presentations: []PresentationMode{PresTopItem},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractSpecifyReqs},
+			Aims:          []Aim{Transparency, Trust},
+		},
+		{
+			Name: "MovieLens", Ref: "[10, 18]", Kind: Academic, ItemType: "Movies",
+			Presentations: []PresentationMode{PresTopN, PresPredictedRatings},
+			Explanations:  []ExplanationStyle{StyleCollaborative},
+			Interactions:  []InteractionMode{InteractRating},
+			Aims:          []Aim{Effectiveness, Persuasiveness},
+		},
+		{
+			Name: "Herlocker interfaces", Ref: "[18]", Kind: Academic, ItemType: "Movies",
+			Presentations: []PresentationMode{PresTopN, PresPredictedRatings},
+			Explanations:  []ExplanationStyle{StyleCollaborative},
+			Interactions:  []InteractionMode{InteractRating},
+			Aims:          []Aim{Transparency, Persuasiveness, Satisfaction},
+		},
+		{
+			Name: "SASY", Ref: "[11]", Kind: Academic, ItemType: "E.g. holiday",
+			Presentations: []PresentationMode{PresTopItem},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractAlteration},
+			Aims:          []Aim{Transparency, Scrutability},
+		},
+		{
+			Name: "Sim", Ref: "[21]", Kind: Academic, ItemType: "PCs",
+			Presentations: []PresentationMode{PresTopN},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractVaried},
+			Aims:          []Aim{Efficiency},
+		},
+		{
+			Name: "Top Case", Ref: "[24]", Kind: Academic, ItemType: "Holiday",
+			Presentations: []PresentationMode{PresTopItem, PresSimilarToTop},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractSpecifyReqs},
+			Aims:          []Aim{Transparency, Trust},
+		},
+		{
+			Name: "Organizational Structure", Ref: "[28]", Kind: Academic,
+			ItemType:      "Digital camera, notebook computer",
+			Presentations: []PresentationMode{PresStructuredOverview},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractNone},
+			Aims:          []Aim{Trust},
+		},
+		{
+			Name: "Dynamic critiquing", Ref: "[20]", Kind: Academic, ItemType: "Digital cameras",
+			Presentations: []PresentationMode{PresTopItem, PresSimilarToTop},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractAlteration},
+			Aims:          []Aim{Scrutability, Efficiency},
+		},
+		{
+			Name: "ADAPTIVE PLACE ADVISOR", Ref: "[35]", Kind: Academic, ItemType: "Restaurants",
+			Presentations: []PresentationMode{PresTopItem},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractSpecifyReqs},
+			Aims:          []Aim{Efficiency, Satisfaction},
+		},
+		{
+			Name: "ACORN", Ref: "[37]", Kind: Academic, ItemType: "Movies",
+			Presentations: []PresentationMode{PresStructuredOverview, PresTopN},
+			Explanations:  []ExplanationStyle{StylePreference},
+			Interactions:  []InteractionMode{InteractSpecifyReqs},
+			Aims:          []Aim{Transparency, Satisfaction},
+		},
+		{
+			Name: "Sinha & Swearingen study", Ref: "[31]", Kind: Academic, ItemType: "Movies, books",
+			Presentations: []PresentationMode{PresTopN},
+			Explanations:  []ExplanationStyle{StyleCollaborative},
+			Interactions:  []InteractionMode{InteractRating},
+			Aims:          []Aim{Transparency},
+		},
+	}
+}
+
+// ByKind filters the catalogue.
+func ByKind(kind SystemKind) []System {
+	var out []System
+	for _, s := range Systems() {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WithAim returns the academic systems stating the aim.
+func WithAim(a Aim) []System {
+	var out []System
+	for _, s := range Systems() {
+		if s.HasAim(a) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Table2Systems returns the academic systems that state at least one
+// aim, in citation order — the rows of Table 2.
+func Table2Systems() []System {
+	var out []System
+	for _, s := range ByKind(Academic) {
+		if len(s.Aims) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package survey
+
+import (
+	"strings"
+
+	"repro/internal/tablewriter"
+)
+
+// Table1 regenerates "Table 1. Aims": abbreviation, name, definition.
+func Table1() *tablewriter.Table {
+	t := tablewriter.New("Aim", "Definition").
+		SetTitle("Table 1. Aims of explanation facilities")
+	for _, a := range AllAims {
+		t.AddRow(a.String()+" ("+a.Abbrev()+")", a.Definition())
+	}
+	return t
+}
+
+// Table2 regenerates "Table 2. Aims of academic systems": one row per
+// academic system with stated aims, an X under each stated aim.
+func Table2() *tablewriter.Table {
+	header := []string{"System"}
+	for _, a := range AllAims {
+		header = append(header, a.Abbrev())
+	}
+	t := tablewriter.New(header...).
+		SetTitle("Table 2. Aims of academic systems")
+	aligns := []tablewriter.Align{tablewriter.AlignLeft}
+	for range AllAims {
+		aligns = append(aligns, tablewriter.AlignCenter)
+	}
+	t.SetAligns(aligns...)
+	for _, s := range Table2Systems() {
+		row := []interface{}{s.Ref + " " + s.Name}
+		for _, a := range AllAims {
+			if s.HasAim(a) {
+				row = append(row, "X")
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// facilityRow renders one system's presentation/explanation/interaction
+// columns.
+func facilityRow(t *tablewriter.Table, s System) {
+	var pres, expl, inter []string
+	for _, p := range s.Presentations {
+		pres = append(pres, p.String())
+	}
+	for _, e := range s.Explanations {
+		expl = append(expl, e.String())
+	}
+	for _, i := range s.Interactions {
+		inter = append(inter, i.String())
+	}
+	name := s.Name
+	if s.Ref != "" && s.Kind == Academic {
+		name += " " + s.Ref
+	}
+	t.AddRow(name, s.ItemType,
+		strings.Join(pres, ", "),
+		strings.Join(expl, ", "),
+		strings.Join(inter, ", "))
+}
+
+// Table3 regenerates "Table 3. A selection of commercial recommender
+// systems with explanation facilities."
+func Table3() *tablewriter.Table {
+	t := tablewriter.New("System", "Item type", "Presentation", "Explanation", "Interaction").
+		SetTitle("Table 3. Commercial recommender systems with explanation facilities")
+	for _, s := range ByKind(Commercial) {
+		facilityRow(t, s)
+	}
+	return t
+}
+
+// table4Rows names the ten systems of Table 4 in the paper's order.
+var table4Rows = []string{
+	"LIBRA", "News Dude", "MYCIN", "MovieLens", "SASY", "Sim",
+	"Top Case", "Organizational Structure", "ADAPTIVE PLACE ADVISOR", "ACORN",
+}
+
+// Table4 regenerates "Table 4. A selection of academic recommender
+// systems with explanation facilities."
+func Table4() *tablewriter.Table {
+	t := tablewriter.New("System", "Item type", "Presentation", "Explanation", "Interaction").
+		SetTitle("Table 4. Academic recommender systems with explanation facilities")
+	byName := map[string]System{}
+	for _, s := range ByKind(Academic) {
+		byName[s.Name] = s
+	}
+	for _, name := range table4Rows {
+		if s, ok := byName[name]; ok {
+			facilityRow(t, s)
+		}
+	}
+	return t
+}
+
+// ImplementationIndex renders the mapping from every facility class
+// named in the tables to the package in this repository implementing
+// it — the "catalogue rows are backed by runnable code" guarantee.
+func ImplementationIndex() *tablewriter.Table {
+	t := tablewriter.New("Facility", "Class", "Implemented by").
+		SetTitle("Facility classes and their implementations in this repository")
+	for _, p := range []PresentationMode{
+		PresTopItem, PresTopN, PresSimilarToTop, PresPredictedRatings, PresStructuredOverview,
+	} {
+		t.AddRow(p.String(), "presentation", p.ImplementedBy())
+	}
+	for _, e := range []ExplanationStyle{StyleContent, StyleCollaborative, StylePreference} {
+		t.AddRow(e.String(), "explanation", e.ImplementedBy())
+	}
+	for _, m := range []InteractionMode{
+		InteractRating, InteractOpinion, InteractSpecifyReqs, InteractAlteration,
+	} {
+		t.AddRow(m.String(), "interaction", m.ImplementedBy())
+	}
+	return t
+}

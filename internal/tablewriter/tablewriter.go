@@ -1,0 +1,197 @@
+// Package tablewriter renders aligned plain-text tables. Every table
+// and figure reproduced from the paper is ultimately printed through
+// this package, so the experiment binaries and benchmarks share one
+// consistent look.
+package tablewriter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Align controls horizontal alignment of a column.
+type Align int
+
+// Column alignments.
+const (
+	AlignLeft Align = iota
+	AlignRight
+	AlignCenter
+)
+
+// Table accumulates rows and renders them with aligned columns.
+// The zero value is ready to use.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+	aligns []Align
+}
+
+// New returns a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// SetTitle sets a caption rendered above the table.
+func (t *Table) SetTitle(title string) *Table {
+	t.title = title
+	return t
+}
+
+// SetAligns sets per-column alignment. Columns without an entry default
+// to left alignment.
+func (t *Table) SetAligns(aligns ...Align) *Table {
+	t.aligns = aligns
+	return t
+}
+
+// AddRow appends a row. Cells are formatted with fmt.Sprint, except
+// float64 values which are rendered with 3 decimal places for stable,
+// readable experiment output.
+func (t *Table) AddRow(cells ...interface{}) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func (t *Table) columnCount() int {
+	n := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+func (t *Table) widths() []int {
+	n := t.columnCount()
+	w := make([]int, n)
+	for i, h := range t.header {
+		if len(h) > w[i] {
+			w[i] = len(h)
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+func (t *Table) alignOf(i int) Align {
+	if i < len(t.aligns) {
+		return t.aligns[i]
+	}
+	return AlignLeft
+}
+
+func pad(s string, width int, a Align) string {
+	gap := width - len(s)
+	if gap <= 0 {
+		return s
+	}
+	switch a {
+	case AlignRight:
+		return strings.Repeat(" ", gap) + s
+	case AlignCenter:
+		left := gap / 2
+		return strings.Repeat(" ", left) + s + strings.Repeat(" ", gap-left)
+	default:
+		return s + strings.Repeat(" ", gap)
+	}
+}
+
+// String renders the table as plain text with a rule under the header.
+func (t *Table) String() string {
+	w := t.widths()
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < len(w); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, w[i], t.alignOf(i)))
+		}
+		// Trim trailing padding so output diffs cleanly.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		rule := make([]string, len(w))
+		for i := range rule {
+			rule[i] = strings.Repeat("-", w[i])
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.title)
+	}
+	cols := t.columnCount()
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			b.WriteString(" " + cell + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule := make([]string, cols)
+	for i := range rule {
+		switch t.alignOf(i) {
+		case AlignRight:
+			rule[i] = "---:"
+		case AlignCenter:
+			rule[i] = ":---:"
+		default:
+			rule[i] = "---"
+		}
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package tablewriter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tb := New("System", "Aim").
+		AddRow("LIBRA", "Effectiveness").
+		AddRow("MYCIN", "Transparency")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header+rule+2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "System") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule missing: %q", lines[1])
+	}
+	// Columns align: "Aim" starts at the same offset in every row.
+	off := strings.Index(lines[0], "Aim")
+	if !strings.HasPrefix(lines[2][off:], "Effectiveness") {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTitle(t *testing.T) {
+	out := New("A").SetTitle("Table 1. Aims").AddRow("x").String()
+	if !strings.HasPrefix(out, "Table 1. Aims\n") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	out := New("v").AddRow(3.14159).String()
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float not formatted to 3 decimals:\n%s", out)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	tb := New("num", "name").SetAligns(AlignRight, AlignLeft)
+	tb.AddRow(5, "a").AddRow(1234, "b")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[2], "   5") {
+		t.Fatalf("right alignment failed: %q", lines[2])
+	}
+}
+
+func TestCenterAlignment(t *testing.T) {
+	out := New("wide-header").SetAligns(AlignCenter).AddRow("x").String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row := lines[2]
+	if !strings.Contains(row, "  x") {
+		t.Fatalf("center alignment failed: %q", row)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("a", "b", "c").AddRow("only-one")
+	out := tb.String()
+	if !strings.Contains(out, "only-one") {
+		t.Fatalf("ragged row dropped:\n%s", out)
+	}
+}
+
+func TestRowWiderThanHeader(t *testing.T) {
+	tb := New("a").AddRow("x", "extra-col")
+	out := tb.String()
+	if !strings.Contains(out, "extra-col") {
+		t.Fatalf("extra column dropped:\n%s", out)
+	}
+}
+
+func TestNoTrailingSpaces(t *testing.T) {
+	out := New("col", "x").AddRow("a", "b").AddRow("longer-cell", "c").String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Fatalf("trailing whitespace in %q", line)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := New("Sys", "N").SetAligns(AlignLeft, AlignRight).
+		SetTitle("T").AddRow("LIBRA", 3).Markdown()
+	if !strings.Contains(md, "| Sys | N |") {
+		t.Fatalf("markdown header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | ---: |") {
+		t.Fatalf("markdown rule wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| LIBRA | 3 |") {
+		t.Fatalf("markdown row wrong:\n%s", md)
+	}
+	if !strings.HasPrefix(md, "**T**") {
+		t.Fatalf("markdown title wrong:\n%s", md)
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := New("a")
+	if tb.NumRows() != 0 {
+		t.Fatal("fresh table should have zero rows")
+	}
+	tb.AddRow(1).AddRow(2)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}

@@ -1,0 +1,77 @@
+package usersim
+
+import (
+	"repro/internal/explain"
+)
+
+// StimulusFrom maps a real explanation to the stimulus channels of the
+// user model. This is the bridge between the explanation engine and
+// the simulated participants: experiments generate genuine
+// explanations and convert them here, so persuasion and effectiveness
+// results reflect what the displays actually contain.
+func StimulusFrom(e *explain.Explanation, clarity float64) Stimulus {
+	s := Stimulus{
+		Clarity: clarity,
+		TextLen: len(e.Text) + len(e.Detail),
+	}
+	ev := e.Evidence
+	switch {
+	case len(ev.Influences) > 0 || len(ev.Keywords) > 0:
+		// Content-grounded displays cite things the user knows (their
+		// own ratings, familiar genres): highly informative, no hype.
+		s.Informativeness = 0.7
+		s.Hype = 0.05
+		s.Support = supportFromConfidence(e.Confidence)
+	case ev.Histogram != nil || len(ev.Neighbors) > 0:
+		// Social-proof displays: strong signed support, persuasive,
+		// but they tell the user little about their own taste. The
+		// display's scalar claim is the neighbourhood consensus, and a
+		// wall of clustered positive ratings reads as an endorsement —
+		// conformity pressure is the hype channel at its strongest.
+		s.Informativeness = 0.2
+		s.Hype = 0.5
+		good, bad := goodBad(e)
+		if good+bad > 0 {
+			s.Support = (good - bad) / (good + bad)
+		}
+		var sum float64
+		for _, nb := range e.Evidence.Neighbors {
+			sum += nb.Rating
+		}
+		if n := len(e.Evidence.Neighbors); n > 0 {
+			s.Shown = sum / float64(n)
+		}
+	case len(ev.Breakdown) > 0 || len(ev.Tradeoffs) > 0:
+		// Requirement-grounded displays: informative about fit.
+		s.Informativeness = 0.6
+		s.Hype = 0.05
+		s.Support = supportFromConfidence(e.Confidence)
+	default:
+		// Vague or boilerplate text: pure hype.
+		s.Informativeness = 0.05
+		s.Hype = 0.4
+		s.Support = 0.2
+	}
+	if !e.Faithful {
+		// Unfaithful displays cannot inform, whatever they show.
+		s.Informativeness = 0
+		s.Hype += 0.2
+	}
+	return s
+}
+
+func supportFromConfidence(conf float64) float64 {
+	return clampTo(conf*2-1, -1, 1) * 0.5
+}
+
+func goodBad(e *explain.Explanation) (good, bad float64) {
+	for _, nb := range e.Evidence.Neighbors {
+		switch {
+		case nb.Rating >= 4:
+			good++
+		case nb.Rating <= 2:
+			bad++
+		}
+	}
+	return good, bad
+}

@@ -1,0 +1,241 @@
+// Package usersim simulates the human participants of the user studies
+// the survey reports. Every evaluation recipe in the paper's Section 3
+// ultimately measures people — how much an explanation persuades them
+// (3.4), whether it helps them judge items correctly (3.5), how fast
+// they finish tasks (3.1, 3.2, 3.6), whether they come back (3.3,
+// 3.7). We substitute a stochastic user model with explicit,
+// documented mechanisms:
+//
+//   - every user has a ground-truth utility (from dataset.Truth) they
+//     only discover by consuming an item;
+//   - before consumption they hold a weak prior (midpoint plus
+//     popularity cue);
+//   - explanations act on them through three channels: the *shown*
+//     signal (what the display claims), *informativeness* (how much the
+//     display lets them access their own true preference), and *hype*
+//     (persuasive pressure) — attenuated by display clarity and the
+//     user's susceptibility and scepticism;
+//   - trust is a state variable that rises with good, explained
+//     outcomes and falls with bad ones, falling less when the failure
+//     was explained (Section 2.3: "a user may be more forgiving ... if
+//     they understand why a bad recommendation has been made").
+//
+// The parameters are not fitted to any dataset; they are chosen so the
+// *directional* findings the survey cites can be reproduced and, more
+// importantly, so the trade-offs (persuasion vs effectiveness) emerge
+// from the mechanism rather than being hard-coded per experiment.
+package usersim
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// User is one simulated participant.
+type User struct {
+	ID    model.UserID
+	Truth *dataset.Truth
+	R     *rng.RNG
+
+	// Susceptibility in [0,1]: how strongly shown signals and hype move
+	// the user's stated intent and ratings.
+	Susceptibility float64
+	// Skepticism in [0,1]: how harshly the user punishes confusing
+	// displays.
+	Skepticism float64
+	// Trust in [0,1]: evolving confidence in the system.
+	Trust float64
+	// Patience: how many interactions the user tolerates before
+	// abandoning a task.
+	Patience int
+	// Skill in [0,1]: general interface competence; drives task
+	// correctness and time in the transparency/scrutability studies.
+	Skill float64
+	// ReadSecondsPer100 is reading speed for explanation text.
+	ReadSecondsPer100 float64
+	// NoiseSD is the user's rating noise.
+	NoiseSD float64
+}
+
+// TrueUtility is the user's latent utility for an item — known to the
+// simulation, discovered by the user only via Consume.
+func (u *User) TrueUtility(it *model.Item) float64 {
+	return u.Truth.Utility(u.ID, it)
+}
+
+// Consume "consumes" the item and returns the experienced quality: the
+// true utility plus a small experiential wobble. The post-consumption
+// rating of Section 3.5's methodology.
+func (u *User) Consume(it *model.Item) float64 {
+	return model.ClampRating(u.TrueUtility(it) + u.R.Norm(0, u.NoiseSD))
+}
+
+// Prior is the user's pre-consumption estimate with no explanation: a
+// weak pull from the scale midpoint toward popularity ("I've heard of
+// this").
+func (u *User) Prior(it *model.Item) float64 {
+	mid := (model.MinRating + model.MaxRating) / 2
+	return model.ClampRating(mid + 0.8*(it.Popularity-0.4) + u.R.Norm(0, 0.3))
+}
+
+// Stimulus is how an explanation display reaches a user. Experiments
+// construct it from real explain.Explanation values; the fields are
+// the three channels of the model plus presentation costs.
+type Stimulus struct {
+	// Shown is the claim the display makes on the rating scale (a
+	// predicted score, a neighbourhood consensus...). Zero means the
+	// display makes no scalar claim.
+	Shown float64
+	// Support in [-1,1] is the signed strength of the evidence the
+	// display conveys.
+	Support float64
+	// Informativeness in [0,1]: how much the display lets the user
+	// evaluate the item against their *own* taste (an influence table
+	// citing books they know scores high; "won awards" scores zero).
+	Informativeness float64
+	// Hype in [0,1]: persuasive pressure not grounded in the user's
+	// taste.
+	Hype float64
+	// Clarity in [0,1]: how decodable the display is.
+	Clarity float64
+	// TextLen in characters drives reading time.
+	TextLen int
+}
+
+// Intent returns the user's likelihood of consuming the item on
+// Herlocker's 1-7 scale, given a stimulus. With no stimulus
+// (zero-value) the expected response is the neutral base of ~4.5.
+func (u *User) Intent(it *model.Item, s Stimulus) float64 {
+	const base = 4.5
+	v := base
+	// Evidence moves intent proportionally to clarity and
+	// susceptibility: two scale points at full strength.
+	v += 2.0 * u.Susceptibility * s.Support * s.Clarity
+	// Informative displays let the user's own taste speak.
+	v += 1.2 * s.Informativeness * (u.TrueUtility(it) - 3) / 2
+	// Hype pushes up, but only as far as susceptibility allows.
+	v += 1.0 * s.Hype * u.Susceptibility
+	// Confusing displays annoy in proportion to scepticism — this is
+	// what drags bad interfaces below the no-explanation base.
+	if s.Clarity < 0.5 {
+		v -= 2.5 * u.Skepticism * (0.5 - s.Clarity)
+	}
+	v += u.R.Norm(0, 0.4)
+	return clampTo(v, 1, 7)
+}
+
+// PreRating is the rating the user would state *before* consumption,
+// after seeing the stimulus (the first rating of the Bilgic & Mooney
+// protocol and of the Cosley re-rating study).
+func (u *User) PreRating(it *model.Item, s Stimulus) float64 {
+	est := u.Prior(it)
+	// An informative display reveals the user's own eventual judgement.
+	est += s.Informativeness * (u.TrueUtility(it) - est)
+	// A shown scalar claim anchors the estimate in proportion to
+	// susceptibility and clarity — but only to the extent the user has
+	// nothing better: the more the display informs, the less its claim
+	// anchors.
+	if s.Shown > 0 {
+		est += (1 - s.Informativeness) * u.Susceptibility * s.Clarity * (s.Shown - est)
+	}
+	// Hype inflates.
+	est += s.Hype * u.Susceptibility * 1.2
+	est += u.R.Norm(0, u.NoiseSD/2)
+	return quantizeHalf(model.ClampRating(est))
+}
+
+// PostRating is the rating stated after consumption.
+func (u *User) PostRating(it *model.Item) float64 {
+	return quantizeHalf(u.Consume(it))
+}
+
+// ReadTime returns the seconds spent reading a display of n
+// characters.
+func (u *User) ReadTime(n int) float64 {
+	return float64(n) / 100 * u.ReadSecondsPer100
+}
+
+// UpdateTrust folds one recommendation outcome into the user's trust
+// state. predicted is what the system claimed, experienced what
+// consumption delivered; explained reports whether the recommendation
+// carried an explanation. Good outcomes build trust (slightly more
+// when explained — the user sees *why* it worked); bad outcomes erode
+// it, less when explained.
+func (u *User) UpdateTrust(predicted, experienced float64, explained bool) {
+	err := math.Abs(predicted - experienced)
+	if err <= 1 {
+		gain := 0.05
+		if explained {
+			gain = 0.07
+		}
+		u.Trust = clampTo(u.Trust+gain, 0, 1)
+		return
+	}
+	loss := 0.10 * (err - 1)
+	if explained {
+		loss *= 0.5
+	}
+	u.Trust = clampTo(u.Trust-loss, 0, 1)
+}
+
+// WillReturn samples whether the user comes back for another session —
+// the loyalty proxy of Section 3.3 (logins and interactions).
+func (u *User) WillReturn() bool {
+	return u.R.Bernoulli(0.15 + 0.8*u.Trust)
+}
+
+// Satisfied reports whether consuming the item would satisfy the user
+// (true utility at or above four stars) — the stop condition for
+// conversational search tasks.
+func (u *User) Satisfied(it *model.Item) bool {
+	return u.TrueUtility(it) >= 4
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func quantizeHalf(v float64) float64 {
+	return model.ClampRating(math.Round(v*2) / 2)
+}
+
+// Population is a sampled set of simulated users over one community.
+type Population struct {
+	Users []*User
+}
+
+// NewPopulation samples n users (community members 1..n) with
+// behavioural parameters drawn from documented distributions. The
+// draw is deterministic in seed.
+func NewPopulation(c *dataset.Community, n int, seed uint64) *Population {
+	r := rng.New(seed)
+	if n > c.Truth.Users() {
+		n = c.Truth.Users()
+	}
+	p := &Population{}
+	for i := 1; i <= n; i++ {
+		ur := r.Split()
+		p.Users = append(p.Users, &User{
+			ID:                model.UserID(i),
+			Truth:             c.Truth,
+			R:                 ur,
+			Susceptibility:    clampTo(ur.Norm(0.5, 0.15), 0.05, 0.95),
+			Skepticism:        clampTo(ur.Norm(0.5, 0.2), 0.05, 0.95),
+			Trust:             clampTo(ur.Norm(0.5, 0.1), 0.1, 0.9),
+			Patience:          8 + ur.Intn(10),
+			Skill:             clampTo(ur.Norm(0.6, 0.2), 0.05, 0.95),
+			ReadSecondsPer100: clampTo(ur.Norm(4, 1), 1.5, 8),
+			NoiseSD:           clampTo(ur.Norm(c.Noise, 0.1), 0.2, 1.2),
+		})
+	}
+	return p
+}

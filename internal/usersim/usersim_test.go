@@ -1,0 +1,276 @@
+package usersim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/explain"
+	"repro/internal/recsys/cf"
+	"repro/internal/recsys/knowledge"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func moviePop(t testing.TB, n int) (*dataset.Community, *Population) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 301, Users: 100, Items: 120, RatingsPerUser: 20})
+	return c, NewPopulation(c, n, 77)
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 301, Users: 20, Items: 30, RatingsPerUser: 5})
+	a := NewPopulation(c, 10, 5)
+	b := NewPopulation(c, 10, 5)
+	for i := range a.Users {
+		if a.Users[i].Susceptibility != b.Users[i].Susceptibility ||
+			a.Users[i].Patience != b.Users[i].Patience {
+			t.Fatal("population not deterministic")
+		}
+	}
+	if len(NewPopulation(c, 999, 5).Users) != 20 {
+		t.Fatal("population should clamp to community size")
+	}
+}
+
+func TestPopulationParameterRanges(t *testing.T) {
+	_, p := moviePop(t, 100)
+	for _, u := range p.Users {
+		if u.Susceptibility < 0.05 || u.Susceptibility > 0.95 ||
+			u.Skepticism < 0.05 || u.Skepticism > 0.95 ||
+			u.Trust < 0.1 || u.Trust > 0.9 ||
+			u.Skill < 0.05 || u.Skill > 0.95 {
+			t.Fatalf("parameters out of range: %+v", u)
+		}
+		if u.Patience < 8 || u.Patience > 17 {
+			t.Fatalf("patience %d out of range", u.Patience)
+		}
+	}
+}
+
+func TestConsumeTracksTruth(t *testing.T) {
+	c, p := moviePop(t, 20)
+	u := p.Users[0]
+	it := c.Catalog.Items()[0]
+	var sum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum += u.Consume(it)
+	}
+	mean := sum / n
+	truth := u.TrueUtility(it)
+	if diff := mean - truth; diff > 0.25 || diff < -0.25 {
+		t.Fatalf("consumption mean %.2f far from truth %.2f", mean, truth)
+	}
+}
+
+func TestIntentNeutralBase(t *testing.T) {
+	c, p := moviePop(t, 50)
+	it := c.Catalog.Items()[10]
+	var sum float64
+	var n int
+	for _, u := range p.Users {
+		for i := 0; i < 20; i++ {
+			sum += u.Intent(it, Stimulus{Clarity: 1})
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 4.2 || mean > 4.8 {
+		t.Fatalf("neutral intent mean %.2f, want ~4.5", mean)
+	}
+}
+
+func TestIntentRespondsToSupport(t *testing.T) {
+	c, p := moviePop(t, 50)
+	it := c.Catalog.Items()[10]
+	var up, down float64
+	for _, u := range p.Users {
+		up += u.Intent(it, Stimulus{Support: 0.9, Clarity: 0.95})
+		down += u.Intent(it, Stimulus{Support: -0.9, Clarity: 0.95})
+	}
+	if up <= down {
+		t.Fatalf("positive support should raise intent: %v vs %v", up, down)
+	}
+}
+
+func TestConfusingDisplayDepressesIntent(t *testing.T) {
+	c, p := moviePop(t, 80)
+	it := c.Catalog.Items()[10]
+	var confusing, base float64
+	for _, u := range p.Users {
+		// Same evidence, terrible clarity vs no display at all.
+		confusing += u.Intent(it, Stimulus{Support: 0.5, Clarity: 0.05})
+		base += u.Intent(it, Stimulus{Clarity: 1})
+	}
+	if confusing >= base {
+		t.Fatalf("confusing display should fall below base: %.1f vs %.1f", confusing, base)
+	}
+}
+
+func TestIntentBoundsQuick(t *testing.T) {
+	c, p := moviePop(t, 10)
+	it := c.Catalog.Items()[0]
+	f := func(sup, inf, hype, clar float64) bool {
+		s := Stimulus{
+			Support:         clampTo(sup, -1, 1),
+			Informativeness: clampTo(inf, 0, 1),
+			Hype:            clampTo(hype, 0, 1),
+			Clarity:         clampTo(clar, 0, 1),
+		}
+		v := p.Users[0].Intent(it, s)
+		return v >= 1 && v <= 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreRatingInformativeCloserToTruth(t *testing.T) {
+	// The effectiveness mechanism: informative stimuli shrink the
+	// pre/post gap, hype inflates it.
+	c, p := moviePop(t, 100)
+	items := c.Catalog.Items()
+	var gapInformative, gapHyped []float64
+	for ui, u := range p.Users {
+		it := items[(ui*7)%len(items)]
+		pre := u.PreRating(it, Stimulus{Informativeness: 0.8, Clarity: 0.9})
+		post := u.PostRating(it)
+		gapInformative = append(gapInformative, pre-post)
+		pre2 := u.PreRating(it, Stimulus{Hype: 0.8, Shown: 4.5, Clarity: 0.9})
+		post2 := u.PostRating(it)
+		gapHyped = append(gapHyped, pre2-post2)
+	}
+	mi := stats.Mean(gapInformative)
+	mh := stats.Mean(gapHyped)
+	if mh <= mi {
+		t.Fatalf("hype should inflate the gap: informative %.2f vs hyped %.2f", mi, mh)
+	}
+	if mi > 0.3 || mi < -0.3 {
+		t.Fatalf("informative gap should be near zero, got %.2f", mi)
+	}
+}
+
+func TestTrustDynamics(t *testing.T) {
+	u := &User{Trust: 0.5, R: newR(1)}
+	u.UpdateTrust(4, 4.2, false)
+	if u.Trust <= 0.5 {
+		t.Fatal("good outcome should raise trust")
+	}
+	before := u.Trust
+	u.UpdateTrust(5, 1, false)
+	dropUnexplained := before - u.Trust
+	u2 := &User{Trust: before, R: newR(2)}
+	u2.UpdateTrust(5, 1, true)
+	dropExplained := before - u2.Trust
+	if dropExplained >= dropUnexplained {
+		t.Fatalf("explained failure should cost less trust: %.3f vs %.3f", dropExplained, dropUnexplained)
+	}
+	// Trust clamps.
+	u3 := &User{Trust: 0.02, R: newR(3)}
+	for i := 0; i < 20; i++ {
+		u3.UpdateTrust(5, 1, false)
+	}
+	if u3.Trust < 0 {
+		t.Fatal("trust below zero")
+	}
+}
+
+func TestWillReturnMonotoneInTrust(t *testing.T) {
+	low := &User{Trust: 0.05, R: newR(4)}
+	high := &User{Trust: 0.95, R: newR(5)}
+	var lowN, highN int
+	for i := 0; i < 2000; i++ {
+		if low.WillReturn() {
+			lowN++
+		}
+		if high.WillReturn() {
+			highN++
+		}
+	}
+	if highN <= lowN {
+		t.Fatalf("loyalty should rise with trust: %d vs %d", lowN, highN)
+	}
+}
+
+func TestReadTime(t *testing.T) {
+	u := &User{ReadSecondsPer100: 4}
+	if got := u.ReadTime(200); got != 8 {
+		t.Fatalf("ReadTime = %v", got)
+	}
+	if got := u.ReadTime(0); got != 0 {
+		t.Fatalf("ReadTime(0) = %v", got)
+	}
+}
+
+func TestStimulusMapping(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 301, Users: 40, Items: 60, RatingsPerUser: 15})
+	knn := cf.NewUserKNN(c.Ratings, c.Catalog, cf.Options{K: 10})
+	he := explain.NewHistogramExplainer(knn)
+	var exp *explain.Explanation
+	for _, it := range c.Catalog.Items() {
+		if _, rated := c.Ratings.Get(1, it.ID); rated {
+			continue
+		}
+		if e, err := he.Explain(1, it); err == nil {
+			exp = e
+			break
+		}
+	}
+	if exp == nil {
+		t.Fatal("no histogram explanation available")
+	}
+	s := StimulusFrom(exp, 0.95)
+	if s.Informativeness > 0.3 {
+		t.Fatalf("social proof should be weakly informative: %+v", s)
+	}
+	if s.Hype <= 0.1 {
+		t.Fatalf("social proof should carry hype: %+v", s)
+	}
+	if s.Support < -1 || s.Support > 1 {
+		t.Fatalf("support out of range: %+v", s)
+	}
+	if s.TextLen == 0 {
+		t.Fatal("text length missing")
+	}
+
+	// Preference breakdown maps to the informative channel.
+	pref := &explain.Explanation{
+		Text:       "Matches your requirements.",
+		Confidence: 0.9,
+		Faithful:   true,
+		Evidence:   explain.Evidence{Breakdown: []knowledge.AttrScore{{Attr: "price", Score: 1, Weight: 1}}},
+	}
+	sp := StimulusFrom(pref, 0.9)
+	if sp.Informativeness < 0.5 {
+		t.Fatalf("breakdown should be informative: %+v", sp)
+	}
+
+	// Unfaithful boilerplate cannot inform.
+	fake := &explain.Explanation{Text: "Award-winning!", Faithful: false}
+	sf := StimulusFrom(fake, 0.9)
+	if sf.Informativeness != 0 {
+		t.Fatalf("unfaithful display informativeness = %v", sf.Informativeness)
+	}
+	if sf.Hype <= 0.4 {
+		t.Fatalf("unfaithful display should be hype-heavy: %+v", sf)
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	c, p := moviePop(t, 10)
+	u := p.Users[0]
+	var sat, unsat bool
+	for _, it := range c.Catalog.Items() {
+		if u.Satisfied(it) {
+			sat = true
+		} else {
+			unsat = true
+		}
+	}
+	if !sat || !unsat {
+		t.Fatal("expected both satisfying and unsatisfying items")
+	}
+}
+
+func newR(seed uint64) *rng.RNG { return rng.New(seed) }
