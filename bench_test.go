@@ -8,6 +8,7 @@ package repro
 // reproduction audit.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -167,6 +168,39 @@ func BenchmarkEngineExplain(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = eng.Explain(model.UserID(i%200+1), items[i%len(items)].ID)
 	}
+}
+
+// BenchmarkEngineRecommendParallel measures explained top-10 served
+// from all cores at once. The snapshot read path takes no global lock,
+// so this should scale with GOMAXPROCS relative to
+// BenchmarkEngineRecommend rather than serialising.
+func BenchmarkEngineRecommendParallel(b *testing.B) {
+	_, eng := benchEngine(b)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			u := model.UserID(ctr.Add(1)%200 + 1)
+			if _, err := eng.Recommend(u, 10); err != nil && err != recsys.ErrColdStart {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineExplainParallel measures concurrent on-demand
+// explanations across all cores.
+func BenchmarkEngineExplainParallel(b *testing.B) {
+	c, eng := benchEngine(b)
+	items := c.Catalog.Items()
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			_, _ = eng.Explain(model.UserID(i%200+1), items[int(i)%len(items)].ID)
+		}
+	})
 }
 
 // BenchmarkEngineBrowseAll measures the predicted-ratings-for-

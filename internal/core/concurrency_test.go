@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/interact"
+	"repro/internal/model"
+)
+
+// TestEngineConcurrentStress hammers one engine from 32 goroutines with
+// a mix of every read and write operation. It is primarily a race
+// detector target (go test -race): the snapshot architecture promises
+// that lock-free readers never observe a half-applied write.
+func TestEngineConcurrentStress(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 77, Users: 40, Items: 60, RatingsPerUser: 15})
+	e, err := New(c.Catalog, c.Ratings, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := c.Catalog.Items()
+
+	const (
+		goroutines = 32
+		opsPerG    = 60
+	)
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := model.UserID(g%40 + 1)
+			for op := 0; op < opsPerG; op++ {
+				item := items[(g*opsPerG+op)%len(items)].ID
+				switch op % 8 {
+				case 0:
+					if p, err := e.Recommend(u, 5); err == nil {
+						if len(p.Entries) == 0 {
+							t.Error("empty presentation without error")
+						}
+						served.Add(1)
+					}
+				case 1:
+					// Explanations may legitimately fail (no evidence);
+					// only data races and panics count as failures here.
+					_, _ = e.Explain(u, item)
+				case 2:
+					e.Rate(u, item, float64(op%5)+1)
+				case 3:
+					if err := e.Opinion(u, interact.Opinion{Kind: interact.SurpriseMe}); err != nil {
+						t.Errorf("opinion: %v", err)
+					}
+				case 4:
+					_, _ = e.WhyLow(u, item)
+				case 5:
+					if _, err := e.SimilarTo(u, item, 3); err != nil {
+						t.Errorf("similar: %v", err)
+					}
+				case 6:
+					e.RemoveRating(u, item)
+				case 7:
+					_ = e.SetInfluenceWeight(u, item, float64(op%4))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no recommendation succeeded under load")
+	}
+	// The engine must still be coherent after the storm.
+	if _, err := e.Recommend(1, 5); err != nil {
+		t.Fatalf("post-stress recommend: %v", err)
+	}
+	m := e.Metrics()
+	if m.Recommendations == 0 || m.RepairActions == 0 {
+		t.Fatalf("metrics not counted under load: %+v", m)
+	}
+}
+
+// TestEngineGuardedModeStress exercises the compatibility path: a
+// custom recommender without MatrixRebinder forces guarded (read-write
+// locked) mode, which must still be race-free under mixed load.
+func TestEngineGuardedModeStress(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 80, Users: 20, Items: 30, RatingsPerUser: 8})
+	e, err := New(c.Catalog, c.Ratings, WithRecommender(stubRecommender{item: c.Catalog.Items()[0].ID}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := c.Catalog.Items()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := model.UserID(g%20 + 1)
+			for op := 0; op < 40; op++ {
+				switch op % 4 {
+				case 0:
+					if _, err := e.Recommend(u, 3); err != nil {
+						t.Errorf("recommend: %v", err)
+					}
+				case 1:
+					_, _ = e.Explain(u, items[op%len(items)].ID)
+				case 2:
+					e.Rate(u, items[op%len(items)].ID, 3)
+				case 3:
+					e.RemoveRating(u, items[op%len(items)].ID)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestEngineSnapshotIsolation checks the copy-on-write contract
+// directly: a reader holding a pre-write view (via Ratings) does not
+// observe a concurrent Rate, while post-write readers do.
+func TestEngineSnapshotIsolation(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 78, Users: 10, Items: 20, RatingsPerUser: 5})
+	e, err := New(c.Catalog, c.Ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target model.ItemID
+	for _, it := range c.Catalog.Items() {
+		if _, rated := c.Ratings.Get(3, it.ID); !rated {
+			target = it.ID
+			break
+		}
+	}
+	before := e.Ratings()
+	e.Rate(3, target, 5)
+	if _, ok := before.Get(3, target); ok {
+		t.Fatal("pre-write snapshot observed the write")
+	}
+	if v, ok := e.Ratings().Get(3, target); !ok || v != 5 {
+		t.Fatalf("post-write snapshot missed the write: %v %v", v, ok)
+	}
+	if _, ok := c.Ratings.Get(3, target); ok {
+		t.Fatal("engine mutated the caller's matrix")
+	}
+}
+
+// TestEngineContextCancellation checks that the Context read variants
+// respect an already-cancelled context.
+func TestEngineContextCancellation(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 79, Users: 10, Items: 20, RatingsPerUser: 5})
+	e, err := New(c.Catalog, c.Ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RecommendContext(ctx, 1, 5); err != context.Canceled {
+		t.Fatalf("RecommendContext err = %v", err)
+	}
+	if _, err := e.ExplainContext(ctx, 1, c.Catalog.Items()[0].ID); err != context.Canceled {
+		t.Fatalf("ExplainContext err = %v", err)
+	}
+	if _, err := e.WhyLowContext(ctx, 1, c.Catalog.Items()[0].ID); err != context.Canceled {
+		t.Fatalf("WhyLowContext err = %v", err)
+	}
+	if _, err := e.BrowseAllContext(ctx, 1); err != context.Canceled {
+		t.Fatalf("BrowseAllContext err = %v", err)
+	}
+	if _, err := e.SimilarToContext(ctx, 1, c.Catalog.Items()[0].ID, 3); err != context.Canceled {
+		t.Fatalf("SimilarToContext err = %v", err)
+	}
+}

@@ -12,12 +12,40 @@
 //	why, err := eng.Explain(userID, itemID)    // on-demand justification
 //	eng.Rate(userID, itemID, 4.5)              // rating feedback
 //	eng.Opinion(userID, interact.Opinion{...}) // opinion feedback
+//
+// # Concurrency model
+//
+// The Engine is safe for concurrent use and its read path is
+// lock-free: Recommend, Explain, WhyLow, BrowseAll and SimilarTo load
+// an immutable snapshot (rating matrix, recommenders with
+// concurrency-safe caches, wired explainers) from an atomic pointer
+// and never take a global lock. Writes (Rate, RemoveRating,
+// SetInfluenceWeight) serialise on a writer mutex, apply the mutation
+// to a copy-on-write clone of the matrix, and publish a new snapshot
+// that reuses every cached similarity and trained table not involving
+// the touched user. Opinion feedback lives outside snapshots in a
+// sharded per-user map, so one user's opinion update never blocks
+// another user's read; two requests for the same user serialise only
+// on that user's entry. Usage counters are atomics.
+//
+// Consequently the Engine treats the matrix passed to New as input: it
+// is never mutated. Read the live state through Ratings(), which
+// returns the current snapshot's matrix.
+//
+// Custom recommenders and explainers installed via WithRecommender /
+// WithExplainer join the lock-free path when they implement
+// recsys.MatrixRebinder / explain.MatrixRebinder; otherwise the engine
+// degrades gracefully to guarding reads with a read-write lock (reads
+// still run concurrently with each other; writes are exclusive and
+// mutate the matrix in place).
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/explain"
 	"repro/internal/interact"
@@ -30,30 +58,56 @@ import (
 	"repro/internal/rng"
 )
 
-// Engine is a configured explanation-capable recommender. It is safe
-// for concurrent use: operations serialise on an internal mutex (the
-// recommenders cache similarity computations lazily, so even reads
-// mutate state).
+// Engine is a configured explanation-capable recommender. See the
+// package documentation for the concurrency model: lock-free
+// snapshot reads, serialised copy-on-write writes.
 type Engine struct {
-	mu      sync.Mutex
-	catalog *model.Catalog
-	ratings *model.Matrix
-
-	rec         recsys.Recommender
-	explainer   explain.Explainer
-	low         present.LowExplainer
+	catalog     *model.Catalog
 	personality present.Personality
-	rnd         *rng.RNG
+	baseSeed    uint64
 
-	// feedback holds per-user opinion state (Section 5.4).
-	feedback map[model.UserID]*interact.FeedbackModel
+	// customRec / customExp are set by options; non-nil values replace
+	// the default hybrid stack on the serving path.
+	customRec recsys.Recommender
+	customExp explain.Explainer
 
-	// bayes is the default content model, retained so influence
-	// weights can be edited; nil when a custom recommender was
-	// installed.
+	// writeMu serialises all snapshot-publishing mutations.
+	writeMu sync.Mutex
+	// snap is the current immutable snapshot; readers Load it once per
+	// operation and work on a consistent view.
+	snap atomic.Pointer[snapshot]
+
+	// users holds per-user feedback models and exploration RNGs,
+	// sharded so cross-user operations never contend.
+	users userStates
+
+	stats counters
+}
+
+// snapshot is one immutable generation of the engine's model state.
+// Everything reachable from a snapshot is either never mutated after
+// publication or internally concurrency-safe (sharded caches).
+type snapshot struct {
+	ratings   *model.Matrix
+	rec       recsys.Recommender
+	explainer explain.Explainer
+	low       present.LowExplainer
+
+	// Default substrate, rebound (caches carried, touched entries
+	// dropped) on every write. Explanations are always grounded in it
+	// unless a custom explainer is installed.
+	knn   *cf.UserKNN
 	bayes *content.Bayes
+	kw    *content.KeywordRecommender
 
-	stats Stats
+	// editable reports whether SetInfluenceWeight may edit bayes: only
+	// when the default stack is also the serving recommender.
+	editable bool
+
+	// guard is non-nil when a custom component cannot be rebound to a
+	// new matrix: reads RLock it, writes Lock it and mutate the matrix
+	// in place. Nil on the lock-free path.
+	guard *sync.RWMutex
 }
 
 // Stats are the engine's usage counters. The survey's Section 3 lists
@@ -66,17 +120,30 @@ type Stats struct {
 	RepairActions      int // ratings changed/removed + opinions applied
 }
 
+// counters is the atomic backing store for Stats, so pure reads never
+// touch a lock just to bump a number.
+type counters struct {
+	recommendations    atomic.Int64
+	explanationsServed atomic.Int64
+	whyLowQueries      atomic.Int64
+	repairActions      atomic.Int64
+}
+
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithRecommender replaces the default hybrid recommender.
+// WithRecommender replaces the default hybrid recommender. If r
+// implements recsys.MatrixRebinder the engine keeps its lock-free read
+// path; otherwise reads are guarded by a read-write lock.
 func WithRecommender(r recsys.Recommender) Option {
-	return func(e *Engine) { e.rec = r }
+	return func(e *Engine) { e.customRec = r }
 }
 
-// WithExplainer replaces the default explainer.
+// WithExplainer replaces the default explainer. If x implements
+// explain.MatrixRebinder the engine keeps its lock-free read path;
+// otherwise reads are guarded by a read-write lock.
 func WithExplainer(x explain.Explainer) Option {
-	return func(e *Engine) { e.explainer = x }
+	return func(e *Engine) { e.customExp = x }
 }
 
 // WithPersonality sets the recommender personality (Section 4.6).
@@ -86,9 +153,11 @@ func WithPersonality(p present.Personality) Option {
 }
 
 // WithSeed seeds the engine's exploration randomness (surprise-me
-// picks). Engines with equal seeds behave identically.
+// picks). Each user's exploration stream is derived deterministically
+// from the seed and the user ID, so engines with equal seeds behave
+// identically regardless of request interleaving across users.
 func WithSeed(seed uint64) Option {
-	return func(e *Engine) { e.rnd = rng.New(seed) }
+	return func(e *Engine) { e.baseSeed = seed }
 }
 
 // New builds an Engine over a catalogue and rating matrix. The default
@@ -96,6 +165,10 @@ func WithSeed(seed uint64) Option {
 // filtering and a naive-Bayes content model, explained by whichever
 // source dominates each prediction — collaborative evidence gets a
 // neighbour histogram, content evidence an influence report.
+//
+// The matrix is treated as immutable input: the engine never writes to
+// it, publishing copy-on-write clones instead (see the package
+// documentation).
 func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, error) {
 	if cat == nil || cat.Len() == 0 {
 		return nil, errors.New("core: empty catalogue")
@@ -103,82 +176,156 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 	if ratings == nil {
 		return nil, errors.New("core: nil rating matrix")
 	}
-	e := &Engine{
-		catalog:  cat,
-		ratings:  ratings,
-		rnd:      rng.New(1),
-		feedback: map[model.UserID]*interact.FeedbackModel{},
-	}
-	knn := cf.NewUserKNN(ratings, cat, cf.Options{})
-	bayes := content.NewBayes(ratings, cat)
-	e.bayes = bayes
-	kw := content.NewKeywordRecommender(ratings, cat)
-	h := hybrid.New(cat,
-		hybrid.Source{Name: "collaborative", Weight: 2, Predictor: knn},
-		hybrid.Source{Name: "content", Weight: 1, Predictor: bayes},
-	)
-	e.rec = h
-	hx := explain.NewHybridExplainer(h, map[string]explain.Explainer{
-		"collaborative": explain.NewHistogramExplainer(knn),
-		"content":       explain.NewInfluenceExplainer(bayes, cat),
-	})
-	hx.Fallback = explain.NewProfileExplainer(kw)
-	e.explainer = hx
-	e.low = explain.NewProfileExplainer(kw)
+	e := &Engine{catalog: cat, baseSeed: 1}
+	e.users.init()
 	for _, opt := range opts {
 		opt(e)
 	}
+
+	s := &snapshot{
+		ratings: ratings,
+		knn:     cf.NewUserKNN(ratings, cat, cf.Options{}),
+		bayes:   content.NewBayes(ratings, cat),
+		kw:      content.NewKeywordRecommender(ratings, cat),
+	}
+	e.wire(s)
+	if e.customRec != nil {
+		s.rec = e.customRec
+		s.editable = false
+	}
+	if e.customExp != nil {
+		s.explainer = e.customExp
+	}
+	if e.needsGuard() {
+		s.guard = &sync.RWMutex{}
+	}
+	e.snap.Store(s)
 	return e, nil
+}
+
+// needsGuard reports whether any installed custom component cannot be
+// rebound to a fresh matrix, forcing the guarded (read-write-locked)
+// compatibility mode.
+func (e *Engine) needsGuard() bool {
+	if e.customRec != nil {
+		if _, ok := e.customRec.(recsys.MatrixRebinder); !ok {
+			return true
+		}
+	}
+	if e.customExp != nil {
+		if _, ok := e.customExp.(explain.MatrixRebinder); !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// wire builds the serving hybrid recommender and default explainer
+// graph from the snapshot's substrate components.
+func (e *Engine) wire(s *snapshot) {
+	h := hybrid.New(e.catalog,
+		hybrid.Source{Name: "collaborative", Weight: 2, Predictor: s.knn},
+		hybrid.Source{Name: "content", Weight: 1, Predictor: s.bayes},
+	)
+	hx := explain.NewHybridExplainer(h, map[string]explain.Explainer{
+		"collaborative": explain.NewHistogramExplainer(s.knn),
+		"content":       explain.NewInfluenceExplainer(s.bayes, e.catalog),
+	})
+	hx.Fallback = explain.NewProfileExplainer(s.kw)
+	s.rec = h
+	s.explainer = hx
+	s.low = explain.NewProfileExplainer(s.kw)
+	s.editable = true
+}
+
+// rebuild publishes-ready state for a new matrix generation: the
+// substrate is rebound carrying over every cache entry not involving a
+// touched user, and custom components are rebound when they support
+// it or carried as-is in guarded mode.
+func (e *Engine) rebuild(prev *snapshot, m *model.Matrix, touched ...model.UserID) *snapshot {
+	s := &snapshot{
+		ratings: m,
+		guard:   prev.guard,
+		knn:     prev.knn.Rebind(m, touched...),
+		bayes:   prev.bayes.Rebind(m, touched...),
+		kw:      prev.kw.Rebind(m, touched...),
+	}
+	e.wire(s)
+	if e.customRec != nil {
+		if rb, ok := prev.rec.(recsys.MatrixRebinder); ok {
+			s.rec = rb.RebindMatrix(m, touched...)
+		} else {
+			s.rec = prev.rec
+		}
+		s.editable = false
+	}
+	if e.customExp != nil {
+		if rb, ok := prev.explainer.(explain.MatrixRebinder); ok {
+			s.explainer = rb.RebindMatrix(m, touched...)
+		} else {
+			s.explainer = prev.explainer
+		}
+	}
+	return s
 }
 
 // Catalog returns the engine's catalogue.
 func (e *Engine) Catalog() *model.Catalog { return e.catalog }
 
-// Ratings returns the engine's rating matrix.
-func (e *Engine) Ratings() *model.Matrix { return e.ratings }
-
-// feedbackFor lazily creates the per-user feedback model.
-func (e *Engine) feedbackFor(u model.UserID) *interact.FeedbackModel {
-	fb, ok := e.feedback[u]
-	if !ok {
-		fb = interact.NewFeedbackModel()
-		e.feedback[u] = fb
-	}
-	return fb
-}
+// Ratings returns the current snapshot's rating matrix. The returned
+// matrix is a point-in-time view: treat it as read-only, and call
+// Ratings again after writes to observe them. The matrix originally
+// passed to New is never mutated.
+func (e *Engine) Ratings() *model.Matrix { return e.snap.Load().ratings }
 
 // Recommend returns an explained top-n presentation for u: base
 // predictions, personality adjustment, opinion-feedback re-ranking,
 // then explanation of each surviving entry.
 func (e *Engine) Recommend(u model.UserID, n int) (*present.Presentation, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	return e.RecommendContext(context.Background(), u, n)
+}
+
+// RecommendContext is Recommend with cancellation: ctx is checked
+// before ranking and between per-entry explanation generations, so a
+// cancelled request stops paying the explanation cost mid-list.
+func (e *Engine) RecommendContext(ctx context.Context, u model.UserID, n int) (*present.Presentation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: n must be positive, got %d", n)
+	}
+	s := e.snap.Load()
+	if s.guard != nil {
+		s.guard.RLock()
+		defer s.guard.RUnlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Rank a wide pool so personality and feedback have room to work.
 	pool := n * 4
 	if pool < 20 {
 		pool = 20
 	}
-	preds := e.rec.Recommend(u, pool, recsys.ExcludeRated(e.ratings, u))
+	preds := s.rec.Recommend(u, pool, recsys.ExcludeRated(s.ratings, u))
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("user %d: %w", u, recsys.ErrColdStart)
 	}
-	e.stats.Recommendations++
+	e.stats.recommendations.Add(1)
 	preds = e.personality.Apply(e.catalog, preds)
-	preds = e.feedbackFor(u).Rerank(e.catalog, preds, e.rnd)
+	preds = e.users.get(u, e.baseSeed).rerank(e.catalog, preds)
 	preds = recsys.TopN(preds, n)
 	p := &present.Presentation{Title: fmt.Sprintf("Top %d for you", len(preds))}
 	for _, pr := range preds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		it, err := e.catalog.Item(pr.Item)
 		if err != nil {
 			continue
 		}
 		var exp *explain.Explanation
-		if got, err := e.explainer.Explain(u, it); err == nil {
+		if got, err := s.explainer.Explain(u, it); err == nil {
 			exp = e.personality.Decorate(got)
-			e.stats.ExplanationsServed++
+			e.stats.explanationsServed.Add(1)
 		}
 		p.Entries = append(p.Entries, present.Entry{Item: it, Prediction: pr, Explanation: exp})
 	}
@@ -187,78 +334,141 @@ func (e *Engine) Recommend(u model.UserID, n int) (*present.Presentation, error)
 
 // Explain justifies recommending item to u on demand.
 func (e *Engine) Explain(u model.UserID, item model.ItemID) (*explain.Explanation, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	return e.ExplainContext(context.Background(), u, item)
+}
+
+// ExplainContext is Explain with cancellation.
+func (e *Engine) ExplainContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
+	s := e.snap.Load()
+	if s.guard != nil {
+		s.guard.RLock()
+		defer s.guard.RUnlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	it, err := e.catalog.Item(item)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	exp, err := e.explainer.Explain(u, it)
+	exp, err := s.explainer.Explain(u, it)
 	if err != nil {
 		return nil, err
 	}
-	e.stats.ExplanationsServed++
+	e.stats.explanationsServed.Add(1)
 	return e.personality.Decorate(exp), nil
 }
 
 // WhyLow answers "why is this item predicted low for me?" — the
 // scrutability entry point of Section 4.4.
 func (e *Engine) WhyLow(u model.UserID, item model.ItemID) (*explain.Explanation, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	return e.WhyLowContext(context.Background(), u, item)
+}
+
+// WhyLowContext is WhyLow with cancellation.
+func (e *Engine) WhyLowContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
+	s := e.snap.Load()
+	if s.guard != nil {
+		s.guard.RLock()
+		defer s.guard.RUnlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	it, err := e.catalog.Item(item)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	exp, err := e.low.ExplainLow(u, it)
+	exp, err := s.low.ExplainLow(u, it)
 	if err != nil {
 		return nil, err
 	}
-	e.stats.WhyLowQueries++
+	e.stats.whyLowQueries.Add(1)
 	return exp, nil
 }
 
 // BrowseAll returns the predicted-ratings-for-everything view of
 // Section 4.4.
 func (e *Engine) BrowseAll(u model.UserID) *present.RatingsView {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return present.PredictedRatings(e.catalog, e.rec, e.low, u)
+	v, _ := e.BrowseAllContext(context.Background(), u)
+	return v
+}
+
+// BrowseAllContext is BrowseAll with cancellation; the only possible
+// error is the context's.
+func (e *Engine) BrowseAllContext(ctx context.Context, u model.UserID) (*present.RatingsView, error) {
+	s := e.snap.Load()
+	if s.guard != nil {
+		s.guard.RLock()
+		defer s.guard.RUnlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return present.PredictedRatings(e.catalog, s.rec, s.low, u), nil
 }
 
 // SimilarTo presents items similar to a seed item (Section 4.3).
 func (e *Engine) SimilarTo(u model.UserID, seed model.ItemID, n int) (*present.Presentation, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	return e.SimilarToContext(context.Background(), u, seed, n)
+}
+
+// SimilarToContext is SimilarTo with cancellation.
+func (e *Engine) SimilarToContext(ctx context.Context, u model.UserID, seed model.ItemID, n int) (*present.Presentation, error) {
+	s := e.snap.Load()
+	if s.guard != nil {
+		s.guard.RLock()
+		defer s.guard.RUnlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	it, err := e.catalog.Item(seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return present.SimilarToTop(e.catalog, it, n, recsys.ExcludeRated(e.ratings, u)), nil
+	return present.SimilarToTop(e.catalog, it, n, recsys.ExcludeRated(s.ratings, u)), nil
+}
+
+// mutate applies one matrix mutation for user u and publishes the next
+// snapshot generation. On the lock-free path the mutation lands on a
+// copy-on-write clone, so readers of the current snapshot never see
+// it; in guarded mode the matrix is mutated in place under the write
+// lock.
+func (e *Engine) mutate(u model.UserID, apply func(*model.Matrix)) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.snap.Load()
+	if cur.guard != nil {
+		cur.guard.Lock()
+		apply(cur.ratings)
+		cur.guard.Unlock()
+		e.snap.Store(e.rebuild(cur, cur.ratings, u))
+		return
+	}
+	m := cur.ratings.CloneShared()
+	apply(m)
+	e.snap.Store(e.rebuild(cur, m, u))
 }
 
 // Rate records (or corrects) a rating — Section 5.3 interaction. The
 // next Recommend call reflects it immediately, closing the
 // scrutability cycle.
 func (e *Engine) Rate(u model.UserID, item model.ItemID, value float64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.ratings.Set(u, item, model.ClampRating(value))
-	e.stats.RepairActions++
+	e.mutate(u, func(m *model.Matrix) { m.Set(u, item, model.ClampRating(value)) })
+	e.stats.repairActions.Add(1)
 }
 
 // RemoveRating withdraws a past rating.
 func (e *Engine) RemoveRating(u model.UserID, item model.ItemID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.ratings.Delete(u, item)
-	e.stats.RepairActions++
+	e.mutate(u, func(m *model.Matrix) { m.Delete(u, item) })
+	e.stats.repairActions.Add(1)
 }
 
-// Opinion applies explicit opinion feedback (Section 5.4).
+// Opinion applies explicit opinion feedback (Section 5.4). Feedback
+// lives outside model snapshots, so this blocks neither other users'
+// reads nor writers: it serialises only on u's own feedback entry.
 func (e *Engine) Opinion(u model.UserID, op interact.Opinion) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var it *model.Item
 	if op.Kind != interact.SurpriseMe {
 		var err error
@@ -267,10 +477,14 @@ func (e *Engine) Opinion(u model.UserID, op interact.Opinion) error {
 			return fmt.Errorf("core: %w", err)
 		}
 	}
-	if err := e.feedbackFor(u).Apply(op, it); err != nil {
+	st := e.users.get(u, e.baseSeed)
+	st.mu.Lock()
+	err := st.fb.Apply(op, it)
+	st.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	e.stats.RepairActions++
+	e.stats.repairActions.Add(1)
 	return nil
 }
 
@@ -284,30 +498,111 @@ var ErrNoInfluenceModel = errors.New("core: no editable influence model configur
 // functionality could be implemented"). Weight 0 silences the rating,
 // 1 is the default. It counts as a repair action.
 func (e *Engine) SetInfluenceWeight(u model.UserID, item model.ItemID, weight float64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.bayes == nil {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.snap.Load()
+	if !cur.editable || cur.bayes == nil {
 		return ErrNoInfluenceModel
 	}
 	if _, err := e.catalog.Item(item); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	e.bayes.SetInfluenceWeight(u, item, weight)
-	e.stats.RepairActions++
+	// The matrix is unchanged, so the collaborative and keyword caches
+	// carry over whole; only the Bayes model takes the copy-on-write
+	// edit and drops u's trained table.
+	next := &snapshot{
+		ratings: cur.ratings,
+		guard:   cur.guard,
+		knn:     cur.knn,
+		kw:      cur.kw,
+		bayes:   cur.bayes.WithInfluenceWeight(u, item, weight),
+	}
+	e.wire(next)
+	if e.customExp != nil {
+		next.explainer = cur.explainer
+	}
+	e.stats.repairActions.Add(1)
+	e.snap.Store(next)
 	return nil
 }
 
 // Metrics returns a snapshot of the engine's usage counters.
 func (e *Engine) Metrics() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		Recommendations:    int(e.stats.recommendations.Load()),
+		ExplanationsServed: int(e.stats.explanationsServed.Load()),
+		WhyLowQueries:      int(e.stats.whyLowQueries.Load()),
+		RepairActions:      int(e.stats.repairActions.Load()),
+	}
 }
 
 // Surprise reports the user's current exploration rate — the sliding
 // bar of Section 5.4.
 func (e *Engine) Surprise(u model.UserID) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.feedbackFor(u).Surprise()
+	st := e.users.get(u, e.baseSeed)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fb.Surprise()
+}
+
+// ---- per-user interaction state ----
+
+// userState is one user's mutable interaction state: the opinion
+// feedback model and the exploration RNG that splices surprise picks.
+// Both are guarded by mu; contention is strictly per-user.
+type userState struct {
+	mu  sync.Mutex
+	fb  *interact.FeedbackModel
+	rnd *rng.RNG
+}
+
+// rerank applies the user's feedback model (and exploration RNG) to a
+// prediction list under the user's own lock.
+func (st *userState) rerank(cat *model.Catalog, preds []recsys.Prediction) []recsys.Prediction {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fb.Rerank(cat, preds, st.rnd)
+}
+
+// userShards is the stripe count of the per-user state map; 64 keeps
+// map-lookup contention negligible at realistic core counts.
+const userShards = 64
+
+type userShard struct {
+	mu sync.RWMutex
+	m  map[model.UserID]*userState
+}
+
+// userStates is a sharded lazy map of userState keyed by user ID.
+type userStates struct {
+	shards [userShards]userShard
+}
+
+func (us *userStates) init() {
+	for i := range us.shards {
+		us.shards[i].m = make(map[model.UserID]*userState)
+	}
+}
+
+// get returns u's state, creating it on first use with an exploration
+// RNG derived deterministically from the engine seed and the user ID.
+func (us *userStates) get(u model.UserID, seed uint64) *userState {
+	h := uint64(int64(u)) * 0x9E3779B97F4A7C15
+	sh := &us.shards[(h>>32)%userShards]
+	sh.mu.RLock()
+	st := sh.m[u]
+	sh.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st = sh.m[u]; st == nil {
+		st = &userState{
+			fb:  interact.NewFeedbackModel(),
+			rnd: rng.New(seed ^ h),
+		}
+		sh.m[u] = st
+	}
+	return st
 }

@@ -370,7 +370,6 @@ func TestEngineInfluenceEditing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	custom.bayes = nil
 	if err := custom.SetInfluenceWeight(u, rated, 0.5); !errors.Is(err, ErrNoInfluenceModel) {
 		t.Fatalf("err = %v", err)
 	}

@@ -114,6 +114,20 @@ type Explainer interface {
 // fallback is explicit, never silent.
 var ErrNoEvidence = errors.New("explain: no evidence for explanation")
 
+// MatrixRebinder is the optional contract a custom Explainer implements
+// to participate in snapshot-based concurrency (see DESIGN.md,
+// "Concurrency model"): it returns an explainer equivalent to the
+// receiver but grounded in m. The receiver must stay fully usable —
+// readers of an older snapshot keep explaining from it — and the
+// returned explainer must itself implement MatrixRebinder. Custom
+// explainers installed on an engine without this interface are served
+// behind a read-write lock instead of lock-free snapshots. The
+// explainers in this package are rebuilt per snapshot by the engine
+// itself and do not need it.
+type MatrixRebinder interface {
+	RebindMatrix(m *model.Matrix, touched ...model.UserID) Explainer
+}
+
 // countGoodBad splits neighbour ratings into the "good" (>= 4) and
 // "bad" (<= 2) clusters of the winning Herlocker histogram interface.
 func countGoodBad(neighbors []cf.UserNeighbor) (good, neutral, bad int) {

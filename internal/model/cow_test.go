@@ -1,0 +1,103 @@
+package model
+
+import "testing"
+
+func seedMatrix() *Matrix {
+	m := NewMatrix()
+	m.Set(1, 10, 4)
+	m.Set(1, 11, 2)
+	m.Set(2, 10, 5)
+	m.Set(2, 12, 3)
+	m.Set(3, 11, 1)
+	return m
+}
+
+func TestCloneSharedIsolation(t *testing.T) {
+	orig := seedMatrix()
+	cp := orig.CloneShared()
+
+	// The clone initially mirrors the original exactly.
+	if cp.Len() != orig.Len() || cp.GlobalMean() != orig.GlobalMean() {
+		t.Fatalf("clone differs before mutation: len %d vs %d", cp.Len(), orig.Len())
+	}
+
+	// Overwrite, insert and delete on the clone...
+	cp.Set(1, 10, 1) // overwrite shared row
+	cp.Set(4, 13, 5) // brand-new user and item
+	cp.Delete(2, 12) // delete from shared row
+
+	// ...must be invisible in the original.
+	if v, _ := orig.Get(1, 10); v != 4 {
+		t.Fatalf("original saw clone's overwrite: %v", v)
+	}
+	if _, ok := orig.Get(4, 13); ok {
+		t.Fatal("original saw clone's insert")
+	}
+	if v, ok := orig.Get(2, 12); !ok || v != 3 {
+		t.Fatal("original saw clone's delete")
+	}
+	// And visible in the clone, with sums tracking.
+	if v, _ := cp.Get(1, 10); v != 1 {
+		t.Fatalf("clone lost its own write: %v", v)
+	}
+	if mean, ok := cp.UserMean(1); !ok || mean != 1.5 {
+		t.Fatalf("clone user mean = %v %v", mean, ok)
+	}
+	if mean, ok := orig.UserMean(1); !ok || mean != 3 {
+		t.Fatalf("original user mean drifted = %v %v", mean, ok)
+	}
+	if cp.Len() != orig.Len() { // +1 insert, -1 delete
+		t.Fatalf("len: clone %d orig %d", cp.Len(), orig.Len())
+	}
+}
+
+func TestCloneSharedWriteToDonorAfterClone(t *testing.T) {
+	// The donor matrix is typically retired after cloning, but writes
+	// to it must still not leak into the clone's unshared rows.
+	orig := seedMatrix()
+	cp := orig.CloneShared()
+	cp.Set(1, 10, 5) // unshare row 1 in the clone
+
+	orig.Set(1, 11, 5)
+	if v, _ := cp.Get(1, 11); v != 2 {
+		t.Fatalf("clone's owned row saw donor write: %v", v)
+	}
+}
+
+func TestCloneSharedChain(t *testing.T) {
+	// Clone-of-clone: each generation stays isolated.
+	g0 := seedMatrix()
+	g1 := g0.CloneShared()
+	g1.Set(3, 11, 5)
+	g2 := g1.CloneShared()
+	g2.Delete(3, 11)
+
+	if v, _ := g0.Get(3, 11); v != 1 {
+		t.Fatalf("g0 = %v", v)
+	}
+	if v, _ := g1.Get(3, 11); v != 5 {
+		t.Fatalf("g1 = %v", v)
+	}
+	if _, ok := g2.Get(3, 11); ok {
+		t.Fatal("g2 still has deleted rating")
+	}
+	// Sums stay exact along the chain.
+	if got := g1.GlobalMean(); got == g0.GlobalMean() {
+		t.Fatal("g1 mean should differ after overwrite")
+	}
+	if g2.Len() != g1.Len()-1 {
+		t.Fatalf("g2 len = %d, g1 len = %d", g2.Len(), g1.Len())
+	}
+}
+
+func TestCloneSharedDeleteMissing(t *testing.T) {
+	orig := seedMatrix()
+	cp := orig.CloneShared()
+	cp.Delete(1, 999) // absent item: no-op, must not unshare or corrupt
+	if cp.Len() != orig.Len() {
+		t.Fatalf("len changed: %d vs %d", cp.Len(), orig.Len())
+	}
+	if v, ok := cp.Get(1, 10); !ok || v != 4 {
+		t.Fatalf("row corrupted: %v %v", v, ok)
+	}
+}

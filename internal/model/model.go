@@ -258,6 +258,11 @@ type Rating struct {
 // iteration order — experiment output must be bit-identical across
 // runs, and floating-point addition is not commutative under
 // reordering.
+//
+// Concurrency: a Matrix is safe for concurrent readers as long as no
+// writer is active. Snapshot-style writers use CloneShared to obtain a
+// copy-on-write clone, mutate the clone, and publish it; readers of
+// the original never observe the mutation.
 type Matrix struct {
 	byUser   map[UserID]map[ItemID]float64
 	byItem   map[ItemID]map[UserID]float64
@@ -265,6 +270,13 @@ type Matrix struct {
 	itemSum  map[ItemID]float64
 	totalSum float64
 	count    int
+
+	// sharedUserRows / sharedItemRows mark rows whose inner maps are
+	// shared with the Matrix this one was CloneShared from. Set and
+	// Delete copy a shared row before mutating it, so the donor matrix
+	// (and any concurrent readers of it) never see the change.
+	sharedUserRows map[UserID]bool
+	sharedItemRows map[ItemID]bool
 }
 
 // NewMatrix returns an empty rating matrix.
@@ -277,13 +289,82 @@ func NewMatrix() *Matrix {
 	}
 }
 
+// CloneShared returns a copy-on-write clone: the outer indexes and sum
+// tables are copied (O(users+items)), but every row's inner map is
+// shared with the receiver. Mutating the clone via Set or Delete copies
+// only the touched rows, leaving the receiver — and any goroutines
+// still reading it — untouched. This is the cheap publication step of
+// the snapshot concurrency model (see DESIGN.md): clone, mutate, swap.
+func (m *Matrix) CloneShared() *Matrix {
+	cp := &Matrix{
+		byUser:         make(map[UserID]map[ItemID]float64, len(m.byUser)),
+		byItem:         make(map[ItemID]map[UserID]float64, len(m.byItem)),
+		userSum:        make(map[UserID]float64, len(m.userSum)),
+		itemSum:        make(map[ItemID]float64, len(m.itemSum)),
+		totalSum:       m.totalSum,
+		count:          m.count,
+		sharedUserRows: make(map[UserID]bool, len(m.byUser)),
+		sharedItemRows: make(map[ItemID]bool, len(m.byItem)),
+	}
+	for u, row := range m.byUser {
+		cp.byUser[u] = row
+		cp.sharedUserRows[u] = true
+	}
+	for i, row := range m.byItem {
+		cp.byItem[i] = row
+		cp.sharedItemRows[i] = true
+	}
+	for u, s := range m.userSum {
+		cp.userSum[u] = s
+	}
+	for i, s := range m.itemSum {
+		cp.itemSum[i] = s
+	}
+	return cp
+}
+
+// ownUserRow returns u's row, first unsharing it if it is still shared
+// with a CloneShared donor.
+func (m *Matrix) ownUserRow(u UserID) map[ItemID]float64 {
+	row := m.byUser[u]
+	if m.sharedUserRows != nil && m.sharedUserRows[u] {
+		owned := make(map[ItemID]float64, len(row)+1)
+		for k, v := range row {
+			owned[k] = v
+		}
+		m.byUser[u] = owned
+		delete(m.sharedUserRows, u)
+		row = owned
+	}
+	return row
+}
+
+// ownItemRow returns i's row, first unsharing it if needed.
+func (m *Matrix) ownItemRow(i ItemID) map[UserID]float64 {
+	row := m.byItem[i]
+	if m.sharedItemRows != nil && m.sharedItemRows[i] {
+		owned := make(map[UserID]float64, len(row)+1)
+		for k, v := range row {
+			owned[k] = v
+		}
+		m.byItem[i] = owned
+		delete(m.sharedItemRows, i)
+		row = owned
+	}
+	return row
+}
+
 // Set records (or overwrites) a rating.
 func (m *Matrix) Set(u UserID, i ItemID, v float64) {
 	if m.byUser[u] == nil {
 		m.byUser[u] = make(map[ItemID]float64)
+	} else {
+		m.ownUserRow(u)
 	}
 	if m.byItem[i] == nil {
 		m.byItem[i] = make(map[UserID]float64)
+	} else {
+		m.ownItemRow(i)
 	}
 	if old, existed := m.byUser[u][i]; existed {
 		m.userSum[u] -= old
@@ -306,8 +387,8 @@ func (m *Matrix) Delete(u UserID, i ItemID) {
 	if !ok {
 		return
 	}
-	delete(m.byUser[u], i)
-	delete(m.byItem[i], u)
+	delete(m.ownUserRow(u), i)
+	delete(m.ownItemRow(i), u)
 	m.userSum[u] -= old
 	m.itemSum[i] -= old
 	m.totalSum -= old

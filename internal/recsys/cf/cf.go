@@ -62,14 +62,16 @@ func (o Options) withDefaults() Options {
 }
 
 // UserKNN is user-based collaborative filtering over a fixed rating
-// matrix. Similarities are computed lazily and cached; the recommender
-// is safe for concurrent reads only after a warm-up or when used from
-// one goroutine (our experiments are single-goroutine per community).
+// matrix. Similarities are computed lazily and stored in a sharded,
+// lock-striped cache, so the recommender is safe for any number of
+// concurrent readers with no warm-up. The matrix itself must not be
+// mutated while readers are active; snapshot engines swap in a new
+// matrix via Rebind instead of mutating in place.
 type UserKNN struct {
 	m    *model.Matrix
 	cat  *model.Catalog
 	opts Options
-	sims map[model.UserID]map[model.UserID]simEntry
+	sims *simCache
 }
 
 type simEntry struct {
@@ -83,7 +85,7 @@ func NewUserKNN(m *model.Matrix, cat *model.Catalog, opts Options) *UserKNN {
 		m:    m,
 		cat:  cat,
 		opts: opts.withDefaults(),
-		sims: make(map[model.UserID]map[model.UserID]simEntry),
+		sims: newSimCache(),
 	}
 }
 
@@ -93,14 +95,28 @@ func (k *UserKNN) Name() string { return "user-knn" }
 // K returns the configured neighbourhood size.
 func (k *UserKNN) K() int { return k.opts.K }
 
-func (k *UserKNN) similarity(a, b model.UserID) simEntry {
-	if a > b {
-		a, b = b, a
+// Rebind returns a UserKNN over m that reuses every cached similarity
+// except the pairs involving a touched user. Pearson similarity
+// depends only on the two users' own rating rows, so dropping exactly
+// the touched users keeps the carried-over cache exact. Snapshot
+// engines call this on every write so one rating change costs one
+// user's worth of recomputation, not the whole community's.
+func (k *UserKNN) Rebind(m *model.Matrix, touched ...model.UserID) *UserKNN {
+	drop := make([]int64, len(touched))
+	for i, u := range touched {
+		drop[i] = int64(u)
 	}
-	if row, ok := k.sims[a]; ok {
-		if e, ok := row[b]; ok {
-			return e
-		}
+	return &UserKNN{m: m, cat: k.cat, opts: k.opts, sims: k.sims.cloneWithout(drop...)}
+}
+
+// RebindMatrix implements recsys.MatrixRebinder.
+func (k *UserKNN) RebindMatrix(m *model.Matrix, touched ...model.UserID) recsys.Recommender {
+	return k.Rebind(m, touched...)
+}
+
+func (k *UserKNN) similarity(a, b model.UserID) simEntry {
+	if e, ok := k.sims.get(int64(a), int64(b)); ok {
+		return e
 	}
 	e := pearson(k.m.UserRatings(a), k.m.UserRatings(b))
 	if e.overlap < k.opts.MinOverlap {
@@ -108,10 +124,7 @@ func (k *UserKNN) similarity(a, b model.UserID) simEntry {
 	} else if k.opts.ShrinkAt > 0 {
 		e.sim *= float64(e.overlap) / (float64(e.overlap) + k.opts.ShrinkAt)
 	}
-	if k.sims[a] == nil {
-		k.sims[a] = make(map[model.UserID]simEntry)
-	}
-	k.sims[a][b] = e
+	k.sims.put(int64(a), int64(b), e)
 	return e
 }
 
@@ -237,11 +250,12 @@ func (k *UserKNN) Recommend(u model.UserID, n int, exclude func(model.ItemID) bo
 // similarity (each rating centred on its user's mean before the cosine,
 // as in Sarwar et al.). Evidence is the set of the user's own rated
 // items most similar to the target — the "because you liked Y" form.
+// Like UserKNN it is safe for concurrent readers over a fixed matrix.
 type ItemKNN struct {
 	m    *model.Matrix
 	cat  *model.Catalog
 	opts Options
-	sims map[model.ItemID]map[model.ItemID]simEntry
+	sims *simCache
 }
 
 // NewItemKNN builds an item-based kNN recommender over m and cat.
@@ -250,21 +264,30 @@ func NewItemKNN(m *model.Matrix, cat *model.Catalog, opts Options) *ItemKNN {
 		m:    m,
 		cat:  cat,
 		opts: opts.withDefaults(),
-		sims: make(map[model.ItemID]map[model.ItemID]simEntry),
+		sims: newSimCache(),
 	}
 }
 
 // Name implements recsys.Named.
 func (k *ItemKNN) Name() string { return "item-knn" }
 
-func (k *ItemKNN) similarity(a, b model.ItemID) simEntry {
-	if a > b {
-		a, b = b, a
+// Rebind returns an ItemKNN over m reusing cached similarities except
+// pairs involving a touched item. Note the carried cache is only
+// approximately fresh: adjusted cosine also depends on co-raters' mean
+// ratings, so a rating change shifts (slightly) every pair its user
+// co-rated. Callers needing exact freshness after heavy churn should
+// periodically rebuild with NewItemKNN instead.
+func (k *ItemKNN) Rebind(m *model.Matrix, touched ...model.ItemID) *ItemKNN {
+	drop := make([]int64, len(touched))
+	for i, it := range touched {
+		drop[i] = int64(it)
 	}
-	if row, ok := k.sims[a]; ok {
-		if e, ok := row[b]; ok {
-			return e
-		}
+	return &ItemKNN{m: m, cat: k.cat, opts: k.opts, sims: k.sims.cloneWithout(drop...)}
+}
+
+func (k *ItemKNN) similarity(a, b model.ItemID) simEntry {
+	if e, ok := k.sims.get(int64(a), int64(b)); ok {
+		return e
 	}
 	e := k.adjustedCosine(a, b)
 	if e.overlap < k.opts.MinOverlap {
@@ -272,10 +295,7 @@ func (k *ItemKNN) similarity(a, b model.ItemID) simEntry {
 	} else if k.opts.ShrinkAt > 0 {
 		e.sim *= float64(e.overlap) / (float64(e.overlap) + k.opts.ShrinkAt)
 	}
-	if k.sims[a] == nil {
-		k.sims[a] = make(map[model.ItemID]simEntry)
-	}
-	k.sims[a][b] = e
+	k.sims.put(int64(a), int64(b), e)
 	return e
 }
 

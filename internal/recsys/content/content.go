@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/recsys"
@@ -97,9 +98,16 @@ func (p *Profile) extremes(n int, top bool) []KeywordContribution {
 // KeywordRecommender predicts ratings from a dot product between the
 // user's keyword profile and the item's keywords. It is the simple
 // content-based baseline; Bayes is the explainable workhorse.
+//
+// Profiles are derived lazily, cached per user in a concurrent map,
+// and safe for any number of concurrent readers as long as the matrix
+// is not mutated in place (snapshot engines swap matrices via Rebind).
 type KeywordRecommender struct {
 	m   *model.Matrix
 	cat *model.Catalog
+	// profiles caches UserID -> *Profile. Cached profiles are shared;
+	// callers must treat them as read-only.
+	profiles sync.Map
 }
 
 // NewKeywordRecommender builds a keyword-profile recommender.
@@ -110,10 +118,43 @@ func NewKeywordRecommender(m *model.Matrix, cat *model.Catalog) *KeywordRecommen
 // Name implements recsys.Named.
 func (r *KeywordRecommender) Name() string { return "keyword-profile" }
 
+// Rebind returns a KeywordRecommender over m that keeps every cached
+// profile except the touched users' (a profile depends only on its own
+// user's ratings, so the carry-over is exact).
+func (r *KeywordRecommender) Rebind(m *model.Matrix, touched ...model.UserID) *KeywordRecommender {
+	nr := &KeywordRecommender{m: m, cat: r.cat}
+	copyCacheExcept(&r.profiles, &nr.profiles, touched)
+	return nr
+}
+
+// RebindMatrix implements recsys.MatrixRebinder.
+func (r *KeywordRecommender) RebindMatrix(m *model.Matrix, touched ...model.UserID) recsys.Recommender {
+	return r.Rebind(m, touched...)
+}
+
+// copyCacheExcept copies a UserID-keyed sync.Map, skipping the listed
+// users. Shared by the profile and Bayes-model caches.
+func copyCacheExcept(src, dst *sync.Map, drop []model.UserID) {
+	src.Range(func(k, v interface{}) bool {
+		u := k.(model.UserID)
+		for _, d := range drop {
+			if u == d {
+				return true
+			}
+		}
+		dst.Store(u, v)
+		return true
+	})
+}
+
 // ProfileFor derives u's keyword profile: each rated item spreads its
 // mean-centred rating evenly over its keywords; weights are then
-// normalised by keyword frequency.
+// normalised by keyword frequency. The returned profile is cached and
+// shared; callers must not modify it.
 func (r *KeywordRecommender) ProfileFor(u model.UserID) (*Profile, error) {
+	if cached, ok := r.profiles.Load(u); ok {
+		return cached.(*Profile), nil
+	}
 	ratings := r.m.UserRatings(u)
 	if len(ratings) == 0 {
 		return nil, fmt.Errorf("user %d: %w", u, recsys.ErrColdStart)
@@ -152,7 +193,11 @@ func (r *KeywordRecommender) ProfileFor(u model.UserID) (*Profile, error) {
 			weights[k] /= maxAbs
 		}
 	}
-	return &Profile{Weights: weights, Mean: mean, Rated: len(ratings)}, nil
+	p := &Profile{Weights: weights, Mean: mean, Rated: len(ratings)}
+	// Concurrent fills race benignly: both compute the same
+	// deterministic profile from the same immutable matrix.
+	r.profiles.Store(u, p)
+	return p, nil
 }
 
 // Predict implements recsys.Predictor.
@@ -206,6 +251,10 @@ type Bayes struct {
 	// weights holds per-(user,item) influence multipliers; absent
 	// entries mean 1.
 	weights map[model.UserID]map[model.ItemID]float64
+	// models caches UserID -> *bayesModel (the full trained table,
+	// skip == 0). Leave-one-out tables for influence reports are cheap
+	// relative to their rarity and stay uncached.
+	models sync.Map
 }
 
 // NewBayes builds a naive-Bayes recommender over m and cat.
@@ -213,19 +262,62 @@ func NewBayes(m *model.Matrix, cat *model.Catalog) *Bayes {
 	return &Bayes{m: m, cat: cat, weights: map[model.UserID]map[model.ItemID]float64{}}
 }
 
-// SetInfluenceWeight sets the influence multiplier of u's rating of
-// item. Weights are clamped to [0, 4]; 1 restores the default.
-func (b *Bayes) SetInfluenceWeight(u model.UserID, item model.ItemID, w float64) {
+// Rebind returns a Bayes over m that shares the influence weights and
+// keeps every cached trained table except the touched users' (a table
+// depends only on its own user's ratings and weights, so the carry-over
+// is exact). Neither the receiver nor the result may be mutated with
+// SetInfluenceWeight afterwards — use WithInfluenceWeight, which copies.
+func (b *Bayes) Rebind(m *model.Matrix, touched ...model.UserID) *Bayes {
+	nb := &Bayes{m: m, cat: b.cat, weights: b.weights}
+	copyCacheExcept(&b.models, &nb.models, touched)
+	return nb
+}
+
+// RebindMatrix implements recsys.MatrixRebinder.
+func (b *Bayes) RebindMatrix(m *model.Matrix, touched ...model.UserID) recsys.Recommender {
+	return b.Rebind(m, touched...)
+}
+
+// WithInfluenceWeight returns a copy of b with the weight applied,
+// sharing the matrix, all untouched users' weight rows, and all cached
+// tables except u's. This is the copy-on-write form snapshot engines
+// use so concurrent readers of b never observe the edit.
+func (b *Bayes) WithInfluenceWeight(u model.UserID, item model.ItemID, w float64) *Bayes {
+	weights := make(map[model.UserID]map[model.ItemID]float64, len(b.weights)+1)
+	for user, row := range b.weights {
+		weights[user] = row
+	}
+	row := make(map[model.ItemID]float64, len(b.weights[u])+1)
+	for it, v := range b.weights[u] {
+		row[it] = v
+	}
+	row[item] = clampInfluence(w)
+	weights[u] = row
+	nb := &Bayes{m: b.m, cat: b.cat, weights: weights}
+	copyCacheExcept(&b.models, &nb.models, []model.UserID{u})
+	return nb
+}
+
+func clampInfluence(w float64) float64 {
 	if w < 0 {
-		w = 0
+		return 0
 	}
 	if w > 4 {
-		w = 4
+		return 4
 	}
+	return w
+}
+
+// SetInfluenceWeight sets the influence multiplier of u's rating of
+// item in place. Weights are clamped to [0, 4]; 1 restores the
+// default. Not safe to call concurrently with readers — concurrent
+// engines publish a fresh instance via WithInfluenceWeight instead.
+func (b *Bayes) SetInfluenceWeight(u model.UserID, item model.ItemID, w float64) {
 	if b.weights[u] == nil {
 		b.weights[u] = map[model.ItemID]float64{}
 	}
-	b.weights[u][item] = w
+	b.weights[u][item] = clampInfluence(w)
+	b.models.Delete(u) // the cached table baked in the old weight
 }
 
 // InfluenceWeight returns the current multiplier for u's rating of
@@ -284,6 +376,21 @@ func (b *Bayes) train(u model.UserID, skip model.ItemID) (*bayesModel, error) {
 	return mdl, nil
 }
 
+// modelFor returns u's full trained table, training and caching it on
+// first use. Racing fills compute the same deterministic table, so the
+// last store winning is harmless.
+func (b *Bayes) modelFor(u model.UserID) (*bayesModel, error) {
+	if cached, ok := b.models.Load(u); ok {
+		return cached.(*bayesModel), nil
+	}
+	mdl, err := b.train(u, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.models.Store(u, mdl)
+	return mdl, nil
+}
+
 // logOdds scores an item under the model: prior log-odds plus one
 // Laplace-smoothed term per item keyword.
 func (mdl *bayesModel) logOdds(it *model.Item) float64 {
@@ -308,7 +415,7 @@ func logOddsToRating(lo float64) float64 {
 
 // Predict implements recsys.Predictor.
 func (b *Bayes) Predict(u model.UserID, i model.ItemID) (recsys.Prediction, error) {
-	mdl, err := b.train(u, 0)
+	mdl, err := b.modelFor(u)
 	if err != nil {
 		return recsys.Prediction{}, err
 	}
@@ -330,7 +437,7 @@ func (b *Bayes) Recommend(u model.UserID, n int, exclude func(model.ItemID) bool
 // terms for the target item, sorted by descending weight. This feeds
 // keyword-style explanations ("recommended because it is a comedy").
 func (b *Bayes) KeywordContributions(u model.UserID, i model.ItemID) ([]KeywordContribution, error) {
-	mdl, err := b.train(u, 0)
+	mdl, err := b.modelFor(u)
 	if err != nil {
 		return nil, err
 	}
@@ -357,7 +464,7 @@ func (b *Bayes) KeywordContributions(u model.UserID, i model.ItemID) ([]KeywordC
 // result is sorted by descending |influence| and annotated with
 // percentages, reproducing the Figure 3 interface.
 func (b *Bayes) Influences(u model.UserID, i model.ItemID) ([]Influence, error) {
-	full, err := b.train(u, 0)
+	full, err := b.modelFor(u)
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,12 @@ type Contribution struct {
 	Share  float64 // normalised share of the final score, in [0, 1]
 }
 
-// Hybrid is a weighted-average ensemble over a shared catalogue.
+// Hybrid is a weighted-average ensemble over a shared catalogue. It is
+// immutable after construction and therefore safe for any number of
+// concurrent readers, provided each Source predictor is itself
+// concurrency-safe (everything in recsys/cf and recsys/content is).
+// Snapshot engines rebuild the Hybrid — a cheap struct — around
+// rebound predictors on every write rather than mutating it.
 type Hybrid struct {
 	cat     *model.Catalog
 	sources []Source

@@ -55,6 +55,24 @@ type Named interface {
 	Name() string
 }
 
+// MatrixRebinder is the optional contract a Recommender implements to
+// participate in snapshot-based concurrency (see DESIGN.md,
+// "Concurrency model"). RebindMatrix returns a recommender equivalent
+// to the receiver but reading m instead of the matrix it was built
+// over, reusing whatever internal caches remain valid; entries derived
+// from the touched users' ratings must be recomputed.
+//
+// Implementations must leave the receiver fully usable: goroutines
+// still reading an older snapshot keep using it after a rebind. The
+// returned recommender must itself implement MatrixRebinder, since the
+// engine rebinds the latest generation on every subsequent write. A
+// custom recommender installed on an engine without implementing this
+// interface is served behind a read-write lock instead of lock-free
+// snapshots.
+type MatrixRebinder interface {
+	RebindMatrix(m *model.Matrix, touched ...model.UserID) Recommender
+}
+
 // RankAll predicts every catalogue item for u with p, skipping
 // excluded items and prediction failures, and returns the results
 // sorted by descending score (ties broken by item ID for determinism).

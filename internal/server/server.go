@@ -15,6 +15,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -94,7 +95,24 @@ func queryInt(r *http.Request, key string, def int) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("parameter %q: %w", key, err)
 	}
+	// User IDs, item IDs and counts are all non-negative; a negative
+	// value is a client error, not a lookup miss.
+	if v < 0 {
+		return 0, fmt.Errorf("parameter %q: must be non-negative, got %d", key, v)
+	}
 	return v, nil
+}
+
+// allowMethod enforces the handler's single allowed method, answering
+// 405 with the required Allow header (RFC 9110 §15.5.6) on mismatch.
+// It reports whether the request may proceed.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s only", method))
+	return false
 }
 
 // entryJSON is one recommendation in a response.
@@ -128,8 +146,7 @@ func toEntries(p *present.Presentation) []entryJSON {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	user, err := queryInt(r, "user", -1)
@@ -142,7 +159,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.engine.Recommend(model.UserID(user), n)
+	p, err := s.engine.RecommendContext(r.Context(), model.UserID(user), n)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -162,9 +179,8 @@ type explanationJSON struct {
 }
 
 func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
-	f func(u model.UserID, i model.ItemID) (*explain.Explanation, error)) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+	f func(ctx context.Context, u model.UserID, i model.ItemID) (*explain.Explanation, error)) {
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	user, err := queryInt(r, "user", -1)
@@ -177,7 +193,7 @@ func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	exp, err := f(model.UserID(user), model.ItemID(item))
+	exp, err := f(r.Context(), model.UserID(user), model.ItemID(item))
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -189,16 +205,15 @@ func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	s.explainEndpoint(w, r, s.engine.Explain)
+	s.explainEndpoint(w, r, s.engine.ExplainContext)
 }
 
 func (s *Server) handleWhyLow(w http.ResponseWriter, r *http.Request) {
-	s.explainEndpoint(w, r, s.engine.WhyLow)
+	s.explainEndpoint(w, r, s.engine.WhyLowContext)
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	user, err := queryInt(r, "user", -1)
@@ -216,7 +231,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.engine.SimilarTo(model.UserID(user), model.ItemID(item), n)
+	p, err := s.engine.SimilarToContext(r.Context(), model.UserID(user), model.ItemID(item), n)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -234,8 +249,7 @@ type rateRequest struct {
 }
 
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req rateRequest
@@ -276,8 +290,7 @@ var opinionKinds = map[string]interact.OpinionKind{
 }
 
 func (s *Server) handleOpinion(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req opinionRequest
@@ -310,8 +323,7 @@ type influenceRequest struct {
 // handleInfluence adjusts how strongly a past rating influences the
 // content model — the Figure-3 scrutability extension.
 func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req influenceRequest
@@ -330,6 +342,9 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 // text format — the survey's indirect efficiency/satisfaction measures
 // (inspected explanations, repair-action activations) as live gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
 	m := s.engine.Metrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "recsys_recommendations_total %d\n", m.Recommendations)
@@ -339,6 +354,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status": "ok",
 		"items":  s.engine.Catalog().Len(),

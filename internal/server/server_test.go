@@ -138,12 +138,18 @@ func TestSimilarEndpoint(t *testing.T) {
 func TestRateEndpoint(t *testing.T) {
 	c, s := testServer(t)
 	item := c.Catalog.Items()[0].ID
+	origVal, origOK := c.Ratings.Get(1, item)
 	rec, _ := doJSON(t, s, http.MethodPost, "/rate", rateRequest{User: 1, Item: item, Value: 4.5})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
-	if v, ok := c.Ratings.Get(1, item); !ok || v != 4.5 {
+	// The engine publishes copy-on-write snapshots and never mutates the
+	// matrix passed to core.New; read the live state through Ratings().
+	if v, ok := s.engine.Ratings().Get(1, item); !ok || v != 4.5 {
 		t.Fatalf("rating not stored: %v %v", v, ok)
+	}
+	if v, ok := c.Ratings.Get(1, item); ok != origOK || v != origVal {
+		t.Fatal("engine mutated the caller's matrix")
 	}
 	// Validation.
 	if rec, _ := doJSON(t, s, http.MethodPost, "/rate", rateRequest{User: 1, Item: item, Value: 9}); rec.Code != http.StatusBadRequest {
@@ -301,5 +307,52 @@ func TestEndpointMethodAndParamValidation(t *testing.T) {
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusBadRequest {
 		t.Errorf("malformed influence body: %d", w.Code)
+	}
+}
+
+func TestNegativeQueryParamsRejected(t *testing.T) {
+	_, s := testServer(t)
+	paths := []string{
+		"/recommend?user=-1",
+		"/recommend?user=1&n=-5",
+		"/explain?user=-1&item=1",
+		"/explain?user=1&item=-1",
+		"/whylow?user=-3&item=1",
+		"/similar?user=1&item=-2",
+		"/similar?user=1&item=1&n=-1",
+	}
+	for _, p := range paths {
+		rec, out := doJSON(t, s, http.MethodGet, p, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400 (%v)", p, rec.Code, out)
+		}
+	}
+}
+
+// TestMethodNotAllowedSetsAllow checks every endpoint answers a wrong
+// method with 405 plus the Allow header RFC 9110 requires.
+func TestMethodNotAllowedSetsAllow(t *testing.T) {
+	_, s := testServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/recommend?user=1", http.MethodGet},
+		{http.MethodPost, "/explain?user=1&item=1", http.MethodGet},
+		{http.MethodPost, "/whylow?user=1&item=1", http.MethodGet},
+		{http.MethodPost, "/similar?user=1&item=1", http.MethodGet},
+		{http.MethodGet, "/rate", http.MethodPost},
+		{http.MethodGet, "/opinion", http.MethodPost},
+		{http.MethodDelete, "/influence", http.MethodPost},
+		{http.MethodPost, "/healthz", http.MethodGet},
+		{http.MethodPost, "/metrics", http.MethodGet},
+	}
+	for _, c := range cases {
+		rec, _ := doJSON(t, s, c.method, c.path, nil)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", c.method, c.path, rec.Code)
+		}
+		if got := rec.Header().Get("Allow"); got != c.allow {
+			t.Errorf("%s %s Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
 	}
 }
