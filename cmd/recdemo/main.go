@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -80,6 +82,18 @@ func main() {
 	}
 	fmt.Println("== Recommendations after feedback ==")
 	fmt.Println(p2.Render())
+
+	fmt.Println("== Where the time went (per pipeline stage) ==")
+	stages := eng.Metrics().Stages
+	keys := make([]string, 0, len(stages))
+	for k := range stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := stages[k]
+		fmt.Printf("  %-22s %3d calls  %s total\n", k, st.Invocations, st.Latency.Round(time.Microsecond))
+	}
 }
 
 // loadOrGenerate reads a stored community from dir, or generates the

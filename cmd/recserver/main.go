@@ -5,7 +5,7 @@
 //	recserver -addr :8080 -load ./data
 //	curl 'localhost:8080/recommend?user=1&n=5'
 //	curl 'localhost:8080/explain?user=1&item=42'
-//	curl -X POST -d '{"user":1,"item":42,"value":4.5}' localhost:8080/rate
+//	curl -X POST -H "Content-Type: application/json" -d '{"user":1,"item":42,"value":4.5}' localhost:8080/rate
 package main
 
 import (
@@ -42,9 +42,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("recserver: %v", err)
 	}
+	// The HTTP layer consumes the Service interface, not *core.Engine:
+	// a sharded or remote backend drops in here without touching
+	// internal/server.
+	var svc core.Service = eng
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng),
+		Handler:           server.New(svc),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("recserver: %d items, %d ratings, personality %s, listening on %s",

@@ -1,0 +1,71 @@
+// Pipelinetrace: install a custom pipeline interceptor around the
+// engine's serving stages. The survey's cycle — recommend, explain,
+// present — runs as named stages (rank, rerank, explainTopN, present),
+// and WithInterceptor lets an application wrap every stage with its
+// own cross-cutting concern; here, a per-stage trace printed as the
+// request executes, plus the engine's own per-stage counters after.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	community := dataset.Movies(dataset.Config{Seed: 7, Users: 120, Items: 150, RatingsPerUser: 25})
+
+	// A tracing interceptor: runs outside the stock metrics/deadline/
+	// recovery chain, so it observes every stage attempt.
+	trace := func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			start := time.Now()
+			resp, err := next(ctx, req)
+			status := "ok"
+			if err != nil {
+				status = err.Error()
+			}
+			fmt.Printf("  trace %s/%-12s user=%d %8s  %s\n",
+				info.Pipeline, info.Stage, req.User, time.Since(start).Round(time.Microsecond), status)
+			return resp, err
+		}
+	}
+
+	eng, err := core.New(community.Catalog, community.Ratings,
+		core.WithSeed(7), core.WithInterceptor(trace))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Recommend(1, 5) through the traced pipeline:")
+	view, err := eng.Recommend(1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(view.Render())
+
+	fmt.Println("Explain the top pick:")
+	if _, err := eng.Explain(1, view.Entries[0].Item.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nPer-stage counters from Engine.Metrics():")
+	stages := eng.Metrics().Stages
+	keys := make([]string, 0, len(stages))
+	for k := range stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := stages[k]
+		fmt.Printf("  %-22s %d calls, %d errors, %s total\n",
+			k, st.Invocations, st.Errors, st.Latency.Round(time.Microsecond))
+	}
+}

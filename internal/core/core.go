@@ -13,6 +13,22 @@
 //	eng.Rate(userID, itemID, 4.5)              // rating feedback
 //	eng.Opinion(userID, interact.Opinion{...}) // opinion feedback
 //
+// Frontends that only serve requests should depend on the Service
+// interface instead of *Engine, so alternative backends (sharded,
+// remote, recording fakes) can drop in.
+//
+// # Serving pipeline
+//
+// Each read operation executes as a pipeline of named stages
+// (internal/pipeline): Recommend is rank → rerank → explainTopN →
+// present, and the other operations are built from the same stage
+// vocabulary. Every stage is wrapped by three stock interceptors —
+// per-stage metrics (outermost), deadline/cancellation enforcement,
+// and panic recovery (innermost) — and by any custom interceptors
+// installed with WithInterceptor, which wrap outside the stock set.
+// Per-stage invocation counts, error counts and cumulative latency
+// are reported by Metrics() under Stats.Stages.
+//
 // # Concurrency model
 //
 // The Engine is safe for concurrent use and its read path is
@@ -44,12 +60,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/explain"
 	"repro/internal/interact"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/present"
 	"repro/internal/recsys"
 	"repro/internal/recsys/cf"
@@ -70,6 +89,18 @@ type Engine struct {
 	// the default hybrid stack on the serving path.
 	customRec recsys.Recommender
 	customExp explain.Explainer
+
+	// pipes are the composed read-operation pipelines; extraICs are
+	// user interceptors wrapped outside the stock metrics/deadline/
+	// recovery chain, and stageTimeout bounds any single stage (0 =
+	// cancellation checks only).
+	pipes        pipelines
+	extraICs     []pipeline.Interceptor
+	stageTimeout time.Duration
+
+	// stageStats collects per-stage latency/count observations from
+	// the Metrics interceptor.
+	stageStats stageRecorder
 
 	// writeMu serialises all snapshot-publishing mutations.
 	writeMu sync.Mutex
@@ -118,6 +149,10 @@ type Stats struct {
 	ExplanationsServed int // explanations attached or fetched on demand
 	WhyLowQueries      int // "why is this low?" scrutiny
 	RepairActions      int // ratings changed/removed + opinions applied
+
+	// Stages holds per-stage pipeline counters keyed "pipeline/stage"
+	// (e.g. "recommend/rank"): invocations, errors, cumulative latency.
+	Stages map[string]StageStats
 }
 
 // counters is the atomic backing store for Stats, so pure reads never
@@ -160,6 +195,23 @@ func WithSeed(seed uint64) Option {
 	return func(e *Engine) { e.baseSeed = seed }
 }
 
+// WithInterceptor installs a custom pipeline interceptor around every
+// stage of every read operation — tracing, request logging, custom
+// accounting. Custom interceptors wrap outside the stock
+// metrics/deadline/recovery chain; repeated options nest in the order
+// given (the first is outermost).
+func WithInterceptor(ic pipeline.Interceptor) Option {
+	return func(e *Engine) { e.extraICs = append(e.extraICs, ic) }
+}
+
+// WithStageTimeout bounds every pipeline stage to d; a stage that
+// overruns sees its context expire and the request fails with
+// context.DeadlineExceeded. Zero (the default) enforces only
+// cancellation between stages.
+func WithStageTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.stageTimeout = d }
+}
+
 // New builds an Engine over a catalogue and rating matrix. The default
 // configuration is a weighted hybrid of user-based collaborative
 // filtering and a naive-Bayes content model, explained by whichever
@@ -200,6 +252,7 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		s.guard = &sync.RWMutex{}
 	}
 	e.snap.Store(s)
+	e.buildPipelines()
 	return e, nil
 }
 
@@ -285,51 +338,22 @@ func (e *Engine) Recommend(u model.UserID, n int) (*present.Presentation, error)
 	return e.RecommendContext(context.Background(), u, n)
 }
 
-// RecommendContext is Recommend with cancellation: ctx is checked
-// before ranking and between per-entry explanation generations, so a
-// cancelled request stops paying the explanation cost mid-list.
+// RecommendContext is Recommend with cancellation: the deadline
+// interceptor checks ctx before every stage and the explainTopN stage
+// checks between per-entry explanation generations, so a cancelled
+// request stops paying the explanation cost mid-list.
 func (e *Engine) RecommendContext(ctx context.Context, u model.UserID, n int) (*present.Presentation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: n must be positive, got %d", n)
 	}
-	s := e.snap.Load()
-	if s.guard != nil {
-		s.guard.RLock()
-		defer s.guard.RUnlock()
-	}
-	if err := ctx.Err(); err != nil {
+	s, release := e.readSnapshot()
+	defer release()
+	resp, err := e.pipes.recommend.Run(withSnapshot(ctx, s),
+		&pipeline.Request{Op: pipeline.OpRecommend, User: u, N: n})
+	if err != nil {
 		return nil, err
 	}
-	// Rank a wide pool so personality and feedback have room to work.
-	pool := n * 4
-	if pool < 20 {
-		pool = 20
-	}
-	preds := s.rec.Recommend(u, pool, recsys.ExcludeRated(s.ratings, u))
-	if len(preds) == 0 {
-		return nil, fmt.Errorf("user %d: %w", u, recsys.ErrColdStart)
-	}
-	e.stats.recommendations.Add(1)
-	preds = e.personality.Apply(e.catalog, preds)
-	preds = e.users.get(u, e.baseSeed).rerank(e.catalog, preds)
-	preds = recsys.TopN(preds, n)
-	p := &present.Presentation{Title: fmt.Sprintf("Top %d for you", len(preds))}
-	for _, pr := range preds {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		it, err := e.catalog.Item(pr.Item)
-		if err != nil {
-			continue
-		}
-		var exp *explain.Explanation
-		if got, err := s.explainer.Explain(u, it); err == nil {
-			exp = e.personality.Decorate(got)
-			e.stats.explanationsServed.Add(1)
-		}
-		p.Entries = append(p.Entries, present.Entry{Item: it, Prediction: pr, Explanation: exp})
-	}
-	return p, nil
+	return resp.Presentation, nil
 }
 
 // Explain justifies recommending item to u on demand.
@@ -339,24 +363,14 @@ func (e *Engine) Explain(u model.UserID, item model.ItemID) (*explain.Explanatio
 
 // ExplainContext is Explain with cancellation.
 func (e *Engine) ExplainContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
-	s := e.snap.Load()
-	if s.guard != nil {
-		s.guard.RLock()
-		defer s.guard.RUnlock()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	it, err := e.catalog.Item(item)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	exp, err := s.explainer.Explain(u, it)
+	s, release := e.readSnapshot()
+	defer release()
+	resp, err := e.pipes.explain.Run(withSnapshot(ctx, s),
+		&pipeline.Request{Op: pipeline.OpExplain, User: u, Item: item})
 	if err != nil {
 		return nil, err
 	}
-	e.stats.explanationsServed.Add(1)
-	return e.personality.Decorate(exp), nil
+	return resp.Explanation, nil
 }
 
 // WhyLow answers "why is this item predicted low for me?" — the
@@ -367,24 +381,14 @@ func (e *Engine) WhyLow(u model.UserID, item model.ItemID) (*explain.Explanation
 
 // WhyLowContext is WhyLow with cancellation.
 func (e *Engine) WhyLowContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
-	s := e.snap.Load()
-	if s.guard != nil {
-		s.guard.RLock()
-		defer s.guard.RUnlock()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	it, err := e.catalog.Item(item)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	exp, err := s.low.ExplainLow(u, it)
+	s, release := e.readSnapshot()
+	defer release()
+	resp, err := e.pipes.whyLow.Run(withSnapshot(ctx, s),
+		&pipeline.Request{Op: pipeline.OpWhyLow, User: u, Item: item})
 	if err != nil {
 		return nil, err
 	}
-	e.stats.whyLowQueries.Add(1)
-	return exp, nil
+	return resp.Explanation, nil
 }
 
 // BrowseAll returns the predicted-ratings-for-everything view of
@@ -397,15 +401,14 @@ func (e *Engine) BrowseAll(u model.UserID) *present.RatingsView {
 // BrowseAllContext is BrowseAll with cancellation; the only possible
 // error is the context's.
 func (e *Engine) BrowseAllContext(ctx context.Context, u model.UserID) (*present.RatingsView, error) {
-	s := e.snap.Load()
-	if s.guard != nil {
-		s.guard.RLock()
-		defer s.guard.RUnlock()
-	}
-	if err := ctx.Err(); err != nil {
+	s, release := e.readSnapshot()
+	defer release()
+	resp, err := e.pipes.browse.Run(withSnapshot(ctx, s),
+		&pipeline.Request{Op: pipeline.OpBrowse, User: u})
+	if err != nil {
 		return nil, err
 	}
-	return present.PredictedRatings(e.catalog, s.rec, s.low, u), nil
+	return resp.View, nil
 }
 
 // SimilarTo presents items similar to a seed item (Section 4.3).
@@ -415,19 +418,14 @@ func (e *Engine) SimilarTo(u model.UserID, seed model.ItemID, n int) (*present.P
 
 // SimilarToContext is SimilarTo with cancellation.
 func (e *Engine) SimilarToContext(ctx context.Context, u model.UserID, seed model.ItemID, n int) (*present.Presentation, error) {
-	s := e.snap.Load()
-	if s.guard != nil {
-		s.guard.RLock()
-		defer s.guard.RUnlock()
-	}
-	if err := ctx.Err(); err != nil {
+	s, release := e.readSnapshot()
+	defer release()
+	resp, err := e.pipes.similar.Run(withSnapshot(ctx, s),
+		&pipeline.Request{Op: pipeline.OpSimilar, User: u, Item: seed, N: n})
+	if err != nil {
 		return nil, err
 	}
-	it, err := e.catalog.Item(seed)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	return present.SimilarToTop(e.catalog, it, n, recsys.ExcludeRated(s.ratings, u)), nil
+	return resp.Presentation, nil
 }
 
 // mutate applies one matrix mutation for user u and publishes the next
@@ -451,12 +449,24 @@ func (e *Engine) mutate(u model.UserID, apply func(*model.Matrix)) {
 	e.snap.Store(e.rebuild(cur, m, u))
 }
 
+// ErrNonFiniteValue is returned when a rating value or influence
+// weight is NaN or ±Inf. Rejecting these up front keeps poisoned
+// numbers out of the copy-on-write matrix, where a single NaN would
+// silently corrupt every similarity and mean that touches it.
+var ErrNonFiniteValue = errors.New("core: value must be finite")
+
 // Rate records (or corrects) a rating — Section 5.3 interaction. The
 // next Recommend call reflects it immediately, closing the
-// scrutability cycle.
-func (e *Engine) Rate(u model.UserID, item model.ItemID, value float64) {
+// scrutability cycle. Non-finite values are rejected: ClampRating
+// cannot clamp a NaN (every comparison with NaN is false), so without
+// this check a NaN would flow straight into the matrix.
+func (e *Engine) Rate(u model.UserID, item model.ItemID, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("rating %v: %w", value, ErrNonFiniteValue)
+	}
 	e.mutate(u, func(m *model.Matrix) { m.Set(u, item, model.ClampRating(value)) })
 	e.stats.repairActions.Add(1)
+	return nil
 }
 
 // RemoveRating withdraws a past rating.
@@ -498,6 +508,9 @@ var ErrNoInfluenceModel = errors.New("core: no editable influence model configur
 // functionality could be implemented"). Weight 0 silences the rating,
 // 1 is the default. It counts as a repair action.
 func (e *Engine) SetInfluenceWeight(u model.UserID, item model.ItemID, weight float64) error {
+	if math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("influence weight %v: %w", weight, ErrNonFiniteValue)
+	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	cur := e.snap.Load()
@@ -526,13 +539,15 @@ func (e *Engine) SetInfluenceWeight(u model.UserID, item model.ItemID, weight fl
 	return nil
 }
 
-// Metrics returns a snapshot of the engine's usage counters.
+// Metrics returns a snapshot of the engine's usage counters, including
+// the per-stage pipeline latencies recorded by the metrics interceptor.
 func (e *Engine) Metrics() Stats {
 	return Stats{
 		Recommendations:    int(e.stats.recommendations.Load()),
 		ExplanationsServed: int(e.stats.explanationsServed.Load()),
 		WhyLowQueries:      int(e.stats.whyLowQueries.Load()),
 		RepairActions:      int(e.stats.repairActions.Load()),
+		Stages:             e.stageStats.snapshot(),
 	}
 }
 

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/explain"
 	"repro/internal/interact"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/present"
 	"repro/internal/recsys"
 	"repro/internal/store"
@@ -329,7 +332,8 @@ func TestEngineConcurrentUse(t *testing.T) {
 
 func TestEngineMetrics(t *testing.T) {
 	_, e := engine(t)
-	if m := e.Metrics(); m != (Stats{}) {
+	if m := e.Metrics(); m.Recommendations != 0 || m.ExplanationsServed != 0 ||
+		m.WhyLowQueries != 0 || m.RepairActions != 0 || len(m.Stages) != 0 {
 		t.Fatalf("fresh stats = %+v", m)
 	}
 	p, err := e.Recommend(1, 3)
@@ -372,5 +376,147 @@ func TestEngineInfluenceEditing(t *testing.T) {
 	}
 	if err := custom.SetInfluenceWeight(u, rated, 0.5); !errors.Is(err, ErrNoInfluenceModel) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRateRejectsNonFinite: a poisoned rating must never enter the
+// copy-on-write matrix.
+func TestRateRejectsNonFinite(t *testing.T) {
+	_, e := engine(t)
+	before := e.Ratings()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := e.Rate(1, 1, v); !errors.Is(err, ErrNonFiniteValue) {
+			t.Errorf("Rate(%v) err = %v, want ErrNonFiniteValue", v, err)
+		}
+	}
+	if e.Ratings() != before {
+		t.Fatal("rejected rating still published a new snapshot")
+	}
+	if m := e.Metrics(); m.RepairActions != 0 {
+		t.Fatalf("rejected ratings counted as repair actions: %d", m.RepairActions)
+	}
+	if err := e.Rate(1, 1, 4); err != nil {
+		t.Fatalf("finite rating rejected: %v", err)
+	}
+}
+
+// TestSetInfluenceWeightRejectsNonFinite mirrors the rating check for
+// the Figure-3 influence control.
+func TestSetInfluenceWeightRejectsNonFinite(t *testing.T) {
+	_, e := engine(t)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := e.SetInfluenceWeight(1, 1, v); !errors.Is(err, ErrNonFiniteValue) {
+			t.Errorf("SetInfluenceWeight(%v) err = %v, want ErrNonFiniteValue", v, err)
+		}
+	}
+}
+
+// TestStageMetricsRecorded drives each read operation once and checks
+// the per-stage counters the metrics interceptor collected.
+func TestStageMetricsRecorded(t *testing.T) {
+	c, e := engine(t)
+	if _, err := e.Recommend(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	item := c.Catalog.Items()[0].ID
+	_, _ = e.Explain(1, item)
+	_, _ = e.WhyLow(1, item)
+	_ = e.BrowseAll(1)
+	_, _ = e.SimilarTo(1, item, 3)
+
+	stages := e.Metrics().Stages
+	for _, key := range []string{
+		"recommend/rank", "recommend/rerank", "recommend/explainTopN", "recommend/present",
+		"explain/resolve", "explain/explain", "explain/present",
+		"whylow/resolve", "whylow/explainLow", "whylow/present",
+		"browse/present",
+		"similar/resolve", "similar/present",
+	} {
+		st, ok := stages[key]
+		if !ok {
+			t.Errorf("stage %q not recorded: %v", key, stages)
+			continue
+		}
+		if st.Invocations == 0 {
+			t.Errorf("stage %q has zero invocations", key)
+		}
+	}
+	if st := stages["recommend/rank"]; st.Latency <= 0 {
+		t.Errorf("recommend/rank latency = %v, want > 0", st.Latency)
+	}
+	// Errors are counted: an unknown item fails the resolve stage.
+	_, _ = e.Explain(1, 99999)
+	if st := e.Metrics().Stages["explain/resolve"]; st.Errors != 1 {
+		t.Errorf("explain/resolve errors = %d, want 1", st.Errors)
+	}
+}
+
+// panicExplainer blows up on every call, standing in for a buggy
+// custom component.
+type panicExplainer struct{}
+
+func (panicExplainer) Explain(u model.UserID, item *model.Item) (*explain.Explanation, error) {
+	panic("buggy explainer")
+}
+
+func (panicExplainer) Style() explain.Style { return explain.PreferenceBased }
+
+// TestStagePanicBecomesError: a panicking stage must surface as an
+// error, not kill the serving goroutine.
+func TestStagePanicBecomesError(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 401, Users: 60, Items: 80, RatingsPerUser: 20})
+	e, err := New(c.Catalog, c.Ratings, WithExplainer(panicExplainer{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Explain(1, c.Catalog.Items()[0].ID)
+	var pe *pipeline.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *pipeline.PanicError", err)
+	}
+	if pe.Pipeline != "explain" || pe.Stage != "explain" {
+		t.Fatalf("panic located at %s/%s", pe.Pipeline, pe.Stage)
+	}
+	if st := e.Metrics().Stages["explain/explain"]; st.Errors != 1 {
+		t.Fatalf("recovered panic not counted as stage error: %+v", st)
+	}
+	// The engine still serves.
+	if _, err := e.Recommend(1, 3); err == nil {
+		t.Fatal("recommend should also hit the panicking explainer via explainTopN")
+	}
+}
+
+// TestWithInterceptorWrapsOutsideStock: custom interceptors see every
+// stage and run outside the stock chain.
+func TestWithInterceptorWrapsOutsideStock(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	trace := func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			mu.Lock()
+			seen = append(seen, info.Pipeline+"/"+info.Stage)
+			mu.Unlock()
+			return next(ctx, req)
+		}
+	}
+	_, e := engine(t, WithInterceptor(trace))
+	if _, err := e.Recommend(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"recommend/rank", "recommend/rerank", "recommend/explainTopN", "recommend/present"}
+	if strings.Join(seen, ",") != strings.Join(want, ",") {
+		t.Fatalf("custom interceptor saw %v, want %v", seen, want)
+	}
+	// A cancelled context is refused by the stock Deadline interceptor
+	// inside the custom one, so the custom trace still observes the
+	// stage attempt.
+	seen = nil
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RecommendContext(ctx, 1, 3); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if len(seen) != 1 || seen[0] != "recommend/rank" {
+		t.Fatalf("custom interceptor on dead context saw %v", seen)
 	}
 }

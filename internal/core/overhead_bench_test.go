@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/present"
+)
+
+// recommendDirect replicates the pre-pipeline (PR 1) Recommend path:
+// the same stage logic invoked as plain method calls, with no pipeline
+// dispatch and no interceptors. It is the baseline that prices the
+// abstraction.
+func (e *Engine) recommendDirect(ctx context.Context, u model.UserID, n int) (*present.Presentation, error) {
+	s, release := e.readSnapshot()
+	defer release()
+	ctx = withSnapshot(ctx, s)
+	req := &pipeline.Request{Op: pipeline.OpRecommend, User: u, N: n}
+	for _, run := range []pipeline.Handler{e.stageRank, e.stageRerank, e.stageExplainTopN} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := run(ctx, req); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := e.stagePresentTopN(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Presentation, nil
+}
+
+// BenchmarkPipelineOverhead prices the pipeline abstraction on the
+// Recommend hot path: "direct" calls the stage logic as plain
+// functions, "pipeline" goes through the composed pipeline with the
+// stock metrics/deadline/recovery interceptors. The acceptance
+// criterion for the refactor is pipeline ≤ 1.05× direct.
+func BenchmarkPipelineOverhead(b *testing.B) {
+	c := dataset.Movies(dataset.Config{Seed: 42, Users: 200, Items: 300, RatingsPerUser: 30})
+	e, err := New(c.Catalog, c.Ratings, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.recommendDirect(ctx, model.UserID(i%200+1), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.RecommendContext(ctx, model.UserID(i%200+1), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

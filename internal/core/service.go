@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/explain"
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/present"
+)
+
+// Service is the serving surface of an explanation-capable
+// recommender: the five read operations of the explain-present cycle
+// plus the interaction (repair) operations that close it. The HTTP
+// layer and other frontends consume this interface rather than the
+// concrete *Engine, so alternative backends — a sharded engine, a
+// remote engine behind RPC, a recording fake in tests — drop in
+// without re-plumbing the frontend.
+//
+// Implementations must be safe for concurrent use; *Engine is the
+// stock implementation.
+type Service interface {
+	// Catalog returns the item catalogue the service recommends over.
+	Catalog() *model.Catalog
+	// Ratings returns a point-in-time view of the rating matrix;
+	// treat it as read-only.
+	Ratings() *model.Matrix
+
+	// Read path: the explain–present cycle.
+	RecommendContext(ctx context.Context, u model.UserID, n int) (*present.Presentation, error)
+	ExplainContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error)
+	WhyLowContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error)
+	BrowseAllContext(ctx context.Context, u model.UserID) (*present.RatingsView, error)
+	SimilarToContext(ctx context.Context, u model.UserID, seed model.ItemID, n int) (*present.Presentation, error)
+
+	// Interaction path: feedback and repair actions.
+	Rate(u model.UserID, item model.ItemID, value float64) error
+	RemoveRating(u model.UserID, item model.ItemID)
+	Opinion(u model.UserID, op interact.Opinion) error
+	SetInfluenceWeight(u model.UserID, item model.ItemID, weight float64) error
+	Surprise(u model.UserID) float64
+
+	// Metrics reports usage counters and per-stage pipeline latencies.
+	Metrics() Stats
+}
+
+// The Engine is the canonical Service.
+var _ Service = (*Engine)(nil)

@@ -1,0 +1,278 @@
+// The engine's five read operations decomposed into pipeline stages.
+// Each stage is a method closure over the Engine that pulls the
+// immutable snapshot from the request context, so every stage of one
+// request observes the same model generation and the lock-free read
+// path of the snapshot design is preserved exactly.
+//
+// Stage graph (stock interceptors wrap every stage: Metrics outermost,
+// then Deadline, then Recover — see internal/pipeline):
+//
+//	recommend: rank → rerank → explainTopN → present
+//	explain:   resolve → explain → present (personality-decorated)
+//	whylow:    resolve → explainLow → present
+//	browse:    present
+//	similar:   resolve → present
+
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/explain"
+	"repro/internal/pipeline"
+	"repro/internal/present"
+	"repro/internal/recsys"
+)
+
+// snapCtxKey carries the per-request snapshot through the context, as
+// the pipeline contract requires: stages never load the engine's
+// current snapshot themselves, which could observe a newer generation
+// mid-request.
+type snapCtxKey struct{}
+
+// withSnapshot attaches the request's model snapshot to ctx.
+func withSnapshot(ctx context.Context, s *snapshot) context.Context {
+	return context.WithValue(ctx, snapCtxKey{}, s)
+}
+
+// snapshotFrom retrieves the request's model snapshot.
+func snapshotFrom(ctx context.Context) *snapshot {
+	s, _ := ctx.Value(snapCtxKey{}).(*snapshot)
+	return s
+}
+
+// readSnapshot loads the current snapshot for one read operation and
+// returns the matching release function (an RUnlock in guarded
+// compatibility mode, a no-op on the lock-free path).
+func (e *Engine) readSnapshot() (*snapshot, func()) {
+	s := e.snap.Load()
+	if s.guard != nil {
+		s.guard.RLock()
+		return s, s.guard.RUnlock
+	}
+	return s, func() {}
+}
+
+// pipelines holds one composed pipeline per read operation.
+type pipelines struct {
+	recommend *pipeline.Pipeline
+	explain   *pipeline.Pipeline
+	whyLow    *pipeline.Pipeline
+	browse    *pipeline.Pipeline
+	similar   *pipeline.Pipeline
+}
+
+// buildPipelines composes the read-operation pipelines once, at
+// construction time. Custom interceptors installed via WithInterceptor
+// wrap outside the stock set, so they observe each stage exactly as
+// the stock chain reports it.
+func (e *Engine) buildPipelines() {
+	ics := append(append([]pipeline.Interceptor{}, e.extraICs...),
+		pipeline.Metrics(&e.stageStats),
+		pipeline.Deadline(e.stageTimeout),
+		pipeline.Recover(),
+	)
+	e.pipes = pipelines{
+		recommend: pipeline.New(pipeline.OpRecommend, []pipeline.Stage{
+			{Name: "rank", Run: e.stageRank},
+			{Name: "rerank", Run: e.stageRerank},
+			{Name: "explainTopN", Run: e.stageExplainTopN},
+			{Name: "present", Run: e.stagePresentTopN},
+		}, ics...),
+		explain: pipeline.New(pipeline.OpExplain, []pipeline.Stage{
+			{Name: "resolve", Run: e.stageResolveItem},
+			{Name: "explain", Run: e.stageExplainOne},
+			{Name: "present", Run: e.stagePresentDecorated},
+		}, ics...),
+		whyLow: pipeline.New(pipeline.OpWhyLow, []pipeline.Stage{
+			{Name: "resolve", Run: e.stageResolveItem},
+			{Name: "explainLow", Run: e.stageExplainLow},
+			{Name: "present", Run: e.stagePresentExplanation},
+		}, ics...),
+		browse: pipeline.New(pipeline.OpBrowse, []pipeline.Stage{
+			{Name: "present", Run: e.stageBrowseAll},
+		}, ics...),
+		similar: pipeline.New(pipeline.OpSimilar, []pipeline.Stage{
+			{Name: "resolve", Run: e.stageResolveItem},
+			{Name: "present", Run: e.stagePresentSimilar},
+		}, ics...),
+	}
+}
+
+// stageRank produces the wide candidate ranking: 4n (at least 20) so
+// personality and feedback re-ranking have room to work.
+func (e *Engine) stageRank(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	pool := req.N * 4
+	if pool < 20 {
+		pool = 20
+	}
+	preds := s.rec.Recommend(req.User, pool, recsys.ExcludeRated(s.ratings, req.User))
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("user %d: %w", req.User, recsys.ErrColdStart)
+	}
+	e.stats.recommendations.Add(1)
+	req.Preds = preds
+	return nil, nil
+}
+
+// stageRerank applies personality adjustment and the user's opinion
+// feedback, then cuts the list to the requested length.
+func (e *Engine) stageRerank(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	preds := e.personality.Apply(e.catalog, req.Preds)
+	preds = e.users.get(req.User, e.baseSeed).rerank(e.catalog, preds)
+	req.Preds = recsys.TopN(preds, req.N)
+	return nil, nil
+}
+
+// stageExplainTopN attaches an explanation to each surviving entry,
+// checking cancellation between per-entry generations so a cancelled
+// request stops paying the explanation cost mid-list.
+func (e *Engine) stageExplainTopN(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	for _, pr := range req.Preds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		it, err := e.catalog.Item(pr.Item)
+		if err != nil {
+			continue
+		}
+		var exp *explain.Explanation
+		if got, err := s.explainer.Explain(req.User, it); err == nil {
+			exp = e.personality.Decorate(got)
+			e.stats.explanationsServed.Add(1)
+		}
+		req.Entries = append(req.Entries, present.Entry{Item: it, Prediction: pr, Explanation: exp})
+	}
+	return nil, nil
+}
+
+// stagePresentTopN renders the explained entries as a titled top-N
+// presentation.
+func (e *Engine) stagePresentTopN(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	return &pipeline.Response{Presentation: &present.Presentation{
+		Title:   fmt.Sprintf("Top %d for you", len(req.Preds)),
+		Entries: req.Entries,
+	}}, nil
+}
+
+// stageResolveItem resolves the request's target/seed item against the
+// catalogue.
+func (e *Engine) stageResolveItem(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	it, err := e.catalog.Item(req.Item)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	req.Target = it
+	return nil, nil
+}
+
+// stageExplainOne generates the on-demand justification for the
+// resolved item.
+func (e *Engine) stageExplainOne(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	exp, err := s.explainer.Explain(req.User, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.explanationsServed.Add(1)
+	req.Explanation = exp
+	return nil, nil
+}
+
+// stageExplainLow answers "why is this predicted low?" from the
+// profile explainer.
+func (e *Engine) stageExplainLow(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	exp, err := s.low.ExplainLow(req.User, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.whyLowQueries.Add(1)
+	req.Explanation = exp
+	return nil, nil
+}
+
+// stagePresentDecorated finishes an explanation with the personality's
+// presentation layer (disclosure, tone).
+func (e *Engine) stagePresentDecorated(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	return &pipeline.Response{Explanation: e.personality.Decorate(req.Explanation)}, nil
+}
+
+// stagePresentExplanation returns the explanation as generated; why-low
+// answers are scrutiny, not persuasion, so the personality stays out.
+func (e *Engine) stagePresentExplanation(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	return &pipeline.Response{Explanation: req.Explanation}, nil
+}
+
+// stageBrowseAll builds the predicted-ratings-for-everything view.
+func (e *Engine) stageBrowseAll(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	return &pipeline.Response{View: present.PredictedRatings(e.catalog, s.rec, s.low, req.User)}, nil
+}
+
+// stagePresentSimilar renders the similar-to-seed presentation.
+func (e *Engine) stagePresentSimilar(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	return &pipeline.Response{
+		Presentation: present.SimilarToTop(e.catalog, req.Target, req.N, recsys.ExcludeRated(s.ratings, req.User)),
+	}, nil
+}
+
+// ---- per-stage metrics ----
+
+// StageStats are the cumulative counters of one pipeline stage,
+// reported under "pipeline/stage" keys in Stats.Stages.
+type StageStats struct {
+	Invocations int           // stage executions (including refused/failed)
+	Errors      int           // executions that returned an error
+	Latency     time.Duration // cumulative wall time inside the stage chain
+}
+
+// stageCounter is the atomic backing store of one stage's counters.
+type stageCounter struct {
+	n     atomic.Int64
+	errs  atomic.Int64
+	nanos atomic.Int64
+}
+
+// stageRecorder implements pipeline.StatsRecorder over a sync.Map so
+// the hot path stays lock-free after the first request per stage.
+type stageRecorder struct {
+	m sync.Map // "pipeline/stage" → *stageCounter
+}
+
+// RecordStage implements pipeline.StatsRecorder.
+func (r *stageRecorder) RecordStage(pipe, stage string, d time.Duration, err error) {
+	key := pipe + "/" + stage
+	v, ok := r.m.Load(key)
+	if !ok {
+		v, _ = r.m.LoadOrStore(key, &stageCounter{})
+	}
+	c := v.(*stageCounter)
+	c.n.Add(1)
+	c.nanos.Add(int64(d))
+	if err != nil {
+		c.errs.Add(1)
+	}
+}
+
+// snapshot copies the counters into a plain map for Stats.
+func (r *stageRecorder) snapshot() map[string]StageStats {
+	out := make(map[string]StageStats)
+	r.m.Range(func(k, v interface{}) bool {
+		c := v.(*stageCounter)
+		out[k.(string)] = StageStats{
+			Invocations: int(c.n.Load()),
+			Errors:      int(c.errs.Load()),
+			Latency:     time.Duration(c.nanos.Load()),
+		}
+		return true
+	})
+	return out
+}

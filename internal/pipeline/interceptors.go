@@ -1,0 +1,99 @@
+// The three stock interceptors every engine pipeline is built with.
+// Composition order is part of the contract and is what the engine
+// documents and tests:
+//
+//	Metrics ⟶ Deadline ⟶ Recover ⟶ stage
+//
+// Metrics is outermost so it observes every stage attempt — including
+// ones Deadline refuses to start and panics Recover converted to
+// errors — and its latency figure covers the full wrapped execution.
+// Recover is innermost, closest to the stage, so a panic is turned
+// into an ordinary error before it crosses Deadline or Metrics and the
+// serving goroutine survives.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// StatsRecorder consumes one observation per stage execution. The
+// engine's usage counters implement it; tests substitute fakes.
+// Implementations must be safe for concurrent use.
+type StatsRecorder interface {
+	RecordStage(pipeline, stage string, d time.Duration, err error)
+}
+
+// Metrics records one (duration, error) observation per stage
+// execution into rec. Compose it outermost so the observation covers
+// deadline refusals and recovered panics too.
+func Metrics(rec StatsRecorder) Interceptor {
+	return func(info StageInfo, next Handler) Handler {
+		return func(ctx context.Context, req *Request) (*Response, error) {
+			start := time.Now()
+			resp, err := next(ctx, req)
+			rec.RecordStage(info.Pipeline, info.Stage, time.Since(start), err)
+			return resp, err
+		}
+	}
+}
+
+// Deadline enforces cancellation between stages: a stage never starts
+// on a dead context (the context's error is returned verbatim, so
+// callers still see context.Canceled / DeadlineExceeded). When
+// perStage > 0 each stage additionally runs under its own deadline of
+// that duration, bounding how long any single stage can stall a
+// request.
+func Deadline(perStage time.Duration) Interceptor {
+	return func(info StageInfo, next Handler) Handler {
+		return func(ctx context.Context, req *Request) (*Response, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if perStage > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, perStage)
+				defer cancel()
+			}
+			return next(ctx, req)
+		}
+	}
+}
+
+// PanicError is the error a recovered stage panic is converted into.
+type PanicError struct {
+	Pipeline string
+	Stage    string
+	Value    interface{} // the recovered panic value
+	Stack    []byte      // goroutine stack at the panic site
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("pipeline %s: stage %s panicked: %v", p.Pipeline, p.Stage, p.Value)
+}
+
+// Recover converts a stage panic into a *PanicError instead of letting
+// it unwind the serving goroutine and kill the process. Compose it
+// innermost so outer interceptors observe the converted error like any
+// other stage failure.
+func Recover() Interceptor {
+	return func(info StageInfo, next Handler) Handler {
+		return func(ctx context.Context, req *Request) (resp *Response, err error) {
+			defer func() {
+				if v := recover(); v != nil {
+					resp = nil
+					err = &PanicError{
+						Pipeline: info.Pipeline,
+						Stage:    info.Stage,
+						Value:    v,
+						Stack:    debug.Stack(),
+					}
+				}
+			}()
+			return next(ctx, req)
+		}
+	}
+}

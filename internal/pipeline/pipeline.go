@@ -1,0 +1,138 @@
+// Package pipeline decomposes a serving operation into named,
+// composable stages with wrap-around middleware, in the style of
+// http.Handler chains and grpc interceptors.
+//
+// The survey frames explanation as a cycle — recommend, explain,
+// present, interact — and its evaluation literature (Nunes & Jannach's
+// taxonomy, Chen et al.'s per-layer measurements) treats content
+// generation and presentation as independent layers. This package is
+// that separation made executable: each of the engine's read
+// operations is a Pipeline of Stages (rank, rerank, explainTopN,
+// present, ...), and cross-cutting concerns — per-stage latency
+// accounting, deadline enforcement, panic containment — are
+// Interceptors wrapped around every stage rather than code threaded
+// through the engine.
+//
+// A Stage is a named Handler. Stages in a pipeline execute in order,
+// sharing one Request: early stages fill the request's working fields
+// (predictions, resolved items, explanations) and a late stage returns
+// the Response. A stage that returns a nil Response simply passes
+// control to the next stage; the pipeline's result is the last
+// non-nil Response. Any stage error aborts the run and is returned
+// verbatim, so callers' errors.Is / == checks on sentinel errors
+// (cold start, unknown item, context cancellation) keep working.
+//
+// Immutable model state (the engine's lock-free snapshot from PR 1)
+// travels through the request context, not the Request: the engine
+// loads its snapshot once per operation, attaches it to ctx, and every
+// stage reads the same consistent generation. The pipeline itself
+// holds no model state and is therefore safe for concurrent use.
+package pipeline
+
+import (
+	"context"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+)
+
+// Operation names used as pipeline names by the engine. They appear in
+// StageInfo.Pipeline and in per-stage metrics labels.
+const (
+	OpRecommend = "recommend"
+	OpExplain   = "explain"
+	OpWhyLow    = "whylow"
+	OpBrowse    = "browse"
+	OpSimilar   = "similar"
+)
+
+// Request is one serving request flowing through a pipeline. The
+// first block is the caller's input; the second is the working set
+// stages use to hand intermediate results to their successors.
+type Request struct {
+	Op   string       // operation name (OpRecommend, ...)
+	User model.UserID // requesting user
+	Item model.ItemID // target/seed item, when the operation has one
+	N    int          // requested list length, when the operation has one
+
+	// Working set, filled progressively by stages.
+	Preds       []recsys.Prediction  // candidate ranking (rank → rerank)
+	Target      *model.Item          // resolved Item (resolve → *)
+	Entries     []present.Entry      // explained entries (explainTopN → present)
+	Explanation *explain.Explanation // single explanation (explain/explainLow → present)
+}
+
+// Response is the terminal product of a pipeline run; exactly one
+// field is set, matching the operation.
+type Response struct {
+	Presentation *present.Presentation
+	Explanation  *explain.Explanation
+	View         *present.RatingsView
+}
+
+// Handler processes a request. Returning a nil Response (and nil
+// error) yields to the next stage; a non-nil Response becomes the
+// pipeline's result.
+type Handler func(ctx context.Context, req *Request) (*Response, error)
+
+// Stage is a named pipeline step.
+type Stage struct {
+	Name string
+	Run  Handler
+}
+
+// StageInfo identifies a stage to interceptors and metrics sinks.
+type StageInfo struct {
+	Pipeline string // pipeline (operation) name
+	Stage    string // stage name within the pipeline
+}
+
+// Interceptor wraps a stage handler with cross-cutting behaviour. In a
+// New call the first interceptor is outermost: New(name, stages, A, B)
+// executes A(before) → B(before) → stage → B(after) → A(after).
+type Interceptor func(info StageInfo, next Handler) Handler
+
+// Pipeline is an ordered sequence of stages, each pre-wrapped with the
+// pipeline's interceptors at construction time so Run pays no
+// composition cost per request.
+type Pipeline struct {
+	name   string
+	stages []Stage
+}
+
+// New composes stages into a pipeline, wrapping every stage with the
+// given interceptors (first interceptor outermost).
+func New(name string, stages []Stage, interceptors ...Interceptor) *Pipeline {
+	p := &Pipeline{name: name, stages: make([]Stage, 0, len(stages))}
+	for _, st := range stages {
+		info := StageInfo{Pipeline: name, Stage: st.Name}
+		h := st.Run
+		for i := len(interceptors) - 1; i >= 0; i-- {
+			h = interceptors[i](info, h)
+		}
+		p.stages = append(p.stages, Stage{Name: st.Name, Run: h})
+	}
+	return p
+}
+
+// Name returns the pipeline's (operation) name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Run executes the stages in order against req. Errors abort the run
+// and are returned verbatim; the result is the last non-nil Response a
+// stage produced.
+func (p *Pipeline) Run(ctx context.Context, req *Request) (*Response, error) {
+	var resp *Response
+	for i := range p.stages {
+		r, err := p.stages[i].Run(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			resp = r
+		}
+	}
+	return resp, nil
+}

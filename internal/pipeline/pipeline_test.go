@@ -1,0 +1,274 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// passStage returns a stage that appends its name to log and yields.
+func passStage(name string, log *[]string) Stage {
+	return Stage{Name: name, Run: func(ctx context.Context, req *Request) (*Response, error) {
+		*log = append(*log, name)
+		return nil, nil
+	}}
+}
+
+func TestRunExecutesStagesInOrder(t *testing.T) {
+	var log []string
+	p := New("op", []Stage{
+		passStage("a", &log),
+		passStage("b", &log),
+		{Name: "c", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			log = append(log, "c")
+			return &Response{}, nil
+		}},
+	})
+	resp, err := p.Run(context.Background(), &Request{Op: "op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp == nil {
+		t.Fatal("final stage response lost")
+	}
+	if got := strings.Join(log, ","); got != "a,b,c" {
+		t.Fatalf("stage order = %s", got)
+	}
+}
+
+func TestRunKeepsLastNonNilResponse(t *testing.T) {
+	early := &Response{}
+	p := New("op", []Stage{
+		{Name: "produce", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			return early, nil
+		}},
+		{Name: "passthrough", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			return nil, nil
+		}},
+	})
+	resp, err := p.Run(context.Background(), &Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != early {
+		t.Fatal("nil response from a later stage overwrote the result")
+	}
+}
+
+func TestRunAbortsOnErrorVerbatim(t *testing.T) {
+	sentinel := errors.New("boom")
+	ran := false
+	p := New("op", []Stage{
+		{Name: "fail", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			return nil, sentinel
+		}},
+		{Name: "after", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			ran = true
+			return &Response{}, nil
+		}},
+	})
+	_, err := p.Run(context.Background(), &Request{})
+	// Verbatim, not wrapped: callers compare sentinel errors with ==.
+	if err != sentinel {
+		t.Fatalf("err = %v, want the sentinel itself", err)
+	}
+	if ran {
+		t.Fatal("stage after a failure still ran")
+	}
+}
+
+func TestRequestThreadsWorkingSet(t *testing.T) {
+	p := New("op", []Stage{
+		{Name: "fill", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			req.N = 42
+			return nil, nil
+		}},
+		{Name: "read", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			if req.N != 42 {
+				return nil, errors.New("working set not shared")
+			}
+			return &Response{}, nil
+		}},
+	})
+	if _, err := p.Run(context.Background(), &Request{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// labelInterceptor records enter/exit events around each stage.
+func labelInterceptor(label string, events *[]string) Interceptor {
+	return func(info StageInfo, next Handler) Handler {
+		return func(ctx context.Context, req *Request) (*Response, error) {
+			*events = append(*events, label+">"+info.Stage)
+			resp, err := next(ctx, req)
+			*events = append(*events, label+"<"+info.Stage)
+			return resp, err
+		}
+	}
+}
+
+// TestInterceptorOrder proves the documented contract: the first
+// interceptor passed to New is outermost.
+func TestInterceptorOrder(t *testing.T) {
+	var events []string
+	p := New("op", []Stage{
+		{Name: "s", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			events = append(events, "stage")
+			return &Response{}, nil
+		}},
+	}, labelInterceptor("A", &events), labelInterceptor("B", &events))
+	if _, err := p.Run(context.Background(), &Request{}); err != nil {
+		t.Fatal(err)
+	}
+	want := "A>s,B>s,stage,B<s,A<s"
+	if got := strings.Join(events, ","); got != want {
+		t.Fatalf("interceptor order = %s, want %s", got, want)
+	}
+}
+
+// recordingSink is a StatsRecorder fake.
+type recordingSink struct {
+	mu  sync.Mutex
+	obs []struct {
+		pipe, stage string
+		d           time.Duration
+		err         error
+	}
+}
+
+func (r *recordingSink) RecordStage(pipe, stage string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = append(r.obs, struct {
+		pipe, stage string
+		d           time.Duration
+		err         error
+	}{pipe, stage, d, err})
+}
+
+func TestMetricsInterceptorRecords(t *testing.T) {
+	sink := &recordingSink{}
+	p := New("op", []Stage{
+		{Name: "ok", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			return &Response{}, nil
+		}},
+	}, Metrics(sink))
+	if _, err := p.Run(context.Background(), &Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.obs) != 1 {
+		t.Fatalf("observations = %d", len(sink.obs))
+	}
+	o := sink.obs[0]
+	if o.pipe != "op" || o.stage != "ok" || o.err != nil || o.d < 0 {
+		t.Fatalf("observation = %+v", o)
+	}
+}
+
+func TestDeadlineStopsDeadContext(t *testing.T) {
+	ran := false
+	p := New("op", []Stage{
+		{Name: "s", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			ran = true
+			return &Response{}, nil
+		}},
+	}, Deadline(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Run(ctx, &Request{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled verbatim", err)
+	}
+	if ran {
+		t.Fatal("stage ran on a cancelled context")
+	}
+}
+
+func TestDeadlinePerStageTimeout(t *testing.T) {
+	p := New("op", []Stage{
+		{Name: "slow", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return &Response{}, nil
+			}
+		}},
+	}, Deadline(5*time.Millisecond))
+	_, err := p.Run(context.Background(), &Request{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	p := New("op", []Stage{
+		{Name: "bad", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			panic("kaboom")
+		}},
+	}, Recover())
+	_, err := p.Run(context.Background(), &Request{})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Pipeline != "op" || pe.Stage != "bad" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+// TestStockInterceptorOrder proves the engine's documented composition
+// — Metrics outermost, then Deadline, then Recover innermost — behaves
+// as specified: a recovered panic is observed by the metrics sink as
+// an ordinary stage error, and a deadline refusal is observed too
+// (metrics wraps deadline), while the stage itself never runs.
+func TestStockInterceptorOrder(t *testing.T) {
+	sink := &recordingSink{}
+	stock := []Interceptor{Metrics(sink), Deadline(0), Recover()}
+
+	// A panicking stage: Recover (innermost) converts, Metrics
+	// (outermost) still records the attempt with the converted error.
+	p := New("op", []Stage{
+		{Name: "bad", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			panic("kaboom")
+		}},
+	}, stock...)
+	_, err := p.Run(context.Background(), &Request{})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	if len(sink.obs) != 1 {
+		t.Fatalf("metrics observations = %d, want 1 (metrics must wrap recovery)", len(sink.obs))
+	}
+	if !errors.As(sink.obs[0].err, &pe) {
+		t.Fatalf("metrics observed err = %v, want the PanicError", sink.obs[0].err)
+	}
+
+	// A dead context: Deadline refuses the stage, Metrics still sees it.
+	sink.obs = nil
+	ran := false
+	p = New("op", []Stage{
+		{Name: "s", Run: func(ctx context.Context, req *Request) (*Response, error) {
+			ran = true
+			return &Response{}, nil
+		}},
+	}, stock...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, &Request{}); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("stage ran on dead context")
+	}
+	if len(sink.obs) != 1 || sink.obs[0].err != context.Canceled {
+		t.Fatalf("metrics must wrap deadline: obs = %+v", sink.obs)
+	}
+}

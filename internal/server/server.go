@@ -1,6 +1,8 @@
-// Package server exposes the Engine over HTTP as a small JSON API —
-// the deployment surface every commercial system in the survey's
-// Table 3 had. Endpoints cover the full explain-present-interact
+// Package server exposes a core.Service over HTTP as a small JSON API
+// — the deployment surface every commercial system in the survey's
+// Table 3 had. The server depends only on the Service interface, never
+// the concrete *core.Engine, so sharded, remote or fake backends drop
+// in unchanged. Endpoints cover the full explain-present-interact
 // cycle:
 //
 //	GET  /recommend?user=U&n=N     explained top-N
@@ -19,26 +21,36 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"mime"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/explain"
 	"repro/internal/interact"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/present"
 	"repro/internal/recsys"
 )
 
-// Server wraps an Engine with HTTP handlers.
+// maxBodyBytes caps POST bodies; every accepted payload is a few
+// hundred bytes, so 64 KiB is generous while still bounding what a
+// hostile client can make the decoder buffer.
+const maxBodyBytes = 64 << 10
+
+// Server wraps a recommendation Service with HTTP handlers.
 type Server struct {
-	engine *core.Engine
-	mux    *http.ServeMux
+	svc core.Service
+	mux *http.ServeMux
 }
 
-// New builds a Server over an engine.
-func New(engine *core.Engine) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+// New builds a Server over any core.Service implementation.
+func New(svc core.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/recommend", s.handleRecommend)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/whylow", s.handleWhyLow)
@@ -71,9 +83,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorJSON{Error: err.Error()})
 }
 
-// statusFor maps domain errors onto HTTP codes.
+// statusClientClosedRequest is the nginx-convention status for a
+// request abandoned by the client; no standard code exists.
+const statusClientClosedRequest = 499
+
+// statusFor maps domain errors onto HTTP codes. A recovered pipeline
+// panic is the server's fault (500); everything else unknown is
+// blamed on the request (400).
 func statusFor(err error) int {
+	var pe *pipeline.PanicError
 	switch {
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	case errors.Is(err, recsys.ErrColdStart), errors.Is(err, explain.ErrNoEvidence):
 		return http.StatusNotFound
 	case errors.Is(err, model.ErrUnknownItem):
@@ -113,6 +138,33 @@ func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	w.Header().Set("Allow", method)
 	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s only", method))
 	return false
+}
+
+// decodeJSON enforces the shared POST body contract — a JSON content
+// type when one is declared (415 otherwise), at most maxBodyBytes
+// (413), and a well-formed JSON payload (400) — and reports whether
+// the handler may proceed.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
+			writeError(w, http.StatusUnsupportedMediaType,
+				fmt.Errorf("content type %q: want application/json", ct))
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return false
+	}
+	return true
 }
 
 // entryJSON is one recommendation in a response.
@@ -159,7 +211,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.engine.RecommendContext(r.Context(), model.UserID(user), n)
+	p, err := s.svc.RecommendContext(r.Context(), model.UserID(user), n)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -205,11 +257,11 @@ func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	s.explainEndpoint(w, r, s.engine.ExplainContext)
+	s.explainEndpoint(w, r, s.svc.ExplainContext)
 }
 
 func (s *Server) handleWhyLow(w http.ResponseWriter, r *http.Request) {
-	s.explainEndpoint(w, r, s.engine.WhyLowContext)
+	s.explainEndpoint(w, r, s.svc.WhyLowContext)
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
@@ -231,7 +283,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.engine.SimilarToContext(r.Context(), model.UserID(user), model.ItemID(item), n)
+	p, err := s.svc.SimilarToContext(r.Context(), model.UserID(user), model.ItemID(item), n)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -253,8 +305,13 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req rateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	// NaN fails every range comparison, so the non-finite check must
+	// come first or a poisoned value would sail through.
+	if math.IsNaN(req.Value) || math.IsInf(req.Value, 0) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("value %v is not a finite number", req.Value))
 		return
 	}
 	if req.Value < model.MinRating || req.Value > model.MaxRating {
@@ -262,11 +319,14 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("value %v outside [%v, %v]", req.Value, model.MinRating, model.MaxRating))
 		return
 	}
-	if _, err := s.engine.Catalog().Item(req.Item); err != nil {
+	if _, err := s.svc.Catalog().Item(req.Item); err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	s.engine.Rate(req.User, req.Item, req.Value)
+	if err := s.svc.Rate(req.User, req.Item, req.Value); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "rated"})
 }
 
@@ -294,8 +354,7 @@ func (s *Server) handleOpinion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req opinionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	kind, ok := opinionKinds[req.Kind]
@@ -303,14 +362,14 @@ func (s *Server) handleOpinion(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown opinion kind %q", req.Kind))
 		return
 	}
-	err := s.engine.Opinion(req.User, interact.Opinion{Kind: kind, Item: req.Item, Aspect: req.Aspect})
+	err := s.svc.Opinion(req.User, interact.Opinion{Kind: kind, Item: req.Item, Aspect: req.Aspect})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":   "applied",
-		"surprise": s.engine.Surprise(req.User),
+		"surprise": s.svc.Surprise(req.User),
 	})
 }
 
@@ -327,11 +386,10 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req influenceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if err := s.engine.SetInfluenceWeight(req.User, req.Item, req.Weight); err != nil {
+	if err := s.svc.SetInfluenceWeight(req.User, req.Item, req.Weight); err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -345,12 +403,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
-	m := s.engine.Metrics()
+	m := s.svc.Metrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "recsys_recommendations_total %d\n", m.Recommendations)
 	fmt.Fprintf(w, "recsys_explanations_served_total %d\n", m.ExplanationsServed)
 	fmt.Fprintf(w, "recsys_whylow_queries_total %d\n", m.WhyLowQueries)
 	fmt.Fprintf(w, "recsys_repair_actions_total %d\n", m.RepairActions)
+	// Per-stage pipeline counters, sorted for a stable scrape.
+	keys := make([]string, 0, len(m.Stages))
+	for k := range m.Stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := m.Stages[k]
+		pipe, stage, _ := strings.Cut(k, "/")
+		fmt.Fprintf(w, "recsys_stage_invocations_total{pipeline=%q,stage=%q} %d\n", pipe, stage, st.Invocations)
+		fmt.Fprintf(w, "recsys_stage_errors_total{pipeline=%q,stage=%q} %d\n", pipe, stage, st.Errors)
+		fmt.Fprintf(w, "recsys_stage_latency_seconds_total{pipeline=%q,stage=%q} %.9f\n", pipe, stage, st.Latency.Seconds())
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -359,6 +430,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status": "ok",
-		"items":  s.engine.Catalog().Len(),
+		"items":  s.svc.Catalog().Len(),
 	})
 }

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -11,7 +13,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/explain"
 	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/recsys"
 )
 
 func testServer(t testing.TB) (*dataset.Community, *Server) {
@@ -33,6 +38,9 @@ func doJSON(t *testing.T, s *Server, method, path string, body interface{}) (*ht
 		}
 	}
 	req := httptest.NewRequest(method, path, &buf)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	var out map[string]interface{}
@@ -145,7 +153,7 @@ func TestRateEndpoint(t *testing.T) {
 	}
 	// The engine publishes copy-on-write snapshots and never mutates the
 	// matrix passed to core.New; read the live state through Ratings().
-	if v, ok := s.engine.Ratings().Get(1, item); !ok || v != 4.5 {
+	if v, ok := s.svc.Ratings().Get(1, item); !ok || v != 4.5 {
 		t.Fatalf("rating not stored: %v %v", v, ok)
 	}
 	if v, ok := c.Ratings.Get(1, item); ok != origOK || v != origVal {
@@ -353,6 +361,111 @@ func TestMethodNotAllowedSetsAllow(t *testing.T) {
 		}
 		if got := rec.Header().Get("Allow"); got != c.allow {
 			t.Errorf("%s %s Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+	}
+}
+
+// TestStatusFor pins the full error→HTTP-status mapping.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"cold start", recsys.ErrColdStart, http.StatusNotFound},
+		{"wrapped cold start", fmt.Errorf("user 7: %w", recsys.ErrColdStart), http.StatusNotFound},
+		{"no evidence", explain.ErrNoEvidence, http.StatusNotFound},
+		{"unknown item", model.ErrUnknownItem, http.StatusNotFound},
+		{"wrapped unknown item", fmt.Errorf("core: %w", model.ErrUnknownItem), http.StatusNotFound},
+		{"stage panic", &pipeline.PanicError{Pipeline: "recommend", Stage: "rank", Value: "boom"}, http.StatusInternalServerError},
+		{"deadline exceeded", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"client cancelled", context.Canceled, statusClientClosedRequest},
+		{"non-finite value", fmt.Errorf("rating NaN: %w", core.ErrNonFiniteValue), http.StatusBadRequest},
+		{"no influence model", core.ErrNoInfluenceModel, http.StatusBadRequest},
+		{"generic", errors.New("anything else"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("%s: statusFor(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// TestPostRejectsNonJSONContentType checks the 415 contract on every
+// POST endpoint.
+func TestPostRejectsNonJSONContentType(t *testing.T) {
+	_, s := testServer(t)
+	for _, path := range []string{"/rate", "/opinion", "/influence"} {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(`{"user":1}`))
+		req.Header.Set("Content-Type", "text/plain")
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusUnsupportedMediaType {
+			t.Errorf("%s with text/plain = %d, want 415", path, w.Code)
+		}
+	}
+	// A charset parameter on the JSON type is fine.
+	c, _ := testServer(t)
+	item := c.Catalog.Items()[0].ID
+	body := fmt.Sprintf(`{"user":1,"item":%d,"value":4}`, item)
+	req := httptest.NewRequest(http.MethodPost, "/rate", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Errorf("rate with charset param = %d, want 200: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestPostBodyTooLarge checks the 64 KiB MaxBytesReader cap.
+func TestPostBodyTooLarge(t *testing.T) {
+	_, s := testServer(t)
+	huge := `{"user":1,"pad":"` + strings.Repeat("x", 80<<10) + `"}`
+	for _, path := range []string{"/rate", "/opinion", "/influence"} {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(huge))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s with 80KiB body = %d, want 413", path, w.Code)
+		}
+	}
+}
+
+// TestRateRejectsOutOfRangeNumbers: a JSON number too large for
+// float64 must not reach the engine.
+func TestRateRejectsOutOfRangeNumbers(t *testing.T) {
+	_, s := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/rate",
+		strings.NewReader(`{"user":1,"item":1,"value":1e999}`))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("overflowing value = %d, want 400", w.Code)
+	}
+}
+
+// TestMetricsExposesStageCounters checks /metrics reports per-stage
+// pipeline latencies after traffic has flowed.
+func TestMetricsExposesStageCounters(t *testing.T) {
+	_, s := testServer(t)
+	doJSON(t, s, http.MethodGet, "/recommend?user=1&n=3", nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`recsys_stage_invocations_total{pipeline="recommend",stage="rank"} 1`,
+		`recsys_stage_invocations_total{pipeline="recommend",stage="rerank"} 1`,
+		`recsys_stage_invocations_total{pipeline="recommend",stage="explainTopN"} 1`,
+		`recsys_stage_invocations_total{pipeline="recommend",stage="present"} 1`,
+		`recsys_stage_errors_total{pipeline="recommend",stage="rank"} 0`,
+		`recsys_stage_latency_seconds_total{pipeline="recommend",stage="rank"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
 		}
 	}
 }
