@@ -1,0 +1,174 @@
+// Command recsyslint runs the repository's invariant analyzer
+// (internal/lint) over the module and reports violations as
+// "file:line:col: rule-id: message", exiting 1 when any are found.
+//
+// Usage:
+//
+//	go run ./cmd/recsyslint ./...              # whole module
+//	go run ./cmd/recsyslint ./internal/core    # one package
+//	go run ./cmd/recsyslint -rules determinism,dropped-error ./...
+//	go run ./cmd/recsyslint -list              # describe the rules
+//
+// The analyzer always loads and type-checks the whole module (rules
+// need cross-package types); the package arguments only restrict which
+// packages findings are reported for. Suppress an individual finding
+// with "//lint:ignore <rule-id> <reason>" on the offending line or the
+// line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	rulesFlag := flag.String("rules", "", "comma-separated rule ids to run (default: all)")
+	listFlag := flag.Bool("list", false, "list the registered rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: recsyslint [-rules id,id,...] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%-18s %s\n", r.ID(), r.Doc())
+		}
+		return
+	}
+
+	rules, err := selectRules(*rulesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	match, err := packageFilter(loader, cwd, args)
+	if err != nil {
+		fatal(err)
+	}
+	var selected []*lint.Package
+	for _, p := range pkgs {
+		if match(p.Path) {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("recsyslint: no packages match %s", strings.Join(args, " ")))
+	}
+
+	findings := lint.Run(selected, lint.DefaultConfig(), rules)
+	for _, f := range findings {
+		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+		if err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "recsyslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectRules resolves the -rules filter against the registry.
+func selectRules(filter string) ([]lint.Rule, error) {
+	all := lint.AllRules()
+	if filter == "" {
+		return all, nil
+	}
+	byID := make(map[string]lint.Rule, len(all))
+	for _, r := range all {
+		byID[r.ID()] = r
+	}
+	var out []lint.Rule
+	for _, id := range strings.Split(filter, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		r, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("recsyslint: unknown rule %q (known: %s)", id, strings.Join(lint.RuleIDs(), ", "))
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("recsyslint: -rules selected no rules")
+	}
+	return out, nil
+}
+
+// packageFilter turns go-style package patterns (./..., ./dir/...,
+// ./dir) into a predicate over module import paths. Patterns are
+// resolved relative to the working directory.
+func packageFilter(loader *lint.Loader, cwd string, patterns []string) (func(string) bool, error) {
+	type matcher struct {
+		path      string // import path the pattern anchors at
+		recursive bool
+	}
+	var ms []matcher
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if pat == "..." || pat == "./..." {
+			dir, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			dir, recursive = rest, true
+		}
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, dir)
+		}
+		rel, err := filepath.Rel(loader.Root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("recsyslint: pattern %q is outside module %s", pat, loader.Root)
+		}
+		ip := loader.ModPath
+		if rel != "." {
+			ip = loader.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		ms = append(ms, matcher{path: ip, recursive: recursive})
+	}
+	return func(path string) bool {
+		for _, m := range ms {
+			if path == m.path {
+				return true
+			}
+			if m.recursive && (m.path == loader.ModPath || strings.HasPrefix(path, m.path+"/")) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

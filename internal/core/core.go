@@ -393,7 +393,14 @@ func (e *Engine) WhyLowContext(ctx context.Context, u model.UserID, item model.I
 
 // BrowseAll returns the predicted-ratings-for-everything view of
 // Section 4.4.
+//
+// Contract: BrowseAllContext fails only when its context is cancelled
+// or expired, and the background context used here can do neither, so
+// the discarded error below is provably nil. Callers that need
+// cancellation (and the error that comes with it) must use
+// BrowseAllContext.
 func (e *Engine) BrowseAll(u model.UserID) *present.RatingsView {
+	//lint:ignore dropped-error BrowseAllContext only errors on ctx cancellation, impossible with context.Background()
 	v, _ := e.BrowseAllContext(context.Background(), u)
 	return v
 }

@@ -265,7 +265,7 @@ func (r *stageRecorder) RecordStage(pipe, stage string, d time.Duration, err err
 // snapshot copies the counters into a plain map for Stats.
 func (r *stageRecorder) snapshot() map[string]StageStats {
 	out := make(map[string]StageStats)
-	r.m.Range(func(k, v interface{}) bool {
+	r.m.Range(func(k, v any) bool {
 		c := v.(*stageCounter)
 		out[k.(string)] = StageStats{
 			Invocations: int(c.n.Load()),

@@ -38,7 +38,7 @@ func (r *Result) metric(name string, v float64) {
 }
 
 // check records one shape assertion; all must hold for ShapeOK.
-func (r *Result) check(ok bool, format string, args ...interface{}) {
+func (r *Result) check(ok bool, format string, args ...any) {
 	status := "PASS"
 	if !ok {
 		status = "FAIL"

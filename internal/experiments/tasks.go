@@ -226,6 +226,7 @@ func RunE7(seed uint64) *Result {
 			if i >= 3 {
 				break
 			}
+			//lint:ignore dropped-error Apply only fails on malformed opinions; NoMoreLikeThis with a catalogue item cannot be malformed
 			_ = fb.Apply(interact.Opinion{Kind: interact.NoMoreLikeThis, Item: it.ID}, it)
 			seconds += 5
 		}

@@ -1,0 +1,239 @@
+// Package lint implements recsyslint, the repository's invariant
+// analyzer. It turns the hand-maintained contracts of the serving
+// engine — immutable snapshots on the read path, context-first
+// propagation, deterministic experiment code, a lock-free pipeline,
+// no silently dropped errors — into mechanical checks that run in CI.
+//
+// The analyzer is built purely on the standard library's go/parser,
+// go/ast, go/types and go/importer (see load.go); rules receive fully
+// type-checked packages and report findings as
+// "file:line:col: rule-id: message".
+//
+// # Suppression
+//
+// A finding can be suppressed with a directive on the offending line
+// or the line directly above it:
+//
+//	//lint:ignore <rule-id> <reason>
+//
+// The reason is mandatory: a directive without one is itself reported
+// (rule-id lint-directive), as is a directive naming an unknown rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	RuleID  string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.RuleID, f.Message)
+}
+
+// Rule is one invariant check. Rules are stateless; Check is called
+// once per package and reports findings through the pass.
+type Rule interface {
+	// ID is the stable identifier used in reports, -rules filters and
+	// //lint:ignore directives.
+	ID() string
+	// Doc is a one-line description of the invariant the rule protects.
+	Doc() string
+	Check(pass *Pass)
+}
+
+// Pass couples one rule run over one package with its report sink.
+type Pass struct {
+	Cfg    *Config
+	Pkg    *Package
+	rule   string
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:     p.Pkg.Fset.Position(pos),
+		RuleID:  p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Config scopes the rules to the packages whose contracts they
+// enforce. Paths are import paths; the zero value checks nothing, so
+// use DefaultConfig (the repository's contract map) or build one
+// explicitly, as the fixture tests do.
+type Config struct {
+	// ReadPathPkgs are the packages whose stage functions form the
+	// lock-free serving read path (snapshot-mutation, lock-in-read-path).
+	ReadPathPkgs map[string]bool
+	// DeterminismPkgs are the packages that must be bit-reproducible
+	// from a seed (determinism).
+	DeterminismPkgs map[string]bool
+	// ErrorScopePrefixes are import-path prefixes inside which the
+	// dropped-error rule applies.
+	ErrorScopePrefixes []string
+	// CtxAllowlist names functions allowed to call
+	// context.Background() outside main packages, qualified as
+	// "import/path.Func" or "import/path.(*Recv).Method".
+	CtxAllowlist map[string]bool
+}
+
+// DefaultConfig returns the contract map of this repository: the read
+// path lives in internal/core and internal/pipeline, the simulated
+// user lab in internal/usersim, internal/eval, internal/experiments
+// and internal/rng, the dropped-error rule covers all of internal/,
+// and the legacy context-free Engine wrappers are the only allowed
+// context.Background() call sites outside main packages.
+func DefaultConfig() *Config {
+	return &Config{
+		ReadPathPkgs: map[string]bool{
+			"repro/internal/core":     true,
+			"repro/internal/pipeline": true,
+		},
+		DeterminismPkgs: map[string]bool{
+			"repro/internal/usersim":     true,
+			"repro/internal/eval":        true,
+			"repro/internal/experiments": true,
+			"repro/internal/rng":         true,
+		},
+		ErrorScopePrefixes: []string{"repro/internal/"},
+		CtxAllowlist: map[string]bool{
+			// The legacy compat wrappers (core.go) that adapt the
+			// context-free public API onto the *Context variants.
+			"repro/internal/core.(*Engine).Recommend": true,
+			"repro/internal/core.(*Engine).Explain":   true,
+			"repro/internal/core.(*Engine).WhyLow":    true,
+			"repro/internal/core.(*Engine).BrowseAll": true,
+			"repro/internal/core.(*Engine).SimilarTo": true,
+		},
+	}
+}
+
+// AllRules returns every registered rule, in report order.
+func AllRules() []Rule {
+	return []Rule{
+		snapshotMutation{},
+		ctxPropagation{},
+		determinism{},
+		lockInReadPath{},
+		droppedError{},
+	}
+}
+
+// RuleIDs returns the identifiers of all registered rules.
+func RuleIDs() []string {
+	rules := AllRules()
+	ids := make([]string, len(rules))
+	for i, r := range rules {
+		ids[i] = r.ID()
+	}
+	return ids
+}
+
+// Run checks pkgs with rules under cfg and returns the surviving
+// findings sorted by position. Suppressed findings are dropped;
+// malformed or unknown //lint:ignore directives are reported under the
+// lint-directive pseudo-rule.
+func Run(pkgs []*Package, cfg *Config, rules []Rule) []Finding {
+	known := make(map[string]bool)
+	for _, r := range AllRules() {
+		known[r.ID()] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, bad := directives(pkg, known)
+		out = append(out, bad...)
+		for _, r := range rules {
+			pass := &Pass{Cfg: cfg, Pkg: pkg, rule: r.ID(), report: func(f Finding) {
+				if !sup.suppresses(f) {
+					out = append(out, f)
+				}
+			}}
+			r.Check(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.RuleID < b.RuleID
+	})
+	return out
+}
+
+// suppressions indexes //lint:ignore directives: file → line → rule-ids
+// suppressed at that line and the line below it.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppresses(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Pos.Line][f.RuleID] || lines[f.Pos.Line-1][f.RuleID]
+}
+
+// directives scans a package's comments for //lint:ignore directives,
+// returning the suppression index and findings for malformed ones
+// (missing rule id or reason, or an unknown rule id).
+func directives(pkg *Package, known map[string]bool) (suppressions, []Finding) {
+	sup := make(suppressions)
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{Pos: pkg.Fset.Position(pos), RuleID: "lint-directive", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					report(c.Pos(), `malformed directive: want "//lint:ignore <rule-id> <reason>" (reason is mandatory)`)
+					continue
+				}
+				id := fields[0]
+				if !known[id] {
+					report(c.Pos(), fmt.Sprintf("//lint:ignore names unknown rule %q (known: %s)", id, strings.Join(RuleIDs(), ", ")))
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					sup[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = make(map[string]bool)
+				}
+				lines[pos.Line][id] = true
+			}
+		}
+	}
+	return sup, bad
+}
+
+// inspect walks every file of the package in source order.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches type-checked packages (including the stdlib
+// source-importer work) across all fixture tests.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// fixture loads one testdata package by path relative to testdata/src.
+func fixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	l := testLoader(t)
+	dir := filepath.Join(l.Root, "internal", "lint", "testdata", "src", filepath.FromSlash(rel))
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	return pkg
+}
+
+// wants collects the fixture's "// want <rule-id>" comments as
+// "file:line→rule-id" expectations.
+func wants(pkg *Package) map[string]string {
+	out := make(map[string]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return out
+}
+
+func ruleByID(t *testing.T, id string) Rule {
+	t.Helper()
+	for _, r := range AllRules() {
+		if r.ID() == id {
+			return r
+		}
+	}
+	t.Fatalf("no rule %q", id)
+	return nil
+}
+
+// checkFixture runs one rule over one fixture package and matches the
+// findings exactly against the fixture's want comments.
+func checkFixture(t *testing.T, pkg *Package, cfg *Config, ruleID string) {
+	t.Helper()
+	findings := Run([]*Package{pkg}, cfg, []Rule{ruleByID(t, ruleID)})
+	expected := wants(pkg)
+	got := make(map[string]string)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		if prev, dup := got[key]; dup {
+			t.Errorf("multiple findings on %s: %s and %s", key, prev, f.RuleID)
+		}
+		got[key] = f.RuleID
+	}
+	for key, want := range expected {
+		if got[key] != want {
+			t.Errorf("%s: want a %s finding, got %q", key, want, got[key])
+		}
+	}
+	for key, id := range got {
+		if _, ok := expected[key]; !ok {
+			t.Errorf("%s: unexpected %s finding", key, id)
+		}
+	}
+}
+
+func readPathCfg(pkg *Package) *Config {
+	return &Config{ReadPathPkgs: map[string]bool{pkg.Path: true}}
+}
+
+func TestSnapshotMutationFixtures(t *testing.T) {
+	bad := fixture(t, "snapshotmutation/bad")
+	checkFixture(t, bad, readPathCfg(bad), "snapshot-mutation")
+	good := fixture(t, "snapshotmutation/good")
+	checkFixture(t, good, readPathCfg(good), "snapshot-mutation")
+}
+
+func TestLockInReadPathFixtures(t *testing.T) {
+	bad := fixture(t, "lockinreadpath/bad")
+	checkFixture(t, bad, readPathCfg(bad), "lock-in-read-path")
+	good := fixture(t, "lockinreadpath/good")
+	checkFixture(t, good, readPathCfg(good), "lock-in-read-path")
+}
+
+func TestCtxPropagationFixtures(t *testing.T) {
+	bad := fixture(t, "ctxpropagation/bad")
+	checkFixture(t, bad, &Config{}, "ctx-propagation")
+	good := fixture(t, "ctxpropagation/good")
+	checkFixture(t, good, &Config{CtxAllowlist: map[string]bool{good.Path + ".allowed": true}}, "ctx-propagation")
+	mainpkg := fixture(t, "ctxpropagation/mainpkg")
+	checkFixture(t, mainpkg, &Config{}, "ctx-propagation")
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	bad := fixture(t, "determinism/bad")
+	checkFixture(t, bad, &Config{DeterminismPkgs: map[string]bool{bad.Path: true}}, "determinism")
+	good := fixture(t, "determinism/good")
+	checkFixture(t, good, &Config{DeterminismPkgs: map[string]bool{good.Path: true}}, "determinism")
+
+	// Out of scope, even the violating file is silent.
+	unscoped := Run([]*Package{bad}, &Config{}, []Rule{ruleByID(t, "determinism")})
+	if len(unscoped) != 0 {
+		t.Errorf("determinism reported outside its package scope: %v", unscoped)
+	}
+}
+
+func errScopeCfg() *Config {
+	return &Config{ErrorScopePrefixes: []string{"repro/internal/"}}
+}
+
+func TestDroppedErrorFixtures(t *testing.T) {
+	checkFixture(t, fixture(t, "droppederror/bad"), errScopeCfg(), "dropped-error")
+	checkFixture(t, fixture(t, "droppederror/good"), errScopeCfg(), "dropped-error")
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	pkg := fixture(t, "droppederror/ignored")
+	findings := Run([]*Package{pkg}, errScopeCfg(), []Rule{ruleByID(t, "dropped-error")})
+	if len(findings) != 0 {
+		t.Errorf("//lint:ignore did not suppress: %v", findings)
+	}
+}
+
+func TestDirectiveEtiquette(t *testing.T) {
+	pkg := fixture(t, "directives/bad")
+	findings := Run([]*Package{pkg}, errScopeCfg(), []Rule{ruleByID(t, "dropped-error")})
+	var directive, dropped int
+	for _, f := range findings {
+		switch f.RuleID {
+		case "lint-directive":
+			directive++
+		case "dropped-error":
+			dropped++
+		}
+	}
+	if directive != 2 {
+		t.Errorf("want 2 lint-directive findings (missing reason, unknown rule), got %d: %v", directive, findings)
+	}
+	if dropped != 2 {
+		t.Errorf("malformed directives must not suppress: want 2 dropped-error findings, got %d: %v", dropped, findings)
+	}
+}
+
+// TestRepositoryIsClean is the acceptance gate: every rule over every
+// module package must be silent, so CI fails the moment a seeded
+// violation is introduced.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check in -short mode")
+	}
+	l := testLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("LoadAll found only %d packages; the walker looks broken", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "/testdata/") {
+			t.Errorf("LoadAll must skip testdata, loaded %s", p.Path)
+		}
+	}
+	findings := Run(pkgs, DefaultConfig(), AllRules())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestRuleMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range AllRules() {
+		if r.ID() == "" || r.Doc() == "" {
+			t.Errorf("rule %T lacks id or doc", r)
+		}
+		if seen[r.ID()] {
+			t.Errorf("duplicate rule id %s", r.ID())
+		}
+		seen[r.ID()] = true
+	}
+	for _, id := range []string{"snapshot-mutation", "ctx-propagation", "determinism", "lock-in-read-path", "dropped-error"} {
+		if !seen[id] {
+			t.Errorf("registry is missing rule %s", id)
+		}
+	}
+}

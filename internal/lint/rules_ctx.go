@@ -1,0 +1,159 @@
+// The ctx-propagation rule: contexts flow down from the request
+// boundary, they are not minted mid-call-chain. Concretely it polices
+// context.Background() and context.TODO():
+//
+//   - inside a function that already receives a context.Context, any
+//     call to Background/TODO is a failure to forward the caller's
+//     context — cancellation and deadlines silently stop propagating;
+//   - elsewhere, Background/TODO is allowed only in main packages
+//     (program entry points own the root context), test files (not
+//     loaded by the analyzer), and the explicit allowlist of legacy
+//     compat wrappers in Config.CtxAllowlist.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type ctxPropagation struct{}
+
+func (ctxPropagation) ID() string { return "ctx-propagation" }
+func (ctxPropagation) Doc() string {
+	return "forward received contexts; context.Background() only in main packages or allowlisted wrappers"
+}
+
+func (ctxPropagation) Check(pass *Pass) {
+	if pass.Pkg.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		// funcs is the stack of enclosing functions; each frame records
+		// whether that function receives a context.Context and its
+		// allowlist-qualified name.
+		type frame struct {
+			hasCtx  bool
+			name    string
+			endPos  int
+			allowed bool
+		}
+		var stack []frame
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			for len(stack) > 0 && int(n.Pos()) >= stack[len(stack)-1].endPos {
+				stack = stack[:len(stack)-1]
+			}
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					return true
+				}
+				name := qualifiedName(pass, d)
+				stack = append(stack, frame{
+					hasCtx:  declaresCtxParam(pass, d.Type),
+					name:    name,
+					endPos:  int(d.End()),
+					allowed: pass.Cfg.CtxAllowlist[name],
+				})
+			case *ast.FuncLit:
+				inherited := len(stack) > 0 && stack[len(stack)-1].allowed
+				sig, _ := pass.Pkg.Info.Types[d].Type.(*types.Signature)
+				stack = append(stack, frame{
+					hasCtx:  sigHasCtxParam(sig),
+					name:    "(func literal)",
+					endPos:  int(d.End()),
+					allowed: inherited,
+				})
+			case *ast.CallExpr:
+				fn := calleeFunc(pass, d)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() != "Background" && fn.Name() != "TODO" {
+					return true
+				}
+				if len(stack) == 0 {
+					return true // package-level initialiser; out of scope
+				}
+				top := stack[len(stack)-1]
+				switch {
+				case top.hasCtx:
+					pass.Reportf(d.Pos(), "%s receives a context.Context but calls context.%s(); forward the received ctx so cancellation and deadlines propagate", top.name, fn.Name())
+				case !top.allowed:
+					pass.Reportf(d.Pos(), "context.%s() outside a main package: plumb a caller context, or add %s to the ctx allowlist if it is a deliberate compat boundary", fn.Name(), top.name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// declaresCtxParam reports whether the function type has a
+// context.Context parameter.
+func declaresCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.Pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func sigHasCtxParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, when the callee is a
+// plain identifier or selector.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// qualifiedName renders a FuncDecl as "import/path.Func" or
+// "import/path.(*Recv).Method" for allowlist matching.
+func qualifiedName(pass *Pass, d *ast.FuncDecl) string {
+	path := pass.Pkg.Path
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return path + "." + d.Name.Name
+	}
+	recv := d.Recv.List[0].Type
+	star := false
+	if s, ok := recv.(*ast.StarExpr); ok {
+		star = true
+		recv = s.X
+	}
+	// Strip generic receiver type parameters, e.g. T[K].
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ix.X
+	}
+	name := "?"
+	if id, ok := recv.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if star {
+		return path + ".(*" + name + ")." + d.Name.Name
+	}
+	return path + "." + name + "." + d.Name.Name
+}

@@ -1,0 +1,102 @@
+// The determinism rule: packages in Config.DeterminismPkgs stand in
+// for the paper's human studies, so their runs must be bit-identical
+// given a seed. Three violation classes are mechanical enough to
+// check:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until);
+//   - importing math/rand or math/rand/v2 — all randomness routes
+//     through internal/rng, whose streams are seed-stable across Go
+//     versions;
+//   - iterating a map directly into an output sink (fmt printing,
+//     tablewriter rows, strings.Builder / bytes.Buffer writes, raw
+//     io.Writer writes): Go randomises map order, so emitted text
+//     differs run to run. Collect keys, sort, then emit.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+type determinism struct{}
+
+func (determinism) ID() string { return "determinism" }
+func (determinism) Doc() string {
+	return "no wall-clock, math/rand, or map-iteration-to-output in seed-reproducible packages"
+}
+
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func (determinism) Check(pass *Pass) {
+	if !pass.Cfg.DeterminismPkgs[pass.Pkg.Path] {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in a seed-reproducible package; route all randomness through internal/rng", path)
+			}
+		}
+	}
+	pass.inspect(func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, node); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && clockFuncs[fn.Name()] {
+				pass.Reportf(node.Pos(), "time.%s() in a seed-reproducible package; wall-clock reads make runs irreproducible — thread timestamps through parameters if one is needed", fn.Name())
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.Pkg.Info.Types[node.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := firstSink(pass, node.Body); sink != "" {
+				pass.Reportf(node.Pos(), "map iteration feeds output via %s; map order is randomised — collect keys, sort, then emit", sink)
+			}
+		}
+		return true
+	})
+}
+
+// firstSink returns a description of the first output-sink call inside
+// body, or "" when the loop only accumulates (which is fine: the
+// caller can sort afterwards).
+func firstSink(pass *Pass, body *ast.BlockStmt) string {
+	var found string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg, name := fn.Pkg().Path(), fn.Name()
+		switch {
+		case pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+			found = "fmt." + name
+		case strings.HasSuffix(pkg, "tablewriter") && name == "AddRow":
+			found = "tablewriter AddRow"
+		case (pkg == "strings" || pkg == "bytes") && strings.HasPrefix(name, "Write"):
+			found = pkg + " " + name // Builder/Buffer Write* methods
+		case pkg == "io" && name == "Write":
+			found = "io.Writer Write"
+		}
+		return true
+	})
+	return found
+}

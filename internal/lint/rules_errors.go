@@ -1,0 +1,92 @@
+// The dropped-error rule: in non-test code under the configured scope
+// (internal/ by default), discarding an error result through the blank
+// identifier hides failures the serving and experiment paths are
+// contractually required to surface. Deliberate discards must carry a
+// //lint:ignore dropped-error directive with a reason, which doubles
+// as documentation of why the discard is safe.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+type droppedError struct{}
+
+func (droppedError) ID() string { return "dropped-error" }
+func (droppedError) Doc() string {
+	return "no blank-identifier discard of an error result in non-test scoped code"
+}
+
+func (r droppedError) Check(pass *Pass) {
+	inScope := false
+	for _, prefix := range pass.Cfg.ErrorScopePrefixes {
+		if strings.HasPrefix(pass.Pkg.Path, prefix) || pass.Pkg.Path+"/" == prefix {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	pass.inspect(func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Multi-value form: x, _ := f() — match blank positions against
+		// the call's result tuple.
+		if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+			tv, ok := pass.Pkg.Info.Types[assign.Rhs[0]]
+			if !ok {
+				return true
+			}
+			tuple, ok := tv.Type.(*types.Tuple)
+			if !ok || tuple.Len() != len(assign.Lhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				if isBlank(lhs) && types.Identical(tuple.At(i).Type(), errType) {
+					pass.Reportf(lhs.Pos(), "error result of %s discarded via _; handle it or add //lint:ignore dropped-error <reason>", calleeDesc(pass, assign.Rhs[0]))
+				}
+			}
+			return true
+		}
+		// One-to-one form: _ = f().
+		if len(assign.Lhs) == len(assign.Rhs) {
+			for i, lhs := range assign.Lhs {
+				if !isBlank(lhs) {
+					continue
+				}
+				tv, ok := pass.Pkg.Info.Types[assign.Rhs[i]]
+				if ok && types.Identical(tv.Type, errType) {
+					pass.Reportf(lhs.Pos(), "error value of %s discarded via _; handle it or add //lint:ignore dropped-error <reason>", calleeDesc(pass, assign.Rhs[i]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// calleeDesc describes the expression whose error is being discarded,
+// preferring the qualified callee name of a call.
+func calleeDesc(pass *Pass, e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pass, call); fn != nil {
+			if fn.Pkg() != nil {
+				return "call to " + fn.Pkg().Name() + "." + fn.Name()
+			}
+			return "call to " + fn.Name()
+		}
+		return "call to " + exprString(call.Fun)
+	}
+	return exprString(e)
+}

@@ -1,0 +1,239 @@
+// The two read-path rules. Both apply only inside "stage functions"
+// of the packages listed in Config.ReadPathPkgs: functions named
+// stageXxx, or whose signature matches the pipeline handler shape
+// func(context.Context, *Request) (*Response, error). The engine's
+// read operations execute exclusively through such functions, so a
+// violation there is a violation of the serving path's contracts.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// snapshotMutation enforces the copy-on-write contract of the PR-1
+// snapshot design: stage functions observe one immutable snapshot
+// generation and must never write to state reachable from it. New
+// generations are built and published only by the serialised write
+// path (Engine.mutate / rebuild).
+type snapshotMutation struct{}
+
+func (snapshotMutation) ID() string { return "snapshot-mutation" }
+func (snapshotMutation) Doc() string {
+	return "no assignment to state reachable from a snapshot value inside read-path stage functions"
+}
+
+func (snapshotMutation) Check(pass *Pass) {
+	forEachStageFunc(pass, func(name string, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if root := snapshotRoot(pass, lhs); root != "" {
+						pass.Reportf(lhs.Pos(), "stage %s writes through snapshot value %s; snapshots are immutable after publication — build a new generation on the write path instead", name, root)
+					}
+				}
+			case *ast.IncDecStmt:
+				if root := snapshotRoot(pass, st.X); root != "" {
+					pass.Reportf(st.X.Pos(), "stage %s writes through snapshot value %s; snapshots are immutable after publication — build a new generation on the write path instead", name, root)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// lockInReadPath keeps the serving read path lock-free: stage
+// functions must not acquire a sync.Mutex or sync.RWMutex. Per-user
+// feedback state and guarded compat mode take their locks outside the
+// stage bodies, where the engine controls ordering; a lock acquired
+// inside a stage would reintroduce cross-request contention the PR-1
+// design removed.
+type lockInReadPath struct{}
+
+func (lockInReadPath) ID() string { return "lock-in-read-path" }
+func (lockInReadPath) Doc() string {
+	return "no sync.Mutex/sync.RWMutex acquisition inside read-path stage functions"
+}
+
+var lockAcquisitions = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+func (lockInReadPath) Check(pass *Pass) {
+	forEachStageFunc(pass, func(name string, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !lockAcquisitions[sel.Sel.Name] {
+				return true
+			}
+			// Resolve the method object; promoted methods of embedded
+			// mutexes still resolve to the sync package.
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			recv := "sync"
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				t := sig.Recv().Type()
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					recv = "sync." + named.Obj().Name()
+				}
+			}
+			pass.Reportf(call.Pos(), "stage %s acquires %s.%s; the read path is lock-free — move locking to the write path or per-user state helpers", name, recv, fn.Name())
+			return true
+		})
+	})
+}
+
+// forEachStageFunc invokes fn for every stage function in the package
+// when the package is part of the configured read path: named
+// functions and methods whose name starts with "stage", plus any
+// function or literal matching the pipeline handler signature.
+func forEachStageFunc(pass *Pass, fn func(name string, body *ast.BlockStmt)) {
+	if !pass.Cfg.ReadPathPkgs[pass.Pkg.Path] {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					return true
+				}
+				if isStageName(d.Name.Name) || hasHandlerShape(pass, d.Name) {
+					fn(d.Name.Name, d.Body)
+					return false // the whole body is covered; don't double-visit literals
+				}
+			case *ast.FuncLit:
+				if sig, ok := pass.Pkg.Info.Types[d].Type.(*types.Signature); ok && isHandlerSig(sig) {
+					fn("(func literal)", d.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStageName reports whether a function name follows the stageXxx
+// convention of internal/core/stages.go.
+func isStageName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "stage")
+	return ok && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z'
+}
+
+// hasHandlerShape reports whether the declared function's type matches
+// the pipeline handler signature.
+func hasHandlerShape(pass *Pass, name *ast.Ident) bool {
+	obj := pass.Pkg.Info.Defs[name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && isHandlerSig(sig)
+}
+
+// isHandlerSig matches func(context.Context, *Request) (*Response,
+// error) structurally: the parameter and result struct types need only
+// be named Request and Response, so the rule recognises both the real
+// internal/pipeline vocabulary and self-contained fixtures.
+func isHandlerSig(sig *types.Signature) bool {
+	params, results := sig.Params(), sig.Results()
+	if params.Len() != 2 || results.Len() != 2 {
+		return false
+	}
+	return isContextType(params.At(0).Type()) &&
+		isPointerToNamed(params.At(1).Type(), "Request") &&
+		isPointerToNamed(results.At(0).Type(), "Response") &&
+		types.Identical(results.At(1).Type(), types.Universe.Lookup("error").Type())
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isPointerToNamed(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// isSnapshotType reports whether t (or what it points to) is a named
+// type following the snapshot naming convention: "snapshot" or a
+// *Snapshot suffix.
+func isSnapshotType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "snapshot" || strings.HasSuffix(name, "Snapshot")
+}
+
+// snapshotRoot reports whether the assignable expression writes
+// through a snapshot-typed value — a selector, index or dereference
+// chain with a snapshot anywhere on its spine — returning the source
+// text of the snapshot-typed subexpression, or "".
+func snapshotRoot(pass *Pass, expr ast.Expr) string {
+	for {
+		var base ast.Expr
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			base = e.X
+		case *ast.IndexExpr:
+			base = e.X
+		case *ast.StarExpr:
+			base = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		default:
+			return ""
+		}
+		if tv, ok := pass.Pkg.Info.Types[base]; ok && isSnapshotType(tv.Type) {
+			return exprString(base)
+		}
+		expr = base
+	}
+}
+
+// exprString renders a small expression for finding messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,17 @@
+// Violating fixture for the ctx-propagation rule.
+package bad
+
+import "context"
+
+func lookup(ctx context.Context, id int) error { return ctx.Err() }
+
+// fetch receives a context but mints a fresh one instead of forwarding.
+func fetch(ctx context.Context, id int) error {
+	return lookup(context.Background(), id) // want ctx-propagation
+}
+
+// refresh has no context and is not allowlisted, so Background is
+// banned outside main packages.
+func refresh() error {
+	return lookup(context.TODO(), 7) // want ctx-propagation
+}

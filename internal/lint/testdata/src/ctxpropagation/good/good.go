@@ -1,0 +1,24 @@
+// Clean fixture for the ctx-propagation rule.
+package good
+
+import "context"
+
+func lookup(ctx context.Context, id int) error { return ctx.Err() }
+
+// fetch forwards the context it received.
+func fetch(ctx context.Context, id int) error {
+	return lookup(ctx, id)
+}
+
+// derive may build on the received context.
+func derive(ctx context.Context, id int) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return lookup(sub, id)
+}
+
+// allowed models the engine's legacy compat wrappers: the test config
+// puts it on the ctx allowlist.
+func allowed(id int) error {
+	return lookup(context.Background(), id)
+}

@@ -1,0 +1,13 @@
+// Clean fixture for the ctx-propagation rule: main packages own the
+// root context, so Background is allowed without an allowlist entry.
+package main
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func main() {
+	if err := run(context.Background()); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,27 @@
+// Violating fixture for the determinism rule: wall-clock reads,
+// math/rand, and map iteration feeding an output sink.
+package bad
+
+import (
+	"fmt"
+	"math/rand" // want determinism
+	"time"
+)
+
+func seed() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+func shuffle(n int) []int {
+	return rand.Perm(n)
+}
+
+func report(scores map[string]float64) {
+	for name, s := range scores { // want determinism
+		fmt.Printf("%s=%.3f\n", name, s)
+	}
+}
+
+var _ = seed
+var _ = shuffle
+var _ = report

@@ -1,0 +1,29 @@
+// Clean fixture for the determinism rule: randomness routes through
+// internal/rng, and map iteration only accumulates — emission happens
+// in sorted key order.
+package good
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+func draw(seed uint64, n int) int {
+	return rng.New(seed).Intn(n)
+}
+
+func report(scores map[string]float64) {
+	names := make([]string, 0, len(scores))
+	for name := range scores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s=%.3f\n", name, scores[name])
+	}
+}
+
+var _ = draw
+var _ = report

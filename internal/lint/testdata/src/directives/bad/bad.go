@@ -1,0 +1,21 @@
+// Directive-etiquette fixture: an ignore without a reason and an
+// ignore naming an unknown rule are themselves findings, and neither
+// suppresses anything.
+package bad
+
+import "strconv"
+
+func missingReason(s string) int {
+	//lint:ignore dropped-error
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+func unknownRule(s string) int {
+	//lint:ignore no-such-rule because I said so
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+var _ = missingReason
+var _ = unknownRule

@@ -1,0 +1,25 @@
+// Violating fixture for the dropped-error rule.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+func parse(s string) int {
+	n, _ := strconv.Atoi(s) // want dropped-error
+	return n
+}
+
+func emit(w io.Writer) {
+	_, _ = fmt.Fprintln(w, "total") // want dropped-error
+}
+
+func shut(c io.Closer) {
+	_ = c.Close() // want dropped-error
+}
+
+var _ = parse
+var _ = emit
+var _ = shut

@@ -1,0 +1,30 @@
+// Clean fixture for the dropped-error rule: errors are handled, and
+// blank discards of non-error values stay legal.
+package good
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+func parse(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+func emit(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "total"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// first discards a bool, which is fine.
+func first(m map[string]int) int {
+	v, _ := m["k"]
+	return v
+}
+
+var _ = parse
+var _ = emit
+var _ = first

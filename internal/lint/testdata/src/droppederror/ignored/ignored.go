@@ -1,0 +1,19 @@
+// Suppression fixture: both placement forms of //lint:ignore — the
+// line above and inline — silence the dropped-error rule.
+package ignored
+
+import "strconv"
+
+func lenient(s string) int {
+	//lint:ignore dropped-error zero is the documented fallback for unparsable input
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+func inline(s string) int {
+	n, _ := strconv.Atoi(s) //lint:ignore dropped-error zero is the documented fallback
+	return n
+}
+
+var _ = lenient
+var _ = inline

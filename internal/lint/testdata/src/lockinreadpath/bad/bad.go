@@ -1,0 +1,33 @@
+// Violating fixture for the lock-in-read-path rule: stage functions
+// acquire mutexes, directly and through an embedded promotion.
+package bad
+
+import (
+	"context"
+	"sync"
+)
+
+type Request struct{}
+
+type Response struct{ N int }
+
+type shared struct {
+	sync.RWMutex
+	mu sync.Mutex
+	n  int
+}
+
+var state shared
+
+func stageCount(ctx context.Context, req *Request) (*Response, error) {
+	state.mu.Lock() // want lock-in-read-path
+	n := state.n
+	state.mu.Unlock()
+	return &Response{N: n}, nil
+}
+
+func stagePeek(ctx context.Context, req *Request) (*Response, error) {
+	state.RLock() // want lock-in-read-path
+	defer state.RUnlock()
+	return &Response{N: state.n}, nil
+}

@@ -1,0 +1,30 @@
+// Clean fixture for the lock-in-read-path rule: stages stay
+// lock-free; the write path may lock freely.
+package good
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type Request struct{}
+
+type Response struct{ N int }
+
+var (
+	mu      sync.Mutex
+	pending int
+	served  atomic.Int64
+)
+
+func stageServe(ctx context.Context, req *Request) (*Response, error) {
+	return &Response{N: int(served.Add(1))}, nil
+}
+
+// enqueue is the write path; locking here is fine.
+func enqueue(n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	pending += n
+}

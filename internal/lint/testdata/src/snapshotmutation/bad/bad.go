@@ -1,0 +1,32 @@
+// Violating fixture for the snapshot-mutation rule: stage functions
+// write through values of the snapshot type.
+package bad
+
+import "context"
+
+type Request struct{ N int }
+
+type Response struct{ Total float64 }
+
+type snapshot struct {
+	ratings []float64
+	hits    int
+}
+
+var cur = &snapshot{ratings: []float64{1, 2, 3}}
+
+func current() *snapshot { return cur }
+
+func stageAccumulate(ctx context.Context, req *Request) (*Response, error) {
+	s := current()
+	s.hits++         // want snapshot-mutation
+	s.ratings[0] = 9 // want snapshot-mutation
+	return &Response{}, nil
+}
+
+// observe has no stage prefix, but the handler signature marks it as a
+// read-path stage all the same.
+func observe(ctx context.Context, req *Request) (*Response, error) {
+	current().hits = req.N // want snapshot-mutation
+	return &Response{}, nil
+}

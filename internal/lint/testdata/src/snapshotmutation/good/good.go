@@ -1,0 +1,33 @@
+// Clean fixture for the snapshot-mutation rule: stages only read the
+// snapshot; mutation happens on the write path, outside any stage.
+package good
+
+import "context"
+
+type Request struct{ N int }
+
+type Response struct{ Total float64 }
+
+type snapshot struct {
+	ratings []float64
+	hits    int
+}
+
+var cur = &snapshot{ratings: []float64{1, 2, 3}}
+
+func stageSum(ctx context.Context, req *Request) (*Response, error) {
+	s := cur
+	total := 0.0
+	for _, v := range s.ratings {
+		total += v
+	}
+	return &Response{Total: total}, nil
+}
+
+// publish is the write path: it may build and install a fresh
+// generation, because it is not a stage function.
+func publish(n int) {
+	next := &snapshot{ratings: append([]float64(nil), cur.ratings...)}
+	next.hits = n
+	cur = next
+}

@@ -66,8 +66,8 @@ func Deadline(perStage time.Duration) Interceptor {
 type PanicError struct {
 	Pipeline string
 	Stage    string
-	Value    interface{} // the recovered panic value
-	Stack    []byte      // goroutine stack at the panic site
+	Value    any    // the recovered panic value
+	Stack    []byte // goroutine stack at the panic site
 }
 
 // Error implements error.

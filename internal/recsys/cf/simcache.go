@@ -59,7 +59,7 @@ func (c *simCache) cloneWithout(drop ...int64) *simCache {
 		return false
 	}
 	out := newSimCache()
-	c.m.Range(func(k, v interface{}) bool {
+	c.m.Range(func(k, v any) bool {
 		pk := k.(pairKey)
 		if !dropped(pk.a) && !dropped(pk.b) {
 			out.m.Store(pk, v)
@@ -72,6 +72,6 @@ func (c *simCache) cloneWithout(drop ...int64) *simCache {
 // len reports the number of cached entries (test helper).
 func (c *simCache) len() int {
 	n := 0
-	c.m.Range(func(_, _ interface{}) bool { n++; return true })
+	c.m.Range(func(_, _ any) bool { n++; return true })
 	return n
 }

@@ -135,7 +135,7 @@ func (r *KeywordRecommender) RebindMatrix(m *model.Matrix, touched ...model.User
 // copyCacheExcept copies a UserID-keyed sync.Map, skipping the listed
 // users. Shared by the profile and Bayes-model caches.
 func copyCacheExcept(src, dst *sync.Map, drop []model.UserID) {
-	src.Range(func(k, v interface{}) bool {
+	src.Range(func(k, v any) bool {
 		u := k.(model.UserID)
 		for _, d := range drop {
 			if u == d {

@@ -73,9 +73,10 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//lint:ignore dropped-error status and headers are already on the wire; an Encode failure here means a closed client connection, which has no recovery
 	_ = json.NewEncoder(w).Encode(v)
 }
 
@@ -144,7 +145,7 @@ func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 // type when one is declared (415 otherwise), at most maxBodyBytes
 // (413), and a well-formed JSON payload (400) — and reports whether
 // the handler may proceed.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		mt, _, err := mime.ParseMediaType(ct)
 		if err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
@@ -216,7 +217,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"user":            user,
 		"recommendations": toEntries(p),
 	})
@@ -288,7 +289,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"seed":    item,
 		"similar": toEntries(p),
 	})
@@ -367,7 +368,7 @@ func (s *Server) handleOpinion(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "applied",
 		"surprise": s.svc.Surprise(req.User),
 	})
@@ -428,7 +429,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"items":  s.svc.Catalog().Len(),
 	})

@@ -29,7 +29,7 @@ func testServer(t testing.TB) (*dataset.Community, *Server) {
 	return c, New(eng)
 }
 
-func doJSON(t *testing.T, s *Server, method, path string, body interface{}) (*httptest.ResponseRecorder, map[string]interface{}) {
+func doJSON(t *testing.T, s *Server, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
 	t.Helper()
 	var buf bytes.Buffer
 	if body != nil {
@@ -43,7 +43,7 @@ func doJSON(t *testing.T, s *Server, method, path string, body interface{}) (*ht
 	}
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	var out map[string]interface{}
+	var out map[string]any
 	if rec.Body.Len() > 0 {
 		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 			t.Fatalf("invalid JSON response %q: %v", rec.Body.String(), err)
@@ -58,11 +58,11 @@ func TestRecommendEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %v", rec.Code, out)
 	}
-	recs, ok := out["recommendations"].([]interface{})
+	recs, ok := out["recommendations"].([]any)
 	if !ok || len(recs) != 5 {
 		t.Fatalf("recommendations = %v", out["recommendations"])
 	}
-	first := recs[0].(map[string]interface{})
+	first := recs[0].(map[string]any)
 	if first["title"] == "" || first["score"] == nil {
 		t.Fatalf("entry = %v", first)
 	}
@@ -90,8 +90,8 @@ func TestRecommendValidation(t *testing.T) {
 func TestExplainEndpoint(t *testing.T) {
 	_, s := testServer(t)
 	_, out := doJSON(t, s, http.MethodGet, "/recommend?user=2&n=1", nil)
-	recs := out["recommendations"].([]interface{})
-	item := int(recs[0].(map[string]interface{})["item"].(float64))
+	recs := out["recommendations"].([]any)
+	item := int(recs[0].(map[string]any)["item"].(float64))
 
 	rec, exp := doJSON(t, s, http.MethodGet, fmt.Sprintf("/explain?user=2&item=%d", item), nil)
 	if rec.Code != http.StatusOK {
@@ -137,7 +137,7 @@ func TestSimilarEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %v", rec.Code, out)
 	}
-	similar, ok := out["similar"].([]interface{})
+	similar, ok := out["similar"].([]any)
 	if !ok || len(similar) == 0 {
 		t.Fatalf("similar = %v", out)
 	}
@@ -206,15 +206,15 @@ func TestOpinionAffectsRecommendations(t *testing.T) {
 	// Full loop over HTTP: block the top pick, recommend again, gone.
 	_, s := testServer(t)
 	_, out := doJSON(t, s, http.MethodGet, "/recommend?user=4&n=5", nil)
-	top := int(out["recommendations"].([]interface{})[0].(map[string]interface{})["item"].(float64))
+	top := int(out["recommendations"].([]any)[0].(map[string]any)["item"].(float64))
 	rec, _ := doJSON(t, s, http.MethodPost, "/opinion",
 		opinionRequest{User: 4, Kind: "no-more-like-this", Item: model.ItemID(top)})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("opinion status = %d", rec.Code)
 	}
 	_, out = doJSON(t, s, http.MethodGet, "/recommend?user=4&n=5", nil)
-	for _, e := range out["recommendations"].([]interface{}) {
-		if int(e.(map[string]interface{})["item"].(float64)) == top {
+	for _, e := range out["recommendations"].([]any) {
+		if int(e.(map[string]any)["item"].(float64)) == top {
 			t.Fatal("blocked item still recommended over HTTP")
 		}
 	}

@@ -31,7 +31,7 @@ func Table2() *tablewriter.Table {
 	}
 	t.SetAligns(aligns...)
 	for _, s := range Table2Systems() {
-		row := []interface{}{s.Ref + " " + s.Name}
+		row := []any{s.Ref + " " + s.Name}
 		for _, a := range AllAims {
 			if s.HasAim(a) {
 				row = append(row, "X")

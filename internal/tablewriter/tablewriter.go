@@ -7,6 +7,7 @@ package tablewriter
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Align controls horizontal alignment of a column.
@@ -49,7 +50,7 @@ func (t *Table) SetAligns(aligns ...Align) *Table {
 // AddRow appends a row. Cells are formatted with fmt.Sprint, except
 // float64 values which are rendered with 3 decimal places for stable,
 // readable experiment output.
-func (t *Table) AddRow(cells ...interface{}) *Table {
+func (t *Table) AddRow(cells ...any) *Table {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -78,18 +79,24 @@ func (t *Table) columnCount() int {
 	return n
 }
 
+// cellWidth measures a cell in runes, not bytes, so multi-byte
+// characters (em-dashes, accented names, CJK titles) do not inflate
+// their column. Double-width terminal rendering of CJK glyphs is out
+// of scope — that needs Unicode width tables the stdlib doesn't ship.
+func cellWidth(s string) int { return utf8.RuneCountInString(s) }
+
 func (t *Table) widths() []int {
 	n := t.columnCount()
 	w := make([]int, n)
 	for i, h := range t.header {
-		if len(h) > w[i] {
-			w[i] = len(h)
+		if cellWidth(h) > w[i] {
+			w[i] = cellWidth(h)
 		}
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if len(c) > w[i] {
-				w[i] = len(c)
+			if cellWidth(c) > w[i] {
+				w[i] = cellWidth(c)
 			}
 		}
 	}
@@ -104,7 +111,7 @@ func (t *Table) alignOf(i int) Align {
 }
 
 func pad(s string, width int, a Align) string {
-	gap := width - len(s)
+	gap := width - cellWidth(s)
 	if gap <= 0 {
 		return s
 	}

@@ -102,6 +102,64 @@ func TestMarkdown(t *testing.T) {
 	}
 }
 
+func TestEmptyTable(t *testing.T) {
+	if got := (&Table{}).String(); got != "" {
+		t.Errorf("zero-value table renders %q, want empty", got)
+	}
+	if got := (&Table{}).Markdown(); got != "|\n|\n" {
+		// No headers, no rows: a degenerate two-line markdown skeleton.
+		t.Errorf("zero-value markdown renders %q", got)
+	}
+	// Header but no rows: header and rule, nothing else.
+	got := New("a", "bb").String()
+	want := "a  bb\n-  --\n"
+	if got != want {
+		t.Errorf("header-only table:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestSingleColumn(t *testing.T) {
+	got := New("name").AddRow("x").AddRow("longer").String()
+	// The widest cell ("longer", 6 runes) sets the column width, so the
+	// header rule is 6 dashes.
+	want := "name\n------\nx\nlonger\n"
+	if got != want {
+		t.Errorf("single column:\n%q\nwant\n%q", got, want)
+	}
+}
+
+// TestUnicodeCellWidths pins the rune-based width contract: multi-byte
+// cells (accented words, em-dashes, CJK titles) must not inflate their
+// column, so the next column starts at the same rune offset on every
+// row. Double-width glyph rendering is explicitly out of scope.
+func TestUnicodeCellWidths(t *testing.T) {
+	tb := New("title", "n").
+		AddRow("plain", 1).
+		AddRow("réalisé", 2). // 7 runes, 9 bytes
+		AddRow("推荐系统", 3)     // 4 runes, 12 bytes
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), tb.String())
+	}
+	// The widest first column is "réalisé" (7 runes), so every row's
+	// single-rune second cell sits at rune offset 7+2.
+	const wantOffset = 9
+	for _, line := range lines[2:] {
+		runes := []rune(line)
+		if off := len(runes) - 1; off != wantOffset {
+			t.Errorf("row %q: last cell at rune offset %d, want %d", line, off, wantOffset)
+		}
+	}
+}
+
+func TestMarkdownUnicode(t *testing.T) {
+	md := New("title", "n").AddRow("推荐", 1).Markdown()
+	want := "| title | n |\n| --- | --- |\n| 推荐 | 1 |\n"
+	if md != want {
+		t.Errorf("markdown:\n%q\nwant\n%q", md, want)
+	}
+}
+
 func TestNumRows(t *testing.T) {
 	tb := New("a")
 	if tb.NumRows() != 0 {
