@@ -1,6 +1,11 @@
 // Command recserver serves an explanation-capable recommender over
 // HTTP. It loads a stored community (see cmd/datasetgen) or generates
-// a synthetic one, then exposes the JSON API of internal/server.
+// a synthetic one, then exposes the JSON API of internal/server with
+// the resilience chain (breakers, load shedding, degraded-mode
+// fallbacks) installed. On SIGTERM/SIGINT it drains gracefully:
+// /healthz flips to 503 so load balancers rotate the instance out,
+// in-flight requests get -drain-timeout to finish, and only then does
+// the listener close.
 //
 //	recserver -addr :8080 -load ./data
 //	curl 'localhost:8080/recommend?user=1&n=5'
@@ -9,10 +14,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +37,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "community seed (ignored with -load)")
 	load := flag.String("load", "", "directory with catalog.json and ratings.json")
 	personality := flag.String("personality", "neutral", "neutral, affirming, serendipitous, bold or frank")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	shedConcurrency := flag.Int("shed-concurrency", 256, "per-stage concurrency limit before load shedding (0 = off)")
+	retryAttempts := flag.Int("retry-attempts", 2, "attempts per read stage, including the first (<2 = no retry)")
 	flag.Parse()
 
 	catalog, ratings, err := loadOrGenerate(*load, *seed)
@@ -38,7 +51,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("recserver: %v", err)
 	}
-	eng, err := core.New(catalog, ratings, core.WithSeed(*seed), core.WithPersonality(p))
+	eng, err := core.New(catalog, ratings,
+		core.WithSeed(*seed),
+		core.WithPersonality(p),
+		core.WithResilience(core.ResilienceConfig{
+			MaxConcurrent: *shedConcurrency,
+			RetryAttempts: *retryAttempts,
+			RetrySeed:     *seed,
+		}),
+	)
 	if err != nil {
 		log.Fatalf("recserver: %v", err)
 	}
@@ -46,16 +67,41 @@ func main() {
 	// a sharded or remote backend drops in here without touching
 	// internal/server.
 	var svc core.Service = eng
+	h := server.New(svc, server.WithRequestTimeout(*requestTimeout))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(svc),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
 	log.Printf("recserver: %d items, %d ratings, personality %s, listening on %s",
 		catalog.Len(), ratings.Len(), p, *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-done:
+		// The listener failed before any signal arrived.
+		log.Fatalf("recserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: advertise unhealthiness first so load balancers stop
+	// sending new work, then let in-flight requests finish.
+	log.Printf("recserver: shutdown signal received, draining for up to %s", *drainTimeout)
+	h.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("recserver: drain deadline exceeded, closing remaining connections: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("recserver: %v", err)
 	}
+	log.Printf("recserver: drained, exiting")
 }
 
 func parsePersonality(name string) (present.Personality, error) {

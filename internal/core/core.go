@@ -98,9 +98,18 @@ type Engine struct {
 	extraICs     []pipeline.Interceptor
 	stageTimeout time.Duration
 
+	// resilience enables the breaker/shed/retry/fallback chain
+	// (nil = off); chaos holds fault-injection interceptors composed
+	// innermost, inside Recover, so injected panics exercise the real
+	// recovery path.
+	resilience *ResilienceConfig
+	chaos      []pipeline.Interceptor
+
 	// stageStats collects per-stage latency/count observations from
-	// the Metrics interceptor.
+	// the Metrics interceptor; resEvents counts resilience events
+	// (breaker transitions, sheds, retries, fallbacks).
 	stageStats stageRecorder
+	resEvents  eventRecorder
 
 	// writeMu serialises all snapshot-publishing mutations.
 	writeMu sync.Mutex
@@ -123,6 +132,10 @@ type snapshot struct {
 	rec       recsys.Recommender
 	explainer explain.Explainer
 	low       present.LowExplainer
+
+	// degraded is the cheap explainer degraded-mode serving draws on
+	// when the primary explain stage is unavailable (see resilience.go).
+	degraded explain.Explainer
 
 	// Default substrate, rebound (caches carried, touched entries
 	// dropped) on every write. Explanations are always grounded in it
@@ -149,10 +162,17 @@ type Stats struct {
 	ExplanationsServed int // explanations attached or fetched on demand
 	WhyLowQueries      int // "why is this low?" scrutiny
 	RepairActions      int // ratings changed/removed + opinions applied
+	DegradedServed     int // responses served by a degraded fallback stage
 
 	// Stages holds per-stage pipeline counters keyed "pipeline/stage"
-	// (e.g. "recommend/rank"): invocations, errors, cumulative latency.
+	// (e.g. "recommend/rank"): invocations, errors, panics, cumulative
+	// latency.
 	Stages map[string]StageStats
+
+	// Resilience holds resilience-event counters keyed
+	// "pipeline/stage/event" (e.g. "explain/explain/breaker_open");
+	// empty unless WithResilience is installed and events occurred.
+	Resilience map[string]int
 }
 
 // counters is the atomic backing store for Stats, so pure reads never
@@ -162,6 +182,7 @@ type counters struct {
 	explanationsServed atomic.Int64
 	whyLowQueries      atomic.Int64
 	repairActions      atomic.Int64
+	degradedServed     atomic.Int64
 }
 
 // Option configures an Engine.
@@ -287,7 +308,9 @@ func (e *Engine) wire(s *snapshot) {
 	hx.Fallback = explain.NewProfileExplainer(s.kw)
 	s.rec = h
 	s.explainer = hx
-	s.low = explain.NewProfileExplainer(s.kw)
+	pe := explain.NewProfileExplainer(s.kw)
+	s.low = pe
+	s.degraded = pe
 	s.editable = true
 }
 
@@ -554,7 +577,9 @@ func (e *Engine) Metrics() Stats {
 		ExplanationsServed: int(e.stats.explanationsServed.Load()),
 		WhyLowQueries:      int(e.stats.whyLowQueries.Load()),
 		RepairActions:      int(e.stats.repairActions.Load()),
+		DegradedServed:     int(e.stats.degradedServed.Load()),
 		Stages:             e.stageStats.snapshot(),
+		Resilience:         e.resEvents.snapshot(),
 	}
 }
 

@@ -1,0 +1,312 @@
+// Resilience wiring: the engine's degraded-mode serving path.
+//
+// WithResilience inserts the internal/resilience chain — load shedding,
+// fallback routing, circuit breaking, retry — between the Metrics and
+// Deadline interceptors of every read pipeline, and registers degraded
+// replacements for the expensive stages: when the primary ranking or
+// explanation stage fails with an infrastructure fault (breaker open,
+// per-stage deadline, recovered panic, retries exhausted), the request
+// is served from cheap popularity/profile evidence instead of erroring,
+// and the response is tagged Degraded so clients see the downgrade.
+// Domain outcomes (cold start, unknown item, no evidence) are not
+// infrastructure faults: they keep their error semantics and never trip
+// a breaker.
+
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"repro/internal/resilience"
+)
+
+// Sentinels of the resilience layer, re-exported so frontends can map
+// them to HTTP statuses without importing internal/resilience.
+var (
+	// ErrBreakerOpen reports a stage refused because its circuit
+	// breaker is open and no fallback route absorbed it. Maps to 503.
+	ErrBreakerOpen = resilience.ErrBreakerOpen
+	// ErrOverloaded reports a request shed because a stage's
+	// concurrency limit and queue were full. Maps to 429.
+	ErrOverloaded = resilience.ErrOverloaded
+	// ErrDegraded reports that degraded-mode serving was attempted and
+	// the fallback path itself failed. Maps to 503.
+	ErrDegraded = resilience.ErrDegraded
+)
+
+// ResilienceConfig tunes the resilience chain installed by
+// WithResilience. The zero value enables breakers and degraded
+// fallbacks with library defaults, no shedding and no retry.
+type ResilienceConfig struct {
+	// BreakerThreshold is the run of consecutive infrastructure
+	// failures that opens a stage's circuit. 0 means the library
+	// default (5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects before
+	// probing. 0 means the library default (1s).
+	BreakerCooldown time.Duration
+	// BreakerProbes is the number of successful half-open probes that
+	// close the circuit again. 0 means the library default (1).
+	BreakerProbes int
+
+	// MaxConcurrent bounds concurrent executions per stage; 0 disables
+	// load shedding entirely.
+	MaxConcurrent int
+	// MaxQueue bounds waiters beyond MaxConcurrent before arrivals are
+	// shed with ErrOverloaded. 0 means MaxConcurrent.
+	MaxQueue int
+
+	// RetryAttempts is the total tries per stage execution, including
+	// the first; values below 2 disable retrying. Retrying is safe
+	// here because every read stage rebuilds its working fields from
+	// scratch on each run.
+	RetryAttempts int
+	// RetryBase is the pre-jitter backoff before the first retry. 0
+	// means the library default (2ms).
+	RetryBase time.Duration
+	// RetrySeed seeds the jitter stream (0 means 1). All resilience
+	// randomness routes through internal/rng for reproducibility.
+	RetrySeed uint64
+}
+
+// WithResilience installs the breaker/shed/retry/fallback chain on
+// every read pipeline (see ResilienceConfig and DESIGN.md §7). With it
+// installed, Recommend and Explain keep answering — marked degraded —
+// while their primary stages are broken, and Stats gains resilience
+// event counters under Stats.Resilience.
+func WithResilience(cfg ResilienceConfig) Option {
+	return func(e *Engine) { e.resilience = &cfg }
+}
+
+// WithChaos installs a fault-injection interceptor (internal/fault)
+// innermost — inside the Recover interceptor — so injected panics and
+// errors are indistinguishable from genuine stage failures to every
+// production layer above: recovery, retry, breaker, fallback and
+// metrics all see exactly what they would see in a real incident.
+// Repeated options nest in the order given.
+func WithChaos(ic pipeline.Interceptor) Option {
+	return func(e *Engine) { e.chaos = append(e.chaos, ic) }
+}
+
+// resilienceChain builds the interceptors between Metrics and Deadline:
+// Shed (optional) → Fallback → Breaker → Retry (optional). Ordering
+// rationale lives in the internal/resilience package documentation.
+func (e *Engine) resilienceChain() []pipeline.Interceptor {
+	cfg := e.resilience
+	var ics []pipeline.Interceptor
+	if cfg.MaxConcurrent > 0 {
+		ics = append(ics, resilience.Shed(resilience.ShedOptions{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+			Recorder:      &e.resEvents,
+		}))
+	}
+	ics = append(ics, resilience.Fallback(resilience.FallbackOptions{
+		Routes: []resilience.Route{
+			{Pipeline: pipeline.OpRecommend, Stage: "rank", Handler: e.stageRankDegraded},
+			{Pipeline: pipeline.OpRecommend, Stage: "explainTopN", Handler: e.stageExplainTopNDegraded},
+			{Pipeline: pipeline.OpExplain, Stage: "explain", Handler: e.stageExplainDegraded},
+			{Pipeline: pipeline.OpWhyLow, Stage: "explainLow", Handler: e.stageExplainDegraded},
+		},
+		When:     infrastructureFailure,
+		Recorder: &e.resEvents,
+	}))
+	ics = append(ics, resilience.Breaker(resilience.BreakerOptions{
+		FailureThreshold: cfg.BreakerThreshold,
+		Cooldown:         cfg.BreakerCooldown,
+		HalfOpenProbes:   cfg.BreakerProbes,
+		ShouldTrip:       infrastructureFailure,
+		Recorder:         &e.resEvents,
+	}))
+	if cfg.RetryAttempts >= 2 {
+		ics = append(ics, resilience.Retry(resilience.RetryOptions{
+			Attempts:  cfg.RetryAttempts,
+			BaseDelay: cfg.RetryBase,
+			Seed:      cfg.RetrySeed,
+			Recorder:  &e.resEvents,
+		}))
+	}
+	return ics
+}
+
+// infrastructureFailure reports whether err is a genuine serving fault
+// — the kind that should trip a breaker and reroute to degraded mode —
+// as opposed to a domain outcome (cold start, unknown item, no
+// evidence, invalid input) that is the correct answer to the request,
+// or an overload rejection that must stay an overload rejection.
+func infrastructureFailure(err error) bool {
+	if err == nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, resilience.ErrOverloaded) {
+		return false
+	}
+	for _, domain := range []error{
+		recsys.ErrColdStart,
+		explain.ErrNoEvidence,
+		model.ErrUnknownItem,
+		ErrNonFiniteValue,
+		ErrNoInfluenceModel,
+	} {
+		if errors.Is(err, domain) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- degraded-mode stages ----
+
+// stageRankDegraded replaces the rank stage when the primary
+// recommender is unavailable: a popularity ranking straight off the
+// snapshot's rating matrix. It is deliberately model-free — the point
+// of degraded mode is to not depend on the component that just failed.
+func (e *Engine) stageRankDegraded(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	pool := req.N * 4
+	if pool < 20 {
+		pool = 20
+	}
+	req.Preds = popularityRanking(s.ratings, e.catalog, req.User, pool)
+	e.stats.recommendations.Add(1)
+	e.stats.degradedServed.Add(1)
+	return nil, nil
+}
+
+// popularityRanking scores every unrated catalogue item by its mean
+// rating with a shrinkage confidence n/(n+5); items nobody rated score
+// the global mean with zero confidence, so the list is never empty
+// while the catalogue has unrated items.
+func popularityRanking(m *model.Matrix, cat *model.Catalog, u model.UserID, n int) []recsys.Prediction {
+	rated := recsys.ExcludeRated(m, u)
+	global := m.GlobalMean()
+	var preds []recsys.Prediction
+	for _, it := range cat.Items() {
+		if rated(it.ID) {
+			continue
+		}
+		score, conf := global, 0.0
+		if mean, ok := m.ItemMean(it.ID); ok {
+			c := float64(len(m.ItemRatings(it.ID)))
+			score, conf = mean, c/(c+5)
+		}
+		preds = append(preds, recsys.Prediction{Item: it.ID, Score: score, Confidence: conf})
+	}
+	recsys.SortPredictions(preds)
+	return recsys.TopN(preds, n)
+}
+
+// stageExplainTopNDegraded replaces explainTopN: every surviving entry
+// gets a cheap degraded explanation instead of the primary explainer's.
+// Entries are rebuilt from scratch (idempotent under retry).
+func (e *Engine) stageExplainTopNDegraded(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	req.Entries = nil
+	for _, pr := range req.Preds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		it, err := e.catalog.Item(pr.Item)
+		if err != nil {
+			continue
+		}
+		exp := e.degradedExplanation(s, req.User, it)
+		e.stats.explanationsServed.Add(1)
+		req.Entries = append(req.Entries, present.Entry{Item: it, Prediction: pr, Explanation: exp})
+	}
+	e.stats.degradedServed.Add(1)
+	return nil, nil
+}
+
+// stageExplainDegraded replaces the explain (and explainLow) stage for
+// on-demand justification: the resolve stage has already bound
+// req.Target, so only the explanation source is downgraded.
+func (e *Engine) stageExplainDegraded(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	s := snapshotFrom(ctx)
+	req.Explanation = e.degradedExplanation(s, req.User, req.Target)
+	e.stats.explanationsServed.Add(1)
+	e.stats.degradedServed.Add(1)
+	return nil, nil
+}
+
+// degradedExplanation produces a schema-complete explanation without
+// touching the primary explainer, trying progressively cheaper
+// evidence; it never fails, which is what makes the fallback routes
+// total. Every result is marked Degraded.
+func (e *Engine) degradedExplanation(s *snapshot, u model.UserID, it *model.Item) *explain.Explanation {
+	// Cheapest faithful source first: the keyword profile explainer
+	// ("your interests suggest..."), which shares no machinery with the
+	// hybrid explainer path beyond the keyword index.
+	if s.degraded != nil {
+		if exp, err := s.degraded.Explain(u, it); err == nil {
+			exp.Degraded = true
+			return exp
+		}
+	}
+	// Popularity evidence: honest collaborative-style summary from raw
+	// rating counts.
+	if mean, ok := s.ratings.ItemMean(it.ID); ok {
+		c := float64(len(s.ratings.ItemRatings(it.ID)))
+		return &explain.Explanation{
+			Style: explain.CollaborativeBased,
+			Text: fmt.Sprintf("%d of our users rated %s, averaging %s.",
+				int(c), it.Title, ratedPhrase(mean)),
+			Confidence: c / (c + 5),
+			Faithful:   true,
+			Degraded:   true,
+		}
+	}
+	// Last resort: a catalogue pick with no grounding evidence; marked
+	// unfaithful because it reflects no data about the recommendation.
+	return &explain.Explanation{
+		Style:    explain.PreferenceBased,
+		Text:     fmt.Sprintf("%s is one of our catalogue picks.", it.Title),
+		Faithful: false,
+		Degraded: true,
+	}
+}
+
+// ratedPhrase renders "4.2 stars" fragments for degraded explanations.
+func ratedPhrase(v float64) string { return fmt.Sprintf("%.1f stars", v) }
+
+// ---- resilience event counters ----
+
+// eventRecorder implements resilience.Recorder over a sync.Map, the
+// same lock-free-after-first-touch pattern as stageRecorder. Keys are
+// "pipeline/stage/event".
+type eventRecorder struct {
+	m sync.Map // "pipeline/stage/event" → *atomic.Int64
+}
+
+// RecordEvent implements resilience.Recorder.
+func (r *eventRecorder) RecordEvent(pipe, stage, event string) {
+	key := pipe + "/" + stage + "/" + event
+	v, ok := r.m.Load(key)
+	if !ok {
+		v, _ = r.m.LoadOrStore(key, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// snapshot copies the counters into a plain map for Stats, sorted
+// iteration being the caller's concern. Nil when no events occurred.
+func (r *eventRecorder) snapshot() map[string]int {
+	var out map[string]int
+	r.m.Range(func(k, v any) bool {
+		if out == nil {
+			out = make(map[string]int)
+		}
+		out[k.(string)] = int(v.(*atomic.Int64).Load())
+		return true
+	})
+	return out
+}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -69,13 +70,26 @@ type pipelines struct {
 // buildPipelines composes the read-operation pipelines once, at
 // construction time. Custom interceptors installed via WithInterceptor
 // wrap outside the stock set, so they observe each stage exactly as
-// the stock chain reports it.
+// the stock chain reports it. With WithResilience the full per-stage
+// chain is
+//
+//	extraICs → Metrics → Shed → Fallback → Breaker → Retry →
+//	Deadline → Recover → chaos → stage
+//
+// (see DESIGN.md §7 for the ordering rationale); chaos interceptors
+// (WithChaos) sit innermost so injected faults traverse every
+// production layer.
 func (e *Engine) buildPipelines() {
 	ics := append(append([]pipeline.Interceptor{}, e.extraICs...),
-		pipeline.Metrics(&e.stageStats),
+		pipeline.Metrics(&e.stageStats))
+	if e.resilience != nil {
+		ics = append(ics, e.resilienceChain()...)
+	}
+	ics = append(ics,
 		pipeline.Deadline(e.stageTimeout),
 		pipeline.Recover(),
 	)
+	ics = append(ics, e.chaos...)
 	e.pipes = pipelines{
 		recommend: pipeline.New(pipeline.OpRecommend, []pipeline.Stage{
 			{Name: "rank", Run: e.stageRank},
@@ -134,6 +148,9 @@ func (e *Engine) stageRerank(ctx context.Context, req *pipeline.Request) (*pipel
 // request stops paying the explanation cost mid-list.
 func (e *Engine) stageExplainTopN(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	s := snapshotFrom(ctx)
+	// Rebuild the entry list from scratch: the stage must stay
+	// idempotent so the resilience layer can retry it.
+	req.Entries = nil
 	for _, pr := range req.Preds {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -156,8 +173,9 @@ func (e *Engine) stageExplainTopN(ctx context.Context, req *pipeline.Request) (*
 // presentation.
 func (e *Engine) stagePresentTopN(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	return &pipeline.Response{Presentation: &present.Presentation{
-		Title:   fmt.Sprintf("Top %d for you", len(req.Preds)),
-		Entries: req.Entries,
+		Title:    fmt.Sprintf("Top %d for you", len(req.Preds)),
+		Entries:  req.Entries,
+		Degraded: req.Degraded,
 	}}, nil
 }
 
@@ -201,12 +219,19 @@ func (e *Engine) stageExplainLow(ctx context.Context, req *pipeline.Request) (*p
 // stagePresentDecorated finishes an explanation with the personality's
 // presentation layer (disclosure, tone).
 func (e *Engine) stagePresentDecorated(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
-	return &pipeline.Response{Explanation: e.personality.Decorate(req.Explanation)}, nil
+	exp := e.personality.Decorate(req.Explanation)
+	if req.Degraded {
+		exp.Degraded = true
+	}
+	return &pipeline.Response{Explanation: exp}, nil
 }
 
 // stagePresentExplanation returns the explanation as generated; why-low
 // answers are scrutiny, not persuasion, so the personality stays out.
 func (e *Engine) stagePresentExplanation(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	if req.Degraded {
+		req.Explanation.Degraded = true
+	}
 	return &pipeline.Response{Explanation: req.Explanation}, nil
 }
 
@@ -231,14 +256,16 @@ func (e *Engine) stagePresentSimilar(ctx context.Context, req *pipeline.Request)
 type StageStats struct {
 	Invocations int           // stage executions (including refused/failed)
 	Errors      int           // executions that returned an error
+	Panics      int           // executions whose error was a recovered panic
 	Latency     time.Duration // cumulative wall time inside the stage chain
 }
 
 // stageCounter is the atomic backing store of one stage's counters.
 type stageCounter struct {
-	n     atomic.Int64
-	errs  atomic.Int64
-	nanos atomic.Int64
+	n      atomic.Int64
+	errs   atomic.Int64
+	panics atomic.Int64
+	nanos  atomic.Int64
 }
 
 // stageRecorder implements pipeline.StatsRecorder over a sync.Map so
@@ -259,6 +286,14 @@ func (r *stageRecorder) RecordStage(pipe, stage string, d time.Duration, err err
 	c.nanos.Add(int64(d))
 	if err != nil {
 		c.errs.Add(1)
+		// Keep the stage identity of a recovered panic: Recover wraps
+		// the panic value with pipeline/stage, and counting it here
+		// (rather than only in the error total) preserves that context
+		// in Stats even when a fallback later absorbs the error.
+		var pe *pipeline.PanicError
+		if errors.As(err, &pe) {
+			c.panics.Add(1)
+		}
 	}
 }
 
@@ -270,6 +305,7 @@ func (r *stageRecorder) snapshot() map[string]StageStats {
 		out[k.(string)] = StageStats{
 			Invocations: int(c.n.Load()),
 			Errors:      int(c.errs.Load()),
+			Panics:      int(c.panics.Load()),
 			Latency:     time.Duration(c.nanos.Load()),
 		}
 		return true

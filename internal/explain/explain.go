@@ -96,6 +96,12 @@ type Explanation struct {
 	Faithful bool
 	// Evidence holds the structured payload the Text was rendered from.
 	Evidence Evidence
+	// Degraded reports that this explanation was produced by a cheaper
+	// fallback path because the primary explainer was unavailable
+	// (breaker open, deadline, panic). Degraded explanations are still
+	// well-formed; the flag keeps the downgrade honest — the survey's
+	// trust aim asks the system to admit its limits, not hide them.
+	Degraded bool
 }
 
 // Explainer generates explanations for (user, item) pairs. Each

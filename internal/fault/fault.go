@@ -1,0 +1,190 @@
+// Package fault injects failures into serving pipelines —
+// deterministically. Chaos testing is only trustworthy when a failing
+// run can be replayed bit-for-bit, so every probabilistic decision
+// draws from a seeded internal/rng stream (the package sits under
+// recsyslint's determinism rule: wall-clock reads and math/rand are
+// mechanically banned) and every counted trigger (every-nth-call)
+// advances an explicit per-rule counter.
+//
+// An Injector wraps any pipeline.Stage, either one at a time (Wrap) or
+// as a pipeline.Interceptor applied to a whole pipeline, and applies
+// its Rules to matching stages: added latency, injected errors, and
+// injected panics. The engine composes chaos interceptors *innermost*
+// — inside Recover — so injected panics exercise the real recovery and
+// fallback machinery exactly as a genuine stage panic would.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+)
+
+// ErrInjected is the conventional error value for injected failures.
+// Rules may carry any error; tests that only need "some infrastructure
+// fault" use this one.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Rule describes one fault: which stages it matches, when it fires,
+// and what it does. A fired rule applies Latency first (honouring the
+// request context), then raises Panic if set, then returns Err if set;
+// a rule with neither Panic nor Err is a pure latency fault.
+type Rule struct {
+	// Pipeline restricts the rule to one pipeline; "" matches any.
+	Pipeline string
+	// Stage restricts the rule to one stage name; "" matches any.
+	Stage string
+
+	// Nth fires the rule on every nth matching call (1 = every call).
+	// When Nth is 0, the rule instead fires with probability P, drawn
+	// from the injector's seeded stream.
+	Nth int
+	// P is the firing probability used when Nth == 0.
+	P float64
+	// Count caps the total number of firings; 0 means unlimited.
+	Count int
+
+	// Latency is injected before the effect (and before the stage runs
+	// for latency-only rules).
+	Latency time.Duration
+	// Err is returned to the caller, wrapped with the stage identity.
+	Err error
+	// Panic is raised, exercising the pipeline's recovery path.
+	Panic any
+}
+
+// Injector applies a fixed rule set to the stages it wraps. All
+// mutable state (call counters, the probability stream) lives behind
+// one mutex, so an Injector is safe for concurrent use and its
+// decisions are reproducible from the seed in sequential runs.
+type Injector struct {
+	mu    sync.Mutex
+	rnd   *rng.RNG
+	rules []*ruleState
+}
+
+type ruleState struct {
+	Rule
+	calls int // matching stage executions seen
+	fired int // times the rule actually fired
+}
+
+// NewInjector builds an injector over rules, with probability draws
+// seeded by seed. Rules sharing an Injector share its deterministic
+// stream; rule counters are per-rule but global across all stages the
+// rule matches, so "every 3rd matching call" counts calls to any
+// matched stage.
+func NewInjector(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{rnd: rng.New(seed)}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Interceptor returns the injector as a pipeline interceptor: stages
+// with at least one matching rule are wrapped, others are returned
+// untouched.
+func (in *Injector) Interceptor() pipeline.Interceptor {
+	return func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		var matched []*ruleState
+		for _, r := range in.rules {
+			if r.matches(info) {
+				matched = append(matched, r)
+			}
+		}
+		if len(matched) == 0 {
+			return next
+		}
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			for _, r := range matched {
+				if !in.fire(r) {
+					continue
+				}
+				if r.Latency > 0 {
+					if err := waitCtx(ctx, r.Latency); err != nil {
+						return nil, err
+					}
+				}
+				if r.Panic != nil {
+					panic(r.Panic)
+				}
+				if r.Err != nil {
+					return nil, fmt.Errorf("stage %s/%s: %w", info.Pipeline, info.Stage, r.Err)
+				}
+			}
+			return next(ctx, req)
+		}
+	}
+}
+
+// Wrap returns st wrapped with the injector for use in the named
+// pipeline — the single-stage form of Interceptor, for tests that
+// build pipelines by hand.
+func (in *Injector) Wrap(pipelineName string, st pipeline.Stage) pipeline.Stage {
+	info := pipeline.StageInfo{Pipeline: pipelineName, Stage: st.Name}
+	return pipeline.Stage{Name: st.Name, Run: in.Interceptor()(info, st.Run)}
+}
+
+// Calls reports how many matching stage executions rule i has seen.
+func (in *Injector) Calls(i int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rules[i].calls
+}
+
+// Fired reports how many times rule i has fired.
+func (in *Injector) Fired(i int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rules[i].fired
+}
+
+func (r *ruleState) matches(info pipeline.StageInfo) bool {
+	if r.Pipeline != "" && r.Pipeline != info.Pipeline {
+		return false
+	}
+	if r.Stage != "" && r.Stage != info.Stage {
+		return false
+	}
+	return true
+}
+
+// fire advances rule r's counters and decides whether it fires on this
+// call.
+func (in *Injector) fire(r *ruleState) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r.calls++
+	if r.Count > 0 && r.fired >= r.Count {
+		return false
+	}
+	var hit bool
+	if r.Nth > 0 {
+		hit = r.calls%r.Nth == 0
+	} else {
+		hit = in.rnd.Bernoulli(r.P)
+	}
+	if hit {
+		r.fired++
+	}
+	return hit
+}
+
+// waitCtx sleeps d or until ctx dies, returning the context's error in
+// the latter case.
+func waitCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

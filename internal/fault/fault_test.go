@@ -1,0 +1,208 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func okHandler(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	return &pipeline.Response{}, nil
+}
+
+func run(t *testing.T, p *pipeline.Pipeline) error {
+	t.Helper()
+	_, err := p.Run(context.Background(), &pipeline.Request{})
+	return err
+}
+
+func onePipeline(in *Injector, h pipeline.Handler) *pipeline.Pipeline {
+	return pipeline.New("p", []pipeline.Stage{{Name: "s", Run: h}}, in.Interceptor())
+}
+
+// TestNthCallRule: Nth=3 fires on exactly every third matching call.
+func TestNthCallRule(t *testing.T) {
+	in := NewInjector(1, Rule{Stage: "s", Nth: 3, Err: ErrInjected})
+	p := onePipeline(in, okHandler)
+	var failed []int
+	for i := 1; i <= 9; i++ {
+		if err := run(t, p); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(failed) != len(want) {
+		t.Fatalf("failures at %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failures at %v, want %v", failed, want)
+		}
+	}
+	if in.Calls(0) != 9 || in.Fired(0) != 3 {
+		t.Fatalf("calls=%d fired=%d, want 9/3", in.Calls(0), in.Fired(0))
+	}
+}
+
+// TestCountCapsFirings: Count=2 stops injecting after two faults even
+// though the rule keeps matching.
+func TestCountCapsFirings(t *testing.T) {
+	in := NewInjector(1, Rule{Stage: "s", Nth: 1, Count: 2, Err: ErrInjected})
+	p := onePipeline(in, okHandler)
+	var failures int
+	for i := 0; i < 10; i++ {
+		if run(t, p) != nil {
+			failures++
+		}
+	}
+	if failures != 2 || in.Fired(0) != 2 {
+		t.Fatalf("failures=%d fired=%d, want 2/2", failures, in.Fired(0))
+	}
+}
+
+// TestProbabilityRuleDeterministic: equal seeds reproduce the exact
+// firing pattern; different seeds (almost surely) differ, and the
+// firing rate lands near P.
+func TestProbabilityRuleDeterministic(t *testing.T) {
+	pattern := func(seed uint64) string {
+		in := NewInjector(seed, Rule{Stage: "s", P: 0.3, Err: ErrInjected})
+		p := onePipeline(in, okHandler)
+		var b strings.Builder
+		for i := 0; i < 200; i++ {
+			if run(t, p) != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(42), pattern(42)
+	if a != b {
+		t.Fatalf("same seed, different patterns:\n%s\n%s", a, b)
+	}
+	fired := strings.Count(a, "x")
+	if fired < 30 || fired > 90 {
+		t.Fatalf("P=0.3 fired %d/200 times, far from expectation", fired)
+	}
+	if pattern(43) == a {
+		t.Fatal("different seeds produced identical 200-call patterns")
+	}
+}
+
+// TestPanicRule: the injected panic propagates out of the stage (the
+// pipeline's Recover interceptor is deliberately absent here).
+func TestPanicRule(t *testing.T) {
+	in := NewInjector(1, Rule{Stage: "s", Nth: 1, Panic: "chaos"})
+	p := onePipeline(in, okHandler)
+	defer func() {
+		if v := recover(); v != "chaos" {
+			t.Fatalf("recovered %v, want injected panic value", v)
+		}
+	}()
+	_ = run(t, p)
+	t.Fatal("stage did not panic")
+}
+
+// TestPanicRecoveredByPipeline: composed inside pipeline.Recover, an
+// injected panic surfaces as a PanicError carrying the stage identity —
+// exactly like a genuine stage panic.
+func TestPanicRecoveredByPipeline(t *testing.T) {
+	in := NewInjector(1, Rule{Stage: "s", Nth: 1, Panic: "chaos"})
+	p := pipeline.New("p", []pipeline.Stage{{Name: "s", Run: okHandler}},
+		pipeline.Recover(), in.Interceptor())
+	err := run(t, p)
+	var pe *pipeline.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if pe.Pipeline != "p" || pe.Stage != "s" {
+		t.Fatalf("panic attributed to %s/%s, want p/s", pe.Pipeline, pe.Stage)
+	}
+}
+
+// TestLatencyRuleHonoursContext: a latency injection aborts with the
+// context's error when the request dies mid-wait.
+func TestLatencyRuleHonoursContext(t *testing.T) {
+	in := NewInjector(1, Rule{Stage: "s", Nth: 1, Latency: time.Hour})
+	p := onePipeline(in, okHandler)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(ctx, &pipeline.Request{})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRuleMatching: pipeline/stage selectors restrict where rules
+// apply; "" wildcards.
+func TestRuleMatching(t *testing.T) {
+	in := NewInjector(1,
+		Rule{Pipeline: "other", Stage: "s", Nth: 1, Err: ErrInjected},
+		Rule{Pipeline: "p", Stage: "t", Nth: 1, Err: ErrInjected},
+	)
+	p := onePipeline(in, okHandler)
+	if err := run(t, p); err != nil {
+		t.Fatalf("err = %v; no rule should match stage p/s", err)
+	}
+	wild := NewInjector(1, Rule{Nth: 1, Err: ErrInjected})
+	if err := run(t, onePipeline(wild, okHandler)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wildcard rule to fire", err)
+	}
+}
+
+// TestInjectedErrorCarriesStageIdentity: wrapped errors name the stage,
+// so chaos-test failures are attributable.
+func TestInjectedErrorCarriesStageIdentity(t *testing.T) {
+	in := NewInjector(1, Rule{Stage: "s", Nth: 1, Err: ErrInjected})
+	err := run(t, onePipeline(in, okHandler))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "p/s") {
+		t.Fatalf("err %q does not name the stage", err)
+	}
+}
+
+// TestWrap: the single-stage form applies the same rules.
+func TestWrap(t *testing.T) {
+	in := NewInjector(1, Rule{Pipeline: "p", Stage: "s", Nth: 2, Err: ErrInjected})
+	st := in.Wrap("p", pipeline.Stage{Name: "s", Run: okHandler})
+	if _, err := st.Run(context.Background(), &pipeline.Request{}); err != nil {
+		t.Fatalf("call 1: err = %v, want success", err)
+	}
+	if _, err := st.Run(context.Background(), &pipeline.Request{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 2: err = %v, want injected", err)
+	}
+}
+
+// TestInjectorConcurrentUse hammers one injector from many goroutines
+// (run with -race); the total fired count must equal the rule cap.
+func TestInjectorConcurrentUse(t *testing.T) {
+	in := NewInjector(1, Rule{Stage: "s", Nth: 1, Count: 64, Err: ErrInjected})
+	p := onePipeline(in, okHandler)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				//lint:ignore dropped-error the failure pattern is asserted via Fired below, not per call
+				_, _ = p.Run(context.Background(), &pipeline.Request{})
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Calls(0) != 256 || in.Fired(0) != 64 {
+		t.Fatalf("calls=%d fired=%d, want 256/64", in.Calls(0), in.Fired(0))
+	}
+}

@@ -93,6 +93,13 @@ type Config struct {
 // and internal/rng, the dropped-error rule covers all of internal/,
 // and the legacy context-free Engine wrappers are the only allowed
 // context.Background() call sites outside main packages.
+//
+// internal/resilience and internal/fault are determinism packages too:
+// retry jitter and fault-injection probability must draw from seeded
+// internal/rng streams so a failing chaos run replays bit-for-bit.
+// (Timer-based waiting — time.NewTimer, time.AfterFunc — is not a
+// determinism leak and stays allowed; only wall-clock reads and
+// math/rand are banned.)
 func DefaultConfig() *Config {
 	return &Config{
 		ReadPathPkgs: map[string]bool{
@@ -104,6 +111,8 @@ func DefaultConfig() *Config {
 			"repro/internal/eval":        true,
 			"repro/internal/experiments": true,
 			"repro/internal/rng":         true,
+			"repro/internal/resilience":  true,
+			"repro/internal/fault":       true,
 		},
 		ErrorScopePrefixes: []string{"repro/internal/"},
 		CtxAllowlist: map[string]bool{

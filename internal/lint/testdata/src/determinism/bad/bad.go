@@ -22,6 +22,15 @@ func report(scores map[string]float64) {
 	}
 }
 
+// backoff derives retry jitter from the wall clock: two runs of the
+// same failing test back off differently, so the failure cannot be
+// replayed. The resilience layer must draw jitter from a seeded
+// internal/rng stream instead.
+func backoff(base time.Duration) time.Duration {
+	return base/2 + time.Duration(time.Now().UnixNano()%int64(base/2)) // want determinism
+}
+
 var _ = seed
 var _ = shuffle
 var _ = report
+var _ = backoff

@@ -6,6 +6,7 @@ package good
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -25,5 +26,13 @@ func report(scores map[string]float64) {
 	}
 }
 
+// backoff derives retry jitter from a seeded stream, the pattern
+// internal/resilience uses: reproducible from the seed, yet still
+// spreading concurrent retries apart.
+func backoff(r *rng.RNG, base time.Duration) time.Duration {
+	return base/2 + time.Duration(r.Float64()*float64(base/2))
+}
+
 var _ = draw
 var _ = report
+var _ = backoff

@@ -62,6 +62,12 @@ type Request struct {
 	Target      *model.Item          // resolved Item (resolve → *)
 	Entries     []present.Entry      // explained entries (explainTopN → present)
 	Explanation *explain.Explanation // single explanation (explain/explainLow → present)
+
+	// Degraded is set by fallback interceptors when a primary stage
+	// failed and a cheaper degraded-mode path filled the working set
+	// instead; presentation stages copy it onto the terminal response
+	// object so clients see the downgrade.
+	Degraded bool
 }
 
 // Response is the terminal product of a pipeline run; exactly one

@@ -31,6 +31,11 @@ type Entry struct {
 type Presentation struct {
 	Title   string
 	Entries []Entry
+	// Degraded reports that part of the serving pipeline ran in
+	// degraded mode (fallback ranking or fallback explanations); the
+	// HTTP layer surfaces it so clients can tell a downgraded answer
+	// from a full one.
+	Degraded bool
 }
 
 // Render draws the presentation as plain text: rank, stars, title, and

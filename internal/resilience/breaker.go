@@ -1,0 +1,186 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// BreakerOptions configures the circuit-breaker interceptor. The zero
+// value is usable: every field has a default.
+type BreakerOptions struct {
+	// FailureThreshold is the run of consecutive trip-worthy failures
+	// that opens the circuit. Default 5.
+	FailureThreshold int
+	// Cooldown is how long an open circuit rejects calls before moving
+	// to half-open and admitting probes. Default 1s.
+	Cooldown time.Duration
+	// HalfOpenProbes is the number of consecutive successful probes a
+	// half-open circuit needs to close again. Probes are admitted one
+	// at a time. Default 1.
+	HalfOpenProbes int
+	// ShouldTrip decides whether an error counts toward opening the
+	// circuit. Default: any non-nil error except context.Canceled.
+	// Callers normally exclude domain outcomes (cold start, no
+	// evidence) so a run of legitimate 404s cannot open a circuit.
+	ShouldTrip func(error) bool
+	// Stages selects which stages get a breaker; nil means all.
+	Stages func(pipeline.StageInfo) bool
+	// Recorder receives breaker_* events; nil discards them.
+	Recorder Recorder
+	// After schedules the open → half-open transition; it exists so
+	// tests can trigger the cooldown deterministically instead of
+	// sleeping. Default time.AfterFunc.
+	After func(d time.Duration, f func())
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 1
+	}
+	if o.ShouldTrip == nil {
+		o.ShouldTrip = func(err error) bool {
+			return err != nil && !errors.Is(err, context.Canceled)
+		}
+	}
+	if o.After == nil {
+		o.After = func(d time.Duration, f func()) { time.AfterFunc(d, f) }
+	}
+	o.Recorder = orNop(o.Recorder)
+	return o
+}
+
+// Breaker returns an interceptor giving every wrapped stage its own
+// circuit: closed while healthy, open (calls rejected with
+// ErrBreakerOpen) after FailureThreshold consecutive trip-worthy
+// failures, half-open (single probes admitted) after Cooldown, and
+// closed again after HalfOpenProbes probe successes. State transitions
+// are reported to the Recorder as breaker_* events.
+func Breaker(opts BreakerOptions) pipeline.Interceptor {
+	opts = opts.withDefaults()
+	return func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		if opts.Stages != nil && !opts.Stages(info) {
+			return next
+		}
+		b := &breakerState{opts: opts, info: info}
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			if !b.allow() {
+				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventBreakerReject)
+				return nil, fmt.Errorf("stage %s/%s: %w", info.Pipeline, info.Stage, ErrBreakerOpen)
+			}
+			resp, err := next(ctx, req)
+			b.observe(err)
+			return resp, err
+		}
+	}
+}
+
+// Circuit states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breakerState is one stage's circuit. A mutex (not atomics) keeps the
+// state machine simple and provably consistent; the critical section
+// is a handful of integer updates, far below stage-execution cost.
+type breakerState struct {
+	opts BreakerOptions
+	info pipeline.StageInfo
+
+	mu      sync.Mutex
+	state   int
+	fails   int  // consecutive trip-worthy failures while closed
+	succ    int  // consecutive probe successes while half-open
+	probing bool // a half-open probe is in flight
+	gen     int  // open-generation; stale cooldown timers no-op
+}
+
+// allow reports whether a call may proceed, reserving the half-open
+// probe slot when applicable.
+func (b *breakerState) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default: // stateOpen
+		return false
+	}
+}
+
+// observe feeds one call outcome into the state machine.
+func (b *breakerState) observe(err error) {
+	trip := err != nil && b.opts.ShouldTrip(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		if !trip {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.opts.FailureThreshold {
+			b.open()
+		}
+	case stateHalfOpen:
+		b.probing = false
+		if trip {
+			b.open()
+			return
+		}
+		b.succ++
+		if b.succ >= b.opts.HalfOpenProbes {
+			b.state = stateClosed
+			b.fails = 0
+			b.opts.Recorder.RecordEvent(b.info.Pipeline, b.info.Stage, EventBreakerClose)
+		}
+	default:
+		// stateOpen: an in-flight call admitted before the trip
+		// completed; its outcome no longer matters.
+	}
+}
+
+// open trips the circuit and schedules the half-open transition.
+// Callers must hold b.mu.
+func (b *breakerState) open() {
+	b.state = stateOpen
+	b.fails = 0
+	b.succ = 0
+	b.gen++
+	gen := b.gen
+	b.opts.Recorder.RecordEvent(b.info.Pipeline, b.info.Stage, EventBreakerOpen)
+	b.opts.After(b.opts.Cooldown, func() { b.halfOpen(gen) })
+}
+
+// halfOpen moves an open circuit of generation gen to half-open; a
+// timer from a previous open generation is ignored.
+func (b *breakerState) halfOpen(gen int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateOpen || b.gen != gen {
+		return
+	}
+	b.state = stateHalfOpen
+	b.succ = 0
+	b.probing = false
+	b.opts.Recorder.RecordEvent(b.info.Pipeline, b.info.Stage, EventBreakerHalfOpen)
+}

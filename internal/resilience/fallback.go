@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/pipeline"
+)
+
+// Route binds one stage to a degraded-mode replacement handler. The
+// handler has the ordinary stage signature: it may fill the request's
+// working set and yield (nil response) so downstream stages keep
+// running, or return a terminal response itself.
+type Route struct {
+	// Pipeline restricts the route to one pipeline; "" matches any.
+	Pipeline string
+	// Stage is the stage name the route protects.
+	Stage string
+	// Handler is the degraded-mode replacement.
+	Handler pipeline.Handler
+}
+
+// FallbackOptions configures the fallback interceptor.
+type FallbackOptions struct {
+	// Routes are the degraded-mode replacements, matched first-wins.
+	// A stage with no route is passed through untouched.
+	Routes []Route
+	// When decides whether an error warrants degraded serving.
+	// Default: any non-nil error except context.Canceled (the caller
+	// is gone) and ErrOverloaded (shedding means shed — serving
+	// degraded work under overload defeats the point of refusing it).
+	// Callers normally also exclude domain outcomes so a legitimate
+	// not-found keeps its status code.
+	When func(error) bool
+	// Recorder receives fallback, fallback_error and panic events;
+	// nil discards them.
+	Recorder Recorder
+}
+
+func (o FallbackOptions) withDefaults() FallbackOptions {
+	if o.When == nil {
+		o.When = func(err error) bool {
+			return err != nil &&
+				!errors.Is(err, context.Canceled) &&
+				!errors.Is(err, ErrOverloaded)
+		}
+	}
+	o.Recorder = orNop(o.Recorder)
+	return o
+}
+
+// Fallback returns an interceptor that reroutes a failed stage to its
+// degraded-mode replacement: when the wrapped stage (including the
+// breaker, retry, deadline and recovery layers composed inside it)
+// returns an error matching When, the route's handler runs instead and
+// the request is marked Degraded so the presentation layer can tag the
+// response. If the degraded path itself fails, the stage error becomes
+// ErrDegraded — the one case where degraded mode surfaces as a 503.
+//
+// Compose Fallback outside Breaker so an open circuit is absorbed
+// into degraded serving, and inside Shed so overload rejections are
+// not.
+func Fallback(opts FallbackOptions) pipeline.Interceptor {
+	opts = opts.withDefaults()
+	return func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		route := matchRoute(opts.Routes, info)
+		if route == nil {
+			return next
+		}
+		degraded := route.Handler
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			resp, err := next(ctx, req)
+			if err == nil || !opts.When(err) {
+				return resp, err
+			}
+			var pe *pipeline.PanicError
+			if errors.As(err, &pe) {
+				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventPanic)
+			}
+			opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventFallback)
+			req.Degraded = true
+			fresp, ferr := degraded(ctx, req)
+			if ferr != nil {
+				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventFallbackError)
+				return nil, fmt.Errorf("stage %s/%s: %w (primary: %v; fallback: %v)",
+					info.Pipeline, info.Stage, ErrDegraded, err, ferr)
+			}
+			return fresp, nil
+		}
+	}
+}
+
+// matchRoute returns the first route matching info, or nil.
+func matchRoute(routes []Route, info pipeline.StageInfo) *Route {
+	for i := range routes {
+		r := &routes[i]
+		if r.Stage != info.Stage {
+			continue
+		}
+		if r.Pipeline != "" && r.Pipeline != info.Pipeline {
+			continue
+		}
+		return r
+	}
+	return nil
+}

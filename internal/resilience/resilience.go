@@ -1,0 +1,107 @@
+// Package resilience hardens the serving pipeline against failure.
+// The survey's trust aim (Table 1) is explicitly about keeping users
+// confident in the system even when the recommender errs; for a
+// service that means failing *gracefully* — shedding load it cannot
+// carry, refusing to hammer a broken stage, retrying transient
+// faults, and serving a cheaper degraded explanation instead of an
+// error page — rather than failing closed.
+//
+// Everything here is a pipeline.Interceptor, composable with the
+// stock Metrics/Deadline/Recover chain of internal/pipeline. The
+// engine inserts them between Metrics and Deadline in this order:
+//
+//	Metrics ⟶ Shed ⟶ Fallback ⟶ Breaker ⟶ Retry ⟶ Deadline ⟶ Recover ⟶ stage
+//
+// The ordering is load-bearing:
+//
+//   - Shed is outermost of the four so overload is rejected before any
+//     further work — including degraded work — is attempted; a shed
+//     request is the one failure Fallback does not absorb.
+//   - Fallback wraps Breaker so an open circuit (ErrBreakerOpen), a
+//     retry-exhausted fault, a per-stage deadline, or a recovered
+//     panic all reroute to the degraded handler.
+//   - Breaker wraps Retry so the circuit counts post-retry outcomes: a
+//     stage that succeeds on its second attempt is a success.
+//   - Retry wraps Deadline so every attempt gets a fresh per-stage
+//     deadline (WithStageTimeout), and its backoff jitter draws from a
+//     seeded internal/rng stream — this package is covered by
+//     recsyslint's determinism rule, so wall-clock reads and math/rand
+//     are mechanically banned from it.
+//
+// The package is domain-agnostic: it never inspects requests, only
+// errors. Callers supply the judgement calls — which errors should
+// trip a breaker or deserve a fallback (infrastructure faults yes,
+// domain outcomes like a cold-start user no) — via predicates.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Sentinel errors of the resilience layer. internal/core re-exports
+// them and the HTTP layer maps them onto 429/503 with Retry-After.
+var (
+	// ErrBreakerOpen is returned when a stage's circuit breaker is open
+	// and no fallback route absorbs it. Maps to 503.
+	ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+	// ErrOverloaded is returned when load shedding rejects a request
+	// because a stage's concurrency limit and queue are full. Maps to
+	// 429.
+	ErrOverloaded = errors.New("resilience: overloaded, load shed")
+	// ErrDegraded is returned when degraded-mode serving was attempted
+	// and the fallback path itself failed. Maps to 503.
+	ErrDegraded = errors.New("resilience: degraded-mode serving failed")
+)
+
+// Recorder counts resilience events (breaker transitions and
+// rejections, shed rejections, retries, fallback activations) per
+// pipeline stage. The engine's counters implement it; implementations
+// must be safe for concurrent use, and cheap — breakers invoke it with
+// internal locks held.
+type Recorder interface {
+	RecordEvent(pipeline, stage, event string)
+}
+
+// Event names passed to Recorder.RecordEvent.
+const (
+	EventBreakerOpen     = "breaker_open"      // circuit tripped closed → open
+	EventBreakerHalfOpen = "breaker_half_open" // cooldown elapsed, probing
+	EventBreakerClose    = "breaker_close"     // probe(s) succeeded, recovered
+	EventBreakerReject   = "breaker_reject"    // call refused while open
+	EventShedReject      = "shed_reject"       // limit + queue full, load shed
+	EventRetry           = "retry"             // one re-attempt after a fault
+	EventFallback        = "fallback"          // degraded handler invoked
+	EventFallbackError   = "fallback_error"    // degraded handler also failed
+	EventPanic           = "panic"             // recovered panic rerouted
+)
+
+// nopRecorder is the default when no Recorder is configured.
+type nopRecorder struct{}
+
+func (nopRecorder) RecordEvent(pipeline, stage, event string) {}
+
+// orNop returns rec, or the no-op recorder when rec is nil.
+func orNop(rec Recorder) Recorder {
+	if rec == nil {
+		return nopRecorder{}
+	}
+	return rec
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first,
+// returning the context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,515 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+)
+
+// eventLog is a Recorder that accumulates events for assertions.
+type eventLog struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newEventLog() *eventLog { return &eventLog{m: make(map[string]int)} }
+
+func (l *eventLog) RecordEvent(pipe, stage, event string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m[pipe+"/"+stage+"/"+event]++
+}
+
+func (l *eventLog) count(key string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m[key]
+}
+
+// manualClock is the After seam: it captures scheduled cooldown
+// callbacks so tests drive the open → half-open transition explicitly
+// instead of sleeping.
+type manualClock struct {
+	mu      sync.Mutex
+	pending []func()
+}
+
+func (c *manualClock) After(d time.Duration, f func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, f)
+}
+
+// fire runs and clears all captured callbacks.
+func (c *manualClock) fire() {
+	c.mu.Lock()
+	fs := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, f := range fs {
+		f()
+	}
+}
+
+// onePipeline builds a single-stage "p"/"s" pipeline wrapped by ics.
+func onePipeline(h pipeline.Handler, ics ...pipeline.Interceptor) *pipeline.Pipeline {
+	return pipeline.New("p", []pipeline.Stage{{Name: "s", Run: h}}, ics...)
+}
+
+func okHandler(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+	return &pipeline.Response{}, nil
+}
+
+// TestBreakerTransitions walks the full state machine — closed → open
+// → half-open → closed — with the cooldown driven by the manual clock,
+// and checks every transition is observable as a recorder event.
+func TestBreakerTransitions(t *testing.T) {
+	clock := &manualClock{}
+	log := newEventLog()
+	inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Count: 3, Err: fault.ErrInjected})
+	p := onePipeline(okHandler,
+		Breaker(BreakerOptions{FailureThreshold: 3, After: clock.After, Recorder: log}),
+		inj.Interceptor(),
+	)
+	ctx := context.Background()
+
+	// Three injected failures open the circuit.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Run(ctx, &pipeline.Request{}); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("call %d: err = %v, want injected fault", i, err)
+		}
+	}
+	if got := log.count("p/s/" + EventBreakerOpen); got != 1 {
+		t.Fatalf("breaker_open events = %d, want 1", got)
+	}
+
+	// While open, calls are rejected without reaching the stage: the
+	// injector's rule is exhausted (Count: 3), so a call that got
+	// through would succeed.
+	if _, err := p.Run(ctx, &pipeline.Request{}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open circuit: err = %v, want ErrBreakerOpen", err)
+	}
+	if got := log.count("p/s/" + EventBreakerReject); got != 1 {
+		t.Fatalf("breaker_reject events = %d, want 1", got)
+	}
+
+	// Cooldown elapses (manually): half-open, one successful probe
+	// closes the circuit again.
+	clock.fire()
+	if got := log.count("p/s/" + EventBreakerHalfOpen); got != 1 {
+		t.Fatalf("breaker_half_open events = %d, want 1", got)
+	}
+	if _, err := p.Run(ctx, &pipeline.Request{}); err != nil {
+		t.Fatalf("probe: err = %v, want success", err)
+	}
+	if got := log.count("p/s/" + EventBreakerClose); got != 1 {
+		t.Fatalf("breaker_close events = %d, want 1", got)
+	}
+	// Closed again: calls flow.
+	if _, err := p.Run(ctx, &pipeline.Request{}); err != nil {
+		t.Fatalf("after close: err = %v, want success", err)
+	}
+}
+
+// TestBreakerHalfOpenAdmitsOneProbe pins the probe discipline: while a
+// half-open probe is in flight, other calls are rejected.
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	clock := &manualClock{}
+	inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Count: 1, Err: fault.ErrInjected})
+	probeEntered := make(chan struct{})
+	probeRelease := make(chan struct{})
+	blocking := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		close(probeEntered)
+		<-probeRelease
+		return &pipeline.Response{}, nil
+	}
+	p := onePipeline(blocking,
+		Breaker(BreakerOptions{FailureThreshold: 1, After: clock.After}),
+		inj.Interceptor(),
+	)
+	ctx := context.Background()
+	if _, err := p.Run(ctx, &pipeline.Request{}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	clock.fire() // half-open
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(ctx, &pipeline.Request{})
+		done <- err
+	}()
+	<-probeEntered
+	// The probe slot is taken; a concurrent call must be rejected.
+	if _, err := p.Run(ctx, &pipeline.Request{}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second probe: err = %v, want ErrBreakerOpen", err)
+	}
+	close(probeRelease)
+	if err := <-done; err != nil {
+		t.Fatalf("probe: err = %v, want success", err)
+	}
+}
+
+// TestBreakerConcurrentLoad hammers a breaker-wrapped stage from many
+// goroutines while the fault injector fails a bounded prefix of calls,
+// then heals. Run under -race this exercises the state machine's
+// locking; the assertions check the circuit both opened and recovered,
+// and that every call got exactly one of the three legal outcomes.
+func TestBreakerConcurrentLoad(t *testing.T) {
+	clock := &manualClock{}
+	log := newEventLog()
+	inj := fault.NewInjector(7, fault.Rule{Stage: "s", Nth: 1, Count: 50, Err: fault.ErrInjected})
+	p := onePipeline(okHandler,
+		Breaker(BreakerOptions{FailureThreshold: 5, After: clock.After, Recorder: log}),
+		inj.Interceptor(),
+	)
+	ctx := context.Background()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	outcomes := map[string]int{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, err := p.Run(ctx, &pipeline.Request{})
+				key := "ok"
+				switch {
+				case errors.Is(err, ErrBreakerOpen):
+					key = "rejected"
+				case errors.Is(err, fault.ErrInjected):
+					key = "injected"
+				case err != nil:
+					key = fmt.Sprintf("unexpected: %v", err)
+				}
+				mu.Lock()
+				outcomes[key]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if outcomes["rejected"] == 0 {
+		t.Fatalf("no calls rejected by open breaker; outcomes = %v", outcomes)
+	}
+	if log.count("p/s/"+EventBreakerOpen) == 0 {
+		t.Fatal("breaker never opened under injected fault load")
+	}
+	for key := range outcomes {
+		if key != "ok" && key != "rejected" && key != "injected" {
+			t.Fatalf("illegal outcome %q; outcomes = %v", key, outcomes)
+		}
+	}
+
+	// Heal: each probe consumes at most one remaining injected fault
+	// (the rule caps at 50 firings total), so driving cooldown + probe
+	// repeatedly must eventually close the circuit for good.
+	for i := 0; i < 60; i++ {
+		clock.fire()
+		if _, err := p.Run(ctx, &pipeline.Request{}); err == nil {
+			break
+		}
+	}
+	if _, err := p.Run(ctx, &pipeline.Request{}); err != nil {
+		t.Fatalf("after heal: err = %v, want success", err)
+	}
+	if log.count("p/s/"+EventBreakerClose) == 0 {
+		t.Fatal("breaker never closed after the fault cleared")
+	}
+}
+
+// TestShedBoundsConcurrencyAndQueue checks the three shed outcomes
+// with MaxConcurrent=1, MaxQueue=1: one running, one queued, the next
+// rejected with ErrOverloaded — and the queued caller completing once
+// the slot frees.
+func TestShedBoundsConcurrencyAndQueue(t *testing.T) {
+	log := newEventLog()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return &pipeline.Response{}, nil
+	}
+	p := onePipeline(blocking, Shed(ShedOptions{MaxConcurrent: 1, MaxQueue: 1, Recorder: log}))
+	ctx := context.Background()
+
+	first := make(chan error, 1)
+	go func() { _, err := p.Run(ctx, &pipeline.Request{}); first <- err }()
+	<-entered // the slot is held
+
+	queued := make(chan error, 1)
+	go func() { _, err := p.Run(ctx, &pipeline.Request{}); queued <- err }()
+	// Wait until the second caller is actually queued, not merely
+	// launched, or the third call below could win the queue slot.
+	// (Probes themselves record shed_reject events, hence the baseline.)
+	for !shedQueueFull(p) {
+		runtime.Gosched()
+	}
+	before := log.count("p/s/" + EventShedReject)
+
+	if _, err := p.Run(ctx, &pipeline.Request{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow call: err = %v, want ErrOverloaded", err)
+	}
+	if got := log.count("p/s/" + EventShedReject); got != before+1 {
+		t.Fatalf("shed_reject events = %d, want %d", got, before+1)
+	}
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("first: err = %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued: err = %v", err)
+	}
+}
+
+// TestShedQueuedCallerHonoursContext checks a waiter leaves the queue
+// with the context's error when its request dies while queued.
+func TestShedQueuedCallerHonoursContext(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return &pipeline.Response{}, nil
+	}
+	p := onePipeline(blocking, Shed(ShedOptions{MaxConcurrent: 1, MaxQueue: 1}))
+	defer close(release)
+
+	first := make(chan error, 1)
+	go func() { _, err := p.Run(context.Background(), &pipeline.Request{}); first <- err }()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() { _, err := p.Run(ctx, &pipeline.Request{}); queued <- err }()
+	for !shedQueueFull(p) {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err = %v, want context.Canceled", err)
+	}
+}
+
+// shedQueueFull is a test-only probe: it cannot see the interceptor's
+// internals, so it infers queue occupancy from the one observable
+// signal — a probe call rejecting means limit+queue are full. The
+// probe's context is pre-cancelled so that when the queue still has
+// room the probe leaves it immediately instead of occupying the slot.
+func shedQueueFull(p *pipeline.Pipeline) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Run(ctx, &pipeline.Request{})
+	return errors.Is(err, ErrOverloaded)
+}
+
+// TestRetryRecoversTransientFault: first attempt fails, the retry
+// succeeds; the backoff is observed through the Sleep seam and must lie
+// in the equal-jitter window [base/2, base).
+func TestRetryRecoversTransientFault(t *testing.T) {
+	log := newEventLog()
+	var slept []time.Duration
+	var mu sync.Mutex
+	sleep := func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+		return nil
+	}
+	base := 8 * time.Millisecond
+	inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Count: 1, Err: fault.ErrInjected})
+	p := onePipeline(okHandler,
+		Retry(RetryOptions{Attempts: 3, BaseDelay: base, Seed: 9, Sleep: sleep, Recorder: log}),
+		inj.Interceptor(),
+	)
+	if _, err := p.Run(context.Background(), &pipeline.Request{}); err != nil {
+		t.Fatalf("err = %v, want success on retry", err)
+	}
+	if got := log.count("p/s/" + EventRetry); got != 1 {
+		t.Fatalf("retry events = %d, want 1", got)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("sleeps = %v, want exactly one backoff", slept)
+	}
+	if slept[0] < base/2 || slept[0] >= base {
+		t.Fatalf("backoff %v outside equal-jitter window [%v, %v)", slept[0], base/2, base)
+	}
+}
+
+// TestRetryBackoffDeterministicFromSeed: equal seeds produce equal
+// jitter sequences — the property the determinism lint rule protects.
+func TestRetryBackoffDeterministicFromSeed(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var slept []time.Duration
+		sleep := func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		}
+		inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Err: fault.ErrInjected})
+		p := onePipeline(okHandler,
+			Retry(RetryOptions{Attempts: 4, BaseDelay: 4 * time.Millisecond, Seed: seed, Sleep: sleep}),
+			inj.Interceptor(),
+		)
+		for i := 0; i < 5; i++ {
+			//lint:ignore dropped-error every attempt is injected to fail; only the backoff sequence matters here
+			_, _ = p.Run(context.Background(), &pipeline.Request{})
+		}
+		return slept
+	}
+	a, b := run(3), run(3)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("backoff sequences %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded backoff diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestRetrySkipsNonRetryable: breaker rejections, sheds, cancellations
+// and recovered panics must not be retried by default.
+func TestRetrySkipsNonRetryable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"breaker open", fmt.Errorf("stage p/s: %w", ErrBreakerOpen)},
+		{"overloaded", fmt.Errorf("stage p/s: %w", ErrOverloaded)},
+		{"cancelled", context.Canceled},
+		{"panic", &pipeline.PanicError{Pipeline: "p", Stage: "s", Value: "boom"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			failing := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+				calls++
+				return nil, tc.err
+			}
+			p := onePipeline(failing, Retry(RetryOptions{Attempts: 3}))
+			if _, err := p.Run(context.Background(), &pipeline.Request{}); !errors.Is(err, tc.err) && !errors.As(err, new(*pipeline.PanicError)) {
+				t.Fatalf("err = %v, want original", err)
+			}
+			if calls != 1 {
+				t.Fatalf("calls = %d, want 1 (no retries)", calls)
+			}
+		})
+	}
+}
+
+// TestFallbackServesDegraded: the routed degraded handler takes over
+// on a matching failure, and the request is marked Degraded.
+func TestFallbackServesDegraded(t *testing.T) {
+	log := newEventLog()
+	degraded := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		return &pipeline.Response{}, nil
+	}
+	inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Err: fault.ErrInjected})
+	p := onePipeline(okHandler,
+		Fallback(FallbackOptions{
+			Routes:   []Route{{Pipeline: "p", Stage: "s", Handler: degraded}},
+			Recorder: log,
+		}),
+		inj.Interceptor(),
+	)
+	req := &pipeline.Request{}
+	if _, err := p.Run(context.Background(), req); err != nil {
+		t.Fatalf("err = %v, want degraded success", err)
+	}
+	if !req.Degraded {
+		t.Fatal("request not marked Degraded")
+	}
+	if got := log.count("p/s/" + EventFallback); got != 1 {
+		t.Fatalf("fallback events = %d, want 1", got)
+	}
+}
+
+// TestFallbackRefusesOverload: shedding means shed — ErrOverloaded
+// passes through untouched by default.
+func TestFallbackRefusesOverload(t *testing.T) {
+	degraded := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		return &pipeline.Response{}, nil
+	}
+	overloaded := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		return nil, fmt.Errorf("stage p/s: %w", ErrOverloaded)
+	}
+	p := onePipeline(overloaded,
+		Fallback(FallbackOptions{Routes: []Route{{Stage: "s", Handler: degraded}}}),
+	)
+	req := &pipeline.Request{}
+	if _, err := p.Run(context.Background(), req); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded passthrough", err)
+	}
+	if req.Degraded {
+		t.Fatal("overloaded request must not be served degraded")
+	}
+}
+
+// TestFallbackFailureBecomesErrDegraded: when the degraded path itself
+// fails, the caller sees ErrDegraded carrying both causes.
+func TestFallbackFailureBecomesErrDegraded(t *testing.T) {
+	log := newEventLog()
+	badFallback := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		return nil, errors.New("fallback also broken")
+	}
+	inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Err: fault.ErrInjected})
+	p := onePipeline(okHandler,
+		Fallback(FallbackOptions{
+			Routes:   []Route{{Stage: "s", Handler: badFallback}},
+			Recorder: log,
+		}),
+		inj.Interceptor(),
+	)
+	_, err := p.Run(context.Background(), &pipeline.Request{})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+	if got := log.count("p/s/" + EventFallbackError); got != 1 {
+		t.Fatalf("fallback_error events = %d, want 1", got)
+	}
+}
+
+// TestFallbackReroutesRecoveredPanic composes the production ordering
+// Fallback → Recover → chaos and checks an injected panic surfaces as
+// degraded serving plus a panic event — stage context intact.
+func TestFallbackReroutesRecoveredPanic(t *testing.T) {
+	log := newEventLog()
+	degraded := func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+		return &pipeline.Response{}, nil
+	}
+	inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Panic: "injected panic"})
+	p := onePipeline(okHandler,
+		Fallback(FallbackOptions{
+			Routes:   []Route{{Stage: "s", Handler: degraded}},
+			Recorder: log,
+		}),
+		pipeline.Recover(),
+		inj.Interceptor(),
+	)
+	req := &pipeline.Request{}
+	if _, err := p.Run(context.Background(), req); err != nil {
+		t.Fatalf("err = %v, want degraded success", err)
+	}
+	if !req.Degraded {
+		t.Fatal("request not marked Degraded after recovered panic")
+	}
+	if got := log.count("p/s/" + EventPanic); got != 1 {
+		t.Fatalf("panic events = %d, want 1", got)
+	}
+}

@@ -1,0 +1,126 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+)
+
+// RetryOptions configures the retry interceptor.
+type RetryOptions struct {
+	// Attempts is the total number of tries per stage execution,
+	// including the first. Default 2; values below 2 disable retrying.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// subsequent retry. Default 2ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the (pre-jitter) backoff. Default 100ms.
+	MaxDelay time.Duration
+	// Seed seeds the jitter stream. All randomness routes through
+	// internal/rng so runs are reproducible from the seed — the same
+	// determinism contract recsyslint enforces on the experiment
+	// packages. Default 1.
+	Seed uint64
+	// RetryWhen decides whether an error is worth another attempt.
+	// Default: any non-nil error except context.Canceled, an open
+	// breaker, a shed rejection, or a recovered panic. Retrying is
+	// only sound for idempotent stages; the engine's read stages
+	// qualify because they rebuild their working fields from scratch
+	// on every run.
+	RetryWhen func(error) bool
+	// Stages selects which stages are retried; nil means all.
+	Stages func(pipeline.StageInfo) bool
+	// Recorder receives one retry event per re-attempt; nil discards.
+	Recorder Recorder
+	// Sleep waits out a backoff; it exists so tests can observe delays
+	// without real time passing. Default: a timer honouring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Attempts <= 0 {
+		o.Attempts = 2
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 2 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 100 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RetryWhen == nil {
+		o.RetryWhen = func(err error) bool {
+			var pe *pipeline.PanicError
+			return err != nil &&
+				!errors.Is(err, context.Canceled) &&
+				!errors.Is(err, ErrBreakerOpen) &&
+				!errors.Is(err, ErrOverloaded) &&
+				!errors.As(err, &pe)
+		}
+	}
+	if o.Sleep == nil {
+		o.Sleep = sleepCtx
+	}
+	o.Recorder = orNop(o.Recorder)
+	return o
+}
+
+// Retry returns an interceptor that re-runs a failed stage up to
+// Attempts times with exponential backoff and seeded equal-jitter
+// (each delay is uniform in [d/2, d), d doubling per attempt). Compose
+// it inside Breaker — the circuit should judge the post-retry outcome
+// — and outside Deadline, so each attempt gets a fresh per-stage
+// deadline. A retry never starts on a dead context.
+func Retry(opts RetryOptions) pipeline.Interceptor {
+	opts = opts.withDefaults()
+	j := &jitterStream{rnd: rng.New(opts.Seed)}
+	return func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		if (opts.Stages != nil && !opts.Stages(info)) || opts.Attempts < 2 {
+			return next
+		}
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			for attempt := 0; ; attempt++ {
+				resp, err := next(ctx, req)
+				if err == nil || attempt+1 >= opts.Attempts || !opts.RetryWhen(err) || ctx.Err() != nil {
+					return resp, err
+				}
+				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventRetry)
+				if serr := opts.Sleep(ctx, j.backoff(opts, attempt)); serr != nil {
+					// The parent context died mid-backoff; the stage's
+					// own error is the more informative one to return.
+					return nil, err
+				}
+			}
+		}
+	}
+}
+
+// jitterStream is the shared, mutex-guarded jitter source. One stream
+// per Retry interceptor keeps draws seed-reproducible in sequential
+// use (tests, experiments) while staying safe under concurrency.
+type jitterStream struct {
+	mu  sync.Mutex
+	rnd *rng.RNG
+}
+
+// backoff computes the delay before retry number attempt (0-based):
+// equal jitter over an exponentially growing, capped window.
+func (j *jitterStream) backoff(opts RetryOptions, attempt int) time.Duration {
+	d := opts.BaseDelay
+	for i := 0; i < attempt && d < opts.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > opts.MaxDelay {
+		d = opts.MaxDelay
+	}
+	j.mu.Lock()
+	f := j.rnd.Float64()
+	j.mu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}

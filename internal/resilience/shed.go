@@ -1,0 +1,74 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pipeline"
+)
+
+// ShedOptions configures the load-shedding interceptor.
+type ShedOptions struct {
+	// MaxConcurrent bounds how many executions of one stage may run at
+	// once. Default 64.
+	MaxConcurrent int
+	// MaxQueue bounds how many callers may wait for a slot beyond
+	// MaxConcurrent before new arrivals are rejected outright with
+	// ErrOverloaded. Default: MaxConcurrent.
+	MaxQueue int
+	// Stages selects which stages are shed; nil means all.
+	Stages func(pipeline.StageInfo) bool
+	// Recorder receives shed_reject events; nil discards them.
+	Recorder Recorder
+}
+
+func (o ShedOptions) withDefaults() ShedOptions {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = o.MaxConcurrent
+	}
+	o.Recorder = orNop(o.Recorder)
+	return o
+}
+
+// Shed returns an interceptor that bounds each wrapped stage to
+// MaxConcurrent simultaneous executions with a queue of at most
+// MaxQueue waiters. A caller that finds both full is rejected
+// immediately with ErrOverloaded (the HTTP layer answers 429 with
+// Retry-After) — under overload, work the system cannot finish in time
+// is cheapest to refuse before it starts. A queued caller whose
+// context dies while waiting leaves with the context's error.
+func Shed(opts ShedOptions) pipeline.Interceptor {
+	opts = opts.withDefaults()
+	return func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		if opts.Stages != nil && !opts.Stages(info) {
+			return next
+		}
+		slots := make(chan struct{}, opts.MaxConcurrent)
+		var queued atomic.Int64
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			select {
+			case slots <- struct{}{}:
+				// Fast path: a slot was free.
+			default:
+				if queued.Add(1) > int64(opts.MaxQueue) {
+					queued.Add(-1)
+					opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventShedReject)
+					return nil, fmt.Errorf("stage %s/%s: %w", info.Pipeline, info.Stage, ErrOverloaded)
+				}
+				select {
+				case slots <- struct{}{}:
+					queued.Add(-1)
+				case <-ctx.Done():
+					queued.Add(-1)
+					return nil, ctx.Err()
+				}
+			}
+			defer func() { <-slots }()
+			return next(ctx, req)
+		}
+	}
+}

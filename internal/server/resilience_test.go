@@ -1,0 +1,355 @@
+// End-to-end resilience tests over the HTTP surface: degraded-mode
+// serving stays 200 with "degraded": true, shed/breaker rejections
+// carry Retry-After, /healthz flips during a drain, and SIGTERM-style
+// shutdown drains in-flight requests without dropping any.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+)
+
+// chaosServer builds a Server over an engine with resilience on and
+// the given fault rules injected.
+func chaosServer(t testing.TB, cfg core.ResilienceConfig, rules ...fault.Rule) *Server {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 701, Users: 30, Items: 50, RatingsPerUser: 12})
+	inj := fault.NewInjector(701, rules...)
+	eng, err := core.New(c.Catalog, c.Ratings,
+		core.WithSeed(1),
+		core.WithResilience(cfg),
+		core.WithChaos(inj.Interceptor()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng)
+}
+
+// TestRecommendDegradedOverHTTP is the issue's acceptance scenario: the
+// CF explain stage forced broken, /recommend still answers 200 with a
+// well-formed recommendation list marked "degraded": true.
+func TestRecommendDegradedOverHTTP(t *testing.T) {
+	s := chaosServer(t, core.ResilienceConfig{},
+		fault.Rule{Pipeline: pipeline.OpRecommend, Stage: "explainTopN", Nth: 1, Err: fault.ErrInjected})
+	rec, out := doJSON(t, s, http.MethodGet, "/recommend?user=1&n=5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %v", rec.Code, out)
+	}
+	if out["degraded"] != true {
+		t.Fatalf(`response missing "degraded": true: %v`, out)
+	}
+	recs, ok := out["recommendations"].([]any)
+	if !ok || len(recs) != 5 {
+		t.Fatalf("recommendations = %v, want 5 entries", out["recommendations"])
+	}
+	for _, r := range recs {
+		entry := r.(map[string]any)
+		if entry["explanation"] == "" || entry["explanation"] == nil {
+			t.Fatalf("degraded entry lacks explanation text: %v", entry)
+		}
+		if entry["title"] == "" || entry["title"] == nil {
+			t.Fatalf("degraded entry lacks title: %v", entry)
+		}
+	}
+}
+
+// TestExplainDegradedOverHTTP: /explain answers 200 + degraded with the
+// primary explainer broken, including after the breaker opens.
+func TestExplainDegradedOverHTTP(t *testing.T) {
+	s := chaosServer(t, core.ResilienceConfig{BreakerThreshold: 2},
+		fault.Rule{Pipeline: pipeline.OpExplain, Stage: "explain", Nth: 1, Err: fault.ErrInjected})
+	for i := 0; i < 6; i++ {
+		rec, out := doJSON(t, s, http.MethodGet, "/explain?user=1&item=3", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("call %d: status = %d, want 200; body %v", i, rec.Code, out)
+		}
+		if out["degraded"] != true {
+			t.Fatalf("call %d: missing degraded flag: %v", i, out)
+		}
+		if out["text"] == "" || out["style"] == "" {
+			t.Fatalf("call %d: degraded explanation incomplete: %v", i, out)
+		}
+	}
+}
+
+// TestRetryAfterOnShed: a saturated stage answers 429 with Retry-After.
+func TestRetryAfterOnShed(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	gate := func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		if info.Pipeline != pipeline.OpRecommend || info.Stage != "rank" {
+			return next
+		}
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			entered <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return next(ctx, req)
+		}
+	}
+	defer close(release)
+	c := dataset.Movies(dataset.Config{Seed: 702, Users: 20, Items: 30, RatingsPerUser: 8})
+	eng, err := core.New(c.Catalog, c.Ratings,
+		core.WithResilience(core.ResilienceConfig{MaxConcurrent: 1, MaxQueue: 1}),
+		core.WithChaos(gate),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, WithRetryAfter(3*time.Second))
+
+	// Saturate: one request holds the stage, one queues.
+	for i := 0; i < 2; i++ {
+		go func() {
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/recommend?user=1&n=5", nil))
+		}()
+	}
+	<-entered
+
+	// Keep probing until a request is actually shed (the queue fill is
+	// asynchronous); pre-cancelled probes cannot jam the queue forever
+	// but plain requests can be queued, so give each probe a deadline.
+	deadline := time.After(5 * time.Second)
+	for {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		req := httptest.NewRequest(http.MethodGet, "/recommend?user=1&n=5", nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code == http.StatusTooManyRequests {
+			if got := rec.Header().Get("Retry-After"); got != "3" {
+				t.Fatalf("Retry-After = %q, want %q", got, "3")
+			}
+			var out map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["error"] == "" {
+				t.Fatalf("shed response body %q not an error envelope", rec.Body.String())
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no 429 observed; last status %d", rec.Code)
+		default:
+		}
+	}
+}
+
+// TestHealthzDuringDrain: StartDrain flips /healthz to 503 (with
+// Retry-After) while the other endpoints keep serving.
+func TestHealthzDuringDrain(t *testing.T) {
+	_, s := testServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("pre-drain healthz = %d %v", rec.Code, out)
+	}
+
+	s.StartDrain()
+	rec, out = doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable || out["status"] != "draining" {
+		t.Fatalf("draining healthz = %d %v, want 503/draining", rec.Code, out)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("draining healthz lacks Retry-After")
+	}
+
+	// Still serving: a drain refuses new *placement* (load balancers
+	// read /healthz), not requests that still arrive.
+	rec, _ = doJSON(t, s, http.MethodGet, "/recommend?user=1&n=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recommend during drain = %d, want 200", rec.Code)
+	}
+}
+
+// TestRequestTimeoutBoundsStuckStage: a wedged stage surfaces as 504
+// via the server's request timeout instead of hanging the connection.
+func TestRequestTimeoutBoundsStuckStage(t *testing.T) {
+	stuck := func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		if info.Stage != "rank" {
+			return next
+		}
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+	}
+	c := dataset.Movies(dataset.Config{Seed: 703, Users: 10, Items: 20, RatingsPerUser: 5})
+	eng, err := core.New(c.Catalog, c.Ratings, core.WithChaos(stuck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, WithRequestTimeout(20*time.Millisecond))
+	rec, _ := doJSON(t, s, http.MethodGet, "/recommend?user=1&n=3", nil)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rec.Code)
+	}
+}
+
+// TestMetricsExposeResilienceCounters: degraded serving and resilience
+// events appear on /metrics in Prometheus text format.
+func TestMetricsExposeResilienceCounters(t *testing.T) {
+	s := chaosServer(t, core.ResilienceConfig{BreakerThreshold: 2},
+		fault.Rule{Pipeline: pipeline.OpExplain, Stage: "explain", Nth: 1, Err: fault.ErrInjected})
+	for i := 0; i < 4; i++ {
+		if rec, _ := doJSON(t, s, http.MethodGet, "/explain?user=1&item=3", nil); rec.Code != http.StatusOK {
+			t.Fatalf("explain = %d, want degraded 200", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"recsys_degraded_served_total 4",
+		`recsys_resilience_events_total{pipeline="explain",stage="explain",event="fallback"} 4`,
+		`recsys_resilience_events_total{pipeline="explain",stage="explain",event="breaker_open"} 1`,
+		`recsys_stage_panics_total{pipeline="explain",stage="explain"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestGracefulDrainCompletesInFlight is the shutdown chaos test: K
+// requests enter a gated stage, the server starts draining, /healthz
+// goes unhealthy, Shutdown begins — and once the gate opens, every one
+// of the K in-flight requests completes with 200. No request is
+// dropped by the drain.
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	const inflight = 4
+	release := make(chan struct{})
+	entered := make(chan struct{}, inflight)
+	gate := func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		if info.Pipeline != pipeline.OpRecommend || info.Stage != "rank" {
+			return next
+		}
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			entered <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return next(ctx, req)
+		}
+	}
+	c := dataset.Movies(dataset.Config{Seed: 704, Users: 20, Items: 30, RatingsPerUser: 8})
+	eng, err := core.New(c.Catalog, c.Ratings, core.WithChaos(gate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(eng)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	codes := make(chan int, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/recommend?user=1&n=3")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			//lint:ignore dropped-error nothing to do about a close failure on a drained test body
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	// All K requests are inside the gated stage before the drain starts.
+	for i := 0; i < inflight; i++ {
+		<-entered
+	}
+
+	// Drain exactly as cmd/recserver does on SIGTERM: mark unhealthy,
+	// then Shutdown with a deadline while the requests are in flight.
+	h.StartDrain()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore dropped-error status code is the assertion; the body is irrelevant
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	shutdownDone := make(chan error, 1)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- srv.Config.Shutdown(shutdownCtx) }()
+
+	// The gate opens; every in-flight request must complete normally.
+	close(release)
+	wg.Wait()
+	for i := 0; i < inflight; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d during drain, want 200", code)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown did not complete cleanly: %v", err)
+	}
+
+	// After shutdown the listener is closed: new connections fail
+	// rather than being silently dropped mid-response.
+	if _, err := http.Get(srv.URL + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after drain completed")
+	}
+}
+
+// TestDrainedServiceErrorEnvelope sanity-checks writeServiceError's
+// Retry-After coverage directly across the retryable statuses.
+func TestDrainedServiceErrorEnvelope(t *testing.T) {
+	_, s := testServer(t)
+	for _, tc := range []struct {
+		err        error
+		wantStatus int
+	}{
+		{fmt.Errorf("stage recommend/rank: %w", core.ErrOverloaded), http.StatusTooManyRequests},
+		{fmt.Errorf("stage explain/explain: %w", core.ErrBreakerOpen), http.StatusServiceUnavailable},
+		{core.ErrDegraded, http.StatusServiceUnavailable},
+	} {
+		rec := httptest.NewRecorder()
+		s.writeServiceError(rec, tc.err)
+		if rec.Code != tc.wantStatus {
+			t.Fatalf("status = %d, want %d", rec.Code, tc.wantStatus)
+		}
+		if rec.Header().Get("Retry-After") != "1" {
+			t.Fatalf("Retry-After = %q, want default %q", rec.Header().Get("Retry-After"), "1")
+		}
+		var out errorJSON
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Error == "" {
+			t.Fatalf("body %q is not an error envelope", rec.Body.String())
+		}
+	}
+	// Non-retryable statuses must not advertise Retry-After.
+	rec := httptest.NewRecorder()
+	s.writeServiceError(rec, errors.New("bad request"))
+	if rec.Header().Get("Retry-After") != "" {
+		t.Fatal("Retry-After set on a 400")
+	}
+}

@@ -14,6 +14,13 @@
 //	POST /influence {"user":U,"item":I,"weight":0.5}
 //	GET  /healthz
 //	GET  /metrics  usage counters in Prometheus text format
+//
+// Resilience semantics: a load-shed request answers 429 and an
+// open-breaker/failed-fallback request answers 503, both carrying a
+// Retry-After header; degraded-mode responses stay 200 but carry
+// "degraded": true. During a drain (StartDrain, called by the binary on
+// SIGTERM) /healthz flips to 503 so load balancers stop routing here
+// while in-flight requests finish.
 package server
 
 import (
@@ -27,6 +34,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/explain"
@@ -46,11 +55,38 @@ const maxBodyBytes = 64 << 10
 type Server struct {
 	svc core.Service
 	mux *http.ServeMux
+
+	// requestTimeout bounds each request's context (0 = unbounded);
+	// retryAfter is the hint sent with 429/503 responses; draining is
+	// flipped by StartDrain and turns /healthz into a 503.
+	requestTimeout time.Duration
+	retryAfter     time.Duration
+	draining       atomic.Bool
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRequestTimeout bounds every request to d: the request context
+// expires after d, so a stuck pipeline stage surfaces as 504 instead
+// of an indefinitely held connection. Zero (the default) leaves
+// requests bounded only by the client and the stage timeouts.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.requestTimeout = d }
+}
+
+// WithRetryAfter sets the Retry-After hint (rounded up to whole
+// seconds, minimum 1) carried by 429 and 503 responses. Default 1s.
+func WithRetryAfter(d time.Duration) Option {
+	return func(s *Server) { s.retryAfter = d }
 }
 
 // New builds a Server over any core.Service implementation.
-func New(svc core.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+func New(svc core.Service, opts ...Option) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), retryAfter: time.Second}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("/recommend", s.handleRecommend)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/whylow", s.handleWhyLow)
@@ -65,8 +101,20 @@ func New(svc core.Service) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.requestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// StartDrain puts the server into drain mode: /healthz starts
+// answering 503 so load balancers rotate this instance out, while every
+// other endpoint keeps serving in-flight and still-arriving requests.
+// The binary calls it on SIGTERM, ahead of http.Server.Shutdown.
+// Draining is one-way and idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // errorJSON is the error envelope.
 type errorJSON struct {
@@ -89,13 +137,18 @@ func writeError(w http.ResponseWriter, status int, err error) {
 const statusClientClosedRequest = 499
 
 // statusFor maps domain errors onto HTTP codes. A recovered pipeline
-// panic is the server's fault (500); everything else unknown is
-// blamed on the request (400).
+// panic is the server's fault (500); resilience rejections are load
+// signals (429 shed, 503 breaker/degraded-failure, both retryable);
+// everything else unknown is blamed on the request (400).
 func statusFor(err error) int {
 	var pe *pipeline.PanicError
 	switch {
 	case errors.As(err, &pe):
 		return http.StatusInternalServerError
+	case errors.Is(err, core.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrBreakerOpen), errors.Is(err, core.ErrDegraded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -107,6 +160,28 @@ func statusFor(err error) int {
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeServiceError maps a Service error onto its status and writes the
+// error envelope; retryable statuses (429, 503) carry a Retry-After
+// hint so well-behaved clients back off instead of hammering a breaker.
+func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter))
+	}
+	writeError(w, status, err)
+}
+
+// retryAfterSeconds renders a duration as the whole-second decimal form
+// Retry-After requires (RFC 9110 §10.2.3), rounding up with a floor of
+// one second — "Retry-After: 0" would invite an immediate retry.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func queryInt(r *http.Request, key string, def int) (int, error) {
@@ -214,13 +289,17 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.svc.RecommendContext(r.Context(), model.UserID(user), n)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"user":            user,
 		"recommendations": toEntries(p),
-	})
+	}
+	if p.Degraded {
+		resp["degraded"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type explanationJSON struct {
@@ -229,6 +308,7 @@ type explanationJSON struct {
 	Style      string  `json:"style"`
 	Confidence float64 `json:"confidence"`
 	Faithful   bool    `json:"faithful"`
+	Degraded   bool    `json:"degraded,omitempty"`
 }
 
 func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
@@ -248,12 +328,13 @@ func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
 	}
 	exp, err := f(r.Context(), model.UserID(user), model.ItemID(item))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, explanationJSON{
 		Text: exp.Text, Detail: exp.Detail, Style: exp.Style.String(),
 		Confidence: exp.Confidence, Faithful: exp.Faithful,
+		Degraded: exp.Degraded,
 	})
 }
 
@@ -286,7 +367,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.svc.SimilarToContext(r.Context(), model.UserID(user), model.ItemID(item), n)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -325,7 +406,7 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.svc.Rate(req.User, req.Item, req.Value); err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "rated"})
@@ -365,7 +446,7 @@ func (s *Server) handleOpinion(w http.ResponseWriter, r *http.Request) {
 	}
 	err := s.svc.Opinion(req.User, interact.Opinion{Kind: kind, Item: req.Item, Aspect: req.Aspect})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -391,7 +472,7 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.svc.SetInfluenceWeight(req.User, req.Item, req.Weight); err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "adjusted"})
@@ -410,6 +491,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "recsys_explanations_served_total %d\n", m.ExplanationsServed)
 	fmt.Fprintf(w, "recsys_whylow_queries_total %d\n", m.WhyLowQueries)
 	fmt.Fprintf(w, "recsys_repair_actions_total %d\n", m.RepairActions)
+	fmt.Fprintf(w, "recsys_degraded_served_total %d\n", m.DegradedServed)
 	// Per-stage pipeline counters, sorted for a stable scrape.
 	keys := make([]string, 0, len(m.Stages))
 	for k := range m.Stages {
@@ -421,12 +503,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pipe, stage, _ := strings.Cut(k, "/")
 		fmt.Fprintf(w, "recsys_stage_invocations_total{pipeline=%q,stage=%q} %d\n", pipe, stage, st.Invocations)
 		fmt.Fprintf(w, "recsys_stage_errors_total{pipeline=%q,stage=%q} %d\n", pipe, stage, st.Errors)
+		fmt.Fprintf(w, "recsys_stage_panics_total{pipeline=%q,stage=%q} %d\n", pipe, stage, st.Panics)
 		fmt.Fprintf(w, "recsys_stage_latency_seconds_total{pipeline=%q,stage=%q} %.9f\n", pipe, stage, st.Latency.Seconds())
+	}
+	// Resilience events (breaker transitions, sheds, retries,
+	// fallbacks), keyed pipeline/stage/event.
+	ekeys := make([]string, 0, len(m.Resilience))
+	for k := range m.Resilience {
+		ekeys = append(ekeys, k)
+	}
+	sort.Strings(ekeys)
+	for _, k := range ekeys {
+		pipe, rest, _ := strings.Cut(k, "/")
+		stage, event, _ := strings.Cut(rest, "/")
+		fmt.Fprintf(w, "recsys_resilience_events_total{pipeline=%q,stage=%q,event=%q} %d\n",
+			pipe, stage, event, m.Resilience[k])
 	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+			"items":  s.svc.Catalog().Len(),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -380,6 +380,11 @@ func TestStatusFor(t *testing.T) {
 		{"stage panic", &pipeline.PanicError{Pipeline: "recommend", Stage: "rank", Value: "boom"}, http.StatusInternalServerError},
 		{"deadline exceeded", context.DeadlineExceeded, http.StatusGatewayTimeout},
 		{"client cancelled", context.Canceled, statusClientClosedRequest},
+		{"overloaded", core.ErrOverloaded, http.StatusTooManyRequests},
+		{"wrapped overloaded", fmt.Errorf("stage recommend/rank: %w", core.ErrOverloaded), http.StatusTooManyRequests},
+		{"breaker open", core.ErrBreakerOpen, http.StatusServiceUnavailable},
+		{"wrapped breaker open", fmt.Errorf("stage explain/explain: %w", core.ErrBreakerOpen), http.StatusServiceUnavailable},
+		{"degraded serving failed", core.ErrDegraded, http.StatusServiceUnavailable},
 		{"non-finite value", fmt.Errorf("rating NaN: %w", core.ErrNonFiniteValue), http.StatusBadRequest},
 		{"no influence model", core.ErrNoInfluenceModel, http.StatusBadRequest},
 		{"generic", errors.New("anything else"), http.StatusBadRequest},
