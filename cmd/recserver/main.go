@@ -7,10 +7,16 @@
 // in-flight requests get -drain-timeout to finish, and only then does
 // the listener close.
 //
+// Every served request is traced (internal/trace): responses carry
+// X-Trace-ID, slow/errored/degraded traces are retained tail-based,
+// and /debug/traces serves them — on the main listener and, with
+// -debug-addr, on a separate operator port that can also expose pprof.
+//
 //	recserver -addr :8080 -load ./data
 //	curl 'localhost:8080/recommend?user=1&n=5'
 //	curl 'localhost:8080/explain?user=1&item=42'
 //	curl -X POST -H "Content-Type: application/json" -d '{"user":1,"item":42,"value":4.5}' localhost:8080/rate
+//	curl 'localhost:8080/debug/traces?status=error'
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"repro/internal/present"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -41,6 +48,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 	shedConcurrency := flag.Int("shed-concurrency", 256, "per-stage concurrency limit before load shedding (0 = off)")
 	retryAttempts := flag.Int("retry-attempts", 2, "attempts per read stage, including the first (<2 = no retry)")
+	traceBuffer := flag.Int("trace-buffer", 256, "retained-trace ring capacity")
+	traceSlowMS := flag.Int("trace-slow-ms", 250, "always retain traces at least this slow (negative = off)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of healthy traces to retain (0..1)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/traces and pprof (empty = off)")
+	debugPprof := flag.Bool("debug-pprof", false, "expose net/http/pprof on the debug listener")
 	flag.Parse()
 
 	catalog, ratings, err := loadOrGenerate(*load, *seed)
@@ -51,9 +63,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("recserver: %v", err)
 	}
+	// One tracer shared by engine and HTTP layer: the server starts the
+	// root span, the engine's pipelines hang stage/snapshot/event spans
+	// under it. The trace package itself never reads the wall clock
+	// (recsyslint's determinism rule); the binary is where time.Now gets
+	// wired in.
+	tracer := trace.New(trace.Options{
+		BufferSize:    *traceBuffer,
+		SlowThreshold: time.Duration(*traceSlowMS) * time.Millisecond,
+		SampleRate:    *traceSample,
+		Clock:         time.Now,
+		Seed:          *seed,
+	})
 	eng, err := core.New(catalog, ratings,
 		core.WithSeed(*seed),
 		core.WithPersonality(p),
+		core.WithTracer(tracer),
 		core.WithResilience(core.ResilienceConfig{
 			MaxConcurrent: *shedConcurrency,
 			RetryAttempts: *retryAttempts,
@@ -67,11 +92,32 @@ func main() {
 	// a sharded or remote backend drops in here without touching
 	// internal/server.
 	var svc core.Service = eng
-	h := server.New(svc, server.WithRequestTimeout(*requestTimeout))
+	h := server.New(svc,
+		server.WithRequestTimeout(*requestTimeout),
+		server.WithTracer(tracer),
+	)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Optional operator listener: trace inspection (and pprof, when
+	// asked) off the serving port, so debug traffic is never load
+	// balanced and can be firewalled separately.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           h.DebugMux(*debugPprof),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("recserver: debug listener: %v", err)
+			}
+		}()
+		log.Printf("recserver: debug endpoints on %s (pprof %v)", *debugAddr, *debugPprof)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -97,6 +143,13 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("recserver: drain deadline exceeded, closing remaining connections: %v", err)
+	}
+	if debugSrv != nil {
+		// The debug listener drains on the same deadline: an operator
+		// mid-request gets to finish, but it never outlives the server.
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("recserver: debug listener close: %v", err)
+		}
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("recserver: %v", err)

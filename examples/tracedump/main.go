@@ -1,0 +1,118 @@
+// Trace dump: the "debugging a slow request" walkthrough from the
+// README, self-contained. A traced engine serves three kinds of
+// request — healthy, errored (unknown item), and chaos-degraded
+// (explain stage broken, retry exhausted, breaker tripped, fallback
+// served) — and the program prints what the tail-based sampler kept:
+// the span tree of each retained trace, with resilience events inline
+// under the stage they interrupted.
+//
+// The tracer runs on its synthetic logical clock (no Clock wired), so
+// the output — IDs, timings, retention decisions — is identical on
+// every run. That determinism is the point: a failing chaos run
+// replays bit-for-bit.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+func main() {
+	c := dataset.Movies(dataset.Config{Seed: 11, Users: 40, Items: 60, RatingsPerUser: 15})
+
+	// Tail-based sampling with no head sampling: only slow, errored or
+	// degraded traces survive. The healthy request below vanishes.
+	tracer := trace.New(trace.Options{Seed: 11})
+
+	// Chaos: the explain stage fails every time. With one retry, a
+	// one-failure breaker and the degraded fallback, a request rides
+	// the whole resilience chain and still answers.
+	inj := fault.NewInjector(11,
+		fault.Rule{Pipeline: pipeline.OpExplain, Stage: "explain", Nth: 1, Err: fault.ErrInjected})
+
+	eng, err := core.New(c.Catalog, c.Ratings,
+		core.WithSeed(11),
+		core.WithTracer(tracer),
+		core.WithResilience(core.ResilienceConfig{BreakerThreshold: 1, RetryAttempts: 2}),
+		core.WithChaos(inj.Interceptor()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. A healthy recommend: traced, observed in metrics, not retained.
+	ctx, root := tracer.Start(context.Background(), "recommend")
+	if _, err := eng.RecommendContext(ctx, 1, 5); err != nil {
+		log.Fatal(err)
+	}
+	root.End(nil)
+
+	// 2. An errored explain: unknown item. Errored traces always stay.
+	ctx, root = tracer.Start(context.Background(), "explain")
+	_, badErr := eng.ExplainContext(ctx, 1, 99999)
+	root.End(badErr)
+	fmt.Printf("explain(99999) failed as expected: %v\n", badErr)
+
+	// 3. The chaos request: retry → breaker opens → degraded fallback.
+	ctx, root = tracer.Start(context.Background(), "explain")
+	exp, err := eng.ExplainContext(ctx, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root.End(nil)
+	fmt.Printf("degraded explain still answered: %q (degraded=%v)\n\n", exp.Text, exp.Degraded)
+
+	retained := tracer.Recent(0)
+	fmt.Printf("tracer retained %d of 3 traces (the healthy one was dropped at the tail):\n\n", len(retained))
+	for i := len(retained) - 1; i >= 0; i-- { // oldest first for reading order
+		dump(retained[i])
+	}
+}
+
+// dump prints one retained trace as an indented span tree.
+func dump(d *trace.Data) {
+	fmt.Printf("trace %s  op=%s  status=%s  reason=%s  degraded=%v  spans=%d\n",
+		d.ID, d.Op, d.Status, d.Reason, d.Degraded, len(d.Spans))
+	children := make(map[trace.SpanID][]trace.Span)
+	var roots []trace.Span
+	for _, sp := range d.Spans {
+		if sp.Kind == trace.KindRequest {
+			roots = append(roots, sp)
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var walk func(sp trace.Span, depth int)
+	walk = func(sp trace.Span, depth int) {
+		attrs := make([]string, 0, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			attrs = append(attrs, a.Key+"="+a.Value)
+		}
+		line := fmt.Sprintf("%s%-9s %s", strings.Repeat("  ", depth), sp.Kind, sp.Name)
+		if sp.Kind != trace.KindEvent {
+			line += fmt.Sprintf("  (%s)", sp.Duration)
+		}
+		if len(attrs) > 0 {
+			line += "  [" + strings.Join(attrs, " ") + "]"
+		}
+		if sp.Err != "" {
+			line += "  err=" + sp.Err
+		}
+		fmt.Println(line)
+		for _, child := range children[sp.ID] {
+			walk(child, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+	fmt.Println()
+}

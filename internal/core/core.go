@@ -75,6 +75,7 @@ import (
 	"repro/internal/recsys/content"
 	"repro/internal/recsys/hybrid"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Engine is a configured explanation-capable recommender. See the
@@ -104,6 +105,12 @@ type Engine struct {
 	// recovery path.
 	resilience *ResilienceConfig
 	chaos      []pipeline.Interceptor
+
+	// tracer, when non-nil, records a span per stage execution plus
+	// resilience-event and snapshot-acquisition children (see
+	// internal/trace). Requests whose context carries no active trace
+	// pay one context lookup per stage and nothing else.
+	tracer *trace.Tracer
 
 	// stageStats collects per-stage latency/count observations from
 	// the Metrics interceptor; resEvents counts resilience events
@@ -232,6 +239,19 @@ func WithInterceptor(ic pipeline.Interceptor) Option {
 func WithStageTimeout(d time.Duration) Option {
 	return func(e *Engine) { e.stageTimeout = d }
 }
+
+// WithTracer wires a trace.Tracer into every read pipeline: each stage
+// execution becomes a span, resilience events (retries, breaker flips,
+// sheds, fallback reroutes, recovered panics) become zero-duration
+// child events, and snapshot acquisition is timed separately. The
+// tracer's tail-based sampler decides at request end which traces are
+// retained. A nil tracer is a no-op.
+func WithTracer(t *trace.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
+// Tracer returns the tracer installed with WithTracer, or nil.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // New builds an Engine over a catalogue and rating matrix. The default
 // configuration is a weighted hybrid of user-based collaborative
@@ -369,7 +389,7 @@ func (e *Engine) RecommendContext(ctx context.Context, u model.UserID, n int) (*
 	if n <= 0 {
 		return nil, fmt.Errorf("core: n must be positive, got %d", n)
 	}
-	s, release := e.readSnapshot()
+	s, release := e.tracedSnapshot(ctx)
 	defer release()
 	resp, err := e.pipes.recommend.Run(withSnapshot(ctx, s),
 		&pipeline.Request{Op: pipeline.OpRecommend, User: u, N: n})
@@ -386,7 +406,7 @@ func (e *Engine) Explain(u model.UserID, item model.ItemID) (*explain.Explanatio
 
 // ExplainContext is Explain with cancellation.
 func (e *Engine) ExplainContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
-	s, release := e.readSnapshot()
+	s, release := e.tracedSnapshot(ctx)
 	defer release()
 	resp, err := e.pipes.explain.Run(withSnapshot(ctx, s),
 		&pipeline.Request{Op: pipeline.OpExplain, User: u, Item: item})
@@ -404,7 +424,7 @@ func (e *Engine) WhyLow(u model.UserID, item model.ItemID) (*explain.Explanation
 
 // WhyLowContext is WhyLow with cancellation.
 func (e *Engine) WhyLowContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
-	s, release := e.readSnapshot()
+	s, release := e.tracedSnapshot(ctx)
 	defer release()
 	resp, err := e.pipes.whyLow.Run(withSnapshot(ctx, s),
 		&pipeline.Request{Op: pipeline.OpWhyLow, User: u, Item: item})
@@ -431,7 +451,7 @@ func (e *Engine) BrowseAll(u model.UserID) *present.RatingsView {
 // BrowseAllContext is BrowseAll with cancellation; the only possible
 // error is the context's.
 func (e *Engine) BrowseAllContext(ctx context.Context, u model.UserID) (*present.RatingsView, error) {
-	s, release := e.readSnapshot()
+	s, release := e.tracedSnapshot(ctx)
 	defer release()
 	resp, err := e.pipes.browse.Run(withSnapshot(ctx, s),
 		&pipeline.Request{Op: pipeline.OpBrowse, User: u})
@@ -448,7 +468,7 @@ func (e *Engine) SimilarTo(u model.UserID, seed model.ItemID, n int) (*present.P
 
 // SimilarToContext is SimilarTo with cancellation.
 func (e *Engine) SimilarToContext(ctx context.Context, u model.UserID, seed model.ItemID, n int) (*present.Presentation, error) {
-	s, release := e.readSnapshot()
+	s, release := e.tracedSnapshot(ctx)
 	defer release()
 	resp, err := e.pipes.similar.Run(withSnapshot(ctx, s),
 		&pipeline.Request{Op: pipeline.OpSimilar, User: u, Item: seed, N: n})

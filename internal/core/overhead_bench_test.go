@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/present"
+	"repro/internal/trace"
 )
 
 // recommendDirect replicates the pre-pipeline (PR 1) Recommend path:
@@ -57,6 +58,36 @@ func BenchmarkPipelineOverhead(b *testing.B) {
 	b.Run("pipeline", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := e.RecommendContext(ctx, model.UserID(i%200+1), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Tracing installed on the engine, no root span on the request: the
+	// interceptor's nil-span fast path. The PR's acceptance criterion is
+	// this variant within 5% of "pipeline".
+	tr := trace.New(trace.Options{})
+	te, err := New(c.Catalog, c.Ratings, WithSeed(1), WithTracer(tr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("traced-unsampled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := te.RecommendContext(ctx, model.UserID(i%200+1), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Full span recording per request (root span started, spans written,
+	// trace discarded at the tail — nothing here is slow, errored or
+	// sampled). Informational: this is the price a *traced* request pays.
+	b.Run("traced-recording", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rctx, root := tr.Start(ctx, "recommend")
+			_, err := te.RecommendContext(rctx, model.UserID(i%200+1), 10)
+			root.End(err)
+			if err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/present"
 	"repro/internal/recsys"
 	"repro/internal/resilience"
+	"repro/internal/trace"
 )
 
 // Sentinels of the resilience layer, re-exported so frontends can map
@@ -43,6 +44,14 @@ var (
 	// the fallback path itself failed. Maps to 503.
 	ErrDegraded = resilience.ErrDegraded
 )
+
+// RetryAfterHint re-exports resilience.RetryAfterHint so frontends can
+// derive Retry-After headers — an open breaker's remaining cooldown, a
+// shed stage's estimated queue drain — without importing
+// internal/resilience.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	return resilience.RetryAfterHint(err)
+}
 
 // ResilienceConfig tunes the resilience chain installed by
 // WithResilience. The zero value enables breakers and degraded
@@ -65,6 +74,10 @@ type ResilienceConfig struct {
 	// MaxQueue bounds waiters beyond MaxConcurrent before arrivals are
 	// shed with ErrOverloaded. 0 means MaxConcurrent.
 	MaxQueue int
+	// ShedDrainEstimate is the assumed per-execution service time used
+	// to derive the Retry-After hint on shed rejections. 0 means the
+	// library default (250ms).
+	ShedDrainEstimate time.Duration
 
 	// RetryAttempts is the total tries per stage execution, including
 	// the first; values below 2 disable retrying. Retrying is safe
@@ -108,6 +121,7 @@ func (e *Engine) resilienceChain() []pipeline.Interceptor {
 		ics = append(ics, resilience.Shed(resilience.ShedOptions{
 			MaxConcurrent: cfg.MaxConcurrent,
 			MaxQueue:      cfg.MaxQueue,
+			DrainEstimate: cfg.ShedDrainEstimate,
 			Recorder:      &e.resEvents,
 		}))
 	}
@@ -127,6 +141,9 @@ func (e *Engine) resilienceChain() []pipeline.Interceptor {
 		HalfOpenProbes:   cfg.BreakerProbes,
 		ShouldTrip:       infrastructureFailure,
 		Recorder:         &e.resEvents,
+		// core is not a determinism-checked package, so it may wire the
+		// wall clock; rejections then advise the *remaining* cooldown.
+		Clock: time.Now,
 	}))
 	if cfg.RetryAttempts >= 2 {
 		ics = append(ics, resilience.Retry(resilience.RetryOptions{
@@ -162,6 +179,38 @@ func infrastructureFailure(err error) bool {
 		}
 	}
 	return true
+}
+
+// classifyError maps a stage error onto the short class label recorded
+// on trace spans, separating infrastructure faults from domain
+// outcomes the same way infrastructureFailure does — but with enough
+// resolution to read a trace without the error text.
+func classifyError(err error) string {
+	var pe *pipeline.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return "breaker_open"
+	case errors.Is(err, resilience.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, resilience.ErrDegraded):
+		return "degraded_failed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, recsys.ErrColdStart):
+		return "cold_start"
+	case errors.Is(err, explain.ErrNoEvidence):
+		return "no_evidence"
+	case errors.Is(err, model.ErrUnknownItem):
+		return "unknown_item"
+	case errors.Is(err, ErrNonFiniteValue):
+		return "invalid_value"
+	default:
+		return "error"
+	}
 }
 
 // ---- degraded-mode stages ----
@@ -282,19 +331,23 @@ func ratedPhrase(v float64) string { return fmt.Sprintf("%.1f stars", v) }
 
 // eventRecorder implements resilience.Recorder over a sync.Map, the
 // same lock-free-after-first-touch pattern as stageRecorder. Keys are
-// "pipeline/stage/event".
+// "pipeline/stage/event". Each event is also attached to the request's
+// trace (when one is active on ctx) as a zero-duration child span, so
+// a retained trace shows retry attempts, breaker flips and fallback
+// reroutes inline with the stage spans they interrupted.
 type eventRecorder struct {
 	m sync.Map // "pipeline/stage/event" → *atomic.Int64
 }
 
 // RecordEvent implements resilience.Recorder.
-func (r *eventRecorder) RecordEvent(pipe, stage, event string) {
+func (r *eventRecorder) RecordEvent(ctx context.Context, pipe, stage, event string) {
 	key := pipe + "/" + stage + "/" + event
 	v, ok := r.m.Load(key)
 	if !ok {
 		v, _ = r.m.LoadOrStore(key, new(atomic.Int64))
 	}
 	v.(*atomic.Int64).Add(1)
+	trace.Event(ctx, event, trace.Attr{Key: "stage", Value: pipe + "/" + stage})
 }
 
 // snapshot copies the counters into a plain map for Stats, sorted

@@ -27,6 +27,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/present"
 	"repro/internal/recsys"
+	"repro/internal/trace"
 )
 
 // snapCtxKey carries the per-request snapshot through the context, as
@@ -58,6 +59,24 @@ func (e *Engine) readSnapshot() (*snapshot, func()) {
 	return s, func() {}
 }
 
+// tracedSnapshot is readSnapshot with a snapshot-kind trace span
+// covering the acquisition: instantaneous on the lock-free path,
+// potentially long in guarded compatibility mode where the span
+// exposes read-lock contention that per-stage timings would hide.
+func (e *Engine) tracedSnapshot(ctx context.Context) (*snapshot, func()) {
+	_, sp := trace.StartSpan(ctx, "snapshot", trace.KindSnapshot)
+	s, release := e.readSnapshot()
+	if sp != nil {
+		if s.guard != nil {
+			sp.SetAttr("mode", "guarded")
+		} else {
+			sp.SetAttr("mode", "lock-free")
+		}
+		sp.End(nil)
+	}
+	return s, release
+}
+
 // pipelines holds one composed pipeline per read operation.
 type pipelines struct {
 	recommend *pipeline.Pipeline
@@ -70,18 +89,24 @@ type pipelines struct {
 // buildPipelines composes the read-operation pipelines once, at
 // construction time. Custom interceptors installed via WithInterceptor
 // wrap outside the stock set, so they observe each stage exactly as
-// the stock chain reports it. With WithResilience the full per-stage
-// chain is
+// the stock chain reports it. With WithResilience and WithTracer the
+// full per-stage chain is
 //
-//	extraICs → Metrics → Shed → Fallback → Breaker → Retry →
+//	extraICs → Metrics → Trace → Shed → Fallback → Breaker → Retry →
 //	Deadline → Recover → chaos → stage
 //
-// (see DESIGN.md §7 for the ordering rationale); chaos interceptors
+// (see DESIGN.md §7–§8 for the ordering rationale); Trace sits inside
+// Metrics so stage metrics are never inflated by span bookkeeping, and
+// outside the resilience chain so one stage span covers shed queueing,
+// every retry attempt and the degraded fallback. Chaos interceptors
 // (WithChaos) sit innermost so injected faults traverse every
 // production layer.
 func (e *Engine) buildPipelines() {
 	ics := append(append([]pipeline.Interceptor{}, e.extraICs...),
 		pipeline.Metrics(&e.stageStats))
+	if e.tracer != nil {
+		ics = append(ics, trace.Interceptor(e.tracer, classifyError))
+	}
 	if e.resilience != nil {
 		ics = append(ics, e.resilienceChain()...)
 	}

@@ -1,0 +1,168 @@
+// Integration tests for tracing inside the engine: a traced request
+// produces stage spans parented to the root, a snapshot-kind span for
+// snapshot acquisition, and — under injected chaos — event child spans
+// for every resilience action (retry, breaker flip, fallback reroute)
+// on a trace retained because the request was served degraded.
+
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// tracedEngine builds an engine with a deterministic tracer installed,
+// plus whatever resilience/chaos configuration the test needs.
+func tracedEngine(t testing.TB, tr *trace.Tracer, opts ...Option) *Engine {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 901, Users: 30, Items: 50, RatingsPerUser: 12})
+	e, err := New(c.Catalog, c.Ratings, append([]Option{WithSeed(1), WithTracer(tr)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestTraceRecordsStageAndSnapshotSpans: a healthy traced Recommend
+// yields one span per pipeline stage plus the snapshot span, all
+// correctly parented under the root.
+func TestTraceRecordsStageAndSnapshotSpans(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1}) // retain everything
+	e := tracedEngine(t, tr)
+
+	ctx, root := tr.Start(context.Background(), "recommend")
+	if _, err := e.RecommendContext(ctx, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	root.End(nil)
+
+	d := tr.Lookup(root.TraceID())
+	if d == nil {
+		t.Fatal("trace not retained at SampleRate 1")
+	}
+	byName := map[string]trace.Span{}
+	for _, s := range d.Spans {
+		byName[s.Name] = s
+	}
+	for _, stage := range []string{"recommend/rank", "recommend/rerank", "recommend/explainTopN", "recommend/present"} {
+		sp, ok := byName[stage]
+		if !ok {
+			t.Fatalf("no span for stage %s in %v", stage, names(d.Spans))
+		}
+		if sp.Kind != trace.KindStage || sp.Parent != root.SpanID() {
+			t.Fatalf("stage span %s = kind %q parent %v, want stage kind parented to root", stage, sp.Kind, sp.Parent)
+		}
+	}
+	snap, ok := byName["snapshot"]
+	if !ok || snap.Kind != trace.KindSnapshot {
+		t.Fatalf("snapshot span missing or wrong kind: %+v", snap)
+	}
+	if !hasAttr(byName["recommend/rank"].Attrs, "user", "1") {
+		t.Fatalf("rank span lacks user attr: %v", byName["recommend/rank"].Attrs)
+	}
+}
+
+// TestChaosTraceShowsResilienceEvents is the trace half of the issue's
+// acceptance scenario at engine level: with the explain stage broken,
+// retry enabled and a one-failure breaker, the (degraded-retained)
+// trace's span tree shows the retry attempts, the breaker flip and the
+// degraded fallback as event spans under the explain stage span.
+func TestChaosTraceShowsResilienceEvents(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	inj := fault.NewInjector(901,
+		fault.Rule{Pipeline: pipeline.OpExplain, Stage: "explain", Nth: 1, Err: fault.ErrInjected})
+	e := tracedEngine(t, tr,
+		WithResilience(ResilienceConfig{BreakerThreshold: 1, RetryAttempts: 2}),
+		WithChaos(inj.Interceptor()),
+	)
+
+	ctx, root := tr.Start(context.Background(), "explain")
+	exp, err := e.ExplainContext(ctx, 1, 3)
+	if err != nil {
+		t.Fatalf("degraded explain should succeed, got %v", err)
+	}
+	if !exp.Degraded {
+		t.Fatal("explanation not marked degraded")
+	}
+	root.End(nil)
+
+	d := tr.Lookup(root.TraceID())
+	if d == nil {
+		t.Fatal("degraded trace not retained")
+	}
+	if d.Reason != trace.ReasonDegraded || !d.Degraded || d.Status != "ok" {
+		t.Fatalf("trace = reason %q degraded %v status %q, want degraded/true/ok", d.Reason, d.Degraded, d.Status)
+	}
+
+	var stageSpan trace.Span
+	events := map[string]trace.Span{}
+	for _, s := range d.Spans {
+		if s.Name == "explain/explain" && s.Kind == trace.KindStage {
+			stageSpan = s
+		}
+		if s.Kind == trace.KindEvent {
+			events[s.Name] = s
+		}
+	}
+	if stageSpan.ID.IsZero() {
+		t.Fatalf("no explain stage span in %v", names(d.Spans))
+	}
+	// The stage span itself ended clean: fallback absorbed the failure.
+	if stageSpan.Err != "" {
+		t.Fatalf("stage span err = %q, want clean (fallback absorbed it)", stageSpan.Err)
+	}
+	if !hasAttr(stageSpan.Attrs, "degraded", "true") {
+		t.Fatalf("stage span not marked degraded: %v", stageSpan.Attrs)
+	}
+	for _, want := range []string{"retry", "breaker_open", "fallback"} {
+		ev, ok := events[want]
+		if !ok {
+			t.Fatalf("no %s event span in %v", want, names(d.Spans))
+		}
+		if ev.Parent != stageSpan.ID {
+			t.Fatalf("%s event parented to %v, want the explain stage span %v", want, ev.Parent, stageSpan.ID)
+		}
+		if !hasAttr(ev.Attrs, "stage", "explain/explain") {
+			t.Fatalf("%s event lacks stage attr: %v", want, ev.Attrs)
+		}
+	}
+}
+
+// TestUntracedRequestsRecordNothing: with a tracer installed but no
+// root span on the context, requests pass through the interceptor on
+// the nil-span fast path and nothing is started or retained.
+func TestUntracedRequestsRecordNothing(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1})
+	e := tracedEngine(t, tr)
+	if _, err := e.RecommendContext(context.Background(), 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Recent(0)); got != 0 {
+		t.Fatalf("untraced request retained %d traces", got)
+	}
+	if got := len(tr.Metrics()); got != 0 {
+		t.Fatalf("untraced request started %d ops worth of traces", got)
+	}
+}
+
+func names(spans []trace.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Kind + ":" + s.Name
+	}
+	return out
+}
+
+func hasAttr(attrs []trace.Attr, key, value string) bool {
+	for _, a := range attrs {
+		if a.Key == key && a.Value == value {
+			return true
+		}
+	}
+	return false
+}

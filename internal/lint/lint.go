@@ -94,12 +94,14 @@ type Config struct {
 // and the legacy context-free Engine wrappers are the only allowed
 // context.Background() call sites outside main packages.
 //
-// internal/resilience and internal/fault are determinism packages too:
-// retry jitter and fault-injection probability must draw from seeded
-// internal/rng streams so a failing chaos run replays bit-for-bit.
-// (Timer-based waiting — time.NewTimer, time.AfterFunc — is not a
-// determinism leak and stays allowed; only wall-clock reads and
-// math/rand are banned.)
+// internal/resilience, internal/fault and internal/trace are
+// determinism packages too: retry jitter and fault-injection
+// probability must draw from seeded internal/rng streams so a failing
+// chaos run replays bit-for-bit, and the tracer must route every
+// timestamp through its injectable Clock and every ID/sampling draw
+// through a seeded counter stream. (Timer-based waiting —
+// time.NewTimer, time.AfterFunc — is not a determinism leak and stays
+// allowed; only wall-clock reads and math/rand are banned.)
 func DefaultConfig() *Config {
 	return &Config{
 		ReadPathPkgs: map[string]bool{
@@ -113,6 +115,7 @@ func DefaultConfig() *Config {
 			"repro/internal/rng":         true,
 			"repro/internal/resilience":  true,
 			"repro/internal/fault":       true,
+			"repro/internal/trace":       true,
 		},
 		ErrorScopePrefixes: []string{"repro/internal/"},
 		CtxAllowlist: map[string]bool{
@@ -123,6 +126,10 @@ func DefaultConfig() *Config {
 			"repro/internal/core.(*Engine).WhyLow":    true,
 			"repro/internal/core.(*Engine).BrowseAll": true,
 			"repro/internal/core.(*Engine).SimilarTo": true,
+			// The breaker's open → half-open transition is driven by a
+			// cooldown timer, not a request: there is no caller context
+			// to attribute the recorder event to.
+			"repro/internal/resilience.(*breakerState).halfOpen": true,
 		},
 	}
 }

@@ -140,6 +140,35 @@ func TestDeterminismFixtures(t *testing.T) {
 	}
 }
 
+// TestTraceSeamFixtures runs the two rules that police the tracing
+// subsystem's seams — determinism (clock injection, seeded sampling)
+// and ctx-propagation (events must ride the request context) —
+// together over fixtures modeling a tracer built with and without
+// those seams, the way internal/trace itself is checked.
+func TestTraceSeamFixtures(t *testing.T) {
+	rules := []Rule{ruleByID(t, "determinism"), ruleByID(t, "ctx-propagation")}
+	for _, rel := range []string{"traceseam/bad", "traceseam/good"} {
+		pkg := fixture(t, rel)
+		cfg := &Config{DeterminismPkgs: map[string]bool{pkg.Path: true}}
+		findings := Run([]*Package{pkg}, cfg, rules)
+		expected := wants(pkg)
+		got := make(map[string]string)
+		for _, f := range findings {
+			got[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] = f.RuleID
+		}
+		for key, want := range expected {
+			if got[key] != want {
+				t.Errorf("%s: %s: want a %s finding, got %q", rel, key, want, got[key])
+			}
+		}
+		for key, id := range got {
+			if _, ok := expected[key]; !ok {
+				t.Errorf("%s: %s: unexpected %s finding", rel, key, id)
+			}
+		}
+	}
+}
+
 func errScopeCfg() *Config {
 	return &Config{ErrorScopePrefixes: []string{"repro/internal/"}}
 }

@@ -1,0 +1,41 @@
+// Violating fixture modeling a tracer built without internal/trace's
+// seams: span timestamps read the wall clock, the sampling draw comes
+// from math/rand, and event recording mints a fresh context instead of
+// threading the request's — each the exact defect the determinism and
+// ctx-propagation rules were extended to catch in internal/trace.
+package bad
+
+import (
+	"context"
+	"math/rand" // want determinism
+	"time"
+)
+
+type span struct {
+	start time.Time
+}
+
+// startSpan stamps spans from the wall clock: two runs of the same
+// test record different timestamps and durations, so a failing trace
+// cannot be replayed bit-for-bit.
+func startSpan() *span {
+	return &span{start: time.Now()} // want determinism
+}
+
+// sampled draws the head-sampling decision from global math/rand: the
+// set of retained traces changes run to run.
+func sampled(rate float64) bool {
+	return rand.Float64() < rate
+}
+
+// recordEvent detaches the event from the request that caused it; the
+// span can never be parented into the right trace.
+func recordEvent(record func(context.Context, string)) {
+	record(context.Background(), "retry") // want ctx-propagation
+}
+
+var (
+	_ = startSpan
+	_ = sampled
+	_ = recordEvent
+)

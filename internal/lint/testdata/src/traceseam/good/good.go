@@ -1,0 +1,55 @@
+// Clean fixture mirroring internal/trace's actual seams: timestamps
+// flow through an injected clock with a time.Unix logical-clock
+// fallback (constructing times from numbers is deterministic — only
+// *reading* the wall clock is banned), sampling draws come from a
+// seeded splitmix64 counter stream, and events are recorded against
+// the caller's context.
+package good
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+type tracer struct {
+	clock   func() time.Time
+	logical atomic.Int64
+	seed    uint64
+	seq     atomic.Uint64
+}
+
+// newTracer takes the clock as a seam: production wires time.Now from
+// a main package, tests wire fakes, and nil selects a synthetic
+// logical clock that advances one microsecond per reading.
+func newTracer(clock func() time.Time) *tracer {
+	t := &tracer{clock: clock, seed: 1}
+	if t.clock == nil {
+		t.clock = func() time.Time {
+			return time.Unix(0, t.logical.Add(int64(time.Microsecond)))
+		}
+	}
+	return t
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sampled derives the decision from the seed and the trace ordinal:
+// a replayed run retains exactly the same traces.
+func (t *tracer) sampled(rate float64) bool {
+	draw := float64(splitmix64(t.seed+t.seq.Add(1))>>11) / (1 << 53)
+	return draw < rate
+}
+
+// recordEvent threads the request context through, so the event lands
+// in the trace of the request that caused it.
+func (t *tracer) recordEvent(ctx context.Context, record func(context.Context, string)) {
+	record(ctx, "retry")
+}
+
+var _ = newTracer

@@ -2,7 +2,7 @@
 // Composition order is part of the contract and is what the engine
 // documents and tests:
 //
-//	Metrics ⟶ Deadline ⟶ Recover ⟶ stage
+//	Metrics ⟶ Trace ⟶ Deadline ⟶ Recover ⟶ stage
 //
 // Metrics is outermost so it observes every stage attempt — including
 // ones Deadline refuses to start and panics Recover converted to
@@ -10,6 +10,15 @@
 // Recover is innermost, closest to the stage, so a panic is turned
 // into an ordinary error before it crosses Deadline or Metrics and the
 // serving goroutine survives.
+//
+// Trace (internal/trace.Interceptor) sits just inside Metrics, outside
+// the whole resilience chain the engine splices in between Trace and
+// Deadline (Shed ⟶ Fallback ⟶ Breaker ⟶ Retry — see
+// internal/core/resilience.go). One stage span therefore covers every
+// retry attempt and any fallback reroute, and resilience events
+// recorded mid-flight parent under it; an inner failure the chain
+// absorbed leaves the span's own error empty, with the evidence
+// attached as child event spans.
 package pipeline
 
 import (

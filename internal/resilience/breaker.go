@@ -36,6 +36,11 @@ type BreakerOptions struct {
 	// tests can trigger the cooldown deterministically instead of
 	// sleeping. Default time.AfterFunc.
 	After func(d time.Duration, f func())
+	// Clock, when set, timestamps circuit trips so rejections can carry
+	// the *remaining* cooldown as a retry-after hint. Nil (the default,
+	// and the only lint-clean option inside determinism-checked
+	// packages) reports the full Cooldown as a conservative hint.
+	Clock func() time.Time
 }
 
 func (o BreakerOptions) withDefaults() BreakerOptions {
@@ -74,12 +79,13 @@ func Breaker(opts BreakerOptions) pipeline.Interceptor {
 		}
 		b := &breakerState{opts: opts, info: info}
 		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
-			if !b.allow() {
-				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventBreakerReject)
-				return nil, fmt.Errorf("stage %s/%s: %w", info.Pipeline, info.Stage, ErrBreakerOpen)
+			ok, hint := b.allow()
+			if !ok {
+				opts.Recorder.RecordEvent(ctx, info.Pipeline, info.Stage, EventBreakerReject)
+				return nil, withHint(fmt.Errorf("stage %s/%s: %w", info.Pipeline, info.Stage, ErrBreakerOpen), hint)
 			}
 			resp, err := next(ctx, req)
-			b.observe(err)
+			b.observe(ctx, err)
 			return resp, err
 		}
 	}
@@ -99,35 +105,48 @@ type breakerState struct {
 	opts BreakerOptions
 	info pipeline.StageInfo
 
-	mu      sync.Mutex
-	state   int
-	fails   int  // consecutive trip-worthy failures while closed
-	succ    int  // consecutive probe successes while half-open
-	probing bool // a half-open probe is in flight
-	gen     int  // open-generation; stale cooldown timers no-op
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive trip-worthy failures while closed
+	succ     int       // consecutive probe successes while half-open
+	probing  bool      // a half-open probe is in flight
+	gen      int       // open-generation; stale cooldown timers no-op
+	openedAt time.Time // trip time, zero unless Clock is configured
 }
 
 // allow reports whether a call may proceed, reserving the half-open
-// probe slot when applicable.
-func (b *breakerState) allow() bool {
+// probe slot when applicable. For rejected calls hint is the suggested
+// wait before retrying: the remaining cooldown when a Clock is
+// configured, the full Cooldown otherwise, and zero for a busy
+// half-open circuit (the probe outcome is imminent).
+func (b *breakerState) allow() (ok bool, hint time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case stateClosed:
-		return true
+		return true, 0
 	case stateHalfOpen:
 		if b.probing {
-			return false
+			return false, 0
 		}
 		b.probing = true
-		return true
+		return true, 0
 	default: // stateOpen
-		return false
+		hint = b.opts.Cooldown
+		if b.opts.Clock != nil && !b.openedAt.IsZero() {
+			if left := b.opts.Cooldown - b.opts.Clock().Sub(b.openedAt); left < hint {
+				hint = left
+			}
+		}
+		if hint < 0 {
+			hint = 0
+		}
+		return false, hint
 	}
 }
 
 // observe feeds one call outcome into the state machine.
-func (b *breakerState) observe(err error) {
+func (b *breakerState) observe(ctx context.Context, err error) {
 	trip := err != nil && b.opts.ShouldTrip(err)
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -139,19 +158,19 @@ func (b *breakerState) observe(err error) {
 		}
 		b.fails++
 		if b.fails >= b.opts.FailureThreshold {
-			b.open()
+			b.open(ctx)
 		}
 	case stateHalfOpen:
 		b.probing = false
 		if trip {
-			b.open()
+			b.open(ctx)
 			return
 		}
 		b.succ++
 		if b.succ >= b.opts.HalfOpenProbes {
 			b.state = stateClosed
 			b.fails = 0
-			b.opts.Recorder.RecordEvent(b.info.Pipeline, b.info.Stage, EventBreakerClose)
+			b.opts.Recorder.RecordEvent(ctx, b.info.Pipeline, b.info.Stage, EventBreakerClose)
 		}
 	default:
 		// stateOpen: an in-flight call admitted before the trip
@@ -159,20 +178,26 @@ func (b *breakerState) observe(err error) {
 	}
 }
 
-// open trips the circuit and schedules the half-open transition.
-// Callers must hold b.mu.
-func (b *breakerState) open() {
+// open trips the circuit and schedules the half-open transition. ctx
+// belongs to the request whose failure tripped it. Callers must hold
+// b.mu.
+func (b *breakerState) open(ctx context.Context) {
 	b.state = stateOpen
 	b.fails = 0
 	b.succ = 0
 	b.gen++
+	b.openedAt = time.Time{}
+	if b.opts.Clock != nil {
+		b.openedAt = b.opts.Clock()
+	}
 	gen := b.gen
-	b.opts.Recorder.RecordEvent(b.info.Pipeline, b.info.Stage, EventBreakerOpen)
+	b.opts.Recorder.RecordEvent(ctx, b.info.Pipeline, b.info.Stage, EventBreakerOpen)
 	b.opts.After(b.opts.Cooldown, func() { b.halfOpen(gen) })
 }
 
 // halfOpen moves an open circuit of generation gen to half-open; a
-// timer from a previous open generation is ignored.
+// timer from a previous open generation is ignored. The transition is
+// timer-driven, so no request context exists to attribute it to.
 func (b *breakerState) halfOpen(gen int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -182,5 +207,5 @@ func (b *breakerState) halfOpen(gen int) {
 	b.state = stateHalfOpen
 	b.succ = 0
 	b.probing = false
-	b.opts.Recorder.RecordEvent(b.info.Pipeline, b.info.Stage, EventBreakerHalfOpen)
+	b.opts.Recorder.RecordEvent(context.Background(), b.info.Pipeline, b.info.Stage, EventBreakerHalfOpen)
 }

@@ -76,13 +76,13 @@ func Fallback(opts FallbackOptions) pipeline.Interceptor {
 			}
 			var pe *pipeline.PanicError
 			if errors.As(err, &pe) {
-				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventPanic)
+				opts.Recorder.RecordEvent(ctx, info.Pipeline, info.Stage, EventPanic)
 			}
-			opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventFallback)
+			opts.Recorder.RecordEvent(ctx, info.Pipeline, info.Stage, EventFallback)
 			req.Degraded = true
 			fresp, ferr := degraded(ctx, req)
 			if ferr != nil {
-				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventFallbackError)
+				opts.Recorder.RecordEvent(ctx, info.Pipeline, info.Stage, EventFallbackError)
 				return nil, fmt.Errorf("stage %s/%s: %w (primary: %v; fallback: %v)",
 					info.Pipeline, info.Stage, ErrDegraded, err, ferr)
 			}

@@ -8,9 +8,10 @@
 //
 // Everything here is a pipeline.Interceptor, composable with the
 // stock Metrics/Deadline/Recover chain of internal/pipeline. The
-// engine inserts them between Metrics and Deadline in this order:
+// engine inserts them between Metrics/Trace and Deadline in this
+// order:
 //
-//	Metrics ⟶ Shed ⟶ Fallback ⟶ Breaker ⟶ Retry ⟶ Deadline ⟶ Recover ⟶ stage
+//	Metrics ⟶ Trace ⟶ Shed ⟶ Fallback ⟶ Breaker ⟶ Retry ⟶ Deadline ⟶ Recover ⟶ stage
 //
 // The ordering is load-bearing:
 //
@@ -60,8 +61,14 @@ var (
 // pipeline stage. The engine's counters implement it; implementations
 // must be safe for concurrent use, and cheap — breakers invoke it with
 // internal locks held.
+//
+// ctx is the request context of the call that triggered the event, so
+// an implementation can attach the event to the request's trace as a
+// child span; events with no owning request (a breaker's cooldown
+// timer firing) carry a contextless background context. Recorders
+// must not retain ctx.
 type Recorder interface {
-	RecordEvent(pipeline, stage, event string)
+	RecordEvent(ctx context.Context, pipeline, stage, event string)
 }
 
 // Event names passed to Recorder.RecordEvent.
@@ -80,7 +87,39 @@ const (
 // nopRecorder is the default when no Recorder is configured.
 type nopRecorder struct{}
 
-func (nopRecorder) RecordEvent(pipeline, stage, event string) {}
+func (nopRecorder) RecordEvent(ctx context.Context, pipeline, stage, event string) {}
+
+// hintedError carries a retry-after estimate alongside a rejection.
+// It wraps rather than replaces so errors.Is chains to the sentinels
+// (ErrBreakerOpen, ErrOverloaded) keep working.
+type hintedError struct {
+	err   error
+	after time.Duration
+}
+
+func (h *hintedError) Error() string                 { return h.err.Error() }
+func (h *hintedError) Unwrap() error                 { return h.err }
+func (h *hintedError) RetryAfterHint() time.Duration { return h.after }
+
+// withHint attaches a retry-after estimate to err. Non-positive hints
+// are attached as-is; extraction clamps, not construction, so callers
+// can distinguish "retry immediately" from "no estimate".
+func withHint(err error, after time.Duration) error {
+	return &hintedError{err: err, after: after}
+}
+
+// RetryAfterHint extracts a retry-after estimate from a rejection
+// error, if one was attached: an open breaker reports its remaining
+// cooldown, a shed rejection estimates queue drain time. ok is false
+// when the error chain carries no hint — the caller should fall back
+// to a configured default.
+func RetryAfterHint(err error) (d time.Duration, ok bool) {
+	var h interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &h) {
+		return h.RetryAfterHint(), true
+	}
+	return 0, false
+}
 
 // orNop returns rec, or the no-op recorder when rec is nil.
 func orNop(rec Recorder) Recorder {

@@ -21,7 +21,7 @@ type eventLog struct {
 
 func newEventLog() *eventLog { return &eventLog{m: make(map[string]int)} }
 
-func (l *eventLog) RecordEvent(pipe, stage, event string) {
+func (l *eventLog) RecordEvent(ctx context.Context, pipe, stage, event string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.m[pipe+"/"+stage+"/"+event]++
@@ -227,6 +227,68 @@ func TestBreakerConcurrentLoad(t *testing.T) {
 	}
 }
 
+// TestBreakerRejectCarriesCooldownHint: an open-circuit rejection must
+// carry a retry-after hint — the remaining cooldown when a Clock is
+// wired, the full cooldown otherwise.
+func TestBreakerRejectCarriesCooldownHint(t *testing.T) {
+	clock := &manualClock{}
+	now := time.Unix(100, 0)
+	cooldown := 8 * time.Second
+	inj := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Count: 1, Err: fault.ErrInjected})
+	p := onePipeline(okHandler,
+		Breaker(BreakerOptions{
+			FailureThreshold: 1,
+			Cooldown:         cooldown,
+			After:            clock.After,
+			Clock:            func() time.Time { return now },
+		}),
+		inj.Interceptor(),
+	)
+	ctx := context.Background()
+	if _, err := p.Run(ctx, &pipeline.Request{}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+
+	// Immediately after the trip the whole cooldown remains.
+	_, err := p.Run(ctx, &pipeline.Request{})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint != cooldown {
+		t.Fatalf("hint = %v, %v; want %v, true", hint, ok, cooldown)
+	}
+
+	// 5s into the cooldown, 3s remain.
+	now = now.Add(5 * time.Second)
+	_, err = p.Run(ctx, &pipeline.Request{})
+	if hint, ok := RetryAfterHint(err); !ok || hint != 3*time.Second {
+		t.Fatalf("hint = %v, %v; want 3s, true", hint, ok)
+	}
+
+	// Without a Clock the hint degrades to the full cooldown.
+	inj2 := fault.NewInjector(1, fault.Rule{Stage: "s", Nth: 1, Count: 1, Err: fault.ErrInjected})
+	p2 := onePipeline(okHandler,
+		Breaker(BreakerOptions{FailureThreshold: 1, Cooldown: cooldown, After: clock.After}),
+		inj2.Interceptor(),
+	)
+	//lint:ignore dropped-error the injected failure only serves to trip the breaker
+	_, _ = p2.Run(ctx, &pipeline.Request{})
+	_, err = p2.Run(ctx, &pipeline.Request{})
+	if hint, ok := RetryAfterHint(err); !ok || hint != cooldown {
+		t.Fatalf("clockless hint = %v, %v; want %v, true", hint, ok, cooldown)
+	}
+}
+
+// TestRetryAfterHintAbsent: plain errors carry no hint.
+func TestRetryAfterHintAbsent(t *testing.T) {
+	if hint, ok := RetryAfterHint(errors.New("plain")); ok || hint != 0 {
+		t.Fatalf("hint = %v, %v; want 0, false", hint, ok)
+	}
+	if hint, ok := RetryAfterHint(nil); ok || hint != 0 {
+		t.Fatalf("nil hint = %v, %v; want 0, false", hint, ok)
+	}
+}
+
 // TestShedBoundsConcurrencyAndQueue checks the three shed outcomes
 // with MaxConcurrent=1, MaxQueue=1: one running, one queued, the next
 // rejected with ErrOverloaded — and the queued caller completing once
@@ -243,7 +305,7 @@ func TestShedBoundsConcurrencyAndQueue(t *testing.T) {
 		<-release
 		return &pipeline.Response{}, nil
 	}
-	p := onePipeline(blocking, Shed(ShedOptions{MaxConcurrent: 1, MaxQueue: 1, Recorder: log}))
+	p := onePipeline(blocking, Shed(ShedOptions{MaxConcurrent: 1, MaxQueue: 1, DrainEstimate: 100 * time.Millisecond, Recorder: log}))
 	ctx := context.Background()
 
 	first := make(chan error, 1)
@@ -260,8 +322,14 @@ func TestShedBoundsConcurrencyAndQueue(t *testing.T) {
 	}
 	before := log.count("p/s/" + EventShedReject)
 
-	if _, err := p.Run(ctx, &pipeline.Request{}); !errors.Is(err, ErrOverloaded) {
+	_, err := p.Run(ctx, &pipeline.Request{})
+	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("overflow call: err = %v, want ErrOverloaded", err)
+	}
+	// One caller queued, one slot, 100ms estimated service time: the
+	// rejection advises (1+1)/1 service times = 200ms.
+	if hint, ok := RetryAfterHint(err); !ok || hint != 200*time.Millisecond {
+		t.Fatalf("hint = %v, %v; want 200ms, true", hint, ok)
 	}
 	if got := log.count("p/s/" + EventShedReject); got != before+1 {
 		t.Fatalf("shed_reject events = %d, want %d", got, before+1)

@@ -90,7 +90,7 @@ func Retry(opts RetryOptions) pipeline.Interceptor {
 				if err == nil || attempt+1 >= opts.Attempts || !opts.RetryWhen(err) || ctx.Err() != nil {
 					return resp, err
 				}
-				opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventRetry)
+				opts.Recorder.RecordEvent(ctx, info.Pipeline, info.Stage, EventRetry)
 				if serr := opts.Sleep(ctx, j.backoff(opts, attempt)); serr != nil {
 					// The parent context died mid-backoff; the stage's
 					// own error is the more informative one to return.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pipeline"
 )
@@ -21,6 +22,12 @@ type ShedOptions struct {
 	Stages func(pipeline.StageInfo) bool
 	// Recorder receives shed_reject events; nil discards them.
 	Recorder Recorder
+	// DrainEstimate is the assumed per-execution service time used to
+	// derive the retry-after hint on a shed rejection: with the queue
+	// at depth q and MaxConcurrent slots draining in parallel, a
+	// rejected caller is told to come back after roughly
+	// (q+MaxConcurrent)/MaxConcurrent service times. Default 250ms.
+	DrainEstimate time.Duration
 }
 
 func (o ShedOptions) withDefaults() ShedOptions {
@@ -29,6 +36,9 @@ func (o ShedOptions) withDefaults() ShedOptions {
 	}
 	if o.MaxQueue <= 0 {
 		o.MaxQueue = o.MaxConcurrent
+	}
+	if o.DrainEstimate <= 0 {
+		o.DrainEstimate = 250 * time.Millisecond
 	}
 	o.Recorder = orNop(o.Recorder)
 	return o
@@ -54,10 +64,14 @@ func Shed(opts ShedOptions) pipeline.Interceptor {
 			case slots <- struct{}{}:
 				// Fast path: a slot was free.
 			default:
-				if queued.Add(1) > int64(opts.MaxQueue) {
+				if depth := queued.Add(1); depth > int64(opts.MaxQueue) {
 					queued.Add(-1)
-					opts.Recorder.RecordEvent(info.Pipeline, info.Stage, EventShedReject)
-					return nil, fmt.Errorf("stage %s/%s: %w", info.Pipeline, info.Stage, ErrOverloaded)
+					opts.Recorder.RecordEvent(ctx, info.Pipeline, info.Stage, EventShedReject)
+					// depth-1 callers are genuinely queued; each of the
+					// MaxConcurrent slots must drain (queue/slots)+1
+					// service times before a re-arrival could be admitted.
+					hint := opts.DrainEstimate * time.Duration(depth-1+int64(opts.MaxConcurrent)) / time.Duration(opts.MaxConcurrent)
+					return nil, withHint(fmt.Errorf("stage %s/%s: %w", info.Pipeline, info.Stage, ErrOverloaded), hint)
 				}
 				select {
 				case slots <- struct{}{}:

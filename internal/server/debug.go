@@ -1,0 +1,145 @@
+// The tracing debug surface: GET /debug/traces lists retained traces
+// (filterable by op, status and minimum duration) with summary
+// latency quantiles, GET /debug/traces/{id} returns one full span
+// tree, and DebugMux packages both — optionally with net/http/pprof —
+// for a separate operator-only listener (-debug-addr in cmd/recserver)
+// so profiling and trace inspection never share a port with user
+// traffic unless the operator wants them to.
+
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// traceSummaryJSON is one row of the /debug/traces listing.
+type traceSummaryJSON struct {
+	ID       trace.TraceID `json:"id"`
+	Op       string        `json:"op"`
+	Start    time.Time     `json:"start"`
+	Duration string        `json:"duration"`
+	Status   string        `json:"status"`
+	Degraded bool          `json:"degraded,omitempty"`
+	Reason   string        `json:"reason"`
+	Spans    int           `json:"spans"`
+	Dropped  int           `json:"dropped,omitempty"`
+}
+
+// handleTraceList serves GET /debug/traces. Query parameters:
+//
+//	op=recommend     only traces of one operation
+//	status=error     only traces with that status ("ok"/"error")
+//	min_ms=250       only traces at least that slow
+//	limit=20         at most that many rows (default 50)
+//
+// The response carries the matching rows newest-first plus p50/p95/p99
+// over the *matched* durations — the quantiles describe exactly the
+// population listed, so narrowing the filter narrows the summary too.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	limit, err := queryInt(r, "limit", 50)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	minMS, err := queryInt(r, "min_ms", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opFilter, statusFilter := q.Get("op"), q.Get("status")
+
+	var rows []traceSummaryJSON
+	var durs []float64
+	for _, d := range s.tracer.Recent(0) {
+		if opFilter != "" && d.Op != opFilter {
+			continue
+		}
+		if statusFilter != "" && d.Status != statusFilter {
+			continue
+		}
+		if d.Duration < time.Duration(minMS)*time.Millisecond {
+			continue
+		}
+		durs = append(durs, d.Duration.Seconds()*1000)
+		if limit > 0 && len(rows) >= limit {
+			continue // keep counting durations for the summary
+		}
+		rows = append(rows, traceSummaryJSON{
+			ID:       d.ID,
+			Op:       d.Op,
+			Start:    d.Start,
+			Duration: d.Duration.String(),
+			Status:   d.Status,
+			Degraded: d.Degraded,
+			Reason:   d.Reason,
+			Spans:    len(d.Spans),
+			Dropped:  d.Dropped,
+		})
+	}
+	resp := map[string]any{
+		"traces":  rows,
+		"matched": len(durs),
+	}
+	if len(durs) > 0 {
+		resp["latency_ms"] = map[string]float64{
+			"p50": stats.Quantile(durs, 0.50),
+			"p95": stats.Quantile(durs, 0.95),
+			"p99": stats.Quantile(durs, 0.99),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraceGet serves GET /debug/traces/{id}: the full span tree of
+// one retained trace, by the ID the client received in X-Trace-ID.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	id, err := trace.ParseTraceID(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d := s.tracer.Lookup(id)
+	if d == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("trace %s not retained (not sampled, or evicted from the ring)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// DebugMux returns a mux serving the trace debug endpoints — and, when
+// withPprof is set, the net/http/pprof profiling handlers — for a
+// dedicated debug listener. cmd/recserver mounts it on -debug-addr;
+// keeping it off the serving port is the default posture because
+// pprof and whole-trace payloads (user IDs, item IDs, error text) are
+// operator data, not user data.
+func (s *Server) DebugMux(withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	if s.tracer != nil {
+		mux.HandleFunc("/debug/traces", s.handleTraceList)
+		mux.HandleFunc("/debug/traces/", s.handleTraceGet)
+	}
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -88,7 +88,11 @@ func TestExplainDegradedOverHTTP(t *testing.T) {
 	}
 }
 
-// TestRetryAfterOnShed: a saturated stage answers 429 with Retry-After.
+// TestRetryAfterOnShed: a saturated stage answers 429 with a
+// Retry-After derived from the queue depth and the configured drain
+// estimate — not the server's static default. With MaxConcurrent=1,
+// MaxQueue=1 and a 2s drain estimate, the rejected arrival observes
+// depth 2 and is told 2s*(2-1+1)/1 = 4s.
 func TestRetryAfterOnShed(t *testing.T) {
 	release := make(chan struct{})
 	entered := make(chan struct{}, 16)
@@ -109,7 +113,11 @@ func TestRetryAfterOnShed(t *testing.T) {
 	defer close(release)
 	c := dataset.Movies(dataset.Config{Seed: 702, Users: 20, Items: 30, RatingsPerUser: 8})
 	eng, err := core.New(c.Catalog, c.Ratings,
-		core.WithResilience(core.ResilienceConfig{MaxConcurrent: 1, MaxQueue: 1}),
+		core.WithResilience(core.ResilienceConfig{
+			MaxConcurrent:     1,
+			MaxQueue:          1,
+			ShedDrainEstimate: 2 * time.Second,
+		}),
 		core.WithChaos(gate),
 	)
 	if err != nil {
@@ -137,8 +145,8 @@ func TestRetryAfterOnShed(t *testing.T) {
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
 		if rec.Code == http.StatusTooManyRequests {
-			if got := rec.Header().Get("Retry-After"); got != "3" {
-				t.Fatalf("Retry-After = %q, want %q", got, "3")
+			if got := rec.Header().Get("Retry-After"); got != "4" {
+				t.Fatalf("Retry-After = %q, want derived %q (not the static default)", got, "4")
 			}
 			var out map[string]any
 			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["error"] == "" {
@@ -151,6 +159,33 @@ func TestRetryAfterOnShed(t *testing.T) {
 			t.Fatalf("no 429 observed; last status %d", rec.Code)
 		default:
 		}
+	}
+}
+
+// TestRetryAfterOnBreakerOpen: a breaker rejection answers 503 with a
+// Retry-After derived from the breaker's remaining cooldown (the
+// engine wires the wall clock, so immediately after the trip the whole
+// 30s cooldown remains → ceil → "30"), not the server default. The
+// similar pipeline's present stage has no fallback route, so the
+// rejection reaches the client instead of being absorbed.
+func TestRetryAfterOnBreakerOpen(t *testing.T) {
+	s := chaosServer(t,
+		core.ResilienceConfig{BreakerThreshold: 1, BreakerCooldown: 30 * time.Second},
+		fault.Rule{Pipeline: pipeline.OpSimilar, Stage: "present", Nth: 1, Err: fault.ErrInjected})
+
+	// First request fails for real (statusFor blames the unknown
+	// injected error on the request) and trips the one-failure breaker.
+	rec, _ := doJSON(t, s, http.MethodGet, "/similar?user=1&item=3&n=5", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("tripping request = %d, want 400", rec.Code)
+	}
+	// Second request is rejected by the open breaker.
+	rec, out := doJSON(t, s, http.MethodGet, "/similar?user=1&item=3&n=5", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %v", rec.Code, out)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After = %q, want remaining cooldown %q", got, "30")
 	}
 }
 

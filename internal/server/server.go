@@ -44,6 +44,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/present"
 	"repro/internal/recsys"
+	"repro/internal/trace"
 )
 
 // maxBodyBytes caps POST bodies; every accepted payload is a few
@@ -57,11 +58,17 @@ type Server struct {
 	mux *http.ServeMux
 
 	// requestTimeout bounds each request's context (0 = unbounded);
-	// retryAfter is the hint sent with 429/503 responses; draining is
-	// flipped by StartDrain and turns /healthz into a 503.
+	// retryAfter is the fallback hint sent with 429/503 responses when
+	// the error carries no derived one; draining is flipped by
+	// StartDrain and turns /healthz into a 503.
 	requestTimeout time.Duration
 	retryAfter     time.Duration
 	draining       atomic.Bool
+
+	// tracer, when non-nil, traces every API request: traceparent
+	// headers are honoured, X-Trace-ID is stamped on responses, and
+	// /debug/traces serves the retained ring.
+	tracer *trace.Tracer
 }
 
 // Option configures a Server.
@@ -75,10 +82,24 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.requestTimeout = d }
 }
 
-// WithRetryAfter sets the Retry-After hint (rounded up to whole
-// seconds, minimum 1) carried by 429 and 503 responses. Default 1s.
+// WithRetryAfter sets the fallback Retry-After hint (rounded up to
+// whole seconds, minimum 1) carried by 429 and 503 responses whose
+// error chain does not already carry a derived hint — an open breaker
+// reports its remaining cooldown, a shed stage its estimated queue
+// drain time, and those derived values win. Default 1s.
 func WithRetryAfter(d time.Duration) Option {
 	return func(s *Server) { s.retryAfter = d }
+}
+
+// WithTracer installs a trace.Tracer on the HTTP surface. Every API
+// request (not /healthz, /metrics or /debug/*) starts a trace —
+// honouring an incoming W3C traceparent header — and carries its ID
+// back on the X-Trace-ID response header; retained traces are served
+// by GET /debug/traces (filterable) and GET /debug/traces/{id}. The
+// same tracer should be installed on the engine (core.WithTracer) so
+// stage spans land in the request's trace.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
 }
 
 // New builds a Server over any core.Service implementation.
@@ -96,6 +117,10 @@ func New(svc core.Service, opts ...Option) *Server {
 	s.mux.HandleFunc("/influence", s.handleInfluence)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.tracer != nil {
+		s.mux.HandleFunc("/debug/traces", s.handleTraceList)
+		s.mux.HandleFunc("/debug/traces/", s.handleTraceGet)
+	}
 	return s
 }
 
@@ -106,7 +131,58 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
+	if s.tracer != nil && tracedPath(r.URL.Path) {
+		s.serveTraced(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// tracedPath reports whether a request path gets a trace: the API
+// endpoints do; health, metrics and the debug surface itself do not.
+func tracedPath(path string) bool {
+	switch path {
+	case "/healthz", "/metrics":
+		return false
+	}
+	return !strings.HasPrefix(path, "/debug/")
+}
+
+// serveTraced wraps one API request in a root span: an incoming W3C
+// traceparent is honoured (same trace ID, remote parent, and a set
+// sampled flag forces retention), X-Trace-ID is stamped on the
+// response before the handler runs, and a 5xx status marks the trace
+// errored even when no span recorded the failure.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, "/")
+	ctx := r.Context()
+	var root *trace.ActiveSpan
+	if id, parent, sampled, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ctx, root = s.tracer.StartWithParent(ctx, op, id, parent, sampled)
+	} else {
+		ctx, root = s.tracer.Start(ctx, op)
+	}
+	root.SetAttr("method", r.Method)
+	root.SetAttr("path", r.URL.Path)
+	w.Header().Set("X-Trace-ID", root.TraceID().String())
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	root.SetAttr("status", strconv.Itoa(sw.status))
+	if sw.status >= 500 {
+		root.Fail()
+	}
+	root.End(nil)
+}
+
+// statusWriter captures the response status for the root span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // StartDrain puts the server into drain mode: /healthz starts
@@ -165,10 +241,18 @@ func statusFor(err error) int {
 // writeServiceError maps a Service error onto its status and writes the
 // error envelope; retryable statuses (429, 503) carry a Retry-After
 // hint so well-behaved clients back off instead of hammering a breaker.
+// The hint is derived from the rejection itself when the resilience
+// layer attached one — an open breaker's remaining cooldown, a shed
+// stage's estimated queue drain — and falls back to the configured
+// default otherwise.
 func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter))
+		after := s.retryAfter
+		if hint, ok := core.RetryAfterHint(err); ok {
+			after = hint
+		}
+		w.Header().Set("Retry-After", retryAfterSeconds(after))
 	}
 	writeError(w, status, err)
 }
@@ -518,6 +602,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		stage, event, _ := strings.Cut(rest, "/")
 		fmt.Fprintf(w, "recsys_resilience_events_total{pipeline=%q,stage=%q,event=%q} %d\n",
 			pipe, stage, event, m.Resilience[k])
+	}
+	s.writeTraceMetrics(w)
+}
+
+// writeTraceMetrics renders the tracer's per-operation counters:
+// started/retained totals, a cumulative duration histogram, and
+// exemplar lines that link a histogram bucket to one retained trace ID
+// — the scrape-to-trace bridge ("the 250ms bucket grew; here is a
+// whole request that landed in it"). No tracer, no lines.
+func (s *Server) writeTraceMetrics(w http.ResponseWriter) {
+	tm := s.tracer.Metrics()
+	if len(tm) == 0 {
+		return
+	}
+	ops := make([]string, 0, len(tm))
+	for op := range tm {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	le := func(i int) string {
+		if i >= len(trace.DurationBuckets) {
+			return "+Inf"
+		}
+		return strconv.FormatFloat(trace.DurationBuckets[i].Seconds(), 'g', -1, 64)
+	}
+	for _, op := range ops {
+		om := tm[op]
+		fmt.Fprintf(w, "recsys_trace_started_total{op=%q} %d\n", op, om.Started)
+		fmt.Fprintf(w, "recsys_trace_retained_total{op=%q} %d\n", op, om.Retained)
+		reasons := make([]string, 0, len(om.ByReason))
+		for reason := range om.ByReason {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Fprintf(w, "recsys_trace_retained_by_reason_total{op=%q,reason=%q} %d\n",
+				op, reason, om.ByReason[reason])
+		}
+		cum := int64(0)
+		for i, n := range om.Buckets {
+			cum += n
+			fmt.Fprintf(w, "recsys_trace_duration_seconds_bucket{op=%q,le=%q} %d\n", op, le(i), cum)
+		}
+		for i := range om.Buckets {
+			ub := time.Duration(0)
+			if i < len(trace.DurationBuckets) {
+				ub = trace.DurationBuckets[i]
+			}
+			if ex := om.Exemplars[ub]; ex != nil {
+				fmt.Fprintf(w, "recsys_trace_exemplar_duration_seconds{op=%q,le=%q,trace_id=%q,reason=%q} %.9f\n",
+					op, le(i), ex.TraceID.String(), ex.Reason, ex.Duration.Seconds())
+			}
+		}
 	}
 }
 

@@ -46,6 +46,53 @@ func (h *Histogram) binOf(x float64) int {
 	return b
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// observations by walking the cumulative bin counts and interpolating
+// linearly *inside* the bin that crosses rank q·Total. The boundary
+// semantics are deliberate and tested:
+//
+//   - q = 0 returns the lower edge of the first non-empty bin (the
+//     histogram's best lower bound on the minimum);
+//   - q = 1 returns the upper edge of the last non-empty bin (the best
+//     upper bound on the maximum);
+//   - a single observation interpolates across its whole bin: q=0 and
+//     q=1 give the bin edges, q=0.5 the bin midpoint — the histogram
+//     knows only the bin, not the value;
+//   - empty bins between populated ones contribute width but no mass,
+//     so no quantile ever lands strictly inside one.
+//
+// It panics on q outside [0, 1] or an empty histogram, matching
+// Quantile on slices.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of range")
+	}
+	total := h.Total()
+	if total == 0 {
+		panic("stats: Quantile of empty histogram")
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	target := q * float64(total)
+	cum := 0
+	last := 0 // last non-empty bin seen, for the q=1 fallback
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		last = i
+		next := cum + c
+		if float64(next) >= target {
+			lo := h.Lo + float64(i)*width
+			frac := (target - float64(cum)) / float64(c)
+			return lo + frac*width
+		}
+		cum = next
+	}
+	// Only reachable through floating-point shortfall at q ≈ 1: the
+	// answer is then the upper edge of the last populated bin.
+	return h.Lo + float64(last+1)*width
+}
+
 // Total returns the number of recorded observations.
 func (h *Histogram) Total() int {
 	var t int

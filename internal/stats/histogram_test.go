@@ -97,3 +97,88 @@ func TestHistogramRender(t *testing.T) {
 		t.Fatal("zero-width render should still produce output")
 	}
 }
+
+// TestHistogramQuantileBoundaries codifies the boundary semantics of
+// the binned quantile estimator: q=0 and q=1 report the edges of the
+// populated range, single observations interpolate across their bin,
+// and empty gap bins never capture a quantile.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		add  []float64
+		q    float64
+		want float64
+	}{
+		// 10 observations in [0,10) across 5 two-wide bins: bin 1 holds
+		// ranks 1-4, bin 2 ranks 5-10.
+		{"interpolates inside bin", []float64{2, 2, 3, 3, 4, 4, 4, 5, 5, 5}, 0.5,
+			4 + (5.0-4.0)/6.0*2}, // rank 5 of 10 → 1/6 into bin [4,6)
+		{"q0 is first populated lower edge", []float64{5, 7}, 0, 4},
+		{"q1 is last populated upper edge", []float64{5, 7}, 1, 8},
+		{"single obs q0 is bin lower edge", []float64{5}, 0, 4},
+		{"single obs q1 is bin upper edge", []float64{5}, 1, 6},
+		{"single obs q0.5 is bin midpoint", []float64{5}, 0.5, 5},
+		// Mass in bins 0 and 4 only: the empty middle contributes width
+		// but no rank, so q=0.5 sits exactly on the crossing between the
+		// two populated bins, never inside the gap.
+		{"gap bins hold no quantile", []float64{1, 9}, 0.5, 2},
+		{"gap q0.25 inside first bin", []float64{1, 9}, 0.25, 1},
+		{"gap q0.75 inside last bin", []float64{1, 9}, 0.75, 9},
+		// Clamped outliers land in the edge bins and quantile like any
+		// other observation there.
+		{"clamped outlier", []float64{-50, -50, -50, -50}, 1, 2},
+	} {
+		h := NewHistogram(0, 10, 5)
+		for _, v := range tc.add {
+			h.Add(v)
+		}
+		if got := h.Quantile(tc.q); !almost(got, tc.want, 1e-12) {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty histogram": func() { NewHistogram(0, 1, 2).Quantile(0.5) },
+		"q below range": func() {
+			h := NewHistogram(0, 1, 2)
+			h.Add(0.5)
+			h.Quantile(-0.01)
+		},
+		"q above range": func() {
+			h := NewHistogram(0, 1, 2)
+			h.Add(0.5)
+			h.Quantile(1.01)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestHistogramQuantileTracksSliceQuantile: against a real sample, the
+// binned estimate can never be further from the exact order-statistic
+// quantile than one bin width.
+func TestHistogramQuantileTracksSliceQuantile(t *testing.T) {
+	r := rng.New(9)
+	h := NewHistogram(0, 1, 20)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()
+		h.Add(xs[i])
+	}
+	binWidth := 1.0 / 20
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		exact, binned := Quantile(xs, q), h.Quantile(q)
+		if diff := binned - exact; diff < -binWidth || diff > binWidth {
+			t.Errorf("q=%v: binned %v vs exact %v differ by more than a bin", q, binned, exact)
+		}
+	}
+}

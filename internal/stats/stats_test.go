@@ -358,3 +358,39 @@ func TestQuantileMatchesSortedOrder(t *testing.T) {
 		t.Fatalf("q0.5 = %v, want %v", got, sorted[50])
 	}
 }
+
+// TestQuantileEdgeCases pins the order-statistic interpolation at its
+// boundaries: exact endpoints at q=0/q=1, interpolation exactly on and
+// between order statistics, duplicate plateaus, and the singleton
+// sample where every q returns the only value.
+func TestQuantileEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"q0 is min, unsorted input", []float64{9, -3, 4}, 0, -3},
+		{"q1 is max, unsorted input", []float64{9, -3, 4}, 1, 9},
+		{"midpoint of two", []float64{10, 20}, 0.5, 15},
+		{"quarter between two", []float64{10, 20}, 0.25, 12.5},
+		{"exactly on an order statistic", []float64{1, 2, 3, 4}, 1.0 / 3, 2},
+		{"between order statistics", []float64{0, 10, 20, 30}, 0.5, 15},
+		{"duplicate plateau", []float64{1, 5, 5, 5, 9}, 0.5, 5},
+		{"duplicate plateau edge", []float64{1, 5, 5, 5, 9}, 0.75, 5},
+		{"singleton any q", []float64{7}, 0, 7},
+		{"singleton q1", []float64{7}, 1, 7},
+		{"singleton mid", []float64{7}, 0.37, 7},
+		{"negative values", []float64{-5, -1}, 0.5, -3},
+	} {
+		if got := Quantile(tc.xs, tc.q); !almost(got, tc.want, 1e-12) {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", tc.name, tc.xs, tc.q, got, tc.want)
+		}
+	}
+	// Interpolation must not mutate the caller's sample.
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}

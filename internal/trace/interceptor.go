@@ -1,0 +1,60 @@
+// The pipeline bridge: a trace.Interceptor records one stage-kind span
+// per pipeline stage execution. The engine composes it directly inside
+// Metrics and outside the resilience chain —
+//
+//	Metrics ⟶ Trace ⟶ Shed ⟶ Fallback ⟶ Breaker ⟶ Retry ⟶ ...
+//
+// — so a stage span covers shed queueing, every retry attempt and the
+// degraded fallback, and the resilience events recorded inside become
+// the stage span's children.
+
+package trace
+
+import (
+	"context"
+	"strconv"
+
+	"repro/internal/pipeline"
+)
+
+// ErrorClassifier maps a stage error to a short class label recorded
+// on the span ("breaker_open", "cold_start", ...). Nil classifies
+// every error as "error".
+type ErrorClassifier func(error) string
+
+// Interceptor wraps every stage with span recording. Requests whose
+// context carries no active trace (tracing disabled, or the frontend
+// chose not to trace) pass through with a single context lookup.
+func Interceptor(t *Tracer, classify ErrorClassifier) pipeline.Interceptor {
+	return func(info pipeline.StageInfo, next pipeline.Handler) pipeline.Handler {
+		name := info.Pipeline + "/" + info.Stage
+		return func(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
+			sctx, sp := StartSpan(ctx, name, KindStage)
+			if sp == nil {
+				return next(ctx, req)
+			}
+			sp.SetAttr("stage", info.Stage)
+			sp.SetAttr("user", strconv.FormatInt(int64(req.User), 10))
+			if req.Item != 0 {
+				sp.SetAttr("item", strconv.FormatInt(int64(req.Item), 10))
+			}
+			if req.N != 0 {
+				sp.SetAttr("n", strconv.Itoa(req.N))
+			}
+			resp, err := next(sctx, req)
+			if req.Degraded {
+				sp.SetAttr("degraded", "true")
+				SetDegraded(sctx)
+			}
+			if err != nil {
+				class := "error"
+				if classify != nil {
+					class = classify(err)
+				}
+				sp.SetAttr("error_class", class)
+			}
+			sp.End(err)
+			return resp, err
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Per-operation tracing metrics: started/retained counters, a fixed
+// latency histogram, and one exemplar per histogram bucket linking the
+// bucket to a retained trace ID — the /metrics bridge from "p99 looks
+// bad" to "here is a whole slow request to read".
+
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets are the upper bounds of the trace-duration histogram
+// (an implicit +Inf bucket follows the last entry). An array, not a
+// slice, so opStats can size its atomics from it at compile time.
+var DurationBuckets = [...]time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+}
+
+// Exemplar links one histogram bucket to a retained trace.
+type Exemplar struct {
+	TraceID  TraceID
+	Duration time.Duration
+	Reason   string
+}
+
+// opStats is the atomic backing store of one operation's metrics.
+type opStats struct {
+	started  atomic.Int64
+	retained atomic.Int64
+	reasons  [4]atomic.Int64                        // indexed by reasonIndex
+	buckets  [len(DurationBuckets) + 1]atomic.Int64 // +Inf last
+	// exemplars holds the most recent retained trace per bucket.
+	exemplars [len(DurationBuckets) + 1]atomic.Pointer[Exemplar]
+}
+
+func newOpStats() *opStats { return &opStats{} }
+
+func reasonIndex(reason string) int {
+	switch reason {
+	case ReasonSlow:
+		return 0
+	case ReasonError:
+		return 1
+	case ReasonDegraded:
+		return 2
+	default: // ReasonSampled
+		return 3
+	}
+}
+
+// reasonNames mirrors reasonIndex for snapshot rendering.
+var reasonNames = [4]string{ReasonSlow, ReasonError, ReasonDegraded, ReasonSampled}
+
+func bucketIndex(d time.Duration) int {
+	for i, ub := range DurationBuckets {
+		if d <= ub {
+			return i
+		}
+	}
+	return len(DurationBuckets)
+}
+
+// observe records one finished trace's duration (retained or not).
+func (s *opStats) observe(d time.Duration) {
+	s.buckets[bucketIndex(d)].Add(1)
+}
+
+// retain records a retention and refreshes the bucket's exemplar.
+func (s *opStats) retain(reason string, d *Data) {
+	s.retained.Add(1)
+	s.reasons[reasonIndex(reason)].Add(1)
+	s.exemplars[bucketIndex(d.Duration)].Store(&Exemplar{
+		TraceID:  d.ID,
+		Duration: d.Duration,
+		Reason:   reason,
+	})
+}
+
+// OpMetrics is the exported snapshot of one operation's tracing
+// counters.
+type OpMetrics struct {
+	Started   int64
+	Retained  int64
+	ByReason  map[string]int64            // retention reason → count
+	Buckets   []int64                     // per-DurationBuckets counts, +Inf last
+	Exemplars map[time.Duration]*Exemplar // bucket upper bound → exemplar (0 key = +Inf)
+}
+
+// Metrics snapshots per-operation tracing counters, keyed by op name.
+func (t *Tracer) Metrics() map[string]OpMetrics {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]OpMetrics)
+	t.ops.Range(func(k, v any) bool {
+		s := v.(*opStats)
+		m := OpMetrics{
+			Started:   s.started.Load(),
+			Retained:  s.retained.Load(),
+			ByReason:  make(map[string]int64),
+			Buckets:   make([]int64, len(s.buckets)),
+			Exemplars: make(map[time.Duration]*Exemplar),
+		}
+		for i := range s.reasons {
+			if n := s.reasons[i].Load(); n > 0 {
+				m.ByReason[reasonNames[i]] = n
+			}
+		}
+		for i := range s.buckets {
+			m.Buckets[i] = s.buckets[i].Load()
+			if ex := s.exemplars[i].Load(); ex != nil {
+				ub := time.Duration(0) // 0 marks the +Inf bucket
+				if i < len(DurationBuckets) {
+					ub = DurationBuckets[i]
+				}
+				m.Exemplars[ub] = ex
+			}
+		}
+		out[k.(string)] = m
+		return true
+	})
+	return out
+}

@@ -1,0 +1,161 @@
+// W3C Trace Context propagation (https://www.w3.org/TR/trace-context/):
+// trace and span identifiers plus the traceparent header codec. The
+// server honours an incoming traceparent — the trace adopts the remote
+// trace ID and a set sampled flag forces retention — and every
+// response carries X-Trace-ID so a client can fetch its own trace from
+// /debug/traces/{id}.
+
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceID is the 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C parent/span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is all zeroes (invalid per the spec).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the ID is all zeroes (invalid per the spec).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalText implements encoding.TextMarshaler for JSON output.
+func (id TraceID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// MarshalText implements encoding.TextMarshaler for JSON output.
+func (id SpanID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler so clients (and
+// tests) can decode /debug/traces JSON back into typed IDs. Unlike
+// ParseTraceID it accepts the all-zero ID, which legitimately appears
+// as the root span's parent.
+func (id *TraceID) UnmarshalText(b []byte) error {
+	if len(b) != 32 {
+		return fmt.Errorf("trace: trace id %q: want 32 hex digits", b)
+	}
+	raw, err := hex.DecodeString(strings.ToLower(string(b)))
+	if err != nil {
+		return fmt.Errorf("trace: trace id %q: %w", b, err)
+	}
+	copy(id[:], raw)
+	return nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; see
+// TraceID.UnmarshalText.
+func (id *SpanID) UnmarshalText(b []byte) error {
+	if len(b) != 16 {
+		return fmt.Errorf("trace: span id %q: want 16 hex digits", b)
+	}
+	raw, err := hex.DecodeString(strings.ToLower(string(b)))
+	if err != nil {
+		return fmt.Errorf("trace: span id %q: %w", b, err)
+	}
+	copy(id[:], raw)
+	return nil
+}
+
+// ParseTraceID parses 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("trace: trace id %q: want 32 hex digits", s)
+	}
+	b, err := hex.DecodeString(strings.ToLower(s))
+	if err != nil {
+		return id, fmt.Errorf("trace: trace id %q: %w", s, err)
+	}
+	copy(id[:], b)
+	if id.IsZero() {
+		return id, fmt.Errorf("trace: trace id %q is all zeroes", s)
+	}
+	return id, nil
+}
+
+// newTraceID derives a trace ID from the seeded counter stream.
+func newTraceID(seed, seq uint64) TraceID {
+	var id TraceID
+	a := splitmix64(seed + seq*0x9e3779b97f4a7c15)
+	b := splitmix64(a ^ seq)
+	for i := 0; i < 8; i++ {
+		id[i] = byte(a >> (8 * i))
+		id[8+i] = byte(b >> (8 * i))
+	}
+	if id.IsZero() {
+		id[0] = 1 // an all-zero ID is invalid; astronomically unlikely, still handled
+	}
+	return id
+}
+
+// newSpanID derives span ordinal seq's ID within trace id.
+func newSpanID(id TraceID, seq uint64) SpanID {
+	var a uint64
+	for i := 0; i < 8; i++ {
+		a |= uint64(id[i]) << (8 * i)
+	}
+	v := splitmix64(a + seq*0xbf58476d1ce4e5b9)
+	var sid SpanID
+	for i := 0; i < 8; i++ {
+		sid[i] = byte(v >> (8 * i))
+	}
+	if sid.IsZero() {
+		sid[0] = 1
+	}
+	return sid
+}
+
+// Traceparent renders a version-00 traceparent header value.
+func Traceparent(id TraceID, span SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + id.String() + "-" + span.String() + "-" + flags
+}
+
+// ParseTraceparent decodes a traceparent header value. It accepts any
+// version (per spec, future versions must stay prefix-compatible) and
+// reports the remote trace ID, parent span ID and sampled flag. ok is
+// false for malformed or all-zero identifiers — the caller should then
+// start a fresh root trace.
+func ParseTraceparent(h string) (id TraceID, parent SpanID, sampled, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || parts[0] == "ff" {
+		return id, parent, false, false
+	}
+	tid, err := ParseTraceID(parts[1])
+	if err != nil {
+		return id, parent, false, false
+	}
+	if len(parts[2]) != 16 {
+		return id, parent, false, false
+	}
+	sb, err := hex.DecodeString(strings.ToLower(parts[2]))
+	if err != nil {
+		return id, parent, false, false
+	}
+	copy(parent[:], sb)
+	if parent.IsZero() {
+		return id, parent, false, false
+	}
+	if len(parts[3]) != 2 {
+		return id, parent, false, false
+	}
+	fb, err := hex.DecodeString(strings.ToLower(parts[3]))
+	if err != nil {
+		return id, parent, false, false
+	}
+	return tid, parent, fb[0]&0x01 != 0, true
+}

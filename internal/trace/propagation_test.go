@@ -1,0 +1,103 @@
+// Tests for the W3C traceparent codec and the seeded ID streams.
+
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := newTraceID(1, 42)
+	sp := newSpanID(id, 3)
+	for _, sampled := range []bool{true, false} {
+		h := Traceparent(id, sp, sampled)
+		if !strings.HasPrefix(h, "00-") || len(h) != 55 {
+			t.Fatalf("traceparent %q malformed", h)
+		}
+		gid, gparent, gsampled, ok := ParseTraceparent(h)
+		if !ok || gid != id || gparent != sp || gsampled != sampled {
+			t.Fatalf("round trip of %q → (%v %v %v %v)", h, gid, gparent, gsampled, ok)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Future versions must parse by prefix compatibility — including
+	// trailing fields this version does not understand.
+	id := newTraceID(1, 7)
+	sp := newSpanID(id, 1)
+	h := "42-" + id.String() + "-" + sp.String() + "-01-extrafield"
+	gid, gparent, sampled, ok := ParseTraceparent(h)
+	if !ok || gid != id || gparent != sp || !sampled {
+		t.Fatalf("future-version traceparent rejected: %q", h)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := newTraceID(1, 9)
+	validSpan := newSpanID(valid, 1)
+	for _, tc := range []struct {
+		name, header string
+	}{
+		{"empty", ""},
+		{"too few fields", "00-" + valid.String()},
+		{"bad version length", "0-" + valid.String() + "-" + validSpan.String() + "-01"},
+		{"version ff forbidden", "ff-" + valid.String() + "-" + validSpan.String() + "-01"},
+		{"short trace id", "00-abcd-" + validSpan.String() + "-01"},
+		{"non-hex trace id", "00-" + strings.Repeat("zz", 16) + "-" + validSpan.String() + "-01"},
+		{"zero trace id", "00-" + strings.Repeat("0", 32) + "-" + validSpan.String() + "-01"},
+		{"short span id", "00-" + valid.String() + "-abcd-01"},
+		{"zero span id", "00-" + valid.String() + "-" + strings.Repeat("0", 16) + "-01"},
+		{"bad flags length", "00-" + valid.String() + "-" + validSpan.String() + "-1"},
+		{"non-hex flags", "00-" + valid.String() + "-" + validSpan.String() + "-zz"},
+	} {
+		if _, _, _, ok := ParseTraceparent(tc.header); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", tc.name, tc.header)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := newTraceID(5, 5)
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("ParseTraceID round trip failed: %v %v", got, err)
+	}
+	// Uppercase hex is tolerated (callers paste IDs from logs).
+	if got, err = ParseTraceID(strings.ToUpper(id.String())); err != nil || got != id {
+		t.Fatalf("uppercase trace id rejected: %v", err)
+	}
+	for _, bad := range []string{"", "abcd", strings.Repeat("g", 32), strings.Repeat("0", 32)} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestIDStreamsDistinctAndNonZero(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for seq := uint64(1); seq <= 1000; seq++ {
+		id := newTraceID(1, seq)
+		if id.IsZero() {
+			t.Fatalf("zero trace id at seq %d", seq)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id at seq %d", seq)
+		}
+		seen[id] = true
+	}
+	base := newTraceID(1, 1)
+	spans := map[SpanID]bool{}
+	for seq := uint64(1); seq <= 1000; seq++ {
+		sp := newSpanID(base, seq)
+		if sp.IsZero() || spans[sp] {
+			t.Fatalf("bad span id at seq %d", seq)
+		}
+		spans[sp] = true
+	}
+	// Different seeds diverge immediately.
+	if newTraceID(1, 1) == newTraceID(2, 1) {
+		t.Fatal("trace ids identical across seeds")
+	}
+}

@@ -1,0 +1,43 @@
+// The retained-trace ring buffer: bounded, lock-free, newest-wins.
+// Writers claim a monotonically increasing sequence number and store
+// into slot seq % size with an atomic pointer; readers snapshot by
+// walking backwards from the current sequence. A reader racing a
+// writer can observe a slot's previous or next occupant — either is a
+// genuine retained trace, so the snapshot is always well-formed even
+// when it straddles a wrap.
+
+package trace
+
+import "sync/atomic"
+
+type ring struct {
+	slots []atomic.Pointer[Data]
+	seq   atomic.Uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Data], size)}
+}
+
+// put publishes d, overwriting the oldest entry once the ring is full.
+func (r *ring) put(d *Data) {
+	i := r.seq.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(d)
+}
+
+// snapshot returns the current occupants, newest first.
+func (r *ring) snapshot() []*Data {
+	n := r.seq.Load()
+	size := uint64(len(r.slots))
+	if n > size {
+		n = size
+	}
+	out := make([]*Data, 0, n)
+	head := r.seq.Load()
+	for k := uint64(1); k <= n; k++ {
+		if d := r.slots[(head-k)%size].Load(); d != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}

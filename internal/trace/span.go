@@ -1,0 +1,277 @@
+// Spans: the recorded unit of a trace, the in-flight ActiveSpan
+// handle, and the context plumbing that parents child spans. Spans
+// flow exclusively through context.Context — a stage or event recorder
+// never holds a span across requests — which is what lets recsyslint's
+// ctx-propagation rule police the subsystem.
+
+package trace
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds, reported in debug output so a reader can tell pipeline
+// work from point events.
+const (
+	KindRequest  = "request"  // root span of a trace
+	KindStage    = "stage"    // one pipeline stage execution
+	KindSnapshot = "snapshot" // engine snapshot acquisition
+	KindEvent    = "event"    // zero-duration point event (resilience)
+)
+
+// Attr is one structured span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one completed, immutable span of a retained trace.
+type Span struct {
+	ID       SpanID        `json:"id"`
+	Parent   SpanID        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Kind     string        `json:"kind"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Err      string        `json:"err,omitempty"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// activeTrace is a trace being recorded. Span slots are claimed with
+// an atomic counter and published with atomic pointer stores, so span
+// recording never takes a lock and a reader (collect, after the root
+// span ends) only observes fully written spans.
+type activeTrace struct {
+	tracer      *Tracer
+	id          TraceID
+	op          string
+	start       time.Time
+	headSampled bool
+
+	slots    []atomic.Pointer[Span]
+	next     atomic.Int64 // claimed slot count (may exceed len(slots))
+	spanSeq  atomic.Uint64
+	errored  atomic.Bool
+	degraded atomic.Bool
+	finished atomic.Bool
+}
+
+// newSpan claims a span identity on the trace and returns the live
+// handle. The span is invisible until End commits it.
+func (at *activeTrace) newSpan(parent SpanID, name, kind string) *ActiveSpan {
+	return &ActiveSpan{
+		trace:  at,
+		id:     newSpanID(at.id, at.spanSeq.Add(1)),
+		parent: parent,
+		name:   name,
+		kind:   kind,
+		start:  at.tracer.now(),
+	}
+}
+
+// commit publishes a completed span into the next free slot; spans
+// beyond MaxSpans are counted as dropped.
+func (at *activeTrace) commit(sp *Span) {
+	if at.finished.Load() {
+		return // late event after the root span ended; drop
+	}
+	i := at.next.Add(1) - 1
+	if i >= int64(len(at.slots)) {
+		return // over MaxSpans; collect reports the drop count
+	}
+	at.slots[i].Store(sp)
+}
+
+// collect freezes the trace into immutable Data. Called once, by
+// Tracer.finish, after the root span ended.
+func (at *activeTrace) collect(dur time.Duration, reason string) *Data {
+	at.finished.Store(true)
+	claimed := at.next.Load()
+	dropped := 0
+	if claimed > int64(len(at.slots)) {
+		dropped = int(claimed) - len(at.slots)
+		claimed = int64(len(at.slots))
+	}
+	spans := make([]Span, 0, claimed)
+	for i := int64(0); i < claimed; i++ {
+		if sp := at.slots[i].Load(); sp != nil {
+			spans = append(spans, *sp)
+		}
+	}
+	status := "ok"
+	if at.errored.Load() {
+		status = "error"
+	}
+	return &Data{
+		ID:       at.id,
+		Op:       at.op,
+		Start:    at.start,
+		Duration: dur,
+		Status:   status,
+		Degraded: at.degraded.Load(),
+		Reason:   reason,
+		Dropped:  dropped,
+		Spans:    spans,
+	}
+}
+
+// Data is one retained trace: the immutable product of the tail-based
+// sampling decision, served by /debug/traces.
+type Data struct {
+	ID       TraceID       `json:"id"`
+	Op       string        `json:"op"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Status   string        `json:"status"`             // "ok" or "error"
+	Degraded bool          `json:"degraded,omitempty"` // a fallback route served it
+	Reason   string        `json:"reason"`             // retention reason (Reason*)
+	Dropped  int           `json:"dropped,omitempty"`  // spans over MaxSpans
+	Spans    []Span        `json:"spans"`
+}
+
+// ActiveSpan is a live span handle. It is owned by the goroutine that
+// started it: SetAttr and End must not race. All methods are safe on a
+// nil receiver, so untraced paths pay a nil check and nothing else.
+type ActiveSpan struct {
+	trace  *activeTrace
+	id     SpanID
+	parent SpanID
+	name   string
+	kind   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// SetAttr attaches a structured attribute (user/item IDs, stage name,
+// degraded flag, error class, ...).
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil || s.ended {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End completes the span; a non-nil err marks both the span and the
+// whole trace errored (errored traces are always retained). Ending the
+// root span finishes the trace. End is idempotent.
+func (s *ActiveSpan) End(err error) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	at := s.trace
+	end := at.tracer.now()
+	sp := &Span{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Kind:     s.kind,
+		Start:    s.start,
+		Duration: end.Sub(s.start),
+		Attrs:    s.attrs,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+		at.errored.Store(true)
+	}
+	root := s.kind == KindRequest
+	if root {
+		// The root commits before finish so collect sees it.
+		at.commit(sp)
+		at.tracer.finish(at, end)
+		return
+	}
+	at.commit(sp)
+}
+
+// Fail marks the trace errored without attaching the error to this
+// span — the frontend uses it when the HTTP status reports a failure
+// the span graph did not already capture.
+func (s *ActiveSpan) Fail() {
+	if s == nil {
+		return
+	}
+	s.trace.errored.Store(true)
+}
+
+// TraceID reports the owning trace's ID (zero on a nil span).
+func (s *ActiveSpan) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace.id
+}
+
+// SpanID reports the span's own ID, for traceparent propagation.
+func (s *ActiveSpan) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// ---- context plumbing ----
+
+// spanCtxKey carries the (trace, current span) pair.
+type spanCtxKey struct{}
+
+type spanCtx struct {
+	trace *activeTrace
+	span  SpanID
+}
+
+func withSpan(ctx context.Context, at *activeTrace, id SpanID) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, spanCtx{trace: at, span: id})
+}
+
+// StartSpan begins a child span under the context's current span. With
+// no active trace it returns ctx unchanged and a nil span whose
+// methods no-op — untraced requests pay one context lookup.
+func StartSpan(ctx context.Context, name, kind string) (context.Context, *ActiveSpan) {
+	sc, ok := ctx.Value(spanCtxKey{}).(spanCtx)
+	if !ok || sc.trace.finished.Load() {
+		return ctx, nil
+	}
+	sp := sc.trace.newSpan(sc.span, name, kind)
+	return withSpan(ctx, sc.trace, sp.id), sp
+}
+
+// Event records a zero-duration point span (a resilience event: a
+// retry attempt, a breaker flip, a shed rejection) under the context's
+// current span. No active trace, no work.
+func Event(ctx context.Context, name string, attrs ...Attr) {
+	sc, ok := ctx.Value(spanCtxKey{}).(spanCtx)
+	if !ok || sc.trace.finished.Load() {
+		return
+	}
+	at := sc.trace
+	now := at.tracer.now()
+	at.commit(&Span{
+		ID:     newSpanID(at.id, at.spanSeq.Add(1)),
+		Parent: sc.span,
+		Name:   name,
+		Kind:   KindEvent,
+		Start:  now,
+		Attrs:  attrs,
+	})
+}
+
+// SetDegraded marks the context's trace as served degraded; degraded
+// traces are always retained.
+func SetDegraded(ctx context.Context) {
+	if sc, ok := ctx.Value(spanCtxKey{}).(spanCtx); ok {
+		sc.trace.degraded.Store(true)
+	}
+}
+
+// IDFromContext reports the active trace's ID, when one is recording.
+func IDFromContext(ctx context.Context) (TraceID, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(spanCtx)
+	if !ok {
+		return TraceID{}, false
+	}
+	return sc.trace.id, true
+}

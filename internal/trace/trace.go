@@ -1,0 +1,252 @@
+// Package trace reconstructs single requests end to end: a Tracer
+// records one span per pipeline stage (plus child spans for snapshot
+// acquisition and resilience events — retries, breaker flips, shed
+// rejections, fallback reroutes, recovered panics) and retains whole
+// traces with tail-based sampling. The survey's effectiveness and
+// trust aims (Sections 3.3, 3.6) need to answer *why a specific user
+// got a specific explanation*; per-stage counters aggregate that
+// answer away, a retained trace keeps it.
+//
+// # Sampling policy
+//
+// Every request records spans; whether the finished trace is retained
+// is decided at the *tail*, when the outcome is known:
+//
+//   - slow traces (duration ≥ Options.SlowThreshold) are always kept;
+//   - errored traces (any span ended with an error, or the frontend
+//     marked the trace failed) are always kept;
+//   - degraded traces (served by a fallback route) are always kept;
+//   - healthy traces are kept when head-sampled at Options.SampleRate,
+//     or when the caller propagated a W3C traceparent with the sampled
+//     flag set.
+//
+// Retained traces land in a lock-free bounded ring buffer; the newest
+// Options.BufferSize survive. Unretained traces cost a handful of
+// slot writes and are garbage the moment the root span ends.
+//
+// # Determinism
+//
+// The package is covered by recsyslint's determinism rule: it never
+// reads the wall clock or math/rand. Time comes through the injectable
+// Options.Clock seam (production wires time.Now, tests wire fakes, and
+// the nil default is a synthetic logical clock), and trace IDs and
+// sampling draws come from a splitmix64 counter stream seeded by
+// Options.Seed, so a test run's IDs and sampling decisions replay
+// bit-for-bit.
+package trace
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retention reasons reported on retained traces and in Metrics.
+const (
+	ReasonSlow     = "slow"     // duration ≥ SlowThreshold
+	ReasonError    = "error"    // a span errored or the trace was failed
+	ReasonDegraded = "degraded" // served by a degraded fallback
+	ReasonSampled  = "sampled"  // healthy, head-sampled
+)
+
+// Options configures a Tracer. The zero value is usable: a 256-trace
+// ring, 250ms slow threshold, no head sampling, 64 spans per trace,
+// the synthetic logical clock, seed 1.
+type Options struct {
+	// BufferSize is the retained-trace ring capacity. Default 256.
+	BufferSize int
+	// SlowThreshold is the duration at and above which a trace is
+	// always retained. Default 250ms; negative disables slow retention.
+	SlowThreshold time.Duration
+	// SampleRate head-samples healthy traces: a fraction in [0, 1] of
+	// traces that are retained even when fast, clean and undegraded.
+	// Default 0 (only slow/errored/degraded traces are kept).
+	SampleRate float64
+	// MaxSpans bounds spans recorded per trace; excess spans are
+	// counted as dropped, never buffered. Default 64.
+	MaxSpans int
+	// Clock supplies timestamps. The package never reads the wall
+	// clock itself (recsyslint's determinism rule bans it here): the
+	// binary wires time.Now, tests wire fakes. Nil selects a synthetic
+	// logical clock that advances one microsecond per reading — spans
+	// stay ordered and durations are deterministic.
+	Clock func() time.Time
+	// Seed seeds the trace-ID and sampling stream. Default 1.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferSize <= 0 {
+		o.BufferSize = 256
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = 250 * time.Millisecond
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Tracer records per-request traces and retains them by the tail-based
+// policy above. Safe for concurrent use; the hot paths (span record,
+// ring publish) are lock-free.
+type Tracer struct {
+	opts  Options
+	clock func() time.Time
+	ring  *ring
+
+	// idSeq drives the splitmix64 ID/sampling stream; logical is the
+	// fallback clock's tick counter.
+	idSeq   atomic.Uint64
+	logical atomic.Int64
+
+	// ops aggregates per-operation retention metrics:
+	// op name → *opStats.
+	ops sync.Map
+}
+
+// New builds a Tracer.
+func New(opts Options) *Tracer {
+	opts = opts.withDefaults()
+	t := &Tracer{opts: opts, ring: newRing(opts.BufferSize)}
+	t.clock = opts.Clock
+	if t.clock == nil {
+		// Synthetic logical clock: deterministic, strictly increasing.
+		t.clock = func() time.Time {
+			return time.Unix(0, t.logical.Add(int64(time.Microsecond)))
+		}
+	}
+	return t
+}
+
+// Start begins a new trace rooted at an operation span and returns the
+// derived context (carrying the trace for StartSpan/Event) plus the
+// root span. Ending the root span finishes the trace and applies the
+// retention policy. A nil Tracer returns ctx unchanged and a nil span
+// whose methods no-op, so call sites need no tracing-enabled branch.
+func (t *Tracer) Start(ctx context.Context, op string) (context.Context, *ActiveSpan) {
+	return t.start(ctx, op, TraceID{}, SpanID{}, false)
+}
+
+// StartWithParent begins a trace that continues a caller-propagated
+// W3C trace context: the trace adopts the remote trace ID, the root
+// span's parent is the remote span, and a set sampled flag forces
+// retention (the caller asked to see this trace).
+func (t *Tracer) StartWithParent(ctx context.Context, op string, id TraceID, parent SpanID, sampled bool) (context.Context, *ActiveSpan) {
+	return t.start(ctx, op, id, parent, sampled)
+}
+
+func (t *Tracer) start(ctx context.Context, op string, id TraceID, parent SpanID, sampled bool) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	seq := t.idSeq.Add(1)
+	if id.IsZero() {
+		id = newTraceID(t.opts.Seed, seq)
+	}
+	at := &activeTrace{
+		tracer:      t,
+		id:          id,
+		op:          op,
+		start:       t.clock(),
+		headSampled: sampled || t.headSample(seq),
+		slots:       make([]atomic.Pointer[Span], t.opts.MaxSpans),
+	}
+	t.opStatsFor(op).started.Add(1)
+	sp := at.newSpan(parent, op, KindRequest)
+	return withSpan(ctx, at, sp.id), sp
+}
+
+// headSample draws the healthy-trace sampling decision from the seeded
+// stream — deterministic given the seed and the trace ordinal.
+func (t *Tracer) headSample(seq uint64) bool {
+	rate := t.opts.SampleRate
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	draw := float64(splitmix64(t.opts.Seed^0xa5a5a5a5a5a5a5a5+seq*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+	return draw < rate
+}
+
+// finish applies the tail-based retention decision to a completed
+// trace. Called exactly once, by the root span's End.
+func (t *Tracer) finish(at *activeTrace, end time.Time) {
+	dur := end.Sub(at.start)
+	reason := ""
+	switch {
+	case at.errored.Load():
+		reason = ReasonError
+	case t.opts.SlowThreshold >= 0 && dur >= t.opts.SlowThreshold:
+		reason = ReasonSlow
+	case at.degraded.Load():
+		reason = ReasonDegraded
+	case at.headSampled:
+		reason = ReasonSampled
+	}
+	st := t.opStatsFor(at.op)
+	st.observe(dur)
+	if reason == "" {
+		return
+	}
+	data := at.collect(dur, reason)
+	st.retain(reason, data)
+	t.ring.put(data)
+}
+
+// Recent returns up to n retained traces, newest first. n <= 0 means
+// the whole buffer.
+func (t *Tracer) Recent(n int) []*Data {
+	if t == nil {
+		return nil
+	}
+	out := t.ring.snapshot()
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Lookup returns the retained trace with the given ID, or nil.
+func (t *Tracer) Lookup(id TraceID) *Data {
+	if t == nil {
+		return nil
+	}
+	for _, d := range t.ring.snapshot() {
+		if d.ID == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// SlowThreshold reports the configured always-retain latency bound.
+func (t *Tracer) SlowThreshold() time.Duration { return t.opts.SlowThreshold }
+
+// now exposes the tracer's clock to spans.
+func (t *Tracer) now() time.Time { return t.clock() }
+
+func (t *Tracer) opStatsFor(op string) *opStats {
+	v, ok := t.ops.Load(op)
+	if !ok {
+		v, _ = t.ops.LoadOrStore(op, newOpStats())
+	}
+	return v.(*opStats)
+}
+
+// splitmix64 is the ID/sampling mixing function (same construction the
+// internal/rng seeder uses); a counter keyed through it yields a
+// deterministic, well-distributed 64-bit stream with no locking.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

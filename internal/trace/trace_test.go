@@ -1,0 +1,409 @@
+// Tests for the tracer core: tail-based retention (slow, errored,
+// degraded, head-sampled, force-sampled, or dropped), span parenting
+// through context, the MaxSpans drop counter, ring eviction order,
+// nil-tracer safety, the deterministic logical clock, and the metrics
+// snapshot. A fakeClock stands in for Options.Clock everywhere a
+// duration matters.
+
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Options.Clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestRetainSlow(t *testing.T) {
+	clk := newFakeClock()
+	tr := New(Options{SlowThreshold: 100 * time.Millisecond, Clock: clk.Now})
+	_, root := tr.Start(context.Background(), "recommend")
+	clk.Advance(150 * time.Millisecond)
+	root.End(nil)
+
+	d := tr.Lookup(root.TraceID())
+	if d == nil {
+		t.Fatal("slow trace not retained")
+	}
+	if d.Reason != ReasonSlow || d.Status != "ok" || d.Duration != 150*time.Millisecond {
+		t.Fatalf("retained trace = %+v, want reason=slow status=ok dur=150ms", d)
+	}
+}
+
+func TestSlowRetentionDisabled(t *testing.T) {
+	clk := newFakeClock()
+	tr := New(Options{SlowThreshold: -1, Clock: clk.Now})
+	_, root := tr.Start(context.Background(), "recommend")
+	clk.Advance(time.Hour)
+	root.End(nil)
+	if got := tr.Recent(0); len(got) != 0 {
+		t.Fatalf("negative SlowThreshold still retained %d traces", len(got))
+	}
+}
+
+func TestRetainError(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "explain")
+	_, sp := StartSpan(ctx, "explain/resolve", KindStage)
+	sp.End(errors.New("boom"))
+	root.End(nil)
+
+	d := tr.Lookup(root.TraceID())
+	if d == nil {
+		t.Fatal("errored trace not retained")
+	}
+	if d.Reason != ReasonError || d.Status != "error" {
+		t.Fatalf("reason=%q status=%q, want error/error", d.Reason, d.Status)
+	}
+	var found bool
+	for _, s := range d.Spans {
+		if s.Name == "explain/resolve" && s.Err == "boom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errored child span missing from %+v", d.Spans)
+	}
+}
+
+func TestFailMarksTraceErrored(t *testing.T) {
+	tr := New(Options{})
+	_, root := tr.Start(context.Background(), "recommend")
+	root.Fail() // e.g. the HTTP layer observed a 5xx the spans did not
+	root.End(nil)
+	d := tr.Lookup(root.TraceID())
+	if d == nil || d.Status != "error" || d.Reason != ReasonError {
+		t.Fatalf("Fail() did not retain as errored: %+v", d)
+	}
+}
+
+func TestRetainDegraded(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "recommend")
+	SetDegraded(ctx)
+	root.End(nil)
+	d := tr.Lookup(root.TraceID())
+	if d == nil || d.Reason != ReasonDegraded || !d.Degraded || d.Status != "ok" {
+		t.Fatalf("degraded trace = %+v, want reason=degraded degraded=true status=ok", d)
+	}
+}
+
+func TestHealthyTraceNotRetained(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "recommend")
+	_, sp := StartSpan(ctx, "recommend/rank", KindStage)
+	sp.End(nil)
+	root.End(nil)
+	if d := tr.Lookup(root.TraceID()); d != nil {
+		t.Fatalf("fast clean unsampled trace retained: %+v", d)
+	}
+	// ... but it is still observed in the metrics histogram.
+	m := tr.Metrics()["recommend"]
+	if m.Started != 1 || m.Retained != 0 {
+		t.Fatalf("metrics = started %d retained %d, want 1/0", m.Started, m.Retained)
+	}
+}
+
+func TestHeadSamplingAlways(t *testing.T) {
+	tr := New(Options{SampleRate: 1})
+	_, root := tr.Start(context.Background(), "recommend")
+	root.End(nil)
+	d := tr.Lookup(root.TraceID())
+	if d == nil || d.Reason != ReasonSampled {
+		t.Fatalf("SampleRate 1 trace = %+v, want retained with reason=sampled", d)
+	}
+}
+
+// TestHeadSamplingDeterministic: the sampling draw comes from the
+// seeded counter stream, so two tracers with the same seed make
+// identical decisions — and a rate of 0.5 lands in a plausible band.
+func TestHeadSamplingDeterministic(t *testing.T) {
+	const n = 1000
+	run := func() []bool {
+		tr := New(Options{SampleRate: 0.5, BufferSize: n, Seed: 42})
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			_, root := tr.Start(context.Background(), "op")
+			root.End(nil)
+			out[i] = tr.Lookup(root.TraceID()) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	kept := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling decision %d differs across identically seeded tracers", i)
+		}
+		if a[i] {
+			kept++
+		}
+	}
+	if kept < n*4/10 || kept > n*6/10 {
+		t.Fatalf("rate-0.5 sampling kept %d/%d, want roughly half", kept, n)
+	}
+}
+
+func TestSampledTraceparentForcesRetention(t *testing.T) {
+	tr := New(Options{})
+	remote, parent := newTraceID(7, 1), newSpanID(newTraceID(7, 1), 9)
+	_, root := tr.StartWithParent(context.Background(), "explain", remote, parent, true)
+	root.End(nil)
+
+	d := tr.Lookup(remote)
+	if d == nil {
+		t.Fatal("sampled remote trace not retained")
+	}
+	if d.ID != remote || d.Reason != ReasonSampled {
+		t.Fatalf("retained = id %s reason %q, want remote id %s reason sampled", d.ID, d.Reason, remote)
+	}
+	if len(d.Spans) == 0 || d.Spans[0].Parent != parent {
+		t.Fatalf("root span parent = %v, want remote parent %v", d.Spans, parent)
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "recommend")
+	stageCtx, stage := StartSpan(ctx, "recommend/rank", KindStage)
+	Event(stageCtx, "retry", Attr{Key: "attempt", Value: "2"})
+	_, snap := StartSpan(stageCtx, "snapshot", KindSnapshot)
+	snap.End(nil)
+	stage.End(nil)
+	root.End(errors.New("keep me"))
+
+	d := tr.Lookup(root.TraceID())
+	if d == nil {
+		t.Fatal("trace not retained")
+	}
+	byName := map[string]Span{}
+	for _, s := range d.Spans {
+		byName[s.Name] = s
+	}
+	if byName["recommend/rank"].Parent != root.SpanID() {
+		t.Fatal("stage span not parented to root")
+	}
+	if byName["retry"].Parent != stage.SpanID() || byName["retry"].Kind != KindEvent {
+		t.Fatalf("event span = %+v, want child of stage with kind event", byName["retry"])
+	}
+	if byName["snapshot"].Parent != stage.SpanID() || byName["snapshot"].Kind != KindSnapshot {
+		t.Fatalf("snapshot span = %+v, want child of stage with kind snapshot", byName["snapshot"])
+	}
+	if got := byName["retry"].Attrs; len(got) != 1 || got[0] != (Attr{Key: "attempt", Value: "2"}) {
+		t.Fatalf("event attrs = %v", got)
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan", KindStage)
+	if sp != nil {
+		t.Fatal("StartSpan without an active trace returned a live span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("context was rewrapped for a no-op span")
+	}
+	// All of these must be safe no-ops.
+	sp.SetAttr("k", "v")
+	sp.End(nil)
+	sp.Fail()
+	Event(ctx, "nobody-home")
+	SetDegraded(ctx)
+	if _, ok := IDFromContext(ctx); ok {
+		t.Fatal("IDFromContext reported a trace on a bare context")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.Start(context.Background(), "recommend")
+	if root != nil || ctx != context.Background() {
+		t.Fatal("nil tracer must return the context unchanged and a nil span")
+	}
+	root.SetAttr("k", "v")
+	root.End(nil)
+	if tr.Recent(0) != nil || tr.Metrics() != nil {
+		t.Fatal("nil tracer leaked data")
+	}
+	if d := tr.Lookup(TraceID{1}); d != nil {
+		t.Fatal("nil tracer Lookup returned a trace")
+	}
+}
+
+func TestMaxSpansDropped(t *testing.T) {
+	tr := New(Options{MaxSpans: 4})
+	ctx, root := tr.Start(context.Background(), "recommend")
+	for i := 0; i < 10; i++ {
+		Event(ctx, fmt.Sprintf("event-%d", i))
+	}
+	root.End(errors.New("retain"))
+	d := tr.Lookup(root.TraceID())
+	if d == nil {
+		t.Fatal("trace not retained")
+	}
+	// 1 root + 10 events claimed 11 slots of 4.
+	if len(d.Spans) != 4 || d.Dropped != 7 {
+		t.Fatalf("spans=%d dropped=%d, want 4/7", len(d.Spans), d.Dropped)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := New(Options{BufferSize: 4})
+	var ids []TraceID
+	for i := 0; i < 10; i++ {
+		_, root := tr.Start(context.Background(), "op")
+		root.End(errors.New("retain"))
+		ids = append(ids, root.TraceID())
+	}
+	got := tr.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	// Newest first: traces 9, 8, 7, 6.
+	for i, d := range got {
+		if want := ids[9-i]; d.ID != want {
+			t.Fatalf("Recent[%d] = %s, want %s", i, d.ID, want)
+		}
+	}
+	if tr.Lookup(ids[0]) != nil {
+		t.Fatal("evicted trace still resolvable")
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].ID != ids[9] {
+		t.Fatalf("Recent(2) = %v", got)
+	}
+}
+
+// TestLogicalClockDeterminism: with no Clock wired, the synthetic
+// logical clock makes identical call sequences produce bit-identical
+// traces (IDs, timestamps, durations) across tracers.
+func TestLogicalClockDeterminism(t *testing.T) {
+	run := func() *Data {
+		tr := New(Options{Seed: 3})
+		ctx, root := tr.Start(context.Background(), "recommend")
+		_, sp := StartSpan(ctx, "recommend/rank", KindStage)
+		sp.End(nil)
+		root.End(errors.New("retain"))
+		return tr.Lookup(root.TraceID())
+	}
+	a, b := run(), run()
+	if a == nil || b == nil {
+		t.Fatal("trace not retained")
+	}
+	if a.ID != b.ID || a.Duration != b.Duration || len(a.Spans) != len(b.Spans) {
+		t.Fatalf("logical-clock runs diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Spans {
+		as, bs := a.Spans[i], b.Spans[i]
+		if as.ID != bs.ID || !as.Start.Equal(bs.Start) || as.Duration != bs.Duration {
+			t.Fatalf("span %d diverged: %+v vs %+v", i, as, bs)
+		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	tr := New(Options{SlowThreshold: 100 * time.Millisecond, Clock: clk.Now})
+
+	// One slow trace (retained), one fast clean trace (observed only).
+	_, slow := tr.Start(context.Background(), "recommend")
+	clk.Advance(200 * time.Millisecond)
+	slow.End(nil)
+	_, fast := tr.Start(context.Background(), "recommend")
+	clk.Advance(2 * time.Millisecond)
+	fast.End(nil)
+
+	m, ok := tr.Metrics()["recommend"]
+	if !ok {
+		t.Fatal("no metrics for op")
+	}
+	if m.Started != 2 || m.Retained != 1 || m.ByReason[ReasonSlow] != 1 {
+		t.Fatalf("metrics = %+v, want started 2 retained 1 slow 1", m)
+	}
+	// 200ms lands in the 250ms bucket (index 4), 2ms in the 5ms bucket.
+	if m.Buckets[4] != 1 || m.Buckets[1] != 1 {
+		t.Fatalf("buckets = %v, want one observation each in 5ms and 250ms", m.Buckets)
+	}
+	ex := m.Exemplars[250*time.Millisecond]
+	if ex == nil || ex.TraceID != slow.TraceID() || ex.Reason != ReasonSlow {
+		t.Fatalf("exemplar = %+v, want the slow trace", ex)
+	}
+}
+
+// TestConcurrentSpans exercises the lock-free span slots and ring under
+// the race detector: many goroutines record spans and events into one
+// trace while others finish their own traces into the shared ring.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Options{MaxSpans: 512, BufferSize: 8})
+	ctx, root := tr.Start(context.Background(), "recommend")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				c, sp := StartSpan(ctx, fmt.Sprintf("g%d-s%d", g, i), KindStage)
+				Event(c, "tick")
+				sp.End(nil)
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, r := tr.Start(context.Background(), "other")
+				r.End(errors.New("retain"))
+			}
+		}()
+	}
+	wg.Wait()
+	root.End(errors.New("retain"))
+
+	d := tr.Lookup(root.TraceID())
+	if d == nil {
+		t.Fatal("trace not retained")
+	}
+	// 1 root + 8*20 stages + 8*20 events = 321 spans, all within MaxSpans.
+	if len(d.Spans) != 321 || d.Dropped != 0 {
+		t.Fatalf("spans=%d dropped=%d, want 321/0", len(d.Spans), d.Dropped)
+	}
+	if got := len(tr.Recent(0)); got != 8 {
+		t.Fatalf("ring holds %d, want its capacity 8", got)
+	}
+}
+
+// TestLateEventAfterFinish: spans and events recorded after the root
+// span ended are dropped, not raced into a frozen trace.
+func TestLateEventAfterFinish(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "recommend")
+	root.End(errors.New("retain"))
+	Event(ctx, "too-late")
+	_, sp := StartSpan(ctx, "too-late-span", KindStage)
+	sp.End(nil)
+	d := tr.Lookup(root.TraceID())
+	if d == nil || len(d.Spans) != 1 {
+		t.Fatalf("late spans leaked into finished trace: %+v", d)
+	}
+}
