@@ -1,0 +1,164 @@
+// Command clusterbench measures routed-cluster serving cost against
+// the single-engine baseline: the same seeded community is served by a
+// 1-shard and an N-shard router, a fixed read-heavy workload is driven
+// through each at a configurable concurrency, and the result — ops/s
+// plus p50/p95/p99 latency per configuration and operation mix — is
+// written as JSON for trend tracking (BENCH_cluster.json at the repo
+// root is the committed baseline).
+//
+//	clusterbench -shards 4 -ops 20000 -workers 8 -out BENCH_cluster.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// result is one benchmarked configuration.
+type result struct {
+	Shards    int     `json:"shards"`
+	Ops       int     `json:"ops"`
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// report is the JSON document clusterbench emits.
+type report struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	Seed      uint64   `json:"seed"`
+	Users     int      `json:"users"`
+	Items     int      `json:"items"`
+	Workload  string   `json:"workload"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "community seed")
+	users := flag.Int("users", 400, "community users")
+	items := flag.Int("items", 500, "community items")
+	shards := flag.Int("shards", 4, "shard count for the routed configuration")
+	ops := flag.Int("ops", 20000, "operations per configuration")
+	workers := flag.Int("workers", 8, "concurrent workers")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	com := dataset.Movies(dataset.Config{Seed: *seed, Users: *users, Items: *items, RatingsPerUser: 25})
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Seed:      *seed,
+		Users:     *users,
+		Items:     *items,
+		Workload:  "80% recommend, 10% similar (scatter-gather), 5% explain, 5% rate",
+	}
+	for _, n := range []int{1, *shards} {
+		r, err := run(com, n, *ops, *workers, *seed)
+		if err != nil {
+			log.Fatalf("clusterbench: shards=%d: %v", n, err)
+		}
+		rep.Results = append(rep.Results, r)
+		log.Printf("clusterbench: shards=%d %0.0f ops/s p50=%0.0fus p95=%0.0fus p99=%0.0fus",
+			n, r.OpsPerSec, r.P50Micros, r.P95Micros, r.P99Micros)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("clusterbench: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("clusterbench: %v", err)
+	}
+	log.Printf("clusterbench: wrote %s", *out)
+}
+
+// run drives the workload through a router with the given shard count
+// and reports throughput and latency quantiles.
+func run(com *dataset.Community, shards, ops, workers int, seed uint64) (result, error) {
+	rt, err := cluster.New(com.Catalog, com.Ratings, cluster.Options{Shards: shards, Seed: seed})
+	if err != nil {
+		return result{}, err
+	}
+	userIDs := com.Ratings.Users()
+	itemIDs := com.Catalog.Items()
+
+	// Warm every shard's snapshot before timing.
+	for i := 0; i < shards*4 && i < len(userIDs); i++ {
+		if _, err := rt.RecommendContext(context.Background(), userIDs[i], 5); err != nil {
+			return result{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	durs := make([][]float64, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := w; i < ops; i += workers {
+				u := userIDs[i%len(userIDs)]
+				it := itemIDs[i%len(itemIDs)].ID
+				t0 := time.Now()
+				var err error
+				switch {
+				case i%20 < 16: // 80%
+					_, err = rt.RecommendContext(ctx, u, 5)
+				case i%20 < 18: // 10%
+					_, err = rt.SimilarToContext(ctx, u, it, 5)
+				case i%20 < 19: // 5%
+					// A random (user, item) pair may legitimately have no
+					// evidence — only infrastructure failures are reportable.
+					if _, xerr := rt.ExplainContext(ctx, u, it); core.IsInfrastructureFailure(xerr) {
+						err = xerr
+					}
+				default: // 5%
+					err = rt.Rate(u, it, float64(1+i%5))
+				}
+				durs[w] = append(durs[w], time.Since(t0).Seconds()*1e6)
+				if err != nil {
+					log.Printf("clusterbench: op %d: %v", i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all []float64
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	return result{
+		Shards:    shards,
+		Ops:       ops,
+		Workers:   workers,
+		Seconds:   elapsed,
+		OpsPerSec: float64(ops) / elapsed,
+		P50Micros: stats.Quantile(all, 0.50),
+		P95Micros: stats.Quantile(all, 0.95),
+		P99Micros: stats.Quantile(all, 0.99),
+	}, nil
+}

@@ -12,7 +12,13 @@
 // and /debug/traces serves them — on the main listener and, with
 // -debug-addr, on a separate operator port that can also expose pprof.
 //
+// With -shards N (N > 1) the same API is served by a consistent-hash
+// router over N independent engine shards: users are partitioned by
+// ring ownership, SimilarTo scatter-gathers across every shard, and
+// GET /debug/cluster reports per-shard health and routing counters.
+//
 //	recserver -addr :8080 -load ./data
+//	recserver -addr :8080 -shards 4
 //	curl 'localhost:8080/recommend?user=1&n=5'
 //	curl 'localhost:8080/explain?user=1&item=42'
 //	curl -X POST -H "Content-Type: application/json" -d '{"user":1,"item":42,"value":4.5}' localhost:8080/rate
@@ -30,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -53,6 +60,7 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "fraction of healthy traces to retain (0..1)")
 	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/traces and pprof (empty = off)")
 	debugPprof := flag.Bool("debug-pprof", false, "expose net/http/pprof on the debug listener")
+	shards := flag.Int("shards", 1, "number of engine shards (>1 serves through the consistent-hash router)")
 	flag.Parse()
 
 	catalog, ratings, err := loadOrGenerate(*load, *seed)
@@ -75,23 +83,41 @@ func main() {
 		Clock:         time.Now,
 		Seed:          *seed,
 	})
-	eng, err := core.New(catalog, ratings,
-		core.WithSeed(*seed),
-		core.WithPersonality(p),
-		core.WithTracer(tracer),
-		core.WithResilience(core.ResilienceConfig{
-			MaxConcurrent: *shedConcurrency,
-			RetryAttempts: *retryAttempts,
-			RetrySeed:     *seed,
-		}),
-	)
-	if err != nil {
-		log.Fatalf("recserver: %v", err)
+	resCfg := core.ResilienceConfig{
+		MaxConcurrent: *shedConcurrency,
+		RetryAttempts: *retryAttempts,
+		RetrySeed:     *seed,
 	}
 	// The HTTP layer consumes the Service interface, not *core.Engine:
-	// a sharded or remote backend drops in here without touching
-	// internal/server.
-	var svc core.Service = eng
+	// with -shards > 1 the consistent-hash router drops in here without
+	// touching internal/server. Each shard gets its own engine and its
+	// own resilience chain; the tracer is shared so a scatter-gather
+	// renders as one tree.
+	var svc core.Service
+	if *shards > 1 {
+		rt, err := cluster.New(catalog, ratings, cluster.Options{
+			Shards:      *shards,
+			Seed:        *seed,
+			Personality: p,
+			Tracer:      tracer,
+			Resilience:  &resCfg,
+		})
+		if err != nil {
+			log.Fatalf("recserver: %v", err)
+		}
+		svc = rt
+	} else {
+		eng, err := core.New(catalog, ratings,
+			core.WithSeed(*seed),
+			core.WithPersonality(p),
+			core.WithTracer(tracer),
+			core.WithResilience(resCfg),
+		)
+		if err != nil {
+			log.Fatalf("recserver: %v", err)
+		}
+		svc = eng
+	}
 	h := server.New(svc,
 		server.WithRequestTimeout(*requestTimeout),
 		server.WithTracer(tracer),
@@ -125,8 +151,8 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 
-	log.Printf("recserver: %d items, %d ratings, personality %s, listening on %s",
-		catalog.Len(), ratings.Len(), p, *addr)
+	log.Printf("recserver: %d items, %d ratings, %d shard(s), personality %s, listening on %s",
+		catalog.Len(), ratings.Len(), *shards, p, *addr)
 
 	select {
 	case err := <-done:

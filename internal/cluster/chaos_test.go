@@ -1,0 +1,380 @@
+// The cluster chaos suite: seeded fault.ClusterSim scenarios — shard
+// loss mid-load, slow shards, network partitions, rebalance under
+// concurrent traffic — asserting the contract the refactor promises:
+// surviving-shard requests are untouched, lost-shard requests degrade
+// instead of erroring, and a routed request stays one trace tree.
+
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func chaosCommunity(t *testing.T) *dataset.Community {
+	t.Helper()
+	return dataset.Movies(dataset.Config{Seed: 402, Users: 80, Items: 90, RatingsPerUser: 20})
+}
+
+// TestChaosShardLossMidLoad is the acceptance scenario: 4 shards, a
+// full pass of recommend load, then one shard killed mid-run. Every
+// request keeps succeeding; users on surviving shards get exactly the
+// answers they got before the loss; users on the dead shard get
+// explicitly degraded answers.
+func TestChaosShardLossMidLoad(t *testing.T) {
+	com := chaosCommunity(t)
+	sim := fault.NewClusterSim(11)
+	tr := trace.New(trace.Options{BufferSize: 512, SampleRate: 1, Seed: 5})
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Gate: sim, Tracer: tr, FailureThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := com.Ratings.Users()
+	victim := rt.Owner(users[0])
+
+	// Phase 1: healthy load; remember every user's answer.
+	healthy := make(map[model.UserID][]model.ItemID, len(users))
+	for _, u := range users {
+		p, err := rt.RecommendContext(context.Background(), u, 5)
+		if err != nil {
+			t.Fatalf("healthy recommend for %d: %v", u, err)
+		}
+		if p.Degraded {
+			t.Fatalf("healthy cluster served user %d degraded", u)
+		}
+		for _, e := range p.Entries {
+			healthy[u] = append(healthy[u], e.Item.ID)
+		}
+	}
+
+	// Mid-load: shard loss.
+	sim.Kill(victim)
+
+	victims, survivors := 0, 0
+	for _, u := range users {
+		ctx, root := tr.Start(context.Background(), "recommend")
+		p, err := rt.RecommendContext(ctx, u, 5)
+		root.End(err)
+		if err != nil {
+			t.Fatalf("recommend for %d during shard loss: %v", u, err)
+		}
+		if rt.Owner(u) == victim {
+			victims++
+			if !p.Degraded {
+				t.Fatalf("user %d on lost shard %d served undegraded", u, victim)
+			}
+			if len(p.Entries) == 0 {
+				t.Fatalf("user %d on lost shard got an empty degraded answer", u)
+			}
+			for _, e := range p.Entries {
+				if e.Explanation == nil || !e.Explanation.Degraded {
+					t.Fatalf("degraded entry for %d lacks a degraded-marked explanation", u)
+				}
+			}
+			continue
+		}
+		survivors++
+		if p.Degraded {
+			t.Fatalf("user %d on surviving shard served degraded", u)
+		}
+		got := make([]model.ItemID, 0, len(p.Entries))
+		for _, e := range p.Entries {
+			got = append(got, e.Item.ID)
+		}
+		if len(got) != len(healthy[u]) {
+			t.Fatalf("user %d: %d entries during loss, %d before", u, len(got), len(healthy[u]))
+		}
+		for i := range got {
+			if got[i] != healthy[u][i] {
+				t.Fatalf("user %d answer changed during unrelated shard loss: %v vs %v", u, got, healthy[u])
+			}
+		}
+	}
+	if victims == 0 || survivors == 0 {
+		t.Fatalf("degenerate split: %d victims, %d survivors", victims, survivors)
+	}
+
+	st := shardState(t, rt, victim)
+	if st.Healthy || st.Degraded == 0 {
+		t.Fatalf("victim state after loss: %+v", st)
+	}
+	for _, sh := range rt.ClusterState().Shards {
+		if sh.ID != victim && sh.Degraded != 0 {
+			t.Fatalf("surviving shard %d accrued degraded serves: %+v", sh.ID, sh)
+		}
+	}
+}
+
+// TestScatterGatherSingleTraceTree: a routed scatter-gather renders as
+// one trace tree — the request root with one shard-kind child per
+// fanout leg, every span parented inside the tree.
+func TestScatterGatherSingleTraceTree(t *testing.T) {
+	com := chaosCommunity(t)
+	tr := trace.New(trace.Options{BufferSize: 64, SampleRate: 1, MaxSpans: 256, Seed: 5})
+	sim := fault.NewClusterSim(13)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Gate: sim, Tracer: tr, FailureThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Kill(1) // one dead shard must still appear in the tree, as an errored leg
+
+	u := com.Ratings.Users()[0]
+	seed := com.Catalog.Items()[0].ID
+	ctx, root := tr.Start(context.Background(), "similar")
+	rootID := root.SpanID()
+	p, err := rt.SimilarToContext(ctx, u, seed, 5)
+	root.End(err)
+	if err != nil {
+		t.Fatalf("scatter-gather with a dead shard: %v", err)
+	}
+	if !p.Degraded {
+		t.Fatal("partial scatter-gather not marked degraded")
+	}
+
+	data := tr.Lookup(root.TraceID())
+	if data == nil {
+		t.Fatal("trace not retained")
+	}
+	byID := make(map[trace.SpanID]trace.Span, len(data.Spans))
+	for _, sp := range data.Spans {
+		byID[sp.ID] = sp
+	}
+	shardLegs := map[string]trace.Span{}
+	for _, sp := range data.Spans {
+		// Every span must chain to the single root: one tree.
+		cur := sp
+		for cur.ID != rootID {
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %q parent %v not in trace", cur.Name, cur.Parent)
+			}
+			cur = parent
+		}
+		if sp.Kind == trace.KindShard {
+			if sp.Parent != rootID {
+				t.Fatalf("shard span %q not a direct child of the request root", sp.Name)
+			}
+			shardLegs[sp.Name] = sp
+		}
+	}
+	if len(shardLegs) != 4 {
+		t.Fatalf("got %d shard legs, want 4: %v", len(shardLegs), shardLegs)
+	}
+	if sp := shardLegs["shard-1"]; sp.Err == "" {
+		t.Fatal("dead shard's leg recorded no error")
+	}
+}
+
+// TestChaosPartitionScatterGather: cut the router off from half the
+// cluster; similarity keeps answering from the reachable half, marked
+// degraded, and heals back to full answers.
+func TestChaosPartitionScatterGather(t *testing.T) {
+	com := chaosCommunity(t)
+	sim := fault.NewClusterSim(17)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Gate: sim, FailureThreshold: 1, ProbeEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := com.Ratings.Users()[0]
+	seed := com.Catalog.Items()[0].ID
+
+	full, err := rt.SimilarToContext(context.Background(), u, seed, 8)
+	if err != nil || full.Degraded {
+		t.Fatalf("healthy similar: %v degraded=%v", err, full != nil && full.Degraded)
+	}
+
+	sim.Partition(0, 2)
+	part, err := rt.SimilarToContext(context.Background(), u, seed, 8)
+	if err != nil {
+		t.Fatalf("similar during partition: %v", err)
+	}
+	if !part.Degraded {
+		t.Fatal("partial merge not marked degraded")
+	}
+
+	sim.Heal()
+	// Probes heal the downed shards over subsequent scatters.
+	for i := 0; i < 64; i++ {
+		if _, err := rt.SimilarToContext(context.Background(), u, seed, 8); err != nil {
+			t.Fatalf("similar while healing: %v", err)
+		}
+		healthyAll := true
+		for _, sh := range rt.ClusterState().Shards {
+			healthyAll = healthyAll && sh.Healthy
+		}
+		if healthyAll {
+			break
+		}
+	}
+	again, err := rt.SimilarToContext(context.Background(), u, seed, 8)
+	if err != nil || again.Degraded {
+		t.Fatalf("similar after heal: %v degraded=%v", err, again != nil && again.Degraded)
+	}
+	if len(again.Entries) != len(full.Entries) {
+		t.Fatalf("healed answer has %d entries, healthy had %d", len(again.Entries), len(full.Entries))
+	}
+}
+
+// TestChaosSlowShardDeadline: a shard slower than the per-shard
+// deadline is treated as lost — its users degrade, nobody blocks.
+func TestChaosSlowShardDeadline(t *testing.T) {
+	com := chaosCommunity(t)
+	users := com.Ratings.Users()
+	probe, err := New(com.Catalog, com.Ratings, Options{Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := probe.Owner(users[0])
+
+	sim := fault.NewClusterSim(19, fault.ClusterRule{
+		Shard: victim, Nth: 1, Latency: 200 * time.Millisecond,
+	})
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Gate: sim, ShardTimeout: 5 * time.Millisecond, FailureThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := users[0]
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		p, err := rt.RecommendContext(context.Background(), u, 5)
+		if err != nil {
+			t.Fatalf("recommend against slow shard: %v", err)
+		}
+		if !p.Degraded {
+			t.Fatalf("call %d against slow shard served undegraded", i)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("call %d blocked %v; per-shard deadline not applied", i, el)
+		}
+	}
+	if st := shardState(t, rt, victim); st.Healthy {
+		t.Fatalf("persistently slow shard still healthy: %+v", st)
+	}
+}
+
+// TestChaosRebalanceMidLoad: grow the cluster while request and write
+// load is in flight (run under -race in CI); nothing errors and no
+// rating is lost.
+func TestChaosRebalanceMidLoad(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := com.Ratings.Users()
+	items := com.Catalog.Items()
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := users[(w*13+i)%len(users)]
+				if _, err := rt.RecommendContext(context.Background(), u, 3); err != nil {
+					errs <- err
+					return
+				}
+				if err := rt.Rate(u, items[(w+i)%len(items)].ID, float64(1+i%5)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	id, err := rt.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RemoveShard(id); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("load during rebalance: %v", err)
+	}
+
+	// Every original rating must still be resolvable post-rebalance
+	// (values may have been overwritten by the write load, which only
+	// ever rates existing user/item pairs plus new ones).
+	merged := rt.Ratings()
+	for _, u := range users {
+		for it := range com.Ratings.UserRatings(u) {
+			if _, ok := merged.Get(u, it); !ok {
+				t.Fatalf("rating (%d,%d) lost across rebalance", u, it)
+			}
+		}
+	}
+}
+
+// TestChaosDegradedBrowseAndExplain: the remaining read ops also
+// degrade rather than fail during shard loss.
+func TestChaosDegradedBrowseAndExplain(t *testing.T) {
+	com := chaosCommunity(t)
+	sim := fault.NewClusterSim(23)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Gate: sim, FailureThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := com.Ratings.Users()[0]
+	sim.Kill(rt.Owner(u))
+
+	exp, err := rt.ExplainContext(context.Background(), u, com.Catalog.Items()[0].ID)
+	if err != nil {
+		t.Fatalf("explain during shard loss: %v", err)
+	}
+	if !exp.Degraded || exp.Text == "" {
+		t.Fatalf("degraded explain = %+v", exp)
+	}
+
+	low, err := rt.WhyLowContext(context.Background(), u, com.Catalog.Items()[1].ID)
+	if err != nil {
+		t.Fatalf("why-low during shard loss: %v", err)
+	}
+	if !low.Degraded {
+		t.Fatalf("degraded why-low = %+v", low)
+	}
+
+	v, err := rt.BrowseAllContext(context.Background(), u)
+	if err != nil {
+		t.Fatalf("browse during shard loss: %v", err)
+	}
+	if !v.Degraded {
+		t.Fatal("degraded browse not marked")
+	}
+	if got := len(v.Entries) + len(v.Unrated()); got != com.Catalog.Len() {
+		t.Fatalf("degraded browse covers %d items, catalogue has %d", got, com.Catalog.Len())
+	}
+
+	// Writes during loss are accepted, never errored.
+	if err := rt.Rate(u, com.Catalog.Items()[2].ID, 4); err != nil {
+		t.Fatalf("rate during shard loss: %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+// The router's runs of the shared core.Service conformance suite: a
+// degenerate 1-shard cluster and a 4-shard cluster must both be
+// behaviourally indistinguishable from a single engine at the Service
+// seam — that is the whole point of the refactor.
+
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/servicetest"
+	"repro/internal/model"
+)
+
+func TestRouterServiceConformance(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		servicetest.Run(t, fmt.Sprintf("router-%d-shard", shards), func(t *testing.T, cat *model.Catalog, ratings *model.Matrix) core.Service {
+			rt, err := New(cat, ratings, Options{Shards: shards, Seed: 7})
+			if err != nil {
+				t.Fatalf("cluster.New: %v", err)
+			}
+			return rt
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Degraded serving: when a user's owning shard is unreachable, their
+// reads are answered from the surviving shards' merged popularity
+// evidence instead of erroring — the cluster-level extension of the
+// engine's own degraded-mode stages. Every degraded answer is marked
+// (Presentation.Degraded, Explanation.Degraded, trace SetDegraded) so
+// the honesty contract holds: a fallback never impersonates the
+// personalised answer.
+
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"repro/internal/trace"
+)
+
+// noteDegraded records one degraded response against the shard whose
+// loss caused it, in counters and on the trace.
+func (rt *Router) noteDegraded(ctx context.Context, sh *shard, op string) {
+	sh.degraded.Add(1)
+	trace.SetDegraded(ctx)
+	trace.Event(ctx, "cluster_degraded",
+		trace.Attr{Key: "shard", Value: strconv.Itoa(sh.id)},
+		trace.Attr{Key: "op", Value: op})
+}
+
+// degradedRecommend serves a popularity list from the surviving
+// shards' merged evidence.
+func (rt *Router) degradedRecommend(ctx context.Context, topo *topology, sh *shard, u model.UserID, n int) (*present.Presentation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	merged := topo.healthyMatrix()
+	preds := core.PopularityRanking(merged, rt.cat, u, n)
+	entries := make([]present.Entry, 0, len(preds))
+	for _, pr := range preds {
+		it, err := rt.cat.Item(pr.Item)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, present.Entry{
+			Item:        it,
+			Prediction:  pr,
+			Explanation: core.PopularityExplanation(merged, it),
+		})
+	}
+	rt.noteDegraded(ctx, sh, "recommend")
+	return &present.Presentation{
+		Title:    fmt.Sprintf("Top %d for you", len(entries)),
+		Entries:  entries,
+		Degraded: true,
+	}, nil
+}
+
+// degradedExplain serves popularity evidence for one item. Unknown
+// items keep their domain error.
+func (rt *Router) degradedExplain(ctx context.Context, topo *topology, sh *shard, item model.ItemID, op string) (*explain.Explanation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	it, err := rt.cat.Item(item)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	rt.noteDegraded(ctx, sh, op)
+	return core.PopularityExplanation(topo.healthyMatrix(), it), nil
+}
+
+// degradedBrowse serves the full catalogue ordered by the surviving
+// shards' item popularity.
+func (rt *Router) degradedBrowse(ctx context.Context, topo *topology, sh *shard, u model.UserID) (*present.RatingsView, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	merged := topo.healthyMatrix()
+	v := present.PredictedRatings(rt.cat, popularityPredictor{m: merged}, nil, u)
+	v.Degraded = true
+	rt.noteDegraded(ctx, sh, "browse")
+	return v, nil
+}
+
+// popularityPredictor scores every item by its mean rating in the
+// merged surviving-shard matrix; items no survivor has rated stay
+// unpredictable and land in the view's unrated list.
+type popularityPredictor struct {
+	m *model.Matrix
+}
+
+func (p popularityPredictor) Predict(u model.UserID, item model.ItemID) (recsys.Prediction, error) {
+	ratings := p.m.ItemRatings(item)
+	if len(ratings) == 0 {
+		return recsys.Prediction{}, fmt.Errorf("item %d: %w", item, recsys.ErrColdStart)
+	}
+	mean, _ := p.m.ItemMean(item)
+	c := float64(len(ratings))
+	return recsys.Prediction{Item: item, Score: mean, Confidence: c / (c + 5)}, nil
+}

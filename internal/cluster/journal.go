@@ -1,0 +1,102 @@
+// The write journal: when a user's owning shard is unreachable, their
+// writes are accepted and parked here instead of failing, then replayed
+// through the router when the shard heals (or drained into the new
+// owner on a rebalance). Entries are validated before journaling, so
+// replay failures are anomalies worth counting, not expected noise.
+
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/interact"
+	"repro/internal/model"
+)
+
+// journalOp enumerates the journaled write kinds — the Service write
+// surface exactly.
+type journalOp int
+
+const (
+	opRate journalOp = iota
+	opRemove
+	opOpinion
+	opInfluence
+)
+
+// journalEntry is one parked write.
+type journalEntry struct {
+	op      journalOp
+	user    model.UserID
+	item    model.ItemID
+	value   float64 // rating for opRate, weight for opInfluence
+	opinion interact.Opinion
+}
+
+// opName reports the operation name the chaos gate sees for this
+// entry, matching the read-path names in style.
+func (e journalEntry) opName() string {
+	switch e.op {
+	case opRate:
+		return "rate"
+	case opRemove:
+		return "remove"
+	case opOpinion:
+		return "opinion"
+	default:
+		return "influence"
+	}
+}
+
+// journal is one shard's parked-write queue, in arrival order.
+type journal struct {
+	mu      sync.Mutex
+	entries []journalEntry
+}
+
+func (j *journal) push(e journalEntry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = append(j.entries, e)
+}
+
+// drain removes and returns every parked entry in arrival order.
+func (j *journal) drain() []journalEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := j.entries
+	j.entries = nil
+	return out
+}
+
+func (j *journal) len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// applyEntry applies one journaled write to a shard engine. Inputs
+// were validated at accept time, so errors here are domain rejections
+// from the engine itself.
+func applyEntry(eng engineOps, e journalEntry) error {
+	switch e.op {
+	case opRate:
+		return eng.Rate(e.user, e.item, e.value)
+	case opRemove:
+		eng.RemoveRating(e.user, e.item)
+		return nil
+	case opOpinion:
+		return eng.Opinion(e.user, e.opinion)
+	default:
+		return eng.SetInfluenceWeight(e.user, e.item, e.value)
+	}
+}
+
+// engineOps is the slice of the engine surface applyEntry needs; a
+// tiny interface keeps journal tests independent of a full engine.
+type engineOps interface {
+	Rate(u model.UserID, item model.ItemID, value float64) error
+	RemoveRating(u model.UserID, item model.ItemID)
+	Opinion(u model.UserID, op interact.Opinion) error
+	SetInfluenceWeight(u model.UserID, item model.ItemID, weight float64) error
+}

@@ -1,0 +1,101 @@
+// Rebalancing: adding or removing a shard publishes a new ring and
+// migrates only the users whose ownership changed — the consistent
+// hash's ~1/N guarantee. Migration moves rating history with the
+// engine's import/evict primitives (one snapshot generation each, no
+// repair-action inflation) and drains a removed shard's write journal
+// through the new ring. Reads never block: in-flight requests finish
+// on the topology they loaded; the next request sees the new one.
+
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// AddShard grows the cluster by one shard, migrating the users the new
+// ring assigns to it. It returns the new shard's ID.
+func (rt *Router) AddShard() (int, error) {
+	rt.rebalanceMu.lock()
+	defer rt.rebalanceMu.unlock()
+
+	old := rt.topo.Load()
+	id := old.order[len(old.order)-1].id + 1
+	eng, err := rt.newShardEngine(id, model.NewMatrix())
+	if err != nil {
+		return 0, err
+	}
+	sh := &shard{id: id, eng: eng}
+	ring := old.ring.WithShard(id)
+
+	// Import into the new shard before evicting from the old ones, so a
+	// concurrent reader on either topology always finds the user's
+	// ratings somewhere.
+	for _, src := range old.order {
+		m := src.eng.Ratings()
+		for _, u := range m.Users() {
+			if ring.Owner(u) != id {
+				continue
+			}
+			sh.eng.ImportUserRatings(u, m.UserRatings(u))
+			src.eng.EvictUser(u)
+		}
+	}
+
+	next := &topology{ring: ring, byID: make(map[int]*shard, len(old.order)+1)}
+	for _, s := range old.order {
+		next.byID[s.id] = s
+	}
+	next.byID[id] = sh
+	next.order = append(append([]*shard{}, old.order...), sh)
+	sort.Slice(next.order, func(a, b int) bool { return next.order[a].id < next.order[b].id })
+	rt.topo.Store(next)
+	return id, nil
+}
+
+// RemoveShard drains shard id out of the cluster: its users' ratings
+// migrate to their new owners and its parked journal writes re-route
+// through the new ring. The last shard cannot be removed.
+func (rt *Router) RemoveShard(id int) error {
+	rt.rebalanceMu.lock()
+	defer rt.rebalanceMu.unlock()
+
+	old := rt.topo.Load()
+	gone, ok := old.byID[id]
+	if !ok {
+		return fmt.Errorf("cluster: no shard %d", id)
+	}
+	if len(old.order) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last shard %d", id)
+	}
+	ring := old.ring.WithoutShard(id)
+
+	next := &topology{ring: ring, byID: make(map[int]*shard, len(old.order)-1)}
+	for _, s := range old.order {
+		if s.id == id {
+			continue
+		}
+		next.byID[s.id] = s
+		next.order = append(next.order, s)
+	}
+
+	// Migrate the departing shard's users to their new owners.
+	m := gone.eng.Ratings()
+	for _, u := range m.Users() {
+		next.byID[ring.Owner(u)].eng.ImportUserRatings(u, m.UserRatings(u))
+	}
+
+	// Publish, then drain the departing shard's journal through the new
+	// ring so parked writes land on (or journal at) the new owners.
+	rt.topo.Store(next)
+	for _, e := range gone.journal.drain() {
+		if err := rt.applyWrite(e); err != nil {
+			gone.replayDropped.Add(1)
+			continue
+		}
+		gone.replayed.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package cluster shards the serving engine: a seeded consistent-hash
+// ring partitions the user base across N shard-local engines, and a
+// Router implementing core.Service routes every operation to the
+// owning shard (or scatter-gathers across all of them), so the HTTP
+// layer and every other frontend keep consuming the same interface
+// they consume for a single engine.
+//
+// The survey's argument — that explanation quality is a property of
+// the whole serving system, not just the explanation text — is why the
+// cluster layer exists: at "millions of users" scale a single
+// in-process engine cannot answer in time, and a late or failed
+// explanation undermines trust as surely as a bad one. The cluster
+// keeps the explain-present-interact cycle intact per shard and
+// degrades (popularity fallbacks, partial scatter-gather merges)
+// rather than failing when shards are lost.
+//
+// Everything here is deterministic from its seeds: ring placement,
+// shard engine behaviour, and the chaos simulator (fault.ClusterSim)
+// that drives shard loss, slow shards and partitions in tests. The
+// package sits under recsyslint's determinism rule — no wall-clock
+// reads, no math/rand — so a failing chaos run replays bit-for-bit.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Ring is a seeded consistent-hash ring mapping users to shard IDs.
+// It is immutable: WithShard and WithoutShard return new rings, so a
+// Router can publish ring changes with an atomic pointer swap exactly
+// like the engine publishes model snapshots.
+//
+// Each shard owns VNodes pseudo-random points on a 64-bit circle; a
+// user hashes to a point and is owned by the first shard point at or
+// after it (wrapping). Ownership is a pure function of (seed, vnodes,
+// member set, user), so two rings built with the same parameters agree
+// on every assignment — across processes, runs and Go versions — and
+// adding or removing one shard moves only the arcs that shard's points
+// cover, about 1/N of the users.
+type Ring struct {
+	seed    uint64
+	vnodes  int
+	members []int   // sorted shard IDs
+	points  []point // sorted by (hash, shard)
+}
+
+// point is one virtual node: a position on the circle owned by a shard.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVNodes is the virtual-node count used when NewRing is given
+// zero: high enough that ownership imbalance stays within a few
+// percent at realistic shard counts, low enough that ring rebuilds
+// stay trivially cheap.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over the given shard IDs. vnodes <= 0 selects
+// DefaultVNodes. Duplicate shard IDs are collapsed.
+func NewRing(seed uint64, vnodes int, shards []int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[int]bool, len(shards))
+	members := make([]int, 0, len(shards))
+	for _, id := range shards {
+		if !seen[id] {
+			seen[id] = true
+			members = append(members, id)
+		}
+	}
+	sort.Ints(members)
+	r := &Ring{seed: seed, vnodes: vnodes, members: members}
+	r.points = make([]point, 0, len(members)*vnodes)
+	for _, id := range members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: r.pointHash(id, v), shard: id})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator — a strong
+// 64-bit mix used for both point placement and user hashing. It is
+// seed-stable: no dependence on Go's runtime hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// pointHash places virtual node v of a shard on the circle.
+func (r *Ring) pointHash(shard, v int) uint64 {
+	return splitmix64(r.seed ^ splitmix64(uint64(int64(shard))<<20|uint64(int64(v))))
+}
+
+// userHash places a user on the circle.
+func (r *Ring) userHash(u model.UserID) uint64 {
+	return splitmix64(r.seed ^ (uint64(int64(u)) * 0xD6E8FEB86659FD93))
+}
+
+// Owner returns the shard that owns user u. It panics on an empty
+// ring; a Router never publishes one.
+func (r *Ring) Owner(u model.UserID) int {
+	if len(r.points) == 0 {
+		panic("cluster: Owner on empty ring")
+	}
+	h := r.userHash(u)
+	// First point at or after h, wrapping to points[0].
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Members returns the shard IDs on the ring, sorted ascending. The
+// returned slice is shared; treat it as read-only.
+func (r *Ring) Members() []int { return r.members }
+
+// Has reports whether shard id is on the ring.
+func (r *Ring) Has(id int) bool {
+	i := sort.SearchInts(r.members, id)
+	return i < len(r.members) && r.members[i] == id
+}
+
+// WithShard returns a ring with shard id added (the receiver if it is
+// already a member). Only users on arcs now covered by the new shard's
+// points change owner.
+func (r *Ring) WithShard(id int) *Ring {
+	if r.Has(id) {
+		return r
+	}
+	return NewRing(r.seed, r.vnodes, append(append([]int{}, r.members...), id))
+}
+
+// WithoutShard returns a ring with shard id removed (the receiver if
+// it is not a member). Only users the removed shard owned change
+// owner.
+func (r *Ring) WithoutShard(id int) *Ring {
+	if !r.Has(id) {
+		return r
+	}
+	members := make([]int, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != id {
+			members = append(members, m)
+		}
+	}
+	return NewRing(r.seed, r.vnodes, members)
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestRingSameSeedSameOwnership(t *testing.T) {
+	a := NewRing(42, 64, []int{0, 1, 2, 3})
+	b := NewRing(42, 64, []int{3, 1, 0, 2, 2}) // order and dupes must not matter
+	for u := model.UserID(0); u < 2000; u++ {
+		if a.Owner(u) != b.Owner(u) {
+			t.Fatalf("user %d: %d vs %d for identical rings", u, a.Owner(u), b.Owner(u))
+		}
+	}
+}
+
+func TestRingDifferentSeedsDisagree(t *testing.T) {
+	a := NewRing(1, 64, []int{0, 1, 2, 3})
+	b := NewRing(2, 64, []int{0, 1, 2, 3})
+	same := 0
+	const users = 2000
+	for u := model.UserID(0); u < users; u++ {
+		if a.Owner(u) == b.Owner(u) {
+			same++
+		}
+	}
+	// Independent placements agree ~1/N of the time; near-total
+	// agreement would mean the seed is not actually feeding the hash.
+	if same > users/2 {
+		t.Fatalf("rings with different seeds agree on %d/%d users", same, users)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(7, DefaultVNodes, []int{0, 1, 2, 3})
+	counts := map[int]int{}
+	const users = 8000
+	for u := model.UserID(0); u < users; u++ {
+		counts[r.Owner(u)]++
+	}
+	for _, id := range r.Members() {
+		got := counts[id]
+		// Perfect balance is 25%; virtual nodes keep every shard within
+		// a loose band of it.
+		if got < users*10/100 || got > users*45/100 {
+			t.Fatalf("shard %d owns %d of %d users; balance lost (%v)", id, got, users, counts)
+		}
+	}
+}
+
+// TestRingAddMovesBoundedFraction is the consistent-hash contract:
+// growing N shards to N+1 moves only the users the new shard takes
+// over — about 1/(N+1) of them — and every moved user moves TO the new
+// shard, never between old ones.
+func TestRingAddMovesBoundedFraction(t *testing.T) {
+	const users = 8000
+	old := NewRing(7, DefaultVNodes, []int{0, 1, 2, 3})
+	grown := old.WithShard(4)
+	moved := 0
+	for u := model.UserID(0); u < users; u++ {
+		was, is := old.Owner(u), grown.Owner(u)
+		if was == is {
+			continue
+		}
+		if is != 4 {
+			t.Fatalf("user %d moved %d -> %d; adding a shard must only move users onto it", u, was, is)
+		}
+		moved++
+	}
+	// Expected 1/5 = 20%; allow generous variance but catch a full
+	// reshuffle (which would move ~80%).
+	if moved == 0 || moved > users*32/100 {
+		t.Fatalf("adding a shard moved %d/%d users, want ~%d", moved, users, users/5)
+	}
+}
+
+func TestRingRemoveMovesOnlyOrphanedUsers(t *testing.T) {
+	const users = 8000
+	old := NewRing(7, DefaultVNodes, []int{0, 1, 2, 3})
+	shrunk := old.WithoutShard(2)
+	moved := 0
+	for u := model.UserID(0); u < users; u++ {
+		was, is := old.Owner(u), shrunk.Owner(u)
+		if was != 2 {
+			if was != is {
+				t.Fatalf("user %d moved %d -> %d though shard 2's removal did not orphan it", u, was, is)
+			}
+			continue
+		}
+		if is == 2 {
+			t.Fatalf("user %d still owned by removed shard 2", u)
+		}
+		moved++
+	}
+	if moved == 0 || moved > users*40/100 {
+		t.Fatalf("removing a shard moved %d/%d users, want ~%d", moved, users, users/4)
+	}
+}
+
+func TestRingImmutableOps(t *testing.T) {
+	r := NewRing(3, 16, []int{0, 1})
+	if r.WithShard(1) != r {
+		t.Fatal("WithShard on an existing member must return the receiver")
+	}
+	if r.WithoutShard(9) != r {
+		t.Fatal("WithoutShard on a non-member must return the receiver")
+	}
+	grown := r.WithShard(2)
+	if len(r.Members()) != 2 || len(grown.Members()) != 3 {
+		t.Fatalf("receiver mutated: %v / %v", r.Members(), grown.Members())
+	}
+	if !grown.Has(2) || r.Has(2) {
+		t.Fatal("membership wrong after WithShard")
+	}
+}
+
+// TestRingPinnedAssignments pins exact ownership for fixed
+// (seed, vnodes, members) triples. If this table ever changes, ring
+// hashing changed and every deployed cluster would re-shuffle its
+// users on upgrade — that is a breaking change, not a refactor. The
+// seed-1 rows also pin one exact rebalance: growing {0,1,2} to
+// {0,1,2,3} moves users 1 and 6 onto the new shard and nobody else.
+func TestRingPinnedAssignments(t *testing.T) {
+	cases := []struct {
+		seed    uint64
+		vnodes  int
+		members []int
+		user    model.UserID
+		owner   int
+	}{
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 1, owner: 1},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 2, owner: 2},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 3, owner: 2},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 4, owner: 1},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 5, owner: 0},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 6, owner: 2},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 7, owner: 1},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2}, user: 8, owner: 0},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 1, owner: 3},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 2, owner: 2},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 3, owner: 2},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 4, owner: 1},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 5, owner: 0},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 6, owner: 3},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 7, owner: 1},
+		{seed: 1, vnodes: 16, members: []int{0, 1, 2, 3}, user: 8, owner: 0},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 1, owner: 3},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 2, owner: 2},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 3, owner: 1},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 4, owner: 0},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 5, owner: 1},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 6, owner: 0},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 7, owner: 2},
+		{seed: 99, vnodes: 64, members: []int{0, 1, 2, 3}, user: 8, owner: 0},
+	}
+	for _, c := range cases {
+		if got := NewRing(c.seed, c.vnodes, c.members).Owner(c.user); got != c.owner {
+			t.Errorf("seed %d vnodes %d members %v user %d: owner = %d, want pinned %d",
+				c.seed, c.vnodes, c.members, c.user, got, c.owner)
+		}
+	}
+}

@@ -1,0 +1,583 @@
+// The Router: core.Service over N shard-local engines. Reads route to
+// the owning shard (scatter-gather for cross-shard similarity), writes
+// fan to the owning shard and journal when it is unreachable, and
+// every routed call is health-checked, deadline-bounded and traced
+// with shard attributes so one request's cluster hops render as a
+// single span tree.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/fault"
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/trace"
+)
+
+// ErrShardDown reports a shard call refused because the shard is (or
+// was just observed to be) unreachable. It never escapes the Router's
+// read path — reads reroute to degraded serving — but shard spans and
+// health accounting carry it.
+var ErrShardDown = errors.New("cluster: shard unreachable")
+
+// Gate is the chaos seam: when non-nil it is consulted before every
+// shard call and its decision (unreachable, added latency, injected
+// transport error) is applied before the shard engine runs.
+// fault.ClusterSim is the stock implementation; production runs with a
+// nil Gate and pays one nil check per call.
+type Gate interface {
+	Decide(shard int, op string) fault.ClusterDecision
+}
+
+// Options configures a Router. The zero value of every field selects a
+// sensible default; only Shards is mandatory.
+type Options struct {
+	// Shards is the number of shard engines to partition users across.
+	Shards int
+	// Seed drives ring placement and every shard engine's exploration
+	// stream; equal seeds mean equal clusters. 0 means 1.
+	Seed uint64
+	// VNodes is the virtual-node count per shard on the ring; 0 means
+	// DefaultVNodes.
+	VNodes int
+
+	// ShardTimeout bounds each routed or scattered shard call; 0 leaves
+	// calls bounded only by the request context.
+	ShardTimeout time.Duration
+	// MaxFanout bounds concurrent shard calls in one scatter-gather; 0
+	// means 4.
+	MaxFanout int
+
+	// FailureThreshold is the run of consecutive infrastructure
+	// failures that marks a shard down at the router (degraded serving
+	// starts without even calling it); 0 means 3.
+	FailureThreshold int
+	// ProbeEvery lets every nth arrival for a down shard through as a
+	// probe; a probe that succeeds heals the shard and replays its
+	// journal. 0 means 8. Probing is count-based, not time-based, so
+	// chaos runs stay deterministic.
+	ProbeEvery int
+
+	// Personality is applied to every shard engine.
+	Personality present.Personality
+	// Tracer, when non-nil, is installed on every shard engine and used
+	// for the router's own shard spans.
+	Tracer *trace.Tracer
+	// Resilience, when non-nil, installs the breaker/shed/retry chain
+	// on every shard engine — per-shard breakers and per-shard shedding
+	// by construction, since each shard engine owns its own chain.
+	Resilience *core.ResilienceConfig
+	// Gate is the chaos seam (see Gate); nil disables fault injection.
+	Gate Gate
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.VNodes <= 0 {
+		out.VNodes = DefaultVNodes
+	}
+	if out.MaxFanout <= 0 {
+		out.MaxFanout = 4
+	}
+	if out.FailureThreshold <= 0 {
+		out.FailureThreshold = 3
+	}
+	if out.ProbeEvery <= 0 {
+		out.ProbeEvery = 8
+	}
+	return out
+}
+
+// shard is one shard engine plus the router-side state attached to it:
+// health, write journal and counters. Shard objects survive topology
+// changes — a rebalance publishes a new topology referencing the same
+// shard pointers — so health and counters are continuous.
+type shard struct {
+	id  int
+	eng *core.Engine
+
+	// down marks the shard unreachable at the router; consecFails
+	// counts the current run of infrastructure failures and probeTick
+	// spaces the count-based probes while down.
+	down        atomic.Bool
+	consecFails atomic.Int64
+	probeTick   atomic.Int64
+
+	journal journal
+
+	// Counters surfaced by ClusterState and the recsys_shard_* metrics.
+	requests      atomic.Int64
+	infraFailures atomic.Int64
+	degraded      atomic.Int64
+	journaled     atomic.Int64
+	replayed      atomic.Int64
+	replayDropped atomic.Int64
+}
+
+// topology is one immutable generation of the cluster layout: the ring
+// and the shard set it routes over. The Router publishes topologies
+// through an atomic pointer exactly like the engine publishes model
+// snapshots, so reads never lock and a rebalance never blocks serving.
+type topology struct {
+	ring  *Ring
+	byID  map[int]*shard
+	order []*shard // sorted by id
+}
+
+func (t *topology) owner(u model.UserID) *shard { return t.byID[t.ring.Owner(u)] }
+
+// Router implements core.Service over a consistent-hash-partitioned
+// set of shard engines. See the package documentation for the design.
+type Router struct {
+	cat  *model.Catalog
+	opts Options
+
+	topo atomic.Pointer[topology]
+
+	// rebalanceMu serialises topology changes (AddShard/RemoveShard);
+	// the read path never takes it.
+	rebalanceMu chMutex
+}
+
+// chMutex is a plain mutex built on a channel so the lock-free-read
+// claim stays auditable: the only lock in this package guards
+// rebalancing, never a read.
+type chMutex struct{ ch chan struct{} }
+
+func (m *chMutex) init()   { m.ch = make(chan struct{}, 1) }
+func (m *chMutex) lock()   { m.ch <- struct{}{} }
+func (m *chMutex) unlock() { <-m.ch }
+
+// The Router is a drop-in Service backend.
+var _ core.Service = (*Router)(nil)
+
+// New partitions ratings across opts.Shards shard engines by ring
+// ownership and returns the routing Service. The input matrix is
+// treated as immutable, exactly as core.New treats it.
+func New(cat *model.Catalog, ratings *model.Matrix, opts Options) (*Router, error) {
+	if cat == nil || cat.Len() == 0 {
+		return nil, errors.New("cluster: empty catalogue")
+	}
+	if ratings == nil {
+		return nil, errors.New("cluster: nil rating matrix")
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", opts.Shards)
+	}
+	rt := &Router{cat: cat, opts: opts.withDefaults()}
+	rt.rebalanceMu.init()
+
+	ids := make([]int, rt.opts.Shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	ring := NewRing(rt.opts.Seed, rt.opts.VNodes, ids)
+
+	parts := make(map[int]*model.Matrix, len(ids))
+	for _, id := range ids {
+		parts[id] = model.NewMatrix()
+	}
+	for _, u := range ratings.Users() {
+		m := parts[ring.Owner(u)]
+		for it, v := range ratings.UserRatings(u) {
+			m.Set(u, it, v)
+		}
+	}
+
+	topo := &topology{ring: ring, byID: make(map[int]*shard, len(ids))}
+	for _, id := range ids {
+		eng, err := rt.newShardEngine(id, parts[id])
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{id: id, eng: eng}
+		topo.byID[id] = sh
+		topo.order = append(topo.order, sh)
+	}
+	rt.topo.Store(topo)
+	return rt, nil
+}
+
+// newShardEngine builds one shard-local engine over its user
+// partition, wiring through the router-wide personality, tracer and
+// per-shard resilience chain. The shard seed is derived from the
+// cluster seed and the shard ID, so equal clusters behave identically.
+func (rt *Router) newShardEngine(id int, m *model.Matrix) (*core.Engine, error) {
+	opts := []core.Option{
+		core.WithSeed(rt.opts.Seed ^ splitmix64(uint64(int64(id))+0x5bd1)),
+		core.WithPersonality(rt.opts.Personality),
+	}
+	if rt.opts.Tracer != nil {
+		opts = append(opts, core.WithTracer(rt.opts.Tracer))
+	}
+	if rt.opts.Resilience != nil {
+		opts = append(opts, core.WithResilience(*rt.opts.Resilience))
+	}
+	eng, err := core.New(rt.cat, m, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", id, err)
+	}
+	return eng, nil
+}
+
+// Catalog returns the shared catalogue (every shard serves the full
+// item space; only users are partitioned).
+func (rt *Router) Catalog() *model.Catalog { return rt.cat }
+
+// Ratings returns a point-in-time merge of the reachable shards'
+// rating matrices. Ratings held only by an unreachable shard are
+// absent until it heals — the honest cluster answer.
+func (rt *Router) Ratings() *model.Matrix {
+	return rt.topo.Load().healthyMatrix()
+}
+
+// healthyMatrix merges the reachable shards' matrices, in shard-ID
+// order so the merge is deterministic even where stale duplicates
+// linger between a migration's import and evict.
+func (t *topology) healthyMatrix() *model.Matrix {
+	out := model.NewMatrix()
+	for _, sh := range t.order {
+		if sh.down.Load() {
+			continue
+		}
+		m := sh.eng.Ratings()
+		for _, u := range m.Users() {
+			for it, v := range m.UserRatings(u) {
+				out.Set(u, it, v)
+			}
+		}
+	}
+	return out
+}
+
+// Owner reports which shard currently owns user u — ring inspection
+// for tests and /debug/cluster.
+func (rt *Router) Owner(u model.UserID) int { return rt.topo.Load().ring.Owner(u) }
+
+// ---- routed shard calls ----
+
+// callShard runs fn against sh under the chaos gate, down-shard
+// probing, the per-shard deadline and a shard-kind trace span. The
+// returned error is fn's verbatim (domain errors must survive for
+// errors.Is at the frontend), ErrShardDown for an unreachable shard,
+// or the context's.
+func (rt *Router) callShard(ctx context.Context, sh *shard, op, role string, fn func(context.Context) error) error {
+	sh.requests.Add(1)
+	ctx, sp := trace.StartSpan(ctx, "shard-"+strconv.Itoa(sh.id), trace.KindShard)
+	sp.SetAttr("shard", strconv.Itoa(sh.id))
+	sp.SetAttr("op", op)
+	sp.SetAttr("role", role)
+	err := rt.doShardCall(ctx, sh, op, fn)
+	if err != nil && core.IsInfrastructureFailure(err) {
+		sh.infraFailures.Add(1)
+		sp.SetAttr("outcome", "infra_failure")
+	}
+	sp.End(err)
+	return err
+}
+
+func (rt *Router) doShardCall(ctx context.Context, sh *shard, op string, fn func(context.Context) error) error {
+	if sh.down.Load() {
+		// Count-based probing: most arrivals fail fast to degraded
+		// serving; every ProbeEvery-th tries the shard so recovery is
+		// discovered without a clock.
+		if sh.probeTick.Add(1)%int64(rt.opts.ProbeEvery) != 0 {
+			return fmt.Errorf("shard %d: %w", sh.id, ErrShardDown)
+		}
+	}
+	// The per-shard deadline covers the whole call, injected network
+	// latency included — a slow shard must burn its own budget, not the
+	// request's.
+	cctx := ctx
+	if rt.opts.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, rt.opts.ShardTimeout)
+		defer cancel()
+	}
+	if rt.opts.Gate != nil {
+		d := rt.opts.Gate.Decide(sh.id, op)
+		if d.Down {
+			rt.noteFailure(sh)
+			return fmt.Errorf("shard %d: %w", sh.id, ErrShardDown)
+		}
+		if d.Latency > 0 {
+			if err := waitCtx(cctx, d.Latency); err != nil {
+				rt.noteFailure(sh)
+				return err
+			}
+		}
+		if d.Err != nil {
+			rt.noteFailure(sh)
+			return fmt.Errorf("shard %d: %w", sh.id, d.Err)
+		}
+	}
+	err := fn(cctx)
+	if err == nil || !core.IsInfrastructureFailure(err) {
+		rt.noteSuccess(sh)
+		return err
+	}
+	rt.noteFailure(sh)
+	return err
+}
+
+// noteFailure advances the shard's consecutive-failure run and marks
+// it down at the threshold.
+func (rt *Router) noteFailure(sh *shard) {
+	if sh.consecFails.Add(1) >= int64(rt.opts.FailureThreshold) {
+		sh.down.Store(true)
+	}
+}
+
+// noteSuccess resets the failure run; a success that heals a down
+// shard (a probe that got through) replays its journal.
+func (rt *Router) noteSuccess(sh *shard) {
+	sh.consecFails.Store(0)
+	if sh.down.CompareAndSwap(true, false) {
+		rt.replayJournal(sh)
+	}
+}
+
+// waitCtx sleeps d or until ctx dies (injected slow-shard latency).
+func waitCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- read path ----
+
+// RecommendContext routes to the owning shard; if the shard is down or
+// fails with an infrastructure fault, the request is served degraded
+// from the surviving shards' popularity evidence instead of erroring.
+func (rt *Router) RecommendContext(ctx context.Context, u model.UserID, n int) (*present.Presentation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: n must be positive, got %d", n)
+	}
+	topo := rt.topo.Load()
+	sh := topo.owner(u)
+	var p *present.Presentation
+	err := rt.callShard(ctx, sh, "recommend", "owner", func(c context.Context) error {
+		var e error
+		p, e = sh.eng.RecommendContext(c, u, n)
+		return e
+	})
+	if err == nil {
+		return p, nil
+	}
+	if !core.IsInfrastructureFailure(err) {
+		return nil, err
+	}
+	return rt.degradedRecommend(ctx, topo, sh, u, n)
+}
+
+// ExplainContext routes to the owning shard, degrading to popularity
+// evidence from the surviving shards on infrastructure failure.
+// Unknown items keep their domain-error semantics on both paths.
+func (rt *Router) ExplainContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
+	topo := rt.topo.Load()
+	sh := topo.owner(u)
+	var exp *explain.Explanation
+	err := rt.callShard(ctx, sh, "explain", "owner", func(c context.Context) error {
+		var e error
+		exp, e = sh.eng.ExplainContext(c, u, item)
+		return e
+	})
+	if err == nil {
+		return exp, nil
+	}
+	if !core.IsInfrastructureFailure(err) {
+		return nil, err
+	}
+	return rt.degradedExplain(ctx, topo, sh, item, "explain")
+}
+
+// WhyLowContext routes like ExplainContext; the degraded answer is the
+// same popularity evidence (scrutiny keeps working, just shallower).
+func (rt *Router) WhyLowContext(ctx context.Context, u model.UserID, item model.ItemID) (*explain.Explanation, error) {
+	topo := rt.topo.Load()
+	sh := topo.owner(u)
+	var exp *explain.Explanation
+	err := rt.callShard(ctx, sh, "whylow", "owner", func(c context.Context) error {
+		var e error
+		exp, e = sh.eng.WhyLowContext(c, u, item)
+		return e
+	})
+	if err == nil {
+		return exp, nil
+	}
+	if !core.IsInfrastructureFailure(err) {
+		return nil, err
+	}
+	return rt.degradedExplain(ctx, topo, sh, item, "whylow")
+}
+
+// BrowseAllContext routes to the owning shard, degrading to a
+// popularity-ordered view of the catalogue on infrastructure failure.
+func (rt *Router) BrowseAllContext(ctx context.Context, u model.UserID) (*present.RatingsView, error) {
+	topo := rt.topo.Load()
+	sh := topo.owner(u)
+	var v *present.RatingsView
+	err := rt.callShard(ctx, sh, "browse", "owner", func(c context.Context) error {
+		var e error
+		v, e = sh.eng.BrowseAllContext(c, u)
+		return e
+	})
+	if err == nil {
+		return v, nil
+	}
+	if !core.IsInfrastructureFailure(err) {
+		return nil, err
+	}
+	return rt.degradedBrowse(ctx, topo, sh, u)
+}
+
+// ---- write path ----
+
+// write routes one mutation to the owning shard; when the shard is
+// unreachable the entry is journaled for replay at heal, so writes are
+// accepted (eventually consistent) rather than failed during shard
+// loss. Domain errors from a reachable shard return verbatim.
+func (rt *Router) write(u model.UserID, e journalEntry) error {
+	topo := rt.topo.Load()
+	sh := topo.owner(u)
+	sh.requests.Add(1)
+	if !sh.down.Load() {
+		reachable := true
+		if rt.opts.Gate != nil {
+			d := rt.opts.Gate.Decide(sh.id, e.opName())
+			if d.Down || d.Err != nil {
+				rt.noteFailure(sh)
+				sh.infraFailures.Add(1)
+				reachable = false
+			}
+		}
+		if reachable {
+			err := applyEntry(sh.eng, e)
+			if err == nil || !core.IsInfrastructureFailure(err) {
+				sh.consecFails.Store(0)
+				return err
+			}
+			rt.noteFailure(sh)
+			sh.infraFailures.Add(1)
+		}
+	}
+	sh.journal.push(e)
+	sh.journaled.Add(1)
+	return nil
+}
+
+// replayJournal drains a healed shard's journal in arrival order,
+// re-routing every entry through the current ring (users may have
+// moved while the shard was down). Entries whose target is down again
+// are re-journaled by write; entries rejected on domain grounds are
+// counted dropped — they were validated at accept time, so drops mean
+// the world changed underneath them (e.g. an influence model swap).
+func (rt *Router) replayJournal(sh *shard) {
+	for _, e := range sh.journal.drain() {
+		if err := rt.applyWrite(e); err != nil {
+			sh.replayDropped.Add(1)
+			continue
+		}
+		sh.replayed.Add(1)
+	}
+}
+
+// applyWrite routes one journal entry through the router's write path.
+func (rt *Router) applyWrite(e journalEntry) error {
+	return rt.write(e.user, e)
+}
+
+// Rate records (or corrects) a rating on the owning shard, journaling
+// it when the shard is unreachable.
+func (rt *Router) Rate(u model.UserID, item model.ItemID, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("rating %v: %w", value, core.ErrNonFiniteValue)
+	}
+	return rt.write(u, journalEntry{op: opRate, user: u, item: item, value: value})
+}
+
+// RemoveRating withdraws a past rating on the owning shard.
+func (rt *Router) RemoveRating(u model.UserID, item model.ItemID) {
+	//lint:ignore dropped-error Engine.RemoveRating has no failure mode, so write can only return nil for opRemove entries
+	_ = rt.write(u, journalEntry{op: opRemove, user: u, item: item})
+}
+
+// Opinion applies opinion feedback on the owning shard. The item is
+// validated against the catalogue before journaling so an unreachable
+// shard still rejects nonsense immediately.
+func (rt *Router) Opinion(u model.UserID, op interact.Opinion) error {
+	if op.Kind != interact.SurpriseMe {
+		if _, err := rt.cat.Item(op.Item); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+	}
+	return rt.write(u, journalEntry{op: opOpinion, user: u, opinion: op})
+}
+
+// SetInfluenceWeight adjusts a rating's content-model influence on the
+// owning shard.
+func (rt *Router) SetInfluenceWeight(u model.UserID, item model.ItemID, weight float64) error {
+	if math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("influence weight %v: %w", weight, core.ErrNonFiniteValue)
+	}
+	return rt.write(u, journalEntry{op: opInfluence, user: u, item: item, value: weight})
+}
+
+// Surprise reports the user's exploration rate from the owning shard;
+// an unreachable shard answers the neutral zero.
+func (rt *Router) Surprise(u model.UserID) float64 {
+	sh := rt.topo.Load().owner(u)
+	if sh.down.Load() {
+		return 0
+	}
+	return sh.eng.Surprise(u)
+}
+
+// Metrics merges the shard engines' usage counters — the cluster's
+// aggregate view. Per-shard routing counters live in ClusterState.
+func (rt *Router) Metrics() core.Stats {
+	topo := rt.topo.Load()
+	out := core.Stats{Stages: make(map[string]core.StageStats)}
+	for _, sh := range topo.order {
+		m := sh.eng.Metrics()
+		out.Recommendations += m.Recommendations
+		out.ExplanationsServed += m.ExplanationsServed
+		out.WhyLowQueries += m.WhyLowQueries
+		out.RepairActions += m.RepairActions
+		out.DegradedServed += m.DegradedServed
+		for k, v := range m.Stages {
+			agg := out.Stages[k]
+			agg.Invocations += v.Invocations
+			agg.Errors += v.Errors
+			agg.Panics += v.Panics
+			agg.Latency += v.Latency
+			out.Stages[k] = agg
+		}
+		for k, v := range m.Resilience {
+			if out.Resilience == nil {
+				out.Resilience = make(map[string]int)
+			}
+			out.Resilience[k] += v
+		}
+	}
+	return out
+}

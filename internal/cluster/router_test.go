@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+func testCommunity(t *testing.T) *dataset.Community {
+	t.Helper()
+	return dataset.Movies(dataset.Config{Seed: 401, Users: 60, Items: 80, RatingsPerUser: 20})
+}
+
+func TestRouterPartitionsUsersByOwner(t *testing.T) {
+	com := testCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := rt.topo.Load()
+	total := 0
+	for _, sh := range topo.order {
+		m := sh.eng.Ratings()
+		total += m.Len()
+		for _, u := range m.Users() {
+			if own := rt.Owner(u); own != sh.id {
+				t.Fatalf("user %d lives on shard %d but is owned by %d", u, sh.id, own)
+			}
+		}
+	}
+	if total != com.Ratings.Len() {
+		t.Fatalf("shards hold %d ratings, community has %d", total, com.Ratings.Len())
+	}
+}
+
+func TestRouterMergedRatingsMatchCommunity(t *testing.T) {
+	com := testCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := rt.Ratings()
+	if merged.Len() != com.Ratings.Len() {
+		t.Fatalf("merged %d ratings, want %d", merged.Len(), com.Ratings.Len())
+	}
+	for _, u := range com.Ratings.Users() {
+		for it, want := range com.Ratings.UserRatings(u) {
+			if got, ok := merged.Get(u, it); !ok || got != want {
+				t.Fatalf("rating (%d,%d) = %v,%v, want %v", u, it, got, ok, want)
+			}
+		}
+	}
+}
+
+// TestWriteJournalAndReplay: writes to a down shard are accepted and
+// parked, then replayed when a successful probe heals the shard.
+func TestWriteJournalAndReplay(t *testing.T) {
+	com := testCommunity(t)
+	sim := fault.NewClusterSim(3)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Gate: sim, FailureThreshold: 1, ProbeEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := com.Ratings.Users()[0]
+	victim := rt.Owner(u)
+	item := com.Catalog.Items()[0].ID
+
+	sim.Kill(victim)
+	// One read drives the router to observe the loss.
+	if _, err := rt.RecommendContext(context.Background(), u, 3); err != nil {
+		t.Fatalf("recommend during shard loss: %v", err)
+	}
+	if err := rt.Rate(u, item, 5); err != nil {
+		t.Fatalf("rate during shard loss: %v", err)
+	}
+	st := shardState(t, rt, victim)
+	if st.Healthy {
+		t.Fatal("victim still marked healthy after failures")
+	}
+	if st.Journaled == 0 || st.JournalDepth == 0 {
+		t.Fatalf("write not journaled: %+v", st)
+	}
+	if got, ok := rt.Ratings().Get(u, item); ok {
+		t.Fatalf("journaled rating visible early: %v", got)
+	}
+
+	sim.Restore(victim)
+	// Drive reads until a probe heals the shard and replays the journal.
+	for i := 0; i < 64; i++ {
+		if _, err := rt.RecommendContext(context.Background(), u, 3); err != nil {
+			t.Fatalf("recommend while healing: %v", err)
+		}
+		if shardState(t, rt, victim).Healthy {
+			break
+		}
+	}
+	st = shardState(t, rt, victim)
+	if !st.Healthy {
+		t.Fatalf("victim never healed: %+v", st)
+	}
+	if st.Replayed == 0 || st.JournalDepth != 0 {
+		t.Fatalf("journal not replayed: %+v", st)
+	}
+	if got, ok := rt.Ratings().Get(u, item); !ok || got != 5 {
+		t.Fatalf("replayed rating = %v,%v, want 5,true", got, ok)
+	}
+}
+
+// TestRebalanceMovesBoundedUsersAndKeepsRatings: add a shard, verify
+// only a bounded user fraction moved and no rating was lost; remove it
+// again and verify the cluster converges back with everything intact.
+func TestRebalanceMovesBoundedUsersAndKeepsRatings(t *testing.T) {
+	com := testCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := com.Ratings.Users()
+	before := make(map[model.UserID]int, len(users))
+	for _, u := range users {
+		before[u] = rt.Owner(u)
+	}
+
+	id, err := rt.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, u := range users {
+		now := rt.Owner(u)
+		if now != before[u] {
+			if now != id {
+				t.Fatalf("user %d moved %d -> %d, not to the new shard %d", u, before[u], now, id)
+			}
+			moved++
+		}
+	}
+	// 1/5 expected; a migration bug that reshuffles everyone trips this.
+	if moved > len(users)*40/100 {
+		t.Fatalf("adding shard %d moved %d/%d users", id, moved, len(users))
+	}
+	if got := rt.Ratings().Len(); got != com.Ratings.Len() {
+		t.Fatalf("after add: %d ratings, want %d", got, com.Ratings.Len())
+	}
+	for _, sh := range rt.topo.Load().order {
+		for _, u := range sh.eng.Ratings().Users() {
+			if rt.Owner(u) != sh.id {
+				t.Fatalf("after add: user %d on shard %d, owned by %d", u, sh.id, rt.Owner(u))
+			}
+		}
+	}
+
+	if err := rt.RemoveShard(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		if rt.Owner(u) != before[u] {
+			t.Fatalf("after remove: user %d owned by %d, want original %d", u, rt.Owner(u), before[u])
+		}
+	}
+	if got := rt.Ratings().Len(); got != com.Ratings.Len() {
+		t.Fatalf("after remove: %d ratings, want %d", got, com.Ratings.Len())
+	}
+}
+
+func TestRemoveLastShardRefused(t *testing.T) {
+	com := testCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RemoveShard(0); err == nil {
+		t.Fatal("removing the last shard succeeded")
+	}
+	if err := rt.RemoveShard(17); err == nil {
+		t.Fatal("removing an unknown shard succeeded")
+	}
+}
+
+func TestClusterStateShape(t *testing.T) {
+	com := testCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 3, Seed: 5, VNodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.ClusterState()
+	if st.Seed != 5 || st.VNodes != 32 || len(st.Shards) != 3 {
+		t.Fatalf("state = %+v", st)
+	}
+	owned, ratings := 0, 0
+	for i, sh := range st.Shards {
+		if sh.ID != i {
+			t.Fatalf("shards not in ID order: %+v", st.Shards)
+		}
+		if !sh.Healthy {
+			t.Fatalf("fresh shard %d unhealthy", sh.ID)
+		}
+		owned += sh.OwnedUsers
+		ratings += sh.Ratings
+	}
+	if owned != len(com.Ratings.Users()) {
+		t.Fatalf("owned users sum %d, want %d", owned, len(com.Ratings.Users()))
+	}
+	if ratings != com.Ratings.Len() {
+		t.Fatalf("ratings sum %d, want %d", ratings, com.Ratings.Len())
+	}
+}
+
+func shardState(t *testing.T, rt *Router, id int) ShardState {
+	t.Helper()
+	for _, sh := range rt.ClusterState().Shards {
+		if sh.ID == id {
+			return sh
+		}
+	}
+	t.Fatalf("no shard %d in cluster state", id)
+	return ShardState{}
+}

@@ -1,0 +1,134 @@
+// Scatter-gather: cross-shard reads fan out to every shard with
+// bounded concurrency and per-shard deadlines, then merge whatever
+// came back. A missing shard shrinks the answer and marks it degraded;
+// it never fails the request. Because each shard call runs through
+// callShard, the whole scatter renders as one trace tree: the request
+// span with one shard-kind child per fanout leg.
+
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/trace"
+)
+
+// shardResult is one leg's outcome in a scatter.
+type shardResult struct {
+	shard *shard
+	val   *present.Presentation
+	err   error
+}
+
+// scatterPresentations fans fn across the given shards with at most
+// MaxFanout legs in flight, returning one result per shard in shard
+// order. Each leg runs under callShard: gated, probed, deadline-bound
+// and traced.
+func (rt *Router) scatterPresentations(ctx context.Context, op string, shards []*shard, fn func(context.Context, *shard) (*present.Presentation, error)) []shardResult {
+	results := make([]shardResult, len(shards))
+	sem := make(chan struct{}, rt.opts.MaxFanout)
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var p *present.Presentation
+			err := rt.callShard(ctx, sh, op, "fanout", func(c context.Context) error {
+				var e error
+				p, e = fn(c, sh)
+				return e
+			})
+			results[i] = shardResult{shard: sh, val: p, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	return results
+}
+
+// SimilarToContext is the cluster's scatter-gather read: similarity
+// evidence lives on every shard (each holds a different slice of the
+// user base), so the router fans out to all of them and merges the
+// partial answers. Lost shards shrink the evidence and mark the
+// result degraded; only a dead cluster falls back to catalogue-only
+// similarity.
+func (rt *Router) SimilarToContext(ctx context.Context, u model.UserID, seed model.ItemID, n int) (*present.Presentation, error) {
+	topo := rt.topo.Load()
+	seedItem, err := rt.cat.Item(seed)
+	if err != nil {
+		return nil, err
+	}
+	results := rt.scatterPresentations(ctx, "similar", topo.order, func(c context.Context, sh *shard) (*present.Presentation, error) {
+		return sh.eng.SimilarToContext(c, u, seed, n)
+	})
+
+	// Merge: dedupe by item keeping the best-scored entry, then rank.
+	best := make(map[model.ItemID]present.Entry)
+	var order []model.ItemID
+	partial := false
+	answered := 0
+	for _, r := range results {
+		if r.err != nil {
+			if core.IsInfrastructureFailure(r.err) {
+				partial = true
+			}
+			continue
+		}
+		answered++
+		for _, e := range r.val.Entries {
+			if e.Item == nil {
+				continue
+			}
+			prev, seen := best[e.Item.ID]
+			if !seen {
+				best[e.Item.ID] = e
+				order = append(order, e.Item.ID)
+				continue
+			}
+			if e.Prediction.Score > prev.Prediction.Score {
+				best[e.Item.ID] = e
+			}
+		}
+	}
+
+	if answered == 0 {
+		// Every shard is gone: serve catalogue-only similarity rather
+		// than nothing. ctx errors still win — a dead request context
+		// means the caller is gone.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := present.SimilarToTop(rt.cat, seedItem, n, nil)
+		p.Degraded = true
+		rt.noteDegraded(ctx, topo.owner(u), "similar")
+		return p, nil
+	}
+
+	entries := make([]present.Entry, 0, len(order))
+	for _, id := range order {
+		entries = append(entries, best[id])
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		if entries[a].Prediction.Score != entries[b].Prediction.Score {
+			return entries[a].Prediction.Score > entries[b].Prediction.Score
+		}
+		return entries[a].Item.ID < entries[b].Item.ID
+	})
+	if n > 0 && len(entries) > n {
+		entries = entries[:n]
+	}
+	if partial {
+		trace.SetDegraded(ctx)
+	}
+	return &present.Presentation{
+		Title:    "Because you are looking at: " + seedItem.Title,
+		Entries:  entries,
+		Degraded: partial,
+	}, nil
+}

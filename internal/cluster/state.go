@@ -1,0 +1,75 @@
+// ClusterState: the observable shape of the cluster for /debug/cluster
+// and the recsys_shard_* metrics — ring parameters, per-shard health,
+// ownership counts and routing counters.
+
+package cluster
+
+import "repro/internal/model"
+
+// State is a point-in-time snapshot of the cluster.
+type State struct {
+	Seed   uint64       `json:"seed"`
+	VNodes int          `json:"vnodes"`
+	Shards []ShardState `json:"shards"`
+}
+
+// ShardState is one shard's slice of the snapshot.
+type ShardState struct {
+	ID      int  `json:"id"`
+	Healthy bool `json:"healthy"`
+
+	// OwnedUsers counts users the ring currently assigns to this shard,
+	// among users with any ratings in the cluster.
+	OwnedUsers int `json:"owned_users"`
+	// Ratings is the shard engine's matrix size.
+	Ratings int `json:"ratings"`
+
+	// Routing counters since process start.
+	Requests      int64 `json:"requests"`
+	InfraFailures int64 `json:"infra_failures"`
+	Degraded      int64 `json:"degraded"`
+	Journaled     int64 `json:"journaled"`
+	Replayed      int64 `json:"replayed"`
+	ReplayDropped int64 `json:"replay_dropped,omitempty"`
+	// JournalDepth is the currently parked write count.
+	JournalDepth int `json:"journal_depth"`
+}
+
+// ClusterState snapshots ring parameters, shard health and routing
+// counters. Shards report in ID order.
+func (rt *Router) ClusterState() State {
+	topo := rt.topo.Load()
+	st := State{Seed: rt.opts.Seed, VNodes: rt.opts.VNodes}
+
+	// Ownership: count each distinct rated user once, under the shard
+	// the ring assigns it to today (stale duplicates mid-migration must
+	// not double-count).
+	owned := make(map[int]int, len(topo.order))
+	counted := make(map[model.UserID]bool)
+	for _, sh := range topo.order {
+		for _, u := range sh.eng.Ratings().Users() {
+			if counted[u] {
+				continue
+			}
+			counted[u] = true
+			owned[topo.ring.Owner(u)]++
+		}
+	}
+
+	for _, sh := range topo.order {
+		st.Shards = append(st.Shards, ShardState{
+			ID:            sh.id,
+			Healthy:       !sh.down.Load(),
+			OwnedUsers:    owned[sh.id],
+			Ratings:       sh.eng.Ratings().Len(),
+			Requests:      sh.requests.Load(),
+			InfraFailures: sh.infraFailures.Load(),
+			Degraded:      sh.degraded.Load(),
+			Journaled:     sh.journaled.Load(),
+			Replayed:      sh.replayed.Load(),
+			ReplayDropped: sh.replayDropped.Load(),
+			JournalDepth:  sh.journal.len(),
+		})
+	}
+	return st
+}

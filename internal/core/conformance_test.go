@@ -1,0 +1,25 @@
+// The engine's run of the shared core.Service conformance suite. The
+// suite lives in internal/core/servicetest so the cluster router (and
+// any future backend) runs the identical checks; this file only binds
+// it to the stock Engine. It is in package core_test because the suite
+// imports core.
+
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/servicetest"
+	"repro/internal/model"
+)
+
+func TestEngineServiceConformance(t *testing.T) {
+	servicetest.Run(t, "engine", func(t *testing.T, cat *model.Catalog, ratings *model.Matrix) core.Service {
+		eng, err := core.New(cat, ratings, core.WithSeed(7))
+		if err != nil {
+			t.Fatalf("core.New: %v", err)
+		}
+		return eng
+	})
+}

@@ -525,6 +525,41 @@ func (e *Engine) RemoveRating(u model.UserID, item model.ItemID) {
 	e.stats.repairActions.Add(1)
 }
 
+// ImportUserRatings installs a user's full rating set in one snapshot
+// generation — the cluster router's migration primitive when a ring
+// change moves the user onto this shard engine. Values are clamped
+// like Rate; non-finite values are skipped (the accepting router
+// already validated them). Unlike Rate it does not count repair
+// actions: migration is topology maintenance, not user feedback.
+func (e *Engine) ImportUserRatings(u model.UserID, ratings map[model.ItemID]float64) {
+	if len(ratings) == 0 {
+		return
+	}
+	e.mutate(u, func(m *model.Matrix) {
+		for it, v := range ratings {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			m.Set(u, it, model.ClampRating(v))
+		}
+	})
+}
+
+// EvictUser removes every rating of u in one snapshot generation — the
+// counterpart of ImportUserRatings on the shard engine the user left.
+// Like import, it does not count repair actions.
+func (e *Engine) EvictUser(u model.UserID) {
+	e.mutate(u, func(m *model.Matrix) {
+		items := make([]model.ItemID, 0, len(m.UserRatings(u)))
+		for it := range m.UserRatings(u) {
+			items = append(items, it)
+		}
+		for _, it := range items {
+			m.Delete(u, it)
+		}
+	})
+}
+
 // Opinion applies explicit opinion feedback (Section 5.4). Feedback
 // lives outside model snapshots, so this blocks neither other users'
 // reads nor writers: it serialises only on u's own feedback entry.

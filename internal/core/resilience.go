@@ -132,14 +132,14 @@ func (e *Engine) resilienceChain() []pipeline.Interceptor {
 			{Pipeline: pipeline.OpExplain, Stage: "explain", Handler: e.stageExplainDegraded},
 			{Pipeline: pipeline.OpWhyLow, Stage: "explainLow", Handler: e.stageExplainDegraded},
 		},
-		When:     infrastructureFailure,
+		When:     IsInfrastructureFailure,
 		Recorder: &e.resEvents,
 	}))
 	ics = append(ics, resilience.Breaker(resilience.BreakerOptions{
 		FailureThreshold: cfg.BreakerThreshold,
 		Cooldown:         cfg.BreakerCooldown,
 		HalfOpenProbes:   cfg.BreakerProbes,
-		ShouldTrip:       infrastructureFailure,
+		ShouldTrip:       IsInfrastructureFailure,
 		Recorder:         &e.resEvents,
 		// core is not a determinism-checked package, so it may wire the
 		// wall clock; rejections then advise the *remaining* cooldown.
@@ -156,12 +156,15 @@ func (e *Engine) resilienceChain() []pipeline.Interceptor {
 	return ics
 }
 
-// infrastructureFailure reports whether err is a genuine serving fault
-// — the kind that should trip a breaker and reroute to degraded mode —
-// as opposed to a domain outcome (cold start, unknown item, no
+// IsInfrastructureFailure reports whether err is a genuine serving
+// fault — the kind that should trip a breaker and reroute to degraded
+// mode — as opposed to a domain outcome (cold start, unknown item, no
 // evidence, invalid input) that is the correct answer to the request,
-// or an overload rejection that must stay an overload rejection.
-func infrastructureFailure(err error) bool {
+// or an overload rejection that must stay an overload rejection. The
+// cluster router applies the same classification to whole-shard calls:
+// a shard's domain answer passes through verbatim, a shard's
+// infrastructure failure reroutes to degraded cluster serving.
+func IsInfrastructureFailure(err error) bool {
 	if err == nil ||
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, resilience.ErrOverloaded) {
@@ -225,17 +228,23 @@ func (e *Engine) stageRankDegraded(ctx context.Context, req *pipeline.Request) (
 	if pool < 20 {
 		pool = 20
 	}
-	req.Preds = popularityRanking(s.ratings, e.catalog, req.User, pool)
+	req.Preds = PopularityRanking(s.ratings, e.catalog, req.User, pool)
 	e.stats.recommendations.Add(1)
 	e.stats.degradedServed.Add(1)
 	return nil, nil
 }
 
-// popularityRanking scores every unrated catalogue item by its mean
-// rating with a shrinkage confidence n/(n+5); items nobody rated score
-// the global mean with zero confidence, so the list is never empty
-// while the catalogue has unrated items.
-func popularityRanking(m *model.Matrix, cat *model.Catalog, u model.UserID, n int) []recsys.Prediction {
+// PopularityRanking scores every item of the catalogue u has not rated
+// in m by its mean rating with a shrinkage confidence n/(n+5); items
+// nobody rated score the global mean with zero confidence, so the list
+// is never empty while the catalogue has unrated items.
+//
+// It is the shared degraded-mode ranking: the engine's fallback rank
+// stage uses it against the snapshot matrix, and the cluster router
+// uses it against the merged matrices of the surviving shards when a
+// user's owning shard is down. Deliberately model-free — the point of
+// degraded mode is to not depend on the component that just failed.
+func PopularityRanking(m *model.Matrix, cat *model.Catalog, u model.UserID, n int) []recsys.Prediction {
 	rated := recsys.ExcludeRated(m, u)
 	global := m.GlobalMean()
 	var preds []recsys.Prediction
@@ -301,10 +310,19 @@ func (e *Engine) degradedExplanation(s *snapshot, u model.UserID, it *model.Item
 			return exp
 		}
 	}
-	// Popularity evidence: honest collaborative-style summary from raw
-	// rating counts.
-	if mean, ok := s.ratings.ItemMean(it.ID); ok {
-		c := float64(len(s.ratings.ItemRatings(it.ID)))
+	return PopularityExplanation(s.ratings, it)
+}
+
+// PopularityExplanation produces a schema-complete degraded
+// explanation for it from raw rating counts in m — honest
+// collaborative-style evidence when anyone rated the item, a plain
+// catalogue-pick sentence (marked unfaithful: it reflects no data)
+// otherwise. It never fails, which is what makes degraded routes
+// total; the cluster router serves it when a user's owning shard is
+// down, grounding the text in whichever shards survive.
+func PopularityExplanation(m *model.Matrix, it *model.Item) *explain.Explanation {
+	if mean, ok := m.ItemMean(it.ID); ok {
+		c := float64(len(m.ItemRatings(it.ID)))
 		return &explain.Explanation{
 			Style: explain.CollaborativeBased,
 			Text: fmt.Sprintf("%d of our users rated %s, averaging %s.",

@@ -1,0 +1,260 @@
+// Package servicetest is a reusable conformance suite for
+// core.Service implementations. Any backend claiming the interface —
+// the single engine, the sharded cluster router, a future remote
+// client — runs the same behavioural checks, so "drop-in" stays a
+// tested property rather than a type assertion.
+//
+// The suite builds its own seeded community and asks the factory for a
+// Service over it, then exercises the full read and interaction
+// surface: serving shape, domain-error semantics, write visibility,
+// and concurrent use.
+package servicetest
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/interact"
+	"repro/internal/model"
+)
+
+// Factory builds the Service under test over the given community. It
+// is called once per subtest, so state never leaks between checks.
+type Factory func(t *testing.T, cat *model.Catalog, ratings *model.Matrix) core.Service
+
+// community returns the fixed seeded community every conformance run
+// uses.
+func community(t *testing.T) (*model.Catalog, *model.Matrix) {
+	t.Helper()
+	com := dataset.Movies(dataset.Config{Seed: 404, Users: 40, Items: 60, RatingsPerUser: 15})
+	return com.Catalog, com.Ratings
+}
+
+// ratedUser returns a user with ratings, preferring a stable pick.
+func ratedUser(t *testing.T, ratings *model.Matrix) model.UserID {
+	t.Helper()
+	users := ratings.Users()
+	if len(users) == 0 {
+		t.Fatal("community has no rated users")
+	}
+	return users[0]
+}
+
+// Run executes the conformance suite against the factory's Service
+// under the given subtest name.
+func Run(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		t.Run("RecommendServesRankedEntries", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			u := ratedUser(t, ratings)
+			p, err := svc.RecommendContext(context.Background(), u, 5)
+			if err != nil {
+				t.Fatalf("Recommend: %v", err)
+			}
+			if len(p.Entries) == 0 || len(p.Entries) > 5 {
+				t.Fatalf("got %d entries, want 1..5", len(p.Entries))
+			}
+			for i, e := range p.Entries {
+				if e.Item == nil {
+					t.Fatalf("entry %d has nil item", i)
+				}
+				if e.Item.ID != e.Prediction.Item {
+					t.Fatalf("entry %d: item %d != prediction %d", i, e.Item.ID, e.Prediction.Item)
+				}
+				if i > 0 && p.Entries[i-1].Prediction.Score < e.Prediction.Score {
+					t.Fatalf("entries not ranked: %v then %v", p.Entries[i-1].Prediction, e.Prediction)
+				}
+			}
+		})
+
+		t.Run("RecommendRejectsNonPositiveN", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			if _, err := svc.RecommendContext(context.Background(), ratedUser(t, ratings), 0); err == nil {
+				t.Fatal("n=0 accepted, want error")
+			}
+		})
+
+		t.Run("ExplainRecommendedItem", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			u := ratedUser(t, ratings)
+			p, err := svc.RecommendContext(context.Background(), u, 3)
+			if err != nil {
+				t.Fatalf("Recommend: %v", err)
+			}
+			exp, err := svc.ExplainContext(context.Background(), u, p.Entries[0].Item.ID)
+			if err != nil {
+				t.Fatalf("Explain: %v", err)
+			}
+			if exp == nil || exp.Text == "" {
+				t.Fatalf("empty explanation: %+v", exp)
+			}
+		})
+
+		t.Run("ExplainUnknownItemIsDomainError", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			_, err := svc.ExplainContext(context.Background(), ratedUser(t, ratings), model.ItemID(1<<30))
+			if !errors.Is(err, model.ErrUnknownItem) {
+				t.Fatalf("err = %v, want ErrUnknownItem", err)
+			}
+		})
+
+		t.Run("WhyLowAnswersOrDomainErrors", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			u := ratedUser(t, ratings)
+			for _, it := range cat.Items() {
+				exp, err := svc.WhyLowContext(context.Background(), u, it.ID)
+				if err == nil {
+					if exp == nil || exp.Text == "" {
+						t.Fatalf("item %d: empty why-low explanation", it.ID)
+					}
+					return
+				}
+				if core.IsInfrastructureFailure(err) {
+					t.Fatalf("item %d: infrastructure failure from healthy service: %v", it.ID, err)
+				}
+			}
+			t.Fatal("why-low answered for no item at all")
+		})
+
+		t.Run("BrowseAllCoversCatalogue", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			v, err := svc.BrowseAllContext(context.Background(), ratedUser(t, ratings))
+			if err != nil {
+				t.Fatalf("BrowseAll: %v", err)
+			}
+			if got := len(v.Entries) + len(v.Unrated()); got != cat.Len() {
+				t.Fatalf("entries %d + unrated %d != catalogue %d", len(v.Entries), len(v.Unrated()), cat.Len())
+			}
+		})
+
+		t.Run("SimilarToDeduplicatesAndBounds", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			seed := cat.Items()[0]
+			p, err := svc.SimilarToContext(context.Background(), ratedUser(t, ratings), seed.ID, 5)
+			if err != nil {
+				t.Fatalf("SimilarTo: %v", err)
+			}
+			if len(p.Entries) > 5 {
+				t.Fatalf("got %d entries, want <= 5", len(p.Entries))
+			}
+			seen := map[model.ItemID]bool{}
+			for _, e := range p.Entries {
+				if e.Item == nil {
+					t.Fatal("nil item in similar entries")
+				}
+				if e.Item.ID == seed.ID {
+					t.Fatal("seed item recommended as similar to itself")
+				}
+				if seen[e.Item.ID] {
+					t.Fatalf("duplicate item %d", e.Item.ID)
+				}
+				seen[e.Item.ID] = true
+			}
+		})
+
+		t.Run("SimilarToUnknownSeedErrors", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			if _, err := svc.SimilarToContext(context.Background(), ratedUser(t, ratings), model.ItemID(1<<30), 5); !errors.Is(err, model.ErrUnknownItem) {
+				t.Fatalf("err = %v, want ErrUnknownItem", err)
+			}
+		})
+
+		t.Run("RateIsVisibleAndRemovable", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			u := model.UserID(999001) // fresh user, any shard
+			it := cat.Items()[1].ID
+			if err := svc.Rate(u, it, 4); err != nil {
+				t.Fatalf("Rate: %v", err)
+			}
+			if got, ok := svc.Ratings().Get(u, it); !ok || got != 4 {
+				t.Fatalf("rating = %v,%v after Rate, want 4,true", got, ok)
+			}
+			svc.RemoveRating(u, it)
+			if _, ok := svc.Ratings().Get(u, it); ok {
+				t.Fatal("rating survived RemoveRating")
+			}
+		})
+
+		t.Run("RateRejectsNonFinite", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+				if err := svc.Rate(ratedUser(t, ratings), cat.Items()[0].ID, v); !errors.Is(err, core.ErrNonFiniteValue) {
+					t.Fatalf("Rate(%v) err = %v, want ErrNonFiniteValue", v, err)
+				}
+			}
+			if err := svc.SetInfluenceWeight(ratedUser(t, ratings), cat.Items()[0].ID, math.NaN()); !errors.Is(err, core.ErrNonFiniteValue) {
+				t.Fatal("SetInfluenceWeight accepted NaN")
+			}
+		})
+
+		t.Run("OpinionMovesSurprise", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			u := ratedUser(t, ratings)
+			before := svc.Surprise(u)
+			if err := svc.Opinion(u, interact.Opinion{Kind: interact.SurpriseMe}); err != nil {
+				t.Fatalf("Opinion: %v", err)
+			}
+			if after := svc.Surprise(u); after <= before {
+				t.Fatalf("surprise %v -> %v, want increase", before, after)
+			}
+			if err := svc.Opinion(u, interact.Opinion{Kind: interact.MoreLikeThis, Item: model.ItemID(1 << 30)}); !errors.Is(err, model.ErrUnknownItem) {
+				t.Fatalf("opinion on unknown item: err = %v, want ErrUnknownItem", err)
+			}
+		})
+
+		t.Run("MetricsCountReads", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			u := ratedUser(t, ratings)
+			before := svc.Metrics().Recommendations
+			if _, err := svc.RecommendContext(context.Background(), u, 3); err != nil {
+				t.Fatalf("Recommend: %v", err)
+			}
+			if after := svc.Metrics().Recommendations; after <= before {
+				t.Fatalf("recommendations %d -> %d, want increase", before, after)
+			}
+		})
+
+		t.Run("ConcurrentUse", func(t *testing.T) {
+			cat, ratings := community(t)
+			svc := factory(t, cat, ratings)
+			users := ratings.Users()
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					u := users[i%len(users)]
+					for j := 0; j < 10; j++ {
+						if _, err := svc.RecommendContext(context.Background(), u, 3); err != nil && core.IsInfrastructureFailure(err) {
+							t.Errorf("Recommend: %v", err)
+							return
+						}
+						if err := svc.Rate(u, cat.Items()[j%cat.Len()].ID, float64(1+j%5)); err != nil {
+							t.Errorf("Rate: %v", err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+		})
+	})
+}

@@ -1,0 +1,206 @@
+// ClusterSim: the cluster-level companion to the stage-level Injector.
+// Where the Injector perturbs pipeline stages inside one engine, the
+// ClusterSim perturbs the links between a router and its shards —
+// shard loss, slow shards, network partitions — by answering one
+// question per shard call: what happens to this call before the shard
+// engine sees it? Decisions are deterministic from the seed and the
+// call sequence, so a failing chaos run replays bit-for-bit, exactly
+// like stage-level fault injection.
+//
+// The simulator is intentionally ignorant of the cluster package: it
+// speaks shard IDs and operation names only, so internal/cluster can
+// depend on it without a cycle and any future multi-node layer can
+// reuse it.
+
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ErrShardUnreachable is the conventional error for a simulated dead
+// or partitioned shard: the router treats it exactly like a transport
+// failure to a remote node.
+var ErrShardUnreachable = &shardUnreachableError{}
+
+type shardUnreachableError struct{}
+
+func (*shardUnreachableError) Error() string { return "fault: shard unreachable" }
+
+// ClusterDecision is the simulator's verdict on one shard call.
+type ClusterDecision struct {
+	// Down reports the shard is unreachable for this call: the router
+	// must not invoke the shard engine and should treat the call as a
+	// transport failure.
+	Down bool
+	// Latency is added before the call proceeds (slow-shard faults).
+	Latency time.Duration
+	// Err, when non-nil, is returned as the call's transport error
+	// without invoking the shard.
+	Err error
+}
+
+// ClusterRule describes one standing fault against shard links.
+type ClusterRule struct {
+	// Shard restricts the rule to one shard ID; -1 matches any shard.
+	Shard int
+	// Op restricts the rule to one operation name ("recommend",
+	// "similar", ...); "" matches any.
+	Op string
+
+	// After delays the rule: it cannot fire on the first After matching
+	// calls. Combined with Nth/P this models faults that start mid-load.
+	After int
+	// Nth fires the rule on every nth matching call once past After
+	// (1 = every call). When Nth is 0 the rule fires with probability P
+	// drawn from the simulator's seeded stream.
+	Nth int
+	// P is the firing probability used when Nth == 0.
+	P float64
+	// Count caps total firings; 0 means unlimited.
+	Count int
+
+	// KillShard, when set, marks the matched shard permanently
+	// unreachable on firing — shard loss — until Restore or Heal.
+	KillShard bool
+	// Latency is added to the call on firing (slow shard).
+	Latency time.Duration
+	// Err is returned as a transport error on firing; nil with
+	// KillShard false and zero Latency makes the rule a no-op.
+	Err error
+}
+
+type clusterRuleState struct {
+	ClusterRule
+	calls int
+	fired int
+}
+
+// ClusterSim simulates cluster-level failures for a shard router. All
+// mutable state sits behind one mutex; probability draws come from a
+// seeded internal/rng stream, so sequential runs are reproducible.
+type ClusterSim struct {
+	mu     sync.Mutex
+	rnd    *rng.RNG
+	rules  []*clusterRuleState
+	downed map[int]bool
+	calls  int
+}
+
+// NewClusterSim builds a simulator with probability draws seeded by
+// seed.
+func NewClusterSim(seed uint64, rules ...ClusterRule) *ClusterSim {
+	s := &ClusterSim{rnd: rng.New(seed), downed: make(map[int]bool)}
+	for _, r := range rules {
+		s.rules = append(s.rules, &clusterRuleState{ClusterRule: r})
+	}
+	return s
+}
+
+// Decide is consulted by the router before every shard call and
+// returns what the "network" does to it. Sticky shard loss (Kill,
+// Partition, KillShard rules) wins over per-call effects; latency and
+// error effects from multiple matching rules accumulate with the
+// first error winning.
+func (s *ClusterSim) Decide(shard int, op string) ClusterDecision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	var d ClusterDecision
+	for _, r := range s.rules {
+		if r.Shard != -1 && r.Shard != shard {
+			continue
+		}
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		r.calls++
+		if r.calls <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		var hit bool
+		if r.Nth > 0 {
+			hit = (r.calls-r.After)%r.Nth == 0
+		} else {
+			hit = s.rnd.Bernoulli(r.P)
+		}
+		if !hit {
+			continue
+		}
+		r.fired++
+		if r.KillShard {
+			s.downed[shard] = true
+		}
+		d.Latency += r.Latency
+		if d.Err == nil {
+			d.Err = r.Err
+		}
+	}
+	if s.downed[shard] {
+		return ClusterDecision{Down: true}
+	}
+	return d
+}
+
+// Kill marks a shard unreachable — shard loss — until Restore or Heal.
+func (s *ClusterSim) Kill(shard int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.downed[shard] = true
+}
+
+// Partition marks every listed shard unreachable at once, modelling a
+// network partition that cuts the router off from part of the cluster.
+func (s *ClusterSim) Partition(shards ...int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range shards {
+		s.downed[id] = true
+	}
+}
+
+// Restore marks one shard reachable again.
+func (s *ClusterSim) Restore(shard int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.downed, shard)
+}
+
+// Heal restores every shard.
+func (s *ClusterSim) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.downed = make(map[int]bool)
+}
+
+// DownShards returns the currently unreachable shard IDs, sorted — a
+// test and /debug convenience.
+func (s *ClusterSim) DownShards() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.downed))
+	for id := range s.downed {
+		out = append(out, id)
+	}
+	// Insertion sort: the set is tiny and keeping the output ordered
+	// makes map-iteration order invisible to callers.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Calls reports the total shard calls decided so far.
+func (s *ClusterSim) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}

@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClusterSimSameSeedSameDecisions(t *testing.T) {
+	mk := func() *ClusterSim {
+		return NewClusterSim(7,
+			ClusterRule{Shard: -1, P: 0.3, Err: ErrShardUnreachable},
+			ClusterRule{Shard: 1, P: 0.5, Latency: time.Millisecond})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 400; i++ {
+		shard := i % 4
+		da, db := a.Decide(shard, "recommend"), b.Decide(shard, "recommend")
+		if da != db {
+			t.Fatalf("call %d: decisions diverge: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Calls() != 400 {
+		t.Fatalf("calls = %d, want 400", a.Calls())
+	}
+}
+
+func TestClusterRuleNthAfterCount(t *testing.T) {
+	s := NewClusterSim(1, ClusterRule{
+		Shard: -1, After: 2, Nth: 3, Count: 2, Err: ErrShardUnreachable,
+	})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if d := s.Decide(0, "x"); d.Err != nil {
+			fired = append(fired, i)
+		}
+	}
+	// Eligible after call 2, every 3rd matching call: 5, 8, then capped
+	// by Count.
+	want := []int{5, 8}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("rule fired at %v, want %v", fired, want)
+	}
+}
+
+func TestClusterRuleOpAndShardScoping(t *testing.T) {
+	s := NewClusterSim(1, ClusterRule{Shard: 2, Op: "similar", Nth: 1, Err: ErrShardUnreachable})
+	if d := s.Decide(2, "recommend"); d.Err != nil {
+		t.Fatal("rule fired for wrong op")
+	}
+	if d := s.Decide(1, "similar"); d.Err != nil {
+		t.Fatal("rule fired for wrong shard")
+	}
+	if d := s.Decide(2, "similar"); !errors.Is(d.Err, ErrShardUnreachable) {
+		t.Fatalf("rule did not fire on its target: %+v", d)
+	}
+}
+
+func TestKillShardRuleIsSticky(t *testing.T) {
+	s := NewClusterSim(1, ClusterRule{Shard: 3, Nth: 1, Count: 1, KillShard: true})
+	if d := s.Decide(3, "x"); !d.Down {
+		t.Fatalf("killing decision not Down: %+v", d)
+	}
+	// Rule is exhausted (Count 1) but the shard stays down.
+	if d := s.Decide(3, "x"); !d.Down {
+		t.Fatal("shard loss not sticky")
+	}
+	if got := s.DownShards(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("down shards = %v", got)
+	}
+	s.Restore(3)
+	if d := s.Decide(3, "x"); d.Down {
+		t.Fatal("restored shard still down")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	s := NewClusterSim(1)
+	s.Partition(2, 0)
+	if got := s.DownShards(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("down shards = %v, want sorted [0 2]", got)
+	}
+	if !s.Decide(0, "x").Down || !s.Decide(2, "x").Down || s.Decide(1, "x").Down {
+		t.Fatal("partition membership wrong")
+	}
+	s.Heal()
+	if got := s.DownShards(); len(got) != 0 {
+		t.Fatalf("down shards after heal = %v", got)
+	}
+}
+
+func TestLatencyAccumulatesFirstErrorWins(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	s := NewClusterSim(1,
+		ClusterRule{Shard: -1, Nth: 1, Latency: 2 * time.Millisecond, Err: errA},
+		ClusterRule{Shard: -1, Nth: 1, Latency: 3 * time.Millisecond, Err: errB})
+	d := s.Decide(0, "x")
+	if d.Latency != 5*time.Millisecond {
+		t.Fatalf("latency = %v, want 5ms", d.Latency)
+	}
+	if !errors.Is(d.Err, errA) {
+		t.Fatalf("err = %v, want first rule's", d.Err)
+	}
+}

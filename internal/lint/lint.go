@@ -116,6 +116,10 @@ func DefaultConfig() *Config {
 			"repro/internal/resilience":  true,
 			"repro/internal/fault":       true,
 			"repro/internal/trace":       true,
+			// The cluster layer must replay bit-for-bit from its seeds:
+			// ring placement, shard health (count-based probing, no
+			// clocks) and chaos decisions.
+			"repro/internal/cluster": true,
 		},
 		ErrorScopePrefixes: []string{"repro/internal/"},
 		CtxAllowlist: map[string]bool{
@@ -130,6 +134,10 @@ func DefaultConfig() *Config {
 			// cooldown timer, not a request: there is no caller context
 			// to attribute the recorder event to.
 			"repro/internal/resilience.(*breakerState).halfOpen": true,
+			// The Service conformance suite is test harness code that is
+			// not in a _test.go file (it is imported by several packages'
+			// tests); like a test, it owns its request contexts.
+			"repro/internal/core/servicetest.Run": true,
 		},
 	}
 }

@@ -169,6 +169,35 @@ func TestTraceSeamFixtures(t *testing.T) {
 	}
 }
 
+// TestClusterSeamFixtures runs the same rule pair over fixtures
+// modeling a shard router built with and without internal/cluster's
+// seams: count-based health probing versus wall-clock cooldowns and
+// math/rand jitter (determinism), and fan-out legs that inherit the
+// request context versus minting their own (ctx-propagation).
+func TestClusterSeamFixtures(t *testing.T) {
+	rules := []Rule{ruleByID(t, "determinism"), ruleByID(t, "ctx-propagation")}
+	for _, rel := range []string{"clusterseam/bad", "clusterseam/good"} {
+		pkg := fixture(t, rel)
+		cfg := &Config{DeterminismPkgs: map[string]bool{pkg.Path: true}}
+		findings := Run([]*Package{pkg}, cfg, rules)
+		expected := wants(pkg)
+		got := make(map[string]string)
+		for _, f := range findings {
+			got[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] = f.RuleID
+		}
+		for key, want := range expected {
+			if got[key] != want {
+				t.Errorf("%s: %s: want a %s finding, got %q", rel, key, want, got[key])
+			}
+		}
+		for key, id := range got {
+			if _, ok := expected[key]; !ok {
+				t.Errorf("%s: %s: unexpected %s finding", rel, key, id)
+			}
+		}
+	}
+}
+
 func errScopeCfg() *Config {
 	return &Config{ErrorScopePrefixes: []string{"repro/internal/"}}
 }

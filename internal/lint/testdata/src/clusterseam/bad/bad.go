@@ -1,0 +1,56 @@
+// Violating fixture modeling a shard router built without
+// internal/cluster's seams: shard health decided by wall-clock
+// cooldowns, probe jitter from math/rand, fan-out legs minted from a
+// fresh context instead of the request's, and a shard-state dump that
+// ranges a map straight into output — each the defect the determinism
+// and ctx-propagation rules police in internal/cluster.
+package bad
+
+import (
+	"context"
+	"fmt"
+	"math/rand" // want determinism
+	"time"
+)
+
+type shard struct {
+	lastFailure time.Time
+}
+
+// healthy gates probing on wall-clock elapsed time: replaying a chaos
+// test on a slower machine heals shards at different request ordinals,
+// so the failure sequence cannot be reproduced. Count-based probing
+// (every Nth arrival) is the deterministic seam.
+func (s *shard) healthy(cooldown time.Duration) bool {
+	return time.Since(s.lastFailure) > cooldown // want determinism
+}
+
+// probeJitter spreads probes with global math/rand: the set of
+// requests that probe a down shard changes run to run.
+func probeJitter(every int) bool {
+	return rand.Intn(every) == 0
+}
+
+// scatter severs every fan-out leg from the request that caused it:
+// per-shard spans can never parent into the request's trace, and the
+// caller's deadline no longer bounds the slowest shard.
+func scatter(legs []func(context.Context) error) {
+	for _, leg := range legs {
+		go leg(context.Background()) // want ctx-propagation
+	}
+}
+
+// dumpState ranges the shard map straight into the report: two dumps
+// of the same cluster list shards in different orders.
+func dumpState(byID map[int]*shard) {
+	for id, s := range byID { // want determinism
+		fmt.Printf("shard %d: %v\n", id, s.lastFailure)
+	}
+}
+
+var (
+	_ = (*shard).healthy
+	_ = probeJitter
+	_ = scatter
+	_ = dumpState
+)

@@ -1,0 +1,60 @@
+// Clean fixture mirroring internal/cluster's actual seams: shard
+// health flips on consecutive-failure counts and heals via every-Nth
+// arrival probes (no clocks anywhere in the decision), fan-out legs
+// inherit the request context so deadlines and trace parentage
+// survive the scatter, and state dumps collect shard IDs into a slice
+// sorted before printing.
+package good
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+type shard struct {
+	consecFails atomic.Int64
+	probeTick   atomic.Uint64
+}
+
+// healthy is a pure counter comparison: the same request sequence
+// downs and heals shards at the same ordinals on every machine.
+func (s *shard) healthy(threshold int64) bool {
+	return s.consecFails.Load() < threshold
+}
+
+// shouldProbe admits every Nth arrival to a down shard — request
+// arrival order, not elapsed time, drives healing.
+func (s *shard) shouldProbe(every uint64) bool {
+	return s.probeTick.Add(1)%every == 0
+}
+
+// scatter threads the caller's context through every leg: the
+// request's deadline bounds the slowest shard and per-shard spans
+// parent into its trace.
+func scatter(ctx context.Context, legs []func(context.Context) error) {
+	for _, leg := range legs {
+		go leg(ctx)
+	}
+}
+
+// dumpState sorts shard IDs before rendering, so the report is stable
+// run to run.
+func dumpState(byID map[int]*shard) {
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("shard %d: fails=%d\n", id, byID[id].consecFails.Load())
+	}
+}
+
+var (
+	_ = (*shard).healthy
+	_ = (*shard).shouldProbe
+	_ = scatter
+	_ = dumpState
+)

@@ -381,18 +381,29 @@ func (m *Matrix) Set(u UserID, i ItemID, v float64) {
 }
 
 // Delete removes a rating if present. Scrutable profiles use this when
-// a user withdraws a past rating.
+// a user withdraws a past rating. Rows emptied by the deletion are
+// dropped entirely, so Users and RatedItems never report ghosts — the
+// cluster layer relies on this when it evicts a migrated user.
 func (m *Matrix) Delete(u UserID, i ItemID) {
 	old, ok := m.byUser[u][i]
 	if !ok {
 		return
 	}
-	delete(m.ownUserRow(u), i)
-	delete(m.ownItemRow(i), u)
+	userRow, itemRow := m.ownUserRow(u), m.ownItemRow(i)
+	delete(userRow, i)
+	delete(itemRow, u)
 	m.userSum[u] -= old
 	m.itemSum[i] -= old
 	m.totalSum -= old
 	m.count--
+	if len(userRow) == 0 {
+		delete(m.byUser, u)
+		delete(m.userSum, u)
+	}
+	if len(itemRow) == 0 {
+		delete(m.byItem, i)
+		delete(m.itemSum, i)
+	}
 }
 
 // Get returns the rating and whether it exists.

@@ -1,0 +1,61 @@
+// The cluster debug surface: GET /debug/cluster reports ring
+// parameters, per-shard health and routing counters when the backing
+// Service is a sharded router, and /metrics grows recsys_shard_*
+// lines. Both are feature-detected through the ClusterStater
+// interface, so a single-engine server serves exactly what it served
+// before.
+
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/cluster"
+)
+
+// ClusterStater is implemented by Service backends that route over a
+// shard cluster (cluster.Router). When the server's Service implements
+// it, GET /debug/cluster serves the topology snapshot and /metrics
+// includes per-shard counters.
+type ClusterStater interface {
+	ClusterState() cluster.State
+}
+
+// handleCluster serves GET /debug/cluster.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	cs, ok := s.svc.(ClusterStater)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("backend is not a cluster"))
+		return
+	}
+	writeJSON(w, http.StatusOK, cs.ClusterState())
+}
+
+// writeShardMetrics renders the per-shard recsys_shard_* lines.
+// ClusterState reports shards in ID order, so the scrape is stable.
+func (s *Server) writeShardMetrics(w http.ResponseWriter) {
+	cs, ok := s.svc.(ClusterStater)
+	if !ok {
+		return
+	}
+	st := cs.ClusterState()
+	for _, sh := range st.Shards {
+		healthy := 0
+		if sh.Healthy {
+			healthy = 1
+		}
+		fmt.Fprintf(w, "recsys_shard_healthy{shard=\"%d\"} %d\n", sh.ID, healthy)
+		fmt.Fprintf(w, "recsys_shard_owned_users{shard=\"%d\"} %d\n", sh.ID, sh.OwnedUsers)
+		fmt.Fprintf(w, "recsys_shard_ratings{shard=\"%d\"} %d\n", sh.ID, sh.Ratings)
+		fmt.Fprintf(w, "recsys_shard_requests_total{shard=\"%d\"} %d\n", sh.ID, sh.Requests)
+		fmt.Fprintf(w, "recsys_shard_infra_failures_total{shard=\"%d\"} %d\n", sh.ID, sh.InfraFailures)
+		fmt.Fprintf(w, "recsys_shard_degraded_total{shard=\"%d\"} %d\n", sh.ID, sh.Degraded)
+		fmt.Fprintf(w, "recsys_shard_journaled_writes_total{shard=\"%d\"} %d\n", sh.ID, sh.Journaled)
+		fmt.Fprintf(w, "recsys_shard_replayed_writes_total{shard=\"%d\"} %d\n", sh.ID, sh.Replayed)
+		fmt.Fprintf(w, "recsys_shard_journal_depth{shard=\"%d\"} %d\n", sh.ID, sh.JournalDepth)
+	}
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+)
+
+func clusterServer(t *testing.T, gate cluster.Gate) (*cluster.Router, *Server) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 503, Users: 60, Items: 80, RatingsPerUser: 18})
+	rt, err := cluster.New(c.Catalog, c.Ratings, cluster.Options{
+		Shards:           4,
+		Seed:             9,
+		FailureThreshold: 1,
+		Gate:             gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, New(rt)
+}
+
+func TestDebugClusterEndpoint(t *testing.T) {
+	rt, s := clusterServer(t, nil)
+	req := httptest.NewRequest(http.MethodGet, "/debug/cluster", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var st cluster.State
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if st.Seed != 9 || len(st.Shards) != 4 {
+		t.Fatalf("state = %+v, want seed 9 and 4 shards", st)
+	}
+	total := 0
+	for i, sh := range st.Shards {
+		if sh.ID != i {
+			t.Fatalf("shards not in ID order: %+v", st.Shards)
+		}
+		if !sh.Healthy {
+			t.Fatalf("shard %d unhealthy with no faults injected", sh.ID)
+		}
+		total += sh.OwnedUsers
+	}
+	if want := len(rt.Ratings().Users()); total != want {
+		t.Fatalf("owned users sum %d != community users %d", total, want)
+	}
+
+	// The endpoint only exists on cluster backends.
+	_, plain := testServer(t)
+	rec2 := httptest.NewRecorder()
+	plain.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/debug/cluster", nil))
+	if rec2.Code != http.StatusNotFound {
+		t.Fatalf("single-engine /debug/cluster status = %d, want 404", rec2.Code)
+	}
+}
+
+func TestDebugMuxServesCluster(t *testing.T) {
+	_, s := clusterServer(t, nil)
+	mux := s.DebugMux(false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/cluster", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug mux /debug/cluster status = %d", rec.Code)
+	}
+}
+
+func TestMetricsExposeShardLines(t *testing.T) {
+	sim := fault.NewClusterSim(21)
+	rt, s := clusterServer(t, sim)
+
+	// Serve a request per shard owner so requests_total moves, then
+	// kill shard 2 and serve a request it owns to grow its degraded
+	// and journaled counters.
+	users := rt.Ratings().Users()
+	byShard := map[int]int64{}
+	for _, u := range users {
+		if _, ok := byShard[rt.Owner(u)]; !ok {
+			byShard[rt.Owner(u)] = int64(u)
+		}
+	}
+	for sh := 0; sh < 4; sh++ {
+		if _, ok := byShard[sh]; !ok {
+			t.Fatalf("no user owned by shard %d", sh)
+		}
+	}
+	sim.Kill(2)
+	victim := byShard[2]
+	doJSON(t, s, http.MethodGet, "/recommend?user="+itoa(victim)+"&n=3", nil)
+	doJSON(t, s, http.MethodPost, "/rate", map[string]any{"user": victim, "item": 1, "value": 4})
+	for sh, u := range byShard {
+		if sh == 2 {
+			continue
+		}
+		doJSON(t, s, http.MethodGet, "/recommend?user="+itoa(u)+"&n=3", nil)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`recsys_shard_healthy{shard="0"} 1`,
+		`recsys_shard_healthy{shard="2"} 0`,
+		`recsys_shard_degraded_total{shard="2"} 1`,
+		`recsys_shard_journaled_writes_total{shard="2"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, shardLines(body))
+		}
+	}
+	for sh := 0; sh < 4; sh++ {
+		prefix := `recsys_shard_requests_total{shard="` + itoa(int64(sh)) + `"} `
+		line := metricLine(body, prefix)
+		if line == "" || strings.HasSuffix(line, " 0") {
+			t.Errorf("shard %d served requests but line is %q", sh, line)
+		}
+	}
+}
+
+// itoa formats a user ID without pulling in strconv repeatedly at call
+// sites.
+func itoa(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// metricLine returns the first /metrics line starting with prefix.
+func metricLine(body, prefix string) string {
+	for _, l := range strings.Split(body, "\n") {
+		if strings.HasPrefix(l, prefix) {
+			return l
+		}
+	}
+	return ""
+}
+
+// shardLines filters a /metrics body down to the shard lines for
+// readable failures.
+func shardLines(body string) string {
+	var out []string
+	for _, l := range strings.Split(body, "\n") {
+		if strings.HasPrefix(l, "recsys_shard_") {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -134,6 +134,9 @@ func (s *Server) DebugMux(withPprof bool) *http.ServeMux {
 		mux.HandleFunc("/debug/traces", s.handleTraceList)
 		mux.HandleFunc("/debug/traces/", s.handleTraceGet)
 	}
+	if _, ok := s.svc.(ClusterStater); ok {
+		mux.HandleFunc("/debug/cluster", s.handleCluster)
+	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

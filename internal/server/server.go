@@ -121,6 +121,9 @@ func New(svc core.Service, opts ...Option) *Server {
 		s.mux.HandleFunc("/debug/traces", s.handleTraceList)
 		s.mux.HandleFunc("/debug/traces/", s.handleTraceGet)
 	}
+	if _, ok := svc.(ClusterStater); ok {
+		s.mux.HandleFunc("/debug/cluster", s.handleCluster)
+	}
 	return s
 }
 
@@ -576,6 +579,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "recsys_whylow_queries_total %d\n", m.WhyLowQueries)
 	fmt.Fprintf(w, "recsys_repair_actions_total %d\n", m.RepairActions)
 	fmt.Fprintf(w, "recsys_degraded_served_total %d\n", m.DegradedServed)
+	s.writeShardMetrics(w)
 	// Per-stage pipeline counters, sorted for a stable scrape.
 	keys := make([]string, 0, len(m.Stages))
 	for k := range m.Stages {

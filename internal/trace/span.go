@@ -19,6 +19,7 @@ const (
 	KindStage    = "stage"    // one pipeline stage execution
 	KindSnapshot = "snapshot" // engine snapshot acquisition
 	KindEvent    = "event"    // zero-duration point event (resilience)
+	KindShard    = "shard"    // one shard call of a routed/scatter-gather op
 )
 
 // Attr is one structured span attribute.
