@@ -17,12 +17,21 @@
 // ring ownership, SimilarTo scatter-gathers across every shard, and
 // GET /debug/cluster reports per-shard health and routing counters.
 //
+// With -trainer the engine serves a matrix-factorisation model through
+// the versioned model lifecycle: -retrain-every N retrains in the
+// background after every N writes, POST /debug/models/retrain does it
+// on demand, GET /debug/models reports the artifact history, and
+// responses carry the serving model_version. On a sharded deployment
+// each shard trains its own model from its derived seed.
+//
 //	recserver -addr :8080 -load ./data
 //	recserver -addr :8080 -shards 4
+//	recserver -addr :8080 -trainer als-wr -retrain-every 100
 //	curl 'localhost:8080/recommend?user=1&n=5'
 //	curl 'localhost:8080/explain?user=1&item=42'
 //	curl -X POST -H "Content-Type: application/json" -d '{"user":1,"item":42,"value":4.5}' localhost:8080/rate
 //	curl 'localhost:8080/debug/traces?status=error'
+//	curl 'localhost:8080/debug/models'
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -41,33 +51,141 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/present"
+	"repro/internal/recsys/mf"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
 
+// config is the parsed flag set, separated from main so validation is
+// testable.
+type config struct {
+	addr            string
+	seed            uint64
+	load            string
+	personality     string
+	requestTimeout  time.Duration
+	drainTimeout    time.Duration
+	shedConcurrency int
+	retryAttempts   int
+	traceBuffer     int
+	traceSlowMS     int
+	traceSample     float64
+	debugAddr       string
+	debugPprof      bool
+	shards          int
+	trainer         string
+	retrainEvery    int
+	modelHistory    int
+}
+
+// validate checks the flag combination and returns every problem found
+// — all of them, so an operator fixes the command line once, not one
+// error per restart.
+func (c *config) validate() []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if c.addr == "" {
+		fail("-addr must not be empty")
+	}
+	if c.shards < 1 {
+		fail("-shards must be at least 1, got %d", c.shards)
+	}
+	if _, err := parsePersonality(c.personality); err != nil {
+		fail("-personality: %v", err)
+	}
+	if c.trainer != "" {
+		if _, err := mf.NewTrainer(c.trainer, mf.Options{}); err != nil {
+			fail("-trainer: %v", err)
+		}
+	}
+	if c.retrainEvery < 0 {
+		fail("-retrain-every must be non-negative, got %d", c.retrainEvery)
+	}
+	if c.retrainEvery > 0 && c.trainer == "" {
+		fail("-retrain-every requires -trainer")
+	}
+	if c.modelHistory < 0 {
+		fail("-model-history must be non-negative, got %d", c.modelHistory)
+	}
+	if c.modelHistory > 0 && c.trainer == "" {
+		fail("-model-history requires -trainer")
+	}
+	if c.requestTimeout < 0 {
+		fail("-request-timeout must be non-negative, got %s", c.requestTimeout)
+	}
+	if c.drainTimeout < 0 {
+		fail("-drain-timeout must be non-negative, got %s", c.drainTimeout)
+	}
+	if c.shedConcurrency < 0 {
+		fail("-shed-concurrency must be non-negative, got %d", c.shedConcurrency)
+	}
+	if c.retryAttempts < 0 {
+		fail("-retry-attempts must be non-negative, got %d", c.retryAttempts)
+	}
+	if c.traceBuffer < 1 {
+		fail("-trace-buffer must be positive, got %d", c.traceBuffer)
+	}
+	if c.traceSample < 0 || c.traceSample > 1 {
+		fail("-trace-sample must be within [0, 1], got %v", c.traceSample)
+	}
+	if c.debugPprof && c.debugAddr == "" {
+		fail("-debug-pprof requires -debug-addr")
+	}
+	return errs
+}
+
+// trainerConfig builds the lifecycle config for one engine seeded with
+// seed. Only called after validate, so the trainer name resolves.
+func (c *config) trainerConfig(seed uint64) core.TrainerConfig {
+	tr, err := mf.NewTrainer(c.trainer, mf.Options{Seed: seed})
+	if err != nil {
+		panic(err) // unreachable: validate() resolved the same name
+	}
+	return core.TrainerConfig{
+		Trainer:      tr,
+		RetrainEvery: c.retrainEvery,
+		History:      c.modelHistory,
+		Clock:        time.Now,
+	}
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	seed := flag.Uint64("seed", 42, "community seed (ignored with -load)")
-	load := flag.String("load", "", "directory with catalog.json and ratings.json")
-	personality := flag.String("personality", "neutral", "neutral, affirming, serendipitous, bold or frank")
-	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline (0 = none)")
-	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
-	shedConcurrency := flag.Int("shed-concurrency", 256, "per-stage concurrency limit before load shedding (0 = off)")
-	retryAttempts := flag.Int("retry-attempts", 2, "attempts per read stage, including the first (<2 = no retry)")
-	traceBuffer := flag.Int("trace-buffer", 256, "retained-trace ring capacity")
-	traceSlowMS := flag.Int("trace-slow-ms", 250, "always retain traces at least this slow (negative = off)")
-	traceSample := flag.Float64("trace-sample", 0, "fraction of healthy traces to retain (0..1)")
-	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/traces and pprof (empty = off)")
-	debugPprof := flag.Bool("debug-pprof", false, "expose net/http/pprof on the debug listener")
-	shards := flag.Int("shards", 1, "number of engine shards (>1 serves through the consistent-hash router)")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "community seed (ignored with -load)")
+	flag.StringVar(&cfg.load, "load", "", "directory with catalog.json and ratings.json")
+	flag.StringVar(&cfg.personality, "personality", "neutral", "neutral, affirming, serendipitous, bold or frank")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 10*time.Second, "per-request deadline (0 = none)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	flag.IntVar(&cfg.shedConcurrency, "shed-concurrency", 256, "per-stage concurrency limit before load shedding (0 = off)")
+	flag.IntVar(&cfg.retryAttempts, "retry-attempts", 2, "attempts per read stage, including the first (<2 = no retry)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "retained-trace ring capacity")
+	flag.IntVar(&cfg.traceSlowMS, "trace-slow-ms", 250, "always retain traces at least this slow (negative = off)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of healthy traces to retain (0..1)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "separate listener for /debug/traces and pprof (empty = off)")
+	flag.BoolVar(&cfg.debugPprof, "debug-pprof", false, "expose net/http/pprof on the debug listener")
+	flag.IntVar(&cfg.shards, "shards", 1, "number of engine shards (>1 serves through the consistent-hash router)")
+	flag.StringVar(&cfg.trainer, "trainer", "", "serve a trained MF model: sgd, als-wr (alias als) or rsvd (empty = default hybrid)")
+	flag.IntVar(&cfg.retrainEvery, "retrain-every", 0, "background-retrain after every N writes (0 = explicit retrain only; requires -trainer)")
+	flag.IntVar(&cfg.modelHistory, "model-history", 0, "model generations retained for rollback (0 = default; requires -trainer)")
 	flag.Parse()
 
-	catalog, ratings, err := loadOrGenerate(*load, *seed)
+	if errs := cfg.validate(); len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "recserver: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "run with -h for usage\n")
+		os.Exit(2)
+	}
+
+	catalog, ratings, err := loadOrGenerate(cfg.load, cfg.seed)
 	if err != nil {
 		log.Fatalf("recserver: %v", err)
 	}
-	p, err := parsePersonality(*personality)
+	p, err := parsePersonality(cfg.personality)
 	if err != nil {
 		log.Fatalf("recserver: %v", err)
 	}
@@ -75,18 +193,18 @@ func main() {
 	// root span, the engine's pipelines hang stage/snapshot/event spans
 	// under it. The trace package itself never reads the wall clock
 	// (recsyslint's determinism rule); the binary is where time.Now gets
-	// wired in.
+	// wired in — same for training durations via TrainerConfig.Clock.
 	tracer := trace.New(trace.Options{
-		BufferSize:    *traceBuffer,
-		SlowThreshold: time.Duration(*traceSlowMS) * time.Millisecond,
-		SampleRate:    *traceSample,
+		BufferSize:    cfg.traceBuffer,
+		SlowThreshold: time.Duration(cfg.traceSlowMS) * time.Millisecond,
+		SampleRate:    cfg.traceSample,
 		Clock:         time.Now,
-		Seed:          *seed,
+		Seed:          cfg.seed,
 	})
 	resCfg := core.ResilienceConfig{
-		MaxConcurrent: *shedConcurrency,
-		RetryAttempts: *retryAttempts,
-		RetrySeed:     *seed,
+		MaxConcurrent: cfg.shedConcurrency,
+		RetryAttempts: cfg.retryAttempts,
+		RetrySeed:     cfg.seed,
 	}
 	// The HTTP layer consumes the Service interface, not *core.Engine:
 	// with -shards > 1 the consistent-hash router drops in here without
@@ -94,36 +212,44 @@ func main() {
 	// own resilience chain; the tracer is shared so a scatter-gather
 	// renders as one tree.
 	var svc core.Service
-	if *shards > 1 {
-		rt, err := cluster.New(catalog, ratings, cluster.Options{
-			Shards:      *shards,
-			Seed:        *seed,
+	if cfg.shards > 1 {
+		clusterOpts := cluster.Options{
+			Shards:      cfg.shards,
+			Seed:        cfg.seed,
 			Personality: p,
 			Tracer:      tracer,
 			Resilience:  &resCfg,
-		})
+		}
+		if cfg.trainer != "" {
+			clusterOpts.Trainer = cfg.trainerConfig
+		}
+		rt, err := cluster.New(catalog, ratings, clusterOpts)
 		if err != nil {
 			log.Fatalf("recserver: %v", err)
 		}
 		svc = rt
 	} else {
-		eng, err := core.New(catalog, ratings,
-			core.WithSeed(*seed),
+		engOpts := []core.Option{
+			core.WithSeed(cfg.seed),
 			core.WithPersonality(p),
 			core.WithTracer(tracer),
 			core.WithResilience(resCfg),
-		)
+		}
+		if cfg.trainer != "" {
+			engOpts = append(engOpts, core.WithTrainer(cfg.trainerConfig(cfg.seed)))
+		}
+		eng, err := core.New(catalog, ratings, engOpts...)
 		if err != nil {
 			log.Fatalf("recserver: %v", err)
 		}
 		svc = eng
 	}
 	h := server.New(svc,
-		server.WithRequestTimeout(*requestTimeout),
+		server.WithRequestTimeout(cfg.requestTimeout),
 		server.WithTracer(tracer),
 	)
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              cfg.addr,
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -132,10 +258,10 @@ func main() {
 	// asked) off the serving port, so debug traffic is never load
 	// balanced and can be firewalled separately.
 	var debugSrv *http.Server
-	if *debugAddr != "" {
+	if cfg.debugAddr != "" {
 		debugSrv = &http.Server{
-			Addr:              *debugAddr,
-			Handler:           h.DebugMux(*debugPprof),
+			Addr:              cfg.debugAddr,
+			Handler:           h.DebugMux(cfg.debugPprof),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -143,7 +269,7 @@ func main() {
 				log.Printf("recserver: debug listener: %v", err)
 			}
 		}()
-		log.Printf("recserver: debug endpoints on %s (pprof %v)", *debugAddr, *debugPprof)
+		log.Printf("recserver: debug endpoints on %s (pprof %v)", cfg.debugAddr, cfg.debugPprof)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -151,8 +277,12 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 
-	log.Printf("recserver: %d items, %d ratings, %d shard(s), personality %s, listening on %s",
-		catalog.Len(), ratings.Len(), *shards, p, *addr)
+	trainerName := cfg.trainer
+	if trainerName == "" {
+		trainerName = "hybrid (untrained)"
+	}
+	log.Printf("recserver: %d items, %d ratings, %d shard(s), model %s, personality %s, listening on %s",
+		catalog.Len(), ratings.Len(), cfg.shards, trainerName, p, cfg.addr)
 
 	select {
 	case err := <-done:
@@ -163,9 +293,9 @@ func main() {
 
 	// Drain: advertise unhealthiness first so load balancers stop
 	// sending new work, then let in-flight requests finish.
-	log.Printf("recserver: shutdown signal received, draining for up to %s", *drainTimeout)
+	log.Printf("recserver: shutdown signal received, draining for up to %s", cfg.drainTimeout)
 	h.StartDrain()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("recserver: drain deadline exceeded, closing remaining connections: %v", err)

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// goodConfig mirrors the flag defaults.
+func goodConfig() config {
+	return config{
+		addr:            ":8080",
+		seed:            42,
+		personality:     "neutral",
+		requestTimeout:  10 * time.Second,
+		drainTimeout:    15 * time.Second,
+		shedConcurrency: 256,
+		retryAttempts:   2,
+		traceBuffer:     256,
+		traceSlowMS:     250,
+		shards:          1,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	cfg := goodConfig()
+	if errs := cfg.validate(); len(errs) != 0 {
+		t.Fatalf("default config rejected: %v", errs)
+	}
+}
+
+func TestValidateAcceptsTrainerCombos(t *testing.T) {
+	for _, name := range []string{"sgd", "als", "als-wr", "rsvd"} {
+		cfg := goodConfig()
+		cfg.trainer = name
+		cfg.retrainEvery = 50
+		cfg.modelHistory = 4
+		cfg.shards = 4
+		if errs := cfg.validate(); len(errs) != 0 {
+			t.Fatalf("trainer %q rejected: %v", name, errs)
+		}
+	}
+}
+
+func TestValidateRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*config)
+		want string
+	}{
+		{"empty addr", func(c *config) { c.addr = "" }, "-addr"},
+		{"zero shards", func(c *config) { c.shards = 0 }, "-shards"},
+		{"negative shards", func(c *config) { c.shards = -3 }, "-shards"},
+		{"unknown personality", func(c *config) { c.personality = "sassy" }, "-personality"},
+		{"unknown trainer", func(c *config) { c.trainer = "deep-wide" }, "-trainer"},
+		{"negative retrain-every", func(c *config) { c.retrainEvery = -1 }, "-retrain-every"},
+		{"retrain-every without trainer", func(c *config) { c.retrainEvery = 10 }, "requires -trainer"},
+		{"negative model-history", func(c *config) { c.modelHistory = -1 }, "-model-history"},
+		{"model-history without trainer", func(c *config) { c.modelHistory = 3 }, "requires -trainer"},
+		{"negative request timeout", func(c *config) { c.requestTimeout = -time.Second }, "-request-timeout"},
+		{"negative drain timeout", func(c *config) { c.drainTimeout = -time.Second }, "-drain-timeout"},
+		{"negative shed concurrency", func(c *config) { c.shedConcurrency = -1 }, "-shed-concurrency"},
+		{"negative retry attempts", func(c *config) { c.retryAttempts = -1 }, "-retry-attempts"},
+		{"zero trace buffer", func(c *config) { c.traceBuffer = 0 }, "-trace-buffer"},
+		{"trace sample above one", func(c *config) { c.traceSample = 1.5 }, "-trace-sample"},
+		{"trace sample negative", func(c *config) { c.traceSample = -0.1 }, "-trace-sample"},
+		{"pprof without debug addr", func(c *config) { c.debugPprof = true }, "-debug-pprof requires -debug-addr"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := goodConfig()
+			tc.edit(&cfg)
+			errs := cfg.validate()
+			if len(errs) == 0 {
+				t.Fatal("config accepted")
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error mentions %q: %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+// TestValidateCollectsEveryProblem: a command line with several
+// mistakes reports all of them at once, not just the first.
+func TestValidateCollectsEveryProblem(t *testing.T) {
+	cfg := goodConfig()
+	cfg.shards = 0
+	cfg.trainer = "nonsense"
+	cfg.traceSample = 2
+	errs := cfg.validate()
+	if len(errs) != 3 {
+		t.Fatalf("got %d errors, want 3: %v", len(errs), errs)
+	}
+}
+
+func TestTrainerConfigResolvesSeed(t *testing.T) {
+	cfg := goodConfig()
+	cfg.trainer = "als"
+	cfg.retrainEvery = 25
+	cfg.modelHistory = 2
+	tc := cfg.trainerConfig(99)
+	if tc.Trainer.Name() != "als-wr" {
+		t.Fatalf("trainer = %q", tc.Trainer.Name())
+	}
+	if tc.RetrainEvery != 25 || tc.History != 2 || tc.Clock == nil {
+		t.Fatalf("config = %+v", tc)
+	}
+}

@@ -1,0 +1,211 @@
+// Command trainbench measures the model lifecycle's three costs for
+// every MF trainer: full training time, incremental fold-in latency
+// (the write path between rebuilds), and read-path latency while a
+// background rebuild trains and swaps underneath the readers — the
+// number the lock-free snapshot design exists to keep flat. The result
+// is written as JSON for trend tracking (BENCH_train.json at the repo
+// root is the committed baseline).
+//
+//	trainbench -users 300 -items 300 -reads 4000 -out BENCH_train.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/recsys/mf"
+	"repro/internal/stats"
+)
+
+// result is one trainer's measurements.
+type result struct {
+	Trainer      string  `json:"trainer"`
+	TrainSeconds float64 `json:"train_seconds"`
+	// Fold-in latency of a single-user RebindMatrix, microseconds.
+	FoldInP50Micros float64 `json:"foldin_p50_us"`
+	FoldInP99Micros float64 `json:"foldin_p99_us"`
+	// Read-path latency while a background rebuild runs, microseconds.
+	ReadsDuringRebuild int     `json:"reads_during_rebuild"`
+	ReadP50Micros      float64 `json:"read_p50_us"`
+	ReadP99Micros      float64 `json:"read_p99_us"`
+	// Version swap observed by the readers, proving the rebuild
+	// completed inside the measured window.
+	VersionBefore uint64 `json:"version_before"`
+	VersionAfter  uint64 `json:"version_after"`
+}
+
+// report is the JSON document trainbench emits.
+type report struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	Seed      uint64   `json:"seed"`
+	Users     int      `json:"users"`
+	Items     int      `json:"items"`
+	Factors   int      `json:"factors"`
+	Epochs    int      `json:"epochs"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "community seed")
+	users := flag.Int("users", 300, "community users")
+	items := flag.Int("items", 300, "community items")
+	factors := flag.Int("factors", 16, "latent dimensionality")
+	epochs := flag.Int("epochs", 20, "training epochs / ALS sweeps")
+	foldins := flag.Int("foldins", 500, "fold-in operations to sample")
+	readers := flag.Int("readers", 8, "concurrent readers during the rebuild")
+	reads := flag.Int("reads", 4000, "minimum reads to sample during the rebuild")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	com := dataset.Movies(dataset.Config{Seed: *seed, Users: *users, Items: *items, RatingsPerUser: 25})
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Seed:      *seed,
+		Users:     *users,
+		Items:     *items,
+		Factors:   *factors,
+		Epochs:    *epochs,
+	}
+	opts := mf.Options{Seed: *seed, Factors: *factors, Epochs: *epochs}
+	for _, name := range mf.TrainerNames() {
+		r, err := run(com, name, opts, *foldins, *readers, *reads)
+		if err != nil {
+			log.Fatalf("trainbench: %s: %v", name, err)
+		}
+		rep.Results = append(rep.Results, r)
+		log.Printf("trainbench: %-6s train=%.2fs foldin p99=%0.0fus reads-during-rebuild p99=%0.0fus (v%d -> v%d)",
+			name, r.TrainSeconds, r.FoldInP99Micros, r.ReadP99Micros, r.VersionBefore, r.VersionAfter)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("trainbench: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("trainbench: %v", err)
+	}
+	log.Printf("trainbench: wrote %s", *out)
+}
+
+func run(com *dataset.Community, name string, opts mf.Options, foldins, readers, reads int) (result, error) {
+	trainer, err := mf.NewTrainer(name, opts)
+	if err != nil {
+		return result{}, err
+	}
+
+	// Full training time, measured directly on the trainer.
+	t0 := time.Now()
+	rec := trainer.Train(com.Ratings, com.Catalog)
+	trainSeconds := time.Since(t0).Seconds()
+	md, ok := rec.(*mf.Model)
+	if !ok {
+		return result{}, fmt.Errorf("trainer %s produced %T, want *mf.Model", name, rec)
+	}
+
+	// Fold-in latency: re-solve one user at a time against the frozen
+	// item factors, cycling through the community's users.
+	userIDs := com.Ratings.Users()
+	itemIDs := com.Catalog.Items()
+	foldDurs := make([]float64, 0, foldins)
+	m := com.Ratings.Clone()
+	for i := 0; i < foldins; i++ {
+		u := userIDs[i%len(userIDs)]
+		m.Set(u, itemIDs[i%len(itemIDs)].ID, float64(1+i%5))
+		f0 := time.Now()
+		_ = md.RebindMatrix(m, u)
+		foldDurs = append(foldDurs, time.Since(f0).Seconds()*1e6)
+	}
+
+	// Read-path latency during a background rebuild: readers hammer
+	// Recommend while one explicit Retrain trains and swaps. Reads
+	// continue until the swap lands AND the minimum sample is in, so
+	// the p99 covers the whole rebuild window including the swap.
+	eng, err := core.New(com.Catalog, com.Ratings, core.WithSeed(opts.Seed),
+		core.WithTrainer(core.TrainerConfig{Trainer: trainer}))
+	if err != nil {
+		return result{}, err
+	}
+	versionBefore := eng.ModelVersion()
+
+	var (
+		mu       sync.Mutex
+		readDurs []float64
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+	)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, 0, reads/readers+1)
+			for i := w; ; i += readers {
+				select {
+				case <-stop:
+					mu.Lock()
+					readDurs = append(readDurs, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				u := userIDs[i%len(userIDs)]
+				r0 := time.Now()
+				if _, err := eng.RecommendContext(context.Background(), u, 5); err != nil {
+					log.Printf("trainbench: read during rebuild: %v", err)
+				}
+				local = append(local, time.Since(r0).Seconds()*1e6)
+			}
+		}(w)
+	}
+	// Give the readers a head start so the rebuild races warm traffic.
+	for eng.Metrics().Recommendations < readers {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := eng.Retrain(context.Background()); err != nil {
+		close(stop)
+		wg.Wait()
+		return result{}, fmt.Errorf("retrain: %w", err)
+	}
+	for eng.Metrics().Recommendations < reads {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// A couple of writes prove the folded write path stays live on the
+	// new generation too (not timed; sanity only).
+	for i := 0; i < 3; i++ {
+		u := model.UserID(990000 + i)
+		if err := eng.Rate(u, itemIDs[i].ID, 4); err != nil {
+			return result{}, fmt.Errorf("post-swap rate: %w", err)
+		}
+	}
+
+	return result{
+		Trainer:            name,
+		TrainSeconds:       trainSeconds,
+		FoldInP50Micros:    stats.Quantile(foldDurs, 0.50),
+		FoldInP99Micros:    stats.Quantile(foldDurs, 0.99),
+		ReadsDuringRebuild: len(readDurs),
+		ReadP50Micros:      stats.Quantile(readDurs, 0.50),
+		ReadP99Micros:      stats.Quantile(readDurs, 0.99),
+		VersionBefore:      versionBefore,
+		VersionAfter:       eng.ModelVersion(),
+	}, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/core/servicetest"
 	"repro/internal/model"
+	"repro/internal/recsys/mf"
 )
 
 func TestRouterServiceConformance(t *testing.T) {
@@ -24,4 +25,28 @@ func TestRouterServiceConformance(t *testing.T) {
 			return rt
 		})
 	}
+}
+
+// TestRouterMidRetrainConformance runs the suite against a 4-shard
+// cluster whose shard engines serve MF models and retrain in the
+// background after every single write — the harshest version-swap
+// schedule. Every answer the suite checks must hold while models are
+// being swapped underneath it.
+func TestRouterMidRetrainConformance(t *testing.T) {
+	servicetest.Run(t, "router-4-shard-mid-retrain", func(t *testing.T, cat *model.Catalog, ratings *model.Matrix) core.Service {
+		rt, err := New(cat, ratings, Options{
+			Shards: 4,
+			Seed:   7,
+			Trainer: func(shardSeed uint64) core.TrainerConfig {
+				return core.TrainerConfig{
+					Trainer:      mf.SGD{Opts: mf.Options{Seed: shardSeed, Factors: 8, Epochs: 6}},
+					RetrainEvery: 1,
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("cluster.New: %v", err)
+		}
+		return rt
+	})
 }

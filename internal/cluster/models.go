@@ -1,0 +1,49 @@
+// Per-shard model lifecycle surface: the Router exposes every shard
+// engine's versioned-model state and a fan-out retrain, mirroring the
+// single-engine ModelsState/Retrain API so the HTTP layer serves both
+// backends through the same probes.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ShardModels pairs a shard ID with its engine's model-lifecycle
+// state, as reported by /debug/models on a sharded deployment.
+type ShardModels struct {
+	Shard  int              `json:"shard"`
+	Models core.ModelsState `json:"models"`
+}
+
+// ShardModels reports every shard's lifecycle state in shard-ID order.
+// Down shards are reported too: the lifecycle is router-side state and
+// a shard marked unreachable still knows what model it would serve.
+func (rt *Router) ShardModels() []ShardModels {
+	topo := rt.topo.Load()
+	out := make([]ShardModels, 0, len(topo.order))
+	for _, sh := range topo.order {
+		out = append(out, ShardModels{Shard: sh.id, Models: sh.eng.ModelsState()})
+	}
+	return out
+}
+
+// Retrain triggers a synchronous retrain on every shard engine, in
+// shard-ID order so the version bumps are deterministic. Per-shard
+// failures are joined; core.ErrNoTrainer and core.ErrTrainInProgress
+// survive errors.Is through the join, so the frontend keeps its
+// status mapping.
+func (rt *Router) Retrain(ctx context.Context) error {
+	topo := rt.topo.Load()
+	var errs []error
+	for _, sh := range topo.order {
+		if err := sh.eng.Retrain(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", sh.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/recsys/mf"
+)
+
+func mfTrainerFactory(retrainEvery int) func(uint64) core.TrainerConfig {
+	return func(shardSeed uint64) core.TrainerConfig {
+		return core.TrainerConfig{
+			Trainer:      mf.SGD{Opts: mf.Options{Seed: shardSeed, Factors: 8, Epochs: 4}},
+			RetrainEvery: retrainEvery,
+		}
+	}
+}
+
+func TestShardModelsReportsEveryShard(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Trainer: mfTrainerFactory(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := rt.ShardModels()
+	if len(shards) != 4 {
+		t.Fatalf("got %d shard states", len(shards))
+	}
+	sums := map[string]int{}
+	for want, sm := range shards {
+		if sm.Shard != want {
+			t.Fatalf("shard order: %d at index %d", sm.Shard, want)
+		}
+		if !sm.Models.Enabled || sm.Models.ServingVersion != 1 || sm.Models.Trainer != "sgd" {
+			t.Fatalf("shard %d state = %+v", sm.Shard, sm.Models)
+		}
+		sums[sm.Models.Artifacts[0].Checksum]++
+	}
+	// Shards hold disjoint user slices and derived seeds, so the
+	// per-shard models must differ.
+	if len(sums) != 4 {
+		t.Fatalf("shard model checksums collided: %v", sums)
+	}
+}
+
+// TestShardModelsDeterministicInClusterSeed: equal clusters train equal
+// per-shard models — the property journal replay and rebuild depend on.
+func TestShardModelsDeterministicInClusterSeed(t *testing.T) {
+	com := chaosCommunity(t)
+	build := func() *Router {
+		rt, err := New(com.Catalog, com.Ratings, Options{
+			Shards: 4, Seed: 9, Trainer: mfTrainerFactory(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	a, b := build(), build()
+	sa, sb := a.ShardModels(), b.ShardModels()
+	for k := range sa {
+		ca := sa[k].Models.Artifacts[0].Checksum
+		cb := sb[k].Models.Artifacts[0].Checksum
+		if ca != cb {
+			t.Fatalf("shard %d checksums diverge: %s vs %s", sa[k].Shard, ca, cb)
+		}
+	}
+}
+
+func TestRouterRetrainBumpsEveryShard(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 3, Seed: 9, Trainer: mfTrainerFactory(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range rt.ShardModels() {
+		if sm.Models.ServingVersion != 2 {
+			t.Fatalf("shard %d at version %d after cluster retrain", sm.Shard, sm.Models.ServingVersion)
+		}
+	}
+}
+
+func TestRouterWithoutTrainerReportsDisabled(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range rt.ShardModels() {
+		if sm.Models.Enabled {
+			t.Fatalf("shard %d claims a lifecycle: %+v", sm.Shard, sm.Models)
+		}
+	}
+	err = rt.Retrain(context.Background())
+	if !errors.Is(err, core.ErrNoTrainer) {
+		t.Fatalf("err = %v, want wrapped ErrNoTrainer", err)
+	}
+}
+
+// TestJournalReplayRetrainsHealedShard: writes journaled while a shard
+// is down replay through the normal write path at heal, so they fold
+// into the healed shard's model and fire its retrain trigger exactly
+// like live writes.
+func TestJournalReplayRetrainsHealedShard(t *testing.T) {
+	com := chaosCommunity(t)
+	sim := fault.NewClusterSim(11)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9, Gate: sim, FailureThreshold: 1, ProbeEvery: 2,
+		Trainer: mfTrainerFactory(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := com.Ratings.Users()
+	victimShard := rt.Owner(users[0])
+	var victims []model.UserID
+	for _, u := range users {
+		if rt.Owner(u) == victimShard {
+			victims = append(victims, u)
+		}
+	}
+	if len(victims) < 2 {
+		t.Skip("not enough users on the victim shard")
+	}
+	sim.Kill(victimShard)
+	// Trip the breaker, then journal writes against the down shard.
+	_, _ = rt.RecommendContext(context.Background(), victims[0], 3)
+	item := com.Catalog.Items()[0].ID
+	for _, u := range victims {
+		if err := rt.Rate(u, item, 4.5); err != nil {
+			t.Fatalf("journaled write: %v", err)
+		}
+	}
+	sim.Heal()
+	// Probing is arrival-count based: keep reading until the shard
+	// heals and its journal replays.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, _ = rt.RecommendContext(context.Background(), victims[0], 3)
+		st := rt.ShardModels()[victimShard]
+		if st.Models.DataRev >= uint64(len(victims)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never replayed; state = %+v", st.Models)
+		}
+	}
+	// The replayed writes fired the every-write retrain trigger.
+	deadline = time.Now().Add(10 * time.Second)
+	for rt.ShardModels()[victimShard].Models.ServingVersion < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("healed shard never retrained; state = %+v", rt.ShardModels()[victimShard].Models)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The replayed rating is visible on the healed shard.
+	if _, ok := rt.Ratings().Get(victims[0], item); !ok {
+		t.Fatal("replayed rating not visible after heal")
+	}
+}

@@ -80,6 +80,15 @@ type Options struct {
 	Resilience *core.ResilienceConfig
 	// Gate is the chaos seam (see Gate); nil disables fault injection.
 	Gate Gate
+
+	// Trainer, when non-nil, installs a versioned model lifecycle
+	// (core.WithTrainer) on every shard engine. It is called once per
+	// shard with the shard's derived seed, so each shard trains its
+	// own model deterministically in the cluster seed and shard ID —
+	// equal clusters train equal per-shard models. Journal replay at
+	// shard heal flows through the normal write path, so replayed
+	// writes fold in and trigger retrains exactly like live ones.
+	Trainer func(shardSeed uint64) core.TrainerConfig
 }
 
 func (o *Options) withDefaults() Options {
@@ -217,8 +226,9 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts Options) (*Router, erro
 // per-shard resilience chain. The shard seed is derived from the
 // cluster seed and the shard ID, so equal clusters behave identically.
 func (rt *Router) newShardEngine(id int, m *model.Matrix) (*core.Engine, error) {
+	shardSeed := rt.opts.Seed ^ splitmix64(uint64(int64(id))+0x5bd1)
 	opts := []core.Option{
-		core.WithSeed(rt.opts.Seed ^ splitmix64(uint64(int64(id))+0x5bd1)),
+		core.WithSeed(shardSeed),
 		core.WithPersonality(rt.opts.Personality),
 	}
 	if rt.opts.Tracer != nil {
@@ -226,6 +236,9 @@ func (rt *Router) newShardEngine(id int, m *model.Matrix) (*core.Engine, error) 
 	}
 	if rt.opts.Resilience != nil {
 		opts = append(opts, core.WithResilience(*rt.opts.Resilience))
+	}
+	if rt.opts.Trainer != nil {
+		opts = append(opts, core.WithTrainer(rt.opts.Trainer(shardSeed)))
 	}
 	eng, err := core.New(rt.cat, m, opts...)
 	if err != nil {

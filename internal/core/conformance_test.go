@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/core/servicetest"
 	"repro/internal/model"
+	"repro/internal/recsys/mf"
 )
 
 func TestEngineServiceConformance(t *testing.T) {
@@ -22,4 +23,25 @@ func TestEngineServiceConformance(t *testing.T) {
 		}
 		return eng
 	})
+}
+
+// TestMFEngineServiceConformance runs the identical suite against an
+// engine serving each MF trainer through the versioned lifecycle: a
+// trainer-managed model must be behaviourally indistinguishable from
+// the stock hybrid at the Service seam.
+func TestMFEngineServiceConformance(t *testing.T) {
+	for _, name := range mf.TrainerNames() {
+		trainer, err := mf.NewTrainer(name, mf.Options{Seed: 7, Factors: 8, Epochs: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servicetest.Run(t, "mf-"+name, func(t *testing.T, cat *model.Catalog, ratings *model.Matrix) core.Service {
+			eng, err := core.New(cat, ratings, core.WithSeed(7),
+				core.WithTrainer(core.TrainerConfig{Trainer: trainer}))
+			if err != nil {
+				t.Fatalf("core.New: %v", err)
+			}
+			return eng
+		})
+	}
 }

@@ -91,6 +91,13 @@ type Engine struct {
 	customRec recsys.Recommender
 	customExp explain.Explainer
 
+	// trainerCfg is set by WithTrainer; lc is the resulting model
+	// lifecycle (background trainers, versioned artifact store,
+	// fold-in at swap time — see lifecycle.go). Nil without the
+	// option.
+	trainerCfg *TrainerConfig
+	lc         *lifecycle
+
 	// pipes are the composed read-operation pipelines; extraICs are
 	// user interceptors wrapped outside the stock metrics/deadline/
 	// recovery chain, and stageTimeout bounds any single stage (0 =
@@ -159,6 +166,12 @@ type snapshot struct {
 	// new matrix: reads RLock it, writes Lock it and mutate the matrix
 	// in place. Nil on the lock-free path.
 	guard *sync.RWMutex
+
+	// modelVersion is the artifact version of the serving model when
+	// the engine runs a versioned lifecycle (WithTrainer), 0
+	// otherwise. Carried into Presentations and Explanations so
+	// responses are attributable to a model generation.
+	modelVersion uint64
 }
 
 // Stats are the engine's usage counters. The survey's Section 3 lists
@@ -275,6 +288,16 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		opt(e)
 	}
 
+	if e.trainerCfg != nil {
+		if e.trainerCfg.Trainer == nil {
+			return nil, errors.New("core: WithTrainer requires a non-nil Trainer")
+		}
+		if e.customRec != nil {
+			return nil, errors.New("core: WithTrainer conflicts with WithRecommender")
+		}
+		e.lc = newLifecycle(*e.trainerCfg)
+	}
+
 	s := &snapshot{
 		ratings: ratings,
 		knn:     cf.NewUserKNN(ratings, cat, cf.Options{}),
@@ -285,6 +308,11 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 	if e.customRec != nil {
 		s.rec = e.customRec
 		s.editable = false
+	}
+	if e.lc != nil {
+		if err := e.initialTrain(s); err != nil {
+			return nil, err
+		}
 	}
 	if e.customExp != nil {
 		s.explainer = e.customExp
@@ -354,6 +382,20 @@ func (e *Engine) rebuild(prev *snapshot, m *model.Matrix, touched ...model.UserI
 			s.rec = prev.rec
 		}
 		s.editable = false
+	}
+	if e.lc != nil {
+		// The lifecycle-served model absorbs the write by incremental
+		// fold-in when it can; a non-rebindable model is carried as-is
+		// (its artifact is immutable — the background retrain, not the
+		// write path, refreshes it). The serving version is unchanged
+		// either way: fold-in updates the model in place semantically,
+		// it does not publish a generation.
+		rec := prev.rec
+		if rb, ok := rec.(recsys.MatrixRebinder); ok {
+			rec = rb.RebindMatrix(m, touched...)
+			e.lc.foldIns.Add(int64(len(touched)))
+		}
+		e.groundModel(s, rec, prev.modelVersion)
 	}
 	if e.customExp != nil {
 		if rb, ok := prev.explainer.(explain.MatrixRebinder); ok {
@@ -492,11 +534,17 @@ func (e *Engine) mutate(u model.UserID, apply func(*model.Matrix)) {
 		apply(cur.ratings)
 		cur.guard.Unlock()
 		e.snap.Store(e.rebuild(cur, cur.ratings, u))
-		return
+	} else {
+		m := cur.ratings.CloneShared()
+		apply(m)
+		e.snap.Store(e.rebuild(cur, m, u))
 	}
-	m := cur.ratings.CloneShared()
-	apply(m)
-	e.snap.Store(e.rebuild(cur, m, u))
+	// The lifecycle write counter advances after the snapshot publish,
+	// so a triggered background retrain always captures a matrix that
+	// includes the write that triggered it.
+	if e.lc != nil && e.lc.noteWrite(u) {
+		e.retrainAsync()
+	}
 }
 
 // ErrNonFiniteValue is returned when a rating value or influence

@@ -1,0 +1,433 @@
+// The versioned model lifecycle: an Engine configured with WithTrainer
+// serves a trained model published through an immutable artifact store
+// (internal/modelstore) instead of the default hybrid stack. Training
+// runs off-snapshot — in New synchronously, afterwards in a background
+// goroutine triggered deterministically every RetrainEvery writes or
+// explicitly via Retrain — and the finished model is swapped in with a
+// single snapshot publish, so concurrent reads never block on, or
+// observe, a half-trained model. Writes that land while a training run
+// is in flight are folded into the fresh model at swap time through
+// the recsys.MatrixRebinder seam, so the swap never loses data the
+// readers already saw.
+
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/modelstore"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"sync/atomic"
+)
+
+// TrainerConfig configures the versioned model lifecycle installed
+// with WithTrainer.
+type TrainerConfig struct {
+	// Trainer produces the serving model. Required.
+	Trainer recsys.ModelTrainer
+	// RetrainEvery triggers a background retrain after every
+	// RetrainEvery-th write (counted in snapshot generations, so the
+	// trigger is deterministic in the write sequence). 0 disables the
+	// write trigger; Retrain remains available.
+	RetrainEvery int
+	// History is the artifact-store ring depth (serving generation
+	// included); values below 1 select modelstore.DefaultHistory.
+	History int
+	// Clock, when non-nil, times training runs for ModelsState and
+	// metrics. Nil keeps the engine clockless (durations read as 0);
+	// tests inject a fake, recserver injects time.Now.
+	Clock func() time.Time
+}
+
+// WithTrainer installs a versioned model lifecycle: cfg.Trainer is run
+// synchronously for the initial model, then re-run in the background
+// (every cfg.RetrainEvery writes, or on Retrain) with the finished
+// model atomically swapped into the serving snapshot. Conflicts with
+// WithRecommender — an engine serves either a fixed recommender or a
+// trainer-managed one, not both.
+func WithTrainer(cfg TrainerConfig) Option {
+	return func(e *Engine) { e.trainerCfg = &cfg }
+}
+
+// ErrNoTrainer is returned by lifecycle operations on an engine built
+// without WithTrainer.
+var ErrNoTrainer = errors.New("core: no trainer configured")
+
+// ErrTrainInProgress is returned by Retrain when a training run is
+// already in flight; the engine trains at most one model at a time.
+var ErrTrainInProgress = errors.New("core: a training run is already in flight")
+
+// lifecycle is the engine's training/publishing machinery. The store
+// and the atomic counters are safe for concurrent use; dataRev,
+// trainedRev and touched are guarded by Engine.writeMu.
+type lifecycle struct {
+	trainer      recsys.ModelTrainer
+	retrainEvery int
+	clock        func() time.Time
+	store        *modelstore.Store[recsys.Recommender]
+
+	// training is the single-flight gate: CompareAndSwap(false, true)
+	// admits exactly one training run at a time.
+	training atomic.Bool
+
+	// dataRev counts snapshot-publishing writes; trainedRev is dataRev
+	// as of the last swapped-in model; touched maps users to the
+	// revision of their last write, so a swap knows which users raced
+	// the training run and must be folded in. All guarded by writeMu.
+	dataRev    uint64
+	trainedRev uint64
+	touched    map[model.UserID]uint64
+
+	trainsStarted   atomic.Int64
+	trainsCompleted atomic.Int64
+	trainsFailed    atomic.Int64
+	foldIns         atomic.Int64 // write-path fold-ins (RebindMatrix on mutate)
+	swapFoldIns     atomic.Int64 // swap-time fold-ins of raced writes
+	lastTrainNanos  atomic.Int64
+	trainNanosTotal atomic.Int64
+}
+
+func newLifecycle(cfg TrainerConfig) *lifecycle {
+	return &lifecycle{
+		trainer:      cfg.Trainer,
+		retrainEvery: cfg.RetrainEvery,
+		clock:        cfg.Clock,
+		store:        modelstore.New[recsys.Recommender](cfg.History),
+		touched:      map[model.UserID]uint64{},
+	}
+}
+
+// selfExplaining is the seam a lifecycle-served model exposes to have
+// its explanations grounded in the model itself (e.g. mf factor
+// overlap) rather than the default substrate.
+type selfExplaining interface{ Explainer() explain.Explainer }
+
+// checksummed is probed at publish time so artifacts of models that
+// can digest themselves (e.g. *mf.Model) carry a provenance checksum.
+type checksummed interface{ Checksum() uint64 }
+
+func checksumOf(rec recsys.Recommender) uint64 {
+	if c, ok := rec.(checksummed); ok {
+		return c.Checksum()
+	}
+	return 0
+}
+
+// groundModel installs a lifecycle-served model into a snapshot:
+// serving recommender, model version, and — unless a custom explainer
+// overrides it — the model's own explainer (which also answers why-low
+// questions when it can).
+func (e *Engine) groundModel(s *snapshot, rec recsys.Recommender, version uint64) {
+	s.rec = rec
+	s.modelVersion = version
+	s.editable = false
+	if e.customExp != nil {
+		return
+	}
+	if se, ok := rec.(selfExplaining); ok {
+		x := se.Explainer()
+		s.explainer = x
+		if le, ok := x.(present.LowExplainer); ok {
+			s.low = le
+		}
+	}
+}
+
+// servingSnapshot builds the next snapshot generation for a model swap:
+// same matrix and substrate as cur, new serving model and version.
+func (e *Engine) servingSnapshot(cur *snapshot, rec recsys.Recommender, version uint64) *snapshot {
+	s := &snapshot{
+		ratings:   cur.ratings,
+		guard:     cur.guard,
+		knn:       cur.knn,
+		bayes:     cur.bayes,
+		kw:        cur.kw,
+		low:       cur.low,
+		degraded:  cur.degraded,
+		explainer: cur.explainer,
+	}
+	e.groundModel(s, rec, version)
+	return s
+}
+
+// safeTrain runs the trainer, converting a panic or a nil model into
+// an error so a background retrain can never take the process down.
+func safeTrain(t recsys.ModelTrainer, m *model.Matrix, cat *model.Catalog) (rec recsys.Recommender, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: trainer %q panicked: %v", t.Name(), r)
+		}
+	}()
+	rec = t.Train(m, cat)
+	if rec == nil {
+		return nil, fmt.Errorf("core: trainer %q returned a nil model", t.Name())
+	}
+	return rec, nil
+}
+
+// initialTrain runs the synchronous first training in New and grounds
+// the result in the initial snapshot.
+func (e *Engine) initialTrain(s *snapshot) error {
+	lc := e.lc
+	lc.trainsStarted.Add(1)
+	rec, d, err := lc.timedTrain(s.ratings, e.catalog)
+	if err != nil {
+		lc.trainsFailed.Add(1)
+		return err
+	}
+	lc.recordTrain(d)
+	art := lc.store.Publish(lc.trainer.Name(), 0, checksumOf(rec), rec)
+	e.groundModel(s, rec, art.Version)
+	lc.trainsCompleted.Add(1)
+	return nil
+}
+
+// timedTrain runs safeTrain under the injected clock (if any).
+func (lc *lifecycle) timedTrain(m *model.Matrix, cat *model.Catalog) (recsys.Recommender, time.Duration, error) {
+	var start time.Time
+	if lc.clock != nil {
+		start = lc.clock()
+	}
+	rec, err := safeTrain(lc.trainer, m, cat)
+	var d time.Duration
+	if err == nil && lc.clock != nil {
+		d = lc.clock().Sub(start)
+	}
+	return rec, d, err
+}
+
+func (lc *lifecycle) recordTrain(d time.Duration) {
+	lc.lastTrainNanos.Store(int64(d))
+	lc.trainNanosTotal.Add(int64(d))
+}
+
+// noteWrite records one snapshot-publishing write for user u and
+// reports whether the deterministic retrain trigger fires. Caller
+// holds writeMu.
+func (lc *lifecycle) noteWrite(u model.UserID) bool {
+	lc.dataRev++
+	lc.touched[u] = lc.dataRev
+	return lc.retrainEvery > 0 && lc.dataRev-lc.trainedRev >= uint64(lc.retrainEvery)
+}
+
+// Retrain trains a fresh model from the current rating data and swaps
+// it into the serving snapshot, synchronously. Reads proceed
+// unblocked throughout; writes that land mid-train are folded into
+// the new model at swap time. Returns ErrNoTrainer without a
+// lifecycle, ErrTrainInProgress when another run (background or
+// explicit) holds the single-flight gate.
+func (e *Engine) Retrain(ctx context.Context) error {
+	if e.lc == nil {
+		return ErrNoTrainer
+	}
+	if !e.lc.training.CompareAndSwap(false, true) {
+		return ErrTrainInProgress
+	}
+	defer e.lc.training.Store(false)
+	return e.runTrain(ctx)
+}
+
+// retrainAsync starts a background training run if none is in flight.
+// Caller holds writeMu (the trigger fires inside mutate); the training
+// itself runs on a fresh goroutine against its own capture of the
+// snapshot, so the write that triggered it completes immediately.
+func (e *Engine) retrainAsync() {
+	if !e.lc.training.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.lc.training.Store(false)
+		//lint:ignore dropped-error background retrains have no caller to report to; failures are counted in ModelsState and the train metrics
+		_ = e.runTrain(context.Background())
+	}()
+}
+
+// runTrain is the shared training body: capture a consistent matrix
+// and revision, train off-lock, fold in raced writes, publish the
+// artifact and swap the snapshot. Caller holds the single-flight gate.
+func (e *Engine) runTrain(ctx context.Context) error {
+	lc := e.lc
+	lc.trainsStarted.Add(1)
+
+	// Capture: the training input is the snapshot matrix at a known
+	// revision. In guarded compatibility mode the matrix is mutated in
+	// place by writers, so train on a deep clone taken under the read
+	// lock; on the lock-free path the snapshot matrix is immutable.
+	e.writeMu.Lock()
+	base := e.snap.Load()
+	baseRev := lc.dataRev
+	m := base.ratings
+	e.writeMu.Unlock()
+	if base.guard != nil {
+		base.guard.RLock()
+		m = base.ratings.Clone()
+		base.guard.RUnlock()
+	}
+	if err := ctx.Err(); err != nil {
+		lc.trainsFailed.Add(1)
+		return err
+	}
+
+	rec, d, err := lc.timedTrain(m, e.catalog)
+	if err != nil {
+		lc.trainsFailed.Add(1)
+		return err
+	}
+	lc.recordTrain(d)
+	if err := ctx.Err(); err != nil {
+		lc.trainsFailed.Add(1)
+		return err
+	}
+
+	// Swap: under the writer mutex, fold in every user whose ratings
+	// changed after the capture, publish the artifact, and make the
+	// new model the serving one in a single snapshot store.
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.snap.Load()
+	if lc.dataRev != baseRev {
+		if rb, ok := rec.(recsys.MatrixRebinder); ok {
+			var raced []model.UserID
+			for u, rev := range lc.touched {
+				if rev > baseRev {
+					raced = append(raced, u)
+				}
+			}
+			sort.Slice(raced, func(a, b int) bool { return raced[a] < raced[b] })
+			rec = rb.RebindMatrix(cur.ratings, raced...)
+			lc.swapFoldIns.Add(int64(len(raced)))
+		}
+	}
+	art := lc.store.Publish(lc.trainer.Name(), lc.dataRev, checksumOf(rec), rec)
+	e.snap.Store(e.servingSnapshot(cur, rec, art.Version))
+	lc.trainedRev = lc.dataRev
+	for u, rev := range lc.touched {
+		if rev <= lc.trainedRev {
+			delete(lc.touched, u)
+		}
+	}
+	lc.trainsCompleted.Add(1)
+	return nil
+}
+
+// RollbackModel republishes the previous model generation (under a
+// new, monotonic version) and makes it the serving one. The model
+// serves exactly as published — point-in-time semantics; writes
+// applied since it was trained fold in again on the next write or
+// retrain. Returns ErrNoTrainer without a lifecycle and
+// modelstore.ErrNoHistory when no predecessor is retained.
+func (e *Engine) RollbackModel() (ModelArtifact, error) {
+	if e.lc == nil {
+		return ModelArtifact{}, ErrNoTrainer
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	art, err := e.lc.store.Rollback()
+	if err != nil {
+		return ModelArtifact{}, err
+	}
+	cur := e.snap.Load()
+	e.snap.Store(e.servingSnapshot(cur, art.Model, art.Version))
+	return artifactState(art, true), nil
+}
+
+// ModelArtifact is one artifact-store generation as reported by
+// ModelsState and /debug/models.
+type ModelArtifact struct {
+	Version  uint64 `json:"version"`
+	Trainer  string `json:"trainer"`
+	DataRev  uint64 `json:"data_rev"`
+	Checksum string `json:"checksum"`
+	Serving  bool   `json:"serving,omitempty"`
+}
+
+func artifactState(a *modelstore.Artifact[recsys.Recommender], serving bool) ModelArtifact {
+	return ModelArtifact{
+		Version:  a.Version,
+		Trainer:  a.Trainer,
+		DataRev:  a.DataRev,
+		Checksum: fmt.Sprintf("%016x", a.Checksum),
+		Serving:  serving,
+	}
+}
+
+// ModelsState is the operator view of the model lifecycle, served by
+// GET /debug/models. Enabled is false (and everything else zero) on
+// engines without WithTrainer.
+type ModelsState struct {
+	Enabled        bool   `json:"enabled"`
+	Trainer        string `json:"trainer,omitempty"`
+	RetrainEvery   int    `json:"retrain_every,omitempty"`
+	ServingVersion uint64 `json:"serving_version,omitempty"`
+	// DataRev counts snapshot-publishing writes; TrainedRev is the
+	// revision the serving model was trained (or folded) up to.
+	DataRev    uint64 `json:"data_rev,omitempty"`
+	TrainedRev uint64 `json:"trained_rev,omitempty"`
+	// TrainInFlight reports a training run currently holding the
+	// single-flight gate.
+	TrainInFlight   bool  `json:"train_in_flight,omitempty"`
+	TrainsStarted   int64 `json:"trains_started,omitempty"`
+	TrainsCompleted int64 `json:"trains_completed,omitempty"`
+	TrainsFailed    int64 `json:"trains_failed,omitempty"`
+	// FoldIns counts write-path incremental fold-ins; SwapFoldIns
+	// counts users folded into a fresh model at swap time because
+	// their writes raced the training run.
+	FoldIns     int64 `json:"fold_ins,omitempty"`
+	SwapFoldIns int64 `json:"swap_fold_ins,omitempty"`
+	// Training durations are measured by the injected TrainerConfig
+	// Clock; 0 when no clock is configured.
+	LastTrainSeconds  float64 `json:"last_train_seconds,omitempty"`
+	TrainSecondsTotal float64 `json:"train_seconds_total,omitempty"`
+	// Artifacts lists the retained generations, newest (serving) first.
+	Artifacts []ModelArtifact `json:"artifacts,omitempty"`
+}
+
+// ModelsState reports the lifecycle's current state. Cheap enough to
+// serve on a debug endpoint: one brief writer-mutex hold for the
+// revision counters plus atomic loads.
+func (e *Engine) ModelsState() ModelsState {
+	if e.lc == nil {
+		return ModelsState{}
+	}
+	lc := e.lc
+	e.writeMu.Lock()
+	dataRev, trainedRev := lc.dataRev, lc.trainedRev
+	e.writeMu.Unlock()
+	st := ModelsState{
+		Enabled:           true,
+		Trainer:           lc.trainer.Name(),
+		RetrainEvery:      lc.retrainEvery,
+		ServingVersion:    lc.store.Version(),
+		DataRev:           dataRev,
+		TrainedRev:        trainedRev,
+		TrainInFlight:     lc.training.Load(),
+		TrainsStarted:     lc.trainsStarted.Load(),
+		TrainsCompleted:   lc.trainsCompleted.Load(),
+		TrainsFailed:      lc.trainsFailed.Load(),
+		FoldIns:           lc.foldIns.Load(),
+		SwapFoldIns:       lc.swapFoldIns.Load(),
+		LastTrainSeconds:  time.Duration(lc.lastTrainNanos.Load()).Seconds(),
+		TrainSecondsTotal: time.Duration(lc.trainNanosTotal.Load()).Seconds(),
+	}
+	serving := lc.store.Version()
+	for _, a := range lc.store.History() {
+		st.Artifacts = append(st.Artifacts, artifactState(a, a.Version == serving))
+	}
+	return st
+}
+
+// ModelVersion returns the serving model's artifact version (0 on
+// engines without a lifecycle). Lock-free.
+func (e *Engine) ModelVersion() uint64 {
+	if e.lc == nil {
+		return 0
+	}
+	return e.lc.store.Version()
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/modelstore"
+	"repro/internal/recsys"
+	"repro/internal/recsys/mf"
+)
+
+// sgdTrainer is the small, fast trainer the lifecycle tests use.
+func sgdTrainer(seed uint64) TrainerConfig {
+	return TrainerConfig{Trainer: mf.SGD{Opts: mf.Options{Seed: seed, Factors: 8, Epochs: 4}}}
+}
+
+// lifecycleEngine builds the standard test community with a lifecycle.
+func lifecycleEngine(t testing.TB, cfg TrainerConfig) (*dataset.Community, *Engine) {
+	t.Helper()
+	return engine(t, WithSeed(7), WithTrainer(cfg))
+}
+
+func TestWithTrainerValidation(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 401, Users: 10, Items: 20, RatingsPerUser: 5})
+	if _, err := New(c.Catalog, c.Ratings, WithTrainer(TrainerConfig{})); err == nil {
+		t.Fatal("nil Trainer accepted")
+	}
+	md := mf.Train(c.Ratings, c.Catalog, mf.Options{Seed: 1, Epochs: 1})
+	_, err := New(c.Catalog, c.Ratings,
+		WithRecommender(md), WithTrainer(sgdTrainer(1)))
+	if err == nil {
+		t.Fatal("WithTrainer + WithRecommender accepted")
+	}
+}
+
+func TestLifecycleServesVersionOne(t *testing.T) {
+	_, e := lifecycleEngine(t, sgdTrainer(7))
+	if got := e.ModelVersion(); got != 1 {
+		t.Fatalf("ModelVersion = %d, want 1", got)
+	}
+	st := e.ModelsState()
+	if !st.Enabled || st.Trainer != "sgd" || st.ServingVersion != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+	if st.TrainsStarted != 1 || st.TrainsCompleted != 1 || st.TrainsFailed != 0 {
+		t.Fatalf("train counters = %+v", st)
+	}
+	if len(st.Artifacts) != 1 || !st.Artifacts[0].Serving || st.Artifacts[0].Trainer != "sgd" {
+		t.Fatalf("artifacts = %+v", st.Artifacts)
+	}
+	if st.Artifacts[0].Checksum == fmt.Sprintf("%016x", 0) {
+		t.Fatal("mf model published without a checksum")
+	}
+
+	p, err := e.Recommend(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ModelVersion != 1 {
+		t.Fatalf("presentation model version = %d, want 1", p.ModelVersion)
+	}
+	exp, err := e.Explain(1, p.Entries[0].Item.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ModelVersion != 1 {
+		t.Fatalf("explanation model version = %d, want 1", exp.ModelVersion)
+	}
+	if len(exp.Evidence.Factors) == 0 {
+		t.Fatal("lifecycle engine did not explain from the model's factor overlap")
+	}
+	if bv := e.BrowseAll(1); bv.ModelVersion != 1 {
+		t.Fatalf("browse model version = %d, want 1", bv.ModelVersion)
+	}
+}
+
+// TestLifecycleEngineWithoutTrainer: the lifecycle surface on a stock
+// engine reports disabled and every operation maps to ErrNoTrainer.
+func TestLifecycleEngineWithoutTrainer(t *testing.T) {
+	_, e := engine(t, WithSeed(7))
+	if st := e.ModelsState(); st.Enabled {
+		t.Fatalf("state = %+v", st)
+	}
+	if got := e.ModelVersion(); got != 0 {
+		t.Fatalf("ModelVersion = %d", got)
+	}
+	if err := e.Retrain(context.Background()); !errors.Is(err, ErrNoTrainer) {
+		t.Fatalf("Retrain err = %v", err)
+	}
+	if _, err := e.RollbackModel(); !errors.Is(err, ErrNoTrainer) {
+		t.Fatalf("RollbackModel err = %v", err)
+	}
+	p, err := e.Recommend(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ModelVersion != 0 {
+		t.Fatalf("stock engine leaked model version %d", p.ModelVersion)
+	}
+}
+
+// TestLifecycleFoldInKeepsVersion: a write between rebuilds folds the
+// model incrementally — the serving version must not move, the rating
+// must be visible, and the fold-in must be counted.
+func TestLifecycleFoldInKeepsVersion(t *testing.T) {
+	c, e := lifecycleEngine(t, sgdTrainer(7))
+	target := c.Catalog.Items()[0].ID
+	if err := e.Rate(999001, target, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ModelVersion(); got != 1 {
+		t.Fatalf("write bumped serving version to %d", got)
+	}
+	st := e.ModelsState()
+	if st.DataRev != 1 || st.TrainedRev != 0 {
+		t.Fatalf("revisions = %+v", st)
+	}
+	if st.FoldIns == 0 {
+		t.Fatal("write did not fold into the serving model")
+	}
+	if _, ok := e.Ratings().Get(999001, target); !ok {
+		t.Fatal("rating not visible")
+	}
+	// The folded model serves the new user immediately.
+	if _, err := e.Recommend(999001, 3); err != nil {
+		t.Fatalf("folded user not served: %v", err)
+	}
+}
+
+func TestRetrainSwapsToNextVersion(t *testing.T) {
+	c, e := lifecycleEngine(t, sgdTrainer(7))
+	if err := e.Rate(1, c.Catalog.Items()[0].ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.ModelsState()
+	if st.ServingVersion != 2 || st.TrainsCompleted != 2 {
+		t.Fatalf("state = %+v", st)
+	}
+	if st.TrainedRev != st.DataRev {
+		t.Fatalf("retrain left trained rev %d behind data rev %d", st.TrainedRev, st.DataRev)
+	}
+	if len(st.Artifacts) != 2 {
+		t.Fatalf("artifacts = %+v", st.Artifacts)
+	}
+	if !st.Artifacts[0].Serving || st.Artifacts[0].Version != 2 || st.Artifacts[1].Serving {
+		t.Fatalf("serving flags wrong: %+v", st.Artifacts)
+	}
+	p, err := e.Recommend(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ModelVersion != 2 {
+		t.Fatalf("presentation version = %d, want 2", p.ModelVersion)
+	}
+}
+
+// TestRetrainDeterministicAcrossSwap is the acceptance criterion: two
+// engines with equal seeds, equal writes and equal retrains serve
+// byte-identical recommendations — before and after the version swap.
+func TestRetrainDeterministicAcrossSwap(t *testing.T) {
+	build := func() (*dataset.Community, *Engine) {
+		return lifecycleEngine(t, sgdTrainer(7))
+	}
+	ca, a := build()
+	_, b := build()
+
+	render := func(e *Engine, u model.UserID) string {
+		p, err := e.Recommend(u, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "v%d:", p.ModelVersion)
+		for _, en := range p.Entries {
+			fmt.Fprintf(&sb, " %d=%v", en.Item.ID, en.Prediction.Score)
+		}
+		return sb.String()
+	}
+	if ra, rb := render(a, 1), render(b, 1); ra != rb {
+		t.Fatalf("initial models diverge:\n%s\n%s", ra, rb)
+	}
+	for _, e := range []*Engine{a, b} {
+		if err := e.Rate(2, ca.Catalog.Items()[1].ID, 4.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Retrain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra, rb := render(a, 1), render(b, 1)
+	if ra != rb {
+		t.Fatalf("post-swap models diverge:\n%s\n%s", ra, rb)
+	}
+	if !strings.HasPrefix(ra, "v2:") {
+		t.Fatalf("post-swap render %q not serving version 2", ra)
+	}
+}
+
+// TestBackgroundRetrainTriggersEveryN: the deterministic write trigger
+// fires a background retrain on the RetrainEvery-th write.
+func TestBackgroundRetrainTriggersEveryN(t *testing.T) {
+	cfg := sgdTrainer(7)
+	cfg.RetrainEvery = 3
+	c, e := lifecycleEngine(t, cfg)
+	for k := 0; k < 2; k++ {
+		if err := e.Rate(1, c.Catalog.Items()[k].ID, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.ModelVersion(); got != 1 {
+		t.Fatalf("version bumped to %d before the trigger", got)
+	}
+	if err := e.Rate(1, c.Catalog.Items()[2].ID, 4); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for e.ModelVersion() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background retrain never swapped; state = %+v", e.ModelsState())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := e.ModelsState()
+	if st.TrainedRev != 3 {
+		t.Fatalf("trained rev = %d, want 3", st.TrainedRev)
+	}
+}
+
+func TestRetrainSingleFlightGate(t *testing.T) {
+	_, e := lifecycleEngine(t, sgdTrainer(7))
+	if !e.lc.training.CompareAndSwap(false, true) {
+		t.Fatal("gate unexpectedly held")
+	}
+	defer e.lc.training.Store(false)
+	if err := e.Retrain(context.Background()); !errors.Is(err, ErrTrainInProgress) {
+		t.Fatalf("err = %v, want ErrTrainInProgress", err)
+	}
+	if st := e.ModelsState(); !st.TrainInFlight {
+		t.Fatal("state does not report the held gate")
+	}
+}
+
+func TestRetrainHonoursContext(t *testing.T) {
+	_, e := lifecycleEngine(t, sgdTrainer(7))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Retrain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := e.ModelsState()
+	if st.TrainsFailed != 1 || st.ServingVersion != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+	// The gate is released: a live retrain succeeds afterwards.
+	if err := e.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollbackModelRepublishesPredecessor(t *testing.T) {
+	_, e := lifecycleEngine(t, sgdTrainer(7))
+	if _, err := e.RollbackModel(); !errors.Is(err, modelstore.ErrNoHistory) {
+		t.Fatalf("rollback with one generation: err = %v", err)
+	}
+	v1sum := e.ModelsState().Artifacts[0].Checksum
+
+	if err := e.Rate(999002, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	art, err := e.RollbackModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Version != 3 || !art.Serving {
+		t.Fatalf("artifact = %+v", art)
+	}
+	if art.Checksum != v1sum {
+		t.Fatalf("rollback served checksum %s, want v1's %s", art.Checksum, v1sum)
+	}
+	if got := e.ModelVersion(); got != 3 {
+		t.Fatalf("serving version = %d, want 3", got)
+	}
+	if _, err := e.Recommend(1, 3); err != nil {
+		t.Fatalf("rolled-back model does not serve: %v", err)
+	}
+}
+
+// panicTrainer trains fine until the remaining counter runs out, then
+// panics — the background-failure path.
+type panicTrainer struct {
+	inner recsys.ModelTrainer
+	calls *int
+	okFor int
+}
+
+func (p panicTrainer) Name() string { return "panic-after" }
+func (p panicTrainer) Train(m *model.Matrix, cat *model.Catalog) recsys.Recommender {
+	*p.calls++
+	if *p.calls > p.okFor {
+		panic("trainer exploded")
+	}
+	return p.inner.Train(m, cat)
+}
+
+func TestInitialTrainFailureFailsNew(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 401, Users: 10, Items: 20, RatingsPerUser: 5})
+	calls := 0
+	_, err := New(c.Catalog, c.Ratings, WithTrainer(TrainerConfig{
+		Trainer: panicTrainer{inner: mf.SGD{Opts: mf.Options{Seed: 1, Epochs: 1}}, calls: &calls, okFor: 0},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetrainFailureKeepsServingModel(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 401, Users: 10, Items: 20, RatingsPerUser: 5})
+	calls := 0
+	e, err := New(c.Catalog, c.Ratings, WithSeed(7), WithTrainer(TrainerConfig{
+		Trainer: panicTrainer{inner: mf.SGD{Opts: mf.Options{Seed: 1, Epochs: 1}}, calls: &calls, okFor: 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Retrain(context.Background()); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+	st := e.ModelsState()
+	if st.TrainsFailed != 1 || st.ServingVersion != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+	if _, err := e.Recommend(1, 3); err != nil {
+		t.Fatalf("failed retrain broke serving: %v", err)
+	}
+}
+
+func TestLifecycleClockTimesTraining(t *testing.T) {
+	var now time.Time
+	cfg := sgdTrainer(7)
+	cfg.Clock = func() time.Time {
+		now = now.Add(250 * time.Millisecond)
+		return now
+	}
+	_, e := lifecycleEngine(t, cfg)
+	st := e.ModelsState()
+	if st.LastTrainSeconds != 0.25 {
+		t.Fatalf("last train = %v, want 0.25", st.LastTrainSeconds)
+	}
+	if err := e.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st = e.ModelsState()
+	if st.TrainSecondsTotal != 0.5 {
+		t.Fatalf("total = %v, want 0.5", st.TrainSecondsTotal)
+	}
+}
+
+// TestHistoryRingDepth: History bounds how many generations rollback
+// can reach.
+func TestHistoryRingDepth(t *testing.T) {
+	cfg := sgdTrainer(7)
+	cfg.History = 2
+	_, e := lifecycleEngine(t, cfg)
+	for k := 0; k < 3; k++ {
+		if err := e.Retrain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.ModelsState()
+	if len(st.Artifacts) != 2 {
+		t.Fatalf("ring retained %d artifacts, want 2", len(st.Artifacts))
+	}
+}
+
+// TestMFRecommenderKeepsLockFreePath is the rebind-seam regression
+// test: an engine given an MF model and its factor explainer as custom
+// components must stay on the lock-free snapshot path — both implement
+// the rebind seams, so no guard mutex may be installed.
+func TestMFRecommenderKeepsLockFreePath(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 401, Users: 20, Items: 30, RatingsPerUser: 8})
+	md := mf.Train(c.Ratings, c.Catalog, mf.Options{Seed: 7, Epochs: 3})
+	e, err := New(c.Catalog, c.Ratings, WithSeed(7),
+		WithRecommender(md), WithExplainer(mf.NewFactorExplainer(md)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.snap.Load().guard != nil {
+		t.Fatal("MF model + factor explainer forced the guarded fallback")
+	}
+	if err := e.Rate(1, c.Catalog.Items()[0].ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if e.snap.Load().guard != nil {
+		t.Fatal("guard appeared after a write")
+	}
+	// A lifecycle engine rides the same seam.
+	_, le := lifecycleEngine(t, sgdTrainer(7))
+	if le.snap.Load().guard != nil {
+		t.Fatal("lifecycle engine installed a guard")
+	}
+}
+
+// TestReadsNeverBlockDuringRebuild is the concurrency acceptance test
+// (a primary -race target): reader goroutines hammer every read path
+// while writes trigger background retrains and explicit retrains force
+// extra swaps. No read may error, and each goroutine must observe a
+// non-decreasing model version.
+func TestReadsNeverBlockDuringRebuild(t *testing.T) {
+	cfg := TrainerConfig{
+		Trainer:      mf.SGD{Opts: mf.Options{Seed: 7, Factors: 8, Epochs: 3}},
+		RetrainEvery: 2,
+	}
+	c, e := lifecycleEngine(t, cfg)
+	items := c.Catalog.Items()
+
+	const readers = 8
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := model.UserID(1 + g%4)
+			var lastVersion uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := e.RecommendContext(context.Background(), u, 5)
+				if err != nil {
+					errs <- fmt.Errorf("recommend: %w", err)
+					return
+				}
+				if p.ModelVersion < lastVersion {
+					errs <- fmt.Errorf("model version went backwards: %d -> %d", lastVersion, p.ModelVersion)
+					return
+				}
+				lastVersion = p.ModelVersion
+				if _, err := e.ExplainContext(context.Background(), u, p.Entries[0].Item.ID); err != nil {
+					errs <- fmt.Errorf("explain: %w", err)
+					return
+				}
+				if _, err := e.BrowseAllContext(context.Background(), u); err != nil {
+					errs <- fmt.Errorf("browse: %w", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for k := 0; k < 40; k++ {
+		u := model.UserID(10 + k%5)
+		if err := e.Rate(u, items[k%len(items)].ID, 3.5); err != nil {
+			t.Fatal(err)
+		}
+		if k%10 == 9 {
+			// Explicit retrains race the background trigger; losing the
+			// single-flight gate is the expected outcome half the time.
+			if err := e.Retrain(context.Background()); err != nil && !errors.Is(err, ErrTrainInProgress) {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	// Under -race a training run can still be in flight here; the swap
+	// must land eventually and serve a version past the initial one.
+	deadline := time.Now().Add(30 * time.Second)
+	for e.ModelVersion() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no background swap ever landed; state = %+v", e.ModelsState())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := e.ModelsState(); st.TrainsCompleted < 2 {
+		t.Fatalf("expected a completed background train, state = %+v", st)
+	}
+}

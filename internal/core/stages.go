@@ -195,12 +195,13 @@ func (e *Engine) stageExplainTopN(ctx context.Context, req *pipeline.Request) (*
 }
 
 // stagePresentTopN renders the explained entries as a titled top-N
-// presentation.
+// presentation, stamped with the serving model generation.
 func (e *Engine) stagePresentTopN(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	return &pipeline.Response{Presentation: &present.Presentation{
-		Title:    fmt.Sprintf("Top %d for you", len(req.Preds)),
-		Entries:  req.Entries,
-		Degraded: req.Degraded,
+		Title:        fmt.Sprintf("Top %d for you", len(req.Preds)),
+		Entries:      req.Entries,
+		Degraded:     req.Degraded,
+		ModelVersion: snapshotFrom(ctx).modelVersion,
 	}}, nil
 }
 
@@ -248,6 +249,7 @@ func (e *Engine) stagePresentDecorated(ctx context.Context, req *pipeline.Reques
 	if req.Degraded {
 		exp.Degraded = true
 	}
+	exp.ModelVersion = snapshotFrom(ctx).modelVersion
 	return &pipeline.Response{Explanation: exp}, nil
 }
 
@@ -257,21 +259,24 @@ func (e *Engine) stagePresentExplanation(ctx context.Context, req *pipeline.Requ
 	if req.Degraded {
 		req.Explanation.Degraded = true
 	}
+	req.Explanation.ModelVersion = snapshotFrom(ctx).modelVersion
 	return &pipeline.Response{Explanation: req.Explanation}, nil
 }
 
 // stageBrowseAll builds the predicted-ratings-for-everything view.
 func (e *Engine) stageBrowseAll(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	s := snapshotFrom(ctx)
-	return &pipeline.Response{View: present.PredictedRatings(e.catalog, s.rec, s.low, req.User)}, nil
+	v := present.PredictedRatings(e.catalog, s.rec, s.low, req.User)
+	v.ModelVersion = s.modelVersion
+	return &pipeline.Response{View: v}, nil
 }
 
 // stagePresentSimilar renders the similar-to-seed presentation.
 func (e *Engine) stagePresentSimilar(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	s := snapshotFrom(ctx)
-	return &pipeline.Response{
-		Presentation: present.SimilarToTop(e.catalog, req.Target, req.N, recsys.ExcludeRated(s.ratings, req.User)),
-	}, nil
+	p := present.SimilarToTop(e.catalog, req.Target, req.N, recsys.ExcludeRated(s.ratings, req.User))
+	p.ModelVersion = s.modelVersion
+	return &pipeline.Response{Presentation: p}, nil
 }
 
 // ---- per-stage metrics ----

@@ -73,6 +73,10 @@ type Evidence struct {
 	Tradeoffs []knowledge.Tradeoff
 	// Sources of a hybrid prediction.
 	Sources []hybrid.Contribution
+	// Factors behind a matrix-factorisation prediction: the latent
+	// dimensions where the user's taste vector and the item's factor
+	// vector align (preference style, strongest first).
+	Factors []recsys.FactorShare
 }
 
 // Explanation is one rendered justification for recommending an item
@@ -102,6 +106,12 @@ type Explanation struct {
 	// well-formed; the flag keeps the downgrade honest — the survey's
 	// trust aim asks the system to admit its limits, not hide them.
 	Degraded bool
+	// ModelVersion is the serving model generation this explanation
+	// was produced from, when the engine runs a versioned model
+	// lifecycle (core.WithTrainer); 0 otherwise. It lets a client
+	// correlate an answer with /debug/models across a background
+	// retrain swap.
+	ModelVersion uint64
 }
 
 // Explainer generates explanations for (user, item) pairs. Each

@@ -120,6 +120,14 @@ func DefaultConfig() *Config {
 			// ring placement, shard health (count-based probing, no
 			// clocks) and chaos decisions.
 			"repro/internal/cluster": true,
+			// The model store publishes versioned artifacts whose
+			// identity (version, checksum, data revision) must be a pure
+			// function of the training data and trainer seed — never a
+			// wall-clock stamp or RNG draw, or two identically-seeded
+			// engines would disagree about which model they serve.
+			// Timestamps on artifacts come from the lifecycle's
+			// injectable Clock, outside this package.
+			"repro/internal/modelstore": true,
 		},
 		ErrorScopePrefixes: []string{"repro/internal/"},
 		CtxAllowlist: map[string]bool{
@@ -138,6 +146,11 @@ func DefaultConfig() *Config {
 			// not in a _test.go file (it is imported by several packages'
 			// tests); like a test, it owns its request contexts.
 			"repro/internal/core/servicetest.Run": true,
+			// Background retrains are triggered by a write-counter, not
+			// a request: there is no caller context to inherit, and the
+			// write that fired the trigger must not be tied to the
+			// training run's lifetime.
+			"repro/internal/core.(*Engine).retrainAsync": true,
 		},
 	}
 }

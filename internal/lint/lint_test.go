@@ -198,6 +198,36 @@ func TestClusterSeamFixtures(t *testing.T) {
 	}
 }
 
+// TestModelStoreSeamFixtures runs the same rule pair over fixtures
+// modeling a versioned artifact store built with and without
+// internal/modelstore's seams: monotonic version counters and pure
+// checksums versus wall-clock stamps and math/rand salt
+// (determinism), and publish hooks that inherit the caller's context
+// versus minting their own (ctx-propagation).
+func TestModelStoreSeamFixtures(t *testing.T) {
+	rules := []Rule{ruleByID(t, "determinism"), ruleByID(t, "ctx-propagation")}
+	for _, rel := range []string{"modelstoreseam/bad", "modelstoreseam/good"} {
+		pkg := fixture(t, rel)
+		cfg := &Config{DeterminismPkgs: map[string]bool{pkg.Path: true}}
+		findings := Run([]*Package{pkg}, cfg, rules)
+		expected := wants(pkg)
+		got := make(map[string]string)
+		for _, f := range findings {
+			got[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] = f.RuleID
+		}
+		for key, want := range expected {
+			if got[key] != want {
+				t.Errorf("%s: %s: want a %s finding, got %q", rel, key, want, got[key])
+			}
+		}
+		for key, id := range got {
+			if _, ok := expected[key]; !ok {
+				t.Errorf("%s: %s: unexpected %s finding", rel, key, id)
+			}
+		}
+	}
+}
+
 func errScopeCfg() *Config {
 	return &Config{ErrorScopePrefixes: []string{"repro/internal/"}}
 }

@@ -1,0 +1,66 @@
+// Violating fixture modeling an artifact store built without
+// internal/modelstore's seams: versions stamped from the wall clock,
+// checksums salted with math/rand so two identically-seeded engines
+// publish different artifact identities, a history dump that ranges a
+// map straight into output, and a publish hook that severs itself
+// from the caller's context — each the defect the determinism and
+// ctx-propagation rules police in internal/modelstore.
+package bad
+
+import (
+	"context"
+	"fmt"
+	"math/rand" // want determinism
+	"time"
+)
+
+type artifact struct {
+	version  uint64
+	checksum uint64
+}
+
+type store struct {
+	byVersion map[uint64]*artifact
+}
+
+// publish stamps the artifact's version from the wall clock: replaying
+// the same training sequence on another machine (or a minute later)
+// yields different version numbers, so debug dumps and rollback
+// targets cannot be compared across runs.
+func (s *store) publish(checksum uint64) *artifact {
+	a := &artifact{
+		version:  uint64(time.Now().UnixNano()), // want determinism
+		checksum: checksum,
+	}
+	s.byVersion[a.version] = a
+	return a
+}
+
+// saltChecksum perturbs the digest with global math/rand: the one
+// number that should prove two models are the same model now differs
+// on every publish.
+func saltChecksum(sum uint64) uint64 {
+	return sum ^ rand.Uint64()
+}
+
+// notifyPublished mints a fresh context for the publish hook instead
+// of forwarding the caller's: the training run's deadline no longer
+// bounds the notification.
+func notifyPublished(hook func(context.Context, *artifact), a *artifact) {
+	hook(context.Background(), a) // want ctx-propagation
+}
+
+// dumpHistory ranges the version map straight into the report: two
+// dumps of the same store list artifacts in different orders.
+func (s *store) dumpHistory() {
+	for v, a := range s.byVersion { // want determinism
+		fmt.Printf("v%d: checksum=%x\n", v, a.checksum)
+	}
+}
+
+var (
+	_ = (*store).publish
+	_ = saltChecksum
+	_ = notifyPublished
+	_ = (*store).dumpHistory
+)

@@ -1,0 +1,70 @@
+// Clean fixture mirroring internal/modelstore's actual seams:
+// versions advance a monotonic counter (the same training sequence
+// numbers artifacts identically on every machine), checksums are a
+// pure function of the model, publish hooks inherit the caller's
+// context, and history dumps walk versions in sorted order.
+package good
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+type artifact struct {
+	version  uint64
+	checksum uint64
+}
+
+type store struct {
+	next      atomic.Uint64
+	byVersion map[uint64]*artifact
+}
+
+// publish numbers the artifact from a monotonic counter: version N is
+// the Nth publish, everywhere, always.
+func (s *store) publish(checksum uint64) *artifact {
+	a := &artifact{
+		version:  s.next.Add(1),
+		checksum: checksum,
+	}
+	s.byVersion[a.version] = a
+	return a
+}
+
+// checksumOf folds the factors with a fixed FNV-style walk — no salt,
+// so identical models hash identically.
+func checksumOf(factors []uint64) uint64 {
+	sum := uint64(1469598103934665603)
+	for _, f := range factors {
+		sum = (sum ^ f) * 1099511628211
+	}
+	return sum
+}
+
+// notifyPublished forwards the caller's context to the hook, so the
+// training run's deadline bounds the notification.
+func notifyPublished(ctx context.Context, hook func(context.Context, *artifact), a *artifact) {
+	hook(ctx, a)
+}
+
+// dumpHistory sorts versions before rendering, so the report is
+// stable run to run.
+func (s *store) dumpHistory() {
+	versions := make([]uint64, 0, len(s.byVersion))
+	for v := range s.byVersion {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	for _, v := range versions {
+		fmt.Printf("v%d: checksum=%x\n", v, s.byVersion[v].checksum)
+	}
+}
+
+var (
+	_ = (*store).publish
+	_ = checksumOf
+	_ = notifyPublished
+	_ = (*store).dumpHistory
+)

@@ -1,0 +1,154 @@
+// Package modelstore keeps versioned, immutable trained-model
+// artifacts behind an atomic pointer: trainers publish new generations
+// without ever blocking readers, and a bounded history ring keeps the
+// last few generations around for rollback.
+//
+// The store is deliberately clockless and unseeded: versions are a
+// monotonic counter, provenance (trainer name, data revision,
+// checksum) is supplied by the publisher, and nothing here reads the
+// wall clock or draws randomness — the package sits inside
+// recsyslint's determinism scope, so two runs that publish the same
+// models record byte-identical artifact metadata. Timestamps, when an
+// operator wants them, belong to the caller's injectable clock (see
+// core.TrainerConfig.Clock).
+package modelstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultHistory is the history-ring depth when the caller passes a
+// non-positive one: the serving artifact plus three predecessors.
+const DefaultHistory = 4
+
+// ErrNoHistory is returned by Rollback when no predecessor generation
+// is retained to roll back to.
+var ErrNoHistory = errors.New("modelstore: no previous artifact to roll back to")
+
+// Artifact is one immutable trained-model generation. The struct and
+// everything it references must never be mutated after Publish; the
+// model inside is shared by every reader that loaded this generation.
+type Artifact[T any] struct {
+	// Version is the store's monotonic generation counter, starting at
+	// 1. A rollback republishes an old model under a *new* version, so
+	// the serving version never moves backwards.
+	Version uint64
+	// Trainer is the producing trainer's name.
+	Trainer string
+	// DataRev is the write revision of the rating data the model was
+	// trained against, so an operator can see how stale an artifact is.
+	DataRev uint64
+	// Checksum is the trainer-supplied digest of the model's
+	// parameters; equal checksums prove equal models across rebuilds.
+	Checksum uint64
+	// Model is the trained model itself.
+	Model T
+}
+
+// String renders the artifact's provenance line.
+func (a *Artifact[T]) String() string {
+	return fmt.Sprintf("v%d trainer=%s data_rev=%d checksum=%016x", a.Version, a.Trainer, a.DataRev, a.Checksum)
+}
+
+// Store is a versioned artifact store: lock-free Current for readers,
+// mutex-serialised Publish/Rollback for the (rare) writers, and a
+// bounded ring of past generations.
+type Store[T any] struct {
+	cur atomic.Pointer[Artifact[T]]
+
+	mu      sync.Mutex
+	version uint64
+	hist    []*Artifact[T] // oldest first, bounded by capN, includes current
+	capN    int
+}
+
+// New builds a store retaining up to history generations (including
+// the serving one); history < 1 selects DefaultHistory.
+func New[T any](history int) *Store[T] {
+	if history < 1 {
+		history = DefaultHistory
+	}
+	return &Store[T]{capN: history}
+}
+
+// Current returns the serving artifact, or nil before the first
+// Publish. Lock-free: this is the read-path call.
+func (s *Store[T]) Current() *Artifact[T] { return s.cur.Load() }
+
+// Version returns the serving artifact's version (0 before the first
+// Publish).
+func (s *Store[T]) Version() uint64 {
+	if a := s.cur.Load(); a != nil {
+		return a.Version
+	}
+	return 0
+}
+
+// Publish records model as the next generation and atomically makes it
+// current. The oldest retained generation falls off the ring when the
+// history bound is exceeded.
+func (s *Store[T]) Publish(trainer string, dataRev, checksum uint64, m T) *Artifact[T] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	a := &Artifact[T]{
+		Version:  s.version,
+		Trainer:  trainer,
+		DataRev:  dataRev,
+		Checksum: checksum,
+		Model:    m,
+	}
+	s.push(a)
+	s.cur.Store(a)
+	return a
+}
+
+// Rollback republishes the generation preceding the current one under
+// a new version (versions stay monotonic; the rollback itself is an
+// auditable generation). The rolled-back-from artifact stays in
+// history until it ages off the ring.
+func (s *Store[T]) Rollback() (*Artifact[T], error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.hist) < 2 {
+		return nil, ErrNoHistory
+	}
+	prev := s.hist[len(s.hist)-2]
+	s.version++
+	a := &Artifact[T]{
+		Version:  s.version,
+		Trainer:  prev.Trainer,
+		DataRev:  prev.DataRev,
+		Checksum: prev.Checksum,
+		Model:    prev.Model,
+	}
+	s.push(a)
+	s.cur.Store(a)
+	return a, nil
+}
+
+// push appends to the ring, evicting the oldest past the bound. Caller
+// holds mu.
+func (s *Store[T]) push(a *Artifact[T]) {
+	s.hist = append(s.hist, a)
+	if len(s.hist) > s.capN {
+		over := len(s.hist) - s.capN
+		s.hist = append(s.hist[:0:0], s.hist[over:]...)
+	}
+}
+
+// History returns the retained generations, newest first (the serving
+// artifact leads). The slice is a copy; the artifacts are shared and
+// immutable.
+func (s *Store[T]) History() []*Artifact[T] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Artifact[T], len(s.hist))
+	for i, a := range s.hist {
+		out[len(s.hist)-1-i] = a
+	}
+	return out
+}

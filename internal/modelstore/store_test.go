@@ -1,0 +1,132 @@
+package modelstore
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishMonotonicVersions(t *testing.T) {
+	s := New[string](3)
+	if s.Current() != nil || s.Version() != 0 {
+		t.Fatalf("fresh store must be empty, got %v v%d", s.Current(), s.Version())
+	}
+	for i := 1; i <= 5; i++ {
+		a := s.Publish("sgd", uint64(i*10), uint64(i), "model")
+		if a.Version != uint64(i) {
+			t.Fatalf("publish %d: version %d", i, a.Version)
+		}
+		if got := s.Current(); got != a {
+			t.Fatalf("publish %d: Current() = %v, want the just-published artifact", i, got)
+		}
+	}
+	if s.Version() != 5 {
+		t.Fatalf("Version() = %d, want 5", s.Version())
+	}
+}
+
+func TestHistoryBoundedNewestFirst(t *testing.T) {
+	s := New[int](3)
+	for i := 1; i <= 5; i++ {
+		s.Publish("t", 0, uint64(i), i)
+	}
+	h := s.History()
+	if len(h) != 3 {
+		t.Fatalf("history length %d, want 3", len(h))
+	}
+	for i, wantV := range []uint64{5, 4, 3} {
+		if h[i].Version != wantV {
+			t.Errorf("history[%d].Version = %d, want %d", i, h[i].Version, wantV)
+		}
+	}
+	if h[0] != s.Current() {
+		t.Errorf("history must lead with the serving artifact")
+	}
+}
+
+func TestRollbackRepublishesUnderNewVersion(t *testing.T) {
+	s := New[string](4)
+	if _, err := s.Rollback(); err != ErrNoHistory {
+		t.Fatalf("rollback on empty store: err = %v, want ErrNoHistory", err)
+	}
+	s.Publish("sgd", 1, 11, "gen1")
+	if _, err := s.Rollback(); err != ErrNoHistory {
+		t.Fatalf("rollback with one generation: err = %v, want ErrNoHistory", err)
+	}
+	s.Publish("als-wr", 2, 22, "gen2")
+
+	a, err := s.Rollback()
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if a.Version != 3 {
+		t.Errorf("rollback version = %d, want 3 (monotonic, never backwards)", a.Version)
+	}
+	if a.Model != "gen1" || a.Trainer != "sgd" || a.Checksum != 11 || a.DataRev != 1 {
+		t.Errorf("rollback must republish gen1's payload and provenance, got %+v", a)
+	}
+	if s.Current() != a {
+		t.Errorf("rolled-back artifact must be serving")
+	}
+	// Rolling back again returns to gen2 (the generation preceding the
+	// rollback artifact), under version 4.
+	b, err := s.Rollback()
+	if err != nil {
+		t.Fatalf("second rollback: %v", err)
+	}
+	if b.Version != 4 || b.Model != "gen2" {
+		t.Errorf("second rollback = v%d %q, want v4 gen2", b.Version, b.Model)
+	}
+}
+
+func TestDefaultHistory(t *testing.T) {
+	s := New[int](0)
+	for i := 0; i < 10; i++ {
+		s.Publish("t", 0, 0, i)
+	}
+	if got := len(s.History()); got != DefaultHistory {
+		t.Fatalf("history length %d, want DefaultHistory %d", got, DefaultHistory)
+	}
+}
+
+// TestConcurrentReadersDuringPublish hammers Current/History from many
+// goroutines while generations are published — the exact shape of
+// reads racing a background rebuild swap. Run with -race.
+func TestConcurrentReadersDuringPublish(t *testing.T) {
+	s := New[int](4)
+	s.Publish("t", 0, 0, 0)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				a := s.Current()
+				if a == nil {
+					t.Error("Current() nil after first publish")
+					return
+				}
+				if a.Version < last {
+					t.Errorf("version moved backwards: %d after %d", a.Version, last)
+					return
+				}
+				last = a.Version
+				if h := s.History(); len(h) == 0 || h[0].Version < last {
+					t.Error("history lags the observed serving version")
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 200; i++ {
+		s.Publish("t", uint64(i), uint64(i), i)
+	}
+	close(done)
+	wg.Wait()
+}

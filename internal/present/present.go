@@ -36,6 +36,10 @@ type Presentation struct {
 	// HTTP layer surfaces it so clients can tell a downgraded answer
 	// from a full one.
 	Degraded bool
+	// ModelVersion is the serving model generation this view was
+	// rendered from, when the engine runs a versioned model lifecycle
+	// (core.WithTrainer); 0 otherwise.
+	ModelVersion uint64
 }
 
 // Render draws the presentation as plain text: rank, stars, title, and

@@ -1,0 +1,159 @@
+// Factor-overlap explanations: the latent dimensions where a user's
+// taste vector and an item's factor vector align, rendered as a
+// preference-style explanation. The dimensions are anonymous — the
+// model learned them, nobody named them — so the explanation is honest
+// about what it can and cannot say: it shows *that* and *how strongly*
+// the profiles align, never *why*. That is still strictly more
+// faithful than the vague preference boilerplate MF used to fall back
+// on, which is the point of surfacing it.
+
+package mf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+)
+
+// FactorOverlap decomposes the factor inner product behind a (u, item)
+// prediction into per-dimension contributions, sorted by descending
+// |Weight| (ties by dimension index), truncated to the topK strongest
+// (topK <= 0 keeps all). Nil when either side has no factors.
+func (md *Model) FactorOverlap(u model.UserID, item model.ItemID, topK int) []recsys.FactorShare {
+	uf, itf := md.userFactor[u], md.itemFactor[item]
+	if len(uf) == 0 || len(itf) == 0 {
+		return nil
+	}
+	var total float64
+	shares := make([]recsys.FactorShare, 0, len(uf))
+	for k := 0; k < len(uf) && k < len(itf); k++ {
+		w := uf[k] * itf[k]
+		shares = append(shares, recsys.FactorShare{Dim: k, Weight: w})
+		total += abs(w)
+	}
+	if total > 0 {
+		for i := range shares {
+			shares[i].Share = abs(shares[i].Weight) / total
+		}
+	}
+	sort.Slice(shares, func(a, b int) bool {
+		wa, wb := abs(shares[a].Weight), abs(shares[b].Weight)
+		if wa != wb {
+			return wa > wb
+		}
+		return shares[a].Dim < shares[b].Dim
+	})
+	if topK > 0 && len(shares) > topK {
+		shares = shares[:topK]
+	}
+	return shares
+}
+
+// Explainer returns the model's own factor-overlap explainer — the
+// seam the engine lifecycle probes so an MF-served engine explains
+// from the serving model instead of the default substrate.
+func (md *Model) Explainer() explain.Explainer { return NewFactorExplainer(md) }
+
+// FactorExplainer explains MF predictions from factor overlap. It
+// implements explain.Explainer, explain.MatrixRebinder (fold-in of the
+// underlying model) and present.LowExplainer (the diverging factors
+// answer "why low?").
+type FactorExplainer struct{ md *Model }
+
+// The explainer keeps the engine's lock-free path and serves the
+// browse view's why-low questions.
+var (
+	_ explain.Explainer      = (*FactorExplainer)(nil)
+	_ explain.MatrixRebinder = (*FactorExplainer)(nil)
+	_ present.LowExplainer   = (*FactorExplainer)(nil)
+)
+
+// NewFactorExplainer builds a FactorExplainer over a trained model.
+func NewFactorExplainer(md *Model) *FactorExplainer { return &FactorExplainer{md: md} }
+
+// Style implements explain.Explainer.
+func (x *FactorExplainer) Style() explain.Style { return explain.PreferenceBased }
+
+// Explain implements explain.Explainer: the aligned latent dimensions
+// behind the prediction, strongest first.
+func (x *FactorExplainer) Explain(u model.UserID, item *model.Item) (*explain.Explanation, error) {
+	pred, err := x.md.Predict(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("item %d: %w", item.ID, explain.ErrNoEvidence)
+	}
+	shares := x.md.FactorOverlap(u, item.ID, 3)
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("item %d: %w", item.ID, explain.ErrNoEvidence)
+	}
+	aligned := 0
+	for _, s := range shares {
+		if s.Weight > 0 {
+			aligned++
+		}
+	}
+	text := fmt.Sprintf(
+		"Your taste profile aligns with %q on %d of its %d strongest latent factors; the strongest alignment carries %.0f%% of the factor signal.",
+		item.Title, aligned, len(shares), shares[0].Share*100)
+	return &explain.Explanation{
+		Style:      explain.PreferenceBased,
+		Text:       text,
+		Detail:     factorTable(shares),
+		Confidence: pred.Confidence,
+		Faithful:   true,
+		Evidence:   explain.Evidence{Factors: shares},
+	}, nil
+}
+
+// ExplainLow implements present.LowExplainer: the factors where the
+// profiles diverge explain a low prediction.
+func (x *FactorExplainer) ExplainLow(u model.UserID, item *model.Item) (*explain.Explanation, error) {
+	pred, err := x.md.Predict(u, item.ID)
+	if err != nil {
+		return nil, fmt.Errorf("item %d: %w", item.ID, explain.ErrNoEvidence)
+	}
+	shares := x.md.FactorOverlap(u, item.ID, 3)
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("item %d: %w", item.ID, explain.ErrNoEvidence)
+	}
+	diverging := 0
+	for _, s := range shares {
+		if s.Weight < 0 {
+			diverging++
+		}
+	}
+	text := fmt.Sprintf(
+		"Your taste profile diverges from %q on %d of its %d strongest latent factors, which holds the predicted rating at %.1f stars.",
+		item.Title, diverging, len(shares), pred.Score)
+	return &explain.Explanation{
+		Style:      explain.PreferenceBased,
+		Text:       text,
+		Detail:     factorTable(shares),
+		Confidence: pred.Confidence,
+		Faithful:   true,
+		Evidence:   explain.Evidence{Factors: shares},
+	}, nil
+}
+
+// RebindMatrix implements explain.MatrixRebinder by folding the
+// underlying model into the new matrix.
+func (x *FactorExplainer) RebindMatrix(m *model.Matrix, touched ...model.UserID) explain.Explainer {
+	return &FactorExplainer{md: x.md.RebindMatrix(m, touched...).(*Model)}
+}
+
+// factorTable renders the per-dimension breakdown for Detail.
+func factorTable(shares []recsys.FactorShare) string {
+	var b strings.Builder
+	for _, s := range shares {
+		sign := "aligns"
+		if s.Weight < 0 {
+			sign = "diverges"
+		}
+		fmt.Fprintf(&b, "factor %2d  %s  weight %+.3f  share %4.1f%%\n", s.Dim, sign, s.Weight, s.Share*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,122 @@
+package mf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/model"
+)
+
+func TestFactorOverlapSharesAndOrder(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 31, Factors: 8})
+	u := c.Ratings.Users()[0]
+	it := c.Catalog.Items()[0].ID
+
+	all := md.FactorOverlap(u, it, 0)
+	if len(all) != 8 {
+		t.Fatalf("got %d shares, want all 8", len(all))
+	}
+	var sum float64
+	for i, s := range all {
+		if s.Share < 0 || s.Share > 1 {
+			t.Fatalf("share %v out of range", s.Share)
+		}
+		sum += s.Share
+		if i > 0 && math.Abs(all[i-1].Weight) < math.Abs(s.Weight) {
+			t.Fatalf("shares not sorted by |weight| at %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+
+	top := md.FactorOverlap(u, it, 3)
+	if len(top) != 3 {
+		t.Fatalf("topK=3 returned %d shares", len(top))
+	}
+	for i := range top {
+		if top[i] != all[i] {
+			t.Fatalf("topK changed ordering at %d", i)
+		}
+	}
+}
+
+func TestFactorOverlapNilWithoutFactors(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 31})
+	if got := md.FactorOverlap(999999, c.Catalog.Items()[0].ID, 3); got != nil {
+		t.Fatalf("unknown user produced shares: %v", got)
+	}
+	if got := md.FactorOverlap(c.Ratings.Users()[0], 999999, 3); got != nil {
+		t.Fatalf("unknown item produced shares: %v", got)
+	}
+}
+
+func TestFactorExplainerExplains(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 37})
+	x := NewFactorExplainer(md)
+	if x.Style() != explain.PreferenceBased {
+		t.Fatalf("style = %v", x.Style())
+	}
+	u := c.Ratings.Users()[0]
+	item, err := c.Catalog.Item(c.Catalog.Items()[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := x.Explain(u, item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Text == "" || exp.Detail == "" {
+		t.Fatal("empty explanation")
+	}
+	if !exp.Faithful {
+		t.Fatal("factor overlap is derived from the model; must be faithful")
+	}
+	if len(exp.Evidence.Factors) == 0 {
+		t.Fatal("no factor evidence")
+	}
+
+	low, err := x.ExplainLow(u, item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Text == "" || len(low.Evidence.Factors) == 0 {
+		t.Fatal("empty why-low explanation")
+	}
+}
+
+func TestFactorExplainerColdStartIsNoEvidence(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 37, Epochs: 1})
+	x := NewFactorExplainer(md)
+	item, err := c.Catalog.Item(c.Catalog.Items()[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Explain(999999, item); !errors.Is(err, explain.ErrNoEvidence) {
+		t.Fatalf("err = %v, want ErrNoEvidence", err)
+	}
+}
+
+func TestFactorExplainerRebindTracksFoldIn(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 41, Epochs: 3})
+	x := NewFactorExplainer(md)
+	u := c.Ratings.Users()[0]
+	next := c.Ratings.Clone()
+	next.Set(u, c.Catalog.Items()[0].ID, model.MaxRating)
+	rebound, ok := x.RebindMatrix(next, u).(*FactorExplainer)
+	if !ok {
+		t.Fatal("rebind changed explainer type")
+	}
+	if rebound.md == md {
+		t.Fatal("rebound explainer still wraps the old model")
+	}
+	item, err := c.Catalog.Item(c.Catalog.Items()[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rebound.Explain(u, item); err != nil {
+		t.Fatal(err)
+	}
+}

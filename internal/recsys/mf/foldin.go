@@ -1,0 +1,153 @@
+// Incremental fold-in: RebindMatrix re-solves only the touched users'
+// bias and factor vector against the fixed item factors, so an engine
+// serving an MF model absorbs writes without a full retrain — the
+// recsys.MatrixRebinder seam of the snapshot design. Item factors are
+// deliberately frozen between full rebuilds: one user's new rating
+// must not silently shift every other user's predictions, and the
+// background lifecycle (core.WithTrainer) re-fits the item side on its
+// own schedule.
+
+package mf
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// Model participates in the engine's lock-free snapshot concurrency.
+var _ recsys.MatrixRebinder = (*Model)(nil)
+
+// RebindMatrix implements recsys.MatrixRebinder: it returns a model
+// equal to the receiver except that each touched user's bias and
+// factor vector are re-estimated from m by ridge-regression fold-in
+// against the fixed item factors. The receiver stays fully usable —
+// readers of an older snapshot keep predicting from it — and the
+// returned model implements MatrixRebinder again.
+func (md *Model) RebindMatrix(m *model.Matrix, touched ...model.UserID) recsys.Recommender {
+	next := &Model{
+		cat:        md.cat,
+		opts:       md.opts,
+		trainer:    md.trainer,
+		hasBias:    md.hasBias,
+		mean:       md.mean,
+		itemBias:   md.itemBias,   // frozen between rebuilds
+		itemFactor: md.itemFactor, // frozen between rebuilds
+		userBias:   make(map[model.UserID]float64, len(md.userBias)),
+		userFactor: make(map[model.UserID][]float64, len(md.userFactor)),
+		trainCount: make(map[model.UserID]int, len(md.trainCount)),
+	}
+	// Copy the user-side maps; untouched users share their (immutable)
+	// factor slices with the receiver.
+	for u, v := range md.userBias {
+		next.userBias[u] = v
+	}
+	for u, f := range md.userFactor {
+		next.userFactor[u] = f
+	}
+	for u, n := range md.trainCount {
+		next.trainCount[u] = n
+	}
+	for _, u := range touched {
+		next.foldInUser(m, u)
+	}
+	return next
+}
+
+// foldInUser re-estimates one user's slice of the model from their
+// current ratings in m: a damped-mean bias (when the trainer fits
+// biases) and a ridge-regression factor solve against the fixed item
+// factors. A user with no ratings left reverts to cold start.
+func (md *Model) foldInUser(m *model.Matrix, u model.UserID) {
+	ratings := m.UserRatings(u)
+	if len(ratings) == 0 {
+		delete(md.userBias, u)
+		delete(md.userFactor, u)
+		delete(md.trainCount, u)
+		return
+	}
+	md.trainCount[u] = len(ratings)
+
+	ids := make([]model.ItemID, 0, len(ratings))
+	for i := range ratings {
+		ids = append(ids, i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+
+	if md.hasBias {
+		var sum float64
+		for _, i := range ids {
+			sum += ratings[i] - md.mean - md.itemBias[i]
+		}
+		md.userBias[u] = sum / (biasDamping + float64(len(ids)))
+	}
+
+	// Factor solve over the items the model knows; ratings of items
+	// unseen in training contribute to the bias only.
+	rows := make([][]float64, 0, len(ids))
+	resid := make([]float64, 0, len(ids))
+	for _, i := range ids {
+		f := md.itemFactor[i]
+		if f == nil {
+			continue
+		}
+		rows = append(rows, f)
+		resid = append(resid, ratings[i]-md.mean-md.userBias[u]-md.itemBias[i])
+	}
+	md.userFactor[u] = ridgeSolve(rows, resid, md.opts.Regularization, md.opts.Factors)
+}
+
+// Checksum is a deterministic FNV-1a digest over the model's trainer
+// name, global mean, biases and factors, iterated in sorted order.
+// Equal seeds and equal inputs produce equal checksums, so the
+// artifact store can prove two model generations identical without
+// comparing factor tables.
+func (md *Model) Checksum() uint64 {
+	h := fnv.New64a()
+	writeStr := func(s string) {
+		//lint:ignore dropped-error hash.Hash.Write never returns an error
+		_, _ = h.Write([]byte(s))
+	}
+	writeF := func(v float64) {
+		bits := math.Float64bits(v)
+		var buf [8]byte
+		for k := 0; k < 8; k++ {
+			buf[k] = byte(bits >> (8 * k))
+		}
+		//lint:ignore dropped-error hash.Hash.Write never returns an error
+		_, _ = h.Write(buf[:])
+	}
+	writeStr(md.trainer)
+	writeF(md.mean)
+
+	users := make([]model.UserID, 0, len(md.userFactor))
+	for u := range md.userFactor {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	for _, u := range users {
+		writeF(float64(u))
+		writeF(md.userBias[u])
+		writeF(float64(md.trainCount[u]))
+		for _, v := range md.userFactor[u] {
+			writeF(v)
+		}
+	}
+
+	items := make([]model.ItemID, 0, len(md.itemFactor))
+	for i := range md.itemFactor {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	for _, i := range items {
+		writeF(float64(i))
+		writeF(md.itemBias[i])
+		for _, v := range md.itemFactor[i] {
+			writeF(v)
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,183 @@
+package mf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// TestRebindLeavesReceiverUntouched is the contract the engine's
+// lock-free snapshot design depends on: readers of the old snapshot
+// keep predicting from an unchanged model while the new one serves.
+func TestRebindLeavesReceiverUntouched(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 11, Epochs: 5})
+	before := md.Checksum()
+	u := c.Ratings.Users()[0]
+	target := c.Catalog.Items()[0].ID
+	pOld, err := md.Predict(u, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := c.Ratings.Clone()
+	next.Set(u, target, model.MaxRating)
+	folded := md.RebindMatrix(next, u)
+	if folded == md {
+		t.Fatal("RebindMatrix returned the receiver")
+	}
+	if md.Checksum() != before {
+		t.Fatal("fold-in mutated the receiver")
+	}
+	pAgain, err := md.Predict(u, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pAgain.Score != pOld.Score {
+		t.Fatalf("receiver prediction moved: %v -> %v", pOld.Score, pAgain.Score)
+	}
+	if _, ok := folded.(recsys.MatrixRebinder); !ok {
+		t.Fatal("folded model lost the MatrixRebinder seam")
+	}
+}
+
+// TestFoldInMovesPredictionTowardNewRating: rating an item at the
+// scale maximum must pull the folded prediction for that item up
+// relative to the unfolded model.
+func TestFoldInMovesPredictionTowardNewRating(t *testing.T) {
+	for _, name := range TrainerNames() {
+		t.Run(name, func(t *testing.T) {
+			c, md := trainBy(t, name, Options{Seed: 11})
+			u := c.Ratings.Users()[0]
+			// Pick an unrated item the model knows factors for.
+			var target model.ItemID
+			for _, it := range c.Catalog.Items() {
+				if _, rated := c.Ratings.Get(u, it.ID); !rated && md.itemFactor[it.ID] != nil {
+					target = it.ID
+					break
+				}
+			}
+			if target == 0 {
+				t.Skip("no unrated item with factors")
+			}
+			pOld, err := md.Predict(u, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next := c.Ratings.Clone()
+			next.Set(u, target, model.MaxRating)
+			folded := md.RebindMatrix(next, u).(*Model)
+			pNew, err := folded.Predict(u, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pNew.Score <= pOld.Score && pOld.Score < model.MaxRating {
+				t.Fatalf("%s: max rating did not raise prediction (%v -> %v)",
+					name, pOld.Score, pNew.Score)
+			}
+		})
+	}
+}
+
+// TestFoldInIdempotentForALSWR: fold-in is a pure function of the
+// user's ratings and the frozen item factors, so folding the same
+// user twice against the same matrix is bitwise idempotent, and the
+// damped-mean bias reproduces the trainer's own estimate exactly (it
+// never depended on the factor sweeps).
+func TestFoldInIdempotentForALSWR(t *testing.T) {
+	c, md := trainBy(t, "als-wr", Options{Seed: 13, Epochs: 4})
+	u := c.Ratings.Users()[0]
+	folded := md.RebindMatrix(c.Ratings, u).(*Model)
+	if got, want := folded.userBias[u], md.userBias[u]; got != want {
+		t.Fatalf("bias moved: %v -> %v", want, got)
+	}
+	again := folded.RebindMatrix(c.Ratings, u).(*Model)
+	if again.Checksum() != folded.Checksum() {
+		t.Fatal("second identical fold-in changed the model")
+	}
+	uf, ff := folded.userFactor[u], again.userFactor[u]
+	for k := range uf {
+		if uf[k] != ff[k] {
+			t.Fatalf("factor %d not idempotent: %v -> %v", k, uf[k], ff[k])
+		}
+	}
+}
+
+// TestFoldInApproximatesRetrain: for a genuinely new user, folding
+// their ratings in must land predictions closer to a full ALS-WR
+// retrain than the cold model's global-mean fallback would be.
+func TestFoldInApproximatesRetrain(t *testing.T) {
+	c, md := trainBy(t, "als-wr", Options{Seed: 17, Epochs: 4})
+	newUser := model.UserID(999001)
+	next := c.Ratings.Clone()
+	donor := c.Ratings.Users()[3]
+	var copied int
+	for i, v := range c.Ratings.UserRatings(donor) {
+		next.Set(newUser, i, v)
+		if copied++; copied >= 10 {
+			break
+		}
+	}
+
+	folded := md.RebindMatrix(next, newUser).(*Model)
+	full := TrainALSWR(next, c.Catalog, Options{Seed: 17, Epochs: 4})
+
+	var foldGap, meanGap float64
+	var n int
+	for _, it := range c.Catalog.Items() {
+		pf, errF := folded.Predict(newUser, it.ID)
+		pr, errR := full.Predict(newUser, it.ID)
+		if errF != nil || errR != nil {
+			continue
+		}
+		foldGap += math.Abs(pf.Score - pr.Score)
+		meanGap += math.Abs(next.GlobalMean() - pr.Score)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no comparable predictions")
+	}
+	if foldGap >= meanGap {
+		t.Fatalf("fold-in gap to retrain %.3f not tighter than global-mean gap %.3f",
+			foldGap/float64(n), meanGap/float64(n))
+	}
+}
+
+// TestFoldInEvictedUserColdStarts: a user whose ratings vanished from
+// the matrix reverts to cold start after fold-in.
+func TestFoldInEvictedUserColdStarts(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 19, Epochs: 3})
+	u := c.Ratings.Users()[0]
+	next := c.Ratings.Clone()
+	for i := range c.Ratings.UserRatings(u) {
+		next.Delete(u, i)
+	}
+	folded := md.RebindMatrix(next, u).(*Model)
+	if _, err := folded.Predict(u, c.Catalog.Items()[0].ID); !errors.Is(err, recsys.ErrColdStart) {
+		t.Fatalf("err = %v, want ErrColdStart", err)
+	}
+	// The receiver still serves the user.
+	if _, err := md.Predict(u, c.Catalog.Items()[0].ID); err != nil {
+		t.Fatalf("receiver lost the user: %v", err)
+	}
+}
+
+// TestChecksumSensitiveToFoldIn: folding in a changed rating must
+// change the digest — version provenance depends on it.
+func TestChecksumSensitiveToFoldIn(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 23, Epochs: 3})
+	u := c.Ratings.Users()[0]
+	next := c.Ratings.Clone()
+	next.Set(u, c.Catalog.Items()[0].ID, model.MaxRating)
+	folded := md.RebindMatrix(next, u).(*Model)
+	if folded.Checksum() == md.Checksum() {
+		t.Fatal("fold-in with a new rating left the checksum unchanged")
+	}
+	// An untouched rebind shares every slice, so the digest holds.
+	same := md.RebindMatrix(c.Ratings).(*Model)
+	if same.Checksum() != md.Checksum() {
+		t.Fatal("no-op rebind changed the checksum")
+	}
+}

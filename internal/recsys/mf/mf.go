@@ -1,15 +1,21 @@
-// Package mf implements matrix-factorisation collaborative filtering
-// (FunkSVD-style biased latent factors trained by stochastic gradient
-// descent).
+// Package mf implements matrix-factorisation collaborative filtering:
+// a family of latent-factor trainers (FunkSVD-style biased SGD, ALS-WR
+// alternating least squares, Paterek-style regularized SVD) producing
+// one Model type behind the recsys.ModelTrainer interface.
 //
-// In this repository MF plays the role of the *unexplainable strong
-// baseline*: its latent factors predict well but name nothing a user
-// recognises, so its explanations can only be the vague
-// preference-based fallback. Ablation A5 uses it to quantify the
-// survey's implicit tension between prediction accuracy and
-// explanation quality — a recommender that cannot ground its
-// explanations gains persuasion only through hype and loses
-// effectiveness.
+// Historically MF played the role of the *unexplainable strong
+// baseline* in this repository: its latent factors predict well but
+// name nothing a user recognises, so ablation A5 uses it to quantify
+// the survey's implicit tension between prediction accuracy and
+// explanation quality. The FactorExplainer (factors.go) closes part of
+// that gap: it surfaces the latent dimensions where the user's taste
+// vector and the item's factor vector align — faithful to the model,
+// even though the dimensions themselves stay anonymous.
+//
+// Models support incremental fold-in (foldin.go): RebindMatrix
+// re-solves only the touched users' factor vectors against the fixed
+// item factors, so an engine serving an MF model keeps its lock-free
+// snapshot path between full rebuilds.
 package mf
 
 import (
@@ -22,15 +28,18 @@ import (
 	"repro/internal/rng"
 )
 
-// Options configure training.
+// Options configure training. The same option set drives all three
+// trainers; fields irrelevant to a trainer (LearningRate for ALS-WR)
+// are ignored by it.
 type Options struct {
 	// Factors is the latent dimensionality (default 16).
 	Factors int
-	// Epochs of SGD over all ratings (default 30).
+	// Epochs of SGD over all ratings, or ALS sweeps (default 30).
 	Epochs int
-	// LearningRate for SGD (default 0.01).
+	// LearningRate for SGD-family trainers (default 0.01).
 	LearningRate float64
-	// Regularization strength (default 0.05).
+	// Regularization strength (default 0.05). ALS-WR scales it by each
+	// row's rating count (the "weighted-λ" part).
 	Regularization float64
 	// Seed for factor initialisation and example shuffling.
 	Seed uint64
@@ -52,10 +61,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Model is a trained factorisation.
+// Model is a trained factorisation. All trainers produce this one
+// shape; prediction is mean + biases + user·item, with the bias maps
+// empty for trainers that do not fit biases.
 type Model struct {
 	cat  *model.Catalog
 	opts Options
+
+	// trainer is the producing trainer's Name(), carried for artifact
+	// provenance and checksums.
+	trainer string
+	// hasBias reports whether the trainer fits bias terms; fold-in
+	// skips bias re-estimation when it does not.
+	hasBias bool
 
 	mean       float64
 	userBias   map[model.UserID]float64
@@ -66,29 +84,32 @@ type Model struct {
 	trainCount map[model.UserID]int
 }
 
-// Train fits a model to the matrix. Training is deterministic in
-// opts.Seed: examples are visited in a seeded shuffled order each
-// epoch.
-func Train(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
-	opts = opts.withDefaults()
-	r := rng.New(opts.Seed + 0x5eed)
-	md := &Model{
+// newModel allocates an empty model shell for one trainer.
+func newModel(cat *model.Catalog, opts Options, trainer string, hasBias bool, mean float64) *Model {
+	return &Model{
 		cat:        cat,
 		opts:       opts,
-		mean:       m.GlobalMean(),
+		trainer:    trainer,
+		hasBias:    hasBias,
+		mean:       mean,
 		userBias:   map[model.UserID]float64{},
 		itemBias:   map[model.ItemID]float64{},
 		userFactor: map[model.UserID][]float64{},
 		itemFactor: map[model.ItemID][]float64{},
 		trainCount: map[model.UserID]int{},
 	}
-	// Deterministic example list: sorted users, sorted items.
-	type example struct {
-		u model.UserID
-		i model.ItemID
-		v float64
-	}
-	var examples []example
+}
+
+// example is one (user, item, rating) training triple; examples lists
+// them deterministically: users sorted, then each user's items sorted.
+type example struct {
+	u model.UserID
+	i model.ItemID
+	v float64
+}
+
+func examples(m *model.Matrix) []example {
+	var out []example
 	for _, u := range m.Users() {
 		ratings := m.UserRatings(u)
 		ids := make([]model.ItemID, 0, len(ratings))
@@ -97,9 +118,23 @@ func Train(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
 		}
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		for _, i := range ids {
-			examples = append(examples, example{u, i, ratings[i]})
+			out = append(out, example{u, i, ratings[i]})
 		}
-		md.trainCount[u] = len(ids)
+	}
+	return out
+}
+
+// Train fits a FunkSVD model to the matrix — the original SGD trainer,
+// kept as a package-level function for direct callers (experiments).
+// Training is deterministic in opts.Seed: examples are visited in a
+// seeded shuffled order each epoch.
+func Train(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed + 0x5eed)
+	md := newModel(cat, opts, "sgd", true, m.GlobalMean())
+	exs := examples(m)
+	for _, ex := range exs {
+		md.trainCount[ex.u]++
 	}
 	factors := func() []float64 {
 		f := make([]float64, opts.Factors)
@@ -108,7 +143,7 @@ func Train(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
 		}
 		return f
 	}
-	for _, ex := range examples {
+	for _, ex := range exs {
 		if md.userFactor[ex.u] == nil {
 			md.userFactor[ex.u] = factors()
 		}
@@ -117,14 +152,14 @@ func Train(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
 		}
 	}
 	lr, reg := opts.LearningRate, opts.Regularization
-	order := make([]int, len(examples))
+	order := make([]int, len(exs))
 	for i := range order {
 		order[i] = i
 	}
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		r.ShuffleInts(order)
 		for _, idx := range order {
-			ex := examples[idx]
+			ex := exs[idx]
 			uf, itf := md.userFactor[ex.u], md.itemFactor[ex.i]
 			pred := md.raw(ex.u, ex.i)
 			err := ex.v - pred
@@ -143,6 +178,10 @@ func Train(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
 
 // Name implements recsys.Named.
 func (md *Model) Name() string { return "matrix-factorisation" }
+
+// TrainerName reports which trainer produced this model ("sgd",
+// "als-wr" or "rsvd") — artifact provenance.
+func (md *Model) TrainerName() string { return md.trainer }
 
 func (md *Model) raw(u model.UserID, i model.ItemID) float64 {
 	v := md.mean + md.userBias[u] + md.itemBias[i]
@@ -171,9 +210,9 @@ func (md *Model) Recommend(u model.UserID, n int, exclude func(model.ItemID) boo
 }
 
 // FactorNorms reports the L2 norm of each latent dimension across
-// items — diagnostic only. The point of exposing it is what it does
-// NOT contain: anything a user could recognise. This is the
-// explanation gap ablation A5 measures.
+// items — diagnostic only. The raw norms name nothing a user
+// recognises; per-prediction factor overlap (FactorOverlap) is the
+// explainable slice of the same geometry.
 func (md *Model) FactorNorms() []float64 {
 	norms := make([]float64, md.opts.Factors)
 	for _, f := range md.itemFactor {

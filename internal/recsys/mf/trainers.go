@@ -1,0 +1,332 @@
+// The trainer family behind the recsys.ModelTrainer seam: the original
+// FunkSVD SGD, ALS-WR (alternating least squares with weighted-λ
+// regularization, Zhou et al.), and a Paterek-style regularized SVD
+// without bias terms. All three are deterministic in Options.Seed and
+// produce the same Model shape, so the lifecycle machinery (artifact
+// store, fold-in, factor explanations) is trainer-agnostic.
+
+package mf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+	"repro/internal/rng"
+)
+
+// Trainer is the common interface of the MF trainer family — an alias
+// of recsys.ModelTrainer so mf trainers plug directly into
+// core.WithTrainer without an adapter.
+type Trainer = recsys.ModelTrainer
+
+// SGD is the FunkSVD trainer (biased stochastic gradient descent) as a
+// Trainer value.
+type SGD struct{ Opts Options }
+
+// Name implements recsys.Named.
+func (SGD) Name() string { return "sgd" }
+
+// Train implements recsys.ModelTrainer.
+func (t SGD) Train(m *model.Matrix, cat *model.Catalog) recsys.Recommender {
+	return Train(m, cat, t.Opts)
+}
+
+// ALSWR is the alternating-least-squares trainer with weighted-λ
+// regularization: each sweep solves every user's factor vector against
+// fixed item factors, then every item's against fixed user factors,
+// with the ridge term scaled by the row's rating count so heavy raters
+// are regularized proportionally.
+type ALSWR struct{ Opts Options }
+
+// Name implements recsys.Named.
+func (ALSWR) Name() string { return "als-wr" }
+
+// Train implements recsys.ModelTrainer.
+func (t ALSWR) Train(m *model.Matrix, cat *model.Catalog) recsys.Recommender {
+	return TrainALSWR(m, cat, t.Opts)
+}
+
+// RSVD is the Paterek-style regularized-SVD trainer: plain factor
+// inner product around the global mean, no bias terms, SGD updates.
+type RSVD struct{ Opts Options }
+
+// Name implements recsys.Named.
+func (RSVD) Name() string { return "rsvd" }
+
+// Train implements recsys.ModelTrainer.
+func (t RSVD) Train(m *model.Matrix, cat *model.Catalog) recsys.Recommender {
+	return TrainRSVD(m, cat, t.Opts)
+}
+
+// TrainerNames lists the registered trainer names, for flag validation
+// and help text.
+func TrainerNames() []string { return []string{"sgd", "als-wr", "rsvd"} }
+
+// NewTrainer resolves a trainer by name ("als" is accepted for
+// "als-wr"). Unknown names error with the known set, so flag
+// validation can surface it verbatim.
+func NewTrainer(name string, opts Options) (Trainer, error) {
+	switch name {
+	case "sgd":
+		return SGD{Opts: opts}, nil
+	case "als", "als-wr":
+		return ALSWR{Opts: opts}, nil
+	case "rsvd":
+		return RSVD{Opts: opts}, nil
+	default:
+		return nil, fmt.Errorf("mf: unknown trainer %q (known: %s)", name, strings.Join(TrainerNames(), ", "))
+	}
+}
+
+// biasDamping is the shrinkage constant of the damped-mean bias
+// estimates ALS-WR (and fold-in) use: bias = Σ residual / (damping +
+// n). Small rating counts shrink toward zero instead of overfitting.
+const biasDamping = 10.0
+
+// TrainALSWR fits a model by alternating least squares. Biases are
+// damped residual means computed once up front; the factors then fit
+// the remaining residual. Iteration order is fully sorted, so the
+// result is deterministic in opts.Seed (which drives only the item
+// factor initialisation).
+func TrainALSWR(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed ^ 0xa15d)
+	md := newModel(cat, opts, "als-wr", true, m.GlobalMean())
+
+	users := m.Users()
+	itemSet := map[model.ItemID]bool{}
+	for _, u := range users {
+		for i := range m.UserRatings(u) {
+			itemSet[i] = true
+		}
+		md.trainCount[u] = len(m.UserRatings(u))
+	}
+	items := make([]model.ItemID, 0, len(itemSet))
+	for i := range itemSet {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+
+	// Damped-mean biases: items first (against the global mean), then
+	// users (against mean + item bias). Both sums run in sorted key
+	// order — float addition is not associative, so summing in map
+	// iteration order would break bit-determinism of the checksum.
+	for _, i := range items {
+		ratings := m.ItemRatings(i)
+		raters := make([]model.UserID, 0, len(ratings))
+		for u := range ratings {
+			raters = append(raters, u)
+		}
+		sort.Slice(raters, func(a, b int) bool { return raters[a] < raters[b] })
+		var sum float64
+		for _, u := range raters {
+			sum += ratings[u] - md.mean
+		}
+		md.itemBias[i] = sum / (biasDamping + float64(len(raters)))
+	}
+	for _, u := range users {
+		ratings := m.UserRatings(u)
+		ids := make([]model.ItemID, 0, len(ratings))
+		for i := range ratings {
+			ids = append(ids, i)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		var sum float64
+		for _, i := range ids {
+			sum += ratings[i] - md.mean - md.itemBias[i]
+		}
+		md.userBias[u] = sum / (biasDamping + float64(len(ids)))
+	}
+
+	// Seeded item-factor initialisation in sorted item order; user
+	// factors start at zero and are set by the first solve.
+	for _, i := range items {
+		f := make([]float64, opts.Factors)
+		for k := range f {
+			f[k] = r.Norm(0, 0.1)
+		}
+		md.itemFactor[i] = f
+	}
+	for _, u := range users {
+		md.userFactor[u] = make([]float64, opts.Factors)
+	}
+
+	for sweep := 0; sweep < opts.Epochs; sweep++ {
+		for _, u := range users {
+			md.userFactor[u] = md.solveUserFactors(m, u)
+		}
+		for _, i := range items {
+			md.itemFactor[i] = md.solveItemFactors(m, i)
+		}
+	}
+	return md
+}
+
+// solveUserFactors computes u's ridge-regression factor vector against
+// the fixed item factors: argmin Σ (resid − q·x)² + λ·n·‖x‖².
+func (md *Model) solveUserFactors(m *model.Matrix, u model.UserID) []float64 {
+	ratings := m.UserRatings(u)
+	ids := make([]model.ItemID, 0, len(ratings))
+	for i := range ratings {
+		if md.itemFactor[i] != nil {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	rows := make([][]float64, 0, len(ids))
+	resid := make([]float64, 0, len(ids))
+	for _, i := range ids {
+		rows = append(rows, md.itemFactor[i])
+		resid = append(resid, ratings[i]-md.mean-md.userBias[u]-md.itemBias[i])
+	}
+	return ridgeSolve(rows, resid, md.opts.Regularization, md.opts.Factors)
+}
+
+// solveItemFactors is the item-side mirror of solveUserFactors.
+func (md *Model) solveItemFactors(m *model.Matrix, i model.ItemID) []float64 {
+	ratings := m.ItemRatings(i)
+	ids := make([]model.UserID, 0, len(ratings))
+	for u := range ratings {
+		if md.userFactor[u] != nil {
+			ids = append(ids, u)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	rows := make([][]float64, 0, len(ids))
+	resid := make([]float64, 0, len(ids))
+	for _, u := range ids {
+		rows = append(rows, md.userFactor[u])
+		resid = append(resid, ratings[u]-md.mean-md.userBias[u]-md.itemBias[i])
+	}
+	return ridgeSolve(rows, resid, md.opts.Regularization, md.opts.Factors)
+}
+
+// ridgeSolve solves the k×k normal equations (QᵀQ + λ·n·I)x = Qᵀr by
+// Gaussian elimination with partial pivoting. The weighted-λ term
+// keeps the system positive definite whenever λ > 0; an empty row set
+// returns the zero vector.
+func ridgeSolve(rows [][]float64, resid []float64, lambda float64, k int) []float64 {
+	x := make([]float64, k)
+	if len(rows) == 0 {
+		return x
+	}
+	lam := lambda * float64(len(rows))
+	if lam <= 0 {
+		lam = 1e-9
+	}
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+		a[i][i] = lam
+	}
+	for ri, q := range rows {
+		for i := 0; i < k; i++ {
+			qi := q[i]
+			if qi == 0 {
+				continue
+			}
+			b[i] += resid[ri] * qi
+			for j := 0; j < k; j++ {
+				a[i][j] += qi * q[j]
+			}
+		}
+	}
+	// Forward elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		pivot := col
+		for row := col + 1; row < k; row++ {
+			if abs(a[row][col]) > abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		p := a[col][col]
+		if p == 0 {
+			continue
+		}
+		for row := col + 1; row < k; row++ {
+			f := a[row][col] / p
+			if f == 0 {
+				continue
+			}
+			for j := col; j < k; j++ {
+				a[row][j] -= f * a[col][j]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for i := k - 1; i >= 0; i-- {
+		if a[i][i] == 0 {
+			x[i] = 0
+			continue
+		}
+		s := b[i]
+		for j := i + 1; j < k; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TrainRSVD fits a bias-free regularized SVD: prediction is the global
+// mean plus the factor inner product, trained by SGD over a seeded
+// shuffled example order. Distinct from Train (FunkSVD) in that no
+// bias terms are fitted — the factors carry everything.
+func TrainRSVD(m *model.Matrix, cat *model.Catalog, opts Options) *Model {
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed ^ 0x45d7)
+	md := newModel(cat, opts, "rsvd", false, m.GlobalMean())
+	exs := examples(m)
+	for _, ex := range exs {
+		md.trainCount[ex.u]++
+	}
+	factors := func() []float64 {
+		f := make([]float64, opts.Factors)
+		for k := range f {
+			f[k] = r.Norm(0, 0.1)
+		}
+		return f
+	}
+	for _, ex := range exs {
+		if md.userFactor[ex.u] == nil {
+			md.userFactor[ex.u] = factors()
+		}
+		if md.itemFactor[ex.i] == nil {
+			md.itemFactor[ex.i] = factors()
+		}
+	}
+	lr, reg := opts.LearningRate, opts.Regularization
+	order := make([]int, len(exs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		for _, idx := range order {
+			ex := exs[idx]
+			uf, itf := md.userFactor[ex.u], md.itemFactor[ex.i]
+			err := ex.v - md.raw(ex.u, ex.i)
+			for k := 0; k < opts.Factors; k++ {
+				du := lr * (err*itf[k] - reg*uf[k])
+				di := lr * (err*uf[k] - reg*itf[k])
+				uf[k] += du
+				itf[k] += di
+			}
+		}
+	}
+	return md
+}

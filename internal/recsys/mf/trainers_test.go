@@ -1,0 +1,172 @@
+package mf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// trainBy trains the small community with one named trainer.
+func trainBy(t testing.TB, name string, opts Options) (*dataset.Community, *Model) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 71, Users: 80, Items: 100, RatingsPerUser: 25})
+	tr, err := NewTrainer(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tr.Train(c.Ratings, c.Catalog).(*Model)
+}
+
+func TestTrainerNamesResolve(t *testing.T) {
+	for _, name := range TrainerNames() {
+		tr, err := NewTrainer(name, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("NewTrainer(%q): %v", name, err)
+		}
+		if tr.Name() != name {
+			t.Fatalf("NewTrainer(%q).Name() = %q", name, tr.Name())
+		}
+	}
+}
+
+func TestTrainerAliasALS(t *testing.T) {
+	tr, err := NewTrainer("als", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "als-wr" {
+		t.Fatalf("alias resolved to %q", tr.Name())
+	}
+}
+
+func TestTrainerUnknownNameErrors(t *testing.T) {
+	_, err := NewTrainer("deep-wide", Options{})
+	if err == nil {
+		t.Fatal("no error for unknown trainer")
+	}
+	for _, name := range TrainerNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list known trainer %q", err, name)
+		}
+	}
+}
+
+func TestTrainerProvenance(t *testing.T) {
+	for _, name := range TrainerNames() {
+		_, md := trainBy(t, name, Options{Seed: 2, Epochs: 3})
+		if md.TrainerName() != name {
+			t.Fatalf("trainer %q produced model stamped %q", name, md.TrainerName())
+		}
+	}
+}
+
+// Every trainer must be bit-deterministic in its seed: the artifact
+// checksum is the proof the lifecycle relies on.
+func TestTrainerDeterministicChecksums(t *testing.T) {
+	for _, name := range TrainerNames() {
+		t.Run(name, func(t *testing.T) {
+			_, a := trainBy(t, name, Options{Seed: 9, Epochs: 4})
+			_, b := trainBy(t, name, Options{Seed: 9, Epochs: 4})
+			if a.Checksum() != b.Checksum() {
+				t.Fatalf("%s: same seed, different checksums %016x vs %016x",
+					name, a.Checksum(), b.Checksum())
+			}
+			_, c := trainBy(t, name, Options{Seed: 10, Epochs: 4})
+			if a.Checksum() == c.Checksum() {
+				t.Fatalf("%s: different seeds collided on %016x", name, a.Checksum())
+			}
+		})
+	}
+}
+
+// Every trainer must fit the training data better than the global
+// mean — the floor below which a latent-factor model learned nothing.
+func TestTrainersBeatMeanOnTrainingData(t *testing.T) {
+	for _, name := range TrainerNames() {
+		t.Run(name, func(t *testing.T) {
+			c, md := trainBy(t, name, Options{Seed: 5})
+			gm := c.Ratings.GlobalMean()
+			var mfErr, gmErr float64
+			var n int
+			for _, u := range c.Ratings.Users() {
+				for i, v := range c.Ratings.UserRatings(u) {
+					p, err := md.Predict(u, i)
+					if err != nil {
+						continue
+					}
+					mfErr += math.Abs(p.Score - v)
+					gmErr += math.Abs(gm - v)
+					n++
+				}
+			}
+			if n == 0 {
+				t.Fatal("no predictions")
+			}
+			if mfErr >= gmErr {
+				t.Fatalf("%s training MAE %.3f not better than global mean %.3f",
+					name, mfErr/float64(n), gmErr/float64(n))
+			}
+		})
+	}
+}
+
+func TestTrainersPredictOnScale(t *testing.T) {
+	for _, name := range TrainerNames() {
+		t.Run(name, func(t *testing.T) {
+			c, md := trainBy(t, name, Options{Seed: 5})
+			for _, it := range c.Catalog.Items()[:20] {
+				p, err := md.Predict(1, it.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Score < model.MinRating || p.Score > model.MaxRating {
+					t.Fatalf("%s: score %v off scale", name, p.Score)
+				}
+			}
+		})
+	}
+}
+
+func TestRSVDFitsNoBiases(t *testing.T) {
+	_, md := trainBy(t, "rsvd", Options{Seed: 5, Epochs: 3})
+	if len(md.userBias) != 0 || len(md.itemBias) != 0 {
+		t.Fatalf("rsvd fitted biases: %d user, %d item", len(md.userBias), len(md.itemBias))
+	}
+	if md.hasBias {
+		t.Fatal("rsvd model claims hasBias")
+	}
+}
+
+func TestRidgeSolveRecoversExactSolution(t *testing.T) {
+	// Overdetermined consistent system with tiny λ: the solve must
+	// recover the generating vector to numerical precision.
+	want := []float64{1.5, -2.0, 0.25}
+	rows := [][]float64{
+		{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+		{1, 1, 0}, {0, 1, 1}, {1, 1, 1},
+	}
+	resid := make([]float64, len(rows))
+	for ri, q := range rows {
+		for k := range want {
+			resid[ri] += q[k] * want[k]
+		}
+	}
+	got := ridgeSolve(rows, resid, 1e-12, len(want))
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestRidgeSolveEmptyRowsIsZero(t *testing.T) {
+	got := ridgeSolve(nil, nil, 0.05, 4)
+	for k, v := range got {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v, want 0", k, v)
+		}
+	}
+}

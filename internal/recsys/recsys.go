@@ -55,6 +55,30 @@ type Named interface {
 	Name() string
 }
 
+// ModelTrainer produces a fully trained recommender from a rating
+// matrix — the offline half of the versioned model lifecycle (see
+// internal/modelstore and core.WithTrainer). Train must treat m as
+// immutable input and be deterministic in the trainer's own
+// configuration: equal matrices and equal seeds yield recommenders
+// with byte-identical output. Trainers whose models implement
+// MatrixRebinder additionally support incremental fold-in between
+// full rebuilds.
+type ModelTrainer interface {
+	Named
+	Train(m *model.Matrix, cat *model.Catalog) Recommender
+}
+
+// FactorShare is one latent dimension's contribution to a factorised
+// prediction — the evidence behind "factors your taste shares with
+// this item" explanations. The dimensions are anonymous by nature;
+// exposing their weights keeps the explanation faithful to the model
+// even though it cannot name what each factor means.
+type FactorShare struct {
+	Dim    int     // latent dimension index
+	Weight float64 // signed contribution user[Dim] * item[Dim]
+	Share  float64 // |Weight| / Σ|Weight| over all dimensions, in [0, 1]
+}
+
 // MatrixRebinder is the optional contract a Recommender implements to
 // participate in snapshot-based concurrency (see DESIGN.md,
 // "Concurrency model"). RebindMatrix returns a recommender equivalent

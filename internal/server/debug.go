@@ -137,6 +137,11 @@ func (s *Server) DebugMux(withPprof bool) *http.ServeMux {
 	if _, ok := s.svc.(ClusterStater); ok {
 		mux.HandleFunc("/debug/cluster", s.handleCluster)
 	}
+	if hasModelSurface(s.svc) {
+		mux.HandleFunc("/debug/models", s.handleModels)
+		mux.HandleFunc("/debug/models/retrain", s.handleModelRetrain)
+		mux.HandleFunc("/debug/models/rollback", s.handleModelRollback)
+	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

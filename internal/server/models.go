@@ -1,0 +1,181 @@
+// The model-lifecycle debug surface: GET /debug/models reports the
+// versioned-model state (per shard on a sharded backend), POST
+// /debug/models/retrain triggers a synchronous retrain, POST
+// /debug/models/rollback re-serves the previous generation, and
+// /metrics grows recsys_model_* / recsys_train_* lines. Everything is
+// feature-detected through small interfaces, mirroring the cluster
+// debug surface, so backends without a lifecycle serve exactly what
+// they served before.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/modelstore"
+)
+
+// ModelStater is implemented by single-engine backends that can report
+// their model-lifecycle state (core.Engine always does; state carries
+// Enabled=false when no trainer is configured).
+type ModelStater interface {
+	ModelsState() core.ModelsState
+}
+
+// ShardModelStater is implemented by sharded backends
+// (cluster.Router): per-shard lifecycle state in shard-ID order.
+type ShardModelStater interface {
+	ShardModels() []cluster.ShardModels
+}
+
+// Retrainer is implemented by backends that can retrain their serving
+// model on demand (core.Engine and cluster.Router).
+type Retrainer interface {
+	Retrain(ctx context.Context) error
+}
+
+// ModelRollbacker is implemented by backends that can re-serve their
+// previous model generation (core.Engine).
+type ModelRollbacker interface {
+	RollbackModel() (core.ModelArtifact, error)
+}
+
+// hasModelSurface reports whether the backend exposes any model
+// lifecycle state worth registering the debug endpoints for.
+func hasModelSurface(svc core.Service) bool {
+	if _, ok := svc.(ShardModelStater); ok {
+		return true
+	}
+	_, ok := svc.(ModelStater)
+	return ok
+}
+
+// modelsPayload builds the GET /debug/models response body.
+func (s *Server) modelsPayload() (any, bool) {
+	if sm, ok := s.svc.(ShardModelStater); ok {
+		return map[string]any{"shards": sm.ShardModels()}, true
+	}
+	if ms, ok := s.svc.(ModelStater); ok {
+		return ms.ModelsState(), true
+	}
+	return nil, false
+}
+
+// handleModels serves GET /debug/models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	payload, ok := s.modelsPayload()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("backend has no model lifecycle"))
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// handleModelRetrain serves POST /debug/models/retrain: a synchronous
+// retrain (every shard on a cluster), answering with the post-swap
+// lifecycle state. 404 without a configured trainer, 409 when a
+// training run already holds the single-flight gate.
+func (s *Server) handleModelRetrain(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	rt, ok := s.svc.(Retrainer)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("backend cannot retrain"))
+		return
+	}
+	err := rt.Retrain(r.Context())
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrNoTrainer):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, core.ErrTrainInProgress):
+		writeError(w, http.StatusConflict, err)
+		return
+	default:
+		s.writeServiceError(w, err)
+		return
+	}
+	payload, _ := s.modelsPayload()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "retrained",
+		"models": payload,
+	})
+}
+
+// handleModelRollback serves POST /debug/models/rollback: republish
+// the previous generation under a new version. 404 without a trainer,
+// 409 when no predecessor generation is retained.
+func (s *Server) handleModelRollback(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	rb, ok := s.svc.(ModelRollbacker)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("backend cannot roll back models"))
+		return
+	}
+	art, err := rb.RollbackModel()
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrNoTrainer):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, modelstore.ErrNoHistory):
+		writeError(w, http.StatusConflict, err)
+		return
+	default:
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "rolled-back",
+		"artifact": art,
+	})
+}
+
+// writeModelMetrics renders the recsys_model_* / recsys_train_* lines
+// on /metrics: unlabelled for a single engine, shard-labelled for a
+// cluster. Backends (or shards) without a lifecycle emit nothing.
+func (s *Server) writeModelMetrics(w http.ResponseWriter) {
+	if sm, ok := s.svc.(ShardModelStater); ok {
+		for _, shm := range sm.ShardModels() {
+			if !shm.Models.Enabled {
+				continue
+			}
+			writeModelLines(w, fmt.Sprintf("{shard=\"%d\"}", shm.Shard), shm.Models)
+		}
+		return
+	}
+	if ms, ok := s.svc.(ModelStater); ok {
+		if st := ms.ModelsState(); st.Enabled {
+			writeModelLines(w, "", st)
+		}
+	}
+}
+
+func writeModelLines(w io.Writer, labels string, st core.ModelsState) {
+	inFlight := 0
+	if st.TrainInFlight {
+		inFlight = 1
+	}
+	fmt.Fprintf(w, "recsys_model_version%s %d\n", labels, st.ServingVersion)
+	fmt.Fprintf(w, "recsys_model_data_rev%s %d\n", labels, st.DataRev)
+	fmt.Fprintf(w, "recsys_model_foldins_total%s %d\n", labels, st.FoldIns)
+	fmt.Fprintf(w, "recsys_model_swap_foldins_total%s %d\n", labels, st.SwapFoldIns)
+	fmt.Fprintf(w, "recsys_train_in_flight%s %d\n", labels, inFlight)
+	fmt.Fprintf(w, "recsys_train_started_total%s %d\n", labels, st.TrainsStarted)
+	fmt.Fprintf(w, "recsys_train_completed_total%s %d\n", labels, st.TrainsCompleted)
+	fmt.Fprintf(w, "recsys_train_failed_total%s %d\n", labels, st.TrainsFailed)
+	fmt.Fprintf(w, "recsys_train_seconds_total%s %.9f\n", labels, st.TrainSecondsTotal)
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/recsys/mf"
+)
+
+func lifecycleServer(t testing.TB, retrainEvery int) (*dataset.Community, *Server) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 501, Users: 50, Items: 70, RatingsPerUser: 18})
+	eng, err := core.New(c.Catalog, c.Ratings, core.WithSeed(1),
+		core.WithTrainer(core.TrainerConfig{
+			Trainer:      mf.SGD{Opts: mf.Options{Seed: 1, Factors: 8, Epochs: 4}},
+			RetrainEvery: retrainEvery,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, New(eng)
+}
+
+func clusterLifecycleServer(t testing.TB) *Server {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 501, Users: 50, Items: 70, RatingsPerUser: 18})
+	rt, err := cluster.New(c.Catalog, c.Ratings, cluster.Options{
+		Shards: 3, Seed: 9,
+		Trainer: func(shardSeed uint64) core.TrainerConfig {
+			return core.TrainerConfig{
+				Trainer: mf.SGD{Opts: mf.Options{Seed: shardSeed, Factors: 8, Epochs: 4}},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(rt)
+}
+
+func TestModelsEndpointEngine(t *testing.T) {
+	_, s := lifecycleServer(t, 0)
+	rec, out := doJSON(t, s, http.MethodGet, "/debug/models", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	if out["enabled"] != true || out["trainer"] != "sgd" {
+		t.Fatalf("body = %v", out)
+	}
+	if out["serving_version"].(float64) != 1 {
+		t.Fatalf("serving_version = %v", out["serving_version"])
+	}
+	arts, ok := out["artifacts"].([]any)
+	if !ok || len(arts) != 1 {
+		t.Fatalf("artifacts = %v", out["artifacts"])
+	}
+	if rec, _ := doJSON(t, s, http.MethodPost, "/debug/models", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /debug/models = %d", rec.Code)
+	}
+}
+
+func TestModelsEndpointDisabledEngine(t *testing.T) {
+	_, s := testServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/debug/models", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if out["enabled"] != false {
+		t.Fatalf("body = %v", out)
+	}
+}
+
+func TestModelsEndpointCluster(t *testing.T) {
+	s := clusterLifecycleServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/debug/models", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	shards, ok := out["shards"].([]any)
+	if !ok || len(shards) != 3 {
+		t.Fatalf("shards = %v", out["shards"])
+	}
+	first := shards[0].(map[string]any)
+	models := first["models"].(map[string]any)
+	if models["enabled"] != true || models["serving_version"].(float64) != 1 {
+		t.Fatalf("shard 0 models = %v", models)
+	}
+}
+
+func TestModelRetrainEndpoint(t *testing.T) {
+	_, s := lifecycleServer(t, 0)
+	rec, out := doJSON(t, s, http.MethodPost, "/debug/models/retrain", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	if out["status"] != "retrained" {
+		t.Fatalf("body = %v", out)
+	}
+	models := out["models"].(map[string]any)
+	if models["serving_version"].(float64) != 2 {
+		t.Fatalf("post-retrain version = %v", models["serving_version"])
+	}
+	if rec, _ := doJSON(t, s, http.MethodGet, "/debug/models/retrain", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET retrain = %d", rec.Code)
+	}
+}
+
+func TestModelRetrainWithoutTrainerIs404(t *testing.T) {
+	_, s := testServer(t)
+	rec, _ := doJSON(t, s, http.MethodPost, "/debug/models/retrain", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestModelRetrainClusterFansOut(t *testing.T) {
+	s := clusterLifecycleServer(t)
+	rec, out := doJSON(t, s, http.MethodPost, "/debug/models/retrain", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	shards := out["models"].(map[string]any)["shards"].([]any)
+	for _, sh := range shards {
+		m := sh.(map[string]any)["models"].(map[string]any)
+		if m["serving_version"].(float64) != 2 {
+			t.Fatalf("shard not retrained: %v", m)
+		}
+	}
+}
+
+func TestModelRollbackEndpoint(t *testing.T) {
+	_, s := lifecycleServer(t, 0)
+	// No predecessor yet: conflict.
+	rec, _ := doJSON(t, s, http.MethodPost, "/debug/models/rollback", nil)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("rollback without history = %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, s, http.MethodPost, "/debug/models/retrain", nil); rec.Code != http.StatusOK {
+		t.Fatalf("retrain = %d", rec.Code)
+	}
+	rec, out := doJSON(t, s, http.MethodPost, "/debug/models/rollback", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rollback = %d: %v", rec.Code, out)
+	}
+	art := out["artifact"].(map[string]any)
+	if art["version"].(float64) != 3 || art["serving"] != true {
+		t.Fatalf("artifact = %v", art)
+	}
+}
+
+func TestModelRollbackWithoutTrainerIs404(t *testing.T) {
+	_, s := testServer(t)
+	rec, _ := doJSON(t, s, http.MethodPost, "/debug/models/rollback", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestResponsesCarryModelVersion(t *testing.T) {
+	_, s := lifecycleServer(t, 0)
+	rec, out := doJSON(t, s, http.MethodGet, "/recommend?user=1&n=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	if out["model_version"].(float64) != 1 {
+		t.Fatalf("model_version = %v", out["model_version"])
+	}
+	item := out["recommendations"].([]any)[0].(map[string]any)["item"].(float64)
+	rec, out = doJSON(t, s, http.MethodGet, "/explain?user=1&item="+itoa(int64(item)), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain status = %d: %v", rec.Code, out)
+	}
+	if out["model_version"].(float64) != 1 {
+		t.Fatalf("explanation model_version = %v", out["model_version"])
+	}
+
+	// Stock engines must not leak a version field.
+	_, s2 := testServer(t)
+	rec, out = doJSON(t, s2, http.MethodGet, "/recommend?user=1&n=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if _, has := out["model_version"]; has {
+		t.Fatalf("stock engine response carries model_version: %v", out)
+	}
+}
+
+func TestMetricsCarryModelLines(t *testing.T) {
+	_, s := lifecycleServer(t, 0)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, line := range []string{
+		"recsys_model_version 1",
+		"recsys_model_data_rev 0",
+		"recsys_model_foldins_total 0",
+		"recsys_train_in_flight 0",
+		"recsys_train_started_total 1",
+		"recsys_train_completed_total 1",
+		"recsys_train_failed_total 0",
+		"recsys_train_seconds_total",
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics missing %q:\n%s", line, body)
+		}
+	}
+
+	// Stock engine: no model lines at all.
+	_, s2 := testServer(t)
+	rec = httptest.NewRecorder()
+	s2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if strings.Contains(rec.Body.String(), "recsys_model_") {
+		t.Fatal("stock engine emitted model metrics")
+	}
+}
+
+func TestMetricsShardLabelledModelLines(t *testing.T) {
+	s := clusterLifecycleServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, line := range []string{
+		`recsys_model_version{shard="0"} 1`,
+		`recsys_model_version{shard="1"} 1`,
+		`recsys_model_version{shard="2"} 1`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics missing %q:\n%s", line, body)
+		}
+	}
+}
+
+func TestDebugMuxServesModelEndpoints(t *testing.T) {
+	_, s := lifecycleServer(t, 0)
+	mux := s.DebugMux(false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/models", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug mux /debug/models = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/models/retrain", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug mux retrain = %d", rec.Code)
+	}
+}

@@ -124,6 +124,11 @@ func New(svc core.Service, opts ...Option) *Server {
 	if _, ok := svc.(ClusterStater); ok {
 		s.mux.HandleFunc("/debug/cluster", s.handleCluster)
 	}
+	if hasModelSurface(svc) {
+		s.mux.HandleFunc("/debug/models", s.handleModels)
+		s.mux.HandleFunc("/debug/models/retrain", s.handleModelRetrain)
+		s.mux.HandleFunc("/debug/models/rollback", s.handleModelRollback)
+	}
 	return s
 }
 
@@ -386,6 +391,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if p.Degraded {
 		resp["degraded"] = true
 	}
+	if p.ModelVersion > 0 {
+		resp["model_version"] = p.ModelVersion
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -396,6 +404,9 @@ type explanationJSON struct {
 	Confidence float64 `json:"confidence"`
 	Faithful   bool    `json:"faithful"`
 	Degraded   bool    `json:"degraded,omitempty"`
+	// ModelVersion is the serving model generation behind the answer
+	// when the backend runs a versioned lifecycle; omitted otherwise.
+	ModelVersion uint64 `json:"model_version,omitempty"`
 }
 
 func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
@@ -421,7 +432,7 @@ func (s *Server) explainEndpoint(w http.ResponseWriter, r *http.Request,
 	writeJSON(w, http.StatusOK, explanationJSON{
 		Text: exp.Text, Detail: exp.Detail, Style: exp.Style.String(),
 		Confidence: exp.Confidence, Faithful: exp.Faithful,
-		Degraded: exp.Degraded,
+		Degraded: exp.Degraded, ModelVersion: exp.ModelVersion,
 	})
 }
 
@@ -580,6 +591,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "recsys_repair_actions_total %d\n", m.RepairActions)
 	fmt.Fprintf(w, "recsys_degraded_served_total %d\n", m.DegradedServed)
 	s.writeShardMetrics(w)
+	s.writeModelMetrics(w)
 	// Per-stage pipeline counters, sorted for a stable scrape.
 	keys := make([]string, 0, len(m.Stages))
 	for k := range m.Stages {
