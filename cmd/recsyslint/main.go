@@ -8,12 +8,20 @@
 //	go run ./cmd/recsyslint ./internal/core    # one package
 //	go run ./cmd/recsyslint -rules determinism,dropped-error ./...
 //	go run ./cmd/recsyslint -list              # describe the rules
+//	go run ./cmd/recsyslint -json ./...        # findings as JSON
+//	go run ./cmd/recsyslint -sarif out.sarif ./...
+//	go run ./cmd/recsyslint -baseline .recsyslint-baseline.json ./...
+//	go run ./cmd/recsyslint -baseline f.json -write-baseline ./...
+//	go run ./cmd/recsyslint -time ./...        # load/analysis timing
 //
 // The analyzer always loads and type-checks the whole module (rules
 // need cross-package types); the package arguments only restrict which
-// packages findings are reported for. Suppress an individual finding
-// with "//lint:ignore <rule-id> <reason>" on the offending line or the
-// line above; the reason is mandatory.
+// packages findings are reported for. With -baseline, findings already
+// recorded in the baseline file are suppressed and only new ones fail
+// the run; -write-baseline regenerates the file from the current
+// findings. Suppress an individual finding with "//lint:ignore
+// <rule-id> <reason>" on the offending line or the line above; the
+// reason is mandatory.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -29,17 +38,25 @@ import (
 func main() {
 	rulesFlag := flag.String("rules", "", "comma-separated rule ids to run (default: all)")
 	listFlag := flag.Bool("list", false, "list the registered rules and exit")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON on stdout")
+	sarifFlag := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
+	baselineFlag := flag.String("baseline", "", "baseline file: suppress findings recorded there, fail only on new ones")
+	writeBaselineFlag := flag.Bool("write-baseline", false, "regenerate the -baseline file from the current findings and exit 0")
+	timeFlag := flag.Bool("time", false, "report load and analysis wall time on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: recsyslint [-rules id,id,...] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: recsyslint [-rules id,id,...] [-list] [-json] [-sarif file] [-baseline file [-write-baseline]] [-time] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *listFlag {
 		for _, r := range lint.AllRules() {
-			fmt.Printf("%-18s %s\n", r.ID(), r.Doc())
+			fmt.Printf("%-20s %s\n", r.ID(), r.Doc())
 		}
 		return
+	}
+	if *writeBaselineFlag && *baselineFlag == "" {
+		fatal(fmt.Errorf("recsyslint: -write-baseline requires -baseline"))
 	}
 
 	rules, err := selectRules(*rulesFlag)
@@ -59,10 +76,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	loadStart := time.Now()
 	pkgs, err := loader.LoadAll()
 	if err != nil {
 		fatal(err)
 	}
+	loadDur := time.Since(loadStart)
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -82,17 +101,72 @@ func main() {
 		fatal(fmt.Errorf("recsyslint: no packages match %s", strings.Join(args, " ")))
 	}
 
+	analysisStart := time.Now()
 	findings := lint.Run(selected, lint.DefaultConfig(), rules)
-	for _, f := range findings {
-		rel, err := filepath.Rel(cwd, f.Pos.Filename)
-		if err == nil && !strings.HasPrefix(rel, "..") {
-			f.Pos.Filename = rel
+	analysisDur := time.Since(analysisStart)
+	if *timeFlag {
+		fmt.Fprintf(os.Stderr, "recsyslint: loaded %d packages in %v, analyzed %d in %v (%d rules)\n",
+			len(pkgs), loadDur.Round(time.Millisecond), len(selected), analysisDur.Round(time.Millisecond), len(rules))
+	}
+
+	// Relativize paths against the module root so baselines and SARIF
+	// artifacts are stable regardless of checkout location.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(f)
+	}
+
+	if *writeBaselineFlag {
+		if err := lint.NewBaseline(findings).WriteBaseline(*baselineFlag); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "recsyslint: wrote %d finding(s) to baseline %s\n", len(findings), *baselineFlag)
+		return
+	}
+	baselined := 0
+	if *baselineFlag != "" {
+		base, err := lint.ReadBaseline(*baselineFlag)
+		if err != nil {
+			fatal(err)
+		}
+		kept := base.Filter(findings)
+		baselined = len(findings) - len(kept)
+		findings = kept
+	}
+
+	if *sarifFlag != "" {
+		f, err := os.Create(*sarifFlag)
+		if err != nil {
+			fatal(err)
+		}
+		err = lint.WriteSARIF(f, findings, rules)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonFlag {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "recsyslint: %d finding(s)\n", len(findings))
+		suffix := ""
+		if baselined > 0 {
+			suffix = fmt.Sprintf(" (%d more suppressed by baseline)", baselined)
+		}
+		fmt.Fprintf(os.Stderr, "recsyslint: %d finding(s)%s\n", len(findings), suffix)
 		os.Exit(1)
+	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "recsyslint: clean (%d baselined finding(s) suppressed)\n", baselined)
 	}
 }
 

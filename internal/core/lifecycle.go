@@ -244,6 +244,15 @@ func (e *Engine) retrainAsync() {
 	}
 	go func() {
 		defer e.lc.training.Store(false)
+		// Whole-body guard: safeTrain only covers the trainer call, but
+		// a panic anywhere else on this goroutine (capture, fold-in,
+		// publish) would otherwise kill the process with no caller to
+		// notice. Recovered panics count as failed trains.
+		defer func() {
+			if r := recover(); r != nil {
+				e.lc.trainsFailed.Add(1)
+			}
+		}()
 		//lint:ignore dropped-error background retrains have no caller to report to; failures are counted in ModelsState and the train metrics
 		_ = e.runTrain(context.Background())
 	}()

@@ -268,7 +268,9 @@ func PopularityRanking(m *model.Matrix, cat *model.Catalog, u model.UserID, n in
 // Entries are rebuilt from scratch (idempotent under retry).
 func (e *Engine) stageExplainTopNDegraded(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	s := snapshotFrom(ctx)
-	req.Entries = nil
+	// Rebuilt from scratch for retry-idempotence, pre-sized so the
+	// per-entry appends never regrow the backing array.
+	req.Entries = make([]present.Entry, 0, len(req.Preds))
 	for _, pr := range req.Preds {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -174,8 +175,10 @@ func (e *Engine) stageRerank(ctx context.Context, req *pipeline.Request) (*pipel
 func (e *Engine) stageExplainTopN(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	s := snapshotFrom(ctx)
 	// Rebuild the entry list from scratch: the stage must stay
-	// idempotent so the resilience layer can retry it.
-	req.Entries = nil
+	// idempotent so the resilience layer can retry it. Pre-size to the
+	// surviving prediction count so the per-entry appends never regrow
+	// the backing array.
+	req.Entries = make([]present.Entry, 0, len(req.Preds))
 	for _, pr := range req.Preds {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -198,7 +201,7 @@ func (e *Engine) stageExplainTopN(ctx context.Context, req *pipeline.Request) (*
 // presentation, stamped with the serving model generation.
 func (e *Engine) stagePresentTopN(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	return &pipeline.Response{Presentation: &present.Presentation{
-		Title:        fmt.Sprintf("Top %d for you", len(req.Preds)),
+		Title:        "Top " + strconv.Itoa(len(req.Preds)) + " for you",
 		Entries:      req.Entries,
 		Degraded:     req.Degraded,
 		ModelVersion: snapshotFrom(ctx).modelVersion,

@@ -1,0 +1,94 @@
+// Committed-baseline mode: CI fails only on findings that are not in
+// the checked-in baseline file, so a new rule can land (and its
+// legacy debt be tracked) without blocking every unrelated PR until
+// the debt is paid down.
+//
+// Baseline entries are counted per (rule, file, message) — line
+// numbers are deliberately not part of the key, so moving code within
+// a file does not invalidate the baseline, while a *new* instance of
+// an already-baselined message in the same file still trips the gate
+// (the count grew).
+
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is the committed set of accepted findings, keyed by
+// rule|file|message with an instance count.
+type Baseline struct {
+	// Counts maps "rule\x1ffile\x1fmessage" keys to how many instances
+	// of that finding are accepted.
+	Counts map[string]int `json:"counts"`
+}
+
+func baselineKey(f Finding) string {
+	return f.RuleID + "\x1f" + f.Pos.Filename + "\x1f" + f.Message
+}
+
+// NewBaseline captures findings as the accepted state.
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{Counts: make(map[string]int, len(findings))}
+	for _, f := range findings {
+		b.Counts[baselineKey(f)]++
+	}
+	return b
+}
+
+// Filter returns the findings that exceed the baseline: for each key,
+// the first count(key) instances are suppressed, the rest survive.
+// Findings must use the same (relative) file paths the baseline was
+// written with.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	if b == nil || len(b.Counts) == 0 {
+		return findings
+	}
+	budget := make(map[string]int, len(b.Counts))
+	for k, n := range b.Counts {
+		budget[k] = n
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, not an error, so the gate degrades to plain mode before
+// the first -write-baseline run.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Counts: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Counts == nil {
+		b.Counts = map[string]int{}
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes b to path. encoding/json sorts map keys, so
+// the committed file diffs minimally.
+func (b *Baseline) WriteBaseline(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,353 @@
+// The intra-module call graph underpinning the interprocedural rules.
+//
+// Construction is CHA-style (class-hierarchy analysis) on the
+// stdlib's go/types: static calls resolve to their single declared
+// target; calls through an interface method resolve to that method on
+// every package-scope named type in the loaded module that implements
+// the interface. Method values, promoted methods and generic
+// receivers all resolve through types.Info the same way ordinary
+// calls do, so the graph sees `go e.run()`, `defer wg.Done()` and
+// `f := s.flush; f()` alike — each edge carries the mode it was
+// reached in (plain call, defer, go statement, or a reference from a
+// non-invoked function literal), because the interprocedural rules
+// weigh those modes very differently: a lock held across a plain call
+// is held across the callee, but not across the body of a goroutine
+// the callee merely spawns.
+//
+// On top of the graph the Program precomputes three fixed-point
+// summaries the rules share:
+//
+//   - mutatedParams: which parameters (receiver included) a function
+//     may write through, directly or by passing them onward — the
+//     snapshot-escape rule's alias oracle;
+//   - acquiredLocks: which lock identities a function may acquire,
+//     transitively through plain calls — the lock-ordering rule's
+//     reachability oracle;
+//   - recoverGuards: whether a function installs a direct
+//     defer-recover guard (recover only works when called directly by
+//     a deferred function, so this summary is deliberately not
+//     transitive) — the goroutine-lifecycle rule's guard oracle.
+//
+// Summaries are computed once, single-threaded, at Program build
+// time; rule passes then run in parallel and only read them.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallMode classifies how a call site transfers control.
+type CallMode uint8
+
+const (
+	// ModeCall is a plain call in the function's own control flow.
+	ModeCall CallMode = iota
+	// ModeDefer is a deferred call (runs at function exit).
+	ModeDefer
+	// ModeGo is a call that spawns a goroutine (or runs inside a
+	// goroutine body spawned by this function).
+	ModeGo
+	// ModeRef is a reference without a call: a method value, a
+	// function passed as an argument, or a call inside a non-invoked
+	// function literal whose execution time is unknown.
+	ModeRef
+)
+
+// CallSite is one resolved outgoing edge of a function.
+type CallSite struct {
+	// Expr is the call expression, or the referencing expression for
+	// ModeRef method values. Position only; may belong to a nested
+	// literal.
+	Expr ast.Expr
+	// Mode is how control reaches the target.
+	Mode CallMode
+	// Targets are the resolved module-declared callees: exactly one
+	// for a static call, every implementing method for an interface
+	// dispatch, none if the callee is a func value or lives outside
+	// the module.
+	Targets []*types.Func
+}
+
+// FuncInfo is one declared function or method of the module, with its
+// resolved outgoing edges.
+type FuncInfo struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []CallSite
+}
+
+// Program is a set of loaded packages plus the call graph and
+// interprocedural summaries over them. Build once with NewProgram,
+// then Run rule passes (in parallel) against it.
+type Program struct {
+	Pkgs []*Package
+	Cfg  *Config
+
+	funcs      map[*types.Func]*FuncInfo
+	namedTypes []*types.Named
+
+	// implCache memoises CHA resolution: interface method → module
+	// methods implementing it.
+	implCache map[*types.Func][]*types.Func
+
+	// Summaries (see package comment). All read-only after NewProgram.
+	mutatedParams map[*types.Func][]bool
+	acquiredLocks map[*types.Func]map[string]bool
+	recoverGuards map[*types.Func]bool
+
+	// lockEdges / lockCycles are the global lock-acquisition graph and
+	// its cycles (see rules_locks.go).
+	lockEdges  []lockEdge
+	lockCycles []lockCycle
+}
+
+// NewProgram builds the call graph and interprocedural summaries for
+// pkgs under cfg. The packages must come from one Loader so their
+// types.Info objects share identity.
+func NewProgram(pkgs []*Package, cfg *Config) *Program {
+	prog := &Program{
+		Pkgs:      pkgs,
+		Cfg:       cfg,
+		funcs:     make(map[*types.Func]*FuncInfo),
+		implCache: make(map[*types.Func][]*types.Func),
+	}
+	prog.indexDecls()
+	prog.resolveCalls()
+	prog.buildMutationSummaries()
+	prog.buildRecoverSummaries()
+	prog.buildLockGraph()
+	return prog
+}
+
+// FuncOf returns the module declaration info for fn, or nil when fn is
+// not declared in the loaded packages.
+func (prog *Program) FuncOf(fn *types.Func) *FuncInfo { return prog.funcs[fn] }
+
+// indexDecls records every declared function and method, and every
+// package-scope named type (the CHA universe).
+func (prog *Program) indexDecls() {
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.funcs[obj] = &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+			}
+		}
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					prog.namedTypes = append(prog.namedTypes, named)
+				}
+			}
+		}
+	}
+}
+
+// resolveCalls walks every indexed function body and records its
+// outgoing edges with their modes.
+func (prog *Program) resolveCalls() {
+	for _, fi := range prog.funcs {
+		fi.Calls = prog.collectCalls(fi.Pkg, fi.Decl.Body, ModeCall)
+	}
+}
+
+// collectCalls gathers the call sites of one body. mode is the mode
+// calls at this nesting level execute in; nested literals and go/defer
+// statements shift it.
+func (prog *Program) collectCalls(pkg *Package, body *ast.BlockStmt, mode CallMode) []CallSite {
+	var out []CallSite
+	// funs marks expressions used as the Fun of a call, so the ModeRef
+	// scan below does not double-report them.
+	funs := make(map[ast.Expr]bool)
+
+	var walk func(n ast.Node, mode CallMode)
+	walk = func(n ast.Node, mode CallMode) {
+		switch st := n.(type) {
+		case nil:
+			return
+		case *ast.GoStmt:
+			out = append(out, prog.siteFor(pkg, st.Call, ModeGo, funs)...)
+			prog.walkCallArgs(pkg, st.Call, ModeGo, &out, funs, walk)
+			return
+		case *ast.DeferStmt:
+			out = append(out, prog.siteFor(pkg, st.Call, ModeDefer, funs)...)
+			prog.walkCallArgs(pkg, st.Call, ModeDefer, &out, funs, walk)
+			return
+		case *ast.CallExpr:
+			out = append(out, prog.siteFor(pkg, st, mode, funs)...)
+			prog.walkCallArgs(pkg, st, mode, &out, funs, walk)
+			return
+		case *ast.FuncLit:
+			// A literal reached outside a call/go/defer head is stored
+			// or passed somewhere: its body runs at an unknown time.
+			walkChildren(st.Body, func(c ast.Node) { walk(c, ModeRef) })
+			return
+		case *ast.Ident, *ast.SelectorExpr:
+			expr := n.(ast.Expr)
+			if !funs[expr] {
+				if fn := usedFunc(pkg, expr); fn != nil && prog.funcs[fn] != nil {
+					out = append(out, CallSite{Expr: expr, Mode: ModeRef, Targets: []*types.Func{fn}})
+				}
+			}
+			// Selector bases can still contain calls: f().x — recurse.
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				walk(sel.X, mode)
+			}
+			return
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, mode) })
+	}
+	walkChildren(body, func(c ast.Node) { walk(c, mode) })
+	return out
+}
+
+// walkCallArgs continues the walk through a call's fun-literal and
+// arguments. The callee expression itself was already consumed by
+// siteFor; an immediately-invoked literal's body executes in the
+// surrounding mode, while literals passed as arguments demote to
+// ModeRef.
+func (prog *Program) walkCallArgs(pkg *Package, call *ast.CallExpr, mode CallMode, out *[]CallSite, funs map[ast.Expr]bool, walk func(ast.Node, CallMode)) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		walkChildren(lit.Body, func(c ast.Node) { walk(c, mode) })
+	} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		walk(sel.X, mode)
+	} else if _, ok := call.Fun.(*ast.Ident); !ok {
+		walk(call.Fun, mode)
+	}
+	for _, arg := range call.Args {
+		walk(arg, mode)
+	}
+}
+
+// siteFor resolves one call expression into zero or one CallSite and
+// marks its callee expression as consumed.
+func (prog *Program) siteFor(pkg *Package, call *ast.CallExpr, mode CallMode, funs map[ast.Expr]bool) []CallSite {
+	fun := ast.Unparen(call.Fun)
+	funs[fun] = true
+	fn := usedFunc(pkg, fun)
+	if fn == nil {
+		return nil // func value, builtin, or type conversion
+	}
+	targets := prog.chaTargets(fn)
+	if len(targets) == 0 {
+		return nil // outside the module entirely
+	}
+	return []CallSite{{Expr: call, Mode: mode, Targets: targets}}
+}
+
+// chaTargets resolves fn to module-declared targets: itself when
+// declared here, or every module method implementing it when fn is an
+// interface method.
+func (prog *Program) chaTargets(fn *types.Func) []*types.Func {
+	if prog.funcs[fn] != nil {
+		return []*types.Func{fn}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	if impls, ok := prog.implCache[fn]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range prog.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, fn.Pkg(), fn.Name())
+		m, ok := obj.(*types.Func)
+		if !ok || prog.funcs[m] == nil {
+			continue
+		}
+		impls = append(impls, m)
+	}
+	prog.implCache[fn] = impls
+	return impls
+}
+
+// usedFunc resolves an identifier or selector to the *types.Func it
+// names, or nil.
+func usedFunc(pkg *Package, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		// Prefer the selection (handles promoted methods precisely),
+		// fall back to Uses for qualified package identifiers.
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pkg.Info.Uses[e.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr:
+		// Generic instantiation: f[T](...).
+		return usedFunc(pkg, e.X)
+	}
+	return nil
+}
+
+// walkChildren applies fn to the immediate children of n.
+func walkChildren(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// reachable reports whether pred holds for from or any function
+// reachable from it through edges whose mode passes keep.
+func (prog *Program) reachable(from *types.Func, keep func(CallMode) bool, pred func(*FuncInfo) bool) bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func) bool
+	visit = func(fn *types.Func) bool {
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		fi := prog.funcs[fn]
+		if fi == nil {
+			return false
+		}
+		if pred(fi) {
+			return true
+		}
+		for _, site := range fi.Calls {
+			if !keep(site.Mode) {
+				continue
+			}
+			for _, t := range site.Targets {
+				if visit(t) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return visit(from)
+}

@@ -1,0 +1,347 @@
+// Tests for the interprocedural layer: the four call-graph-backed
+// rules' golden fixtures, call-graph construction itself, the hardened
+// module loader, and the JSON/SARIF/baseline output plumbing.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotEscapeFixtures(t *testing.T) {
+	bad := fixture(t, "snapshotescape/bad")
+	checkFixture(t, bad, &Config{EscapeScopePrefixes: []string{bad.Path}}, "snapshot-escape")
+	good := fixture(t, "snapshotescape/good")
+	checkFixture(t, good, &Config{EscapeScopePrefixes: []string{good.Path}}, "snapshot-escape")
+}
+
+func TestGoroutineLifecycleFixtures(t *testing.T) {
+	bad := fixture(t, "goroutinelifecycle/bad")
+	checkFixture(t, bad, &Config{GoroutineScopePrefixes: []string{bad.Path}}, "goroutine-lifecycle")
+	good := fixture(t, "goroutinelifecycle/good")
+	checkFixture(t, good, &Config{
+		GoroutineScopePrefixes: []string{good.Path},
+		GoroutineAllowlist:     map[string]bool{good.Path + ".allowlisted": true},
+	}, "goroutine-lifecycle")
+
+	// Without its allowlist entry, the supervisor fixture is flagged —
+	// the list is load-bearing, not decorative.
+	findings := Run([]*Package{good}, &Config{GoroutineScopePrefixes: []string{good.Path}}, []Rule{ruleByID(t, "goroutine-lifecycle")})
+	sawAllowlisted := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "allowlisted") {
+			sawAllowlisted = true
+		}
+	}
+	if !sawAllowlisted {
+		t.Errorf("removing the allowlist entry should flag the allowlisted spawn; findings: %v", findings)
+	}
+}
+
+func TestLockOrderingFixtures(t *testing.T) {
+	bad := fixture(t, "lockordering/bad")
+	checkFixture(t, bad, &Config{LockScopePrefixes: []string{bad.Path}}, "lock-ordering")
+	good := fixture(t, "lockordering/good")
+	checkFixture(t, good, &Config{LockScopePrefixes: []string{good.Path}}, "lock-ordering")
+}
+
+func TestHotPathAllocFixtures(t *testing.T) {
+	bad := fixture(t, "hotpathalloc/bad")
+	checkFixture(t, bad, readPathCfg(bad), "hot-path-alloc")
+	good := fixture(t, "hotpathalloc/good")
+	checkFixture(t, good, readPathCfg(good), "hot-path-alloc")
+}
+
+// ---- call-graph construction ----
+
+func scopeFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in %s", name, pkg.Path)
+	}
+	return fn
+}
+
+func methodOf(t *testing.T, pkg *Package, typeName, method string) *types.Func {
+	t.Helper()
+	tn, ok := pkg.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		t.Fatalf("no type %s in %s", typeName, pkg.Path)
+	}
+	named := tn.Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == method {
+			return named.Method(i)
+		}
+	}
+	t.Fatalf("no method %s.%s", typeName, method)
+	return nil
+}
+
+func TestCallGraphConstruction(t *testing.T) {
+	pkg := fixture(t, "callgraph")
+	prog := NewProgram([]*Package{pkg}, &Config{})
+
+	aRun := methodOf(t, pkg, "A", "Run")
+	bRun := methodOf(t, pkg, "B", "Run")
+	basePing := methodOf(t, pkg, "Base", "Ping")
+	helper := scopeFunc(t, pkg, "helperA")
+
+	// Interface dispatch: invoke's r.Run() resolves to both impls.
+	invoke := prog.FuncOf(scopeFunc(t, pkg, "invoke"))
+	if invoke == nil {
+		t.Fatal("invoke not indexed")
+	}
+	var dispatch *CallSite
+	for i := range invoke.Calls {
+		if invoke.Calls[i].Mode == ModeCall && len(invoke.Calls[i].Targets) > 1 {
+			dispatch = &invoke.Calls[i]
+		}
+	}
+	if dispatch == nil {
+		t.Fatalf("invoke has no multi-target dispatch site: %+v", invoke.Calls)
+	}
+	targets := make(map[*types.Func]bool)
+	for _, f := range dispatch.Targets {
+		targets[f] = true
+	}
+	if !targets[aRun] || !targets[bRun] {
+		t.Errorf("dispatch targets missing A.Run or (*B).Run: %v", dispatch.Targets)
+	}
+
+	// Promoted method: d.Ping() resolves to the embedded Base's method.
+	promoted := prog.FuncOf(scopeFunc(t, pkg, "promoted"))
+	foundPing := false
+	for _, site := range promoted.Calls {
+		for _, f := range site.Targets {
+			if f == basePing {
+				foundPing = true
+			}
+		}
+	}
+	if !foundPing {
+		t.Errorf("promoted call did not resolve to Base.Ping: %+v", promoted.Calls)
+	}
+
+	// Call modes: method value → ModeRef, go/defer → ModeGo/ModeDefer.
+	modes := prog.FuncOf(scopeFunc(t, pkg, "modes"))
+	byMode := make(map[CallMode]map[*types.Func]bool)
+	for _, site := range modes.Calls {
+		if byMode[site.Mode] == nil {
+			byMode[site.Mode] = make(map[*types.Func]bool)
+		}
+		for _, f := range site.Targets {
+			byMode[site.Mode][f] = true
+		}
+	}
+	if !byMode[ModeRef][aRun] {
+		t.Errorf("method value a.Run not recorded as ModeRef: %+v", modes.Calls)
+	}
+	if !byMode[ModeGo][helper] {
+		t.Errorf("go helperA() not recorded as ModeGo: %+v", modes.Calls)
+	}
+	if !byMode[ModeDefer][helper] {
+		t.Errorf("defer helperA() not recorded as ModeDefer: %+v", modes.Calls)
+	}
+
+	// Transitive reachability through the interface edge:
+	// invoke → A.Run → helperA on plain call edges.
+	reached := prog.reachable(invoke.Obj,
+		func(m CallMode) bool { return m == ModeCall },
+		func(fi *FuncInfo) bool { return fi.Obj == helper })
+	if !reached {
+		t.Error("helperA not reachable from invoke through interface dispatch")
+	}
+}
+
+// ---- loader hardening ----
+
+func loaderFixtureDir(t *testing.T, rel string) string {
+	t.Helper()
+	l := testLoader(t)
+	return filepath.Join(l.Root, "internal", "lint", "testdata", "src", "loader", filepath.FromSlash(rel))
+}
+
+func TestLoaderImportCycle(t *testing.T) {
+	l := testLoader(t)
+	_, err := l.LoadDir(loaderFixtureDir(t, "cycle/a"))
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("want an import-cycle diagnostic, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cycle/a") || !strings.Contains(err.Error(), "cycle/b") {
+		t.Errorf("cycle diagnostic should name both packages: %v", err)
+	}
+}
+
+func TestLoaderBuildConstraints(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("fixture carries flavor files for linux/windows only")
+	}
+	l := testLoader(t)
+	pkg, err := l.LoadDir(loaderFixtureDir(t, "tagged"))
+	if err != nil {
+		t.Fatalf("tagged fixture should load cleanly: %v", err)
+	}
+	// tagged.go + flavor_linux.go; flavor_windows.go (filename) and
+	// excluded.go (//go:build) are filtered out.
+	if len(pkg.Files) != 2 {
+		t.Errorf("want 2 buildable files, got %d", len(pkg.Files))
+	}
+	c, ok := pkg.Pkg.Scope().Lookup("flavor").(*types.Const)
+	if !ok {
+		t.Fatal("flavor const missing")
+	}
+	if got := constant.StringVal(c.Val()); got != "linux" {
+		t.Errorf("flavor = %q, want linux", got)
+	}
+}
+
+func TestLoaderAllFilesExcluded(t *testing.T) {
+	l := testLoader(t)
+	_, err := l.LoadDir(loaderFixtureDir(t, "onlytagged"))
+	var nfe *NoFilesError
+	if !errors.As(err, &nfe) {
+		t.Fatalf("want NoFilesError, got %v", err)
+	}
+}
+
+func TestLoaderMissingImport(t *testing.T) {
+	l := testLoader(t)
+	_, err := l.LoadDir(loaderFixtureDir(t, "missing"))
+	if err == nil || !strings.Contains(err.Error(), "doesnotexist") {
+		t.Fatalf("want a diagnostic naming the missing import, got %v", err)
+	}
+}
+
+// TestLoadAllNoDuplicates is the regression test for the walker bug
+// where a subdirectory (internal/core/servicetest) split its parent's
+// file list and the parent package was collected twice, silently
+// doubling every finding in it.
+func TestLoadAllNoDuplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check in -short mode")
+	}
+	l := testLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		if seen[p.Path] {
+			t.Errorf("LoadAll returned %s twice", p.Path)
+		}
+		seen[p.Path] = true
+	}
+}
+
+// ---- output formats ----
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Pos: token.Position{Filename: "internal/core/a.go", Line: 3, Column: 2}, RuleID: "lock-ordering", Message: "cycle"},
+		{Pos: token.Position{Filename: "internal/core/b.go", Line: 10, Column: 1}, RuleID: "snapshot-escape", Message: "mutated after publish"},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleFindings()); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding our own JSON: %v", err)
+	}
+	if rep.Count != 2 || len(rep.Findings) != 2 {
+		t.Fatalf("want 2 findings, got count=%d len=%d", rep.Count, len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.File != "internal/core/a.go" || f.Line != 3 || f.Column != 2 || f.Rule != "lock-ordering" || f.Message != "cycle" {
+		t.Errorf("finding did not survive the round trip: %+v", f)
+	}
+}
+
+func TestSARIFRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleFindings(), AllRules()); err != nil {
+		t.Fatal(err)
+	}
+	var log SARIFLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("decoding our own SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "recsyslint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(AllRules()) {
+		t.Errorf("driver advertises %d rules, want %d", len(run.Tool.Driver.Rules), len(AllRules()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "lock-ordering" || r.Message.Text != "cycle" {
+		t.Errorf("result did not survive the round trip: %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/a.go" || loc.Region.StartLine != 3 || loc.Region.StartColumn != 2 {
+		t.Errorf("location did not survive the round trip: %+v", loc)
+	}
+}
+
+// ---- baseline ----
+
+func TestBaselineFilter(t *testing.T) {
+	fs := sampleFindings()
+	base := NewBaseline(fs)
+
+	if kept := base.Filter(fs); len(kept) != 0 {
+		t.Errorf("baseline should suppress its own findings, kept %v", kept)
+	}
+
+	// A new finding survives; a second instance of a baselined one does
+	// too (the count grew).
+	extra := Finding{Pos: token.Position{Filename: "internal/core/c.go", Line: 1}, RuleID: "determinism", Message: "wall clock"}
+	dup := fs[0]
+	kept := base.Filter([]Finding{fs[0], dup, fs[1], extra})
+	if len(kept) != 2 {
+		t.Fatalf("want 2 surviving findings, got %v", kept)
+	}
+}
+
+func TestBaselineReadWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	base := NewBaseline(sampleFindings())
+	if err := base.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Counts, base.Counts) {
+		t.Errorf("round trip changed counts: %v != %v", got.Counts, base.Counts)
+	}
+
+	// Missing file degrades to an empty baseline.
+	empty, err := ReadBaseline(filepath.Join(dir, "nope.json"))
+	if err != nil || len(empty.Counts) != 0 {
+		t.Errorf("missing baseline should read as empty: %v %v", empty, err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at a source position.
@@ -51,9 +52,13 @@ type Rule interface {
 }
 
 // Pass couples one rule run over one package with its report sink.
+// Prog carries the module-wide call graph and interprocedural
+// summaries (nil only in narrow unit tests); intra-function rules
+// ignore it.
 type Pass struct {
 	Cfg    *Config
 	Pkg    *Package
+	Prog   *Program
 	rule   string
 	report func(Finding)
 }
@@ -85,6 +90,20 @@ type Config struct {
 	// context.Background() outside main packages, qualified as
 	// "import/path.Func" or "import/path.(*Recv).Method".
 	CtxAllowlist map[string]bool
+	// GoroutineScopePrefixes are import-path prefixes inside which the
+	// goroutine-lifecycle rule applies.
+	GoroutineScopePrefixes []string
+	// GoroutineAllowlist names functions (qualified like CtxAllowlist)
+	// whose go statements are supervised by construction — the
+	// retrainAsync pattern, where a CAS gate bounds the goroutine's
+	// lifetime instead of a context.
+	GoroutineAllowlist map[string]bool
+	// EscapeScopePrefixes are import-path prefixes inside which the
+	// snapshot-escape rule applies.
+	EscapeScopePrefixes []string
+	// LockScopePrefixes are import-path prefixes inside which the
+	// lock-ordering rule reports cycles.
+	LockScopePrefixes []string
 }
 
 // DefaultConfig returns the contract map of this repository: the read
@@ -152,10 +171,23 @@ func DefaultConfig() *Config {
 			// training run's lifetime.
 			"repro/internal/core.(*Engine).retrainAsync": true,
 		},
+		GoroutineScopePrefixes: []string{"repro/internal/"},
+		GoroutineAllowlist: map[string]bool{
+			// The background trainer: its goroutine's lifetime is bounded
+			// by the lifecycle's single-flight CAS gate (training flag),
+			// not by a context — the write that triggered the retrain
+			// must not cancel it, and panics are recovered into
+			// TrainsFailed.
+			"repro/internal/core.(*Engine).retrainAsync": true,
+		},
+		EscapeScopePrefixes: []string{"repro/internal/"},
+		LockScopePrefixes:   []string{"repro/internal/"},
 	}
 }
 
-// AllRules returns every registered rule, in report order.
+// AllRules returns every registered rule, in report order. The first
+// five are the original intra-function rules; the last four are the
+// interprocedural suite built on the call graph (callgraph.go).
 func AllRules() []Rule {
 	return []Rule{
 		snapshotMutation{},
@@ -163,6 +195,10 @@ func AllRules() []Rule {
 		determinism{},
 		lockInReadPath{},
 		droppedError{},
+		snapshotEscape{},
+		goroutineLifecycle{},
+		lockOrdering{},
+		hotPathAlloc{},
 	}
 }
 
@@ -180,23 +216,41 @@ func RuleIDs() []string {
 // findings sorted by position. Suppressed findings are dropped;
 // malformed or unknown //lint:ignore directives are reported under the
 // lint-directive pseudo-rule.
+//
+// The call graph and interprocedural summaries are built once, up
+// front; packages are then analysed in parallel — the summaries are
+// read-only during rule passes, the type-check results were cached by
+// the loader, and findings are merged and position-sorted at the end,
+// so the output is identical to a sequential run.
 func Run(pkgs []*Package, cfg *Config, rules []Rule) []Finding {
 	known := make(map[string]bool)
 	for _, r := range AllRules() {
 		known[r.ID()] = true
 	}
+	prog := NewProgram(pkgs, cfg)
+	perPkg := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sup, bad := directives(pkg, known)
+			out := bad
+			for _, r := range rules {
+				pass := &Pass{Cfg: cfg, Pkg: pkg, Prog: prog, rule: r.ID(), report: func(f Finding) {
+					if !sup.suppresses(f) {
+						out = append(out, f)
+					}
+				}}
+				r.Check(pass)
+			}
+			perPkg[i] = out
+		}(i, pkg)
+	}
+	wg.Wait()
 	var out []Finding
-	for _, pkg := range pkgs {
-		sup, bad := directives(pkg, known)
-		out = append(out, bad...)
-		for _, r := range rules {
-			pass := &Pass{Cfg: cfg, Pkg: pkg, rule: r.ID(), report: func(f Finding) {
-				if !sup.suppresses(f) {
-					out = append(out, f)
-				}
-			}}
-			r.Check(pass)
-		}
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

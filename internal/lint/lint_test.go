@@ -302,7 +302,10 @@ func TestRuleMetadata(t *testing.T) {
 		}
 		seen[r.ID()] = true
 	}
-	for _, id := range []string{"snapshot-mutation", "ctx-propagation", "determinism", "lock-in-read-path", "dropped-error"} {
+	for _, id := range []string{
+		"snapshot-mutation", "ctx-propagation", "determinism", "lock-in-read-path", "dropped-error",
+		"snapshot-escape", "goroutine-lifecycle", "lock-ordering", "hot-path-alloc",
+	} {
 		if !seen[id] {
 			t.Errorf("registry is missing rule %s", id)
 		}

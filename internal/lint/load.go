@@ -9,20 +9,32 @@
 // module resolve recursively through the loader itself, while
 // standard-library imports are served by the stdlib source importer
 // (importer.ForCompiler "source"), which type-checks GOROOT sources
-// and therefore needs no pre-compiled export data. Build constraints
-// are not evaluated; the repository has no tagged files.
+// and therefore needs no pre-compiled export data.
+//
+// Build constraints are evaluated with go/build/constraint against
+// the running GOOS/GOARCH (plus the implicit "gc" and go1.* tags), and
+// _GOOS/_GOARCH filename suffixes are honoured, so a file excluded
+// from the build never reaches the type-checker where its
+// duplicate-declaration or missing-symbol errors would be
+// misattributed to the live code. Import cycles are reported with the
+// full chain, and a panicking type-check (possible on pathological
+// inputs) is recovered into a diagnostic instead of taking the
+// analyzer down.
 
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -45,7 +57,7 @@ type Loader struct {
 	fset    *token.FileSet
 	std     types.Importer
 	pkgs    map[string]*Package // import path → loaded package
-	loading map[string]bool     // cycle detection
+	loading []string            // in-progress load stack, for cycle chains
 }
 
 // NewLoader returns a loader for the module rooted at root, which must
@@ -66,7 +78,6 @@ func NewLoader(root string) (*Loader, error) {
 		fset:    fset,
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
 	}, nil
 }
 
@@ -115,6 +126,7 @@ func modulePath(gomod string) (string, error) {
 // deliberately violate its own rules.
 func (l *Loader) LoadAll() ([]*Package, error) {
 	var dirs []string
+	seen := make(map[string]bool)
 	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -127,8 +139,13 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			return nil
 		}
 		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			// Dedup with a set, not a last-element check: WalkDir is
+			// lexical, so a subdirectory can split a package's files into
+			// two runs (internal/core resumes after servicetest/) and the
+			// same dir would be collected — and analysed — twice.
 			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			if !seen[dir] {
+				seen[dir] = true
 				dirs = append(dirs, dir)
 			}
 		}
@@ -142,11 +159,29 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	for _, dir := range dirs {
 		p, err := l.LoadDir(dir)
 		if err != nil {
+			var empty *NoFilesError
+			if errors.As(err, &empty) {
+				// Every file in the directory is excluded by build
+				// constraints for this GOOS/GOARCH: not a package at all
+				// from the analyzer's point of view.
+				continue
+			}
 			return nil, err
 		}
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// NoFilesError reports a directory whose .go files are all excluded —
+// by build constraints or because only test files exist. LoadAll
+// skips such directories; direct loads surface the diagnostic.
+type NoFilesError struct {
+	Dir string
+}
+
+func (e *NoFilesError) Error() string {
+	return fmt.Sprintf("lint: no buildable Go files in %s (all excluded by build constraints?)", e.Dir)
 }
 
 // LoadDir loads and type-checks the package in dir, which must sit
@@ -194,15 +229,28 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // load parses and type-checks one package directory, caching the
 // result by import path.
-func (l *Loader) load(path, dir string) (*Package, error) {
+func (l *Loader) load(path, dir string) (p *Package, err error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	for i, in := range l.loading {
+		if in == path {
+			chain := append(append([]string{}, l.loading[i:]...), path)
+			return nil, fmt.Errorf("lint: import cycle: %s", strings.Join(chain, " → "))
+		}
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	// The type-checker and the source importer are not supposed to
+	// panic, but a malformed GOROOT or a pathological fixture can make
+	// them: turn that into a diagnostic instead of crashing the
+	// analyzer (and CI) with a bare stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("lint: internal panic loading %s: %v", path, r)
+		}
+	}()
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -215,15 +263,21 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if !goodOSArchFile(name) {
+			continue
+		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if !buildTagsSatisfied(f) {
+			continue
 		}
 		files = append(files, f)
 		names = append(names, f.Name.Name)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+		return nil, &NoFilesError{Dir: dir}
 	}
 	for _, n := range names[1:] {
 		if n != names[0] {
@@ -249,7 +303,91 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}
+	p = &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// buildTagsSatisfied evaluates the file's //go:build (or legacy
+// // +build) constraint for the analyzer's own GOOS/GOARCH. A file
+// with no constraint is always in.
+func buildTagsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false // unparseable constraint: treat as excluded
+			}
+			if !expr.Eval(buildTagOK) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildTagOK decides one build tag the way `go build` would on this
+// machine: the running GOOS/GOARCH, the gc compiler, and every
+// released language version are in; everything else — including
+// "ignore", cgo, and custom tags — is out.
+func buildTagOK(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc":
+		return true
+	case strings.HasPrefix(tag, "go1."):
+		return true
+	case tag == "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	return false
+}
+
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "netbsd": true, "openbsd": true,
+	"plan9": true, "solaris": true, "wasip1": true, "windows": true,
+	"zos": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "sparc64": true, "wasm": true,
+}
+
+// goodOSArchFile applies the _GOOS/_GOARCH filename convention:
+// name_linux.go, name_amd64.go, name_linux_amd64.go. Mirrors the go
+// tool's rule, including that the suffix only counts after an initial
+// non-suffix part (literally "linux.go" has no constraint).
+func goodOSArchFile(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	parts := strings.Split(name, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	parts = parts[1:] // the leading part is never a constraint
+	if n := len(parts); n >= 2 && knownGOOS[parts[n-2]] && knownGOARCH[parts[n-1]] {
+		return parts[n-2] == runtime.GOOS && parts[n-1] == runtime.GOARCH
+	}
+	if n := len(parts); knownGOOS[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	if n := len(parts); knownGOARCH[parts[n-1]] {
+		return parts[n-1] == runtime.GOARCH
+	}
+	return true
 }

@@ -1,0 +1,139 @@
+// Machine-readable output for recsyslint: a flat JSON findings array
+// for scripting, and SARIF 2.1.0 for code-scanning UIs and CI
+// artifact upload. The exported structs round-trip through
+// encoding/json, which the decode tests rely on: whatever the CLI
+// emits, a consumer can json.Unmarshal back into these types.
+
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the JSON wire form of one finding.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	Findings []JSONFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+// WriteJSON emits findings as a JSONReport.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	rep := JSONReport{Findings: make([]JSONFinding, 0, len(findings)), Count: len(findings)}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Rule:    f.RuleID,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 — the minimal subset code-scanning consumers require:
+// one run, a driver with rule metadata, and one result per finding
+// with a physical location.
+
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+type SARIFDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri,omitempty"`
+	Rules          []SARIFRuleDesc `json:"rules"`
+}
+
+type SARIFRuleDesc struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits findings as a single-run SARIF 2.1.0 log. rules
+// populates the driver's rule table (pass AllRules(), or the selected
+// subset). File paths are emitted as given — relativize before
+// calling if the consumer wants repo-relative URIs.
+func WriteSARIF(w io.Writer, findings []Finding, rules []Rule) error {
+	driver := SARIFDriver{Name: "recsyslint"}
+	for _, r := range rules {
+		driver.Rules = append(driver.Rules, SARIFRuleDesc{
+			ID:               r.ID(),
+			ShortDescription: SARIFMessage{Text: r.Doc()},
+		})
+	}
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, SARIFResult{
+			RuleID:  f.RuleID,
+			Level:   "error",
+			Message: SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: f.Pos.Filename},
+					Region:           SARIFRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := SARIFLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []SARIFRun{{Tool: SARIFTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,150 @@
+// The hot-path-alloc rule: a heuristic allocation budget for the
+// serving read path (ROADMAP item 3's raw-speed goal). Inside stage
+// functions — the same scope the snapshot-mutation and
+// lock-in-read-path rules police — it flags the three allocation
+// patterns profiling keeps finding:
+//
+//   - fmt.Sprintf / fmt.Sprint / fmt.Sprintln: reflection plus at
+//     least one allocation per call, on every request;
+//   - append inside a loop to a slice this function created without a
+//     capacity hint (no make with a length/capacity argument): the
+//     backing array reallocates log-many times per request;
+//   - map composite literals: a per-request map allocation, usually a
+//     lookup table that belongs at package scope.
+//
+// It is a heuristic, not an escape analysis: appends to slices the
+// function did not visibly create (parameters, fields it only ever
+// appends to) are left alone, and anything intentional is one
+// //lint:ignore with a reason away.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type hotPathAlloc struct{}
+
+func (hotPathAlloc) ID() string { return "hot-path-alloc" }
+func (hotPathAlloc) Doc() string {
+	return "no fmt.Sprintf, unhinted in-loop append, or map literals inside read-path stage functions"
+}
+
+var sprintFuncs = map[string]bool{"Sprintf": true, "Sprint": true, "Sprintln": true}
+
+func (hotPathAlloc) Check(pass *Pass) {
+	forEachStageFunc(pass, func(name string, body *ast.BlockStmt) {
+		hinted := make(map[string]bool)   // slices created with a capacity/length hint
+		declared := make(map[string]bool) // slices this function visibly creates or resets
+		recordAssign := func(lhs, rhs ast.Expr) {
+			key := exprString(lhs)
+			declared[key] = true
+			if rhs != nil && isMakeWithHint(pass, rhs) {
+				hinted[key] = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						// s = append(s, ...) extends s, it does not create
+						// it; without this skip every parameter would count
+						// as function-created after its first append.
+						if isSelfAppend(pass, st.Lhs[i], st.Rhs[i]) {
+							continue
+						}
+						recordAssign(st.Lhs[i], st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range st.Names {
+					var rhs ast.Expr
+					if i < len(st.Values) {
+						rhs = st.Values[i]
+					}
+					recordAssign(id, rhs)
+				}
+			}
+			return true
+		})
+
+		var loops []struct{ lo, hi token.Pos }
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+			}
+			return true
+		})
+		inLoop := func(p token.Pos) bool {
+			for _, l := range loops {
+				if p >= l.lo && p <= l.hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, st); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sprintFuncs[fn.Name()] {
+					pass.Reportf(st.Pos(), "stage %s calls fmt.%s on the hot path; formatting reflects and allocates per request — use strconv or precomputed strings", name, fn.Name())
+					return true
+				}
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "append" && len(st.Args) >= 2 {
+					if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && inLoop(st.Pos()) {
+						key := exprString(st.Args[0])
+						if declared[key] && !hinted[key] {
+							pass.Reportf(st.Pos(), "stage %s appends to %s inside a loop without a capacity hint; the backing array reallocates repeatedly — preallocate with make(..., 0, n)", name, key)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if t := pass.Pkg.Info.Types[st].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(st.Pos(), "stage %s builds a map literal on the hot path; hoist the table to package scope or reuse a pooled map", name)
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isSelfAppend reports whether rhs is append(lhs, ...) — structural
+// equality on the printed expression, matching the declared/hinted
+// bookkeeping keys.
+func isSelfAppend(pass *Pass, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return exprString(call.Args[0]) == exprString(lhs)
+}
+
+// isMakeWithHint reports whether e is make(...) carrying a size
+// argument: make([]T, n) or make([]T, 0, n) both pre-size the backing
+// array.
+func isMakeWithHint(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	_, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,509 @@
+// The snapshot-escape rule: values published through an atomic
+// pointer (atomic.Pointer[T].Store) or an artifact store (a module
+// method named Publish) are shared with every concurrent reader the
+// instant the publish call returns, so the publishing function must
+// not write through the published value afterwards — directly,
+// through an alias captured earlier (a map or slice pulled out of the
+// value), or by passing the value to a callee that mutates its
+// parameter. The intra-function snapshot-mutation rule (PR 3) already
+// guards read-path stages; this rule guards the write path's half of
+// the contract, across function boundaries, using the call graph's
+// parameter-mutation summaries.
+//
+// The analysis is deliberately shaped like the repository's publish
+// idiom: build → (optionally hand to helpers) → publish → never touch
+// again. Everything before the publish call is fair game; the rule
+// fires only on post-publish writes and on post-publish calls whose
+// (transitively computed) summary says they may write through the
+// argument.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type snapshotEscape struct{}
+
+func (snapshotEscape) ID() string { return "snapshot-escape" }
+func (snapshotEscape) Doc() string {
+	return "no mutation of, or retained mutable alias into, a value after it is published via atomic.Pointer.Store or a Publish method"
+}
+
+func (snapshotEscape) Check(pass *Pass) {
+	if pass.Prog == nil || !prefixMatch(pass.Pkg.Path, pass.Cfg.EscapeScopePrefixes) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEscapes(pass, fd)
+		}
+	}
+}
+
+// publishEvent is one publish call inside a function body.
+type publishEvent struct {
+	pos   token.Pos
+	desc  string         // rendering of the publish call for messages
+	roots []types.Object // identifiable published values
+}
+
+// checkEscapes analyses one function declaration: find the publish
+// calls, build the alias map, then flag post-publish writes and
+// mutating calls that reach a published value.
+func checkEscapes(pass *Pass, fd *ast.FuncDecl) {
+	var publishes []publishEvent
+	aliases := make(map[types.Object]types.Object) // alias → aliased base object
+	rebinds := make(map[types.Object][]token.Pos)  // variable → wholesale reassignment positions
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if roots, desc, ok := publishedValues(pass, st); ok {
+				publishes = append(publishes, publishEvent{pos: st.Pos(), desc: desc, roots: roots})
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := identObj(pass, id)
+				if obj == nil {
+					continue
+				}
+				// A wholesale rebind starts a fresh generation: earlier
+				// publishes of this variable no longer alias it.
+				rebinds[obj] = append(rebinds[obj], lhs.Pos())
+				// Record pure-path aliases: m := s.scores, t := s.
+				if i < len(st.Rhs) && len(st.Lhs) == len(st.Rhs) {
+					if base, pure := pathBase(pass, st.Rhs[i]); pure && base != nil {
+						aliases[obj] = base
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(publishes) == 0 {
+		return
+	}
+
+	published := func(obj types.Object, after token.Pos) (publishEvent, bool) {
+		// Resolve the alias chain to its base object.
+		seen := 0
+		for {
+			base, ok := aliases[obj]
+			if !ok || seen > 10 {
+				break
+			}
+			obj = base
+			seen++
+		}
+		for _, p := range publishes {
+			if after <= p.pos {
+				continue
+			}
+			match := false
+			for _, r := range p.roots {
+				if r == obj {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			rebound := false
+			for _, rp := range rebinds[obj] {
+				if p.pos < rp && rp < after {
+					rebound = true
+					break
+				}
+			}
+			if !rebound {
+				return p, true
+			}
+		}
+		return publishEvent{}, false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				obj, through := writeRoot(pass.Pkg, lhs)
+				if obj == nil || !through {
+					continue
+				}
+				if p, ok := published(obj, lhs.Pos()); ok {
+					pass.Reportf(lhs.Pos(), "%s writes through %s after it was published by %s; published values are shared with concurrent readers — mutate before publishing, or build a fresh generation", fd.Name.Name, exprString(lhs), p.desc)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj, through := writeRoot(pass.Pkg, st.X); obj != nil && through {
+				if p, ok := published(obj, st.X.Pos()); ok {
+					pass.Reportf(st.X.Pos(), "%s writes through %s after it was published by %s; published values are shared with concurrent readers — mutate before publishing, or build a fresh generation", fd.Name.Name, exprString(st.X), p.desc)
+				}
+			}
+		case *ast.CallExpr:
+			checkEscapeCall(pass, fd, st, published)
+		}
+		return true
+	})
+}
+
+// checkEscapeCall flags a call made after a publish that hands the
+// published value (or an alias of it) to a parameter the callee may
+// mutate, and the builtin mutators delete/copy.
+func checkEscapeCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, published func(types.Object, token.Pos) (publishEvent, bool)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "delete" || id.Name == "copy") && len(call.Args) > 0 {
+		if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if base, _ := pathBase(pass, call.Args[0]); base != nil {
+				if p, ok := published(base, call.Pos()); ok {
+					pass.Reportf(call.Pos(), "%s calls %s on state reachable from a value published by %s; published values are shared with concurrent readers", fd.Name.Name, id.Name, p.desc)
+				}
+			}
+		}
+		return
+	}
+	fn := usedFunc(pass.Pkg, call.Fun)
+	if fn == nil {
+		return
+	}
+	for _, target := range pass.Prog.chaTargets(fn) {
+		for idx, arg := range callArgs(pass.Pkg, call, target) {
+			base, _ := pathBase(pass, arg)
+			if base == nil {
+				continue
+			}
+			mut := pass.Prog.mutatedParams[target]
+			if idx >= len(mut) || !mut[idx] {
+				continue
+			}
+			if p, ok := published(base, call.Pos()); ok {
+				pass.Reportf(call.Pos(), "%s passes %s, published by %s, to %s which may mutate it; published values are shared with concurrent readers — pass a copy or reorder the publish", fd.Name.Name, exprString(arg), p.desc, target.Name())
+				return
+			}
+		}
+	}
+}
+
+// publishedValues recognises a publish call and returns the
+// identifiable objects it publishes: the stored value for
+// (*sync/atomic.Pointer[T]).Store, and every reference-typed argument
+// for a module method named Publish.
+func publishedValues(pass *Pass, call *ast.CallExpr) ([]types.Object, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, "", false
+	}
+	collect := func(args []ast.Expr) []types.Object {
+		var roots []types.Object
+		for _, a := range args {
+			if !referenceLike(pass.Pkg.Info.Types[a].Type) {
+				continue
+			}
+			if base, pure := pathBase(pass, a); pure && base != nil {
+				roots = append(roots, base)
+			}
+		}
+		return roots
+	}
+	if fn.Name() == "Store" && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && isAtomicPointerRecv(fn) && len(call.Args) == 1 {
+		return collect(call.Args), exprString(call.Fun) + "(...)", true
+	}
+	if fn.Name() == "Publish" && fn.Pkg() != nil && fn.Pkg().Path() != "sync/atomic" {
+		// Only module-declared Publish methods count as artifact stores.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return collect(call.Args), exprString(call.Fun) + "(...)", true
+		}
+	}
+	return nil, "", false
+}
+
+// isAtomicPointerRecv reports whether fn's receiver is
+// sync/atomic.Pointer[T] (as opposed to Bool/Int64/Value, whose Store
+// publishes no aliasable structure).
+func isAtomicPointerRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pointer"
+}
+
+// referenceLike reports whether t can carry mutable state by
+// reference: pointers, maps, slices, channels and interfaces.
+func referenceLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// pathBase resolves a pure selector/index/dereference path to its base
+// identifier's object. The second result is false when the expression
+// contains anything but path steps (a call breaks aliasing).
+func pathBase(pass *Pass, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return identObj(pass, x), true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil, false
+			}
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Pkg.Info.Defs[id]
+}
+
+// writeRoot returns the base identifier object of an assignable
+// expression and whether the write goes through at least one
+// selector/index/dereference step (writing *into* the object rather
+// than rebinding a variable).
+func writeRoot(pkg *Package, e ast.Expr) (types.Object, bool) {
+	through := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			if obj == nil {
+				obj = pkg.Info.Defs[x]
+			}
+			return obj, through
+		case *ast.SelectorExpr:
+			e, through = x.X, true
+		case *ast.IndexExpr:
+			e, through = x.X, true
+		case *ast.StarExpr:
+			e, through = x.X, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// callArgs maps a call's argument expressions onto target's parameter
+// list (receiver first), so summary bits line up with what the caller
+// passed. Variadic overflow maps onto the last parameter.
+func callArgs(pkg *Package, call *ast.CallExpr, target *types.Func) []ast.Expr {
+	sig, ok := target.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	n := sig.Params().Len()
+	hasRecv := sig.Recv() != nil
+	total := n
+	if hasRecv {
+		total++
+	}
+	out := make([]ast.Expr, total)
+	args := call.Args
+	if hasRecv {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if s, found := pkg.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+				out[0] = sel.X
+			}
+		}
+		if out[0] == nil && len(args) > 0 {
+			// Method expression T.M(recv, ...) — first arg is the receiver.
+			out[0] = args[0]
+			args = args[1:]
+		}
+	}
+	off := 0
+	if hasRecv {
+		off = 1
+	}
+	for i, a := range args {
+		slot := i
+		if slot >= n {
+			slot = n - 1 // variadic overflow
+		}
+		if slot >= 0 && off+slot < total && out[off+slot] == nil {
+			out[off+slot] = a
+		}
+	}
+	return out
+}
+
+// paramObjs lists a function's parameter objects, receiver first, in
+// the order mutatedParams bits refer to them.
+func paramObjs(fi *FuncInfo) []*types.Var {
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// buildMutationSummaries computes, to a fixed point over the call
+// graph, which parameters each module function may write through:
+// direct selector/index/dereference stores, the builtins delete and
+// copy, and parameters passed onward into a mutated position of a
+// callee (any call mode — a mutation on a goroutine or in a stored
+// closure still mutates).
+func (prog *Program) buildMutationSummaries() {
+	prog.mutatedParams = make(map[*types.Func][]bool, len(prog.funcs))
+	params := make(map[*types.Func]map[types.Object]int, len(prog.funcs))
+	for fn, fi := range prog.funcs {
+		objs := paramObjs(fi)
+		prog.mutatedParams[fn] = make([]bool, len(objs))
+		idx := make(map[types.Object]int, len(objs))
+		for i, o := range objs {
+			idx[o] = i
+		}
+		params[fn] = idx
+	}
+
+	mark := func(fn *types.Func, obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		i, ok := params[fn][obj]
+		if !ok || prog.mutatedParams[fn][i] {
+			return false
+		}
+		prog.mutatedParams[fn][i] = true
+		return true
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for fn, fi := range prog.funcs {
+			pkg := fi.Pkg
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if obj, through := writeRoot(pkg, lhs); through && mark(fn, obj) {
+							changed = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if obj, through := writeRoot(pkg, st.X); through && mark(fn, obj) {
+						changed = true
+					}
+				case *ast.UnaryExpr:
+					// &param escaping: treat taking the address of a
+					// parameter's interior as a potential mutation.
+					if st.Op == token.AND {
+						if obj, through := writeRoot(pkg, st.X); through && obj != nil {
+							if _, isParam := params[fn][obj]; isParam && mark(fn, obj) {
+								changed = true
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && (id.Name == "delete" || id.Name == "copy") && len(st.Args) > 0 {
+						if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+							if base, _ := pathBaseInfo(pkg, st.Args[0]); base != nil && mark(fn, base) {
+								changed = true
+							}
+						}
+						return true
+					}
+					callee := usedFunc(pkg, st.Fun)
+					if callee == nil {
+						return true
+					}
+					for _, target := range prog.chaTargets(callee) {
+						mut := prog.mutatedParams[target]
+						for idx, arg := range callArgs(pkg, st, target) {
+							if arg == nil || idx >= len(mut) || !mut[idx] {
+								continue
+							}
+							if base, _ := pathBaseInfo(pkg, arg); base != nil && mark(fn, base) {
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// pathBaseInfo is pathBase without a Pass (used at summary-build time).
+func pathBaseInfo(pkg *Package, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			if obj == nil {
+				obj = pkg.Info.Defs[x]
+			}
+			return obj, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil, false
+			}
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// prefixMatch reports whether path falls under any of the prefixes.
+func prefixMatch(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p == "" {
+			continue
+		}
+		if path == p || len(path) > len(p) && path[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,340 @@
+// The goroutine-lifecycle rule: every `go` statement inside the
+// configured scope must be *supervised* and *bounded*.
+//
+// Supervised means a panic on the goroutine cannot take the process
+// down unnoticed: the spawned body installs a defer-recover guard
+// directly, or some function reachable from it through plain call
+// edges installs one (the pipeline's Recover interceptor pattern), or
+// the goroutine is awaited through a sync.WaitGroup in structured-
+// concurrency style, or the enclosing function is an allowlisted
+// supervisor (Config.GoroutineAllowlist — the retrainAsync pattern,
+// whose lifetime is bounded by a CAS gate rather than a context).
+//
+// Bounded means something can stop it: the body (or the named
+// function it runs) references a context.Context *variable* — a
+// freshly minted context.Background() does not count — or blocks on a
+// channel receive/select/range (a stop channel is a cancellation
+// path), or is WaitGroup-awaited (its lifetime is then bounded by the
+// caller's, which holds the caller's context).
+//
+// recover() only recovers when called directly by a deferred
+// function, so the direct-guard check looks for `defer func() {
+// ... recover() ... }()` (or a deferred named function whose own body
+// calls recover) and deliberately does not credit recover calls in
+// nested literals.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type goroutineLifecycle struct{}
+
+func (goroutineLifecycle) ID() string { return "goroutine-lifecycle" }
+func (goroutineLifecycle) Doc() string {
+	return "every go statement needs a recover guard (direct, reachable, or WaitGroup-awaited) and a cancellation path (ctx, stop channel, or awaited)"
+}
+
+func (goroutineLifecycle) Check(pass *Pass) {
+	if pass.Prog == nil || !prefixMatch(pass.Pkg.Path, pass.Cfg.GoroutineScopePrefixes) {
+		return
+	}
+	if pass.Pkg.Pkg.Name() == "main" {
+		return // entry points own their goroutines' lifetimes
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			encl := qualifiedName(pass, fd)
+			allowed := pass.Cfg.GoroutineAllowlist[encl]
+			var fi *FuncInfo
+			if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				fi = pass.Prog.FuncOf(obj)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, fi, g, encl, allowed)
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt applies the supervision and boundedness checks to one go
+// statement inside the function described by fi.
+func checkGoStmt(pass *Pass, fi *FuncInfo, g *ast.GoStmt, encl string, allowed bool) {
+	if allowed {
+		return
+	}
+	prog := pass.Prog
+	var body *ast.BlockStmt // the spawned body, when visible
+	var named *types.Func   // the spawned named function, when static
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := usedFunc(pass.Pkg, g.Call.Fun); fn != nil {
+		named = fn
+		if nfi := prog.FuncOf(fn); nfi != nil {
+			body = nfi.Decl.Body
+		}
+	}
+	var bodyPkg *Package
+	if body != nil {
+		bodyPkg = pass.Pkg
+		if named != nil {
+			if nfi := prog.FuncOf(named); nfi != nil {
+				bodyPkg = nfi.Pkg
+			}
+		}
+	}
+
+	waited := body != nil && bodyHasWaitGroupDone(bodyPkg, body)
+
+	supervised := waited
+	if !supervised && body != nil && hasDirectDeferRecover(bodyPkg, body) {
+		supervised = true
+	}
+	if !supervised {
+		keep := func(m CallMode) bool { return m == ModeCall || m == ModeDefer }
+		guarded := func(f *FuncInfo) bool { return prog.recoverGuards[f.Obj] }
+		if named != nil && prog.reachable(named, keep, guarded) {
+			supervised = true
+		}
+		if !supervised && fi != nil {
+			// A literal body's calls were collected on the enclosing
+			// function with ModeGo/ModeDefer; restrict to this statement's
+			// span and chase plain edges from those targets.
+			for _, site := range fi.Calls {
+				p := site.Expr.Pos()
+				if p < g.Pos() || p > g.End() {
+					continue
+				}
+				for _, t := range site.Targets {
+					if prog.reachable(t, keep, guarded) {
+						supervised = true
+						break
+					}
+				}
+				if supervised {
+					break
+				}
+			}
+		}
+	}
+	if !supervised {
+		pass.Reportf(g.Pos(), "go statement in %s spawns an unsupervised goroutine: no defer-recover guard in or reachable from its body and it is not WaitGroup-awaited — a panic here kills the process; add a guard or allowlist the supervisor", encl)
+		return
+	}
+
+	bounded := waited
+	if !bounded {
+		for _, arg := range g.Call.Args {
+			if isCtxVar(pass.Pkg, arg) {
+				bounded = true
+				break
+			}
+		}
+	}
+	if !bounded && body != nil {
+		bounded = bodyHasCancelSignal(bodyPkg, body)
+	}
+	if !bounded {
+		pass.Reportf(g.Pos(), "goroutine in %s has no cancellation path: no context variable, stop-channel receive, or WaitGroup bound reaches its body — thread the caller's ctx or a quit channel through it", encl)
+	}
+}
+
+// hasDirectDeferRecover reports whether body installs a defer whose
+// deferred function calls recover() directly (not in a nested
+// literal). Deferred named functions count when their own body calls
+// recover directly.
+func hasDirectDeferRecover(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(d.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if callsRecoverDirectly(pkg, fun.Body) {
+				found = true
+			}
+		default:
+			// defer named() — recover inside named's own body works too,
+			// but only when the declaration is visible in this package's
+			// loaded set; cross-package deferred guards resolve through
+			// the recoverGuards summary at the call-graph layer.
+			if id, ok := ast.Unparen(d.Call.Fun).(*ast.Ident); ok {
+				if decl := localDecl(pkg, id); decl != nil && decl.Body != nil && callsRecoverDirectly(pkg, decl.Body) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsRecoverDirectly reports whether body calls the builtin recover
+// outside any nested function literal.
+func callsRecoverDirectly(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if found || n == nil {
+			return
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return // a recover in a nested frame does not guard this one
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return
+				}
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walkChildren(body, walk)
+	return found
+}
+
+// localDecl finds the FuncDecl an identifier names inside this
+// package's files, or nil.
+func localDecl(pkg *Package, id *ast.Ident) *ast.FuncDecl {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pkg.Info.Defs[fd.Name] == obj {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// bodyHasWaitGroupDone reports whether body calls Done on a
+// sync.WaitGroup — the structured-concurrency marker the rule treats
+// as both supervision (the spawner observes completion) and bound
+// (the goroutine's lifetime nests inside its caller's).
+func bodyHasWaitGroupDone(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// bodyHasCancelSignal reports whether body references a
+// context.Context variable or blocks on a channel (receive, select,
+// or range over a channel) — any of which gives the outside world a
+// handle to stop the goroutine.
+func bodyHasCancelSignal(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if st.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[st.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if isCtxVar(pkg, st) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isCtxVar(pkg, st) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxVar reports whether e is a variable (or field selection) of
+// type context.Context. Calls — context.Background(), context.TODO()
+// — intentionally do not qualify: a freshly minted root context is
+// exactly what this rule exists to catch.
+func isCtxVar(pkg *Package, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return isContextType(v.Type())
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			return isContextType(s.Obj().Type())
+		}
+	}
+	return false
+}
+
+// buildRecoverSummaries records, for every module function, whether
+// its declaration installs a defer-recover guard anywhere — including
+// inside nested literals, because a handler literal's guard protects
+// whatever runs below it in the same call chain.
+func (prog *Program) buildRecoverSummaries() {
+	prog.recoverGuards = make(map[*types.Func]bool, len(prog.funcs))
+	for fn, fi := range prog.funcs {
+		guarded := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if guarded {
+				return false
+			}
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok && callsRecoverDirectly(fi.Pkg, lit.Body) {
+				guarded = true
+			}
+			return true
+		})
+		prog.recoverGuards[fn] = guarded
+	}
+}

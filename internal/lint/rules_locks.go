@@ -1,0 +1,445 @@
+// The lock-ordering rule: a static lock-acquisition graph over every
+// lock-like value in the module — sync.Mutex/RWMutex fields (the
+// engine's writer mutex, per-user state shards, the resilience
+// breakers) and module-defined mutex types (the cluster's chan-based
+// chMutex) — with an edge A → B whenever some function acquires B, or
+// calls (transitively, through plain call edges) a function that
+// acquires B, while textually holding A. A cycle in that graph is two
+// code paths taking the same locks in opposite orders: a latent
+// deadlock no test run is likely to catch.
+//
+// Lock identity is structural, not per-instance: "pkg.Type.field" for
+// a lock stored in a struct field, "pkg.var" for a package-level
+// lock, "pkg.func.name" for a function-local one. That matches how
+// lock-ordering disciplines are actually stated ("writeMu before
+// store.mu") and keeps the graph finite.
+//
+// The held region of an acquisition is textual: from the Lock call to
+// the first matching Unlock at the same nesting, or to the end of the
+// function when the Unlock is deferred. Calls on goroutines spawned
+// inside the region, and bodies of non-invoked function literals, are
+// excluded — a lock is not held across code that runs on another
+// goroutine or at an unknown later time (see CallMode in
+// callgraph.go).
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type lockOrdering struct{}
+
+func (lockOrdering) ID() string { return "lock-ordering" }
+func (lockOrdering) Doc() string {
+	return "the static lock-acquisition graph (mutexes, chan-mutexes, breakers) must be acyclic"
+}
+
+func (lockOrdering) Check(pass *Pass) {
+	if pass.Prog == nil || !prefixMatch(pass.Pkg.Path, pass.Cfg.LockScopePrefixes) {
+		return
+	}
+	// The graph is global; each cycle is reported exactly once, by the
+	// package owning its witness edge (the earliest acquisition that
+	// closes the cycle).
+	for _, cyc := range pass.Prog.lockCycles {
+		file := pass.Pkg.Fset.Position(cyc.witness.pos).Filename
+		if filepath.Dir(file) != pass.Pkg.Dir {
+			continue
+		}
+		pass.Reportf(cyc.witness.pos, "lock-ordering cycle %s: %s acquires %s while holding %s, but another path acquires them in the opposite order — pick one global order and stick to it", strings.Join(cyc.nodes, " → "), cyc.witness.fn, cyc.witness.to, cyc.witness.from)
+	}
+}
+
+// lockEdge is one "B acquired while holding A" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos // the acquisition (or call) that creates the edge
+	fn       string    // qualified name of the function it happens in
+}
+
+// lockCycle is one strongly connected component of the lock graph with
+// more than one node, i.e. an ordering inversion.
+type lockCycle struct {
+	nodes   []string // sorted, for a deterministic report
+	witness lockEdge // minimal-position edge inside the cycle
+}
+
+// lockEvent is one acquisition or release in a function body, in
+// textual order. atEnd marks releases that run at function exit
+// (deferred), which extend the held region to the end of the body.
+type lockEvent struct {
+	pos     token.Pos
+	id      string
+	acquire bool
+	atEnd   bool
+}
+
+var acquireMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"lock": true, "rlock": true, "trylock": true,
+}
+
+var releaseMethods = map[string]bool{
+	"Unlock": true, "RUnlock": true,
+	"unlock": true, "runlock": true,
+}
+
+// lockMethod recognises a lock-protocol call: a method named like an
+// acquisition/release whose receiver is sync.Mutex/sync.RWMutex or a
+// module type whose name contains "mutex" (the cluster's chMutex
+// idiom). It returns the structural identity of the lock value.
+func lockMethod(pkg *Package, call *ast.CallExpr) (id string, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if !acquireMethods[name] && !releaseMethods[name] {
+		return "", false, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false, false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false, false
+	}
+	obj := named.Obj()
+	lockish := obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") ||
+		strings.Contains(strings.ToLower(obj.Name()), "mutex")
+	if !lockish {
+		return "", false, false
+	}
+	return lockIdent(pkg, sel.X), acquireMethods[name], releaseMethods[name]
+}
+
+// lockIdent maps the lock-valued expression to its structural
+// identity: the owning struct field, the package-level variable, or a
+// function-local fallback.
+func lockIdent(pkg *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok {
+			owner := s.Recv()
+			if ptr, ok := owner.(*types.Pointer); ok {
+				owner = ptr.Elem()
+			}
+			if named, ok := owner.(*types.Named); ok {
+				o := named.Obj()
+				if o.Pkg() != nil {
+					return o.Pkg().Path() + "." + o.Name() + "." + x.Sel.Name
+				}
+			}
+			// Owner is an anonymous struct or similar: index-based fallback.
+			return exprString(x)
+		}
+		// Package-qualified variable: pkg.Mu.
+		if obj := pkg.Info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return exprString(x)
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return pkg.Path + "." + x.Name
+		}
+		if obj.Pkg() != nil && obj.Pkg().Scope() == obj.Parent() {
+			// Package-level lock variable.
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		// Function-local lock: identify by package and name; locals of
+		// the same name in different functions collapse, which can only
+		// merge nodes (never split a real cycle).
+		return pkg.Path + ".<local>." + x.Name
+	case *ast.IndexExpr:
+		// Sharded locks: shards[i].mu style — identify by the base.
+		return lockIdent(pkg, x.X)
+	case *ast.StarExpr:
+		return lockIdent(pkg, x.X)
+	}
+	return exprString(e)
+}
+
+// lockEvents collects one function's acquisitions and releases in
+// textual order, excluding goroutine bodies and non-invoked literals.
+// Deferred releases surface with atEnd set; deferred acquisitions are
+// ignored (a defer that locks is its own pathology, not an ordering
+// fact).
+func lockEvents(pkg *Package, body *ast.BlockStmt) []lockEvent {
+	var evs []lockEvent
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		switch st := n.(type) {
+		case nil:
+			return
+		case *ast.GoStmt:
+			return // runs on another goroutine; not held-across
+		case *ast.DeferStmt:
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				walkChildren(lit.Body, func(c ast.Node) { walk(c, true) })
+			} else {
+				walk(st.Call, true)
+			}
+			return
+		case *ast.CallExpr:
+			if id, acq, rel := lockMethod(pkg, st); id != "" {
+				if acq && !deferred {
+					evs = append(evs, lockEvent{pos: st.Pos(), id: id, acquire: true})
+				}
+				if rel {
+					evs = append(evs, lockEvent{pos: st.Pos(), id: id, atEnd: deferred})
+				}
+			}
+			if lit, ok := st.Fun.(*ast.FuncLit); ok {
+				walkChildren(lit.Body, func(c ast.Node) { walk(c, deferred) })
+			} else if sel, ok := st.Fun.(*ast.SelectorExpr); ok {
+				walk(sel.X, deferred)
+			}
+			for _, a := range st.Args {
+				walk(a, deferred)
+			}
+			return
+		case *ast.FuncLit:
+			return // non-invoked: executes at an unknown time
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, deferred) })
+	}
+	walkChildren(body, func(c ast.Node) { walk(c, false) })
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// buildLockGraph computes the transitive acquiredLocks summary, then
+// derives held-region edges and the cycles of the resulting graph.
+func (prog *Program) buildLockGraph() {
+	prog.acquiredLocks = make(map[*types.Func]map[string]bool, len(prog.funcs))
+	events := make(map[*types.Func][]lockEvent, len(prog.funcs))
+	for fn, fi := range prog.funcs {
+		evs := lockEvents(fi.Pkg, fi.Decl.Body)
+		events[fn] = evs
+		set := make(map[string]bool)
+		for _, ev := range evs {
+			if ev.acquire {
+				set[ev.id] = true
+			}
+		}
+		prog.acquiredLocks[fn] = set
+	}
+	// Fixed point: a function may acquire whatever its plain and
+	// deferred callees may acquire.
+	for changed := true; changed; {
+		changed = false
+		for fn, fi := range prog.funcs {
+			set := prog.acquiredLocks[fn]
+			for _, site := range fi.Calls {
+				if site.Mode != ModeCall && site.Mode != ModeDefer {
+					continue
+				}
+				for _, t := range site.Targets {
+					for id := range prog.acquiredLocks[t] {
+						if !set[id] {
+							set[id] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Held regions → edges.
+	best := make(map[edgeKey]lockEdge)
+	addEdge := func(from, to string, pos token.Pos, fn string) {
+		if from == to {
+			return // re-acquisition is a different bug class; skip to avoid RLock noise
+		}
+		k := edgeKey{from, to}
+		if e, ok := best[k]; !ok || pos < e.pos {
+			best[k] = lockEdge{from: from, to: to, pos: pos, fn: fn}
+		}
+	}
+	for fn, fi := range prog.funcs {
+		evs := events[fn]
+		qname := funcQName(fn)
+		for i, ev := range evs {
+			if !ev.acquire {
+				continue
+			}
+			end := token.Pos(math.MaxInt)
+			for _, later := range evs[i+1:] {
+				if !later.acquire && later.id == ev.id && !later.atEnd {
+					end = later.pos
+					break
+				}
+			}
+			if end == token.Pos(math.MaxInt) {
+				end = fi.Decl.End()
+			}
+			for _, later := range evs[i+1:] {
+				if later.acquire && later.pos <= end {
+					addEdge(ev.id, later.id, later.pos, qname)
+				}
+			}
+			for _, site := range fi.Calls {
+				if site.Mode != ModeCall {
+					continue
+				}
+				p := site.Expr.Pos()
+				if p <= ev.pos || p > end {
+					continue
+				}
+				for _, t := range site.Targets {
+					for id := range prog.acquiredLocks[t] {
+						addEdge(ev.id, id, p, qname)
+					}
+				}
+			}
+		}
+	}
+	keys := make([]edgeKey, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	adj := make(map[string][]string)
+	for _, k := range keys {
+		prog.lockEdges = append(prog.lockEdges, best[k])
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	prog.lockCycles = lockCyclesOf(adj, best)
+}
+
+// edgeKey identifies a lock-graph edge by its endpoints.
+type edgeKey struct{ from, to string }
+
+// lockCyclesOf finds the strongly connected components with more than
+// one node and packages each as a cycle with its minimal-position
+// witness edge.
+func lockCyclesOf(adj map[string][]string, edges map[edgeKey]lockEdge) []lockCycle {
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		add(from)
+		for _, to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's SCC, iterative enough for graphs this size.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var cycles []lockCycle
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] != index[v] {
+			return
+		}
+		var comp []string
+		for {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			onStack[w] = false
+			comp = append(comp, w)
+			if w == v {
+				break
+			}
+		}
+		if len(comp) < 2 {
+			return
+		}
+		sort.Strings(comp)
+		inComp := make(map[string]bool, len(comp))
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		witness := lockEdge{pos: token.Pos(math.MaxInt)}
+		for k, e := range edges {
+			if inComp[k.from] && inComp[k.to] && e.pos < witness.pos {
+				witness = e
+			}
+		}
+		cycles = append(cycles, lockCycle{nodes: append(comp, comp[0]), witness: witness})
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i].witness.pos < cycles[j].witness.pos })
+	return cycles
+}
+
+// funcQName renders fn as the allowlist-style qualified name:
+// "import/path.Func" or "import/path.(*Recv).Method".
+func funcQName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkg + "." + fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := false
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t, ptr = p.Elem(), true
+	}
+	name := "?"
+	if named, isNamed := t.(*types.Named); isNamed {
+		name = named.Obj().Name()
+	}
+	if ptr {
+		return pkg + ".(*" + name + ")." + fn.Name()
+	}
+	return pkg + "." + name + "." + fn.Name()
+}

@@ -1,0 +1,43 @@
+// Fixture for call-graph construction tests: interface dispatch with
+// two implementations, a promoted method, a method value (ModeRef),
+// and go/defer call modes.
+package callgraph
+
+type Runner interface{ Run() }
+
+type A struct{}
+
+func (A) Run() { helperA() }
+
+func helperA() {}
+
+type B struct{}
+
+func (*B) Run() {}
+
+// invoke calls through the interface; CHA resolves it to every
+// implementation in the module.
+func invoke(r Runner) { r.Run() }
+
+type Base struct{}
+
+func (Base) Ping() {}
+
+type Derived struct{ Base }
+
+// promoted calls Ping through the embedded Base.
+func promoted(d Derived) { d.Ping() }
+
+// modes exercises the non-plain call modes: a method value that is
+// referenced but not (statically) invoked, a goroutine spawn, and a
+// deferred call.
+func modes(a A) {
+	f := a.Run
+	f()
+	go helperA()
+	defer helperA()
+}
+
+var _ = invoke
+var _ = promoted
+var _ = modes

@@ -1,0 +1,48 @@
+// Violating fixture for the goroutine-lifecycle rule: go statements
+// with no recover guard anywhere in reach, or with a guard but no way
+// for the outside world to stop them.
+package bad
+
+func work() {
+	for i := 0; i < 100; i++ {
+		_ = i * i
+	}
+}
+
+func spawnNaked() {
+	go work() // want goroutine-lifecycle
+}
+
+func spawnLit() {
+	go func() { // want goroutine-lifecycle
+		work()
+	}()
+}
+
+func spawnNoCancel() {
+	go func() { // want goroutine-lifecycle
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		for {
+			work()
+		}
+	}()
+}
+
+// guardedSpin installs its own recover guard but offers no
+// cancellation path — the spawn is supervised yet unbounded.
+func guardedSpin() {
+	defer func() {
+		_ = recover()
+	}()
+	for {
+		work()
+	}
+}
+
+func spawnGuardedNoCancel() {
+	go guardedSpin() // want goroutine-lifecycle
+}

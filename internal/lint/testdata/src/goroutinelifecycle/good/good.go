@@ -1,0 +1,84 @@
+// Conforming fixture for the goroutine-lifecycle rule: every spawn is
+// either WaitGroup-awaited, guarded and context- or channel-bounded,
+// guarded transitively through a named callee, or launched from an
+// allowlisted supervisor.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+func step() {}
+
+// waited: structured concurrency — the WaitGroup bound counts as both
+// supervision and cancellation (the goroutine's lifetime nests inside
+// its caller's).
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+	wg.Wait()
+}
+
+// guardedCtx: direct defer-recover plus a select on ctx.Done.
+func guardedCtx(ctx context.Context) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		select {
+		case <-ctx.Done():
+		default:
+			step()
+		}
+	}()
+}
+
+// stopChan: a quit-channel receive is a cancellation path.
+func stopChan(stop chan struct{}) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		<-stop
+	}()
+}
+
+// guardedHelper installs the guard that runGuarded's goroutine relies
+// on through a plain call edge.
+func guardedHelper() {
+	defer func() {
+		_ = recover()
+	}()
+	step()
+}
+
+func runGuarded(ctx context.Context) {
+	_ = ctx
+	guardedHelper()
+}
+
+// reachableGuard: the spawned named function reaches a recover guard
+// through the call graph, and the ctx argument bounds it.
+func reachableGuard(ctx context.Context) {
+	go runGuarded(ctx)
+}
+
+// spin has neither guard nor bound; allowlisted below is registered in
+// Config.GoroutineAllowlist by the test, standing in for the engine's
+// retrainAsync supervisor pattern.
+func spin() {
+	for {
+		step()
+	}
+}
+
+func allowlisted() {
+	go spin()
+}

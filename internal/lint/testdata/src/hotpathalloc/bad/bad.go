@@ -1,0 +1,25 @@
+// Violating fixture for the hot-path-alloc rule: the three allocation
+// patterns it polices, inside stage functions on the read path.
+package bad
+
+import "fmt"
+
+type entry struct{ id string }
+
+func stageFormat(items []entry) []string {
+	out := []string{}
+	for _, it := range items {
+		label := fmt.Sprintf("item-%s", it.id) // want hot-path-alloc
+		out = append(out, label)               // want hot-path-alloc
+	}
+	return out
+}
+
+func stageTable(items []entry) int {
+	weights := map[string]int{"a": 1, "b": 2} // want hot-path-alloc
+	total := 0
+	for _, it := range items {
+		total += weights[it.id]
+	}
+	return total
+}

@@ -1,0 +1,33 @@
+// Conforming fixture for the hot-path-alloc rule: capacity-hinted
+// appends, strconv instead of fmt, appends to slices the function did
+// not create, and formatting outside stage functions.
+package good
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type entry struct{ id int }
+
+func stagePresized(items []entry) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, strconv.Itoa(it.id))
+	}
+	return out
+}
+
+// stageAppendToParam extends a caller-owned slice; the heuristic only
+// charges allocations to slices the function visibly creates.
+func stageAppendToParam(dst []string, items []entry) []string {
+	for _, it := range items {
+		dst = append(dst, strconv.Itoa(it.id))
+	}
+	return dst
+}
+
+// describe is not a stage function, so formatting here is fine.
+func describe(e entry) string {
+	return fmt.Sprintf("entry-%d", e.id)
+}

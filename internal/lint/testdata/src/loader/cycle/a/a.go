@@ -1,0 +1,7 @@
+// Half of an import cycle: a → b → a. The loader must diagnose the
+// chain instead of recursing forever.
+package a
+
+import b "repro/internal/lint/testdata/src/loader/cycle/b"
+
+const A = b.B + 1

@@ -1,0 +1,6 @@
+// The other half of the a → b → a import cycle.
+package b
+
+import a "repro/internal/lint/testdata/src/loader/cycle/a"
+
+const B = a.A + 1

@@ -1,0 +1,7 @@
+// Imports a module package that does not exist; the loader must turn
+// that into a diagnostic instead of a panic.
+package missing
+
+import "repro/internal/lint/testdata/src/loader/doesnotexist"
+
+var _ = doesnotexist.Nothing

@@ -1,0 +1,7 @@
+//go:build neverbuildme
+
+// Every file in this package is excluded by its build constraint; the
+// loader should report NoFilesError, not a parse or type error.
+package onlytagged
+
+const Unreachable = 1

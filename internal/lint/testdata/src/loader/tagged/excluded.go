@@ -1,0 +1,5 @@
+//go:build neverbuildme
+
+package tagged
+
+const flavor = "tagged-out"

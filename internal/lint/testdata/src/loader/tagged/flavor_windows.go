@@ -1,0 +1,3 @@
+package tagged
+
+const flavor = "windows"

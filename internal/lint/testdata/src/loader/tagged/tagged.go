@@ -1,0 +1,6 @@
+// Build-constraint fixture: flavor is declared once per GOOS file and
+// once in a tag-excluded file. If the loader's constraint filtering
+// breaks, the duplicate declarations make type-checking fail loudly.
+package tagged
+
+func Flavor() string { return flavor }

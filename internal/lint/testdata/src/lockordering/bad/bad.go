@@ -1,0 +1,76 @@
+// Violating fixture for the lock-ordering rule: three independent
+// two-lock cycles — a same-function textual inversion, an inversion
+// through a callee (the acquisition summary), and a sync.Mutex vs
+// module chan-mutex inversion. Each cycle is reported once, at its
+// earliest witness edge.
+package bad
+
+import "sync"
+
+type server struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *server) ab() {
+	s.a.Lock()
+	s.b.Lock() // want lock-ordering
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *server) ba() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+type pair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (p *pair) takeY() {
+	p.y.Lock()
+	defer p.y.Unlock()
+}
+
+func (p *pair) xThenY() {
+	p.x.Lock()
+	defer p.x.Unlock()
+	p.takeY() // want lock-ordering
+}
+
+func (p *pair) yThenX() {
+	p.y.Lock()
+	defer p.y.Unlock()
+	p.x.Lock()
+	p.x.Unlock()
+}
+
+// chMutex mirrors the cluster router's channel-backed mutex; the rule
+// recognises it by name and by its lock/unlock protocol.
+type chMutex struct{ ch chan struct{} }
+
+func (m *chMutex) lock()   { m.ch <- struct{}{} }
+func (m *chMutex) unlock() { <-m.ch }
+
+type mixed struct {
+	mu sync.Mutex
+	cm chMutex
+}
+
+func (x *mixed) muThenCm() {
+	x.mu.Lock()
+	x.cm.lock() // want lock-ordering
+	x.cm.unlock()
+	x.mu.Unlock()
+}
+
+func (x *mixed) cmThenMu() {
+	x.cm.lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	x.cm.unlock()
+}

@@ -1,0 +1,55 @@
+// Conforming fixture for the lock-ordering rule: every path takes the
+// locks in the same global order, and acquisitions on spawned
+// goroutines do not count as held-across (a lock is not held on
+// another goroutine's stack).
+package good
+
+import "sync"
+
+type server struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *server) one() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *server) two() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.takeB()
+}
+
+func (s *server) takeB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+type pool struct {
+	m sync.Mutex
+	n sync.Mutex
+}
+
+// spawnWhileHeld acquires n on a fresh goroutine while m is held; that
+// is not an m → n edge, so the n → m order below is not an inversion.
+func (p *pool) spawnWhileHeld(wg *sync.WaitGroup) {
+	p.m.Lock()
+	defer p.m.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.n.Lock()
+		p.n.Unlock()
+	}()
+}
+
+func (p *pool) nThenM() {
+	p.n.Lock()
+	p.m.Lock()
+	p.m.Unlock()
+	p.n.Unlock()
+}

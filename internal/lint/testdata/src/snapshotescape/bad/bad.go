@@ -1,0 +1,57 @@
+// Violating fixture for the snapshot-escape rule: values mutated
+// after being published through atomic.Pointer.Store or a Publish
+// method, directly, through an alias, or via a mutating callee.
+package bad
+
+import "sync/atomic"
+
+type artifact struct {
+	scores map[string]float64
+	items  []int
+}
+
+type store struct{ cur atomic.Pointer[artifact] }
+
+func (s *store) Publish(a *artifact) { s.cur.Store(a) }
+
+func directWrite(s *store) {
+	a := &artifact{scores: map[string]float64{}}
+	s.cur.Store(a)
+	a.scores["x"] = 1 // want snapshot-escape
+}
+
+func sliceWrite(s *store) {
+	a := &artifact{items: []int{1, 2}}
+	s.cur.Store(a)
+	a.items[0] = 9 // want snapshot-escape
+}
+
+func retainedAlias(s *store) {
+	a := &artifact{scores: map[string]float64{}}
+	m := a.scores
+	s.cur.Store(a)
+	m["x"] = 1 // want snapshot-escape
+}
+
+// fill writes through its parameter; the call graph's mutation
+// summary marks it, so handing a published value to it is flagged at
+// the call site.
+func fill(m map[string]float64) { m["boost"] = 2 }
+
+func mutatingCallee(s *store) {
+	a := &artifact{scores: map[string]float64{}}
+	s.cur.Store(a)
+	fill(a.scores) // want snapshot-escape
+}
+
+func viaPublishMethod(s *store) {
+	a := &artifact{items: []int{1}}
+	s.Publish(a)
+	a.items[0] = 2 // want snapshot-escape
+}
+
+func deleteAfterPublish(s *store) {
+	a := &artifact{scores: map[string]float64{"x": 1}}
+	s.cur.Store(a)
+	delete(a.scores, "x") // want snapshot-escape
+}

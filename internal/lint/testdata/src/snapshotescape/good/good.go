@@ -1,0 +1,54 @@
+// Conforming fixture for the snapshot-escape rule: the publish-last
+// idiom — build and mutate first, publish as the final step, start a
+// fresh generation for the next change.
+package good
+
+import "sync/atomic"
+
+type artifact struct {
+	scores map[string]float64
+	items  []int
+}
+
+type store struct{ cur atomic.Pointer[artifact] }
+
+func (s *store) Publish(a *artifact) { s.cur.Store(a) }
+
+func buildThenPublish(s *store) {
+	a := &artifact{scores: map[string]float64{}}
+	a.scores["x"] = 1
+	a.items = append(a.items, 7)
+	s.cur.Store(a)
+}
+
+func freshGeneration(s *store) {
+	old := s.cur.Load()
+	next := &artifact{scores: cloneScores(old.scores)}
+	next.scores["x"] = 2
+	s.cur.Store(next)
+}
+
+// cloneScores writes only into the map it creates, so the mutation
+// summary leaves its parameter unmarked and post-publish reads of the
+// old artifact stay legal.
+func cloneScores(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func readAfterPublish(s *store) float64 {
+	a := &artifact{scores: map[string]float64{"x": 1}}
+	s.cur.Store(a)
+	return a.scores["x"] // reads are fine; the value is shared, not frozen to this goroutine
+}
+
+func rebindLocal(s *store) {
+	a := &artifact{items: []int{1}}
+	s.cur.Store(a)
+	a = &artifact{items: []int{2}} // rebinding the variable is not a write through the published value
+	a.items[0] = 3
+	s.cur.Store(a)
+}
