@@ -24,9 +24,20 @@
 // responses carry the serving model_version. On a sharded deployment
 // each shard trains its own model from its derived seed.
 //
+// With -data-dir the server survives crashes and restarts: every
+// accepted write is appended to a write-ahead log before it is
+// acknowledged (-fsync picks the durability/throughput trade,
+// -checkpoint-every bounds replay length), trained model artifacts
+// persist next to the log, and a restart replays the log — serving
+// prior ratings and the last published model version without a cold
+// retrain. While replay runs, /healthz answers 503 "recovering"; on
+// SIGTERM the log is flushed and closed only after the HTTP listener
+// drains, so no acknowledged write is lost on graceful exit either.
+//
 //	recserver -addr :8080 -load ./data
 //	recserver -addr :8080 -shards 4
 //	recserver -addr :8080 -trainer als-wr -retrain-every 100
+//	recserver -addr :8080 -data-dir /var/lib/recserver -fsync every-n -fsync-every 8
 //	curl 'localhost:8080/recommend?user=1&n=5'
 //	curl 'localhost:8080/explain?user=1&item=42'
 //	curl -X POST -H "Content-Type: application/json" -d '{"user":1,"item":42,"value":4.5}' localhost:8080/rate
@@ -43,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -55,6 +67,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // config is the parsed flag set, separated from main so validation is
@@ -77,6 +90,10 @@ type config struct {
 	trainer         string
 	retrainEvery    int
 	modelHistory    int
+	dataDir         string
+	fsync           string
+	fsyncEvery      int
+	checkpointEvery int
 }
 
 // validate checks the flag combination and returns every problem found
@@ -134,7 +151,44 @@ func (c *config) validate() []error {
 	if c.debugPprof && c.debugAddr == "" {
 		fail("-debug-pprof requires -debug-addr")
 	}
+	if _, err := parseFsync(c.fsync); err != nil {
+		fail("-fsync: %v", err)
+	}
+	if c.fsync == "every-n" && c.fsyncEvery < 1 {
+		fail("-fsync every-n requires a positive -fsync-every, got %d", c.fsyncEvery)
+	}
+	if c.fsyncEvery != 0 && c.fsync != "every-n" {
+		fail("-fsync-every requires -fsync every-n")
+	}
+	if c.fsyncEvery < 0 {
+		fail("-fsync-every must be non-negative, got %d", c.fsyncEvery)
+	}
+	if c.checkpointEvery < 0 {
+		fail("-checkpoint-every must be non-negative, got %d", c.checkpointEvery)
+	}
+	if c.dataDir == "" {
+		if c.fsync != "always" {
+			fail("-fsync requires -data-dir")
+		}
+		if c.fsyncEvery != 0 {
+			fail("-fsync-every requires -data-dir")
+		}
+		if c.checkpointEvery != 0 {
+			fail("-checkpoint-every requires -data-dir")
+		}
+	}
 	return errs
+}
+
+// parseFsync maps the flag spelling onto the log's policy; the names
+// are wal.FsyncPolicy's String() forms.
+func parseFsync(name string) (wal.FsyncPolicy, error) {
+	for _, p := range []wal.FsyncPolicy{wal.FsyncAlways, wal.FsyncEveryN, wal.FsyncOS} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return wal.FsyncAlways, fmt.Errorf("unknown policy %q: want always, every-n or os", name)
 }
 
 // trainerConfig builds the lifecycle config for one engine seeded with
@@ -171,6 +225,10 @@ func main() {
 	flag.StringVar(&cfg.trainer, "trainer", "", "serve a trained MF model: sgd, als-wr (alias als) or rsvd (empty = default hybrid)")
 	flag.IntVar(&cfg.retrainEvery, "retrain-every", 0, "background-retrain after every N writes (0 = explicit retrain only; requires -trainer)")
 	flag.IntVar(&cfg.modelHistory, "model-history", 0, "model generations retained for rollback (0 = default; requires -trainer)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable state directory: write-ahead log and model artifacts (empty = in-memory only)")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL durability policy: always, every-n or os (requires -data-dir)")
+	flag.IntVar(&cfg.fsyncEvery, "fsync-every", 0, "unsynced appends tolerated under -fsync every-n")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "records between WAL checkpoints (0 = default; requires -data-dir)")
 	flag.Parse()
 
 	if errs := cfg.validate(); len(errs) > 0 {
@@ -206,6 +264,25 @@ func main() {
 		RetryAttempts: cfg.retryAttempts,
 		RetrySeed:     cfg.seed,
 	}
+	// The listener opens before the backend is built, behind a
+	// switchboard: with -data-dir, WAL replay can take a while, and a
+	// probing load balancer should see 503 "recovering" — this instance
+	// exists, do not route here yet — rather than a connection refusal.
+	sb := server.NewSwitchboard()
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           sb,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	fsyncPolicy, err := parseFsync(cfg.fsync)
+	if err != nil {
+		log.Fatalf("recserver: %v", err) // unreachable: validate() parsed the same name
+	}
 	// The HTTP layer consumes the Service interface, not *core.Engine:
 	// with -shards > 1 the consistent-hash router drops in here without
 	// touching internal/server. Each shard gets its own engine and its
@@ -223,6 +300,14 @@ func main() {
 		if cfg.trainer != "" {
 			clusterOpts.Trainer = cfg.trainerConfig
 		}
+		if cfg.dataDir != "" {
+			clusterOpts.Durability = &cluster.Durability{
+				Space:           wal.DirSpace(cfg.dataDir),
+				Fsync:           fsyncPolicy,
+				FsyncEvery:      cfg.fsyncEvery,
+				CheckpointEvery: cfg.checkpointEvery,
+			}
+		}
 		rt, err := cluster.New(catalog, ratings, clusterOpts)
 		if err != nil {
 			log.Fatalf("recserver: %v", err)
@@ -236,7 +321,28 @@ func main() {
 			core.WithResilience(resCfg),
 		}
 		if cfg.trainer != "" {
-			engOpts = append(engOpts, core.WithTrainer(cfg.trainerConfig(cfg.seed)))
+			tc := cfg.trainerConfig(cfg.seed)
+			if cfg.dataDir != "" {
+				// Persist published models next to the log: a restart
+				// warm-starts from the artifact (folding in WAL-replayed
+				// writes) instead of cold-training.
+				tc.ArtifactPath = filepath.Join(cfg.dataDir, "model.json")
+				tc.EncodeModel = mf.EncodeModel
+				tc.DecodeModel = mf.DecodeModel(catalog)
+			}
+			engOpts = append(engOpts, core.WithTrainer(tc))
+		}
+		if cfg.dataDir != "" {
+			walFS, err := wal.DirFS(filepath.Join(cfg.dataDir, "wal"))
+			if err != nil {
+				log.Fatalf("recserver: opening -data-dir: %v", err)
+			}
+			engOpts = append(engOpts, core.WithWAL(core.WALConfig{
+				FS:              walFS,
+				Fsync:           fsyncPolicy,
+				FsyncEvery:      cfg.fsyncEvery,
+				CheckpointEvery: cfg.checkpointEvery,
+			}))
 		}
 		eng, err := core.New(catalog, ratings, engOpts...)
 		if err != nil {
@@ -248,11 +354,7 @@ func main() {
 		server.WithRequestTimeout(cfg.requestTimeout),
 		server.WithTracer(tracer),
 	)
-	srv := &http.Server{
-		Addr:              cfg.addr,
-		Handler:           h,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	sb.Ready(h)
 
 	// Optional operator listener: trace inspection (and pprof, when
 	// asked) off the serving port, so debug traffic is never load
@@ -272,11 +374,6 @@ func main() {
 		log.Printf("recserver: debug endpoints on %s (pprof %v)", cfg.debugAddr, cfg.debugPprof)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
-	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServe() }()
-
 	trainerName := cfg.trainer
 	if trainerName == "" {
 		trainerName = "hybrid (untrained)"
@@ -291,26 +388,59 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Drain: advertise unhealthiness first so load balancers stop
-	// sending new work, then let in-flight requests finish.
 	log.Printf("recserver: shutdown signal received, draining for up to %s", cfg.drainTimeout)
-	h.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("recserver: drain deadline exceeded, closing remaining connections: %v", err)
-	}
-	if debugSrv != nil {
-		// The debug listener drains on the same deadline: an operator
-		// mid-request gets to finish, but it never outlives the server.
-		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("recserver: debug listener close: %v", err)
-		}
+	elapsed, err := shutdownSequence(shutdownCtx, time.Now,
+		h.StartDrain,
+		func(ctx context.Context) error {
+			err := srv.Shutdown(ctx)
+			if debugSrv != nil {
+				// The debug listener drains on the same deadline: an
+				// operator mid-request gets to finish, but it never
+				// outlives the server.
+				if derr := debugSrv.Shutdown(ctx); derr != nil && err == nil {
+					err = derr
+				}
+			}
+			return err
+		},
+		func() error {
+			if c, ok := svc.(interface{ Close() error }); ok {
+				return c.Close()
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		log.Printf("recserver: drain: %v", err)
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("recserver: %v", err)
 	}
-	log.Printf("recserver: drained, exiting")
+	log.Printf("recserver: drained in %s, exiting", elapsed.Round(time.Millisecond))
+}
+
+// shutdownSequence runs the graceful-exit steps in their one correct
+// order: advertise unhealthiness so load balancers stop sending work,
+// drain in-flight HTTP requests, and only THEN flush and close the
+// durable state — closing the write-ahead log while requests are still
+// in flight would fail their acknowledged-durable contract. The
+// injected clock times the drain (deterministically in tests); the
+// returned error is the first failure, with the durable close always
+// attempted even when the HTTP drain times out.
+func shutdownSequence(ctx context.Context, now func() time.Time,
+	markDraining func(), drainHTTP func(context.Context) error, closeDurable func() error,
+) (time.Duration, error) {
+	start := now()
+	markDraining()
+	httpErr := drainHTTP(ctx)
+	closeErr := closeDurable()
+	elapsed := now().Sub(start)
+	if httpErr != nil {
+		return elapsed, httpErr
+	}
+	return elapsed, closeErr
 }
 
 func parsePersonality(name string) (present.Personality, error) {

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/wal"
 )
 
 // goodConfig mirrors the flag defaults.
@@ -19,6 +24,7 @@ func goodConfig() config {
 		traceBuffer:     256,
 		traceSlowMS:     250,
 		shards:          1,
+		fsync:           "always",
 	}
 }
 
@@ -65,6 +71,12 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"trace sample above one", func(c *config) { c.traceSample = 1.5 }, "-trace-sample"},
 		{"trace sample negative", func(c *config) { c.traceSample = -0.1 }, "-trace-sample"},
 		{"pprof without debug addr", func(c *config) { c.debugPprof = true }, "-debug-pprof requires -debug-addr"},
+		{"unknown fsync policy", func(c *config) { c.dataDir = "/tmp/x"; c.fsync = "sometimes" }, "-fsync"},
+		{"every-n without interval", func(c *config) { c.dataDir = "/tmp/x"; c.fsync = "every-n" }, "-fsync-every"},
+		{"interval without every-n", func(c *config) { c.dataDir = "/tmp/x"; c.fsyncEvery = 8 }, "requires -fsync every-n"},
+		{"negative checkpoint-every", func(c *config) { c.dataDir = "/tmp/x"; c.checkpointEvery = -1 }, "-checkpoint-every"},
+		{"fsync without data-dir", func(c *config) { c.fsync = "os" }, "requires -data-dir"},
+		{"checkpoint-every without data-dir", func(c *config) { c.checkpointEvery = 64 }, "requires -data-dir"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -111,5 +123,108 @@ func TestTrainerConfigResolvesSeed(t *testing.T) {
 	}
 	if tc.RetrainEvery != 25 || tc.History != 2 || tc.Clock == nil {
 		t.Fatalf("config = %+v", tc)
+	}
+}
+
+func TestValidateAcceptsDurabilityCombos(t *testing.T) {
+	for _, edit := range []func(*config){
+		func(c *config) { c.dataDir = "/var/lib/recserver" },
+		func(c *config) { c.dataDir = "/tmp/x"; c.fsync = "os" },
+		func(c *config) { c.dataDir = "/tmp/x"; c.fsync = "every-n"; c.fsyncEvery = 16 },
+		func(c *config) { c.dataDir = "/tmp/x"; c.checkpointEvery = 256 },
+	} {
+		cfg := goodConfig()
+		edit(&cfg)
+		if errs := cfg.validate(); len(errs) != 0 {
+			t.Fatalf("durable config %+v rejected: %v", cfg, errs)
+		}
+	}
+}
+
+func TestParseFsyncRoundTrips(t *testing.T) {
+	for _, name := range []string{"always", "every-n", "os"} {
+		p, err := parseFsync(name)
+		if err != nil {
+			t.Fatalf("parseFsync(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Fatalf("parseFsync(%q).String() = %q", name, p)
+		}
+	}
+	if _, err := parseFsync("never"); err == nil {
+		t.Fatal("parseFsync accepted nonsense")
+	}
+}
+
+// TestShutdownSequenceClosesWALAfterDrain: the load-bearing ordering —
+// a write still in flight while HTTP drains must reach the open WAL,
+// and the log must be closed by the time the sequence returns. The
+// clock is fake, so the measured drain duration is deterministic.
+func TestShutdownSequenceClosesWALAfterDrain(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 511, Users: 30, Items: 50, RatingsPerUser: 12})
+	eng, err := core.New(c.Catalog, c.Ratings,
+		core.WithSeed(1),
+		core.WithWAL(core.WALConfig{FS: wal.NewMemFS()}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	now := func() time.Time { return clock }
+	var order []string
+	elapsed, err := shutdownSequence(context.Background(), now,
+		func() { order = append(order, "draining") },
+		func(context.Context) error {
+			// An in-flight request finishing during the drain: its write
+			// must land in the (still open) log.
+			if err := eng.Rate(1, 2, 4); err != nil {
+				t.Fatalf("write during drain hit a closed WAL: %v", err)
+			}
+			clock = clock.Add(750 * time.Millisecond)
+			order = append(order, "http-drained")
+			return nil
+		},
+		func() error {
+			order = append(order, "wal-closed")
+			return eng.Close()
+		},
+	)
+	if err != nil {
+		t.Fatalf("shutdownSequence: %v", err)
+	}
+	if elapsed != 750*time.Millisecond {
+		t.Fatalf("measured drain = %s, want 750ms", elapsed)
+	}
+	want := []string{"draining", "http-drained", "wal-closed"}
+	for i, step := range want {
+		if i >= len(order) || order[i] != step {
+			t.Fatalf("shutdown order = %v, want %v", order, want)
+		}
+	}
+	// The contract the ordering protects: after the sequence, the log
+	// is closed and new writes are refused rather than silently lost.
+	if err := eng.Rate(1, 3, 4); err == nil {
+		t.Fatal("write accepted after the WAL closed")
+	}
+}
+
+// TestShutdownSequenceClosesWALOnDrainTimeout: even when the HTTP
+// drain fails (deadline exceeded), the durable state is still flushed
+// and closed — the error is reported, not traded for a leaked log.
+func TestShutdownSequenceClosesWALOnDrainTimeout(t *testing.T) {
+	closed := false
+	clock := time.Unix(1700000000, 0)
+	_, err := shutdownSequence(context.Background(),
+		func() time.Time { return clock },
+		func() {},
+		func(context.Context) error { return context.DeadlineExceeded },
+		func() error { closed = true; return nil },
+	)
+	if err == nil {
+		t.Fatal("drain timeout swallowed")
+	}
+	if !closed {
+		t.Fatal("durable close skipped after drain timeout")
 	}
 }

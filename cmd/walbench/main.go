@@ -1,0 +1,173 @@
+// Command walbench measures the write-ahead log's cost envelope: the
+// per-append latency of each fsync policy (the price of durability),
+// replay throughput on reopen, and how a checkpoint bounds recovery
+// time. Each configuration appends a fixed workload to a fresh
+// on-disk log, then closes and reopens it, timing recovery. The
+// result is written as JSON for trend tracking (BENCH_wal.json at the
+// repo root is the committed baseline).
+//
+//	walbench -ops 5000 -payload 128 -out BENCH_wal.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wal"
+)
+
+// result is one benchmarked (policy, checkpoint) configuration.
+type result struct {
+	Fsync            string  `json:"fsync"`
+	FsyncEvery       int     `json:"fsync_every,omitempty"`
+	CheckpointEvery  int     `json:"checkpoint_every,omitempty"`
+	Ops              int     `json:"ops"`
+	PayloadBytes     int     `json:"payload_bytes"`
+	AppendsPerSec    float64 `json:"appends_per_sec"`
+	AppendP50Micros  float64 `json:"append_p50_us"`
+	AppendP99Micros  float64 `json:"append_p99_us"`
+	RecoveryMillis   float64 `json:"recovery_ms"`
+	ReplayedRecords  int     `json:"replayed_records"`
+	ReplayRecsPerSec float64 `json:"replay_records_per_sec"`
+}
+
+// report is the JSON document walbench emits.
+type report struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	Results   []result `json:"results"`
+}
+
+// config is one configuration to benchmark.
+type config struct {
+	fsync           wal.FsyncPolicy
+	fsyncEvery      int
+	checkpointEvery int
+}
+
+func main() {
+	ops := flag.Int("ops", 5000, "appends per configuration")
+	payload := flag.Int("payload", 128, "payload bytes per record")
+	every := flag.Int("every", 64, "sync interval for the every-n configuration")
+	checkpoint := flag.Int("checkpoint", 1000, "checkpoint interval for the checkpointed configuration")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	configs := []config{
+		{fsync: wal.FsyncAlways},
+		{fsync: wal.FsyncEveryN, fsyncEvery: *every},
+		{fsync: wal.FsyncOS},
+		// The checkpointed run shows recovery cost bounded by the
+		// records SINCE the last checkpoint, not total history.
+		{fsync: wal.FsyncOS, checkpointEvery: *checkpoint},
+	}
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+	for _, c := range configs {
+		r, err := run(c, *ops, *payload)
+		if err != nil {
+			log.Fatalf("walbench: fsync=%s: %v", c.fsync, err)
+		}
+		rep.Results = append(rep.Results, r)
+		log.Printf("walbench: fsync=%s ckpt=%d %0.0f appends/s p50=%0.1fus p99=%0.1fus recovery=%0.2fms (%d records)",
+			r.Fsync, r.CheckpointEvery, r.AppendsPerSec, r.AppendP50Micros, r.AppendP99Micros, r.RecoveryMillis, r.ReplayedRecords)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("walbench: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("walbench: %v", err)
+	}
+	log.Printf("walbench: wrote %s", *out)
+}
+
+// run appends the workload under one configuration, then reopens the
+// log and times recovery.
+func run(c config, ops, payload int) (result, error) {
+	dir, err := os.MkdirTemp("", "walbench-")
+	if err != nil {
+		return result{}, err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := wal.DirFS(dir)
+	if err != nil {
+		return result{}, err
+	}
+	opts := wal.Options{FS: fs, Fsync: c.fsync, FsyncEvery: c.fsyncEvery}
+
+	l, rec, err := wal.Open(opts)
+	if err != nil {
+		return result{}, err
+	}
+	if len(rec.Records) != 0 {
+		return result{}, fmt.Errorf("fresh log recovered %d records", len(rec.Records))
+	}
+
+	body := make([]byte, payload)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	durs := make([]float64, 0, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		t0 := time.Now()
+		if _, err := l.Append(body); err != nil {
+			return result{}, fmt.Errorf("append %d: %w", i, err)
+		}
+		durs = append(durs, time.Since(t0).Seconds()*1e6)
+		if c.checkpointEvery > 0 && (i+1)%c.checkpointEvery == 0 {
+			if err := l.Checkpoint([]byte("state-at-" + fmt.Sprint(i+1))); err != nil {
+				return result{}, fmt.Errorf("checkpoint at %d: %w", i+1, err)
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if err := l.Close(); err != nil {
+		return result{}, err
+	}
+
+	t0 := time.Now()
+	l2, rec2, err := wal.Open(opts)
+	if err != nil {
+		return result{}, fmt.Errorf("reopen: %w", err)
+	}
+	recovery := time.Since(t0)
+	if err := l2.Close(); err != nil {
+		return result{}, err
+	}
+	if rec2.Report.Truncated != 0 {
+		return result{}, fmt.Errorf("clean close truncated %d bytes on reopen", rec2.Report.Truncated)
+	}
+
+	r := result{
+		Fsync:           c.fsync.String(),
+		FsyncEvery:      c.fsyncEvery,
+		CheckpointEvery: c.checkpointEvery,
+		Ops:             ops,
+		PayloadBytes:    payload,
+		AppendsPerSec:   float64(ops) / elapsed,
+		AppendP50Micros: stats.Quantile(durs, 0.50),
+		AppendP99Micros: stats.Quantile(durs, 0.99),
+		RecoveryMillis:  recovery.Seconds() * 1e3,
+		ReplayedRecords: rec2.Report.Records,
+	}
+	if recovery > 0 {
+		r.ReplayRecsPerSec = float64(rec2.Report.Records) / recovery.Seconds()
+	}
+	return r, nil
+}

@@ -1,0 +1,243 @@
+// Cluster durability: with Options.Durability set, every piece of
+// router state that must survive a process death gets a write-ahead
+// log under one Space — each shard engine's mutations (core.WithWAL at
+// "shard-N/wal"), each shard's parked write journal ("shard-N/journal"),
+// and the topology itself ("topology"). The topology log records the
+// founding parameters plus every AddShard/RemoveShard, so a restart
+// rebuilds exactly the cluster that died: same ring, same shard set,
+// same per-shard seeds — and fails fast when the operator's flags
+// disagree with what is on disk, because silently re-partitioning a
+// durable cluster would strand every shard's recovered users.
+//
+// A restart finishes what a crash interrupted: user migrations are
+// completed by a deterministic ownership sweep (import into the ring
+// owner, evict from the stale holder — both idempotent, both logged by
+// the engines' own WALs), and recovered parked writes re-route through
+// the healthy cluster, then compact away.
+
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/wal"
+)
+
+// Durability configures the cluster's durable state. The zero Space is
+// invalid; everything else defaults sensibly.
+type Durability struct {
+	// Space roots the cluster's logs: wal.DirSpace(dir) in production,
+	// wal.NewMemSpace().FS in tests. Required.
+	Space wal.Space
+	// Fsync is the durability policy applied to every log (engine WALs,
+	// journals, topology). Defaults to wal.FsyncAlways.
+	Fsync wal.FsyncPolicy
+	// FsyncEvery is the N for wal.FsyncEveryN.
+	FsyncEvery int
+	// CheckpointEvery is each shard engine's checkpoint cadence in
+	// records; 0 selects core.DefaultCheckpointEvery.
+	CheckpointEvery int
+}
+
+// walOptions is the common log configuration durable components share.
+func (d *Durability) walOptions() wal.Options {
+	return wal.Options{Fsync: d.Fsync, FsyncEvery: d.FsyncEvery}
+}
+
+// topoRecord is one topology-log record. Init carries the founding
+// parameters; add/remove carry the shard ID.
+type topoRecord struct {
+	Op     string `json:"op"` // "init", "add", "remove"
+	Shards int    `json:"shards,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	VNodes int    `json:"vnodes,omitempty"`
+	ID     int    `json:"id,omitempty"`
+}
+
+// topoCheckpoint is the compacted topology: founding parameters plus
+// the current membership, written after every topology change so
+// replay stays O(1).
+type topoCheckpoint struct {
+	Shards  int    `json:"shards"`
+	Seed    uint64 `json:"seed"`
+	VNodes  int    `json:"vnodes"`
+	Members []int  `json:"members"`
+}
+
+// openTopology opens (or founds) the durable topology log and returns
+// the member shard IDs to build, plus whether this is a restart of an
+// existing cluster. initIDs is the founding membership implied by
+// Options.Shards.
+func (rt *Router) openTopology(initIDs []int) (ids []int, restarted bool, err error) {
+	d := rt.opts.Durability
+	fs, err := d.Space("topology")
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: topology space: %w", err)
+	}
+	opts := d.walOptions()
+	opts.FS = fs
+	l, recv, err := wal.Open(opts)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: topology log: %w", err)
+	}
+	rt.topoLog = l
+
+	if recv.Checkpoint == nil && len(recv.Records) == 0 {
+		// Founding boot: record the parameters the cluster is built
+		// with, so every later boot can verify against them.
+		rec := topoRecord{Op: "init", Shards: rt.opts.Shards, Seed: rt.opts.Seed, VNodes: rt.opts.VNodes}
+		if err := rt.appendTopo(rec); err != nil {
+			l.Close()
+			return nil, false, err
+		}
+		return initIDs, false, nil
+	}
+
+	members := map[int]bool{}
+	founding := topoRecord{}
+	if recv.Checkpoint != nil {
+		var ck topoCheckpoint
+		if err := json.Unmarshal(recv.Checkpoint, &ck); err != nil {
+			l.Close()
+			return nil, false, fmt.Errorf("cluster: topology checkpoint: %w", err)
+		}
+		founding = topoRecord{Op: "init", Shards: ck.Shards, Seed: ck.Seed, VNodes: ck.VNodes}
+		for _, id := range ck.Members {
+			members[id] = true
+		}
+	}
+	for _, rec := range recv.Records {
+		var tr topoRecord
+		if err := json.Unmarshal(rec.Payload, &tr); err != nil {
+			l.Close()
+			return nil, false, fmt.Errorf("cluster: topology record %d: %w", rec.Seq, err)
+		}
+		switch tr.Op {
+		case "init":
+			founding = tr
+			for i := 0; i < tr.Shards; i++ {
+				members[i] = true
+			}
+		case "add":
+			members[tr.ID] = true
+		case "remove":
+			delete(members, tr.ID)
+		default:
+			l.Close()
+			return nil, false, fmt.Errorf("cluster: topology record %d has unknown op %q", rec.Seq, tr.Op)
+		}
+	}
+	if founding.Op != "init" {
+		l.Close()
+		return nil, false, errors.New("cluster: topology log has no founding record")
+	}
+	// Fail fast on parameter drift: a durable cluster's partitioning is
+	// defined by what is on disk, not by this boot's flags.
+	if founding.Shards != rt.opts.Shards || founding.Seed != rt.opts.Seed || founding.VNodes != rt.opts.VNodes {
+		l.Close()
+		return nil, false, fmt.Errorf(
+			"cluster: durable topology was founded with shards=%d seed=%d vnodes=%d, but this boot asks for shards=%d seed=%d vnodes=%d",
+			founding.Shards, founding.Seed, founding.VNodes, rt.opts.Shards, rt.opts.Seed, rt.opts.VNodes)
+	}
+	if len(members) == 0 {
+		l.Close()
+		return nil, false, errors.New("cluster: topology log resolves to zero shards")
+	}
+	ids = make([]int, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, true, nil
+}
+
+// appendTopo logs one topology record; topology changes that cannot be
+// made durable do not happen.
+func (rt *Router) appendTopo(rec topoRecord) error {
+	if rt.topoLog == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding topology record: %w", err)
+	}
+	if _, err := rt.topoLog.Append(data); err != nil {
+		return fmt.Errorf("cluster: topology log rejected the change: %w", err)
+	}
+	return nil
+}
+
+// compactTopo checkpoints the topology log at the given membership so
+// replay never reads more than the records since the last change.
+// Best-effort: an uncompacted log replays the same history.
+func (rt *Router) compactTopo(t *topology) {
+	if rt.topoLog == nil {
+		return
+	}
+	ck := topoCheckpoint{Shards: rt.opts.Shards, Seed: rt.opts.Seed, VNodes: rt.opts.VNodes}
+	for _, sh := range t.order {
+		ck.Members = append(ck.Members, sh.id)
+	}
+	payload, err := json.Marshal(&ck)
+	if err != nil {
+		return
+	}
+	//lint:ignore dropped-error compaction is advisory — the record history replays to the same membership
+	_ = rt.topoLog.Checkpoint(payload)
+}
+
+// completeMigrations finishes any user migration a crash interrupted:
+// every user held by a shard the ring no longer assigns them to moves
+// to the owner (import before evict, exactly like a live rebalance).
+// Both primitives are idempotent and engine-WAL-logged, so the sweep
+// is safe to run on every restart and a crash DURING the sweep just
+// reruns it next boot.
+func (rt *Router) completeMigrations(t *topology) {
+	for _, sh := range t.order {
+		m := sh.eng.Ratings()
+		for _, u := range m.Users() {
+			owner := t.ring.Owner(u)
+			if owner == sh.id {
+				continue
+			}
+			t.byID[owner].eng.ImportUserRatings(u, m.UserRatings(u))
+			sh.eng.EvictUser(u)
+		}
+	}
+}
+
+// WALState reports the topology log's state — the cluster's own
+// durable log, alongside the per-shard states in ClusterState. ok is
+// false on in-memory clusters.
+func (rt *Router) WALState() (wal.State, bool) {
+	if rt.topoLog == nil {
+		return wal.State{}, false
+	}
+	return rt.topoLog.State(), true
+}
+
+// Close flushes and releases every durable resource: each shard
+// engine's WAL, each journal log, and the topology log. Reads keep
+// serving from closed engines; writes are rejected. Idempotent.
+func (rt *Router) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	topo := rt.topo.Load()
+	if topo != nil {
+		for _, sh := range topo.order {
+			keep(sh.eng.Close())
+			keep(sh.journal.close())
+		}
+	}
+	if rt.topoLog != nil {
+		keep(rt.topoLog.Close())
+	}
+	return first
+}

@@ -1,0 +1,351 @@
+// Durable-cluster tests: everything here runs against wal.NewMemSpace
+// so "crash" is just abandoning a router (or closing it) and building
+// a new one over the same space — no disk, no sleeps, fully seeded.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+func durableOpts(space wal.Space) Options {
+	return Options{Shards: 3, Seed: 9, Durability: &Durability{Space: space}}
+}
+
+// mergedRatings flattens a router's ratings for equality checks.
+func mergedRatings(rt *Router) map[model.UserID]map[model.ItemID]float64 {
+	out := map[model.UserID]map[model.ItemID]float64{}
+	m := rt.Ratings()
+	for _, u := range m.Users() {
+		out[u] = m.UserRatings(u)
+	}
+	return out
+}
+
+// TestDurableClusterSurvivesRestart: every accepted write lands in a
+// shard WAL, so a restart over the same space — seeded with an EMPTY
+// matrix — rebuilds the exact rating state, live writes included.
+func TestDurableClusterSurvivesRestart(t *testing.T) {
+	com := testCommunity(t)
+	space := wal.NewMemSpace()
+	rt, err := New(com.Catalog, com.Ratings, durableOpts(space.FS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := com.Ratings.Users()[0]
+	item := com.Catalog.Items()[0].ID
+	if err := rt.Rate(u, item, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetInfluenceWeight(u, item, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	want := mergedRatings(rt)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The constructor matrix is seed data only: pass an empty one and
+	// let the recovered WAL checkpoints prove they are the source of
+	// truth.
+	rt2, err := New(com.Catalog, model.NewMatrix(), durableOpts(space.FS))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	got := mergedRatings(rt2)
+	if len(got) != len(want) {
+		t.Fatalf("restart recovered %d users, want %d", len(got), len(want))
+	}
+	for ru, ratings := range want {
+		for it, v := range ratings {
+			if gv, ok := rt2.Ratings().Get(ru, it); !ok || gv != v {
+				t.Fatalf("rating (%d,%d) = %v,%v after restart, want %v", ru, it, gv, ok, v)
+			}
+		}
+	}
+
+	st := rt2.ClusterState()
+	if !st.Durable {
+		t.Fatal("restarted cluster does not report durable")
+	}
+	for _, sh := range st.Shards {
+		if sh.WAL == nil || sh.JournalWAL == nil {
+			t.Fatalf("shard %d missing WAL state: %+v", sh.ID, sh)
+		}
+	}
+	// The restarted cluster is live, not a read-only museum.
+	if err := rt2.Rate(u, com.Catalog.Items()[1].ID, 4); err != nil {
+		t.Fatalf("write after restart: %v", err)
+	}
+}
+
+// TestDurableClusterRecoversParkedWrites: a write parked for a down
+// shard is durably journaled before it is acknowledged, so a crash
+// with the shard still down does not lose it — the restart replays it
+// through the healthy cluster.
+func TestDurableClusterRecoversParkedWrites(t *testing.T) {
+	com := testCommunity(t)
+	space := wal.NewMemSpace()
+	sim := fault.NewClusterSim(3)
+	opts := durableOpts(space.FS)
+	opts.Gate = sim
+	opts.FailureThreshold = 1
+	rt, err := New(com.Catalog, com.Ratings, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := com.Ratings.Users()[0]
+	victim := rt.Owner(u)
+	item := com.Catalog.Items()[0].ID
+
+	sim.Kill(victim)
+	if _, err := rt.RecommendContext(context.Background(), u, 3); err != nil {
+		t.Fatalf("recommend during shard loss: %v", err)
+	}
+	if err := rt.Rate(u, item, 5); err != nil {
+		t.Fatalf("rate during shard loss: %v", err)
+	}
+	if st := shardState(t, rt, victim); st.JournalDepth == 0 {
+		t.Fatalf("write not parked: %+v", st)
+	}
+	// Crash: abandon the router without closing anything.
+
+	rt2, err := New(com.Catalog, com.Ratings, durableOpts(space.FS))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if got, ok := rt2.Ratings().Get(u, item); !ok || got != 5 {
+		t.Fatalf("parked write after restart = %v,%v, want 5,true", got, ok)
+	}
+	st := shardState(t, rt2, victim)
+	if st.JournalDepth != 0 {
+		t.Fatalf("journal not drained at restart: %+v", st)
+	}
+	if st.JournalWAL == nil || st.JournalWAL.CheckpointAge != 0 {
+		t.Fatalf("journal log not compacted after restart replay: %+v", st.JournalWAL)
+	}
+}
+
+// TestDurableJournalBoundedAcrossKillHealCycles: repeated kill/heal
+// cycles must not pin memory or grow the journal log without bound —
+// each heal's replay compacts the log back to a checkpoint of the
+// (empty) parked set.
+func TestDurableJournalBoundedAcrossKillHealCycles(t *testing.T) {
+	com := testCommunity(t)
+	space := wal.NewMemSpace()
+	sim := fault.NewClusterSim(3)
+	opts := durableOpts(space.FS)
+	opts.Gate = sim
+	opts.FailureThreshold = 1
+	opts.ProbeEvery = 2
+	rt, err := New(com.Catalog, com.Ratings, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := com.Ratings.Users()[0]
+	victim := rt.Owner(u)
+	items := com.Catalog.Items()
+
+	const cycles = 6
+	for c := 0; c < cycles; c++ {
+		sim.Kill(victim)
+		if _, err := rt.RecommendContext(context.Background(), u, 3); err != nil {
+			t.Fatalf("cycle %d: recommend during loss: %v", c, err)
+		}
+		for k := 0; k < 4; k++ {
+			if err := rt.Rate(u, items[(c*4+k)%len(items)].ID, 4); err != nil {
+				t.Fatalf("cycle %d: rate: %v", c, err)
+			}
+		}
+		sim.Restore(victim)
+		healed := false
+		for i := 0; i < 64 && !healed; i++ {
+			if _, err := rt.RecommendContext(context.Background(), u, 3); err != nil {
+				t.Fatalf("cycle %d: recommend while healing: %v", c, err)
+			}
+			healed = shardState(t, rt, victim).Healthy
+		}
+		if !healed {
+			t.Fatalf("cycle %d: victim never healed", c)
+		}
+	}
+
+	st := shardState(t, rt, victim)
+	if st.JournalDepth != 0 {
+		t.Fatalf("parked entries pinned after %d cycles: %+v", cycles, st)
+	}
+	if st.JournalWAL == nil {
+		t.Fatal("no journal log state on a durable cluster")
+	}
+	// The log's replay cost must reflect the LAST cycle, not the sum of
+	// all of them: compaction after each heal resets the age to zero.
+	if st.JournalWAL.CheckpointAge != 0 {
+		t.Fatalf("journal log grew across cycles: age %d, want 0 (state %+v)",
+			st.JournalWAL.CheckpointAge, st.JournalWAL)
+	}
+	if st.JournalWAL.Checkpoints < cycles {
+		t.Fatalf("journal compacted %d times over %d heal cycles", st.JournalWAL.Checkpoints, cycles)
+	}
+}
+
+// TestDurableTopologyDriftFailsFast: a durable cluster's partitioning
+// is defined by its founding record; booting over the same space with
+// different flags must refuse, not silently re-partition.
+func TestDurableTopologyDriftFailsFast(t *testing.T) {
+	com := testCommunity(t)
+	space := wal.NewMemSpace()
+	rt, err := New(com.Catalog, com.Ratings, durableOpts(space.FS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []Options{
+		{Shards: 4, Seed: 9, Durability: &Durability{Space: space.FS}},
+		{Shards: 3, Seed: 10, Durability: &Durability{Space: space.FS}},
+		{Shards: 3, Seed: 9, VNodes: 7, Durability: &Durability{Space: space.FS}},
+	}
+	for i, opts := range bad {
+		if _, err := New(com.Catalog, com.Ratings, opts); err == nil {
+			t.Fatalf("drifted boot %d succeeded", i)
+		} else if !strings.Contains(err.Error(), "founded") {
+			t.Fatalf("drifted boot %d: unexpected error %v", i, err)
+		}
+	}
+
+	// Matching flags still boot.
+	rt2, err := New(com.Catalog, com.Ratings, durableOpts(space.FS))
+	if err != nil {
+		t.Fatalf("matching boot refused: %v", err)
+	}
+	if err := rt2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRebalanceSurvivesRestart: AddShard and RemoveShard are
+// topology-logged, so a restart rebuilds the rebalanced cluster — with
+// the ORIGINAL founding flags, because membership now comes from the
+// log, not from Options.Shards.
+func TestDurableRebalanceSurvivesRestart(t *testing.T) {
+	com := testCommunity(t)
+	space := wal.NewMemSpace()
+	rt, err := New(com.Catalog, com.Ratings, durableOpts(space.FS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := New(com.Catalog, model.NewMatrix(), durableOpts(space.FS))
+	if err != nil {
+		t.Fatalf("restart after add: %v", err)
+	}
+	st := rt2.ClusterState()
+	if len(st.Shards) != 4 {
+		t.Fatalf("restart rebuilt %d shards, want 4", len(st.Shards))
+	}
+	if got := rt2.Ratings().Len(); got != com.Ratings.Len() {
+		t.Fatalf("restart after add holds %d ratings, want %d", got, com.Ratings.Len())
+	}
+	for _, sh := range rt2.topo.Load().order {
+		for _, ru := range sh.eng.Ratings().Users() {
+			if rt2.Owner(ru) != sh.id {
+				t.Fatalf("after restart: user %d on shard %d, owned by %d", ru, sh.id, rt2.Owner(ru))
+			}
+		}
+	}
+
+	if err := rt2.RemoveShard(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt3, err := New(com.Catalog, model.NewMatrix(), durableOpts(space.FS))
+	if err != nil {
+		t.Fatalf("restart after remove: %v", err)
+	}
+	if got := len(rt3.ClusterState().Shards); got != 3 {
+		t.Fatalf("restart after remove rebuilt %d shards, want 3", got)
+	}
+	if got := rt3.Ratings().Len(); got != com.Ratings.Len() {
+		t.Fatalf("restart after remove holds %d ratings, want %d", got, com.Ratings.Len())
+	}
+}
+
+// TestDurableRestartFinishesInterruptedMigration: simulate a crash in
+// the worst spot — the "add" record is on disk but the process died
+// before migrating a single user. The restart must build the new
+// (empty) shard and the ownership sweep must finish the move.
+func TestDurableRestartFinishesInterruptedMigration(t *testing.T) {
+	com := testCommunity(t)
+	space := wal.NewMemSpace()
+	rt, err := New(com.Catalog, com.Ratings, durableOpts(space.FS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the crash: append the topology record AddShard would have
+	// written, with none of the migration work done.
+	fs, err := space.FS("topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := wal.Open(wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := json.Marshal(topoRecord{Op: "add", ID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := New(com.Catalog, model.NewMatrix(), durableOpts(space.FS))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if got := len(rt2.ClusterState().Shards); got != 4 {
+		t.Fatalf("restart rebuilt %d shards, want 4", got)
+	}
+	if got := rt2.Ratings().Len(); got != com.Ratings.Len() {
+		t.Fatalf("sweep lost ratings: %d, want %d", got, com.Ratings.Len())
+	}
+	moved := 0
+	for _, sh := range rt2.topo.Load().order {
+		for _, ru := range sh.eng.Ratings().Users() {
+			if rt2.Owner(ru) != sh.id {
+				t.Fatalf("user %d stranded on shard %d, owned by %d", ru, sh.id, rt2.Owner(ru))
+			}
+			if sh.id == 3 {
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("migration sweep moved no users to the forged shard")
+	}
+}

@@ -3,14 +3,27 @@
 // through the router when the shard heals (or drained into the new
 // owner on a rebalance). Entries are validated before journaling, so
 // replay failures are anomalies worth counting, not expected noise.
+//
+// With durability enabled (Options.Durability) every parked entry is
+// appended to a per-shard write-ahead log before it is acknowledged,
+// so accepted-but-parked writes survive a router crash. After a drain
+// is applied, the journal compacts: a checkpoint holding the current
+// parked set (usually empty) replaces the record history, so repeated
+// kill/heal cycles leave both the in-memory queue and the on-disk log
+// bounded. Replay after a crash is at-least-once — a crash between
+// applying a drained entry and the compaction checkpoint re-parks it —
+// which is the right trade for writes that were already acknowledged.
 
 package cluster
 
 import (
+	"encoding/json"
+	"fmt"
 	"sync"
 
 	"repro/internal/interact"
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // journalOp enumerates the journaled write kinds — the Service write
@@ -48,25 +61,153 @@ func (e journalEntry) opName() string {
 	}
 }
 
-// journal is one shard's parked-write queue, in arrival order.
+// journal is one shard's parked-write queue, in arrival order. dlog is
+// the durable backing, nil when the cluster runs in-memory only.
 type journal struct {
 	mu      sync.Mutex
 	entries []journalEntry
+	dlog    *wal.Log
 }
 
-func (j *journal) push(e journalEntry) {
+// journalWire is the durable form of one entry: the journalEntry
+// fields flattened, with the opinion expanded so the record is plain
+// JSON.
+type journalWire struct {
+	Op     journalOp            `json:"op"`
+	User   model.UserID         `json:"u"`
+	Item   model.ItemID         `json:"it,omitempty"`
+	Value  float64              `json:"v,omitempty"`
+	Kind   interact.OpinionKind `json:"k,omitempty"`
+	OpItem model.ItemID         `json:"oi,omitempty"`
+	Aspect string               `json:"a,omitempty"`
+}
+
+func wireOf(e journalEntry) journalWire {
+	return journalWire{
+		Op:     e.op,
+		User:   e.user,
+		Item:   e.item,
+		Value:  e.value,
+		Kind:   e.opinion.Kind,
+		OpItem: e.opinion.Item,
+		Aspect: e.opinion.Aspect,
+	}
+}
+
+func (w journalWire) entry() journalEntry {
+	return journalEntry{
+		op:      w.Op,
+		user:    w.User,
+		item:    w.Item,
+		value:   w.Value,
+		opinion: interact.Opinion{Kind: w.Kind, Item: w.OpItem, Aspect: w.Aspect},
+	}
+}
+
+// openDurable attaches a write-ahead log to the journal and recovers
+// previously parked entries: the newest compaction checkpoint's parked
+// set plus every record after it.
+func (j *journal) openDurable(fs wal.FS, opts wal.Options) error {
+	opts.FS = fs
+	l, recv, err := wal.Open(opts)
+	if err != nil {
+		return err
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.entries = append(j.entries, e)
+	j.dlog = l
+	if len(recv.Checkpoint) > 0 {
+		var wires []journalWire
+		if err := json.Unmarshal(recv.Checkpoint, &wires); err != nil {
+			l.Close()
+			return fmt.Errorf("cluster: journal checkpoint: %w", err)
+		}
+		for _, w := range wires {
+			j.entries = append(j.entries, w.entry())
+		}
+	}
+	for _, rec := range recv.Records {
+		var w journalWire
+		if err := json.Unmarshal(rec.Payload, &w); err != nil {
+			l.Close()
+			return fmt.Errorf("cluster: journal record %d: %w", rec.Seq, err)
+		}
+		j.entries = append(j.entries, w.entry())
+	}
+	return nil
 }
 
-// drain removes and returns every parked entry in arrival order.
+// push parks one entry, appending it to the durable log first when one
+// is attached — an entry is only acknowledged once it would survive a
+// crash.
+func (j *journal) push(e journalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dlog != nil {
+		data, err := json.Marshal(wireOf(e))
+		if err != nil {
+			return err
+		}
+		if _, err := j.dlog.Append(data); err != nil {
+			return err
+		}
+	}
+	j.entries = append(j.entries, e)
+	return nil
+}
+
+// drain removes and returns every parked entry in arrival order. The
+// durable log is deliberately NOT compacted here: the caller is about
+// to apply the entries, and until they land the log is their only
+// crash-safe copy. Call compact once the drain has been applied.
 func (j *journal) drain() []journalEntry {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := j.entries
 	j.entries = nil
 	return out
+}
+
+// compact checkpoints the durable log at the CURRENT parked set (empty
+// after a fully applied drain; the re-parked survivors otherwise), so
+// kill/heal cycles do not grow the log without bound. Best-effort: a
+// failed compaction leaves the full history, which replays correctly.
+func (j *journal) compact() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dlog == nil {
+		return
+	}
+	wires := make([]journalWire, 0, len(j.entries))
+	for _, e := range j.entries {
+		wires = append(wires, wireOf(e))
+	}
+	payload, err := json.Marshal(wires)
+	if err != nil {
+		return
+	}
+	//lint:ignore dropped-error compaction is advisory — an uncompacted journal replays the same entries, just from more records
+	_ = j.dlog.Checkpoint(payload)
+}
+
+// close releases the durable log, if any.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dlog == nil {
+		return nil
+	}
+	return j.dlog.Close()
+}
+
+// walState reports the durable log's state for ClusterState.
+func (j *journal) walState() (wal.State, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dlog == nil {
+		return wal.State{}, false
+	}
+	return j.dlog.State(), true
 }
 
 func (j *journal) len() int {

@@ -23,11 +23,16 @@ func (rt *Router) AddShard() (int, error) {
 
 	old := rt.topo.Load()
 	id := old.order[len(old.order)-1].id + 1
-	eng, err := rt.newShardEngine(id, model.NewMatrix())
+	// Log the change before acting on it: a crash after this record
+	// replays into a cluster that has the shard (with an empty engine),
+	// and the restart's migration sweep finishes moving its users.
+	if err := rt.appendTopo(topoRecord{Op: "add", ID: id}); err != nil {
+		return 0, err
+	}
+	sh, err := rt.newShard(id, model.NewMatrix())
 	if err != nil {
 		return 0, err
 	}
-	sh := &shard{id: id, eng: eng}
 	ring := old.ring.WithShard(id)
 
 	// Import into the new shard before evicting from the old ones, so a
@@ -52,6 +57,7 @@ func (rt *Router) AddShard() (int, error) {
 	next.order = append(append([]*shard{}, old.order...), sh)
 	sort.Slice(next.order, func(a, b int) bool { return next.order[a].id < next.order[b].id })
 	rt.topo.Store(next)
+	rt.compactTopo(next)
 	return id, nil
 }
 
@@ -69,6 +75,12 @@ func (rt *Router) RemoveShard(id int) error {
 	}
 	if len(old.order) == 1 {
 		return fmt.Errorf("cluster: cannot remove the last shard %d", id)
+	}
+	// Log before acting, exactly like AddShard: a crash after this
+	// record restarts without the shard, and the migration sweep (plus
+	// this drain's at-least-once journal) finishes the move.
+	if err := rt.appendTopo(topoRecord{Op: "remove", ID: id}); err != nil {
+		return err
 	}
 	ring := old.ring.WithoutShard(id)
 
@@ -97,5 +109,16 @@ func (rt *Router) RemoveShard(id int) error {
 		}
 		gone.replayed.Add(1)
 	}
+	// The departed shard's durable state is settled (its users' ratings
+	// were re-imported and re-logged by the surviving engines, and the
+	// drain just re-routed its parked writes), so its logs can close.
+	gone.journal.compact()
+	if err := gone.journal.close(); err != nil {
+		return err
+	}
+	if err := gone.eng.Close(); err != nil {
+		return err
+	}
+	rt.compactTopo(next)
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/present"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // ErrShardDown reports a shard call refused because the shard is (or
@@ -89,6 +90,11 @@ type Options struct {
 	// shard heal flows through the normal write path, so replayed
 	// writes fold in and trigger retrains exactly like live ones.
 	Trainer func(shardSeed uint64) core.TrainerConfig
+
+	// Durability, when non-nil, makes the cluster survive process death:
+	// shard engines log writes to per-shard WALs, parked journal writes
+	// persist, and topology changes replay at restart (see durable.go).
+	Durability *Durability
 }
 
 func (o *Options) withDefaults() Options {
@@ -133,6 +139,7 @@ type shard struct {
 	infraFailures atomic.Int64
 	degraded      atomic.Int64
 	journaled     atomic.Int64
+	journalErrors atomic.Int64
 	replayed      atomic.Int64
 	replayDropped atomic.Int64
 }
@@ -156,6 +163,9 @@ type Router struct {
 	opts Options
 
 	topo atomic.Pointer[topology]
+
+	// topoLog is the durable topology journal, nil without Durability.
+	topoLog *wal.Log
 
 	// rebalanceMu serialises topology changes (AddShard/RemoveShard);
 	// the read path never takes it.
@@ -194,8 +204,22 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts Options) (*Router, erro
 	for i := range ids {
 		ids[i] = i
 	}
+	restarted := false
+	if rt.opts.Durability != nil {
+		if rt.opts.Durability.Space == nil {
+			return nil, errors.New("cluster: Durability requires a Space")
+		}
+		var err error
+		ids, restarted, err = rt.openTopology(ids)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ring := NewRing(rt.opts.Seed, rt.opts.VNodes, ids)
 
+	// Partition the input matrix by ring ownership. On a durable
+	// restart these partitions are seed data only: each shard engine's
+	// recovered WAL checkpoint replaces its constructor matrix.
 	parts := make(map[int]*model.Matrix, len(ids))
 	for _, id := range ids {
 		parts[id] = model.NewMatrix()
@@ -209,16 +233,64 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts Options) (*Router, erro
 
 	topo := &topology{ring: ring, byID: make(map[int]*shard, len(ids))}
 	for _, id := range ids {
-		eng, err := rt.newShardEngine(id, parts[id])
+		sh, err := rt.newShard(id, parts[id])
 		if err != nil {
+			for _, built := range topo.order {
+				//lint:ignore dropped-error construction is failing with its own error; cleanup close errors have no caller to go to
+				_ = built.eng.Close()
+				//lint:ignore dropped-error construction is failing with its own error; cleanup close errors have no caller to go to
+				_ = built.journal.close()
+			}
+			if rt.topoLog != nil {
+				//lint:ignore dropped-error construction is failing with its own error; cleanup close errors have no caller to go to
+				_ = rt.topoLog.Close()
+			}
 			return nil, err
 		}
-		sh := &shard{id: id, eng: eng}
 		topo.byID[id] = sh
 		topo.order = append(topo.order, sh)
 	}
 	rt.topo.Store(topo)
+
+	if restarted {
+		// Finish whatever the dead process left half-done: interrupted
+		// user migrations, then parked writes recovered from the journal
+		// logs — applied through the normal write path (which reads
+		// rt.topo, hence the Store above) and compacted.
+		//lint:ignore snapshot-escape construction is single-goroutine; no reader holds the published topology yet, and the sweep mutates engines, not the topology struct
+		rt.completeMigrations(topo)
+		for _, sh := range topo.order {
+			if sh.journal.len() > 0 {
+				rt.replayJournal(sh)
+			}
+		}
+		rt.compactTopo(topo)
+	}
 	return rt, nil
+}
+
+// newShard builds one shard: its engine (WAL-backed when durable) and
+// its journal (ditto, with previously parked writes recovered).
+func (rt *Router) newShard(id int, m *model.Matrix) (*shard, error) {
+	eng, err := rt.newShardEngine(id, m)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{id: id, eng: eng}
+	if d := rt.opts.Durability; d != nil {
+		fs, err := d.Space(fmt.Sprintf("shard-%d/journal", id))
+		if err != nil {
+			//lint:ignore dropped-error construction is failing with its own error; cleanup close errors have no caller to go to
+			_ = eng.Close()
+			return nil, fmt.Errorf("cluster: shard %d journal space: %w", id, err)
+		}
+		if err := sh.journal.openDurable(fs, d.walOptions()); err != nil {
+			//lint:ignore dropped-error construction is failing with its own error; cleanup close errors have no caller to go to
+			_ = eng.Close()
+			return nil, fmt.Errorf("cluster: shard %d journal: %w", id, err)
+		}
+	}
+	return sh, nil
 }
 
 // newShardEngine builds one shard-local engine over its user
@@ -239,6 +311,18 @@ func (rt *Router) newShardEngine(id int, m *model.Matrix) (*core.Engine, error) 
 	}
 	if rt.opts.Trainer != nil {
 		opts = append(opts, core.WithTrainer(rt.opts.Trainer(shardSeed)))
+	}
+	if d := rt.opts.Durability; d != nil {
+		fs, err := d.Space(fmt.Sprintf("shard-%d/wal", id))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d wal space: %w", id, err)
+		}
+		opts = append(opts, core.WithWAL(core.WALConfig{
+			FS:              fs,
+			Fsync:           d.Fsync,
+			FsyncEvery:      d.FsyncEvery,
+			CheckpointEvery: d.CheckpointEvery,
+		}))
 	}
 	eng, err := core.New(rt.cat, m, opts...)
 	if err != nil {
@@ -493,7 +577,13 @@ func (rt *Router) write(u model.UserID, e journalEntry) error {
 			sh.infraFailures.Add(1)
 		}
 	}
-	sh.journal.push(e)
+	if err := sh.journal.push(e); err != nil {
+		// A durable journal that cannot persist the entry must reject
+		// it — acknowledging a write that only exists in the memory of a
+		// process whose disk just failed would be lying.
+		sh.journalErrors.Add(1)
+		return fmt.Errorf("cluster: shard %d: parking write: %w", sh.id, err)
+	}
 	sh.journaled.Add(1)
 	return nil
 }
@@ -512,6 +602,10 @@ func (rt *Router) replayJournal(sh *shard) {
 		}
 		sh.replayed.Add(1)
 	}
+	// Every drained entry has landed (in an engine WAL, or re-parked in
+	// a journal whose log re-appended it), so the history up to here can
+	// compact away.
+	sh.journal.compact()
 }
 
 // applyWrite routes one journal entry through the router's write path.
@@ -530,7 +624,7 @@ func (rt *Router) Rate(u model.UserID, item model.ItemID, value float64) error {
 
 // RemoveRating withdraws a past rating on the owning shard.
 func (rt *Router) RemoveRating(u model.UserID, item model.ItemID) {
-	//lint:ignore dropped-error Engine.RemoveRating has no failure mode, so write can only return nil for opRemove entries
+	//lint:ignore dropped-error the Service surface keeps RemoveRating void; a durable-journal append failure is counted in the shard's JournalErrors
 	_ = rt.write(u, journalEntry{op: opRemove, user: u, item: item})
 }
 

@@ -4,13 +4,17 @@
 
 package cluster
 
-import "repro/internal/model"
+import (
+	"repro/internal/model"
+	"repro/internal/wal"
+)
 
 // State is a point-in-time snapshot of the cluster.
 type State struct {
-	Seed   uint64       `json:"seed"`
-	VNodes int          `json:"vnodes"`
-	Shards []ShardState `json:"shards"`
+	Seed    uint64       `json:"seed"`
+	VNodes  int          `json:"vnodes"`
+	Durable bool         `json:"durable,omitempty"`
+	Shards  []ShardState `json:"shards"`
 }
 
 // ShardState is one shard's slice of the snapshot.
@@ -29,10 +33,16 @@ type ShardState struct {
 	InfraFailures int64 `json:"infra_failures"`
 	Degraded      int64 `json:"degraded"`
 	Journaled     int64 `json:"journaled"`
+	JournalErrors int64 `json:"journal_errors,omitempty"`
 	Replayed      int64 `json:"replayed"`
 	ReplayDropped int64 `json:"replay_dropped,omitempty"`
 	// JournalDepth is the currently parked write count.
 	JournalDepth int `json:"journal_depth"`
+
+	// Durable-log states, present only on durable clusters: WAL is the
+	// shard engine's mutation log, JournalWAL the parked-write log.
+	WAL        *wal.State `json:"wal,omitempty"`
+	JournalWAL *wal.State `json:"journal_wal,omitempty"`
 }
 
 // ClusterState snapshots ring parameters, shard health and routing
@@ -56,8 +66,9 @@ func (rt *Router) ClusterState() State {
 		}
 	}
 
+	st.Durable = rt.opts.Durability != nil
 	for _, sh := range topo.order {
-		st.Shards = append(st.Shards, ShardState{
+		ss := ShardState{
 			ID:            sh.id,
 			Healthy:       !sh.down.Load(),
 			OwnedUsers:    owned[sh.id],
@@ -66,10 +77,18 @@ func (rt *Router) ClusterState() State {
 			InfraFailures: sh.infraFailures.Load(),
 			Degraded:      sh.degraded.Load(),
 			Journaled:     sh.journaled.Load(),
+			JournalErrors: sh.journalErrors.Load(),
 			Replayed:      sh.replayed.Load(),
 			ReplayDropped: sh.replayDropped.Load(),
 			JournalDepth:  sh.journal.len(),
-		})
+		}
+		if ws, ok := sh.eng.WALState(); ok {
+			ss.WAL = &ws
+		}
+		if js, ok := sh.journal.walState(); ok {
+			ss.JournalWAL = &js
+		}
+		st.Shards = append(st.Shards, ss)
 	}
 	return st
 }

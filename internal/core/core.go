@@ -76,6 +76,7 @@ import (
 	"repro/internal/recsys/hybrid"
 	"repro/internal/rng"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Engine is a configured explanation-capable recommender. See the
@@ -124,6 +125,16 @@ type Engine struct {
 	// (breaker transitions, sheds, retries, fallbacks).
 	stageStats stageRecorder
 	resEvents  eventRecorder
+
+	// walCfg is set by WithWAL; wlog is the open write-ahead log (nil
+	// without the option) and ledger tracks durable non-matrix state
+	// for checkpoints. walReplaying is true only during construction-
+	// time replay, before any other goroutine can observe the engine:
+	// it suppresses re-logging and retrain triggers.
+	walCfg       *WALConfig
+	wlog         *wal.Log
+	ledger       *walLedger
+	walReplaying bool
 
 	// writeMu serialises all snapshot-publishing mutations.
 	writeMu sync.Mutex
@@ -295,7 +306,28 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		if e.customRec != nil {
 			return nil, errors.New("core: WithTrainer conflicts with WithRecommender")
 		}
+		if e.trainerCfg.ArtifactPath != "" && (e.trainerCfg.EncodeModel == nil || e.trainerCfg.DecodeModel == nil) {
+			return nil, errors.New("core: TrainerConfig.ArtifactPath requires EncodeModel and DecodeModel")
+		}
 		e.lc = newLifecycle(*e.trainerCfg)
+	}
+
+	// Durable engines recover before they serve: the newest checkpoint
+	// REPLACES the constructor matrix (the WAL directory is the source
+	// of truth once it exists), and the tail records are re-applied
+	// below, after the first snapshot is in place.
+	var recv *wal.Recovery
+	var ck *walCheckpoint
+	if e.walCfg != nil {
+		var ckMatrix *model.Matrix
+		var err error
+		recv, ck, ckMatrix, err = e.openWAL()
+		if err != nil {
+			return nil, err
+		}
+		if ckMatrix != nil {
+			ratings = ckMatrix
+		}
 	}
 
 	s := &snapshot{
@@ -309,11 +341,6 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		s.rec = e.customRec
 		s.editable = false
 	}
-	if e.lc != nil {
-		if err := e.initialTrain(s); err != nil {
-			return nil, err
-		}
-	}
 	if e.customExp != nil {
 		s.explainer = e.customExp
 	}
@@ -321,6 +348,41 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		s.guard = &sync.RWMutex{}
 	}
 	e.snap.Store(s)
+
+	if e.walCfg != nil {
+		if err := e.replayWAL(ck, recv.Records); err != nil {
+			e.wlog.Close()
+			return nil, err
+		}
+		if ck == nil {
+			// First boot of this directory: a baseline checkpoint makes
+			// it self-contained, so later recoveries never depend on the
+			// constructor matrix again.
+			e.writeMu.Lock()
+			err := e.walCheckpointLocked()
+			e.writeMu.Unlock()
+			if err != nil {
+				e.wlog.Close()
+				return nil, fmt.Errorf("core: writing baseline checkpoint: %w", err)
+			}
+		}
+	}
+
+	if e.lc != nil {
+		// The initial model trains on the post-recovery matrix (or loads
+		// from a persisted artifact), so replayed writes are in it; mark
+		// the replayed revisions trained.
+		cur := e.snap.Load()
+		if !e.warmStart(cur) {
+			if err := e.initialTrain(cur); err != nil {
+				e.Close()
+				return nil, err
+			}
+		}
+		e.snap.Store(cur)
+		e.lc.trainedRev = e.lc.dataRev
+		e.lc.touched = map[model.UserID]uint64{}
+	}
 	e.buildPipelines()
 	return e, nil
 }
@@ -525,9 +587,17 @@ func (e *Engine) SimilarToContext(ctx context.Context, u model.UserID, seed mode
 // copy-on-write clone, so readers of the current snapshot never see
 // it; in guarded mode the matrix is mutated in place under the write
 // lock.
-func (e *Engine) mutate(u model.UserID, apply func(*model.Matrix)) {
+//
+// With a WAL, rec is appended BEFORE the mutation applies; an append
+// failure rejects the whole mutation (non-nil return), upholding "no
+// acknowledged write is lost" in both directions — nothing lost, and
+// nothing acknowledged that durability didn't cover.
+func (e *Engine) mutate(u model.UserID, rec *walRecord, apply func(*model.Matrix)) error {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
+	if err := e.walAppend(rec); err != nil {
+		return err
+	}
 	cur := e.snap.Load()
 	if cur.guard != nil {
 		cur.guard.Lock()
@@ -539,12 +609,16 @@ func (e *Engine) mutate(u model.UserID, apply func(*model.Matrix)) {
 		apply(m)
 		e.snap.Store(e.rebuild(cur, m, u))
 	}
+	e.ledgerApply(rec)
 	// The lifecycle write counter advances after the snapshot publish,
 	// so a triggered background retrain always captures a matrix that
-	// includes the write that triggered it.
-	if e.lc != nil && e.lc.noteWrite(u) {
+	// includes the write that triggered it. Replay suppresses the
+	// trigger: the post-replay initial train covers every replayed write.
+	if e.lc != nil && e.lc.noteWrite(u) && !e.walReplaying {
 		e.retrainAsync()
 	}
+	e.walMaybeCheckpoint()
+	return nil
 }
 
 // ErrNonFiniteValue is returned when a rating value or influence
@@ -562,14 +636,23 @@ func (e *Engine) Rate(u model.UserID, item model.ItemID, value float64) error {
 	if math.IsNaN(value) || math.IsInf(value, 0) {
 		return fmt.Errorf("rating %v: %w", value, ErrNonFiniteValue)
 	}
-	e.mutate(u, func(m *model.Matrix) { m.Set(u, item, model.ClampRating(value)) })
+	err := e.mutate(u, &walRecord{Op: walOpRate, User: u, Item: item, Value: value},
+		func(m *model.Matrix) { m.Set(u, item, model.ClampRating(value)) })
+	if err != nil {
+		return err
+	}
 	e.stats.repairActions.Add(1)
 	return nil
 }
 
-// RemoveRating withdraws a past rating.
+// RemoveRating withdraws a past rating. On a durable engine whose WAL
+// has failed the removal is rejected (not applied); the rejection is
+// observable through the WAL metrics, keeping this signature stable
+// for the Service interface.
 func (e *Engine) RemoveRating(u model.UserID, item model.ItemID) {
-	e.mutate(u, func(m *model.Matrix) { m.Delete(u, item) })
+	//lint:ignore dropped-error a WAL append failure rejects the mutation without applying it; the failure is counted in WALState and the interface keeps Remove void
+	_ = e.mutate(u, &walRecord{Op: walOpRemove, User: u, Item: item},
+		func(m *model.Matrix) { m.Delete(u, item) })
 	e.stats.repairActions.Add(1)
 }
 
@@ -583,29 +666,37 @@ func (e *Engine) ImportUserRatings(u model.UserID, ratings map[model.ItemID]floa
 	if len(ratings) == 0 {
 		return
 	}
-	e.mutate(u, func(m *model.Matrix) {
-		for it, v := range ratings {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				continue
-			}
-			m.Set(u, it, model.ClampRating(v))
+	clean := make(map[model.ItemID]float64, len(ratings))
+	for it, v := range ratings {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
 		}
-	})
+		clean[it] = v
+	}
+	//lint:ignore dropped-error a WAL append failure rejects the import without applying it; the cluster router's journal retries on heal
+	_ = e.mutate(u, &walRecord{Op: walOpImport, User: u, Ratings: clean},
+		func(m *model.Matrix) {
+			for it, v := range clean {
+				m.Set(u, it, model.ClampRating(v))
+			}
+		})
 }
 
 // EvictUser removes every rating of u in one snapshot generation — the
 // counterpart of ImportUserRatings on the shard engine the user left.
 // Like import, it does not count repair actions.
 func (e *Engine) EvictUser(u model.UserID) {
-	e.mutate(u, func(m *model.Matrix) {
-		items := make([]model.ItemID, 0, len(m.UserRatings(u)))
-		for it := range m.UserRatings(u) {
-			items = append(items, it)
-		}
-		for _, it := range items {
-			m.Delete(u, it)
-		}
-	})
+	//lint:ignore dropped-error a WAL append failure rejects the eviction without applying it; the router re-runs evictions on the next rebalance
+	_ = e.mutate(u, &walRecord{Op: walOpEvict, User: u},
+		func(m *model.Matrix) {
+			items := make([]model.ItemID, 0, len(m.UserRatings(u)))
+			for it := range m.UserRatings(u) {
+				items = append(items, it)
+			}
+			for _, it := range items {
+				m.Delete(u, it)
+			}
+		})
 }
 
 // Opinion applies explicit opinion feedback (Section 5.4). Feedback
@@ -619,6 +710,31 @@ func (e *Engine) Opinion(u model.UserID, op interact.Opinion) error {
 		if err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+	}
+	// On a durable engine the opinion is logged first and the ledger
+	// updated under writeMu, so a checkpoint cuts matrix and opinion
+	// state at the same instant (opinion application is order-sensitive,
+	// so the cut must be exact). Logging precedes Apply; should Apply
+	// then fail, the logged record is inert — replay's Apply fails
+	// identically and is skipped, reproducing this exact state.
+	if e.wlog != nil {
+		rec := &walRecord{Op: walOpOpinion, User: u, Item: op.Item, Kind: op.Kind, Aspect: op.Aspect}
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+		if err := e.walAppend(rec); err != nil {
+			return err
+		}
+		st := e.users.get(u, e.baseSeed)
+		st.mu.Lock()
+		err := st.fb.Apply(op, it)
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		e.ledgerApply(rec)
+		e.stats.repairActions.Add(1)
+		e.walMaybeCheckpoint()
+		return nil
 	}
 	st := e.users.get(u, e.baseSeed)
 	st.mu.Lock()
@@ -644,6 +760,17 @@ func (e *Engine) SetInfluenceWeight(u model.UserID, item model.ItemID, weight fl
 	if math.IsNaN(weight) || math.IsInf(weight, 0) {
 		return fmt.Errorf("influence weight %v: %w", weight, ErrNonFiniteValue)
 	}
+	if err := e.applyInfluence(u, item, weight); err != nil {
+		return err
+	}
+	e.stats.repairActions.Add(1)
+	return nil
+}
+
+// applyInfluence is SetInfluenceWeight's body, shared with WAL replay
+// (which bypasses the finiteness check and usage counters — the record
+// was validated when accepted).
+func (e *Engine) applyInfluence(u model.UserID, item model.ItemID, weight float64) error {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	cur := e.snap.Load()
@@ -652,6 +779,10 @@ func (e *Engine) SetInfluenceWeight(u model.UserID, item model.ItemID, weight fl
 	}
 	if _, err := e.catalog.Item(item); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	rec := &walRecord{Op: walOpInfluence, User: u, Item: item, Value: weight}
+	if err := e.walAppend(rec); err != nil {
+		return err
 	}
 	// The matrix is unchanged, so the collaborative and keyword caches
 	// carry over whole; only the Bayes model takes the copy-on-write
@@ -667,8 +798,9 @@ func (e *Engine) SetInfluenceWeight(u model.UserID, item model.ItemID, weight fl
 	if e.customExp != nil {
 		next.explainer = cur.explainer
 	}
-	e.stats.repairActions.Add(1)
 	e.snap.Store(next)
+	e.ledgerApply(rec)
+	e.walMaybeCheckpoint()
 	return nil
 }
 

@@ -44,6 +44,19 @@ type TrainerConfig struct {
 	// metrics. Nil keeps the engine clockless (durations read as 0);
 	// tests inject a fake, recserver injects time.Now.
 	Clock func() time.Time
+	// ArtifactPath, when non-empty, persists every published model to
+	// this file (atomic replace via modelstore.SaveArtifact) and
+	// warm-starts from it at construction: when the file holds an
+	// artifact produced by the same trainer, New serves it — at its
+	// persisted version — instead of training from scratch. Requires
+	// EncodeModel and DecodeModel.
+	ArtifactPath string
+	// EncodeModel serializes the serving model for persistence (for mf
+	// trainers: mf.EncodeModel). Required with ArtifactPath.
+	EncodeModel func(recsys.Recommender) ([]byte, error)
+	// DecodeModel rebuilds a model from persisted bytes (for mf
+	// trainers: mf.DecodeModel(cat)). Required with ArtifactPath.
+	DecodeModel func([]byte) (recsys.Recommender, error)
 }
 
 // WithTrainer installs a versioned model lifecycle: cfg.Trainer is run
@@ -73,6 +86,14 @@ type lifecycle struct {
 	clock        func() time.Time
 	store        *modelstore.Store[recsys.Recommender]
 
+	// Artifact persistence (zero-valued when TrainerConfig.ArtifactPath
+	// is empty). warmStarted is written once during New, before the
+	// engine is shared, and only read afterwards.
+	artifactPath string
+	encode       func(recsys.Recommender) ([]byte, error)
+	decode       func([]byte) (recsys.Recommender, error)
+	warmStarted  bool
+
 	// training is the single-flight gate: CompareAndSwap(false, true)
 	// admits exactly one training run at a time.
 	training atomic.Bool
@@ -85,13 +106,15 @@ type lifecycle struct {
 	trainedRev uint64
 	touched    map[model.UserID]uint64
 
-	trainsStarted   atomic.Int64
-	trainsCompleted atomic.Int64
-	trainsFailed    atomic.Int64
-	foldIns         atomic.Int64 // write-path fold-ins (RebindMatrix on mutate)
-	swapFoldIns     atomic.Int64 // swap-time fold-ins of raced writes
-	lastTrainNanos  atomic.Int64
-	trainNanosTotal atomic.Int64
+	trainsStarted      atomic.Int64
+	trainsCompleted    atomic.Int64
+	trainsFailed       atomic.Int64
+	foldIns            atomic.Int64 // write-path fold-ins (RebindMatrix on mutate)
+	swapFoldIns        atomic.Int64 // swap-time fold-ins of raced writes
+	lastTrainNanos     atomic.Int64
+	trainNanosTotal    atomic.Int64
+	artifactsPersisted atomic.Int64
+	persistErrors      atomic.Int64
 }
 
 func newLifecycle(cfg TrainerConfig) *lifecycle {
@@ -100,8 +123,80 @@ func newLifecycle(cfg TrainerConfig) *lifecycle {
 		retrainEvery: cfg.RetrainEvery,
 		clock:        cfg.Clock,
 		store:        modelstore.New[recsys.Recommender](cfg.History),
+		artifactPath: cfg.ArtifactPath,
+		encode:       cfg.EncodeModel,
+		decode:       cfg.DecodeModel,
 		touched:      map[model.UserID]uint64{},
 	}
+}
+
+// persist writes a to the configured artifact path, best-effort: the
+// publish already happened and readers are being served from it, so a
+// persistence failure must not unwind the train — it is counted for
+// ModelsState/metrics and the next publish retries the path.
+func (lc *lifecycle) persist(a *modelstore.Artifact[recsys.Recommender]) {
+	if lc.artifactPath == "" || lc.encode == nil {
+		return
+	}
+	if err := modelstore.SaveArtifact(lc.artifactPath, a, lc.encode); err != nil {
+		lc.persistErrors.Add(1)
+		return
+	}
+	lc.artifactsPersisted.Add(1)
+}
+
+// warmStart tries to serve the persisted artifact instead of paying
+// the initial train. It declines (returns false, leaving the caller to
+// cold-train) when no usable artifact exists: no path configured,
+// missing/corrupt file, a different trainer's model, a checksum that
+// no longer matches the payload, or replayed WAL writes that the model
+// cannot fold in. Runs during New, before the engine is shared.
+func (e *Engine) warmStart(s *snapshot) bool {
+	lc := e.lc
+	if lc.artifactPath == "" || lc.decode == nil {
+		return false
+	}
+	art, err := modelstore.LoadArtifact(lc.artifactPath, lc.decode)
+	if err != nil {
+		return false
+	}
+	if art.Trainer != lc.trainer.Name() {
+		return false
+	}
+	if sum := checksumOf(art.Model); sum != art.Checksum {
+		return false
+	}
+	rec := art.Model
+	// Writes replayed from the WAL may postdate the artifact save; fold
+	// the touched users in so the warm model serves their current
+	// ratings. A model that cannot fold declines the warm start rather
+	// than serve stale vectors.
+	if len(lc.touched) > 0 {
+		rb, ok := rec.(recsys.MatrixRebinder)
+		if !ok {
+			return false
+		}
+		users := make([]model.UserID, 0, len(lc.touched))
+		for u := range lc.touched {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+		rec = rb.RebindMatrix(s.ratings, users...)
+		lc.foldIns.Add(int64(len(users)))
+		art = &modelstore.Artifact[recsys.Recommender]{
+			Version:  art.Version,
+			Trainer:  art.Trainer,
+			DataRev:  art.DataRev,
+			Checksum: checksumOf(rec),
+			Model:    rec,
+		}
+	}
+	if err := lc.store.Restore(art); err != nil {
+		return false
+	}
+	e.groundModel(s, rec, art.Version)
+	lc.warmStarted = true
+	return true
 }
 
 // selfExplaining is the seam a lifecycle-served model exposes to have
@@ -184,6 +279,7 @@ func (e *Engine) initialTrain(s *snapshot) error {
 	}
 	lc.recordTrain(d)
 	art := lc.store.Publish(lc.trainer.Name(), 0, checksumOf(rec), rec)
+	lc.persist(art)
 	e.groundModel(s, rec, art.Version)
 	lc.trainsCompleted.Add(1)
 	return nil
@@ -315,6 +411,7 @@ func (e *Engine) runTrain(ctx context.Context) error {
 		}
 	}
 	art := lc.store.Publish(lc.trainer.Name(), lc.dataRev, checksumOf(rec), rec)
+	lc.persist(art)
 	e.snap.Store(e.servingSnapshot(cur, rec, art.Version))
 	lc.trainedRev = lc.dataRev
 	for u, rev := range lc.touched {
@@ -342,6 +439,7 @@ func (e *Engine) RollbackModel() (ModelArtifact, error) {
 	if err != nil {
 		return ModelArtifact{}, err
 	}
+	e.lc.persist(art)
 	cur := e.snap.Load()
 	e.snap.Store(e.servingSnapshot(cur, art.Model, art.Version))
 	return artifactState(art, true), nil
@@ -394,6 +492,12 @@ type ModelsState struct {
 	// Clock; 0 when no clock is configured.
 	LastTrainSeconds  float64 `json:"last_train_seconds,omitempty"`
 	TrainSecondsTotal float64 `json:"train_seconds_total,omitempty"`
+	// Artifact persistence: WarmStarted reports that New served the
+	// persisted artifact instead of cold-training.
+	ArtifactPath          string `json:"artifact_path,omitempty"`
+	WarmStarted           bool   `json:"warm_started,omitempty"`
+	ArtifactsPersisted    int64  `json:"artifacts_persisted,omitempty"`
+	ArtifactPersistErrors int64  `json:"artifact_persist_errors,omitempty"`
 	// Artifacts lists the retained generations, newest (serving) first.
 	Artifacts []ModelArtifact `json:"artifacts,omitempty"`
 }
@@ -410,20 +514,24 @@ func (e *Engine) ModelsState() ModelsState {
 	dataRev, trainedRev := lc.dataRev, lc.trainedRev
 	e.writeMu.Unlock()
 	st := ModelsState{
-		Enabled:           true,
-		Trainer:           lc.trainer.Name(),
-		RetrainEvery:      lc.retrainEvery,
-		ServingVersion:    lc.store.Version(),
-		DataRev:           dataRev,
-		TrainedRev:        trainedRev,
-		TrainInFlight:     lc.training.Load(),
-		TrainsStarted:     lc.trainsStarted.Load(),
-		TrainsCompleted:   lc.trainsCompleted.Load(),
-		TrainsFailed:      lc.trainsFailed.Load(),
-		FoldIns:           lc.foldIns.Load(),
-		SwapFoldIns:       lc.swapFoldIns.Load(),
-		LastTrainSeconds:  time.Duration(lc.lastTrainNanos.Load()).Seconds(),
-		TrainSecondsTotal: time.Duration(lc.trainNanosTotal.Load()).Seconds(),
+		Enabled:               true,
+		Trainer:               lc.trainer.Name(),
+		RetrainEvery:          lc.retrainEvery,
+		ServingVersion:        lc.store.Version(),
+		DataRev:               dataRev,
+		TrainedRev:            trainedRev,
+		TrainInFlight:         lc.training.Load(),
+		TrainsStarted:         lc.trainsStarted.Load(),
+		TrainsCompleted:       lc.trainsCompleted.Load(),
+		TrainsFailed:          lc.trainsFailed.Load(),
+		FoldIns:               lc.foldIns.Load(),
+		SwapFoldIns:           lc.swapFoldIns.Load(),
+		LastTrainSeconds:      time.Duration(lc.lastTrainNanos.Load()).Seconds(),
+		TrainSecondsTotal:     time.Duration(lc.trainNanosTotal.Load()).Seconds(),
+		ArtifactPath:          lc.artifactPath,
+		WarmStarted:           lc.warmStarted,
+		ArtifactsPersisted:    lc.artifactsPersisted.Load(),
+		ArtifactPersistErrors: lc.persistErrors.Load(),
 	}
 	serving := lc.store.Version()
 	for _, a := range lc.store.History() {

@@ -1,0 +1,428 @@
+// Durability: an Engine built WithWAL writes every mutating operation
+// to a write-ahead log before publishing the snapshot that contains
+// it, and replays the log at construction, so the scrutable user
+// profile the survey is about — ratings, critiques, influence edits —
+// survives a process crash. The WAL stores opaque payloads; this file
+// owns the record and checkpoint codecs.
+//
+// Ordering invariant: the record is appended (and, under FsyncAlways,
+// on stable storage) BEFORE the snapshot swap makes the mutation
+// visible to readers. An append failure therefore rejects the
+// mutation outright — the engine never acknowledges a write it cannot
+// make durable.
+//
+// Checkpoints materialise the full recovered state — rating matrix,
+// influence-weight ledger, per-user opinion logs — as deterministic
+// sorted JSON every CheckpointEvery records, bounding replay length.
+// The first Open of an empty directory writes a baseline checkpoint of
+// the constructor matrix, so a WAL directory is always self-contained:
+// recovery never needs to consult (and can never resurrect state from)
+// the matrix passed to New on a later boot.
+
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/interact"
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// DefaultCheckpointEvery is the default record count between automatic
+// checkpoints.
+const DefaultCheckpointEvery = 512
+
+// WALConfig configures the engine's write-ahead log.
+type WALConfig struct {
+	// FS is the log's storage (wal.DirFS for a directory). Required.
+	FS wal.FS
+	// Fsync is the durability policy (default wal.FsyncAlways).
+	Fsync wal.FsyncPolicy
+	// FsyncEvery bounds unsynced appends under wal.FsyncEveryN.
+	FsyncEvery int
+	// CheckpointEvery writes a checkpoint after this many records
+	// since the last one; values below 1 select DefaultCheckpointEvery.
+	CheckpointEvery int
+	// SegmentBytes overrides the log's segment rotation size (0 =
+	// wal.DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+// WithWAL arms durable logging: every mutating operation is appended
+// to the log before it becomes visible, and New replays the log (last
+// checkpoint + tail records) before serving, so a restarted engine
+// resumes exactly where the crashed one was acknowledged to be.
+func WithWAL(cfg WALConfig) Option {
+	return func(e *Engine) { e.walCfg = &cfg }
+}
+
+// ---- record codec ----
+
+// WAL operation names. They are the on-disk format: append-only.
+const (
+	walOpRate      = "rate"
+	walOpRemove    = "remove"
+	walOpImport    = "import"
+	walOpEvict     = "evict"
+	walOpOpinion   = "opinion"
+	walOpInfluence = "influence"
+)
+
+// walRecord is one logged mutation. Value carries the rating for
+// "rate" and the weight for "influence".
+type walRecord struct {
+	Op      string                   `json:"op"`
+	User    model.UserID             `json:"u"`
+	Item    model.ItemID             `json:"it,omitempty"`
+	Value   float64                  `json:"v"`
+	Ratings map[model.ItemID]float64 `json:"r,omitempty"`
+	Kind    interact.OpinionKind     `json:"k,omitempty"`
+	Aspect  string                   `json:"a,omitempty"`
+}
+
+// ---- checkpoint codec ----
+
+// walCheckpointVersion is bumped on incompatible checkpoint layout
+// changes; decode rejects unknown versions.
+const walCheckpointVersion = 1
+
+var errCheckpointVersion = errors.New("core: unsupported WAL checkpoint version")
+
+type walCheckpoint struct {
+	Version int            `json:"version"`
+	Users   []walUserState `json:"users,omitempty"`
+}
+
+// walUserState is one user's full durable state: ratings, influence
+// edits, and the opinion log in application order.
+type walUserState struct {
+	User      model.UserID `json:"u"`
+	Ratings   []walEntry   `json:"r,omitempty"`
+	Influence []walEntry   `json:"w,omitempty"`
+	Opinions  []walOpinion `json:"o,omitempty"`
+}
+
+type walEntry struct {
+	Item  model.ItemID `json:"it"`
+	Value float64      `json:"v"`
+}
+
+type walOpinion struct {
+	Kind   interact.OpinionKind `json:"k"`
+	Item   model.ItemID         `json:"it,omitempty"`
+	Aspect string               `json:"a,omitempty"`
+}
+
+// walLedger is the engine's record of durable state that lives outside
+// the rating matrix: influence-weight edits (last write wins) and
+// per-user opinion logs (order matters — opinion application is not
+// commutative). Guarded by writeMu; exists only WithWAL.
+type walLedger struct {
+	influence map[influenceKey]float64
+	opinions  map[model.UserID][]interact.Opinion
+}
+
+type influenceKey struct {
+	U  model.UserID
+	It model.ItemID
+}
+
+func newWALLedger() *walLedger {
+	return &walLedger{
+		influence: map[influenceKey]float64{},
+		opinions:  map[model.UserID][]interact.Opinion{},
+	}
+}
+
+// ledgerApply folds one applied record into the ledger. Caller holds
+// writeMu. Eviction deliberately leaves the ledger untouched: the live
+// engine keeps a user's feedback model and influence weights across
+// EvictUser (only the matrix row is cleared), so the durable state
+// must too — otherwise a checkpoint-then-restart after a migration
+// would serve that user differently than the process that never died.
+func (e *Engine) ledgerApply(rec *walRecord) {
+	if e.ledger == nil || rec == nil {
+		return
+	}
+	switch rec.Op {
+	case walOpInfluence:
+		e.ledger.influence[influenceKey{U: rec.User, It: rec.Item}] = rec.Value
+	case walOpOpinion:
+		e.ledger.opinions[rec.User] = append(e.ledger.opinions[rec.User],
+			interact.Opinion{Kind: rec.Kind, Item: rec.Item, Aspect: rec.Aspect})
+	}
+}
+
+// encodeWALCheckpoint renders the current durable state as
+// deterministic JSON: users sorted, items sorted, opinions in
+// application order. Caller holds writeMu, so the matrix and the
+// ledger are cut at the same instant.
+func (e *Engine) encodeWALCheckpoint() ([]byte, error) {
+	m := e.snap.Load().ratings
+	seen := map[model.UserID]bool{}
+	for _, u := range m.Users() {
+		seen[u] = true
+	}
+	for k := range e.ledger.influence {
+		seen[k.U] = true
+	}
+	for u := range e.ledger.opinions {
+		seen[u] = true
+	}
+	users := make([]model.UserID, 0, len(seen))
+	for u := range seen {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+
+	ck := walCheckpoint{Version: walCheckpointVersion}
+	for _, u := range users {
+		us := walUserState{User: u}
+		for it, v := range m.UserRatings(u) {
+			us.Ratings = append(us.Ratings, walEntry{Item: it, Value: v})
+		}
+		sort.Slice(us.Ratings, func(a, b int) bool { return us.Ratings[a].Item < us.Ratings[b].Item })
+		for k, w := range e.ledger.influence {
+			if k.U == u {
+				us.Influence = append(us.Influence, walEntry{Item: k.It, Value: w})
+			}
+		}
+		sort.Slice(us.Influence, func(a, b int) bool { return us.Influence[a].Item < us.Influence[b].Item })
+		for _, op := range e.ledger.opinions[u] {
+			us.Opinions = append(us.Opinions, walOpinion{Kind: op.Kind, Item: op.Item, Aspect: op.Aspect})
+		}
+		ck.Users = append(ck.Users, us)
+	}
+	return json.Marshal(ck)
+}
+
+// decodeWALCheckpoint rebuilds the rating matrix and the checkpoint's
+// ledger state from a checkpoint payload.
+func decodeWALCheckpoint(payload []byte) (*model.Matrix, *walCheckpoint, error) {
+	var ck walCheckpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding WAL checkpoint: %w", err)
+	}
+	if ck.Version != walCheckpointVersion {
+		return nil, nil, fmt.Errorf("%w: %d", errCheckpointVersion, ck.Version)
+	}
+	m := model.NewMatrix()
+	for _, us := range ck.Users {
+		for _, r := range us.Ratings {
+			m.Set(us.User, r.Item, r.Value)
+		}
+	}
+	return m, &ck, nil
+}
+
+// ---- logging hooks ----
+
+// walAppend logs one record before its mutation is applied. Caller
+// holds writeMu. Nil-safe: a no-op without a WAL and during replay.
+func (e *Engine) walAppend(rec *walRecord) error {
+	if e.wlog == nil || rec == nil || e.walReplaying {
+		return nil
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("core: encoding WAL record: %w", err)
+	}
+	if _, err := e.wlog.Append(body); err != nil {
+		return fmt.Errorf("core: WAL append rejected the write: %w", err)
+	}
+	return nil
+}
+
+// walMaybeCheckpoint writes a checkpoint when enough records have
+// accumulated since the last one. Caller holds writeMu. A checkpoint
+// failure is not fatal to the write that triggered it (the write is
+// already durable in the log); the next write retries, and a failed
+// fsync inside the attempt marks the log failed anyway.
+func (e *Engine) walMaybeCheckpoint() {
+	if e.wlog == nil || e.walReplaying {
+		return
+	}
+	every := e.walCfg.CheckpointEvery
+	if every < 1 {
+		every = DefaultCheckpointEvery
+	}
+	if e.wlog.State().CheckpointAge >= uint64(every) {
+		//lint:ignore dropped-error checkpointing is best-effort: the triggering write is already durable and the next write retries
+		_ = e.walCheckpointLocked()
+	}
+}
+
+// walCheckpointLocked encodes the current state and hands it to the
+// log. Caller holds writeMu.
+func (e *Engine) walCheckpointLocked() error {
+	payload, err := e.encodeWALCheckpoint()
+	if err != nil {
+		return err
+	}
+	return e.wlog.Checkpoint(payload)
+}
+
+// Checkpoint forces a WAL checkpoint of the current state, bounding
+// what a restart must replay. Returns nil on engines without a WAL.
+func (e *Engine) Checkpoint() error {
+	if e.wlog == nil {
+		return nil
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return e.walCheckpointLocked()
+}
+
+// Close flushes and closes the WAL. Reads keep serving from the last
+// snapshot; mutating operations fail once the log is closed, so Close
+// belongs after the HTTP listener has drained. No-op (nil) on engines
+// without a WAL; idempotent.
+func (e *Engine) Close() error {
+	if e.wlog == nil {
+		return nil
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return e.wlog.Close()
+}
+
+// WALState reports the log's state for /debug/wal and the
+// recsys_wal_* metrics; ok is false on engines without a WAL.
+func (e *Engine) WALState() (wal.State, bool) {
+	if e.wlog == nil {
+		return wal.State{}, false
+	}
+	return e.wlog.State(), true
+}
+
+// ---- construction-time recovery ----
+
+// openWAL opens the log and decodes the newest checkpoint, if any.
+// Called from New before the first snapshot is built: a recovered
+// checkpoint REPLACES the constructor matrix, making the WAL directory
+// the single source of truth across restarts.
+func (e *Engine) openWAL() (*wal.Recovery, *walCheckpoint, *model.Matrix, error) {
+	if e.walCfg.FS == nil {
+		return nil, nil, nil, errors.New("core: WithWAL requires a non-nil FS")
+	}
+	l, recv, err := wal.Open(wal.Options{
+		FS:           e.walCfg.FS,
+		Fsync:        e.walCfg.Fsync,
+		FsyncEvery:   e.walCfg.FsyncEvery,
+		SegmentBytes: e.walCfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: opening WAL: %w", err)
+	}
+	e.wlog = l
+	e.ledger = newWALLedger()
+	if recv.Checkpoint == nil {
+		return recv, nil, nil, nil
+	}
+	m, ck, err := decodeWALCheckpoint(recv.Checkpoint)
+	if err != nil {
+		l.Close()
+		return nil, nil, nil, err
+	}
+	return recv, ck, m, nil
+}
+
+// replayWAL restores the checkpoint's ledger state and re-applies the
+// tail records on the freshly built engine. Runs in New after the
+// first snapshot is published and before any goroutine exists, with
+// walReplaying set so nothing is re-logged and no retrain triggers
+// fire. A record that fails to apply (e.g. an opinion for an item no
+// longer in the catalogue) is skipped — it failed identically when
+// first accepted or the catalogue changed between runs; either way
+// skipping reproduces a servable prefix state.
+func (e *Engine) replayWAL(ck *walCheckpoint, records []wal.Record) error {
+	e.walReplaying = true
+	defer func() { e.walReplaying = false }()
+
+	if ck != nil {
+		for _, us := range ck.Users {
+			for _, w := range us.Influence {
+				//lint:ignore dropped-error checkpointed influence edits were valid when logged; a failure here means the catalogue changed and the edit is moot
+				_ = e.applyInfluence(us.User, w.Item, w.Value)
+			}
+			for _, op := range us.Opinions {
+				e.replayOpinion(us.User, interact.Opinion{Kind: op.Kind, Item: op.Item, Aspect: op.Aspect})
+			}
+		}
+	}
+	for _, r := range records {
+		var rec walRecord
+		if err := json.Unmarshal(r.Payload, &rec); err != nil {
+			return fmt.Errorf("core: WAL record %d undecodable: %w", r.Seq, err)
+		}
+		e.applyWALRecord(&rec)
+	}
+	return nil
+}
+
+// applyWALRecord re-applies one logged mutation through the same
+// internal paths the original call used, bypassing validation (the
+// record was validated when accepted) and usage counters (replay is
+// not user activity).
+func (e *Engine) applyWALRecord(rec *walRecord) {
+	switch rec.Op {
+	case walOpRate:
+		//lint:ignore dropped-error replayed mutations cannot fail: walReplaying suppresses the only error source (the append itself)
+		_ = e.mutate(rec.User, rec, func(m *model.Matrix) {
+			m.Set(rec.User, rec.Item, model.ClampRating(rec.Value))
+		})
+	case walOpRemove:
+		//lint:ignore dropped-error replayed mutations cannot fail: walReplaying suppresses the only error source (the append itself)
+		_ = e.mutate(rec.User, rec, func(m *model.Matrix) { m.Delete(rec.User, rec.Item) })
+	case walOpImport:
+		//lint:ignore dropped-error replayed mutations cannot fail: walReplaying suppresses the only error source (the append itself)
+		_ = e.mutate(rec.User, rec, func(m *model.Matrix) {
+			for it, v := range rec.Ratings {
+				m.Set(rec.User, it, model.ClampRating(v))
+			}
+		})
+	case walOpEvict:
+		//lint:ignore dropped-error replayed mutations cannot fail: walReplaying suppresses the only error source (the append itself)
+		_ = e.mutate(rec.User, rec, func(m *model.Matrix) {
+			items := make([]model.ItemID, 0, len(m.UserRatings(rec.User)))
+			for it := range m.UserRatings(rec.User) {
+				items = append(items, it)
+			}
+			for _, it := range items {
+				m.Delete(rec.User, it)
+			}
+		})
+	case walOpInfluence:
+		//lint:ignore dropped-error a logged influence edit that no longer applies (catalogue drift) is skipped; see replayWAL
+		_ = e.applyInfluence(rec.User, rec.Item, rec.Value)
+	case walOpOpinion:
+		e.replayOpinion(rec.User, interact.Opinion{Kind: rec.Kind, Item: rec.Item, Aspect: rec.Aspect})
+	}
+}
+
+// replayOpinion re-applies one opinion without logging or counting.
+// Failures are skipped (see replayWAL).
+func (e *Engine) replayOpinion(u model.UserID, op interact.Opinion) {
+	var it *model.Item
+	if op.Kind != interact.SurpriseMe {
+		var err error
+		it, err = e.catalog.Item(op.Item)
+		if err != nil {
+			return
+		}
+	}
+	st := e.users.get(u, e.baseSeed)
+	st.mu.Lock()
+	err := st.fb.Apply(op, it)
+	st.mu.Unlock()
+	if err != nil {
+		return
+	}
+	e.writeMu.Lock()
+	e.ledgerApply(&walRecord{Op: walOpOpinion, User: u, Item: op.Item, Kind: op.Kind, Aspect: op.Aspect})
+	e.writeMu.Unlock()
+}

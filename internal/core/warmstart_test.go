@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/recsys/mf"
+	"repro/internal/wal"
+)
+
+func warmStartOpts(t testing.TB, fs wal.FS, path string, trainer mf.Trainer) []Option {
+	t.Helper()
+	c := walFixture(t)
+	return []Option{
+		WithWAL(WALConfig{FS: fs}),
+		WithTrainer(TrainerConfig{
+			Trainer:      trainer,
+			ArtifactPath: path,
+			EncodeModel:  mf.EncodeModel,
+			DecodeModel:  mf.DecodeModel(c.Catalog),
+		}),
+	}
+}
+
+func TestWarmStartServesPersistedVersion(t *testing.T) {
+	c := walFixture(t)
+	fs := wal.NewMemFS()
+	path := filepath.Join(t.TempDir(), "model.json")
+	trainer := mf.ALSWR{Opts: mf.Options{Seed: 5, Factors: 6, Epochs: 8}}
+
+	e1, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish a second generation so the restart provably resumes at
+	// the LAST version, not just "a" version.
+	if err := e1.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if v := e1.ModelVersion(); v != 2 {
+		t.Fatalf("serving version = %d, want 2", v)
+	}
+	before := renderUser(t, e1, 3)
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	st := e2.ModelsState()
+	if !st.WarmStarted {
+		t.Fatal("restart did not warm-start from the persisted artifact")
+	}
+	if st.TrainsStarted != 0 {
+		t.Fatalf("restart cold-trained anyway: %d trains", st.TrainsStarted)
+	}
+	if v := e2.ModelVersion(); v != 2 {
+		t.Fatalf("restart serves version %d, want 2", v)
+	}
+	if after := renderUser(t, e2, 3); after != before {
+		t.Fatalf("warm-started engine serves differently:\nbefore: %s\nafter:  %s", before, after)
+	}
+	// The version counter keeps climbing from the restored generation.
+	if err := e2.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if v := e2.ModelVersion(); v != 3 {
+		t.Fatalf("retrain after warm start = v%d, want v3", v)
+	}
+}
+
+func TestWarmStartFoldsInReplayedWrites(t *testing.T) {
+	c := walFixture(t)
+	fs := wal.NewMemFS()
+	path := filepath.Join(t.TempDir(), "model.json")
+	trainer := mf.ALSWR{Opts: mf.Options{Seed: 5, Factors: 6, Epochs: 8}}
+
+	e1, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes after the artifact was saved land in the WAL only.
+	u := model.UserID(3)
+	target := c.Catalog.Items()[0].ID
+	if err := e1.Rate(u, target, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	st := e2.ModelsState()
+	if !st.WarmStarted {
+		t.Fatal("restart did not warm-start")
+	}
+	if st.FoldIns == 0 {
+		t.Fatal("replayed write was not folded into the warm model")
+	}
+	if v, ok := e2.snap.Load().ratings.Get(u, target); !ok || v != 5 {
+		t.Fatalf("replayed rating missing after warm start: %v %v", v, ok)
+	}
+	// The serving model must know the fold: the freshly rated item may
+	// not be recommended back to the user.
+	p, err := e2.Recommend(u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Entries {
+		if r.Item.ID == target {
+			t.Fatal("warm model still recommends an item the user rated after the artifact was saved")
+		}
+	}
+}
+
+func TestWarmStartTrainerMismatchColdTrains(t *testing.T) {
+	c := walFixture(t)
+	fs := wal.NewMemFS()
+	path := filepath.Join(t.TempDir(), "model.json")
+
+	e1, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, mf.SGD{Opts: mf.Options{Seed: 5, Factors: 6, Epochs: 8}})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same artifact file, different trainer: the persisted model is not
+	// this trainer's output, so the engine must train fresh.
+	e2, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, mf.ALSWR{Opts: mf.Options{Seed: 5, Factors: 6, Epochs: 8}})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	st := e2.ModelsState()
+	if st.WarmStarted {
+		t.Fatal("warm-started from a different trainer's artifact")
+	}
+	if st.TrainsStarted != 1 || st.ServingVersion != 1 {
+		t.Fatalf("expected a cold train at v1, got %+v", st)
+	}
+}
+
+func TestWarmStartCorruptArtifactColdTrains(t *testing.T) {
+	c := walFixture(t)
+	fs := wal.NewMemFS()
+	path := filepath.Join(t.TempDir(), "model.json")
+	trainer := mf.SGD{Opts: mf.Options{Seed: 5, Factors: 6, Epochs: 8}}
+
+	e1, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	st := e2.ModelsState()
+	if st.WarmStarted {
+		t.Fatal("warm-started from a corrupt artifact")
+	}
+	if st.TrainsStarted != 1 {
+		t.Fatalf("expected a cold train, got %+v", st)
+	}
+	// The cold train overwrote the corrupt file with a good artifact.
+	if st.ArtifactsPersisted != 1 {
+		t.Fatalf("artifacts persisted = %d, want 1", st.ArtifactsPersisted)
+	}
+}
+
+func TestArtifactPathRequiresHooks(t *testing.T) {
+	c := walFixture(t)
+	_, err := New(c.Catalog, c.Ratings, WithTrainer(TrainerConfig{
+		Trainer:      mf.SGD{},
+		ArtifactPath: "somewhere.json",
+	}))
+	if err == nil {
+		t.Fatal("New accepted ArtifactPath without encode/decode hooks")
+	}
+}

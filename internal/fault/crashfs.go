@@ -1,0 +1,202 @@
+// CrashFS: a crash-point injector for the write-ahead log. It wraps a
+// wal.FS and kills the "machine" at a chosen point — before the Nth
+// write, partway through it (a torn write), as a short-write error, or
+// at the Nth fsync — after which every operation fails, exactly as a
+// dead disk behaves to a dead process. Because the WAL hands each
+// record to File.Write in a single call (the wal package's storage
+// contract), "the Nth write" is "the Nth record", so a sweep over
+// AfterWrites visits every record boundary, and TearBytes sweeps every
+// byte offset inside a frame.
+//
+// The injector is deliberately free of randomness: crash points are
+// chosen by the test harness, not drawn from a stream, because the
+// property under test is universally quantified ("recovery from a
+// crash at ANY point is prefix-consistent"), not probabilistic.
+
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrCrashed is returned by every CrashFS operation after the crash
+// point has been hit.
+var ErrCrashed = errors.New("fault: filesystem crashed")
+
+// CrashPlan picks the crash point. The zero value never crashes.
+type CrashPlan struct {
+	// AfterWrites crashes at the Nth File.Write call (1-based) across
+	// all files; 0 disables write crashes. One WAL record is one write,
+	// so this is a record boundary.
+	AfterWrites int
+	// TearBytes is how many bytes of the fatal write reach storage
+	// before the crash: 0 tears the record off entirely (crash just
+	// before the write), a value in (0, len) is a torn write, and -1
+	// lets the full record land before dying (crash just after).
+	TearBytes int
+	// ShortWrite makes the fatal write report a short byte count with
+	// io.ErrShortWrite instead of silently dying — the error path a
+	// full disk produces. TearBytes bytes still land.
+	ShortWrite bool
+	// AfterSyncs fails the Nth Sync call (1-based) with a sticky
+	// error; 0 disables. Models a device that dies at fsync — the
+	// failure every durable system must treat as fatal.
+	AfterSyncs int
+}
+
+// CrashFS wraps a wal.FS with a CrashPlan. Safe for concurrent use.
+type CrashFS struct {
+	inner wal.FS
+	plan  CrashPlan
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	crashed bool
+}
+
+// NewCrashFS wraps inner with plan.
+func NewCrashFS(inner wal.FS, plan CrashPlan) *CrashFS {
+	return &CrashFS{inner: inner, plan: plan}
+}
+
+// Crashed reports whether the crash point has been hit.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Writes reports how many File.Write calls have been observed — run a
+// workload once with a zero plan to learn the sweep bound.
+func (c *CrashFS) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+func (c *CrashFS) guard() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (c *CrashFS) List() ([]string, error) {
+	if err := c.guard(); err != nil {
+		return nil, err
+	}
+	return c.inner.List()
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	if err := c.guard(); err != nil {
+		return nil, err
+	}
+	return c.inner.ReadFile(name)
+}
+
+func (c *CrashFS) OpenAppend(name string, size int64) (wal.File, error) {
+	if err := c.guard(); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.OpenAppend(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, inner: f}, nil
+}
+
+func (c *CrashFS) Create(name string) (wal.File, error) {
+	if err := c.guard(); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, inner: f}, nil
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if err := c.guard(); err != nil {
+		return err
+	}
+	return c.inner.Remove(name)
+}
+
+func (c *CrashFS) Rename(oldname, newname string) error {
+	if err := c.guard(); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldname, newname)
+}
+
+type crashFile struct {
+	fs    *CrashFS
+	inner wal.File
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	if c.crashed {
+		c.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	c.writes++
+	fatal := c.plan.AfterWrites > 0 && c.writes == c.plan.AfterWrites
+	if fatal {
+		c.crashed = true
+	}
+	c.mu.Unlock()
+
+	if !fatal {
+		return f.inner.Write(p)
+	}
+	// The fatal write: land TearBytes of the record, then die.
+	tear := c.plan.TearBytes
+	if tear < 0 || tear > len(p) {
+		tear = len(p)
+	}
+	if tear > 0 {
+		if _, err := f.inner.Write(p[:tear]); err != nil {
+			return 0, fmt.Errorf("fault: landing torn prefix: %w", err)
+		}
+	}
+	if c.plan.ShortWrite {
+		return tear, io.ErrShortWrite
+	}
+	return 0, ErrCrashed
+}
+
+func (f *crashFile) Sync() error {
+	c := f.fs
+	c.mu.Lock()
+	if c.crashed {
+		c.mu.Unlock()
+		return ErrCrashed
+	}
+	c.syncs++
+	if c.plan.AfterSyncs > 0 && c.syncs == c.plan.AfterSyncs {
+		c.crashed = true
+		c.mu.Unlock()
+		return fmt.Errorf("fault: injected fsync failure: %w", ErrCrashed)
+	}
+	c.mu.Unlock()
+	return f.inner.Sync()
+}
+
+func (f *crashFile) Close() error {
+	// Close succeeds even after a crash: the harness closes handles
+	// while tearing down, and a real dead process's descriptors close
+	// too.
+	return f.inner.Close()
+}

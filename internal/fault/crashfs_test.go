@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// workload appends n records through a CrashFS until the crash hits,
+// returning how many appends succeeded.
+func workload(t *testing.T, fs wal.FS, n int) int {
+	t.Helper()
+	l, _, err := wal.Open(wal.Options{FS: fs, Fsync: wal.FsyncOS})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("op-%03d", i))); err != nil {
+			return i
+		}
+	}
+	return n
+}
+
+func TestCrashFSSweepEveryRecordBoundary(t *testing.T) {
+	const n = 20
+	// Learn the write count with a zero plan.
+	probe := NewCrashFS(wal.NewMemFS(), CrashPlan{})
+	if got := workload(t, probe, n); got != n {
+		t.Fatalf("zero plan stopped workload at %d", got)
+	}
+	total := probe.Writes()
+	if total != n {
+		t.Fatalf("workload produced %d writes, want %d (one per record)", total, n)
+	}
+
+	for k := 1; k <= total; k++ {
+		mem := wal.NewMemFS()
+		cfs := NewCrashFS(mem, CrashPlan{AfterWrites: k, TearBytes: 0})
+		done := workload(t, cfs, n)
+		if done != k-1 {
+			t.Fatalf("crash at write %d: %d appends succeeded, want %d", k, done, k-1)
+		}
+		if !cfs.Crashed() {
+			t.Fatalf("crash at write %d never fired", k)
+		}
+		// Recovery on the survivor bytes yields exactly the acknowledged prefix.
+		l, rec, err := wal.Open(wal.Options{FS: mem})
+		if err != nil {
+			t.Fatalf("crash at write %d: recovery: %v", k, err)
+		}
+		if len(rec.Records) != k-1 {
+			t.Fatalf("crash at write %d: recovered %d records, want %d", k, len(rec.Records), k-1)
+		}
+		l.Close()
+	}
+}
+
+func TestCrashFSTornWrite(t *testing.T) {
+	// Tear the 3rd record at every strictly-partial byte offset;
+	// recovery always sees 2. (tear == frameLen lands the whole frame —
+	// covered by TestCrashFSFullRecordLandsThenDies.)
+	frameLen := 16 + len("op-000")
+	for tear := 0; tear < frameLen; tear++ {
+		mem := wal.NewMemFS()
+		cfs := NewCrashFS(mem, CrashPlan{AfterWrites: 3, TearBytes: tear})
+		if done := workload(t, cfs, 5); done != 2 {
+			t.Fatalf("tear %d: %d appends succeeded, want 2", tear, done)
+		}
+		_, rec, err := wal.Open(wal.Options{FS: mem})
+		if err != nil {
+			t.Fatalf("tear %d: recovery: %v", tear, err)
+		}
+		if len(rec.Records) != 2 {
+			t.Fatalf("tear %d: recovered %d records, want 2", tear, len(rec.Records))
+		}
+		if want := tear; rec.Report.Truncated != want {
+			t.Fatalf("tear %d: Truncated = %d, want %d", tear, rec.Report.Truncated, want)
+		}
+	}
+}
+
+func TestCrashFSFullRecordLandsThenDies(t *testing.T) {
+	mem := wal.NewMemFS()
+	cfs := NewCrashFS(mem, CrashPlan{AfterWrites: 3, TearBytes: -1})
+	// The 3rd append's bytes land but the call reports failure — the
+	// caller must treat it as NOT acknowledged; recovery may legally
+	// surface it (it is a prefix either way).
+	if done := workload(t, cfs, 5); done != 2 {
+		t.Fatalf("%d appends acknowledged, want 2", done)
+	}
+	_, rec, err := wal.Open(wal.Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3 (full frame landed)", len(rec.Records))
+	}
+}
+
+func TestCrashFSShortWrite(t *testing.T) {
+	mem := wal.NewMemFS()
+	cfs := NewCrashFS(mem, CrashPlan{AfterWrites: 2, TearBytes: 4, ShortWrite: true})
+	l, _, err := wal.Open(wal.Options{FS: cfs, Fsync: wal.FsyncOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Append([]byte("second"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	// The failure is sticky on the log: durability is gone, so no
+	// further writes are acknowledged.
+	if _, err := l.Append([]byte("third")); err == nil {
+		t.Fatal("append after short write succeeded; the log must stay failed")
+	}
+	// Recovery drops the 4 torn bytes and keeps the first record.
+	_, rec, err := wal.Open(wal.Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || rec.Report.Truncated != 4 {
+		t.Fatalf("recovered %d records, truncated %d; want 1, 4", len(rec.Records), rec.Report.Truncated)
+	}
+}
+
+func TestCrashFSFsyncFailureIsSticky(t *testing.T) {
+	mem := wal.NewMemFS()
+	cfs := NewCrashFS(mem, CrashPlan{AfterSyncs: 2})
+	l, _, err := wal.Open(wal.Options{FS: cfs, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if _, err := l.Append([]byte("two")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second append: %v, want fsync crash", err)
+	}
+	if _, err := l.Append([]byte("three")); err == nil {
+		t.Fatal("append after failed fsync succeeded")
+	}
+	st := l.State()
+	if !st.Failed || st.AppendErrors == 0 {
+		t.Fatalf("state after fsync failure: %+v", st)
+	}
+	// Only the fsync-acknowledged record survives recovery... the
+	// second record's bytes landed before its fsync failed, which is a
+	// legal longer prefix; the invariant is "no acknowledged write is
+	// lost", so record one MUST be there.
+	_, rec, err := wal.Open(wal.Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) < 1 || string(rec.Records[0].Payload) != "one" {
+		t.Fatalf("acknowledged record lost: %+v", rec.Records)
+	}
+}
+
+func TestCrashFSAllOpsFailAfterCrash(t *testing.T) {
+	mem := wal.NewMemFS()
+	cfs := NewCrashFS(mem, CrashPlan{AfterWrites: 1})
+	l, _, err := wal.Open(wal.Options{FS: cfs, Fsync: wal.FsyncOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("boom")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append = %v, want ErrCrashed", err)
+	}
+	if _, err := cfs.List(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("List after crash = %v", err)
+	}
+	if _, err := cfs.ReadFile("x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ReadFile after crash = %v", err)
+	}
+	if _, err := cfs.Create("x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Create after crash = %v", err)
+	}
+	if err := cfs.Remove("x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Remove after crash = %v", err)
+	}
+	if err := cfs.Rename("x", "y"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Rename after crash = %v", err)
+	}
+}

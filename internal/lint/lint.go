@@ -104,6 +104,12 @@ type Config struct {
 	// LockScopePrefixes are import-path prefixes inside which the
 	// lock-ordering rule reports cycles.
 	LockScopePrefixes []string
+	// FSScopePrefixes are import-path prefixes inside which the
+	// fs-boundary rule applies; FSAllowedPkgs are the packages within
+	// that scope allowed to mutate the filesystem (the durability
+	// layer and the tooling that owns its own files).
+	FSScopePrefixes []string
+	FSAllowedPkgs   map[string]bool
 }
 
 // DefaultConfig returns the contract map of this repository: the read
@@ -147,6 +153,11 @@ func DefaultConfig() *Config {
 			// Timestamps on artifacts come from the lifecycle's
 			// injectable Clock, outside this package.
 			"repro/internal/modelstore": true,
+			// The write-ahead log is replayed to reconstruct serving
+			// state, so recovery must be a pure function of the bytes on
+			// disk: no clocks in records (checkpoint age is counted in
+			// records, not seconds) and no randomness in segment naming.
+			"repro/internal/wal": true,
 		},
 		ErrorScopePrefixes: []string{"repro/internal/"},
 		CtxAllowlist: map[string]bool{
@@ -182,6 +193,18 @@ func DefaultConfig() *Config {
 		},
 		EscapeScopePrefixes: []string{"repro/internal/"},
 		LockScopePrefixes:   []string{"repro/internal/"},
+		FSScopePrefixes:     []string{"repro/internal/"},
+		FSAllowedPkgs: map[string]bool{
+			// The durability boundary: the log itself, the dataset store,
+			// and artifact persistence own their fsync/atomic-rename
+			// protocols.
+			"repro/internal/wal":        true,
+			"repro/internal/store":      true,
+			"repro/internal/modelstore": true,
+			// The analyzer's baseline file is operator tooling, not
+			// serving state.
+			"repro/internal/lint": true,
+		},
 	}
 }
 
@@ -199,6 +222,7 @@ func AllRules() []Rule {
 		goroutineLifecycle{},
 		lockOrdering{},
 		hotPathAlloc{},
+		fsBoundary{},
 	}
 }
 

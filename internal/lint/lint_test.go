@@ -228,6 +228,67 @@ func TestModelStoreSeamFixtures(t *testing.T) {
 	}
 }
 
+// TestWALSeamFixtures runs the three rules that police the log's
+// seams — determinism (counter-named segments, clockless records),
+// dropped-error (a dropped fsync is the lie a WAL exists to prevent)
+// and goroutine-lifecycle (no unsupervised background checkpointer) —
+// over fixtures modeling a write-ahead log built with and without
+// them, the way internal/wal itself is checked.
+func TestWALSeamFixtures(t *testing.T) {
+	rules := []Rule{
+		ruleByID(t, "determinism"),
+		ruleByID(t, "dropped-error"),
+		ruleByID(t, "goroutine-lifecycle"),
+	}
+	for _, rel := range []string{"walseam/bad", "walseam/good"} {
+		pkg := fixture(t, rel)
+		cfg := &Config{
+			DeterminismPkgs:        map[string]bool{pkg.Path: true},
+			ErrorScopePrefixes:     []string{"repro/internal/"},
+			GoroutineScopePrefixes: []string{"repro/internal/"},
+		}
+		findings := Run([]*Package{pkg}, cfg, rules)
+		expected := wants(pkg)
+		got := make(map[string]string)
+		for _, f := range findings {
+			got[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] = f.RuleID
+		}
+		for key, want := range expected {
+			if got[key] != want {
+				t.Errorf("%s: %s: want a %s finding, got %q", rel, key, want, got[key])
+			}
+		}
+		for key, id := range got {
+			if _, ok := expected[key]; !ok {
+				t.Errorf("%s: %s: unexpected %s finding", rel, key, id)
+			}
+		}
+	}
+}
+
+func TestFSBoundaryFixtures(t *testing.T) {
+	cfg := &Config{FSScopePrefixes: []string{"repro/internal/"}}
+	bad := fixture(t, "fsboundary/bad")
+	checkFixture(t, bad, cfg, "fs-boundary")
+	good := fixture(t, "fsboundary/good")
+	checkFixture(t, good, cfg, "fs-boundary")
+
+	// The same violating package is silent once allowlisted — the
+	// durability packages own their os calls.
+	allowed := &Config{
+		FSScopePrefixes: []string{"repro/internal/"},
+		FSAllowedPkgs:   map[string]bool{bad.Path: true},
+	}
+	if findings := Run([]*Package{bad}, allowed, []Rule{ruleByID(t, "fs-boundary")}); len(findings) != 0 {
+		t.Errorf("allowlisted package still reported: %v", findings)
+	}
+
+	// Out of scope, even the violating file is silent.
+	if findings := Run([]*Package{bad}, &Config{}, []Rule{ruleByID(t, "fs-boundary")}); len(findings) != 0 {
+		t.Errorf("fs-boundary reported outside its scope: %v", findings)
+	}
+}
+
 func errScopeCfg() *Config {
 	return &Config{ErrorScopePrefixes: []string{"repro/internal/"}}
 }
@@ -304,7 +365,7 @@ func TestRuleMetadata(t *testing.T) {
 	}
 	for _, id := range []string{
 		"snapshot-mutation", "ctx-propagation", "determinism", "lock-in-read-path", "dropped-error",
-		"snapshot-escape", "goroutine-lifecycle", "lock-ordering", "hot-path-alloc",
+		"snapshot-escape", "goroutine-lifecycle", "lock-ordering", "hot-path-alloc", "fs-boundary",
 	} {
 		if !seen[id] {
 			t.Errorf("registry is missing rule %s", id)

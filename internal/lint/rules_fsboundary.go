@@ -1,0 +1,69 @@
+// The fs-boundary rule: only the designated durability packages may
+// mutate the filesystem. Everything else in internal/ must route
+// persistent state through those seams (wal.FS, the artifact store),
+// because a stray os.WriteFile in a serving package bypasses the
+// fsync policy, the atomic-rename protocol and the crash-recovery
+// story the durability layer guarantees — a write that recovery will
+// never see. Reads are fine everywhere; the rule polices mutation.
+// Main packages (binaries wire flags to directories) are exempt, and
+// test files are never loaded.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type fsBoundary struct{}
+
+func (fsBoundary) ID() string { return "fs-boundary" }
+func (fsBoundary) Doc() string {
+	return "filesystem mutation only inside the designated durability packages (Config.FSAllowedPkgs)"
+}
+
+// fsMutators are the os package functions that change the filesystem.
+var fsMutators = map[string]bool{
+	"Create": true, "OpenFile": true, "WriteFile": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "CreateTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+	"Chmod": true, "Chown": true, "Chtimes": true, "Symlink": true, "Link": true,
+}
+
+// fileMutators are the *os.File methods that write through to disk.
+var fileMutators = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true,
+	"Sync": true, "Truncate": true, "Chmod": true, "Chown": true,
+}
+
+func (fsBoundary) Check(pass *Pass) {
+	cfg := pass.Cfg
+	if !prefixMatch(pass.Pkg.Path, cfg.FSScopePrefixes) || cfg.FSAllowedPkgs[pass.Pkg.Path] {
+		return
+	}
+	if pass.Pkg.Pkg != nil && pass.Pkg.Pkg.Name() == "main" {
+		return
+	}
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		name := fn.Name()
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			if fileMutators[name] {
+				pass.Reportf(call.Pos(), "os.File.%s outside the durability boundary; persistent writes go through wal.FS or the artifact store so fsync policy and crash recovery cover them", name)
+			}
+			return true
+		}
+		if fsMutators[name] {
+			pass.Reportf(call.Pos(), "os.%s outside the durability boundary; persistent writes go through wal.FS or the artifact store so fsync policy and crash recovery cover them", name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,46 @@
+// Violating fixture for the fs-boundary rule: a serving package
+// writing straight to the filesystem. Every one of these calls
+// bypasses the durability layer — no fsync policy, no atomic-rename
+// protocol, no crash-recovery coverage — so a crash can leave state
+// the write-ahead log knows nothing about.
+package bad
+
+import "os"
+
+func dumpProfile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want fs-boundary
+}
+
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755) // want fs-boundary
+}
+
+func spill(path string, data []byte) error {
+	f, err := os.Create(path) // want fs-boundary
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil { // want fs-boundary
+		return err
+	}
+	if err := f.Sync(); err != nil { // want fs-boundary
+		return err
+	}
+	return f.Close()
+}
+
+func swap(tmp, final string) error {
+	return os.Rename(tmp, final) // want fs-boundary
+}
+
+func drop(path string) error {
+	return os.Remove(path) // want fs-boundary
+}
+
+var (
+	_ = dumpProfile
+	_ = ensureDir
+	_ = spill
+	_ = swap
+	_ = drop
+)

@@ -1,0 +1,51 @@
+// Clean fixture for the fs-boundary rule: reads are free everywhere,
+// and persistent writes route through an injected filesystem seam
+// (the wal.FS pattern) so the durability layer's fsync policy and
+// crash recovery cover them.
+package good
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the injected boundary, shaped like wal.FS: the durability
+// package hands this out; serving code never names os on a write.
+type FS interface {
+	Create(name string) (io.WriteCloser, error)
+	Rename(oldname, newname string) error
+}
+
+func persist(fs FS, name string, data []byte) error {
+	f, err := fs.Create(name + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(name+".tmp", name)
+}
+
+// Reading is not a durability hazard: recovery never depends on what
+// this function saw.
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func inspect(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+var (
+	_ = persist
+	_ = load
+	_ = inspect
+)

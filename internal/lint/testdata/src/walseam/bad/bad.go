@@ -1,0 +1,67 @@
+// Violating fixture modeling a write-ahead log built without
+// internal/wal's seams: wall-clock segment stamps and record times
+// (replay is no longer a pure function of the bytes on disk), a
+// dropped fsync error (the one error a durable log exists to
+// surface), an unsupervised background checkpointer, and a recovery
+// report that ranges a map straight into output.
+package bad
+
+import (
+	"fmt"
+	"time"
+)
+
+type segment struct {
+	name    string
+	records int
+}
+
+type log struct {
+	segs map[string]*segment
+}
+
+type syncer interface {
+	Sync() error
+}
+
+// rotate names the new segment from the wall clock: two logs fed the
+// same records produce different directory listings, and recovery
+// order depends on when the test ran.
+func (l *log) rotate() *segment {
+	name := fmt.Sprintf("seg-%d", time.Now().UnixNano()) // want determinism
+	s := &segment{name: name}
+	l.segs[name] = s
+	return s
+}
+
+// append drops the sync error: an acknowledged record may not be on
+// disk, which is precisely the lie a WAL exists to prevent.
+func (l *log) append(s syncer, rec []byte) {
+	_ = s.Sync() // want dropped-error
+}
+
+// checkpointLoop runs forever with no recover guard and no way to
+// stop it: a panic kills the process silently, and Close can never
+// wait for the in-flight checkpoint.
+func (l *log) checkpointLoop() {
+	go func() { // want goroutine-lifecycle
+		for {
+			l.rotate()
+		}
+	}()
+}
+
+// report ranges the segment map straight into output: two reports of
+// the same log list segments in different orders.
+func (l *log) report() {
+	for name, s := range l.segs { // want determinism
+		fmt.Printf("%s: %d records\n", name, s.records)
+	}
+}
+
+var (
+	_ = (*log).rotate
+	_ = (*log).append
+	_ = (*log).checkpointLoop
+	_ = (*log).report
+)

@@ -1,0 +1,68 @@
+// Clean fixture modeling internal/wal's actual seams: segments named
+// by a monotonic counter (recovery is a pure function of the bytes on
+// disk), sync errors propagated and made sticky, checkpoints written
+// synchronously by the caller that owns the error, and reports
+// emitted in sorted order.
+package good
+
+import (
+	"fmt"
+	"sort"
+)
+
+type segment struct {
+	name    string
+	records int
+}
+
+type log struct {
+	nextSeg uint64
+	failed  bool
+	segs    map[string]*segment
+}
+
+type syncer interface {
+	Sync() error
+}
+
+// rotate names segments from a counter: equal record streams produce
+// equal directories, on every machine, at any time.
+func (l *log) rotate() *segment {
+	l.nextSeg++
+	s := &segment{name: fmt.Sprintf("seg-%08d", l.nextSeg)}
+	l.segs[s.name] = s
+	return s
+}
+
+// append surfaces the sync error and poisons the log: after a failed
+// sync nothing further is acknowledged.
+func (l *log) append(s syncer, rec []byte) error {
+	if err := s.Sync(); err != nil {
+		l.failed = true
+		return err
+	}
+	return nil
+}
+
+// checkpoint runs synchronously under the caller: the caller owns the
+// error and there is no goroutine to supervise.
+func (l *log) checkpoint() *segment {
+	return l.rotate()
+}
+
+func (l *log) report() {
+	names := make([]string, 0, len(l.segs))
+	for name := range l.segs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s: %d records\n", name, l.segs[name].records)
+	}
+}
+
+var (
+	_ = (*log).append
+	_ = (*log).checkpoint
+	_ = (*log).report
+)

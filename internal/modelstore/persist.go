@@ -1,0 +1,146 @@
+// Artifact persistence: SaveArtifact writes one generation to disk as
+// a versioned JSON envelope (atomic temp-file + fsync + rename, so a
+// crash mid-save leaves the previous artifact intact), LoadArtifact
+// reads it back, and Store.Restore seeds a fresh store with it so the
+// serving version number survives a process restart. The model payload
+// itself is opaque bytes: the caller supplies encode/decode hooks
+// (e.g. mf.EncodeModel / mf.DecodeModel), keeping this package free of
+// model-type knowledge.
+
+package modelstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// SaveFormat versions the on-disk artifact envelope; LoadArtifact
+// rejects files it does not understand rather than misreading them.
+const SaveFormat = 1
+
+// SavedArtifact is the on-disk JSON envelope around one generation.
+// Checksum is hex text because JSON numbers cannot carry a full uint64
+// exactly.
+type SavedArtifact struct {
+	Format   int             `json:"format"`
+	Version  uint64          `json:"version"`
+	Trainer  string          `json:"trainer"`
+	DataRev  uint64          `json:"data_rev"`
+	Checksum string          `json:"checksum"`
+	Model    json.RawMessage `json:"model"`
+}
+
+// SaveArtifact persists a to path atomically: the bytes are written to
+// a sibling temp file, fsynced, and renamed over the target, so a
+// reader (or a recovering process) only ever sees the old artifact or
+// the new one, never a torn mix. Parent directories are created.
+func SaveArtifact[T any](path string, a *Artifact[T], encode func(T) ([]byte, error)) error {
+	if a == nil {
+		return fmt.Errorf("modelstore: SaveArtifact of a nil artifact")
+	}
+	if encode == nil {
+		return fmt.Errorf("modelstore: SaveArtifact requires an encode hook")
+	}
+	payload, err := encode(a.Model)
+	if err != nil {
+		return fmt.Errorf("modelstore: encoding model: %w", err)
+	}
+	env := SavedArtifact{
+		Format:   SaveFormat,
+		Version:  a.Version,
+		Trainer:  a.Trainer,
+		DataRev:  a.DataRev,
+		Checksum: fmt.Sprintf("%016x", a.Checksum),
+		Model:    payload,
+	}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("modelstore: encoding envelope: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("modelstore: %w", err)
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("modelstore: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("modelstore: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("modelstore: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("modelstore: publishing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadArtifact reads an artifact saved by SaveArtifact. A missing
+// file, unreadable envelope, unknown format, or failing decode hook
+// all error; the caller decides whether that means "cold start" or
+// "operator problem".
+func LoadArtifact[T any](path string, decode func([]byte) (T, error)) (*Artifact[T], error) {
+	if decode == nil {
+		return nil, fmt.Errorf("modelstore: LoadArtifact requires a decode hook")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	var env SavedArtifact
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("modelstore: decoding envelope %s: %w", path, err)
+	}
+	if env.Format != SaveFormat {
+		return nil, fmt.Errorf("modelstore: %s has format %d, want %d", path, env.Format, SaveFormat)
+	}
+	if env.Version == 0 {
+		return nil, fmt.Errorf("modelstore: %s has no version", path)
+	}
+	sum, err := strconv.ParseUint(env.Checksum, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %s has a malformed checksum %q", path, env.Checksum)
+	}
+	m, err := decode(env.Model)
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: decoding model from %s: %w", path, err)
+	}
+	return &Artifact[T]{
+		Version:  env.Version,
+		Trainer:  env.Trainer,
+		DataRev:  env.DataRev,
+		Checksum: sum,
+		Model:    m,
+	}, nil
+}
+
+// Restore seeds a store that has never published with a previously
+// saved artifact, preserving its version so the serving generation
+// number keeps climbing monotonically across process restarts. Errors
+// on a store that already holds a generation.
+func (s *Store[T]) Restore(a *Artifact[T]) error {
+	if a == nil || a.Version == 0 {
+		return fmt.Errorf("modelstore: Restore requires a published artifact")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.version != 0 || len(s.hist) != 0 {
+		return fmt.Errorf("modelstore: Restore on a store that already published v%d", s.version)
+	}
+	s.version = a.Version
+	s.push(a)
+	s.cur.Store(a)
+	return nil
+}

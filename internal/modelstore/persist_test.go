@@ -1,0 +1,126 @@
+package modelstore
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func encodeString(s string) ([]byte, error) { return json.Marshal(s) }
+
+func decodeString(data []byte) (string, error) {
+	var s string
+	err := json.Unmarshal(data, &s)
+	return s, err
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifacts", "model.json")
+	s := New[string](0)
+	art := s.Publish("trainer-a", 7, 0xdeadbeefcafef00d, "the-model")
+	if err := SaveArtifact(path, art, encodeString); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(path, decodeString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != art.Version || got.Trainer != art.Trainer ||
+		got.DataRev != art.DataRev || got.Checksum != art.Checksum || got.Model != art.Model {
+		t.Fatalf("round-trip mismatch: %+v != %+v", got, art)
+	}
+}
+
+func TestSaveArtifactReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	s := New[string](0)
+	a1 := s.Publish("t", 1, 1, "one")
+	a2 := s.Publish("t", 2, 2, "two")
+	if err := SaveArtifact(path, a1, encodeString); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveArtifact(path, a2, encodeString); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(path, decodeString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 || got.Model != "two" {
+		t.Fatalf("latest save did not win: %+v", got)
+	}
+	// No temp-file litter after a successful save.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want only the artifact", len(entries))
+	}
+}
+
+func TestLoadArtifactRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"not-json.json":     "{torn",
+		"bad-format.json":   `{"format":9,"version":1,"trainer":"t","checksum":"00","model":"x"}`,
+		"no-version.json":   `{"format":1,"version":0,"trainer":"t","checksum":"00","model":"x"}`,
+		"bad-checksum.json": `{"format":1,"version":1,"trainer":"t","checksum":"zz","model":"x"}`,
+		"bad-model.json":    `{"format":1,"version":1,"trainer":"t","checksum":"00","model":42}`,
+	}
+	for name, content := range cases {
+		if _, err := LoadArtifact(write(name, content), decodeString); err == nil {
+			t.Fatalf("%s: LoadArtifact accepted it", name)
+		}
+	}
+	if _, err := LoadArtifact(filepath.Join(dir, "missing.json"), decodeString); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want ErrNotExist", err)
+	}
+	if _, err := LoadArtifact[string](filepath.Join(dir, "bad-model.json"), nil); err == nil {
+		t.Fatal("LoadArtifact accepted a nil decode hook")
+	}
+}
+
+func TestRestoreSeedsVersionCounter(t *testing.T) {
+	s := New[string](0)
+	if err := s.Restore(&Artifact[string]{Version: 41, Trainer: "t", Checksum: 9, Model: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 41 || s.Current().Model != "m" {
+		t.Fatalf("restore did not seed the store: v%d", s.Version())
+	}
+	// The next publish keeps climbing from the restored version.
+	if a := s.Publish("t", 0, 0, "m2"); a.Version != 42 {
+		t.Fatalf("publish after restore = v%d, want v42", a.Version)
+	}
+	// And history now allows rolling back to the restored generation.
+	if _, err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current().Model != "m" {
+		t.Fatal("rollback after restore did not surface the restored model")
+	}
+}
+
+func TestRestoreRejectsNonEmptyStore(t *testing.T) {
+	s := New[string](0)
+	s.Publish("t", 0, 0, "m")
+	if err := s.Restore(&Artifact[string]{Version: 5, Model: "x"}); err == nil {
+		t.Fatal("Restore succeeded on a store that already published")
+	}
+	if err := New[string](0).Restore(nil); err == nil {
+		t.Fatal("Restore accepted nil")
+	}
+	if err := New[string](0).Restore(&Artifact[string]{Version: 0}); err == nil {
+		t.Fatal("Restore accepted an unversioned artifact")
+	}
+}

@@ -1,0 +1,173 @@
+// Artifact serialization: Dump flattens a trained Model into a
+// deterministic, JSON-friendly form (sorted user/item tables, explicit
+// trainer provenance) and FromDump reconstructs a serving-equivalent
+// Model from it. A dumped-and-restored model carries the same
+// Checksum, predicts identically, and still supports fold-in, so a
+// process can warm-start from a persisted artifact instead of paying a
+// full retrain — the modelstore.SaveArtifact/LoadArtifact seam.
+
+package mf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/recsys"
+)
+
+// DumpFormat versions the Dump wire shape; FromDump rejects anything
+// it does not understand rather than misreading it.
+const DumpFormat = 1
+
+// Dump is the serializable form of a trained Model. Tables are sorted
+// by ID so equal models marshal to byte-identical JSON.
+type Dump struct {
+	Format  int     `json:"format"`
+	Trainer string  `json:"trainer"`
+	HasBias bool    `json:"has_bias"`
+	Mean    float64 `json:"mean"`
+	Opts    Options `json:"opts"`
+
+	Users []UserFactors `json:"users"`
+	Items []ItemFactors `json:"items"`
+}
+
+// UserFactors is one user's slice of a dumped model.
+type UserFactors struct {
+	User   model.UserID `json:"u"`
+	Bias   float64      `json:"b,omitempty"`
+	Count  int          `json:"n"`
+	Factor []float64    `json:"f"`
+}
+
+// ItemFactors is one item's slice of a dumped model.
+type ItemFactors struct {
+	Item   model.ItemID `json:"it"`
+	Bias   float64      `json:"b,omitempty"`
+	Factor []float64    `json:"f"`
+}
+
+// Dump flattens the model. The returned value shares no state with the
+// receiver — factor vectors are copied — so it stays valid however the
+// model is folded afterwards.
+func (md *Model) Dump() *Dump {
+	d := &Dump{
+		Format:  DumpFormat,
+		Trainer: md.trainer,
+		HasBias: md.hasBias,
+		Mean:    md.mean,
+		Opts:    md.opts,
+	}
+	users := make([]model.UserID, 0, len(md.userFactor))
+	for u := range md.userFactor {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	for _, u := range users {
+		d.Users = append(d.Users, UserFactors{
+			User:   u,
+			Bias:   md.userBias[u],
+			Count:  md.trainCount[u],
+			Factor: append([]float64(nil), md.userFactor[u]...),
+		})
+	}
+	items := make([]model.ItemID, 0, len(md.itemFactor))
+	for i := range md.itemFactor {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	for _, i := range items {
+		d.Items = append(d.Items, ItemFactors{
+			Item:   i,
+			Bias:   md.itemBias[i],
+			Factor: append([]float64(nil), md.itemFactor[i]...),
+		})
+	}
+	return d
+}
+
+// FromDump reconstructs a Model over cat. It validates the dump's
+// shape (format, trainer, factor dimensionality, finite values) so a
+// corrupt or truncated artifact is rejected instead of served.
+func FromDump(d *Dump, cat *model.Catalog) (*Model, error) {
+	if d == nil {
+		return nil, fmt.Errorf("mf: nil dump")
+	}
+	if d.Format != DumpFormat {
+		return nil, fmt.Errorf("mf: dump format %d, want %d", d.Format, DumpFormat)
+	}
+	if d.Trainer == "" {
+		return nil, fmt.Errorf("mf: dump has no trainer name")
+	}
+	if cat == nil || cat.Len() == 0 {
+		return nil, fmt.Errorf("mf: FromDump requires a catalogue")
+	}
+	opts := d.Opts.withDefaults()
+	if !isFinite(d.Mean) {
+		return nil, fmt.Errorf("mf: dump mean is not finite")
+	}
+	md := newModel(cat, opts, d.Trainer, d.HasBias, d.Mean)
+	for _, uf := range d.Users {
+		if len(uf.Factor) != opts.Factors {
+			return nil, fmt.Errorf("mf: user %d has %d factors, want %d", uf.User, len(uf.Factor), opts.Factors)
+		}
+		if !isFinite(uf.Bias) || !allFinite(uf.Factor) {
+			return nil, fmt.Errorf("mf: user %d has non-finite parameters", uf.User)
+		}
+		if uf.Bias != 0 {
+			md.userBias[uf.User] = uf.Bias
+		}
+		md.trainCount[uf.User] = uf.Count
+		md.userFactor[uf.User] = append([]float64(nil), uf.Factor...)
+	}
+	for _, itf := range d.Items {
+		if len(itf.Factor) != opts.Factors {
+			return nil, fmt.Errorf("mf: item %d has %d factors, want %d", itf.Item, len(itf.Factor), opts.Factors)
+		}
+		if !isFinite(itf.Bias) || !allFinite(itf.Factor) {
+			return nil, fmt.Errorf("mf: item %d has non-finite parameters", itf.Item)
+		}
+		if itf.Bias != 0 {
+			md.itemBias[itf.Item] = itf.Bias
+		}
+		md.itemFactor[itf.Item] = append([]float64(nil), itf.Factor...)
+	}
+	return md, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func allFinite(f []float64) bool {
+	for _, v := range f {
+		if !isFinite(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeModel serializes a lifecycle-served *Model to JSON — the
+// core.TrainerConfig.EncodeModel hook for mf trainers. Rejects
+// recommenders that are not mf models.
+func EncodeModel(rec recsys.Recommender) ([]byte, error) {
+	md, ok := rec.(*Model)
+	if !ok {
+		return nil, fmt.Errorf("mf: cannot encode %T as a factorisation artifact", rec)
+	}
+	return json.Marshal(md.Dump())
+}
+
+// DecodeModel returns a decoder bound to cat — the
+// core.TrainerConfig.DecodeModel hook for mf trainers.
+func DecodeModel(cat *model.Catalog) func([]byte) (recsys.Recommender, error) {
+	return func(data []byte) (recsys.Recommender, error) {
+		var d Dump
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("mf: decoding artifact: %w", err)
+		}
+		return FromDump(&d, cat)
+	}
+}

@@ -1,0 +1,129 @@
+package mf
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestDumpRoundTripServesIdentically(t *testing.T) {
+	for _, name := range TrainerNames() {
+		t.Run(name, func(t *testing.T) {
+			c := dataset.Movies(dataset.Config{Seed: 41, Users: 40, Items: 50, RatingsPerUser: 12})
+			trainer, err := NewTrainer(name, Options{Seed: 3, Factors: 8, Epochs: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			md := trainer.Train(c.Ratings, c.Catalog).(*Model)
+
+			data, err := EncodeModel(md)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeModel(c.Catalog)(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			md2 := back.(*Model)
+
+			if md.Checksum() != md2.Checksum() {
+				t.Fatalf("checksum changed across dump round-trip: %016x != %016x", md.Checksum(), md2.Checksum())
+			}
+			if md2.TrainerName() != name {
+				t.Fatalf("trainer name = %q, want %q", md2.TrainerName(), name)
+			}
+			for _, u := range c.Ratings.Users()[:10] {
+				a := md.Recommend(u, 5, nil)
+				b := md2.Recommend(u, 5, nil)
+				aj, _ := json.Marshal(a)
+				bj, _ := json.Marshal(b)
+				if string(aj) != string(bj) {
+					t.Fatalf("user %d recommends differently after round-trip:\n%s\n%s", u, aj, bj)
+				}
+			}
+		})
+	}
+}
+
+func TestDumpIsDeterministic(t *testing.T) {
+	_, md := trainSmall(t, Options{Seed: 9, Factors: 4, Epochs: 5})
+	a, err := EncodeModel(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeModel(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two dumps of the same model differ")
+	}
+}
+
+func TestDumpedModelStillFoldsIn(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 9, Factors: 4, Epochs: 5})
+	data, err := EncodeModel(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(c.Catalog)(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := c.Ratings.Clone()
+	u := c.Ratings.Users()[0]
+	it := c.Catalog.Items()[0].ID
+	m2.Set(u, it, 5)
+	md2 := back.(*Model).RebindMatrix(m2, u).(*Model)
+	if md2.trainCount[u] != len(m2.UserRatings(u)) {
+		t.Fatalf("fold-in after restore did not refresh user %d", u)
+	}
+}
+
+func TestFromDumpRejectsCorruption(t *testing.T) {
+	c, md := trainSmall(t, Options{Seed: 9, Factors: 4, Epochs: 5})
+	good := md.Dump()
+
+	cases := []struct {
+		name   string
+		mutate func(*Dump)
+	}{
+		{"unknown format", func(d *Dump) { d.Format = 99 }},
+		{"no trainer", func(d *Dump) { d.Trainer = "" }},
+		{"nan mean", func(d *Dump) { d.Mean = math.NaN() }},
+		{"short user factor", func(d *Dump) { d.Users[0].Factor = d.Users[0].Factor[:1] }},
+		{"short item factor", func(d *Dump) { d.Items[0].Factor = d.Items[0].Factor[:1] }},
+		{"nan user bias", func(d *Dump) { d.Users[0].Bias = math.NaN() }},
+		{"inf item factor", func(d *Dump) { d.Items[0].Factor[0] = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(good)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d Dump
+			if err := json.Unmarshal(data, &d); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(&d)
+			if _, err := FromDump(&d, c.Catalog); err == nil {
+				t.Fatal("FromDump accepted a corrupt dump")
+			}
+		})
+	}
+	if _, err := FromDump(nil, c.Catalog); err == nil {
+		t.Fatal("FromDump accepted nil")
+	}
+	if _, err := FromDump(good, nil); err == nil {
+		t.Fatal("FromDump accepted a nil catalogue")
+	}
+}
+
+func TestEncodeModelRejectsForeignRecommender(t *testing.T) {
+	if _, err := EncodeModel(nil); err == nil {
+		t.Fatal("EncodeModel accepted a non-mf recommender")
+	}
+}

@@ -55,6 +55,7 @@ func (s *Server) writeShardMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(w, "recsys_shard_infra_failures_total{shard=\"%d\"} %d\n", sh.ID, sh.InfraFailures)
 		fmt.Fprintf(w, "recsys_shard_degraded_total{shard=\"%d\"} %d\n", sh.ID, sh.Degraded)
 		fmt.Fprintf(w, "recsys_shard_journaled_writes_total{shard=\"%d\"} %d\n", sh.ID, sh.Journaled)
+		fmt.Fprintf(w, "recsys_shard_journal_errors_total{shard=\"%d\"} %d\n", sh.ID, sh.JournalErrors)
 		fmt.Fprintf(w, "recsys_shard_replayed_writes_total{shard=\"%d\"} %d\n", sh.ID, sh.Replayed)
 		fmt.Fprintf(w, "recsys_shard_journal_depth{shard=\"%d\"} %d\n", sh.ID, sh.JournalDepth)
 	}

@@ -124,6 +124,9 @@ func New(svc core.Service, opts ...Option) *Server {
 	if _, ok := svc.(ClusterStater); ok {
 		s.mux.HandleFunc("/debug/cluster", s.handleCluster)
 	}
+	if hasWALSurface(svc) {
+		s.mux.HandleFunc("/debug/wal", s.handleWAL)
+	}
 	if hasModelSurface(svc) {
 		s.mux.HandleFunc("/debug/models", s.handleModels)
 		s.mux.HandleFunc("/debug/models/retrain", s.handleModelRetrain)
@@ -592,6 +595,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "recsys_degraded_served_total %d\n", m.DegradedServed)
 	s.writeShardMetrics(w)
 	s.writeModelMetrics(w)
+	s.writeWALMetrics(w)
 	// Per-stage pipeline counters, sorted for a stable scrape.
 	keys := make([]string, 0, len(m.Stages))
 	for k := range m.Stages {

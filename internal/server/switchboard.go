@@ -1,0 +1,42 @@
+// The Switchboard lets a binary open its listener before the backend
+// finishes write-ahead-log replay: until Ready is called, /healthz
+// answers 503 {"status":"recovering"} — so load balancers know the
+// instance exists but must not route to it — and every other path
+// answers 503 with a Retry-After hint. Once Ready swaps the real
+// handler in, the switchboard is a single atomic load per request.
+
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Switchboard is an http.Handler that serves "recovering" responses
+// until Ready hands it the real one.
+type Switchboard struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewSwitchboard returns a switchboard in the recovering state.
+func NewSwitchboard() *Switchboard { return &Switchboard{} }
+
+// Ready installs the real handler; every subsequent request is
+// forwarded to it. Calling Ready again replaces the handler.
+func (sb *Switchboard) Ready(h http.Handler) { sb.h.Store(&h) }
+
+// ServeHTTP implements http.Handler.
+func (sb *Switchboard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := sb.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+	if r.URL.Path == "/healthz" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorJSON{Error: "recovering: write-ahead log replay in progress"})
+}

@@ -1,0 +1,113 @@
+// The durability debug surface: GET /debug/wal reports write-ahead
+// log state when the backing Service keeps one — the engine's log on a
+// single-engine server; the topology log plus every shard's engine and
+// journal logs on a durable cluster — and /metrics grows recsys_wal_*
+// lines. Feature-detected through the WALStater interface exactly like
+// the cluster and model surfaces, so an in-memory server serves what
+// it served before.
+
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/wal"
+)
+
+// WALStater is implemented by Service backends with a durable log:
+// core.Engine reports its write-ahead log, cluster.Router its topology
+// log. ok is false when the backend runs in-memory only.
+type WALStater interface {
+	WALState() (wal.State, bool)
+}
+
+// hasWALSurface reports whether the backend has any durable-log state
+// worth registering /debug/wal for.
+func hasWALSurface(svc any) bool {
+	ws, ok := svc.(WALStater)
+	if !ok {
+		return false
+	}
+	_, ok = ws.WALState()
+	return ok
+}
+
+// handleWAL serves GET /debug/wal: the backend's log state, plus the
+// per-shard engine and journal logs on a durable cluster.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	ws, ok := s.svc.(WALStater)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("backend has no write-ahead log"))
+		return
+	}
+	st, ok := ws.WALState()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("backend has no write-ahead log"))
+		return
+	}
+	payload := map[string]any{"wal": st}
+	if cs, isCluster := s.svc.(ClusterStater); isCluster {
+		type shardWAL struct {
+			ID         int        `json:"id"`
+			WAL        *wal.State `json:"wal,omitempty"`
+			JournalWAL *wal.State `json:"journal_wal,omitempty"`
+		}
+		cst := cs.ClusterState()
+		shards := make([]shardWAL, 0, len(cst.Shards))
+		for _, sh := range cst.Shards {
+			shards = append(shards, shardWAL{ID: sh.ID, WAL: sh.WAL, JournalWAL: sh.JournalWAL})
+		}
+		payload["shards"] = shards
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// writeWALMetrics renders the recsys_wal_* lines on /metrics:
+// unlabelled for a single engine; on a durable cluster the topology
+// log carries log="topology" and each shard's logs carry shard and
+// log labels. In-memory backends emit nothing.
+func (s *Server) writeWALMetrics(w http.ResponseWriter) {
+	ws, ok := s.svc.(WALStater)
+	if !ok {
+		return
+	}
+	st, ok := ws.WALState()
+	if !ok {
+		return
+	}
+	cs, isCluster := s.svc.(ClusterStater)
+	if !isCluster {
+		writeWALLines(w, "", st)
+		return
+	}
+	writeWALLines(w, `{log="topology"}`, st)
+	for _, sh := range cs.ClusterState().Shards {
+		if sh.WAL != nil {
+			writeWALLines(w, fmt.Sprintf("{shard=\"%d\",log=\"engine\"}", sh.ID), *sh.WAL)
+		}
+		if sh.JournalWAL != nil {
+			writeWALLines(w, fmt.Sprintf("{shard=\"%d\",log=\"journal\"}", sh.ID), *sh.JournalWAL)
+		}
+	}
+}
+
+func writeWALLines(w io.Writer, labels string, st wal.State) {
+	failed := 0
+	if st.Failed {
+		failed = 1
+	}
+	fmt.Fprintf(w, "recsys_wal_appends_total%s %d\n", labels, st.Appends)
+	fmt.Fprintf(w, "recsys_wal_append_errors_total%s %d\n", labels, st.AppendErrors)
+	fmt.Fprintf(w, "recsys_wal_fsyncs_total%s %d\n", labels, st.Fsyncs)
+	fmt.Fprintf(w, "recsys_wal_checkpoints_total%s %d\n", labels, st.Checkpoints)
+	fmt.Fprintf(w, "recsys_wal_checkpoint_age%s %d\n", labels, st.CheckpointAge)
+	fmt.Fprintf(w, "recsys_wal_segments%s %d\n", labels, st.Segments)
+	fmt.Fprintf(w, "recsys_wal_replayed_records%s %d\n", labels, st.RecoveredRecords)
+	fmt.Fprintf(w, "recsys_wal_truncated_bytes%s %d\n", labels, st.RecoveredTruncated)
+	fmt.Fprintf(w, "recsys_wal_failed%s %d\n", labels, failed)
+}

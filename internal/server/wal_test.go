@@ -1,0 +1,186 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/wal"
+)
+
+func durableServer(t *testing.T) (*core.Engine, *Server) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 507, Users: 40, Items: 60, RatingsPerUser: 15})
+	eng, err := core.New(c.Catalog, c.Ratings,
+		core.WithSeed(1),
+		core.WithWAL(core.WALConfig{FS: wal.NewMemFS()}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, New(eng)
+}
+
+func TestDebugWALEndpoint(t *testing.T) {
+	eng, s := durableServer(t)
+	if err := eng.Rate(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/debug/wal", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		WAL wal.State `json:"wal"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.WAL.Appends == 0 || out.WAL.LastSeq == 0 {
+		t.Fatalf("wal state looks empty: %+v", out.WAL)
+	}
+}
+
+func TestDebugWALAbsentWithoutLog(t *testing.T) {
+	_, s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/debug/wal", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("in-memory server served /debug/wal with %d", rec.Code)
+	}
+}
+
+func TestWALMetricsLines(t *testing.T) {
+	eng, s := durableServer(t)
+	if err := eng.Rate(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"recsys_wal_appends_total ",
+		"recsys_wal_fsyncs_total ",
+		"recsys_wal_checkpoints_total ",
+		"recsys_wal_checkpoint_age ",
+		"recsys_wal_segments ",
+		"recsys_wal_replayed_records ",
+		"recsys_wal_truncated_bytes ",
+		"recsys_wal_failed 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestWALMetricsAbsentWithoutLog(t *testing.T) {
+	_, s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if strings.Contains(rec.Body.String(), "recsys_wal_") {
+		t.Fatal("in-memory server emitted recsys_wal_ lines")
+	}
+}
+
+func TestClusterWALSurface(t *testing.T) {
+	c := dataset.Movies(dataset.Config{Seed: 509, Users: 40, Items: 60, RatingsPerUser: 15})
+	space := wal.NewMemSpace()
+	rt, err := cluster.New(c.Catalog, c.Ratings, cluster.Options{
+		Shards: 3, Seed: 9,
+		Durability: &cluster.Durability{Space: space.FS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(rt)
+
+	req := httptest.NewRequest(http.MethodGet, "/debug/wal", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		WAL    wal.State `json:"wal"`
+		Shards []struct {
+			ID         int        `json:"id"`
+			WAL        *wal.State `json:"wal"`
+			JournalWAL *wal.State `json:"journal_wal"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out.Shards) != 3 {
+		t.Fatalf("got %d shard log entries, want 3", len(out.Shards))
+	}
+	for _, sh := range out.Shards {
+		if sh.WAL == nil || sh.JournalWAL == nil {
+			t.Fatalf("shard %d missing log state", sh.ID)
+		}
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`recsys_wal_appends_total{log="topology"}`,
+		`recsys_wal_appends_total{shard="0",log="engine"}`,
+		`recsys_wal_appends_total{shard="0",log="journal"}`,
+		`recsys_shard_journal_errors_total{shard="0"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSwitchboardRecoveringHealth: until Ready, /healthz answers 503
+// "recovering" (with a Retry-After hint) and API paths refuse; after
+// Ready every request reaches the real handler.
+func TestSwitchboardRecoveringHealth(t *testing.T) {
+	sb := NewSwitchboard()
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	sb.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("recovering /healthz = %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("recovering /healthz missing Retry-After")
+	}
+	var health map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "recovering" {
+		t.Fatalf("status = %q, want recovering", health["status"])
+	}
+
+	rec = httptest.NewRecorder()
+	sb.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/recommend?user=1", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("recovering API path = %d", rec.Code)
+	}
+
+	_, s := testServer(t)
+	sb.Ready(s)
+	rec = httptest.NewRecorder()
+	sb.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready /healthz = %d: %s", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,245 @@
+// The filesystem seam: the log talks to storage through the FS
+// interface so tests (and the fault package's crash-point injector)
+// can substitute an in-memory or failure-injecting implementation for
+// the real directory. DirFS is the production implementation; MemFS is
+// the deterministic test double whose byte contents can be inspected,
+// truncated and cloned to simulate a machine that lost power
+// mid-write.
+//
+// Every implementation must honour the log's single contract with its
+// storage: a record is handed to File.Write in ONE call, so a
+// crash-injecting FS can tear a record at any byte boundary and know
+// it tore exactly one frame.
+
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the slice of filesystem behaviour the log needs. Paths are
+// names relative to the log's root directory; implementations own the
+// rooting.
+type FS interface {
+	// List returns the names in the root, in any order.
+	List() ([]string, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// OpenAppend opens name for appending, first truncating it to size
+	// bytes (discarding a torn tail). The file is created when absent
+	// (size must then be 0).
+	OpenAppend(name string, size int64) (File, error)
+	// Create opens a fresh file for writing, truncating any previous
+	// contents.
+	Create(name string) (File, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's contents.
+	Rename(oldname, newname string) error
+}
+
+// File is an append handle. Writers must hand one record per Write
+// call (see the package contract above).
+type File interface {
+	io.Writer
+	// Sync forces written bytes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// ---- production implementation ----
+
+// dirFS is the os-backed FS rooted at one directory.
+type dirFS struct{ root string }
+
+// DirFS returns an FS rooted at dir, creating the directory when
+// absent.
+func DirFS(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	return dirFS{root: dir}, nil
+}
+
+func (fs dirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(fs.root)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", fs.root, err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (fs dirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(fs.root, name))
+}
+
+func (fs dirFS) OpenAppend(name string, size int64) (File, error) {
+	path := filepath.Join(fs.root, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (fs dirFS) Create(name string) (File, error) {
+	return os.Create(filepath.Join(fs.root, name))
+}
+
+func (fs dirFS) Remove(name string) error {
+	return os.Remove(filepath.Join(fs.root, name))
+}
+
+func (fs dirFS) Rename(oldname, newname string) error {
+	return os.Rename(filepath.Join(fs.root, oldname), filepath.Join(fs.root, newname))
+}
+
+// ---- in-memory implementation ----
+
+// MemFS is an in-memory FS for tests: deterministic, inspectable, and
+// cheap to snapshot. The zero value is not usable; call NewMemFS.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: map[string][]byte{}} }
+
+// Snapshot returns a deep copy of the current contents — "what would
+// be on disk if the machine died now".
+func (m *MemFS) Snapshot() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.files))
+	for name, b := range m.files {
+		out[name] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// Restore replaces the contents with a snapshot taken earlier.
+func (m *MemFS) Restore(snap map[string][]byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files = make(map[string][]byte, len(snap))
+	for name, b := range snap {
+		m.files[name] = append([]byte(nil), b...)
+	}
+}
+
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *MemFS) OpenAppend(name string, size int64) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.files[name]
+	if int64(len(b)) < size {
+		return nil, fmt.Errorf("wal: truncate %s to %d: only %d bytes", name, size, len(b))
+	}
+	m.files[name] = b[:size:size]
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	m.files[newname] = b
+	delete(m.files, oldname)
+	return nil
+}
+
+// errClosedFile guards against use-after-close bugs in tests.
+var errClosedFile = errors.New("wal: file already closed")
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, errClosedFile
+	}
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return errClosedFile
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

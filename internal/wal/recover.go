@@ -1,0 +1,213 @@
+// Recovery: scan the directory, pick the newest checkpoint that
+// verifies, replay every intact record after it, and truncate the log
+// at the first bad frame. The invariant recovery restores is
+// prefix-consistency — the recovered state is exactly the state after
+// some prefix of the acknowledged operations, never a state with holes
+// in the middle. That is why a sequence gap is treated the same as a
+// CRC failure: replaying records 7 and 9 without 8 would fabricate a
+// history that never existed.
+
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// recover scans the FS, restores the log's bookkeeping (segments, last
+// sequence, checkpoint sequence), physically truncates any torn tail,
+// and opens the tail segment for appending. Called once from Open with
+// no lock held (the log is not yet shared).
+func (l *Log) recover() (*Recovery, error) {
+	names, err := l.opts.FS.List()
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing log dir: %w", err)
+	}
+
+	var ckptSeqs []uint64
+	for _, name := range names {
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// A crash mid-checkpoint leaves a temp file; it was never
+			// published, so it is garbage.
+			//lint:ignore dropped-error temp-file cleanup is advisory
+			_ = l.opts.FS.Remove(name)
+		default:
+			if seq, ok := parseSeq(name, ckptPrefix, ckptSuffix); ok {
+				ckptSeqs = append(ckptSeqs, seq)
+			} else if seq, ok := parseSeq(name, segPrefix, segSuffix); ok {
+				l.segs = append(l.segs, segMeta{name: name, firstSeq: seq})
+			}
+		}
+	}
+	sort.Slice(l.segs, func(a, b int) bool { return l.segs[a].firstSeq < l.segs[b].firstSeq })
+	sort.Slice(ckptSeqs, func(a, b int) bool { return ckptSeqs[a] > ckptSeqs[b] })
+
+	rec := &Recovery{}
+
+	// Newest checkpoint that verifies wins; corrupt ones are skipped
+	// (that is what retaining two buys us) and deleted.
+	var ckptPayload []byte
+	var haveCkpt bool
+	for _, seq := range ckptSeqs {
+		payload, ok := l.readCheckpoint(seq)
+		if !ok {
+			rec.Report.CorruptCheckpoints++
+			//lint:ignore dropped-error corrupt-checkpoint cleanup is advisory
+			_ = l.opts.FS.Remove(ckptName(seq))
+			continue
+		}
+		ckptPayload, haveCkpt = payload, true
+		l.ckptSeq = seq
+		break
+	}
+	if haveCkpt {
+		rec.Checkpoint = ckptPayload
+		rec.Report.CheckpointSeq = l.ckptSeq
+	}
+
+	if err := l.replaySegments(rec); err != nil {
+		return nil, err
+	}
+	l.report = rec.Report
+	return rec, nil
+}
+
+// readCheckpoint loads and verifies one checkpoint file: exactly one
+// intact frame whose sequence matches the file name.
+func (l *Log) readCheckpoint(seq uint64) ([]byte, bool) {
+	data, err := l.opts.FS.ReadFile(ckptName(seq))
+	if err != nil {
+		return nil, false
+	}
+	// Checkpoints may exceed MaxRecordBytes (they hold the whole
+	// materialised state), so the length bound is the file itself.
+	frameSeq, body, next, ok := parseFrame(data, 0, len(data))
+	if !ok || frameSeq != seq || next != len(data) {
+		return nil, false
+	}
+	return body, true
+}
+
+// replaySegments scans segments in order, collects intact records
+// newer than the checkpoint, truncates at the first bad frame, and
+// opens the surviving tail segment for appending.
+func (l *Log) replaySegments(rec *Recovery) error {
+	l.lastSeq = l.ckptSeq
+	if len(l.segs) == 0 {
+		return nil
+	}
+
+	// The scan starts at the last segment that can contain the first
+	// record we need (ckptSeq+1): the last one with firstSeq ≤
+	// ckptSeq+1. Earlier segments are fully materialised in the
+	// checkpoint; they stay on disk for the older retained checkpoint
+	// and are pruned at the next Checkpoint call.
+	start := 0
+	for i, sm := range l.segs {
+		if sm.firstSeq <= l.ckptSeq+1 {
+			start = i
+		}
+	}
+	if l.segs[start].firstSeq > l.ckptSeq+1 {
+		// Every segment starts beyond the next needed record: a gap
+		// right after the checkpoint. Nothing on disk connects.
+		l.dropSegments(start, rec)
+		return l.openTail()
+	}
+
+	expected := l.segs[start].firstSeq
+	for i := start; i < len(l.segs); i++ {
+		sm := l.segs[i]
+		if sm.firstSeq != expected {
+			// Gap between segments: trust nothing from here on.
+			l.dropSegments(i, rec)
+			return l.openTail()
+		}
+		data, err := l.opts.FS.ReadFile(sm.name)
+		if err != nil {
+			return fmt.Errorf("wal: reading segment %s: %w", sm.name, err)
+		}
+		off := 0
+		for off < len(data) {
+			seq, body, next, ok := parseFrame(data, off, l.opts.MaxRecordBytes)
+			if !ok || seq != expected {
+				// First bad frame: the torn tail. Drop everything
+				// after this segment, cut this one at the last intact
+				// frame, and the log continues from there.
+				rec.Report.Truncated += len(data) - off
+				l.dropSegments(i+1, rec)
+				if err := l.truncateTail(int64(off)); err != nil {
+					return err
+				}
+				return l.openTail()
+			}
+			if seq > l.ckptSeq {
+				rec.Records = append(rec.Records, Record{Seq: seq, Payload: append([]byte(nil), body...)})
+				rec.Report.Records++
+			}
+			l.lastSeq = seq
+			expected = seq + 1
+			off = next
+		}
+	}
+	return l.openTail()
+}
+
+// dropSegments discards segments l.segs[i:] — they sit after a gap or
+// corruption, so replaying them would fabricate history. Their bytes
+// count as truncated.
+func (l *Log) dropSegments(i int, rec *Recovery) {
+	for _, sm := range l.segs[i:] {
+		if data, err := l.opts.FS.ReadFile(sm.name); err == nil {
+			rec.Report.Truncated += len(data)
+		}
+		//lint:ignore dropped-error post-corruption segment removal is advisory
+		_ = l.opts.FS.Remove(sm.name)
+	}
+	l.segs = l.segs[:i]
+}
+
+// truncateTail physically cuts the current tail segment to goodSize so
+// a later Open never re-reads the torn bytes. A segment left empty
+// (tear before its first record) is removed when an earlier segment
+// can serve as the tail instead.
+func (l *Log) truncateTail(goodSize int64) error {
+	i := len(l.segs) - 1
+	sm := l.segs[i]
+	if goodSize == 0 && i > 0 {
+		//lint:ignore dropped-error empty-segment removal is advisory
+		_ = l.opts.FS.Remove(sm.name)
+		l.segs = l.segs[:i]
+		return nil
+	}
+	f, err := l.opts.FS.OpenAppend(sm.name, goodSize)
+	if err != nil {
+		return fmt.Errorf("wal: truncating %s to %d: %w", sm.name, goodSize, err)
+	}
+	return f.Close()
+}
+
+// openTail opens the last surviving segment for appending at its
+// current length. With no segments left the log stays without an
+// active file — the first append creates one.
+func (l *Log) openTail() error {
+	if len(l.segs) == 0 {
+		l.active = nil
+		l.activeBytes = 0
+		return nil
+	}
+	tail := l.segs[len(l.segs)-1]
+	data, err := l.opts.FS.ReadFile(tail.name)
+	if err != nil {
+		return fmt.Errorf("wal: reading tail %s: %w", tail.name, err)
+	}
+	f, err := l.opts.FS.OpenAppend(tail.name, int64(len(data)))
+	if err != nil {
+		return fmt.Errorf("wal: opening tail %s: %w", tail.name, err)
+	}
+	l.active = f
+	l.activeBytes = int64(len(data))
+	return nil
+}

@@ -1,0 +1,52 @@
+// A Space hands out independent FS roots by relative directory name —
+// the seam a multi-log owner (the cluster router keeps one WAL per
+// shard engine, one per shard journal, and one topology log) uses to
+// root them all under a single data directory without knowing whether
+// storage is a real disk or test memory.
+
+package wal
+
+import (
+	"path/filepath"
+	"sync"
+)
+
+// Space maps a cluster-relative directory name ("topology",
+// "shard-3/wal") to an FS rooted there. Calling it twice with the same
+// name must yield views of the same underlying storage.
+type Space func(dir string) (FS, error)
+
+// DirSpace returns a Space rooted at dir on the real filesystem;
+// subdirectories are created on first use.
+func DirSpace(dir string) Space {
+	return func(sub string) (FS, error) {
+		return DirFS(filepath.Join(dir, sub))
+	}
+}
+
+// MemSpace is an in-memory Space for tests: each name resolves to a
+// stable MemFS, so a "restart" that builds a second consumer over the
+// same MemSpace sees everything the first one wrote.
+type MemSpace struct {
+	mu   sync.Mutex
+	dirs map[string]*MemFS
+}
+
+// NewMemSpace returns an empty in-memory space.
+func NewMemSpace() *MemSpace { return &MemSpace{dirs: map[string]*MemFS{}} }
+
+// FS implements Space (pass s.FS where a Space is wanted).
+func (s *MemSpace) FS(dir string) (FS, error) { return s.Dir(dir), nil }
+
+// Dir returns the MemFS behind dir for direct inspection in tests,
+// creating it when absent.
+func (s *MemSpace) Dir(dir string) *MemFS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs, ok := s.dirs[dir]
+	if !ok {
+		fs = NewMemFS()
+		s.dirs[dir] = fs
+	}
+	return fs
+}

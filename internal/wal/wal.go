@@ -1,0 +1,548 @@
+// Package wal is a durable, segmented, checksummed write-ahead log.
+// Callers append opaque payloads (one record per mutating operation),
+// periodically checkpoint a materialised snapshot of their state to
+// bound replay length, and on restart recover the newest valid
+// checkpoint plus every intact record after it. The log survives torn
+// tails and corrupt records by truncating at the first bad frame and
+// reporting exactly what was replayed and what was lost.
+//
+// # Frame format
+//
+// Every record is one frame, written with a single Write call so a
+// crash (or the fault package's crash injector) tears at most one
+// frame:
+//
+//	u32  length of body, little-endian
+//	u32  CRC-32 (IEEE) over seq bytes ++ body
+//	u64  seq, little-endian
+//	body (the caller's payload)
+//
+// Sequence numbers are assigned by the log, start at 1 and advance by
+// exactly 1 per append; a gap or repeat on replay is treated as
+// corruption. Checkpoint files wrap their payload in the same frame
+// (seq = the checkpoint's covering sequence), so checkpoints are CRC-
+// verified too and a half-written checkpoint is detected and skipped.
+//
+// # Durability policies
+//
+// FsyncAlways syncs after every append — nothing acknowledged is ever
+// lost, at the cost of one fsync per write. FsyncEveryN syncs when N
+// unsynced appends have accumulated (and on rotation, checkpoint and
+// Close) — bounded loss window, amortised cost. FsyncOS never syncs —
+// the OS page cache decides; a power cut may lose the tail but never
+// corrupts the prefix (recovery truncates the torn frame).
+//
+// The log is deterministic: it never reads the wall clock and never
+// draws randomness. Checkpoint age is measured in records (LastSeq -
+// CheckpointSeq), not seconds, so two logs fed the same operations are
+// byte-identical.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncEveryN syncs after every N unsynced appends.
+	FsyncEveryN
+	// FsyncOS never syncs explicitly; the OS page cache decides.
+	FsyncOS
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncEveryN:
+		return "every-n"
+	case FsyncOS:
+		return "os"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy resolves the operator-facing policy names.
+func ParseFsyncPolicy(name string) (FsyncPolicy, error) {
+	switch name {
+	case "always":
+		return FsyncAlways, nil
+	case "every-n":
+		return FsyncEveryN, nil
+	case "os":
+		return FsyncOS, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, every-n or os)", name)
+	}
+}
+
+const (
+	headerLen = 16
+
+	// DefaultSegmentBytes rotates segments at 4 MiB.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultMaxRecordBytes bounds a single record's body; a length
+	// field beyond it is treated as corruption on replay.
+	DefaultMaxRecordBytes = 1 << 20
+	// DefaultRetainCheckpoints keeps the newest two checkpoints: the
+	// segments between them stay on disk, so a checkpoint that turns
+	// out corrupt on the next boot still has a full replay path from
+	// its predecessor.
+	DefaultRetainCheckpoints = 2
+
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// ErrRecordTooLarge is returned by Append when the payload exceeds the
+// configured bound.
+var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
+
+// Options configures a log. The zero value of every field except FS
+// selects a default; FS is required.
+type Options struct {
+	// FS is the storage seam. Use DirFS for a real directory, NewMemFS
+	// in tests, or the fault package's crash injector.
+	FS FS
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the unsynced-append bound under FsyncEveryN;
+	// values below 1 mean 1 (equivalent to FsyncAlways).
+	FsyncEvery int
+	// SegmentBytes rotates the active segment when it would exceed
+	// this size; 0 selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// MaxRecordBytes bounds one record body; 0 selects
+	// DefaultMaxRecordBytes.
+	MaxRecordBytes int
+	// RetainCheckpoints keeps the newest N checkpoints (and the
+	// segments needed to replay from the oldest retained one); values
+	// below 1 select DefaultRetainCheckpoints.
+	RetainCheckpoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if o.RetainCheckpoints < 1 {
+		o.RetainCheckpoints = DefaultRetainCheckpoints
+	}
+	if o.FsyncEvery < 1 {
+		o.FsyncEvery = 1
+	}
+	return o
+}
+
+// Record is one recovered log entry.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Recovered is the recovery report: what Open found, replayed and
+// discarded.
+type Recovered struct {
+	// CheckpointSeq is the sequence the recovered checkpoint covers (0
+	// when no checkpoint was found).
+	CheckpointSeq uint64
+	// Records counts intact records recovered past the checkpoint.
+	Records int
+	// Truncated counts bytes discarded at the first bad frame — a torn
+	// tail after a crash, or corruption.
+	Truncated int
+	// CorruptCheckpoints counts checkpoint files that failed
+	// verification and were skipped (recovery fell back to an older
+	// checkpoint, or to a full replay).
+	CorruptCheckpoints int
+}
+
+// Recovery is Open's full result: the checkpoint payload to restore,
+// the records to replay on top, and the report.
+type Recovery struct {
+	// Checkpoint is the newest valid checkpoint's payload (nil when
+	// none was found); CheckpointSeq is in the Report.
+	Checkpoint []byte
+	// Records are the intact records after the checkpoint, in order.
+	Records []Record
+	Report  Recovered
+}
+
+// segMeta is one segment's identity: its file name and the sequence of
+// its first record.
+type segMeta struct {
+	name     string
+	firstSeq uint64
+}
+
+// Log is an open write-ahead log. Safe for concurrent use; appends
+// serialise on an internal mutex.
+type Log struct {
+	opts Options
+
+	mu      sync.Mutex
+	closed  bool
+	failed  error // sticky write/sync failure; set once, rejects all later appends
+	lastSeq uint64
+	ckptSeq uint64
+
+	segs        []segMeta // on-disk segments, oldest first (active last)
+	active      File      // nil until the first append needs it
+	activeBytes int64
+	unsynced    int
+
+	report Recovered
+
+	// Counters for State / metrics.
+	appends      uint64
+	appendErrors uint64
+	fsyncs       uint64
+	checkpoints  uint64
+}
+
+// Open recovers the log in opts.FS and returns it ready for appends,
+// together with everything the caller must restore and replay. The
+// torn tail, if any, is physically truncated so new appends continue
+// from the last intact frame.
+func Open(opts Options) (*Log, *Recovery, error) {
+	if opts.FS == nil {
+		return nil, nil, errors.New("wal: Options.FS is required")
+	}
+	l := &Log{opts: opts.withDefaults()}
+	rec, err := l.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// segName renders the segment file name for its first sequence.
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix)
+}
+
+// ckptName renders the checkpoint file name for its covering sequence.
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, seq, ckptSuffix)
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	raw := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	seq, err := strconv.ParseUint(raw, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// frame renders one record frame. The returned slice is written in a
+// single Write call — the crash-atomicity contract with the FS.
+func frame(seq uint64, body []byte) []byte {
+	buf := make([]byte, headerLen+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	copy(buf[headerLen:], body)
+	crc := crc32.ChecksumIEEE(buf[8 : headerLen+len(body)])
+	binary.LittleEndian.PutUint32(buf[4:8], crc)
+	return buf
+}
+
+// parseFrame decodes the frame at buf[off:]. ok is false when the
+// bytes do not contain one intact frame (short header, short body,
+// insane length, CRC mismatch).
+func parseFrame(buf []byte, off int, maxBody int) (seq uint64, body []byte, next int, ok bool) {
+	if off+headerLen > len(buf) {
+		return 0, nil, 0, false
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+	if bodyLen > maxBody || off+headerLen+bodyLen > len(buf) {
+		return 0, nil, 0, false
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+	end := off + headerLen + bodyLen
+	if crc32.ChecksumIEEE(buf[off+8:end]) != wantCRC {
+		return 0, nil, 0, false
+	}
+	seq = binary.LittleEndian.Uint64(buf[off+8 : off+16])
+	return seq, buf[off+headerLen : end], end, true
+}
+
+// Append logs one record and returns its sequence number, honouring
+// the fsync policy before returning — a nil error under FsyncAlways
+// means the record is on stable storage. A storage failure is sticky:
+// the log refuses all further appends, so callers can reject writes
+// instead of acknowledging them into a black hole.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		l.appendErrors++
+		return 0, fmt.Errorf("wal: log failed earlier: %w", l.failed)
+	}
+	if len(payload) > l.opts.MaxRecordBytes {
+		l.appendErrors++
+		return 0, fmt.Errorf("%w: %d > %d bytes", ErrRecordTooLarge, len(payload), l.opts.MaxRecordBytes)
+	}
+	seq := l.lastSeq + 1
+	buf := frame(seq, payload)
+	if err := l.ensureActive(seq, int64(len(buf))); err != nil {
+		l.appendErrors++
+		l.failed = err
+		return 0, err
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		// The frame may be torn on disk; recovery will truncate it.
+		l.appendErrors++
+		l.failed = fmt.Errorf("wal: appending record %d: %w", seq, err)
+		return 0, l.failed
+	}
+	l.lastSeq = seq
+	l.activeBytes += int64(len(buf))
+	l.appends++
+	l.unsynced++
+	if l.opts.Fsync == FsyncAlways || (l.opts.Fsync == FsyncEveryN && l.unsynced >= l.opts.FsyncEvery) {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// ensureActive makes sure an active segment with room for frameLen
+// bytes is open, rotating when the current one would overflow. Caller
+// holds mu.
+func (l *Log) ensureActive(nextSeq uint64, frameLen int64) error {
+	if l.active != nil && l.activeBytes > 0 && l.activeBytes+frameLen > l.opts.SegmentBytes {
+		// Rotation seals the old segment: sync it regardless of policy
+		// so sealed segments are always stable, then start a new one.
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+		l.active = nil
+		l.activeBytes = 0
+	}
+	if l.active == nil {
+		name := segName(nextSeq)
+		f, err := l.opts.FS.Create(name)
+		if err != nil {
+			return fmt.Errorf("wal: creating segment %s: %w", name, err)
+		}
+		l.active = f
+		l.activeBytes = 0
+		l.segs = append(l.segs, segMeta{name: name, firstSeq: nextSeq})
+	}
+	return nil
+}
+
+// Sync forces unsynced appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.active == nil || l.unsynced == 0 {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		// A failed fsync means the kernel may have dropped dirty pages;
+		// the only safe reaction is to stop acknowledging writes.
+		l.failed = fmt.Errorf("wal: fsync: %w", err)
+		return l.failed
+	}
+	l.unsynced = 0
+	l.fsyncs++
+	return nil
+}
+
+// Checkpoint records payload as the materialised state covering every
+// record appended so far, then prunes checkpoints and segments no
+// retained checkpoint needs. The write is atomic (temp file, sync,
+// rename), so a crash mid-checkpoint leaves the previous one intact.
+func (l *Log) Checkpoint(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// Everything the checkpoint covers must be stable before the
+	// checkpoint claims to cover it.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	seq := l.lastSeq
+	tmp := ckptName(seq) + tmpSuffix
+	f, err := l.opts.FS.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint: %w", err)
+	}
+	if _, err := f.Write(frame(seq, payload)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing checkpoint %d: %w", seq, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing checkpoint %d: %w", seq, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing checkpoint %d: %w", seq, err)
+	}
+	if err := l.opts.FS.Rename(tmp, ckptName(seq)); err != nil {
+		return fmt.Errorf("wal: publishing checkpoint %d: %w", seq, err)
+	}
+	l.ckptSeq = seq
+	l.checkpoints++
+	l.pruneLocked()
+	return nil
+}
+
+// pruneLocked deletes checkpoints beyond the retention bound and
+// segments every retained checkpoint already covers. Deletion failures
+// are ignored: a leftover file costs disk, not correctness, and the
+// next checkpoint retries. Caller holds mu.
+func (l *Log) pruneLocked() {
+	names, err := l.opts.FS.List()
+	if err != nil {
+		return
+	}
+	var ckpts []uint64
+	for _, name := range names {
+		if seq, ok := parseSeq(name, ckptPrefix, ckptSuffix); ok {
+			ckpts = append(ckpts, seq)
+		}
+	}
+	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a] > ckpts[b] })
+	if len(ckpts) > l.opts.RetainCheckpoints {
+		for _, seq := range ckpts[l.opts.RetainCheckpoints:] {
+			//lint:ignore dropped-error pruning is advisory: a leftover checkpoint file is retried next time
+			_ = l.opts.FS.Remove(ckptName(seq))
+		}
+		ckpts = ckpts[:l.opts.RetainCheckpoints]
+	}
+	if len(ckpts) == 0 {
+		return
+	}
+	oldest := ckpts[len(ckpts)-1]
+	// A non-active segment is removable when the next segment starts
+	// at or below oldest+1 — every record in it is ≤ oldest, hence
+	// materialised in all retained checkpoints.
+	keep := l.segs[:0]
+	for i, sm := range l.segs {
+		last := i == len(l.segs)-1
+		if !last && l.segs[i+1].firstSeq <= oldest+1 {
+			//lint:ignore dropped-error pruning is advisory: a leftover segment is retried next time
+			_ = l.opts.FS.Remove(sm.name)
+			continue
+		}
+		keep = append(keep, sm)
+	}
+	l.segs = keep
+}
+
+// Close flushes and closes the log. Further operations return
+// ErrClosed. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.active.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: closing active segment: %w", cerr)
+	}
+	l.active = nil
+	return err
+}
+
+// LastSeq returns the sequence of the newest appended record (0 when
+// the log is empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// State is the log's observable shape for /debug/wal and the
+// recsys_wal_* metrics.
+type State struct {
+	Fsync         string `json:"fsync"`
+	LastSeq       uint64 `json:"last_seq"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// CheckpointAge is the replay length a crash right now would pay:
+	// records appended since the last checkpoint.
+	CheckpointAge uint64 `json:"checkpoint_age"`
+	Segments      int    `json:"segments"`
+	ActiveBytes   int64  `json:"active_segment_bytes"`
+	Appends       uint64 `json:"appends"`
+	AppendErrors  uint64 `json:"append_errors,omitempty"`
+	Fsyncs        uint64 `json:"fsyncs"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	Failed        bool   `json:"failed,omitempty"`
+	// Recovery report from this process's Open.
+	RecoveredRecords   int    `json:"recovered_records"`
+	RecoveredTruncated int    `json:"recovered_truncated_bytes,omitempty"`
+	RecoveredFromSeq   uint64 `json:"recovered_from_seq,omitempty"`
+	CorruptCheckpoints int    `json:"corrupt_checkpoints,omitempty"`
+}
+
+// State snapshots the log's counters.
+func (l *Log) State() State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return State{
+		Fsync:              l.opts.Fsync.String(),
+		LastSeq:            l.lastSeq,
+		CheckpointSeq:      l.ckptSeq,
+		CheckpointAge:      l.lastSeq - l.ckptSeq,
+		Segments:           len(l.segs),
+		ActiveBytes:        l.activeBytes,
+		Appends:            l.appends,
+		AppendErrors:       l.appendErrors,
+		Fsyncs:             l.fsyncs,
+		Checkpoints:        l.checkpoints,
+		Failed:             l.failed != nil,
+		RecoveredRecords:   l.report.Records,
+		RecoveredTruncated: l.report.Truncated,
+		RecoveredFromSeq:   l.report.CheckpointSeq,
+		CorruptCheckpoints: l.report.CorruptCheckpoints,
+	}
+}
