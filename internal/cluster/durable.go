@@ -203,7 +203,12 @@ func (rt *Router) completeMigrations(t *topology) {
 			if owner == sh.id {
 				continue
 			}
-			t.byID[owner].eng.ImportUserRatings(u, m.UserRatings(u))
+			// Evict only an applied import: if the owner's WAL rejected
+			// the append, the stale holder keeps the only durable copy
+			// and the next boot's sweep retries the move.
+			if err := t.byID[owner].eng.ImportUserRatings(u, m.UserRatings(u)); err != nil {
+				continue
+			}
 			sh.eng.EvictUser(u)
 		}
 	}

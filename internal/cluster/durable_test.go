@@ -288,6 +288,73 @@ func TestDurableRebalanceSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestRemoveShardCrashCannotLoseData: RemoveShard appends its "remove"
+// topology record only AFTER the departing shard's journal is drained
+// and its users are durably imported at their new owners. Crash the
+// topology log at exactly that append — in both directions the record
+// can resolve (bytes survived the dying machine, bytes torn off) — and
+// verify no rating is lost either way.
+func TestRemoveShardCrashCannotLoseData(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tear int // CrashPlan.TearBytes for the fatal topology append
+		want int // shards after restart
+	}{
+		// The NACKed record's bytes reached disk: the restart excludes
+		// the shard, so its data must already live on the survivors.
+		{"record survives", -1, 2},
+		// The record tore off entirely: the restart keeps the shard and
+		// the ownership sweep settles the half-made copies.
+		{"record torn", 0, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			com := testCommunity(t)
+			space := wal.NewMemSpace()
+			// Wrap only the topology log: write 1 is the founding record,
+			// write 2 the fatal "remove".
+			crashTopo := func(dir string) (wal.FS, error) {
+				fs, err := space.FS(dir)
+				if err != nil {
+					return nil, err
+				}
+				if dir == "topology" {
+					return fault.NewCrashFS(fs, fault.CrashPlan{AfterWrites: 2, TearBytes: tc.tear}), nil
+				}
+				return fs, nil
+			}
+			rt, err := New(com.Catalog, com.Ratings, Options{
+				Shards: 3, Seed: 9, Durability: &Durability{Space: crashTopo},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := com.Ratings.Len()
+			if err := rt.RemoveShard(2); err == nil {
+				t.Fatal("RemoveShard succeeded through a crashing topology log")
+			}
+			// Crash: abandon rt and restart over the raw space.
+
+			rt2, err := New(com.Catalog, model.NewMatrix(), durableOpts(space.FS))
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			if got := len(rt2.ClusterState().Shards); got != tc.want {
+				t.Fatalf("restart rebuilt %d shards, want %d", got, tc.want)
+			}
+			if got := rt2.Ratings().Len(); got != want {
+				t.Fatalf("restart holds %d ratings, want %d — acknowledged writes lost", got, want)
+			}
+			for _, sh := range rt2.topo.Load().order {
+				for _, ru := range sh.eng.Ratings().Users() {
+					if rt2.Owner(ru) != sh.id {
+						t.Fatalf("user %d stranded on shard %d, owned by %d", ru, sh.id, rt2.Owner(ru))
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestDurableRestartFinishesInterruptedMigration: simulate a crash in
 // the worst spot — the "add" record is on disk but the process died
 // before migrating a single user. The restart must build the new

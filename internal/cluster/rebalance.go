@@ -37,14 +37,18 @@ func (rt *Router) AddShard() (int, error) {
 
 	// Import into the new shard before evicting from the old ones, so a
 	// concurrent reader on either topology always finds the user's
-	// ratings somewhere.
+	// ratings somewhere. An import the new shard's WAL rejects skips the
+	// evict too — the user simply stays on the source shard, and the
+	// restart ownership sweep retries the move.
 	for _, src := range old.order {
 		m := src.eng.Ratings()
 		for _, u := range m.Users() {
 			if ring.Owner(u) != id {
 				continue
 			}
-			sh.eng.ImportUserRatings(u, m.UserRatings(u))
+			if err := sh.eng.ImportUserRatings(u, m.UserRatings(u)); err != nil {
+				continue
+			}
 			src.eng.EvictUser(u)
 		}
 	}
@@ -76,12 +80,6 @@ func (rt *Router) RemoveShard(id int) error {
 	if len(old.order) == 1 {
 		return fmt.Errorf("cluster: cannot remove the last shard %d", id)
 	}
-	// Log before acting, exactly like AddShard: a crash after this
-	// record restarts without the shard, and the migration sweep (plus
-	// this drain's at-least-once journal) finishes the move.
-	if err := rt.appendTopo(topoRecord{Op: "remove", ID: id}); err != nil {
-		return err
-	}
 	ring := old.ring.WithoutShard(id)
 
 	next := &topology{ring: ring, byID: make(map[int]*shard, len(old.order)-1)}
@@ -93,26 +91,64 @@ func (rt *Router) RemoveShard(id int) error {
 		next.order = append(next.order, s)
 	}
 
-	// Migrate the departing shard's users to their new owners.
-	m := gone.eng.Ratings()
-	for _, u := range m.Users() {
-		next.byID[ring.Owner(u)].eng.ImportUserRatings(u, m.UserRatings(u))
-	}
-
-	// Publish, then drain the departing shard's journal through the new
-	// ring so parked writes land on (or journal at) the new owners.
-	rt.topo.Store(next)
+	// Drain the departing shard's parked writes BEFORE migrating, so the
+	// migration below copies a rating state that includes them. Entries
+	// still owned by the departing shard under the current ring apply
+	// directly to its engine (bypassing the router's down-state: the
+	// shard is being decommissioned, not failed, and its engine is
+	// in-process and healthy); entries whose owner moved in an earlier
+	// rebalance re-route normally.
 	for _, e := range gone.journal.drain() {
-		if err := rt.applyWrite(e); err != nil {
+		var err error
+		if old.ring.Owner(e.user) == id {
+			err = applyEntry(gone.eng, e)
+		} else {
+			err = rt.applyWrite(e)
+		}
+		if err != nil {
 			gone.replayDropped.Add(1)
 			continue
 		}
 		gone.replayed.Add(1)
 	}
-	// The departed shard's durable state is settled (its users' ratings
-	// were re-imported and re-logged by the surviving engines, and the
-	// drain just re-routed its parked writes), so its logs can close.
+	// Applied entries are durable in engine WALs now; the journal's
+	// record history can compact away.
 	gone.journal.compact()
+
+	// Migrate the departing shard's users to their new owners. Each
+	// import is logged in the destination engine's own WAL, so by the
+	// time the "remove" record below commits the membership change,
+	// every migrated rating is already durable at its new home.
+	m := gone.eng.Ratings()
+	for _, u := range m.Users() {
+		if err := next.byID[ring.Owner(u)].eng.ImportUserRatings(u, m.UserRatings(u)); err != nil {
+			// A destination that cannot make an import durable aborts
+			// the removal: the shard stays a member and keeps its data.
+			// Users already copied are NOT evicted back — they are
+			// harmless stale duplicates the next restart's ownership
+			// sweep clears, whereas evicting here could destroy the
+			// last durable copy if a concurrent failure settles the
+			// membership differently than this process saw.
+			return fmt.Errorf("cluster: migrating user %d off shard %d: %w", u, id, err)
+		}
+	}
+
+	// Log the membership change only now, after every rating and parked
+	// write has a durable home elsewhere. A crash BEFORE this record
+	// restarts WITH the shard (the ownership sweep re-imports and then
+	// evicts the copies made above); a crash AFTER it restarts without
+	// the shard, whose data the surviving engines' WALs already hold.
+	if err := rt.appendTopo(topoRecord{Op: "remove", ID: id}); err != nil {
+		// The append was NACKed, but the log's boundary is at-least-once:
+		// the record's bytes may have reached disk anyway, in which case
+		// a restart WILL exclude the shard. The imported copies above are
+		// then the data's only home — leave them in place. If the record
+		// did not survive, the restart sweep treats them as stale
+		// duplicates and settles ownership back onto this shard.
+		return err
+	}
+
+	rt.topo.Store(next)
 	if err := gone.journal.close(); err != nil {
 		return err
 	}

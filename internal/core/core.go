@@ -328,6 +328,22 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		if ckMatrix != nil {
 			ratings = ckMatrix
 		}
+		if e.lc != nil && ck != nil {
+			// Continue the lifecycle's revision numbering where the
+			// checkpoint left it: replayed tail records advance dataRev
+			// exactly like the live writes they replay, so after replay
+			// the counters equal the crashed process's — and warmStart
+			// can tell precisely which users were written after the
+			// persisted artifact, including writes the checkpoint has
+			// already materialised.
+			e.lc.dataRev = ck.DataRev
+			e.lc.trainedRev = ck.TrainedRev
+			for _, us := range ck.Users {
+				if us.Rev > 0 {
+					e.lc.touched[us.User] = us.Rev
+				}
+			}
+		}
 	}
 
 	s := &snapshot{
@@ -662,9 +678,14 @@ func (e *Engine) RemoveRating(u model.UserID, item model.ItemID) {
 // like Rate; non-finite values are skipped (the accepting router
 // already validated them). Unlike Rate it does not count repair
 // actions: migration is topology maintenance, not user feedback.
-func (e *Engine) ImportUserRatings(u model.UserID, ratings map[model.ItemID]float64) {
+//
+// A non-nil error means the import was NOT applied (a durable engine
+// whose WAL rejected the append). Migration callers must not evict the
+// user from the source shard in that case — doing so would drop the
+// ratings from both sides.
+func (e *Engine) ImportUserRatings(u model.UserID, ratings map[model.ItemID]float64) error {
 	if len(ratings) == 0 {
-		return
+		return nil
 	}
 	clean := make(map[model.ItemID]float64, len(ratings))
 	for it, v := range ratings {
@@ -673,8 +694,7 @@ func (e *Engine) ImportUserRatings(u model.UserID, ratings map[model.ItemID]floa
 		}
 		clean[it] = v
 	}
-	//lint:ignore dropped-error a WAL append failure rejects the import without applying it; the cluster router's journal retries on heal
-	_ = e.mutate(u, &walRecord{Op: walOpImport, User: u, Ratings: clean},
+	return e.mutate(u, &walRecord{Op: walOpImport, User: u, Ratings: clean},
 		func(m *model.Matrix) {
 			for it, v := range clean {
 				m.Set(u, it, model.ClampRating(v))

@@ -149,8 +149,9 @@ func (lc *lifecycle) persist(a *modelstore.Artifact[recsys.Recommender]) {
 // the initial train. It declines (returns false, leaving the caller to
 // cold-train) when no usable artifact exists: no path configured,
 // missing/corrupt file, a different trainer's model, a checksum that
-// no longer matches the payload, or replayed WAL writes that the model
-// cannot fold in. Runs during New, before the engine is shared.
+// no longer matches the payload, an artifact older than the model the
+// WAL checkpoint was written against, or post-artifact writes that the
+// model cannot fold in. Runs during New, before the engine is shared.
 func (e *Engine) warmStart(s *snapshot) bool {
 	lc := e.lc
 	if lc.artifactPath == "" || lc.decode == nil {
@@ -166,19 +167,31 @@ func (e *Engine) warmStart(s *snapshot) bool {
 	if sum := checksumOf(art.Model); sum != art.Checksum {
 		return false
 	}
+	// trainedRev was restored from the WAL checkpoint: the revision the
+	// model serving at checkpoint time covered. When it is ahead of the
+	// artifact on disk (an earlier persist failed, leaving an older
+	// file), the writes between the two watermarks are unattributable —
+	// decline and retrain rather than serve silently stale vectors.
+	if lc.trainedRev > art.DataRev {
+		return false
+	}
 	rec := art.Model
-	// Writes replayed from the WAL may postdate the artifact save; fold
-	// the touched users in so the warm model serves their current
-	// ratings. A model that cannot fold declines the warm start rather
-	// than serve stale vectors.
-	if len(lc.touched) > 0 {
+	// Fold in every user written after the artifact was trained. The
+	// per-user revisions cover both replayed WAL tail records and
+	// writes an earlier checkpoint already materialised, so the fold
+	// set is exactly the users a live process would have folded on the
+	// mutate path. A model that cannot fold declines the warm start
+	// rather than serve stale vectors.
+	var users []model.UserID
+	for u, rev := range lc.touched {
+		if rev > art.DataRev {
+			users = append(users, u)
+		}
+	}
+	if len(users) > 0 {
 		rb, ok := rec.(recsys.MatrixRebinder)
 		if !ok {
 			return false
-		}
-		users := make([]model.UserID, 0, len(lc.touched))
-		for u := range lc.touched {
-			users = append(users, u)
 		}
 		sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
 		rec = rb.RebindMatrix(s.ratings, users...)
@@ -186,13 +199,18 @@ func (e *Engine) warmStart(s *snapshot) bool {
 		art = &modelstore.Artifact[recsys.Recommender]{
 			Version:  art.Version,
 			Trainer:  art.Trainer,
-			DataRev:  art.DataRev,
+			DataRev:  lc.dataRev,
 			Checksum: checksumOf(rec),
 			Model:    rec,
 		}
 	}
 	if err := lc.store.Restore(art); err != nil {
 		return false
+	}
+	if len(users) > 0 {
+		// Re-persist at the folded revision so the on-disk watermark
+		// matches the WAL's and the next restart need not re-fold.
+		lc.persist(art)
 	}
 	e.groundModel(s, rec, art.Version)
 	lc.warmStarted = true
@@ -278,7 +296,11 @@ func (e *Engine) initialTrain(s *snapshot) error {
 		return err
 	}
 	lc.recordTrain(d)
-	art := lc.store.Publish(lc.trainer.Name(), 0, checksumOf(rec), rec)
+	// Publish at the post-recovery data revision (0 on a fresh engine):
+	// the train saw every replayed write, so the artifact's watermark
+	// must say so — a later warm start compares it against the WAL
+	// checkpoint's watermarks to pick its fold set.
+	art := lc.store.Publish(lc.trainer.Name(), lc.dataRev, checksumOf(rec), rec)
 	lc.persist(art)
 	e.groundModel(s, rec, art.Version)
 	lc.trainsCompleted.Add(1)

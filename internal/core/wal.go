@@ -93,8 +93,17 @@ const walCheckpointVersion = 1
 var errCheckpointVersion = errors.New("core: unsupported WAL checkpoint version")
 
 type walCheckpoint struct {
-	Version int            `json:"version"`
-	Users   []walUserState `json:"users,omitempty"`
+	Version int `json:"version"`
+	// DataRev and TrainedRev are the model lifecycle's watermarks at
+	// checkpoint time (absent without WithTrainer): DataRev counts
+	// snapshot-publishing writes, TrainedRev is DataRev as of the last
+	// swapped-in model. New restores them before replay, so revision
+	// numbering is continuous across restarts and a warm start can
+	// compare the persisted artifact's DataRev against the writes the
+	// checkpoint has already materialised — not just the replayed tail.
+	DataRev    uint64         `json:"data_rev,omitempty"`
+	TrainedRev uint64         `json:"trained_rev,omitempty"`
+	Users      []walUserState `json:"users,omitempty"`
 }
 
 // walUserState is one user's full durable state: ratings, influence
@@ -104,6 +113,11 @@ type walUserState struct {
 	Ratings   []walEntry   `json:"r,omitempty"`
 	Influence []walEntry   `json:"w,omitempty"`
 	Opinions  []walOpinion `json:"o,omitempty"`
+	// Rev is the user's last-write data revision (absent when the last
+	// write predates the last model swap — such users need no fold-in,
+	// or when no lifecycle is configured). It keeps warm starts exact:
+	// the fold set is every user with Rev beyond the artifact's DataRev.
+	Rev uint64 `json:"rev,omitempty"`
 }
 
 type walEntry struct {
@@ -173,6 +187,13 @@ func (e *Engine) encodeWALCheckpoint() ([]byte, error) {
 	for u := range e.ledger.opinions {
 		seen[u] = true
 	}
+	if e.lc != nil {
+		// A touched user with no surviving ratings (all removed) still
+		// carries a fold-in marker the next warm start must see.
+		for u := range e.lc.touched {
+			seen[u] = true
+		}
+	}
 	users := make([]model.UserID, 0, len(seen))
 	for u := range seen {
 		users = append(users, u)
@@ -180,8 +201,15 @@ func (e *Engine) encodeWALCheckpoint() ([]byte, error) {
 	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
 
 	ck := walCheckpoint{Version: walCheckpointVersion}
+	if e.lc != nil {
+		ck.DataRev = e.lc.dataRev
+		ck.TrainedRev = e.lc.trainedRev
+	}
 	for _, u := range users {
 		us := walUserState{User: u}
+		if e.lc != nil {
+			us.Rev = e.lc.touched[u]
+		}
 		for it, v := range m.UserRatings(u) {
 			us.Ratings = append(us.Ratings, walEntry{Item: it, Value: v})
 		}

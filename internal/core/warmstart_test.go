@@ -123,6 +123,106 @@ func TestWarmStartFoldsInReplayedWrites(t *testing.T) {
 	}
 }
 
+func TestWarmStartFoldsCheckpointedWrites(t *testing.T) {
+	c := walFixture(t)
+	fs := wal.NewMemFS()
+	path := filepath.Join(t.TempDir(), "model.json")
+	trainer := mf.ALSWR{Opts: mf.Options{Seed: 5, Factors: 6, Epochs: 8}}
+
+	e1, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := model.UserID(3)
+	target := c.Catalog.Items()[0].ID
+	if err := e1.Rate(u, target, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Materialize the write into a WAL checkpoint: the restart replays
+	// NO tail records, so the fold set must come from the checkpoint's
+	// persisted per-user revisions, not from replayed records.
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	st := e2.ModelsState()
+	if !st.WarmStarted {
+		t.Fatal("restart did not warm-start")
+	}
+	if st.FoldIns == 0 {
+		t.Fatal("checkpointed write was not folded into the warm model")
+	}
+	p, err := e2.Recommend(u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Entries {
+		if r.Item.ID == target {
+			t.Fatal("warm model still recommends an item whose rating was checkpointed after the artifact was saved")
+		}
+	}
+}
+
+func TestWarmStartDeclinesStaleArtifact(t *testing.T) {
+	c := walFixture(t)
+	fs := wal.NewMemFS()
+	path := filepath.Join(t.TempDir(), "model.json")
+	trainer := mf.ALSWR{Opts: mf.Options{Seed: 5, Factors: 6, Epochs: 8}}
+
+	e1, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := model.UserID(3)
+	target := c.Catalog.Items()[0].ID
+	if err := e1.Rate(u, target, 5); err != nil {
+		t.Fatal(err)
+	}
+	// The retrain covers the write (pruning its fold marker) and the
+	// checkpoint persists the advanced trained revision.
+	if err := e1.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Roll the artifact file back to the pre-write generation, as if the
+	// retrain's persist had failed. The checkpoint's trained revision now
+	// postdates the artifact, and no fold marker bridges the gap — warm
+	// starting would serve vectors that never saw the write.
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := New(c.Catalog, c.Ratings, warmStartOpts(t, fs, path, trainer)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	st := e2.ModelsState()
+	if st.WarmStarted {
+		t.Fatal("warm-started from an artifact older than the checkpoint's trained revision")
+	}
+	if st.TrainsStarted != 1 {
+		t.Fatalf("expected a cold train, got %+v", st)
+	}
+}
+
 func TestWarmStartTrainerMismatchColdTrains(t *testing.T) {
 	c := walFixture(t)
 	fs := wal.NewMemFS()

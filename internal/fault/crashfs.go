@@ -43,9 +43,10 @@ type CrashPlan struct {
 	// io.ErrShortWrite instead of silently dying — the error path a
 	// full disk produces. TearBytes bytes still land.
 	ShortWrite bool
-	// AfterSyncs fails the Nth Sync call (1-based) with a sticky
-	// error; 0 disables. Models a device that dies at fsync — the
-	// failure every durable system must treat as fatal.
+	// AfterSyncs fails the Nth sync call (1-based, file Sync and
+	// directory SyncDir counted alike) with a sticky error; 0 disables.
+	// Models a device that dies at fsync — the failure every durable
+	// system must treat as fatal.
 	AfterSyncs int
 }
 
@@ -137,6 +138,25 @@ func (c *CrashFS) Rename(oldname, newname string) error {
 		return err
 	}
 	return c.inner.Rename(oldname, newname)
+}
+
+// SyncDir counts toward AfterSyncs exactly like a file fsync: a device
+// that dies at the Nth sync does not care whether the inode being
+// flushed is a file's or its directory's.
+func (c *CrashFS) SyncDir() error {
+	c.mu.Lock()
+	if c.crashed {
+		c.mu.Unlock()
+		return ErrCrashed
+	}
+	c.syncs++
+	if c.plan.AfterSyncs > 0 && c.syncs == c.plan.AfterSyncs {
+		c.crashed = true
+		c.mu.Unlock()
+		return fmt.Errorf("fault: injected directory-sync failure: %w", ErrCrashed)
+	}
+	c.mu.Unlock()
+	return c.inner.SyncDir()
 }
 
 type crashFile struct {

@@ -134,7 +134,9 @@ func TestCrashFSShortWrite(t *testing.T) {
 
 func TestCrashFSFsyncFailureIsSticky(t *testing.T) {
 	mem := wal.NewMemFS()
-	cfs := NewCrashFS(mem, CrashPlan{AfterSyncs: 2})
+	// Sync 1 is the first segment's directory publish, sync 2 the first
+	// append's fsync; sync 3 — the second append's fsync — fails.
+	cfs := NewCrashFS(mem, CrashPlan{AfterSyncs: 3})
 	l, _, err := wal.Open(wal.Options{FS: cfs, Fsync: wal.FsyncAlways})
 	if err != nil {
 		t.Fatal(err)

@@ -42,6 +42,13 @@ type FS interface {
 	Remove(name string) error
 	// Rename atomically replaces newname with oldname's contents.
 	Rename(oldname, newname string) error
+	// SyncDir forces directory metadata — the entries created, renamed
+	// or removed above — to stable storage. On a real filesystem a
+	// freshly created file's directory entry is NOT durable until its
+	// parent directory is fsynced, even when the file's own contents
+	// are; implementations without that failure mode (memory, object
+	// stores) may no-op.
+	SyncDir() error
 }
 
 // File is an append handle. Writers must hand one record per Write
@@ -112,6 +119,21 @@ func (fs dirFS) Remove(name string) error {
 
 func (fs dirFS) Rename(oldname, newname string) error {
 	return os.Rename(filepath.Join(fs.root, oldname), filepath.Join(fs.root, newname))
+}
+
+func (fs dirFS) SyncDir() error {
+	d, err := os.Open(fs.root)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s for sync: %w", fs.root, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing directory %s: %w", fs.root, err)
+	}
+	return nil
 }
 
 // ---- in-memory implementation ----
@@ -208,6 +230,9 @@ func (m *MemFS) Rename(oldname, newname string) error {
 	delete(m.files, oldname)
 	return nil
 }
+
+// SyncDir is a no-op: memory has no directory-entry durability gap.
+func (m *MemFS) SyncDir() error { return nil }
 
 // errClosedFile guards against use-after-close bugs in tests.
 var errClosedFile = errors.New("wal: file already closed")

@@ -32,6 +32,18 @@
 // the OS page cache decides; a power cut may lose the tail but never
 // corrupts the prefix (recovery truncates the torn frame).
 //
+// The durability boundary is at-least-once, not exactly-once: recovery
+// never loses an acknowledged record, but a REJECTED append may still
+// surface after a restart. When the frame is written and the following
+// fsync fails, the caller gets an error (and the log goes sticky-failed,
+// refusing all further appends), yet the kernel may have flushed the
+// bytes before dying — in which case recovery replays the NACKed
+// record. Recovered state is therefore a prefix of the SUBMITTED
+// history that always includes the acknowledged prefix, and may extend
+// at most to the first rejected append. Callers that must not re-apply
+// a rejected mutation need idempotent records (this repo's are: rate,
+// import and evict are absolute assignments, not deltas).
+//
 // The log is deterministic: it never reads the wall clock and never
 // draws randomness. Checkpoint age is measured in records (LastSeq -
 // CheckpointSeq), not seconds, so two logs fed the same operations are
@@ -296,6 +308,12 @@ func parseFrame(buf []byte, off int, maxBody int) (seq uint64, body []byte, next
 // means the record is on stable storage. A storage failure is sticky:
 // the log refuses all further appends, so callers can reject writes
 // instead of acknowledging them into a black hole.
+//
+// A non-nil error after the frame was written (a failed post-write
+// fsync) is a REJECTION, not proof of absence: the bytes may have
+// reached disk anyway, and recovery will replay the record if they
+// did. See the package documentation's at-least-once boundary — the
+// sticky failure bounds the ambiguity to the final pre-failure append.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -356,6 +374,13 @@ func (l *Log) ensureActive(nextSeq uint64, frameLen int64) error {
 		f, err := l.opts.FS.Create(name)
 		if err != nil {
 			return fmt.Errorf("wal: creating segment %s: %w", name, err)
+		}
+		// The segment's directory entry must reach stable storage before
+		// any record in it is acknowledged: on a power cut an unsynced
+		// entry can vanish with the whole file, fsynced contents and all.
+		if err := l.opts.FS.SyncDir(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: publishing segment %s: %w", name, err)
 		}
 		l.active = f
 		l.activeBytes = 0
@@ -424,6 +449,13 @@ func (l *Log) Checkpoint(payload []byte) error {
 	if err := l.opts.FS.Rename(tmp, ckptName(seq)); err != nil {
 		return fmt.Errorf("wal: publishing checkpoint %d: %w", seq, err)
 	}
+	// The rename itself is directory metadata: until the directory is
+	// synced, a power cut can roll the entry back to the old checkpoint
+	// (harmless) or to the bare .tmp (which recovery skips) — but the
+	// caller is about to rely on this checkpoint, so make it stick.
+	if err := l.opts.FS.SyncDir(); err != nil {
+		return fmt.Errorf("wal: syncing checkpoint %d rename: %w", seq, err)
+	}
 	l.ckptSeq = seq
 	l.checkpoints++
 	l.pruneLocked()
@@ -446,10 +478,12 @@ func (l *Log) pruneLocked() {
 		}
 	}
 	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a] > ckpts[b] })
+	removed := false
 	if len(ckpts) > l.opts.RetainCheckpoints {
 		for _, seq := range ckpts[l.opts.RetainCheckpoints:] {
 			//lint:ignore dropped-error pruning is advisory: a leftover checkpoint file is retried next time
 			_ = l.opts.FS.Remove(ckptName(seq))
+			removed = true
 		}
 		ckpts = ckpts[:l.opts.RetainCheckpoints]
 	}
@@ -466,11 +500,18 @@ func (l *Log) pruneLocked() {
 		if !last && l.segs[i+1].firstSeq <= oldest+1 {
 			//lint:ignore dropped-error pruning is advisory: a leftover segment is retried next time
 			_ = l.opts.FS.Remove(sm.name)
+			removed = true
 			continue
 		}
 		keep = append(keep, sm)
 	}
 	l.segs = keep
+	if removed {
+		// Make the removals stick; advisory like the removals themselves
+		// (a resurrected pruned file is re-pruned on the next checkpoint).
+		//lint:ignore dropped-error pruning is advisory: a leftover directory entry is retried next time
+		_ = l.opts.FS.SyncDir()
+	}
 }
 
 // Close flushes and closes the log. Further operations return
