@@ -1,0 +1,194 @@
+// Command annbench measures the candidate-generation hot path: the
+// SimilarTo latency of the brute-force catalogue scan against the ANN
+// content index in each configuration (flat, HNSW, HNSW over int8
+// codes), plus the recall@10 of every approximate configuration
+// against the exact scan on the same seeded catalogue. The result is
+// written as JSON for trend tracking (BENCH_ann.json at the repo root
+// is the committed baseline).
+//
+//	annbench -items 4000 -queries 400 -out BENCH_ann.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// result is one configuration's measurements over the query set.
+type result struct {
+	Config    string  `json:"config"`
+	P50Micros float64 `json:"similar_p50_us"`
+	P99Micros float64 `json:"similar_p99_us"`
+	// RecallAt10 is the mean overlap of this configuration's top-10
+	// with the brute-force top-10 (1 by definition for brute force;
+	// flat/unquantized is exact by construction).
+	RecallAt10 float64 `json:"recall_at_10"`
+	// DistanceCompsPerQuery is the mean number of index vectors scored
+	// per search (0 for brute force, which scores the catalogue
+	// outside the index).
+	DistanceCompsPerQuery float64 `json:"distance_comps_per_query"`
+}
+
+// report is the JSON document annbench emits.
+type report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	Seed       uint64   `json:"seed"`
+	Users      int      `json:"users"`
+	Items      int      `json:"items"`
+	Queries    int      `json:"queries"`
+	ContentDim int      `json:"content_dim"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "community seed")
+	users := flag.Int("users", 200, "community users")
+	items := flag.Int("items", 4000, "community items")
+	queries := flag.Int("queries", 400, "SimilarTo queries per configuration")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	com := dataset.Movies(dataset.Config{Seed: *seed, Users: *users, Items: *items, RatingsPerUser: 20})
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Seed:      *seed,
+		Users:     *users,
+		Items:     *items,
+		Queries:   *queries,
+	}
+
+	// The exact baseline: every configuration's recall is scored
+	// against these answers.
+	brute, err := core.New(com.Catalog, com.Ratings, core.WithSeed(*seed))
+	if err != nil {
+		log.Fatalf("annbench: %v", err)
+	}
+	exact, durs := answers(brute, com, *queries)
+	rep.Results = append(rep.Results, result{
+		Config:     "brute-force",
+		P50Micros:  stats.Quantile(durs, 0.50),
+		P99Micros:  stats.Quantile(durs, 0.99),
+		RecallAt10: 1,
+	})
+	log.Printf("annbench: %-11s p50=%0.0fus p99=%0.0fus", "brute-force", stats.Quantile(durs, 0.50), stats.Quantile(durs, 0.99))
+
+	configs := []struct {
+		name string
+		cfg  core.ANNConfig
+	}{
+		{"flat", core.ANNConfig{Kind: "flat"}},
+		{"hnsw", core.ANNConfig{Kind: "hnsw"}},
+		{"hnsw-int8", core.ANNConfig{Kind: "hnsw", Quantize: true}},
+	}
+	for _, c := range configs {
+		eng, err := core.New(com.Catalog, com.Ratings, core.WithSeed(*seed), core.WithANN(c.cfg))
+		if err != nil {
+			log.Fatalf("annbench: %s: %v", c.name, err)
+		}
+		rep.ContentDim = eng.ANNState().ContentDim
+		got, durs := answers(eng, com, *queries)
+		st := eng.ANNState()
+		r := result{
+			Config:     c.name,
+			P50Micros:  stats.Quantile(durs, 0.50),
+			P99Micros:  stats.Quantile(durs, 0.99),
+			RecallAt10: recall(exact, got),
+		}
+		if st.Searches > 0 {
+			r.DistanceCompsPerQuery = float64(st.ContentStats.DistanceComps) / float64(st.Searches)
+		}
+		rep.Results = append(rep.Results, r)
+		log.Printf("annbench: %-11s p50=%0.0fus p99=%0.0fus recall@10=%.4f comps/query=%0.0f",
+			c.name, r.P50Micros, r.P99Micros, r.RecallAt10, r.DistanceCompsPerQuery)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("annbench: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("annbench: %v", err)
+	}
+	log.Printf("annbench: wrote %s", *out)
+}
+
+// answers runs the seeded query mix against one engine and returns the
+// top-10 ID list per query plus per-query latencies in microseconds.
+// Queries cycle deterministically through seed items and users, so
+// every configuration answers the identical workload.
+func answers(eng *core.Engine, com *dataset.Community, queries int) ([][]model.ItemID, []float64) {
+	items := com.Catalog.Items()
+	userIDs := com.Ratings.Users()
+	// Warm the path (pipeline lazy state, scratch pools) outside the
+	// timed window.
+	for i := 0; i < 16; i++ {
+		_, _ = eng.SimilarTo(userIDs[i%len(userIDs)], items[i%len(items)].ID, 10)
+	}
+	ids := make([][]model.ItemID, 0, queries)
+	durs := make([]float64, 0, queries)
+	for q := 0; q < queries; q++ {
+		u := userIDs[q%len(userIDs)]
+		seed := items[(q*17)%len(items)].ID
+		t0 := time.Now()
+		p, err := eng.SimilarTo(u, seed, 10)
+		d := time.Since(t0)
+		if err != nil {
+			log.Fatalf("annbench: SimilarTo(%d, %d): %v", u, seed, err)
+		}
+		durs = append(durs, d.Seconds()*1e6)
+		top := make([]model.ItemID, 0, len(p.Entries))
+		for _, en := range p.Entries {
+			top = append(top, en.Item.ID)
+		}
+		ids = append(ids, top)
+	}
+	return ids, durs
+}
+
+// recall scores per-query ID overlap against the exact answers,
+// averaged over queries with a non-empty exact top list.
+func recall(exact, got [][]model.ItemID) float64 {
+	if len(exact) != len(got) {
+		panic(fmt.Sprintf("annbench: %d exact vs %d approximate answer lists", len(exact), len(got)))
+	}
+	var sum float64
+	var n int
+	for q := range exact {
+		if len(exact[q]) == 0 {
+			continue
+		}
+		want := make(map[model.ItemID]bool, len(exact[q]))
+		for _, id := range exact[q] {
+			want[id] = true
+		}
+		hit := 0
+		for _, id := range got[q] {
+			if want[id] {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(len(exact[q]))
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

@@ -58,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -89,7 +90,12 @@ type config struct {
 	shards          int
 	trainer         string
 	retrainEvery    int
+	retrainInterval time.Duration
 	modelHistory    int
+	ann             string
+	annM            int
+	annEf           int
+	annQuantize     bool
 	dataDir         string
 	fsync           string
 	fsyncEvery      int
@@ -124,11 +130,39 @@ func (c *config) validate() []error {
 	if c.retrainEvery > 0 && c.trainer == "" {
 		fail("-retrain-every requires -trainer")
 	}
+	if c.retrainInterval < 0 {
+		fail("-retrain-interval must be non-negative, got %s", c.retrainInterval)
+	}
+	if c.retrainInterval > 0 && c.trainer == "" {
+		fail("-retrain-interval requires -trainer")
+	}
 	if c.modelHistory < 0 {
 		fail("-model-history must be non-negative, got %d", c.modelHistory)
 	}
 	if c.modelHistory > 0 && c.trainer == "" {
 		fail("-model-history requires -trainer")
+	}
+	switch c.ann {
+	case "", ann.KindHNSW, ann.KindFlat:
+	default:
+		fail("-ann: unknown index kind %q: want hnsw or flat", c.ann)
+	}
+	if c.annM < 0 {
+		fail("-ann-m must be non-negative, got %d", c.annM)
+	}
+	if c.annEf < 0 {
+		fail("-ann-ef must be non-negative, got %d", c.annEf)
+	}
+	if c.ann == "" {
+		if c.annM != 0 {
+			fail("-ann-m requires -ann")
+		}
+		if c.annEf != 0 {
+			fail("-ann-ef requires -ann")
+		}
+		if c.annQuantize {
+			fail("-ann-quantize requires -ann")
+		}
 	}
 	if c.requestTimeout < 0 {
 		fail("-request-timeout must be non-negative, got %s", c.requestTimeout)
@@ -199,10 +233,26 @@ func (c *config) trainerConfig(seed uint64) core.TrainerConfig {
 		panic(err) // unreachable: validate() resolved the same name
 	}
 	return core.TrainerConfig{
-		Trainer:      tr,
-		RetrainEvery: c.retrainEvery,
-		History:      c.modelHistory,
-		Clock:        time.Now,
+		Trainer:         tr,
+		RetrainEvery:    c.retrainEvery,
+		RetrainInterval: c.retrainInterval,
+		History:         c.modelHistory,
+		Clock:           time.Now,
+	}
+}
+
+// annConfig maps the -ann* flags onto the engine's index config, or
+// nil when the ANN path is off. Zero M/EfSearch defer to the library
+// defaults.
+func (c *config) annConfig() *core.ANNConfig {
+	if c.ann == "" {
+		return nil
+	}
+	return &core.ANNConfig{
+		Kind:     c.ann,
+		M:        c.annM,
+		EfSearch: c.annEf,
+		Quantize: c.annQuantize,
 	}
 }
 
@@ -224,11 +274,16 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "number of engine shards (>1 serves through the consistent-hash router)")
 	flag.StringVar(&cfg.trainer, "trainer", "", "serve a trained MF model: sgd, als-wr (alias als) or rsvd (empty = default hybrid)")
 	flag.IntVar(&cfg.retrainEvery, "retrain-every", 0, "background-retrain after every N writes (0 = explicit retrain only; requires -trainer)")
+	flag.DurationVar(&cfg.retrainInterval, "retrain-interval", 0, "background-retrain on a wall-clock schedule (0 = off; requires -trainer)")
 	flag.IntVar(&cfg.modelHistory, "model-history", 0, "model generations retained for rollback (0 = default; requires -trainer)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable state directory: write-ahead log and model artifacts (empty = in-memory only)")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL durability policy: always, every-n or os (requires -data-dir)")
 	flag.IntVar(&cfg.fsyncEvery, "fsync-every", 0, "unsynced appends tolerated under -fsync every-n")
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "records between WAL checkpoints (0 = default; requires -data-dir)")
+	flag.StringVar(&cfg.ann, "ann", "", "approximate candidate generation: hnsw or flat (empty = exact brute force)")
+	flag.IntVar(&cfg.annM, "ann-m", 0, "HNSW graph degree (0 = default; requires -ann)")
+	flag.IntVar(&cfg.annEf, "ann-ef", 0, "ANN search beam width (0 = default; requires -ann)")
+	flag.BoolVar(&cfg.annQuantize, "ann-quantize", false, "score ANN candidates over int8-quantized vectors (requires -ann)")
 	flag.Parse()
 
 	if errs := cfg.validate(); len(errs) > 0 {
@@ -300,6 +355,7 @@ func main() {
 		if cfg.trainer != "" {
 			clusterOpts.Trainer = cfg.trainerConfig
 		}
+		clusterOpts.ANN = cfg.annConfig()
 		if cfg.dataDir != "" {
 			clusterOpts.Durability = &cluster.Durability{
 				Space:           wal.DirSpace(cfg.dataDir),
@@ -331,6 +387,9 @@ func main() {
 				tc.DecodeModel = mf.DecodeModel(catalog)
 			}
 			engOpts = append(engOpts, core.WithTrainer(tc))
+		}
+		if ac := cfg.annConfig(); ac != nil {
+			engOpts = append(engOpts, core.WithANN(*ac))
 		}
 		if cfg.dataDir != "" {
 			walFS, err := wal.DirFS(filepath.Join(cfg.dataDir, "wal"))

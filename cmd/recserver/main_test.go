@@ -63,6 +63,14 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"retrain-every without trainer", func(c *config) { c.retrainEvery = 10 }, "requires -trainer"},
 		{"negative model-history", func(c *config) { c.modelHistory = -1 }, "-model-history"},
 		{"model-history without trainer", func(c *config) { c.modelHistory = 3 }, "requires -trainer"},
+		{"negative retrain-interval", func(c *config) { c.retrainInterval = -time.Minute }, "-retrain-interval"},
+		{"retrain-interval without trainer", func(c *config) { c.retrainInterval = time.Minute }, "-retrain-interval requires -trainer"},
+		{"unknown ann kind", func(c *config) { c.ann = "ivf" }, "-ann"},
+		{"negative ann-m", func(c *config) { c.ann = "hnsw"; c.annM = -4 }, "-ann-m"},
+		{"negative ann-ef", func(c *config) { c.ann = "hnsw"; c.annEf = -1 }, "-ann-ef"},
+		{"ann-m without ann", func(c *config) { c.annM = 16 }, "-ann-m requires -ann"},
+		{"ann-ef without ann", func(c *config) { c.annEf = 64 }, "-ann-ef requires -ann"},
+		{"ann-quantize without ann", func(c *config) { c.annQuantize = true }, "-ann-quantize requires -ann"},
 		{"negative request timeout", func(c *config) { c.requestTimeout = -time.Second }, "-request-timeout"},
 		{"negative drain timeout", func(c *config) { c.drainTimeout = -time.Second }, "-drain-timeout"},
 		{"negative shed concurrency", func(c *config) { c.shedConcurrency = -1 }, "-shed-concurrency"},
@@ -123,6 +131,46 @@ func TestTrainerConfigResolvesSeed(t *testing.T) {
 	}
 	if tc.RetrainEvery != 25 || tc.History != 2 || tc.Clock == nil {
 		t.Fatalf("config = %+v", tc)
+	}
+}
+
+func TestValidateAcceptsANNCombos(t *testing.T) {
+	for _, edit := range []func(*config){
+		func(c *config) { c.ann = "flat" },
+		func(c *config) { c.ann = "hnsw" },
+		func(c *config) { c.ann = "hnsw"; c.annM = 24; c.annEf = 128; c.annQuantize = true },
+		func(c *config) { c.ann = "hnsw"; c.shards = 4 },
+		func(c *config) { c.trainer = "als"; c.retrainInterval = 5 * time.Minute },
+	} {
+		cfg := goodConfig()
+		edit(&cfg)
+		if errs := cfg.validate(); len(errs) != 0 {
+			t.Fatalf("config rejected: %v", errs)
+		}
+	}
+}
+
+func TestANNConfigMapsFlags(t *testing.T) {
+	cfg := goodConfig()
+	if cfg.annConfig() != nil {
+		t.Fatal("ANN config without -ann")
+	}
+	cfg.ann = "hnsw"
+	cfg.annM = 24
+	cfg.annEf = 128
+	cfg.annQuantize = true
+	ac := cfg.annConfig()
+	if ac == nil || ac.Kind != "hnsw" || ac.M != 24 || ac.EfSearch != 128 || !ac.Quantize {
+		t.Fatalf("ANN config = %+v", ac)
+	}
+}
+
+func TestTrainerConfigCarriesRetrainInterval(t *testing.T) {
+	cfg := goodConfig()
+	cfg.trainer = "sgd"
+	cfg.retrainInterval = 3 * time.Minute
+	if tc := cfg.trainerConfig(1); tc.RetrainInterval != 3*time.Minute {
+		t.Fatalf("RetrainInterval = %s", tc.RetrainInterval)
 	}
 }
 

@@ -1,0 +1,176 @@
+// Package ann provides seeded, deterministic approximate-nearest-
+// neighbour indexes for the candidate-generation hot path.
+//
+// Two implementations share the Index interface: Flat scans every
+// vector (exact by construction, the baseline the recall harness
+// measures against) and HNSW builds the layered small-world graph that
+// turns a full catalogue scan into a logarithmic walk. Both score by
+// inner product — the similarity every caller in this repository ranks
+// by — and both can hold vectors as int8 codes with a per-vector scale
+// (Params.Quantize), scored with a batched integer dot product.
+//
+// Determinism is a hard requirement here, not a nicety: the cluster
+// simulation and the conformance suites replay whole serving histories
+// from a seed, so two indexes built from the same vectors and the same
+// Params.Seed must answer every query with byte-identical neighbour
+// lists. All randomness flows from internal/rng, ties break on
+// ascending vector ID everywhere, and no map is ever iterated into an
+// output. Search paths allocate from a sync.Pool-backed scratch so a
+// steady-state query performs no heap growth beyond its result slice.
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Vector is one catalogue entry handed to an index builder: an opaque
+// identifier and its embedding. Callers keep ownership of Elems; the
+// builders copy what they need.
+type Vector struct {
+	ID    int64
+	Elems []float32
+}
+
+// Neighbor is one search result: the vector's ID and its (possibly
+// quantized) inner-product score against the query, best first.
+type Neighbor struct {
+	ID    int64
+	Score float32
+}
+
+// Index is the common surface of the flat and HNSW indexes. Search
+// returns up to k neighbours by descending inner product (ties broken
+// by ascending ID); vectors for which skip returns true are excluded
+// from results but still route graph traversal. A nil skip keeps
+// everything. Search is safe for concurrent use once the index is
+// built; indexes are immutable after Build.
+type Index interface {
+	Search(q []float32, k int, skip func(id int64) bool) []Neighbor
+	Len() int
+	Dim() int
+	Kind() string
+	Stats() Stats
+}
+
+// Params tunes index construction and search. The zero value is
+// usable: withDefaults fills in the standard HNSW operating point.
+type Params struct {
+	// M is the maximum neighbours per node on upper graph layers
+	// (layer 0 keeps 2M). Default 16.
+	M int
+	// EfConstruction is the beam width while building. Default 200.
+	EfConstruction int
+	// EfSearch is the beam width while querying; the effective beam
+	// is max(EfSearch, k). Default 64.
+	EfSearch int
+	// Seed drives level assignment. Same vectors + same seed =>
+	// identical graph, identical answers.
+	Seed uint64
+	// Quantize stores vectors as int8 codes with a per-vector scale
+	// instead of float32, trading ≤0.5-ulp-of-scale per-element error
+	// for a 4x smaller, integer-scored working set.
+	Quantize bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.M <= 0 {
+		p.M = 16
+	}
+	if p.EfConstruction <= 0 {
+		p.EfConstruction = 200
+	}
+	if p.EfSearch <= 0 {
+		p.EfSearch = 64
+	}
+	return p
+}
+
+// Stats is a point-in-time snapshot of an index's search counters.
+type Stats struct {
+	// Searches is the number of Search calls served.
+	Searches int64 `json:"searches"`
+	// DistanceComps is the number of query-to-vector score
+	// evaluations across all searches — the work an exact scan would
+	// spend n-per-query on.
+	DistanceComps int64 `json:"distance_comps"`
+}
+
+// indexStats is the shared atomic counter block embedded by both
+// implementations.
+type indexStats struct {
+	searches  atomic.Int64
+	distComps atomic.Int64
+}
+
+func (s *indexStats) snapshot() Stats {
+	return Stats{
+		Searches:      s.searches.Load(),
+		DistanceComps: s.distComps.Load(),
+	}
+}
+
+// Kinds every Build recognises.
+const (
+	KindFlat = "flat"
+	KindHNSW = "hnsw"
+)
+
+// Build constructs an index of the given kind over vecs. Vectors are
+// copied (and sorted by ID internally), so the caller may reuse the
+// slice. All vectors must share one non-zero dimension and IDs must be
+// unique.
+func Build(kind string, vecs []Vector, p Params) (Index, error) {
+	switch kind {
+	case KindFlat:
+		return NewFlat(vecs, p)
+	case KindHNSW:
+		return NewHNSW(vecs, p)
+	default:
+		return nil, fmt.Errorf("ann: unknown index kind %q (want %q or %q)", kind, KindFlat, KindHNSW)
+	}
+}
+
+var errEmptyDim = errors.New("ann: vectors must have a non-zero dimension")
+
+// newStore validates vecs, sorts them by ascending ID, and packs them
+// into the shared columnar layout (optionally quantized).
+func newStore(vecs []Vector, quantize bool) (*store, error) {
+	st := &store{quant: quantize}
+	if len(vecs) == 0 {
+		return st, nil
+	}
+	sorted := make([]Vector, len(vecs))
+	copy(sorted, vecs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	st.dim = len(sorted[0].Elems)
+	if st.dim == 0 {
+		return nil, errEmptyDim
+	}
+	n := len(sorted)
+	st.ids = make([]int64, n)
+	if quantize {
+		st.codes = make([]int8, n*st.dim)
+		st.scales = make([]float32, n)
+	} else {
+		st.vecs = make([]float32, n*st.dim)
+	}
+	for i, v := range sorted {
+		if len(v.Elems) != st.dim {
+			return nil, fmt.Errorf("ann: vector %d has dimension %d, want %d", v.ID, len(v.Elems), st.dim)
+		}
+		if i > 0 && v.ID == sorted[i-1].ID {
+			return nil, fmt.Errorf("ann: duplicate vector ID %d", v.ID)
+		}
+		st.ids[i] = v.ID
+		if quantize {
+			st.scales[i] = quantizeInto(st.codes[i*st.dim:(i+1)*st.dim], v.Elems)
+		} else {
+			copy(st.vecs[i*st.dim:(i+1)*st.dim], v.Elems)
+		}
+	}
+	return st, nil
+}

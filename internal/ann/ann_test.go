@@ -1,0 +1,384 @@
+package ann
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// corpus builds n deterministic gaussian vectors of the given
+// dimension, plus nq query vectors from the same stream.
+func corpus(seed uint64, n, dim, nq int) ([]Vector, [][]float32) {
+	r := rng.New(seed)
+	vecs := make([]Vector, n)
+	for i := range vecs {
+		e := make([]float32, dim)
+		for j := range e {
+			e[j] = float32(r.Norm(0, 1))
+		}
+		vecs[i] = Vector{ID: int64(i + 1), Elems: e}
+	}
+	queries := make([][]float32, nq)
+	for i := range queries {
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(r.Norm(0, 1))
+		}
+		queries[i] = q
+	}
+	return vecs, queries
+}
+
+// naiveTopK is the reference implementation the indexes are tested
+// against: full scan, float64 accumulation, score desc then ID asc.
+func naiveTopK(vecs []Vector, q []float32, k int, skip func(int64) bool) []Neighbor {
+	var all []Neighbor
+	for _, v := range vecs {
+		if skip != nil && skip(v.ID) {
+			continue
+		}
+		var s float64
+		for j := range q {
+			s += float64(q[j]) * float64(v.Elems[j])
+		}
+		all = append(all, Neighbor{ID: v.ID, Score: float32(s)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestFlatMatchesNaive(t *testing.T) {
+	vecs, queries := corpus(1, 300, 16, 20)
+	idx, err := NewFlat(vecs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		got := idx.Search(q, 10, nil)
+		want := naiveTopK(vecs, q, 10, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("query %d rank %d: got ID %d, want %d", qi, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestFlatRespectsSkip(t *testing.T) {
+	vecs, queries := corpus(2, 200, 8, 5)
+	idx, err := NewFlat(vecs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip := func(id int64) bool { return id%3 == 0 }
+	for _, q := range queries {
+		for _, nb := range idx.Search(q, 25, skip) {
+			if nb.ID%3 == 0 {
+				t.Fatalf("skip filter leaked ID %d into results", nb.ID)
+			}
+		}
+	}
+}
+
+func TestHNSWRespectsSkip(t *testing.T) {
+	vecs, queries := corpus(3, 400, 16, 5)
+	idx, err := NewHNSW(vecs, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip := func(id int64) bool { return id <= 200 }
+	for _, q := range queries {
+		res := idx.Search(q, 10, skip)
+		if len(res) == 0 {
+			t.Fatal("filtered search returned nothing on a 400-vector corpus")
+		}
+		for _, nb := range res {
+			if nb.ID <= 200 {
+				t.Fatalf("skip filter leaked ID %d into results", nb.ID)
+			}
+		}
+	}
+}
+
+// TestSameSeedBuildsAreIdentical is the determinism gate: two indexes
+// built from the same vectors and seed must return byte-identical
+// neighbour lists for every query.
+func TestSameSeedBuildsAreIdentical(t *testing.T) {
+	vecs, queries := corpus(7, 600, 24, 40)
+	for _, quant := range []bool{false, true} {
+		a, err := NewHNSW(vecs, Params{Seed: 99, Quantize: quant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewHNSW(vecs, Params{Seed: 99, Quantize: quant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			ra := a.Search(q, 10, nil)
+			rb := b.Search(q, 10, nil)
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("quantize=%v query %d: same-seed builds disagree:\n%v\nvs\n%v", quant, qi, ra, rb)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsChangeGraphNotCorrectness(t *testing.T) {
+	vecs, queries := corpus(8, 500, 16, 30)
+	a, err := NewHNSW(vecs, Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHNSW(vecs, Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewFlat(vecs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RecallAtK(exact, a, queries, 10); r < 0.9 {
+		t.Fatalf("seed 1 recall@10 = %.3f, want >= 0.9", r)
+	}
+	if r := RecallAtK(exact, b, queries, 10); r < 0.9 {
+		t.Fatalf("seed 2 recall@10 = %.3f, want >= 0.9", r)
+	}
+}
+
+// TestANNRecallGate is the fidelity floor CI enforces: on the seeded
+// corpus, HNSW with default parameters must recover at least 95% of
+// the exact top-10, quantized or not.
+func TestANNRecallGate(t *testing.T) {
+	vecs, queries := corpus(42, 2000, 32, 100)
+	for _, quant := range []bool{false, true} {
+		exact, err := NewFlat(vecs, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := NewHNSW(vecs, Params{Seed: 42, Quantize: quant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := RecallAtK(exact, approx, queries, 10)
+		if r < 0.95 {
+			t.Fatalf("quantize=%v: recall@10 = %.4f, want >= 0.95", quant, r)
+		}
+		t.Logf("quantize=%v: recall@10 = %.4f over %d queries", quant, r, len(queries))
+	}
+}
+
+// TestQuantizationErrorBound checks the advertised error model: each
+// element is off by at most scale/2, so a d-dim dot product of vectors
+// with max magnitudes A and B deviates by at most d*(A/254*B + B/254*A
+// + small cross term) from the exact value.
+func TestQuantizationErrorBound(t *testing.T) {
+	vecs, queries := corpus(11, 100, 32, 20)
+	exact, err := NewFlat(vecs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := NewFlat(vecs, Params{Quantize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		var qMax float64
+		for _, x := range q {
+			if a := math.Abs(float64(x)); a > qMax {
+				qMax = a
+			}
+		}
+		re := exact.Search(q, 100, nil)
+		rq := quant.Search(q, 100, nil)
+		eScore := make(map[int64]float64, len(re))
+		for _, nb := range re {
+			eScore[nb.ID] = float64(nb.Score)
+		}
+		for _, nb := range rq {
+			var vMax float64
+			for _, v := range vecs {
+				if v.ID != nb.ID {
+					continue
+				}
+				for _, x := range v.Elems {
+					if a := math.Abs(float64(x)); a > vMax {
+						vMax = a
+					}
+				}
+			}
+			// Per element: |q*v - q̂*v̂| <= qMax*vMax/254 + vMax*qMax/254 + (qMax/254)*(vMax/254).
+			perElem := qMax*vMax/254 + vMax*qMax/254 + qMax*vMax/(254*254)
+			bound := 32 * perElem * 1.01 // 1% slack for float32 rounding
+			if diff := math.Abs(eScore[nb.ID] - float64(nb.Score)); diff > bound {
+				t.Fatalf("ID %d: quantized score off by %.5f, bound %.5f", nb.ID, diff, bound)
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	good := []Vector{{ID: 1, Elems: []float32{1, 2}}, {ID: 2, Elems: []float32{3, 4}}}
+	if _, err := Build("ivf", good, Params{}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	dup := []Vector{{ID: 1, Elems: []float32{1}}, {ID: 1, Elems: []float32{2}}}
+	if _, err := NewFlat(dup, Params{}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	ragged := []Vector{{ID: 1, Elems: []float32{1, 2}}, {ID: 2, Elems: []float32{3}}}
+	if _, err := NewHNSW(ragged, Params{}); err == nil {
+		t.Fatal("ragged dimensions accepted")
+	}
+	empty := []Vector{{ID: 1, Elems: nil}}
+	if _, err := NewFlat(empty, Params{}); err == nil {
+		t.Fatal("zero-dimension vectors accepted")
+	}
+	if _, err := NewHNSW(good, Params{M: 1}); err == nil {
+		t.Fatal("M=1 accepted")
+	}
+}
+
+func TestEmptyAndTinyIndexes(t *testing.T) {
+	for _, kind := range []string{KindFlat, KindHNSW} {
+		idx, err := Build(kind, nil, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := idx.Search([]float32{1}, 5, nil); got != nil {
+			t.Fatalf("%s: empty index returned %v", kind, got)
+		}
+		if idx.Len() != 0 || idx.Dim() != 0 {
+			t.Fatalf("%s: empty index Len/Dim = %d/%d", kind, idx.Len(), idx.Dim())
+		}
+		one, err := Build(kind, []Vector{{ID: 9, Elems: []float32{1, 0}}}, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := one.Search([]float32{1, 1}, 3, nil)
+		if len(got) != 1 || got[0].ID != 9 {
+			t.Fatalf("%s: single-vector search = %v", kind, got)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	vecs, queries := corpus(5, 3000, 8, 10)
+	idx, err := NewHNSW(vecs, Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		idx.Search(q, 5, nil)
+	}
+	st := idx.Stats()
+	if st.Searches != int64(len(queries)) {
+		t.Fatalf("Searches = %d, want %d", st.Searches, len(queries))
+	}
+	if st.DistanceComps <= 0 {
+		t.Fatalf("DistanceComps = %d, want > 0", st.DistanceComps)
+	}
+	// An HNSW search should touch far fewer vectors than a full scan
+	// once the corpus dwarfs the beam width.
+	if perQuery := st.DistanceComps / st.Searches; perQuery >= int64(len(vecs)/2) {
+		t.Fatalf("hnsw scored %d vectors per query on a %d-vector corpus", perQuery, len(vecs))
+	}
+}
+
+// TestConcurrentSearch hammers one index from many goroutines; run
+// with -race this proves the pooled scratch path is data-race free and
+// that concurrent searches agree with a sequential one.
+func TestConcurrentSearch(t *testing.T) {
+	vecs, queries := corpus(6, 500, 16, 16)
+	for _, kind := range []string{KindFlat, KindHNSW} {
+		idx, err := Build(kind, vecs, Params{Seed: 6, Quantize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]Neighbor, len(queries))
+		for i, q := range queries {
+			want[i] = idx.Search(q, 10, nil)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 64)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for rep := 0; rep < 20; rep++ {
+					qi := (w + rep) % len(queries)
+					got := idx.Search(queries[qi], 10, nil)
+					if !reflect.DeepEqual(got, want[qi]) {
+						select {
+						case errs <- kind + ": concurrent search diverged":
+						default:
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatal(msg)
+		}
+	}
+}
+
+func BenchmarkFlatSearch(b *testing.B) {
+	vecs, queries := corpus(21, 4000, 32, 64)
+	for _, quant := range []bool{false, true} {
+		name := "float32"
+		if quant {
+			name = "int8"
+		}
+		b.Run(name, func(b *testing.B) {
+			idx, err := NewFlat(vecs, Params{Quantize: quant})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Search(queries[i%len(queries)], 10, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkHNSWSearch(b *testing.B) {
+	vecs, queries := corpus(22, 4000, 32, 64)
+	for _, quant := range []bool{false, true} {
+		name := "float32"
+		if quant {
+			name = "int8"
+		}
+		b.Run(name, func(b *testing.B) {
+			idx, err := NewHNSW(vecs, Params{Seed: 22, Quantize: quant})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Search(queries[i%len(queries)], 10, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package ann
+
+// Flat is the exact index: Search scans every stored vector. It exists
+// both as the correctness baseline for the recall harness and as the
+// deployable fallback when a catalogue is small enough that a graph
+// walk cannot beat a linear scan. With Params.Quantize it still scans
+// everything but through the batched int8 kernel.
+type Flat struct {
+	st    *store
+	stats indexStats
+}
+
+// NewFlat builds a flat index over vecs. Params other than Quantize
+// are ignored.
+func NewFlat(vecs []Vector, p Params) (*Flat, error) {
+	st, err := newStore(vecs, p.Quantize)
+	if err != nil {
+		return nil, err
+	}
+	return &Flat{st: st}, nil
+}
+
+// Len reports the number of indexed vectors.
+func (f *Flat) Len() int { return f.st.len() }
+
+// Dim reports the vector dimensionality (0 when empty).
+func (f *Flat) Dim() int { return f.st.dim }
+
+// Kind reports "flat".
+func (f *Flat) Kind() string { return KindFlat }
+
+// Stats returns a snapshot of the search counters.
+func (f *Flat) Stats() Stats { return f.stats.snapshot() }
+
+// Search scans the whole store, keeping the best k by descending score
+// (ties toward the smaller ID) through a bounded worst-first heap.
+func (f *Flat) Search(q []float32, k int, skip func(id int64) bool) []Neighbor {
+	n := f.st.len()
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if len(q) != f.st.dim {
+		panic("ann: query dimension mismatch")
+	}
+	sc := getScratch(n)
+	defer putScratch(sc)
+	qq := f.st.prepare(sc, q)
+	sc.res.reset(false, k+1)
+	for i := int32(0); int(i) < n; i++ {
+		id := f.st.ids[i]
+		if skip != nil && skip(id) {
+			continue
+		}
+		p := pair{score: f.st.score(qq, i), id: id, node: i}
+		sc.comps++
+		if sc.res.len() < k {
+			sc.res.push(p)
+			continue
+		}
+		if better(p, sc.res.top()) {
+			sc.res.pop()
+			sc.res.push(p)
+		}
+	}
+	out := drainResults(&sc.res, k)
+	f.stats.searches.Add(1)
+	f.stats.distComps.Add(sc.comps)
+	return out
+}

@@ -1,0 +1,240 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// maxLevelCap bounds node levels so a pathological seed cannot build a
+// degenerate tower of layers.
+const maxLevelCap = 32
+
+// HNSW is a hierarchical navigable small-world graph: each vector gets
+// a geometrically distributed level, upper layers form progressively
+// sparser long-range graphs, and a query greedily descends the tower
+// before running a beam search over the dense bottom layer.
+//
+// Construction is fully deterministic: vectors are sorted by ID, level
+// draws come from a single internal/rng stream in insertion order, and
+// every frontier/result ordering breaks ties toward the smaller ID.
+// Two builds with equal inputs and Params answer queries identically.
+type HNSW struct {
+	st *store
+	p  Params
+	// levels[i] is node i's top layer; links[i][lc] are its
+	// neighbours (node indexes) on layer lc.
+	levels   []int32
+	links    [][][]int32
+	entry    int32
+	maxLevel int
+	stats    indexStats
+}
+
+// NewHNSW builds the graph over vecs with the given parameters.
+func NewHNSW(vecs []Vector, p Params) (*HNSW, error) {
+	p = p.withDefaults()
+	if p.M < 2 {
+		return nil, fmt.Errorf("ann: hnsw M must be at least 2, got %d", p.M)
+	}
+	st, err := newStore(vecs, p.Quantize)
+	if err != nil {
+		return nil, err
+	}
+	h := &HNSW{st: st, p: p, entry: -1, maxLevel: -1}
+	n := st.len()
+	h.levels = make([]int32, n)
+	h.links = make([][][]int32, n)
+
+	// Draw every level up front from one seeded stream so the graph
+	// shape is a pure function of (vectors, seed).
+	r := rng.New(p.Seed)
+	mL := 1 / math.Log(float64(p.M))
+	for i := range h.levels {
+		u := r.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		l := int(-math.Log(u) * mL)
+		if l > maxLevelCap {
+			l = maxLevelCap
+		}
+		h.levels[i] = int32(l)
+	}
+
+	sc := new(scratch)
+	for i := int32(0); int(i) < n; i++ {
+		h.insert(sc, i)
+	}
+	return h, nil
+}
+
+// Len reports the number of indexed vectors.
+func (h *HNSW) Len() int { return h.st.len() }
+
+// Dim reports the vector dimensionality (0 when empty).
+func (h *HNSW) Dim() int { return h.st.dim }
+
+// Kind reports "hnsw".
+func (h *HNSW) Kind() string { return KindHNSW }
+
+// Stats returns a snapshot of the search counters.
+func (h *HNSW) Stats() Stats { return h.stats.snapshot() }
+
+// maxM is the neighbour budget on layer lc: 2M on the dense bottom
+// layer, M above it.
+func (h *HNSW) maxM(lc int) int {
+	if lc == 0 {
+		return 2 * h.p.M
+	}
+	return h.p.M
+}
+
+// insert wires node i into every layer up to its level.
+func (h *HNSW) insert(sc *scratch, i int32) {
+	li := int(h.levels[i])
+	h.links[i] = make([][]int32, li+1)
+	if h.entry < 0 {
+		h.entry, h.maxLevel = i, li
+		return
+	}
+	qq := h.st.nodeQuery(i)
+	ep := h.entry
+	for lc := h.maxLevel; lc > li; lc-- {
+		ep = h.greedy(sc, qq, ep, lc)
+	}
+	for lc := min(li, h.maxLevel); lc >= 0; lc-- {
+		h.searchLayer(sc, qq, ep, h.p.EfConstruction, lc, nil)
+		w := sc.drainPairs()
+		m := h.maxM(lc)
+		sel := w
+		if len(sel) > m {
+			sel = sel[:m]
+		}
+		lst := make([]int32, 0, len(sel))
+		for _, p := range sel {
+			if p.node != i {
+				lst = append(lst, p.node)
+			}
+		}
+		h.links[i][lc] = lst
+		for _, nb := range lst {
+			h.links[nb][lc] = append(h.links[nb][lc], i)
+			if len(h.links[nb][lc]) > m {
+				h.shrink(nb, lc, m)
+			}
+		}
+		if len(w) > 0 {
+			ep = w[0].node
+		}
+	}
+	if li > h.maxLevel {
+		h.maxLevel, h.entry = li, i
+	}
+}
+
+// shrink trims node n's layer-lc neighbour list back to the m closest
+// (by score to n, ties toward the smaller ID).
+func (h *HNSW) shrink(n int32, lc, m int) {
+	lst := h.links[n][lc]
+	ps := make([]pair, len(lst))
+	for k, c := range lst {
+		ps[k] = pair{score: h.st.scoreNodes(n, c), id: h.st.ids[c], node: c}
+	}
+	sort.Slice(ps, func(a, b int) bool { return better(ps[a], ps[b]) })
+	lst = lst[:m]
+	for k := 0; k < m; k++ {
+		lst[k] = ps[k].node
+	}
+	h.links[n][lc] = lst
+}
+
+// greedy walks layer lc from ep to the locally best node for qq.
+// Equal-score moves go toward the smaller ID, which both keeps the
+// walk deterministic and guarantees termination.
+func (h *HNSW) greedy(sc *scratch, qq query, ep int32, lc int) int32 {
+	cur := pair{score: h.st.score(qq, ep), id: h.st.ids[ep], node: ep}
+	sc.comps++
+	for {
+		improved := false
+		for _, nb := range h.links[cur.node][lc] {
+			np := pair{score: h.st.score(qq, nb), id: h.st.ids[nb], node: nb}
+			sc.comps++
+			if better(np, cur) {
+				cur, improved = np, true
+			}
+		}
+		if !improved {
+			return cur.node
+		}
+	}
+}
+
+// searchLayer runs the ef-bounded beam search over layer lc starting
+// at ep, leaving up to ef results in sc.res (worst-first heap).
+// Vectors rejected by skip stay out of the result set but still route
+// the traversal, so filtering never strands the walk.
+func (h *HNSW) searchLayer(sc *scratch, qq query, ep int32, ef, lc int, skip func(id int64) bool) {
+	sc.nextEpoch(h.st.len())
+	sc.cand.reset(true, ef+1)
+	sc.res.reset(false, ef+1)
+	sc.markVisited(ep)
+	p := pair{score: h.st.score(qq, ep), id: h.st.ids[ep], node: ep}
+	sc.comps++
+	sc.cand.push(p)
+	if skip == nil || !skip(p.id) {
+		sc.res.push(p)
+	}
+	for sc.cand.len() > 0 {
+		c := sc.cand.pop()
+		if sc.res.len() >= ef && !better(c, sc.res.top()) {
+			break
+		}
+		for _, nb := range h.links[c.node][lc] {
+			if sc.markVisited(nb) {
+				continue
+			}
+			np := pair{score: h.st.score(qq, nb), id: h.st.ids[nb], node: nb}
+			sc.comps++
+			if sc.res.len() < ef || better(np, sc.res.top()) {
+				sc.cand.push(np)
+				if skip == nil || !skip(np.id) {
+					sc.res.push(np)
+					if sc.res.len() > ef {
+						sc.res.pop()
+					}
+				}
+			}
+		}
+	}
+}
+
+// Search descends the layer tower greedily, beam-searches the bottom
+// layer with width max(EfSearch, k), and returns the best k survivors.
+func (h *HNSW) Search(q []float32, k int, skip func(id int64) bool) []Neighbor {
+	n := h.st.len()
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if len(q) != h.st.dim {
+		panic("ann: query dimension mismatch")
+	}
+	sc := getScratch(n)
+	defer putScratch(sc)
+	qq := h.st.prepare(sc, q)
+	ep := h.entry
+	for lc := h.maxLevel; lc > 0; lc-- {
+		ep = h.greedy(sc, qq, ep, lc)
+	}
+	ef := h.p.EfSearch
+	if ef < k {
+		ef = k
+	}
+	h.searchLayer(sc, qq, ep, ef, 0, skip)
+	out := drainResults(&sc.res, k)
+	h.stats.searches.Add(1)
+	h.stats.distComps.Add(sc.comps)
+	return out
+}

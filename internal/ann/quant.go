@@ -1,0 +1,300 @@
+package ann
+
+import (
+	"math"
+	"sync"
+)
+
+// store is the columnar vector storage shared by Flat and HNSW. With
+// quant set, each vector lives as dim int8 codes plus one float32
+// scale such that elem ≈ code*scale; otherwise vectors stay float32.
+// The absolute quantization error per element is at most scale/2, so a
+// dot product of two quantized d-dimensional vectors with max
+// magnitudes A and B is within d*(A+B)/2 * (1/127) of the exact value
+// — tight enough that exact rescoring of the top candidates recovers
+// the true ordering (the recall harness measures exactly this).
+type store struct {
+	dim    int
+	ids    []int64
+	vecs   []float32 // n*dim, when !quant
+	codes  []int8    // n*dim, when quant
+	scales []float32 // n, when quant
+	quant  bool
+}
+
+func (st *store) len() int { return len(st.ids) }
+
+// quantizeInto writes the int8 codes for v into dst and returns the
+// per-vector scale. A zero vector gets scale 0 (all codes 0).
+func quantizeInto(dst []int8, v []float32) float32 {
+	var maxAbs float32
+	for _, x := range v {
+		if a := float32(math.Abs(float64(x))); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	for i, x := range v {
+		c := math.Round(float64(x * inv))
+		if c > 127 {
+			c = 127
+		} else if c < -127 {
+			c = -127
+		}
+		dst[i] = int8(c)
+	}
+	return scale
+}
+
+// dotI8 is the batched integer kernel: a four-way unrolled int32
+// accumulation over int8 codes. Both slices must have equal length.
+func dotI8(a, b []int8) int32 {
+	var s0, s1, s2, s3 int32
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	for i := n; i < len(a); i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// dotF32 is the float kernel, unrolled to match.
+func dotF32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for i := n; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// query is a prepared search vector: the raw floats plus, on a
+// quantized store, its own int8 codes and scale.
+type query struct {
+	f     []float32
+	q     []int8
+	scale float32
+}
+
+// prepare loads q into the scratch buffers for this store's layout.
+func (st *store) prepare(sc *scratch, q []float32) query {
+	if !st.quant {
+		return query{f: q}
+	}
+	if cap(sc.qcodes) < len(q) {
+		sc.qcodes = make([]int8, len(q))
+	}
+	codes := sc.qcodes[:len(q)]
+	return query{f: q, q: codes, scale: quantizeInto(codes, q)}
+}
+
+// score evaluates the query against vector i in the store's layout.
+func (st *store) score(q query, i int32) float32 {
+	if st.quant {
+		d := int(i) * st.dim
+		return float32(dotI8(q.q, st.codes[d:d+st.dim])) * q.scale * st.scales[i]
+	}
+	d := int(i) * st.dim
+	return dotF32(q.f, st.vecs[d:d+st.dim])
+}
+
+// nodeQuery wraps stored vector i as a query, letting the construction
+// path score node-to-node without dequantizing.
+func (st *store) nodeQuery(i int32) query {
+	d := int(i) * st.dim
+	if st.quant {
+		return query{q: st.codes[d : d+st.dim], scale: st.scales[i]}
+	}
+	return query{f: st.vecs[d : d+st.dim]}
+}
+
+// scoreNodes evaluates stored vector a against stored vector b; the
+// construction path uses it when shrinking over-full neighbour lists.
+func (st *store) scoreNodes(a, b int32) float32 {
+	da, db := int(a)*st.dim, int(b)*st.dim
+	if st.quant {
+		return float32(dotI8(st.codes[da:da+st.dim], st.codes[db:db+st.dim])) * st.scales[a] * st.scales[b]
+	}
+	return dotF32(st.vecs[da:da+st.dim], st.vecs[db:db+st.dim])
+}
+
+// pair is one (score, node) entry in the search heaps. The external ID
+// rides along so ties always break toward the smaller ID without an
+// extra lookup.
+type pair struct {
+	score float32
+	id    int64
+	node  int32
+}
+
+// better reports whether a ranks strictly ahead of b: higher score
+// first, then smaller ID. It is the single ordering used by every
+// heap, sort, and truncation in this package.
+func better(a, b pair) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+// pairHeap is a binary heap over pairs. With max set it pops the best
+// pair first (candidate frontier); unset it pops the worst first
+// (bounded result set, evicting the weakest).
+type pairHeap struct {
+	data []pair
+	max  bool
+}
+
+func (h *pairHeap) reset(max bool, hint int) {
+	if cap(h.data) < hint {
+		h.data = make([]pair, 0, hint)
+	}
+	h.data = h.data[:0]
+	h.max = max
+}
+
+func (h *pairHeap) len() int { return len(h.data) }
+
+// top returns the root without removing it.
+func (h *pairHeap) top() pair { return h.data[0] }
+
+func (h *pairHeap) ahead(a, b pair) bool {
+	if h.max {
+		return better(a, b)
+	}
+	return better(b, a)
+}
+
+func (h *pairHeap) push(p pair) {
+	h.data = append(h.data, p)
+	i := len(h.data) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.ahead(h.data[i], h.data[parent]) {
+			break
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() pair {
+	root := h.data[0]
+	last := len(h.data) - 1
+	h.data[0] = h.data[last]
+	h.data = h.data[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < last && h.ahead(h.data[l], h.data[next]) {
+			next = l
+		}
+		if r < last && h.ahead(h.data[r], h.data[next]) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		h.data[i], h.data[next] = h.data[next], h.data[i]
+		i = next
+	}
+	return root
+}
+
+// scratch is the pooled per-search working set: quantized query codes,
+// an epoch-stamped visited set (cleared in O(1) by bumping the epoch),
+// and the two heaps. One scratch serves one Search call at a time.
+type scratch struct {
+	qcodes  []int8
+	visited []uint32
+	epoch   uint32
+	cand    pairHeap
+	res     pairHeap
+	w       []pair
+	comps   int64
+}
+
+// drainPairs empties the result heap into a best-first slice backed by
+// the scratch's reusable buffer (valid until the next drain).
+func (sc *scratch) drainPairs() []pair {
+	n := sc.res.len()
+	if cap(sc.w) < n {
+		sc.w = make([]pair, n)
+	}
+	sc.w = sc.w[:n]
+	for i := n - 1; i >= 0; i-- {
+		sc.w[i] = sc.res.pop()
+	}
+	return sc.w
+}
+
+// markVisited reports whether node i was already seen this epoch,
+// marking it either way.
+func (sc *scratch) markVisited(i int32) bool {
+	if sc.visited[i] == sc.epoch {
+		return true
+	}
+	sc.visited[i] = sc.epoch
+	return false
+}
+
+// nextEpoch readies the visited set for a fresh traversal over n nodes.
+func (sc *scratch) nextEpoch(n int) {
+	if len(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stamp everything invalid once
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
+// scratchPool hands out scratches shared across all indexes; buffers
+// grow to the largest corpus they have served and stay there.
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(n int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.nextEpoch(n)
+	sc.comps = 0
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// drainResults empties the result heap (which pops worst-first) into a
+// best-first Neighbor slice of at most k entries.
+func drainResults(res *pairHeap, k int) []Neighbor {
+	for res.len() > k {
+		res.pop()
+	}
+	out := make([]Neighbor, res.len())
+	for i := res.len() - 1; i >= 0; i-- {
+		p := res.pop()
+		out[i] = Neighbor{ID: p.id, Score: p.score}
+	}
+	return out
+}

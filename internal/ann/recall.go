@@ -1,0 +1,35 @@
+package ann
+
+// RecallAtK measures how much of the exact top-k the approximate index
+// recovers: for each query it compares approx.Search's IDs against
+// exact.Search's and returns matched / expected over the whole query
+// set. 1.0 means every exact neighbour was found. This is the fidelity
+// gate the CI recall step enforces — an index change that trades too
+// much recall for speed fails here, not in production.
+func RecallAtK(exact, approx Index, queries [][]float32, k int) float64 {
+	if len(queries) == 0 {
+		return 1
+	}
+	var hits, want int
+	for _, q := range queries {
+		truth := exact.Search(q, k, nil)
+		if len(truth) == 0 {
+			continue
+		}
+		got := approx.Search(q, k, nil)
+		found := make(map[int64]bool, len(got))
+		for _, nb := range got {
+			found[nb.ID] = true
+		}
+		for _, nb := range truth {
+			if found[nb.ID] {
+				hits++
+			}
+		}
+		want += len(truth)
+	}
+	if want == 0 {
+		return 1
+	}
+	return float64(hits) / float64(want)
+}

@@ -1,0 +1,18 @@
+package ann
+
+// ItemVectorSource is implemented by models that can expose per-item
+// embedding vectors for indexing. The returned slice must be sorted by
+// ascending ID and is owned by the caller of the interface (sources
+// build fresh slices; they do not retain them).
+type ItemVectorSource interface {
+	ANNItemVectors() []Vector
+}
+
+// UserQuerySource produces, for one user, the query vector paired with
+// ANNItemVectors such that query·item preserves the model's per-user
+// item ranking (any per-user additive constant may be dropped). ok is
+// false for users the model has never seen — callers fall back to the
+// model's own Recommend path.
+type UserQuerySource interface {
+	ANNUserQuery(user int64) (q []float32, ok bool)
+}

@@ -1,0 +1,25 @@
+// Per-shard ANN surface: the Router exposes every shard engine's ANN
+// index state so /debug/ann on a sharded deployment shows which legs
+// of a scatter-gather actually serve approximate candidates.
+
+package cluster
+
+import "repro/internal/core"
+
+// ShardANN pairs a shard ID with its engine's ANN index state.
+type ShardANN struct {
+	Shard int           `json:"shard"`
+	ANN   core.ANNState `json:"ann"`
+}
+
+// ShardANN reports every shard's ANN state in shard-ID order. Down
+// shards are reported too: the index is shard-local engine state and
+// an unreachable shard still knows what it would serve.
+func (rt *Router) ShardANN() []ShardANN {
+	topo := rt.topo.Load()
+	out := make([]ShardANN, 0, len(topo.order))
+	for _, sh := range topo.order {
+		out = append(out, ShardANN{Shard: sh.id, ANN: sh.eng.ANNState()})
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestShardANNReportsEveryShard(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 4, Seed: 9,
+		ANN:     &core.ANNConfig{Kind: "hnsw", Quantize: true},
+		Trainer: mfTrainerFactory(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	shards := rt.ShardANN()
+	if len(shards) != 4 {
+		t.Fatalf("got %d shard states", len(shards))
+	}
+	for want, sa := range shards {
+		if sa.Shard != want {
+			t.Fatalf("shard order: %d at index %d", sa.Shard, want)
+		}
+		st := sa.ANN
+		if !st.Enabled || st.Kind != "hnsw" || !st.Quantize {
+			t.Fatalf("shard %d ANN state = %+v", sa.Shard, st)
+		}
+		if st.ContentVectors == 0 || st.ModelVectors == 0 || st.ModelVersion != 1 {
+			t.Fatalf("shard %d indexes missing: %+v", sa.Shard, st)
+		}
+	}
+}
+
+func TestShardANNDisabledWithoutConfig(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	for _, sa := range rt.ShardANN() {
+		if sa.ANN.Enabled {
+			t.Fatalf("shard %d reports ANN without config", sa.Shard)
+		}
+	}
+}
+
+func TestModelVersionSkew(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{
+		Shards: 3, Seed: 9, Trainer: mfTrainerFactory(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	sk := rt.ModelVersionSkew()
+	if !sk.Enabled || sk.MinVersion != 1 || sk.MaxVersion != 1 || sk.Skew != 0 {
+		t.Fatalf("fresh cluster skew = %+v", sk)
+	}
+
+	// Retrain one shard directly: its version advances past its peers
+	// and the skew widens to exactly that gap.
+	topo := rt.topo.Load()
+	if err := topo.order[1].eng.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sk = rt.ModelVersionSkew()
+	if sk.MinVersion != 1 || sk.MaxVersion != 2 || sk.Skew != 1 {
+		t.Fatalf("post-retrain skew = %+v", sk)
+	}
+
+	// A fan-out retrain bumps every shard; the spread closes again.
+	if err := rt.Retrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sk = rt.ModelVersionSkew()
+	if sk.Skew != 1 {
+		// Shard 1 is now at 3, the rest at 2.
+		t.Fatalf("post-fanout skew = %+v", sk)
+	}
+}
+
+func TestModelVersionSkewWithoutLifecycle(t *testing.T) {
+	com := chaosCommunity(t)
+	rt, err := New(com.Catalog, com.Ratings, Options{Shards: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if sk := rt.ModelVersionSkew(); sk.Enabled || sk.Skew != 0 {
+		t.Fatalf("lifecycle-free skew = %+v", sk)
+	}
+}

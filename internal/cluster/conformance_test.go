@@ -27,6 +27,30 @@ func TestRouterServiceConformance(t *testing.T) {
 	}
 }
 
+// TestRouterANNConformance runs the suite against a 4-shard cluster
+// whose shard engines serve approximate candidates from per-shard
+// HNSW indexes: every scatter-gather leg searches its own index, and
+// the merged answers must stay behaviourally indistinguishable from
+// the brute-force cluster.
+func TestRouterANNConformance(t *testing.T) {
+	servicetest.Run(t, "router-4-shard-ann", func(t *testing.T, cat *model.Catalog, ratings *model.Matrix) core.Service {
+		rt, err := New(cat, ratings, Options{
+			Shards: 4,
+			Seed:   7,
+			ANN:    &core.ANNConfig{Kind: "hnsw", Quantize: true},
+			Trainer: func(shardSeed uint64) core.TrainerConfig {
+				return core.TrainerConfig{
+					Trainer: mf.SGD{Opts: mf.Options{Seed: shardSeed, Factors: 8, Epochs: 6}},
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("cluster.New: %v", err)
+		}
+		return rt
+	})
+}
+
 // TestRouterMidRetrainConformance runs the suite against a 4-shard
 // cluster whose shard engines serve MF models and retrain in the
 // background after every single write — the harshest version-swap

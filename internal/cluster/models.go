@@ -32,6 +32,48 @@ func (rt *Router) ShardModels() []ShardModels {
 	return out
 }
 
+// VersionSkew summarises the spread of serving model versions across
+// the cluster's lifecycle-enabled shards. Shards retrain independently
+// (different write rates, different schedules), so their artifact
+// versions drift apart; operators watch the skew to spot a shard whose
+// retrains are stuck while its peers advance. Enabled is false (and
+// the rest zero) when no shard runs a lifecycle.
+type VersionSkew struct {
+	Enabled    bool   `json:"enabled"`
+	MinVersion uint64 `json:"min_version,omitempty"`
+	MaxVersion uint64 `json:"max_version,omitempty"`
+	// Skew is MaxVersion - MinVersion: 0 means every shard serves the
+	// same model generation.
+	Skew uint64 `json:"skew"`
+}
+
+// ModelVersionSkew computes the cross-shard version spread from the
+// shards' lock-free version counters.
+func (rt *Router) ModelVersionSkew() VersionSkew {
+	topo := rt.topo.Load()
+	var sk VersionSkew
+	for _, sh := range topo.order {
+		// ModelVersion is 0 exactly when the shard runs no lifecycle:
+		// a lifecycle engine's initial train always publishes v1.
+		v := sh.eng.ModelVersion()
+		if v == 0 {
+			continue
+		}
+		if !sk.Enabled {
+			sk = VersionSkew{Enabled: true, MinVersion: v, MaxVersion: v}
+			continue
+		}
+		if v < sk.MinVersion {
+			sk.MinVersion = v
+		}
+		if v > sk.MaxVersion {
+			sk.MaxVersion = v
+		}
+	}
+	sk.Skew = sk.MaxVersion - sk.MinVersion
+	return sk
+}
+
 // Retrain triggers a synchronous retrain on every shard engine, in
 // shard-ID order so the version bumps are deterministic. Per-shard
 // failures are joined; core.ErrNoTrainer and core.ErrTrainInProgress

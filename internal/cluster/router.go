@@ -91,6 +91,14 @@ type Options struct {
 	// writes fold in and trigger retrains exactly like live ones.
 	Trainer func(shardSeed uint64) core.TrainerConfig
 
+	// ANN, when non-nil, installs the approximate candidate-generation
+	// indexes (core.WithANN) on every shard engine, so the router's
+	// scatter-gather SimilarTo legs each hit a per-shard index instead
+	// of brute-forcing their slice of the catalogue. A zero Seed is
+	// derived per shard from the shard's own seed, keeping equal
+	// clusters byte-identical.
+	ANN *core.ANNConfig
+
 	// Durability, when non-nil, makes the cluster survive process death:
 	// shard engines log writes to per-shard WALs, parked journal writes
 	// persist, and topology changes replay at restart (see durable.go).
@@ -311,6 +319,9 @@ func (rt *Router) newShardEngine(id int, m *model.Matrix) (*core.Engine, error) 
 	}
 	if rt.opts.Trainer != nil {
 		opts = append(opts, core.WithTrainer(rt.opts.Trainer(shardSeed)))
+	}
+	if rt.opts.ANN != nil {
+		opts = append(opts, core.WithANN(*rt.opts.ANN))
 	}
 	if d := rt.opts.Durability; d != nil {
 		fs, err := d.Space(fmt.Sprintf("shard-%d/wal", id))

@@ -1,0 +1,348 @@
+// ANN-accelerated candidate generation: an Engine configured with
+// WithANN consults deterministic approximate-nearest-neighbour indexes
+// (internal/ann) instead of brute-forcing the catalogue on its
+// similarity hot paths, then exact-rescores the short candidate list
+// with the same scoring functions the brute-force paths use.
+//
+// Two indexes exist. The *content* index embeds every catalogue item
+// over the keyword+creator vocabulary so that an inner product equals
+// present.ContentScore exactly; the catalogue is immutable, so this
+// index is built once in New and shared by every snapshot. The *model*
+// index holds the serving MF model's item factors (the standard MIPS
+// reduction: [factors..., bias] against [userFactors..., 1]); it is
+// rebuilt off-lock by the model lifecycle whenever a trained model
+// publishes and rides the same atomic snapshot swap, so reads never
+// block on an index build. Write-path fold-ins re-solve only user-side
+// factors (the item side is shared frozen between rebuilds — see
+// mf.RebindMatrix), which is precisely why the carried index stays
+// exact between publishes.
+
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ann"
+	"repro/internal/model"
+	"repro/internal/present"
+	"repro/internal/recsys"
+	"sync/atomic"
+)
+
+// ANNConfig configures the approximate candidate-generation indexes
+// installed with WithANN.
+type ANNConfig struct {
+	// Kind selects the index implementation: ann.KindHNSW (the
+	// layered-graph default) or ann.KindFlat (exact scan — useful as a
+	// deployable baseline and in conformance tests).
+	Kind string
+	// M, EfConstruction and EfSearch are the HNSW operating point;
+	// zero values select the ann package defaults (16/200/64). Ignored
+	// by the flat index.
+	M              int
+	EfConstruction int
+	EfSearch       int
+	// Quantize stores vectors as int8 codes with per-vector scales,
+	// scored by the batched integer kernel.
+	Quantize bool
+	// Rescore is the candidate-widening factor: the index is asked for
+	// Rescore*n candidates and the top n survive exact rescoring.
+	// Default 4.
+	Rescore int
+	// Seed drives deterministic graph construction; 0 derives from the
+	// engine seed.
+	Seed uint64
+}
+
+func (c ANNConfig) withDefaults(baseSeed uint64) ANNConfig {
+	if c.Kind == "" {
+		c.Kind = ann.KindHNSW
+	}
+	if c.Rescore <= 0 {
+		c.Rescore = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = baseSeed ^ 0xA11CE5ED
+	}
+	return c
+}
+
+func (c ANNConfig) params() ann.Params {
+	return ann.Params{
+		M:              c.M,
+		EfConstruction: c.EfConstruction,
+		EfSearch:       c.EfSearch,
+		Seed:           c.Seed,
+		Quantize:       c.Quantize,
+	}
+}
+
+// WithANN routes the engine's candidate-generation hot paths through
+// approximate-nearest-neighbour indexes with exact rescoring. See
+// ANNConfig for the knobs; the zero config selects a quantize-off
+// HNSW index with default parameters.
+func WithANN(cfg ANNConfig) Option {
+	return func(e *Engine) { e.annCfg = &cfg }
+}
+
+// annCounters tracks engine-level ANN serving outcomes (the per-index
+// traversal counters live on the indexes themselves).
+type annCounters struct {
+	searches  atomic.Int64 // reads answered from an index
+	rescored  atomic.Int64 // candidates exact-rescored
+	fallbacks atomic.Int64 // reads that fell back to the brute-force path
+}
+
+// contentANN is the immutable catalogue index: one presence vector per
+// item over the sorted keyword+creator vocabulary, plus the per-item
+// query vectors (keyword multiplicities, so query·item equals
+// present.ContentScore exactly even when an item lists a keyword
+// twice).
+type contentANN struct {
+	idx     ann.Index
+	queries map[model.ItemID][]float32
+	dim     int
+}
+
+// buildContentANN embeds the catalogue and builds the configured index
+// over it. A catalogue with no keywords and no creators has nothing to
+// embed; callers treat a nil return as "serve brute force".
+func buildContentANN(cat *model.Catalog, cfg ANNConfig) (*contentANN, error) {
+	kws := cat.Keywords() // sorted, distinct
+	kwSlot := make(map[string]int, len(kws))
+	for i, k := range kws {
+		kwSlot[k] = i
+	}
+	crSlot := make(map[string]int)
+	for _, it := range cat.Items() {
+		if it.Creator == "" {
+			continue
+		}
+		if _, ok := crSlot[it.Creator]; !ok {
+			// Items() iterates insertion order, so slot assignment is
+			// deterministic without sorting the creator set.
+			crSlot[it.Creator] = len(kws) + len(crSlot)
+		}
+	}
+	dim := len(kws) + len(crSlot)
+	if dim == 0 {
+		return nil, nil
+	}
+	items := cat.Items()
+	vecs := make([]ann.Vector, 0, len(items))
+	queries := make(map[model.ItemID][]float32, len(items))
+	for _, it := range items {
+		e := make([]float32, dim)
+		q := make([]float32, dim)
+		for _, k := range it.Keywords {
+			slot, ok := kwSlot[k]
+			if !ok {
+				continue
+			}
+			e[slot] = 1 // presence: candidate side of ContentScore
+			q[slot]++   // multiplicity: seed side of ContentScore
+		}
+		if it.Creator != "" {
+			e[crSlot[it.Creator]] = 1
+			q[crSlot[it.Creator]] = 1
+		}
+		vecs = append(vecs, ann.Vector{ID: int64(it.ID), Elems: e})
+		queries[it.ID] = q
+	}
+	idx, err := ann.Build(cfg.Kind, vecs, cfg.params())
+	if err != nil {
+		return nil, fmt.Errorf("core: building content ANN index: %w", err)
+	}
+	return &contentANN{idx: idx, queries: queries, dim: dim}, nil
+}
+
+// buildModelANN indexes the serving model's item vectors, when the
+// model exposes them (ann.ItemVectorSource — *mf.Model does). Runs
+// off-lock on the lifecycle's training goroutine; a model that exposes
+// nothing simply leaves the rank path on brute force.
+func (e *Engine) buildModelANN(rec recsys.Recommender) ann.Index {
+	if e.annCfg == nil {
+		return nil
+	}
+	src, ok := rec.(ann.ItemVectorSource)
+	if !ok {
+		return nil
+	}
+	vecs := src.ANNItemVectors()
+	if len(vecs) == 0 {
+		return nil
+	}
+	idx, err := ann.Build(e.annCfg.Kind, vecs, e.annCfg.params())
+	if err != nil {
+		// The config was validated in New; a build failure here means
+		// the model emitted malformed vectors. Serve brute force.
+		return nil
+	}
+	return idx
+}
+
+// annSimilar answers the SimilarTo presentation from the content
+// index: search for Rescore*n candidates (seed and already-rated items
+// filtered during traversal), exact-rescore with present.ContentScore,
+// and render through the same present.SimilarPresentation the
+// brute-force path uses. ok is false when the engine must fall back.
+func (e *Engine) annSimilar(s *snapshot, u model.UserID, seed *model.Item, n int) (*present.Presentation, bool) {
+	ca := e.annContent
+	if ca == nil || n <= 0 {
+		return nil, false
+	}
+	q := ca.queries[seed.ID]
+	if q == nil {
+		return nil, false
+	}
+	exclude := recsys.ExcludeRated(s.ratings, u)
+	k := n * e.annCfg.Rescore
+	if k > ca.idx.Len() {
+		k = ca.idx.Len()
+	}
+	nbs := ca.idx.Search(q, k, func(id int64) bool {
+		iid := model.ItemID(id)
+		if iid == seed.ID {
+			return true
+		}
+		return exclude != nil && exclude(iid)
+	})
+	cands := make([]present.ScoredItem, 0, len(nbs))
+	for _, nb := range nbs {
+		it, err := e.catalog.Item(model.ItemID(nb.ID))
+		if err != nil {
+			continue
+		}
+		if sc := present.ContentScore(seed, it); sc > 0 {
+			cands = append(cands, present.ScoredItem{Item: it, Score: sc})
+		}
+	}
+	present.SortScoredItems(cands)
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	e.annStats.searches.Add(1)
+	e.annStats.rescored.Add(int64(len(nbs)))
+	return present.SimilarPresentation(seed, cands), true
+}
+
+// annRank produces the wide candidate ranking for Recommend from the
+// snapshot's model index: search for Rescore*pool item candidates by
+// approximate model score, exact-rescore through the serving model's
+// Predict, and keep the top pool. ok is false when the engine must
+// fall back — no index, a model that exposes no user query, a user the
+// model has never folded in (cold start), or an index whose dimension
+// no longer matches (a stale carry after a model-family change).
+func (e *Engine) annRank(s *snapshot, u model.UserID, pool int, exclude func(model.ItemID) bool) ([]recsys.Prediction, bool) {
+	idx := s.annModel
+	if idx == nil || idx.Len() == 0 {
+		// Count the fallback only on ANN-enabled engines: a plain
+		// engine taking the brute-force path is not an ANN miss.
+		if e.annCfg != nil {
+			e.annStats.fallbacks.Add(1)
+		}
+		return nil, false
+	}
+	src, ok := s.rec.(ann.UserQuerySource)
+	if !ok {
+		e.annStats.fallbacks.Add(1)
+		return nil, false
+	}
+	q, ok := src.ANNUserQuery(int64(u))
+	if !ok {
+		e.annStats.fallbacks.Add(1)
+		return nil, false
+	}
+	if len(q) != idx.Dim() {
+		e.annStats.fallbacks.Add(1)
+		return nil, false
+	}
+	k := pool * e.annCfg.Rescore
+	if k > idx.Len() {
+		k = idx.Len()
+	}
+	nbs := idx.Search(q, k, func(id int64) bool {
+		return exclude != nil && exclude(model.ItemID(id))
+	})
+	preds := make([]recsys.Prediction, 0, len(nbs))
+	for _, nb := range nbs {
+		p, err := s.rec.Predict(u, model.ItemID(nb.ID))
+		if err != nil {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	if len(preds) == 0 {
+		e.annStats.fallbacks.Add(1)
+		return nil, false
+	}
+	recsys.SortPredictions(preds)
+	preds = recsys.TopN(preds, pool)
+	e.annStats.searches.Add(1)
+	e.annStats.rescored.Add(int64(len(nbs)))
+	return preds, true
+}
+
+// ANNState is the operator view of the ANN subsystem, served by
+// GET /debug/ann. Enabled is false (and everything else zero) on
+// engines without WithANN.
+type ANNState struct {
+	Enabled        bool   `json:"enabled"`
+	Kind           string `json:"kind,omitempty"`
+	Quantize       bool   `json:"quantize,omitempty"`
+	M              int    `json:"m,omitempty"`
+	EfConstruction int    `json:"ef_construction,omitempty"`
+	EfSearch       int    `json:"ef_search,omitempty"`
+	Rescore        int    `json:"rescore,omitempty"`
+
+	// Content index: catalogue items over the keyword+creator space.
+	ContentVectors int `json:"content_vectors,omitempty"`
+	ContentDim     int `json:"content_dim,omitempty"`
+	// Model index: the serving model's item vectors; ModelVersion is
+	// the artifact generation the snapshot serves (the index was built
+	// at that generation or an earlier one whose item side it shares).
+	ModelVectors int    `json:"model_vectors,omitempty"`
+	ModelDim     int    `json:"model_dim,omitempty"`
+	ModelVersion uint64 `json:"model_version,omitempty"`
+
+	// Serving outcomes.
+	Searches  int64 `json:"searches"`
+	Rescored  int64 `json:"rescored"`
+	Fallbacks int64 `json:"fallbacks"`
+	// Per-index traversal counters.
+	ContentStats ann.Stats `json:"content_stats"`
+	ModelStats   ann.Stats `json:"model_stats"`
+}
+
+// ANNState reports the ANN subsystem's current state. Lock-free: one
+// snapshot load plus atomic reads.
+func (e *Engine) ANNState() ANNState {
+	if e.annCfg == nil {
+		return ANNState{}
+	}
+	st := ANNState{
+		Enabled:        true,
+		Kind:           e.annCfg.Kind,
+		Quantize:       e.annCfg.Quantize,
+		M:              e.annCfg.M,
+		EfConstruction: e.annCfg.EfConstruction,
+		EfSearch:       e.annCfg.EfSearch,
+		Rescore:        e.annCfg.Rescore,
+		Searches:       e.annStats.searches.Load(),
+		Rescored:       e.annStats.rescored.Load(),
+		Fallbacks:      e.annStats.fallbacks.Load(),
+	}
+	if e.annContent != nil {
+		st.ContentVectors = e.annContent.idx.Len()
+		st.ContentDim = e.annContent.dim
+		st.ContentStats = e.annContent.idx.Stats()
+	}
+	s := e.snap.Load()
+	if s.annModel != nil {
+		st.ModelVectors = s.annModel.Len()
+		st.ModelDim = s.annModel.Dim()
+		st.ModelVersion = s.modelVersion
+		st.ModelStats = s.annModel.Stats()
+	}
+	return st
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/model"
+	"repro/internal/recsys/mf"
+)
+
+func annConfigFlat() ANNConfig {
+	return ANNConfig{Kind: ann.KindFlat}
+}
+
+func TestWithANNValidation(t *testing.T) {
+	_, err := New(nilSafeCatalog(t), model.NewMatrix(), WithANN(ANNConfig{Kind: "ivf"}))
+	if err == nil {
+		t.Fatal("unknown ANN kind accepted")
+	}
+}
+
+// nilSafeCatalog builds a minimal valid catalogue for validation tests.
+func nilSafeCatalog(t *testing.T) *model.Catalog {
+	t.Helper()
+	cat := model.NewCatalog("books")
+	if err := cat.Add(&model.Item{ID: 1, Title: "x", Keywords: []string{"k"}}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestANNSimilarMatchesBruteForceExactly: with a flat, unquantized
+// index the ANN SimilarTo path must be byte-identical to the
+// brute-force catalogue scan — same candidates, same scores, same
+// rendered explanation strings — because the index embeds
+// present.ContentScore exactly and rescoring calls back into it.
+func TestANNSimilarMatchesBruteForceExactly(t *testing.T) {
+	c, plain := engine(t, WithSeed(7))
+	_, approx := engine(t, WithSeed(7), WithANN(annConfigFlat()))
+
+	if st := approx.ANNState(); !st.Enabled || st.ContentVectors == 0 {
+		t.Fatalf("ANN state = %+v", st)
+	}
+	items := c.Catalog.Items()
+	checked := 0
+	for i, it := range items {
+		if i >= 25 {
+			break
+		}
+		u := model.UserID(1 + i%5)
+		want, errW := plain.SimilarTo(u, it.ID, 5)
+		got, errG := approx.SimilarTo(u, it.ID, 5)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("seed %d: err mismatch: %v vs %v", it.ID, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: ANN presentation diverges:\nbrute: %+v\nann:   %+v", it.ID, want, got)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no seeds compared")
+	}
+	if st := approx.ANNState(); st.Searches == 0 {
+		t.Fatal("ANN path never consulted the index")
+	}
+}
+
+// TestANNHNSWSimilarStaysFaithful: the HNSW path may approximate the
+// candidate set but every surviving entry is exact-rescored, so each
+// reported score must equal present.ContentScore and the list must be
+// sorted score-desc/ID-asc like the brute-force path.
+func TestANNHNSWSimilarStaysFaithful(t *testing.T) {
+	for _, quantize := range []bool{false, true} {
+		c, e := engine(t, WithSeed(7), WithANN(ANNConfig{Kind: ann.KindHNSW, Quantize: quantize}))
+		items := c.Catalog.Items()
+		p, err := e.SimilarTo(3, items[0].ID, 5)
+		if err != nil {
+			t.Fatalf("quantize=%v: %v", quantize, err)
+		}
+		if len(p.Entries) == 0 {
+			t.Fatalf("quantize=%v: empty presentation", quantize)
+		}
+		for _, en := range p.Entries {
+			if !en.Explanation.Faithful {
+				t.Fatalf("quantize=%v: unfaithful ANN explanation for %d", quantize, en.Item.ID)
+			}
+		}
+	}
+}
+
+// TestANNRankPathServesRecommendations: an ANN engine with a trainer
+// routes Recommend through the model index and exact Predict
+// rescoring; recommendations stay non-empty, deterministic, and the
+// serving counters move.
+func TestANNRankPathServesRecommendations(t *testing.T) {
+	_, e := engine(t, WithSeed(7),
+		WithTrainer(sgdTrainer(7)),
+		WithANN(ANNConfig{Kind: ann.KindHNSW}))
+
+	st := e.ANNState()
+	if !st.Enabled || st.ModelVectors == 0 || st.ModelVersion != 1 {
+		t.Fatalf("ANN state = %+v", st)
+	}
+	before := st.Searches
+	p1, err := e.Recommend(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Recommend(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Entries) == 0 {
+		t.Fatal("empty recommendations")
+	}
+	if !reflect.DeepEqual(p1.Entries, p2.Entries) {
+		t.Fatal("ANN recommendations are not deterministic across calls")
+	}
+	if after := e.ANNState().Searches; after <= before {
+		t.Fatalf("searches did not advance: %d -> %d", before, after)
+	}
+}
+
+// TestANNFallsBackWithoutModelIndex: an ANN engine without a trainer
+// has no model index, so Recommend must silently serve the brute-force
+// ranking and count the fallback.
+func TestANNFallsBackWithoutModelIndex(t *testing.T) {
+	_, e := engine(t, WithSeed(7), WithANN(annConfigFlat()))
+	if st := e.ANNState(); st.ModelVectors != 0 {
+		t.Fatalf("unexpected model index: %+v", st)
+	}
+	p, err := e.Recommend(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) == 0 {
+		t.Fatal("fallback ranking empty")
+	}
+	if st := e.ANNState(); st.Fallbacks == 0 {
+		t.Fatal("fallback not counted")
+	}
+}
+
+// TestANNIndexSurvivesFoldIns: write-path fold-ins only move user-side
+// factors (mf freezes the item side on RebindMatrix), so the carried
+// model index stays attached and exact across writes without a
+// rebuild.
+func TestANNIndexSurvivesFoldIns(t *testing.T) {
+	c, e := engine(t, WithSeed(7),
+		WithTrainer(sgdTrainer(7)),
+		WithANN(annConfigFlat()))
+	items := c.Catalog.Items()
+	for i := 0; i < 10; i++ {
+		u := model.UserID(1 + i%4)
+		if err := e.Rate(u, items[i%len(items)].ID, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.ANNState()
+	if st.ModelVectors == 0 {
+		t.Fatal("model index lost across fold-ins")
+	}
+	if _, err := e.Recommend(2, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestANNReadsNeverBlockDuringIndexRebuild mirrors the lifecycle
+// swap-safety acceptance test with the ANN path on (a primary -race
+// target): readers hammer Recommend and SimilarTo while background and
+// explicit retrains rebuild and swap the model index off-lock. No read
+// may error and versions only move forward.
+func TestANNReadsNeverBlockDuringIndexRebuild(t *testing.T) {
+	cfg := TrainerConfig{
+		Trainer:      mf.SGD{Opts: mf.Options{Seed: 7, Factors: 8, Epochs: 3}},
+		RetrainEvery: 2,
+	}
+	c, e := engine(t, WithSeed(7), WithTrainer(cfg), WithANN(ANNConfig{Kind: ann.KindHNSW, Quantize: true}))
+	items := c.Catalog.Items()
+
+	const readers = 8
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := model.UserID(1 + g%4)
+			var lastVersion uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := e.RecommendContext(context.Background(), u, 5)
+				if err != nil {
+					errs <- fmt.Errorf("recommend: %w", err)
+					return
+				}
+				if p.ModelVersion < lastVersion {
+					errs <- fmt.Errorf("model version went backwards: %d -> %d", lastVersion, p.ModelVersion)
+					return
+				}
+				lastVersion = p.ModelVersion
+				seed := items[(g+i)%len(items)].ID
+				if _, err := e.SimilarToContext(context.Background(), u, seed, 5); err != nil {
+					errs <- fmt.Errorf("similar: %w", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for k := 0; k < 40; k++ {
+		u := model.UserID(10 + k%5)
+		if err := e.Rate(u, items[k%len(items)].ID, 3.5); err != nil {
+			t.Fatal(err)
+		}
+		if k%10 == 0 {
+			if err := e.Retrain(context.Background()); err != nil && err != ErrTrainInProgress {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Let in-flight background trains land, then the serving snapshot's
+	// index generation must match the serving model version.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := e.ModelsState()
+		if !st.TrainInFlight && st.ServingVersion >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("training never settled; state = %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, st := e.ModelVersion(), e.ANNState(); st.ModelVersion != v {
+		t.Fatalf("index generation %d lags serving version %d", st.ModelVersion, v)
+	}
+}
+
+// TestScheduledRetrains drives the wall-clock retrain loop through the
+// injectable tick channel: each tick triggers a retrain, the counters
+// move, and Close joins the loop.
+func TestScheduledRetrains(t *testing.T) {
+	ticks := make(chan time.Time)
+	cfg := sgdTrainer(7)
+	cfg.RetrainTicks = ticks
+	_, e := lifecycleEngine(t, cfg)
+	if v := e.ModelVersion(); v != 1 {
+		t.Fatalf("initial version = %d", v)
+	}
+
+	ticks <- time.Time{}
+	deadline := time.After(5 * time.Second)
+	for e.ModelVersion() < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("scheduled retrain never published: version = %d", e.ModelVersion())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	st := e.ModelsState()
+	if st.ScheduledRetrains < 1 {
+		t.Fatalf("scheduled retrains = %d", st.ScheduledRetrains)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- e.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not join the scheduled-retrain loop")
+	}
+	// A second Close (and a stray tick after shutdown) must be safe.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetrainIntervalValidation(t *testing.T) {
+	cat := nilSafeCatalog(t)
+	cfg := sgdTrainer(1)
+	cfg.RetrainInterval = -time.Second
+	if _, err := New(cat, model.NewMatrix(), WithTrainer(cfg)); err == nil {
+		t.Fatal("negative RetrainInterval accepted")
+	}
+}
+
+// TestModelsStateReportsSchedule: the debug surface carries the
+// configured interval so operators can confirm the schedule from
+// /debug/models.
+func TestModelsStateReportsSchedule(t *testing.T) {
+	cfg := sgdTrainer(7)
+	cfg.RetrainInterval = 90 * time.Second
+	cfg.RetrainTicks = make(chan time.Time) // never fires; keeps the test quiet
+	_, e := lifecycleEngine(t, cfg)
+	defer e.Close()
+	st := e.ModelsState()
+	if st.RetrainIntervalSeconds != 90 {
+		t.Fatalf("RetrainIntervalSeconds = %v", st.RetrainIntervalSeconds)
+	}
+}

@@ -25,6 +25,32 @@ func TestEngineServiceConformance(t *testing.T) {
 	})
 }
 
+// TestANNEngineServiceConformance runs the identical suite against
+// ANN-backed engines: flat (exact by construction) and quantized HNSW
+// (approximate candidates, exact rescoring) must both be behaviourally
+// indistinguishable from the brute-force scan at the Service seam.
+func TestANNEngineServiceConformance(t *testing.T) {
+	cfgs := map[string]core.ANNConfig{
+		"ann-flat": {Kind: "flat"},
+		"ann-hnsw": {Kind: "hnsw", Quantize: true},
+	}
+	for name, cfg := range cfgs {
+		trainer, err := mf.NewTrainer("sgd", mf.Options{Seed: 7, Factors: 8, Epochs: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servicetest.Run(t, name, func(t *testing.T, cat *model.Catalog, ratings *model.Matrix) core.Service {
+			eng, err := core.New(cat, ratings, core.WithSeed(7),
+				core.WithTrainer(core.TrainerConfig{Trainer: trainer}),
+				core.WithANN(cfg))
+			if err != nil {
+				t.Fatalf("core.New: %v", err)
+			}
+			return eng
+		})
+	}
+}
+
 // TestMFEngineServiceConformance runs the identical suite against an
 // engine serving each MF trainer through the versioned lifecycle: a
 // trainer-managed model must be behaviourally indistinguishable from

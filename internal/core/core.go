@@ -65,6 +65,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/explain"
 	"repro/internal/interact"
 	"repro/internal/model"
@@ -98,6 +99,21 @@ type Engine struct {
 	// option.
 	trainerCfg *TrainerConfig
 	lc         *lifecycle
+
+	// annCfg is set by WithANN; annContent is the immutable catalogue
+	// index built once in New (the model-side index lives on the
+	// snapshot — see ann.go). Nil without the option.
+	annCfg     *ANNConfig
+	annContent *contentANN
+	annStats   annCounters
+
+	// Scheduled-retrain loop plumbing (TrainerConfig.RetrainInterval /
+	// RetrainTicks): schedStop ends the loop, schedDone reports it
+	// exited, schedOnce makes Close idempotent. All nil/zero without a
+	// schedule.
+	schedStop chan struct{}
+	schedDone chan struct{}
+	schedOnce sync.Once
 
 	// pipes are the composed read-operation pipelines; extraICs are
 	// user interceptors wrapped outside the stock metrics/deadline/
@@ -183,6 +199,13 @@ type snapshot struct {
 	// otherwise. Carried into Presentations and Explanations so
 	// responses are attributable to a model generation.
 	modelVersion uint64
+
+	// annModel is the ANN index over the serving model's item vectors
+	// (WithANN + a lifecycle model exposing them; nil otherwise). It is
+	// rebuilt off-lock when a trained model publishes and swaps in with
+	// this snapshot; write-path fold-ins carry it unchanged, which is
+	// exact because fold-in freezes the model's item-side factors.
+	annModel ann.Index
 }
 
 // Stats are the engine's usage counters. The survey's Section 3 lists
@@ -309,7 +332,23 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		if e.trainerCfg.ArtifactPath != "" && (e.trainerCfg.EncodeModel == nil || e.trainerCfg.DecodeModel == nil) {
 			return nil, errors.New("core: TrainerConfig.ArtifactPath requires EncodeModel and DecodeModel")
 		}
+		if e.trainerCfg.RetrainInterval < 0 {
+			return nil, errors.New("core: TrainerConfig.RetrainInterval must not be negative")
+		}
 		e.lc = newLifecycle(*e.trainerCfg)
+	}
+
+	if e.annCfg != nil {
+		cfg := e.annCfg.withDefaults(e.baseSeed)
+		if cfg.Kind != ann.KindHNSW && cfg.Kind != ann.KindFlat {
+			return nil, fmt.Errorf("core: unknown ANN index kind %q (want %q or %q)", cfg.Kind, ann.KindHNSW, ann.KindFlat)
+		}
+		e.annCfg = &cfg
+		ca, err := buildContentANN(cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.annContent = ca
 	}
 
 	// Durable engines recover before they serve: the newest checkpoint
@@ -400,6 +439,7 @@ func New(cat *model.Catalog, ratings *model.Matrix, opts ...Option) (*Engine, er
 		e.lc.touched = map[model.UserID]uint64{}
 	}
 	e.buildPipelines()
+	e.startScheduledRetrains()
 	return e, nil
 }
 
@@ -474,6 +514,10 @@ func (e *Engine) rebuild(prev *snapshot, m *model.Matrix, touched ...model.UserI
 			e.lc.foldIns.Add(int64(len(touched)))
 		}
 		e.groundModel(s, rec, prev.modelVersion)
+		// The carried ANN index stays exact across the fold-in: only
+		// user-side factors were re-solved, the indexed item side is
+		// shared frozen until the next trained publish.
+		s.annModel = prev.annModel
 	}
 	if e.customExp != nil {
 		if rb, ok := prev.explainer.(explain.MatrixRebinder); ok {
@@ -808,11 +852,12 @@ func (e *Engine) applyInfluence(u model.UserID, item model.ItemID, weight float6
 	// carry over whole; only the Bayes model takes the copy-on-write
 	// edit and drops u's trained table.
 	next := &snapshot{
-		ratings: cur.ratings,
-		guard:   cur.guard,
-		knn:     cur.knn,
-		kw:      cur.kw,
-		bayes:   cur.bayes.WithInfluenceWeight(u, item, weight),
+		ratings:  cur.ratings,
+		guard:    cur.guard,
+		knn:      cur.knn,
+		kw:       cur.kw,
+		bayes:    cur.bayes.WithInfluenceWeight(u, item, weight),
+		annModel: cur.annModel,
 	}
 	e.wire(next)
 	if e.customExp != nil {

@@ -44,6 +44,18 @@ type TrainerConfig struct {
 	// metrics. Nil keeps the engine clockless (durations read as 0);
 	// tests inject a fake, recserver injects time.Now.
 	Clock func() time.Time
+	// RetrainInterval, when positive, retrains on the clock as well: a
+	// background loop triggers a retrain every interval even when no
+	// writes land, so long-lived engines pick up model improvements
+	// (regularisation of drifted fold-ins, fresh item factors) without
+	// waiting for traffic. Scheduled triggers share the single-flight
+	// gate with write-triggered and explicit retrains.
+	RetrainInterval time.Duration
+	// RetrainTicks, when non-nil, replaces the interval ticker as the
+	// scheduled-trigger source — the injectable-clock seam for tests
+	// (send on the channel, observe a retrain). RetrainInterval may be
+	// zero when RetrainTicks is set.
+	RetrainTicks <-chan time.Time
 	// ArtifactPath, when non-empty, persists every published model to
 	// this file (atomic replace via modelstore.SaveArtifact) and
 	// warm-starts from it at construction: when the file holds an
@@ -81,10 +93,11 @@ var ErrTrainInProgress = errors.New("core: a training run is already in flight")
 // and the atomic counters are safe for concurrent use; dataRev,
 // trainedRev and touched are guarded by Engine.writeMu.
 type lifecycle struct {
-	trainer      recsys.ModelTrainer
-	retrainEvery int
-	clock        func() time.Time
-	store        *modelstore.Store[recsys.Recommender]
+	trainer         recsys.ModelTrainer
+	retrainEvery    int
+	retrainInterval time.Duration
+	clock           func() time.Time
+	store           *modelstore.Store[recsys.Recommender]
 
 	// Artifact persistence (zero-valued when TrainerConfig.ArtifactPath
 	// is empty). warmStarted is written once during New, before the
@@ -109,6 +122,7 @@ type lifecycle struct {
 	trainsStarted      atomic.Int64
 	trainsCompleted    atomic.Int64
 	trainsFailed       atomic.Int64
+	scheduledRetrains  atomic.Int64 // clock-triggered retrain attempts
 	foldIns            atomic.Int64 // write-path fold-ins (RebindMatrix on mutate)
 	swapFoldIns        atomic.Int64 // swap-time fold-ins of raced writes
 	lastTrainNanos     atomic.Int64
@@ -119,14 +133,15 @@ type lifecycle struct {
 
 func newLifecycle(cfg TrainerConfig) *lifecycle {
 	return &lifecycle{
-		trainer:      cfg.Trainer,
-		retrainEvery: cfg.RetrainEvery,
-		clock:        cfg.Clock,
-		store:        modelstore.New[recsys.Recommender](cfg.History),
-		artifactPath: cfg.ArtifactPath,
-		encode:       cfg.EncodeModel,
-		decode:       cfg.DecodeModel,
-		touched:      map[model.UserID]uint64{},
+		trainer:         cfg.Trainer,
+		retrainEvery:    cfg.RetrainEvery,
+		retrainInterval: cfg.RetrainInterval,
+		clock:           cfg.Clock,
+		store:           modelstore.New[recsys.Recommender](cfg.History),
+		artifactPath:    cfg.ArtifactPath,
+		encode:          cfg.EncodeModel,
+		decode:          cfg.DecodeModel,
+		touched:         map[model.UserID]uint64{},
 	}
 }
 
@@ -213,6 +228,7 @@ func (e *Engine) warmStart(s *snapshot) bool {
 		lc.persist(art)
 	}
 	e.groundModel(s, rec, art.Version)
+	s.annModel = e.buildModelANN(rec)
 	lc.warmStarted = true
 	return true
 }
@@ -303,6 +319,7 @@ func (e *Engine) initialTrain(s *snapshot) error {
 	art := lc.store.Publish(lc.trainer.Name(), lc.dataRev, checksumOf(rec), rec)
 	lc.persist(art)
 	e.groundModel(s, rec, art.Version)
+	s.annModel = e.buildModelANN(rec)
 	lc.trainsCompleted.Add(1)
 	return nil
 }
@@ -413,6 +430,13 @@ func (e *Engine) runTrain(ctx context.Context) error {
 		return err
 	}
 
+	// The ANN index over the fresh model's item vectors builds here,
+	// off-lock on the training goroutine: readers keep serving the old
+	// snapshot (and its old index) throughout. The swap-time fold-in
+	// below cannot invalidate it — fold-in re-solves user factors only
+	// and shares the indexed item side frozen.
+	aidx := e.buildModelANN(rec)
+
 	// Swap: under the writer mutex, fold in every user whose ratings
 	// changed after the capture, publish the artifact, and make the
 	// new model the serving one in a single snapshot store.
@@ -434,7 +458,9 @@ func (e *Engine) runTrain(ctx context.Context) error {
 	}
 	art := lc.store.Publish(lc.trainer.Name(), lc.dataRev, checksumOf(rec), rec)
 	lc.persist(art)
-	e.snap.Store(e.servingSnapshot(cur, rec, art.Version))
+	next := e.servingSnapshot(cur, rec, art.Version)
+	next.annModel = aidx
+	e.snap.Store(next)
 	lc.trainedRev = lc.dataRev
 	for u, rev := range lc.touched {
 		if rev <= lc.trainedRev {
@@ -443,6 +469,66 @@ func (e *Engine) runTrain(ctx context.Context) error {
 	}
 	lc.trainsCompleted.Add(1)
 	return nil
+}
+
+// startScheduledRetrains launches the clock-driven retrain loop when
+// TrainerConfig asked for one. Called at the end of New, after the
+// initial model is in place, so the first scheduled trigger always
+// retrains a serving engine.
+func (e *Engine) startScheduledRetrains() {
+	if e.lc == nil {
+		return
+	}
+	if e.lc.retrainInterval <= 0 && e.trainerCfg.RetrainTicks == nil {
+		return
+	}
+	e.schedStop = make(chan struct{})
+	e.schedDone = make(chan struct{})
+	go e.scheduledRetrainLoop(e.trainerCfg.RetrainTicks)
+}
+
+// stopScheduledRetrains shuts the loop down and waits for it to exit;
+// idempotent, and a no-op on engines without a schedule. Engine.Close
+// calls it before touching durable state so no retrain can race the
+// teardown.
+func (e *Engine) stopScheduledRetrains() {
+	if e.schedStop == nil {
+		return
+	}
+	e.schedOnce.Do(func() {
+		close(e.schedStop)
+		<-e.schedDone
+	})
+}
+
+// scheduledRetrainLoop fires a retrain per tick until stopped. Ticks
+// come from the injected RetrainTicks channel when set (tests), else
+// from a real ticker at RetrainInterval. A tick that finds a training
+// run already in flight is simply absorbed by the single-flight gate.
+func (e *Engine) scheduledRetrainLoop(ticks <-chan time.Time) {
+	defer close(e.schedDone)
+	// Whole-body guard, mirroring retrainAsync: a panic on this
+	// goroutine has no caller to land on and must not kill the process.
+	defer func() {
+		if r := recover(); r != nil {
+			e.lc.trainsFailed.Add(1)
+		}
+	}()
+	if ticks == nil {
+		t := time.NewTicker(e.lc.retrainInterval)
+		defer t.Stop()
+		ticks = t.C
+	}
+	for {
+		select {
+		case <-e.schedStop:
+			return
+		case <-ticks:
+			e.lc.scheduledRetrains.Add(1)
+			//lint:ignore dropped-error scheduled retrains have no caller to report to; ErrTrainInProgress means a concurrent run already covers this tick and real failures are counted in ModelsState
+			_ = e.Retrain(context.Background())
+		}
+	}
 }
 
 // RollbackModel republishes the previous model generation (under a
@@ -463,7 +549,12 @@ func (e *Engine) RollbackModel() (ModelArtifact, error) {
 	}
 	e.lc.persist(art)
 	cur := e.snap.Load()
-	e.snap.Store(e.servingSnapshot(cur, art.Model, art.Version))
+	next := e.servingSnapshot(cur, art.Model, art.Version)
+	// Rollback is a rare operator action: rebuilding the index under
+	// the writer mutex is acceptable, and serving the rolled-back model
+	// with the newer model's index would not be.
+	next.annModel = e.buildModelANN(art.Model)
+	e.snap.Store(next)
 	return artifactState(art, true), nil
 }
 
@@ -491,10 +582,14 @@ func artifactState(a *modelstore.Artifact[recsys.Recommender], serving bool) Mod
 // GET /debug/models. Enabled is false (and everything else zero) on
 // engines without WithTrainer.
 type ModelsState struct {
-	Enabled        bool   `json:"enabled"`
-	Trainer        string `json:"trainer,omitempty"`
-	RetrainEvery   int    `json:"retrain_every,omitempty"`
-	ServingVersion uint64 `json:"serving_version,omitempty"`
+	Enabled      bool   `json:"enabled"`
+	Trainer      string `json:"trainer,omitempty"`
+	RetrainEvery int    `json:"retrain_every,omitempty"`
+	// RetrainIntervalSeconds is the clock-driven retrain period (0 =
+	// no schedule); ScheduledRetrains counts its triggers so far.
+	RetrainIntervalSeconds float64 `json:"retrain_interval_seconds,omitempty"`
+	ScheduledRetrains      int64   `json:"scheduled_retrains,omitempty"`
+	ServingVersion         uint64  `json:"serving_version,omitempty"`
 	// DataRev counts snapshot-publishing writes; TrainedRev is the
 	// revision the serving model was trained (or folded) up to.
 	DataRev    uint64 `json:"data_rev,omitempty"`
@@ -536,24 +631,26 @@ func (e *Engine) ModelsState() ModelsState {
 	dataRev, trainedRev := lc.dataRev, lc.trainedRev
 	e.writeMu.Unlock()
 	st := ModelsState{
-		Enabled:               true,
-		Trainer:               lc.trainer.Name(),
-		RetrainEvery:          lc.retrainEvery,
-		ServingVersion:        lc.store.Version(),
-		DataRev:               dataRev,
-		TrainedRev:            trainedRev,
-		TrainInFlight:         lc.training.Load(),
-		TrainsStarted:         lc.trainsStarted.Load(),
-		TrainsCompleted:       lc.trainsCompleted.Load(),
-		TrainsFailed:          lc.trainsFailed.Load(),
-		FoldIns:               lc.foldIns.Load(),
-		SwapFoldIns:           lc.swapFoldIns.Load(),
-		LastTrainSeconds:      time.Duration(lc.lastTrainNanos.Load()).Seconds(),
-		TrainSecondsTotal:     time.Duration(lc.trainNanosTotal.Load()).Seconds(),
-		ArtifactPath:          lc.artifactPath,
-		WarmStarted:           lc.warmStarted,
-		ArtifactsPersisted:    lc.artifactsPersisted.Load(),
-		ArtifactPersistErrors: lc.persistErrors.Load(),
+		Enabled:                true,
+		Trainer:                lc.trainer.Name(),
+		RetrainEvery:           lc.retrainEvery,
+		RetrainIntervalSeconds: lc.retrainInterval.Seconds(),
+		ScheduledRetrains:      lc.scheduledRetrains.Load(),
+		ServingVersion:         lc.store.Version(),
+		DataRev:                dataRev,
+		TrainedRev:             trainedRev,
+		TrainInFlight:          lc.training.Load(),
+		TrainsStarted:          lc.trainsStarted.Load(),
+		TrainsCompleted:        lc.trainsCompleted.Load(),
+		TrainsFailed:           lc.trainsFailed.Load(),
+		FoldIns:                lc.foldIns.Load(),
+		SwapFoldIns:            lc.swapFoldIns.Load(),
+		LastTrainSeconds:       time.Duration(lc.lastTrainNanos.Load()).Seconds(),
+		TrainSecondsTotal:      time.Duration(lc.trainNanosTotal.Load()).Seconds(),
+		ArtifactPath:           lc.artifactPath,
+		WarmStarted:            lc.warmStarted,
+		ArtifactsPersisted:     lc.artifactsPersisted.Load(),
+		ArtifactPersistErrors:  lc.persistErrors.Load(),
 	}
 	serving := lc.store.Version()
 	for _, a := range lc.store.History() {

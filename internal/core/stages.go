@@ -144,14 +144,22 @@ func (e *Engine) buildPipelines() {
 }
 
 // stageRank produces the wide candidate ranking: 4n (at least 20) so
-// personality and feedback re-ranking have room to work.
+// personality and feedback re-ranking have room to work. With an ANN
+// model index on the snapshot the candidates come from an approximate
+// search exact-rescored through the serving model's Predict; every
+// fallback condition (no index, cold user, non-MIPS model) lands on
+// the brute-force Recommend unchanged.
 func (e *Engine) stageRank(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	s := snapshotFrom(ctx)
 	pool := req.N * 4
 	if pool < 20 {
 		pool = 20
 	}
-	preds := s.rec.Recommend(req.User, pool, recsys.ExcludeRated(s.ratings, req.User))
+	exclude := recsys.ExcludeRated(s.ratings, req.User)
+	preds, ok := e.annRank(s, req.User, pool, exclude)
+	if !ok {
+		preds = s.rec.Recommend(req.User, pool, exclude)
+	}
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("user %d: %w", req.User, recsys.ErrColdStart)
 	}
@@ -274,10 +282,16 @@ func (e *Engine) stageBrowseAll(ctx context.Context, req *pipeline.Request) (*pi
 	return &pipeline.Response{View: v}, nil
 }
 
-// stagePresentSimilar renders the similar-to-seed presentation.
+// stagePresentSimilar renders the similar-to-seed presentation: from
+// the ANN content index (approximate search, exact rescore through
+// present.ContentScore, identical rendering) when WithANN configured
+// one, else by the brute-force catalogue scan.
 func (e *Engine) stagePresentSimilar(ctx context.Context, req *pipeline.Request) (*pipeline.Response, error) {
 	s := snapshotFrom(ctx)
-	p := present.SimilarToTop(e.catalog, req.Target, req.N, recsys.ExcludeRated(s.ratings, req.User))
+	p, ok := e.annSimilar(s, req.User, req.Target, req.N)
+	if !ok {
+		p = present.SimilarToTop(e.catalog, req.Target, req.N, recsys.ExcludeRated(s.ratings, req.User))
+	}
 	p.ModelVersion = s.modelVersion
 	return &pipeline.Response{Presentation: p}, nil
 }

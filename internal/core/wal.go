@@ -305,11 +305,14 @@ func (e *Engine) Checkpoint() error {
 	return e.walCheckpointLocked()
 }
 
-// Close flushes and closes the WAL. Reads keep serving from the last
-// snapshot; mutating operations fail once the log is closed, so Close
-// belongs after the HTTP listener has drained. No-op (nil) on engines
-// without a WAL; idempotent.
+// Close stops the scheduled-retrain loop (waiting for any in-flight
+// scheduled run to finish), then flushes and closes the WAL. Reads
+// keep serving from the last snapshot; mutating operations fail once
+// the log is closed, so Close belongs after the HTTP listener has
+// drained. Nil on engines with neither a schedule nor a WAL;
+// idempotent.
 func (e *Engine) Close() error {
+	e.stopScheduledRetrains()
 	if e.wlog == nil {
 		return nil
 	}

@@ -61,6 +61,20 @@ func TestHotPathAllocFixtures(t *testing.T) {
 	checkFixture(t, good, readPathCfg(good), "hot-path-alloc")
 }
 
+// TestANNHotPathFixtures exercises the HotPathFuncs scoping: the rule
+// reaches a listed Search method outside any ReadPathPkgs package and
+// leaves unlisted siblings alone.
+func TestANNHotPathFixtures(t *testing.T) {
+	bad := fixture(t, "annhotpath/bad")
+	checkFixture(t, bad, &Config{
+		HotPathFuncs: map[string]bool{bad.Path + ".(*Index).Search": true},
+	}, "hot-path-alloc")
+	good := fixture(t, "annhotpath/good")
+	checkFixture(t, good, &Config{
+		HotPathFuncs: map[string]bool{good.Path + ".(*Index).Search": true},
+	}, "hot-path-alloc")
+}
+
 // ---- call-graph construction ----
 
 func scopeFunc(t *testing.T, pkg *Package, name string) *types.Func {

@@ -80,6 +80,13 @@ type Config struct {
 	// ReadPathPkgs are the packages whose stage functions form the
 	// lock-free serving read path (snapshot-mutation, lock-in-read-path).
 	ReadPathPkgs map[string]bool
+	// HotPathFuncs names individual functions outside ReadPathPkgs
+	// that the read-path rules treat as stage bodies, qualified like
+	// CtxAllowlist ("import/path.(*Recv).Method"). The ANN search
+	// methods live here: they run on every request but sit in their
+	// own package, where the stageXxx naming convention does not
+	// reach.
+	HotPathFuncs map[string]bool
 	// DeterminismPkgs are the packages that must be bit-reproducible
 	// from a seed (determinism).
 	DeterminismPkgs map[string]bool
@@ -133,6 +140,14 @@ func DefaultConfig() *Config {
 			"repro/internal/core":     true,
 			"repro/internal/pipeline": true,
 		},
+		HotPathFuncs: map[string]bool{
+			// The ANN search kernels run on every /similar and
+			// /recommend request; they must stay as allocation-light as
+			// the stage functions that call them (scratch state comes
+			// from a sync.Pool, not per-query make).
+			"repro/internal/ann.(*Flat).Search": true,
+			"repro/internal/ann.(*HNSW).Search": true,
+		},
 		DeterminismPkgs: map[string]bool{
 			"repro/internal/usersim":     true,
 			"repro/internal/eval":        true,
@@ -158,6 +173,12 @@ func DefaultConfig() *Config {
 			// disk: no clocks in records (checkpoint age is counted in
 			// records, not seconds) and no randomness in segment naming.
 			"repro/internal/wal": true,
+			// The ANN index must build bit-identically from its seed:
+			// HNSW level draws come from internal/rng, tie-breaks are
+			// ordered, and no map iteration reaches an output slice —
+			// two same-seed builds must serve byte-identical neighbour
+			// lists or sharded replicas would disagree.
+			"repro/internal/ann": true,
 		},
 		ErrorScopePrefixes: []string{"repro/internal/"},
 		CtxAllowlist: map[string]bool{
@@ -181,6 +202,10 @@ func DefaultConfig() *Config {
 			// write that fired the trigger must not be tied to the
 			// training run's lifetime.
 			"repro/internal/core.(*Engine).retrainAsync": true,
+			// Clock-scheduled retrains have no caller at all: the tick
+			// is the trigger, and the run is bounded by the stop channel
+			// the loop selects on, not by a request context.
+			"repro/internal/core.(*Engine).scheduledRetrainLoop": true,
 		},
 		GoroutineScopePrefixes: []string{"repro/internal/"},
 		GoroutineAllowlist: map[string]bool{

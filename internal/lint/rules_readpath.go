@@ -98,9 +98,13 @@ func (lockInReadPath) Check(pass *Pass) {
 // forEachStageFunc invokes fn for every stage function in the package
 // when the package is part of the configured read path: named
 // functions and methods whose name starts with "stage", plus any
-// function or literal matching the pipeline handler signature.
+// function or literal matching the pipeline handler signature. Named
+// functions listed in HotPathFuncs count as stage bodies in any
+// package — that is how the ANN search kernels opt into the read-path
+// rules from outside ReadPathPkgs.
 func forEachStageFunc(pass *Pass, fn func(name string, body *ast.BlockStmt)) {
-	if !pass.Cfg.ReadPathPkgs[pass.Pkg.Path] {
+	readPath := pass.Cfg.ReadPathPkgs[pass.Pkg.Path]
+	if !readPath && len(pass.Cfg.HotPathFuncs) == 0 {
 		return
 	}
 	for _, file := range pass.Pkg.Files {
@@ -110,11 +114,15 @@ func forEachStageFunc(pass *Pass, fn func(name string, body *ast.BlockStmt)) {
 				if d.Body == nil {
 					return true
 				}
-				if isStageName(d.Name.Name) || hasHandlerShape(pass, d.Name) {
+				stage := readPath && (isStageName(d.Name.Name) || hasHandlerShape(pass, d.Name))
+				if stage || pass.Cfg.HotPathFuncs[qualifiedName(pass, d)] {
 					fn(d.Name.Name, d.Body)
 					return false // the whole body is covered; don't double-visit literals
 				}
 			case *ast.FuncLit:
+				if !readPath {
+					return true
+				}
 				if sig, ok := pass.Pkg.Info.Types[d].Type.(*types.Signature); ok && isHandlerSig(sig) {
 					fn("(func literal)", d.Body)
 					return false

@@ -1,0 +1,35 @@
+// Violating fixture for the hot-path-alloc rule scoped to individual
+// functions via HotPathFuncs: a Search method outside a read-path
+// package that allocates per query.
+package bad
+
+import "fmt"
+
+type Index struct{ ids []int64 }
+
+func (ix *Index) Search(q []float32, k int) []string {
+	out := []string{}
+	seen := map[int64]bool{} // want hot-path-alloc
+	for _, id := range ix.ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		label := fmt.Sprintf("n%d", id) // want hot-path-alloc
+		out = append(out, label)        // want hot-path-alloc
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// unlisted is identical but not named in HotPathFuncs, so the rule
+// must leave it alone even though it lives in the same package.
+func (ix *Index) unlisted() []string {
+	out := []string{}
+	for _, id := range ix.ids {
+		out = append(out, fmt.Sprintf("n%d", id))
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Clean fixture for the hot-path-alloc rule scoped via HotPathFuncs:
+// the Search method reuses pooled scratch state and hints every slice
+// it creates, like internal/ann's real kernels.
+package good
+
+import "sync"
+
+type scratch struct {
+	visited map[int64]bool
+}
+
+var pool = sync.Pool{New: func() any {
+	return &scratch{visited: make(map[int64]bool, 64)}
+}}
+
+type Index struct{ ids []int64 }
+
+func (ix *Index) Search(q []float32, k int) []int64 {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	res := make([]int64, 0, k)
+	for _, id := range ix.ids {
+		if sc.visited[id] || len(res) == k {
+			continue
+		}
+		sc.visited[id] = true
+		res = append(res, id)
+	}
+	for id := range sc.visited {
+		delete(sc.visited, id)
+	}
+	return res
+}

@@ -137,11 +137,7 @@ func TopN(cat *model.Catalog, rec recsys.Recommender, ex Explainer, u model.User
 // Dickens". Similarity here is content similarity: shared creator
 // first, then keyword overlap.
 func SimilarToTop(cat *model.Catalog, seed *model.Item, n int, exclude func(model.ItemID) bool) *Presentation {
-	type cand struct {
-		item  *model.Item
-		score float64
-	}
-	var cands []cand
+	var cands []ScoredItem
 	for _, it := range cat.Items() {
 		if it.ID == seed.ID {
 			continue
@@ -149,34 +145,62 @@ func SimilarToTop(cat *model.Catalog, seed *model.Item, n int, exclude func(mode
 		if exclude != nil && exclude(it.ID) {
 			continue
 		}
-		s := keywordOverlap(seed, it)
-		if it.Creator != "" && it.Creator == seed.Creator {
-			s += 1
-		}
-		if s > 0 {
-			cands = append(cands, cand{item: it, score: s})
+		if s := ContentScore(seed, it); s > 0 {
+			cands = append(cands, ScoredItem{Item: it, Score: s})
 		}
 	}
-	// Highest similarity first; ties by ID for determinism.
+	SortScoredItems(cands)
+	if n > 0 && len(cands) > n {
+		cands = cands[:n]
+	}
+	return SimilarPresentation(seed, cands)
+}
+
+// ContentScore is the content similarity SimilarToTop ranks by: the
+// number of the seed's keywords the candidate shares, plus one for a
+// matching non-empty creator. The ANN candidate index embeds exactly
+// this score as an inner product and rescoring calls back into this
+// function, so both paths rank by one definition.
+func ContentScore(seed, it *model.Item) float64 {
+	s := keywordOverlap(seed, it)
+	if it.Creator != "" && it.Creator == seed.Creator {
+		s += 1
+	}
+	return s
+}
+
+// ScoredItem pairs an item with its content score for ranking.
+type ScoredItem struct {
+	Item  *model.Item
+	Score float64
+}
+
+// SortScoredItems orders candidates highest score first, ties broken
+// by ascending item ID for determinism.
+func SortScoredItems(cands []ScoredItem) {
 	for i := 0; i < len(cands); i++ {
 		for j := i + 1; j < len(cands); j++ {
-			if cands[j].score > cands[i].score ||
-				(cands[j].score == cands[i].score && cands[j].item.ID < cands[i].item.ID) {
+			if cands[j].Score > cands[i].Score ||
+				(cands[j].Score == cands[i].Score && cands[j].Item.ID < cands[i].Item.ID) {
 				cands[i], cands[j] = cands[j], cands[i]
 			}
 		}
 	}
-	if n > 0 && len(cands) > n {
-		cands = cands[:n]
-	}
+}
+
+// SimilarPresentation renders the "Because you liked" view from an
+// already-ranked candidate list. SimilarToTop and the engine's ANN
+// path both end here, so a candidate set that matches produces
+// byte-identical output regardless of how it was generated.
+func SimilarPresentation(seed *model.Item, cands []ScoredItem) *Presentation {
 	p := &Presentation{Title: fmt.Sprintf("Because you liked %q", seed.Title)}
 	for _, c := range cands {
-		who := c.item.Title
-		if c.item.Creator != "" {
-			who += " by " + c.item.Creator
+		who := c.Item.Title
+		if c.Item.Creator != "" {
+			who += " by " + c.Item.Creator
 		}
 		p.Entries = append(p.Entries, Entry{
-			Item: c.item,
+			Item: c.Item,
 			Explanation: &explain.Explanation{
 				Style:    explain.ContentBased,
 				Text:     fmt.Sprintf("You might also like... %s", who),

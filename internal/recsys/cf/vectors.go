@@ -1,0 +1,61 @@
+package cf
+
+import (
+	"repro/internal/ann"
+	"repro/internal/model"
+)
+
+// This file exposes a rating matrix's neighbourhood vectors to the ANN
+// subsystem: the same rows and columns the kNN similarity caches score
+// pairwise, as dense indexable embeddings. The dimensions follow the
+// matrix's sorted user/item orders, so two calls over the same matrix
+// produce identical layouts.
+
+// ItemVectors returns one vector per rated item: its ratings column
+// over the matrix's users (dimension = number of users), sorted by
+// item ID. Dot products between these columns are the unnormalised
+// co-rating similarities item-based kNN ranks by.
+func ItemVectors(m *model.Matrix) []ann.Vector {
+	users := m.Users()
+	if len(users) == 0 {
+		return nil
+	}
+	slot := make(map[model.UserID]int, len(users))
+	for k, u := range users {
+		slot[u] = k
+	}
+	items := m.RatedItems()
+	out := make([]ann.Vector, 0, len(items))
+	for _, i := range items {
+		e := make([]float32, len(users))
+		for u, v := range m.ItemRatings(i) {
+			e[slot[u]] = float32(v)
+		}
+		out = append(out, ann.Vector{ID: int64(i), Elems: e})
+	}
+	return out
+}
+
+// UserVectors is the transpose: one vector per user, their ratings row
+// over the matrix's rated items (dimension = number of rated items),
+// sorted by user ID.
+func UserVectors(m *model.Matrix) []ann.Vector {
+	items := m.RatedItems()
+	if len(items) == 0 {
+		return nil
+	}
+	slot := make(map[model.ItemID]int, len(items))
+	for k, i := range items {
+		slot[i] = k
+	}
+	users := m.Users()
+	out := make([]ann.Vector, 0, len(users))
+	for _, u := range users {
+		e := make([]float32, len(items))
+		for i, v := range m.UserRatings(u) {
+			e[slot[i]] = float32(v)
+		}
+		out = append(out, ann.Vector{ID: int64(u), Elems: e})
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package cf
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func vectorMatrix() *model.Matrix {
+	m := model.NewMatrix()
+	m.Set(2, 10, 4)
+	m.Set(1, 10, 5)
+	m.Set(1, 20, 3)
+	m.Set(3, 30, 2)
+	return m
+}
+
+func TestItemVectorsLayout(t *testing.T) {
+	m := vectorMatrix()
+	vecs := ItemVectors(m)
+	if len(vecs) != 3 {
+		t.Fatalf("got %d item vectors", len(vecs))
+	}
+	// Sorted by item ID, columns over users 1,2,3 in sorted order.
+	wantIDs := []int64{10, 20, 30}
+	for k, v := range vecs {
+		if v.ID != wantIDs[k] {
+			t.Fatalf("vector %d has ID %d, want %d", k, v.ID, wantIDs[k])
+		}
+		if len(v.Elems) != 3 {
+			t.Fatalf("item %d dim = %d, want 3", v.ID, len(v.Elems))
+		}
+	}
+	if got, want := vecs[0].Elems, []float32{5, 4, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("item 10 column = %v, want %v", got, want)
+	}
+	if got, want := vecs[2].Elems, []float32{0, 0, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("item 30 column = %v, want %v", got, want)
+	}
+}
+
+func TestUserVectorsLayout(t *testing.T) {
+	m := vectorMatrix()
+	vecs := UserVectors(m)
+	if len(vecs) != 3 {
+		t.Fatalf("got %d user vectors", len(vecs))
+	}
+	// Sorted by user ID, rows over items 10,20,30 in sorted order.
+	if vecs[0].ID != 1 || vecs[1].ID != 2 || vecs[2].ID != 3 {
+		t.Fatalf("user order = %d,%d,%d", vecs[0].ID, vecs[1].ID, vecs[2].ID)
+	}
+	if got, want := vecs[0].Elems, []float32{5, 3, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("user 1 row = %v, want %v", got, want)
+	}
+}
+
+func TestVectorsDeterministicAcrossCalls(t *testing.T) {
+	m := vectorMatrix()
+	if !reflect.DeepEqual(ItemVectors(m), ItemVectors(m)) {
+		t.Fatal("ItemVectors layout varies between calls")
+	}
+	if !reflect.DeepEqual(UserVectors(m), UserVectors(m)) {
+		t.Fatal("UserVectors layout varies between calls")
+	}
+}
+
+func TestVectorsEmptyMatrix(t *testing.T) {
+	m := model.NewMatrix()
+	if ItemVectors(m) != nil || UserVectors(m) != nil {
+		t.Fatal("empty matrix produced vectors")
+	}
+}

@@ -1,0 +1,65 @@
+package mf
+
+import (
+	"sort"
+
+	"repro/internal/ann"
+	"repro/internal/model"
+)
+
+// This file exposes a trained factorisation to the ANN subsystem.
+//
+// The embedding is the standard MIPS reduction of the biased MF score:
+// item i maps to [itemFactor(i)..., itemBias(i)] and user u queries
+// with [userFactor(u)..., 1], so query·item = uf·if + ib — exactly
+// raw(u, i) minus the per-user constant mean + userBias(u), which
+// cannot change the user's item ranking. Crucially, fold-in
+// (RebindMatrix) re-solves only user-side state and shares the item
+// bias and factor maps frozen between full rebuilds, so an index built
+// from these vectors stays *exact* across every write-path fold-in
+// until the next trained swap publishes a new model.
+
+// ANNItemVectors implements ann.ItemVectorSource: one vector per
+// trained item, sorted by ID.
+func (md *Model) ANNItemVectors() []ann.Vector {
+	if len(md.itemFactor) == 0 {
+		return nil
+	}
+	ids := make([]model.ItemID, 0, len(md.itemFactor))
+	for i := range md.itemFactor {
+		ids = append(ids, i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	dim := len(md.itemFactor[ids[0]]) + 1
+	out := make([]ann.Vector, 0, len(ids))
+	for _, i := range ids {
+		f := md.itemFactor[i]
+		if len(f)+1 != dim {
+			continue // defensive: skip malformed rows rather than poison the index
+		}
+		e := make([]float32, dim)
+		for k, x := range f {
+			e[k] = float32(x)
+		}
+		e[dim-1] = float32(md.itemBias[i])
+		out = append(out, ann.Vector{ID: int64(i), Elems: e})
+	}
+	return out
+}
+
+// ANNUserQuery implements ann.UserQuerySource: the user's factor
+// vector with a trailing 1 to pick up the item bias. ok is false for
+// users the model has not folded in, signalling the cold-start
+// fallback.
+func (md *Model) ANNUserQuery(user int64) ([]float32, bool) {
+	uf, ok := md.userFactor[model.UserID(user)]
+	if !ok {
+		return nil, false
+	}
+	q := make([]float32, len(uf)+1)
+	for k, x := range uf {
+		q[k] = float32(x)
+	}
+	q[len(uf)] = 1
+	return q, true
+}

@@ -1,0 +1,76 @@
+package mf
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func trainedModel(t *testing.T) (*dataset.Community, *Model) {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 11, Users: 20, Items: 30, RatingsPerUser: 10})
+	md := Train(c.Ratings, c.Catalog, Options{Seed: 11, Factors: 6, Epochs: 4})
+	return c, md
+}
+
+func TestANNItemVectorsSortedAndSized(t *testing.T) {
+	_, md := trainedModel(t)
+	vecs := md.ANNItemVectors()
+	if len(vecs) == 0 {
+		t.Fatal("no item vectors")
+	}
+	dim := len(vecs[0].Elems)
+	for k, v := range vecs {
+		if k > 0 && v.ID <= vecs[k-1].ID {
+			t.Fatalf("item order not strictly ascending at %d: %d after %d", k, v.ID, vecs[k-1].ID)
+		}
+		if len(v.Elems) != dim {
+			t.Fatalf("item %d dim = %d, want %d", v.ID, len(v.Elems), dim)
+		}
+	}
+	if !reflect.DeepEqual(vecs, md.ANNItemVectors()) {
+		t.Fatal("ANNItemVectors layout varies between calls")
+	}
+}
+
+// TestANNQueryDotMatchesRawScore pins the MIPS reduction: query·item
+// must equal the model's raw score minus the per-user constant
+// (mean + userBias), which drops out of ranking.
+func TestANNQueryDotMatchesRawScore(t *testing.T) {
+	c, md := trainedModel(t)
+	u := c.Ratings.Users()[0]
+	q, ok := md.ANNUserQuery(int64(u))
+	if !ok {
+		t.Fatalf("no query for trained user %d", u)
+	}
+	vecs := md.ANNItemVectors()
+	for _, v := range vecs[:5] {
+		if len(q) != len(v.Elems) {
+			t.Fatalf("query dim %d vs item dim %d", len(q), len(v.Elems))
+		}
+		var dot float64
+		for k := range q {
+			dot += float64(q[k]) * float64(v.Elems[k])
+		}
+		pred, err := md.Predict(u, model.ItemID(v.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		constant := md.mean + md.userBias[u]
+		// float32 round-trip tolerance.
+		if diff := math.Abs(dot + constant - pred.Score); diff > 1e-3 {
+			t.Fatalf("item %d: dot %.6f + const %.6f != raw %.6f (diff %.6f)",
+				v.ID, dot, constant, pred.Score, diff)
+		}
+	}
+}
+
+func TestANNUserQueryColdUser(t *testing.T) {
+	_, md := trainedModel(t)
+	if _, ok := md.ANNUserQuery(1 << 40); ok {
+		t.Fatal("query produced for a user the model never saw")
+	}
+}

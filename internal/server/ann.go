@@ -1,0 +1,94 @@
+// The ANN debug surface: GET /debug/ann reports the approximate
+// candidate-generation index state when the backing Service keeps one
+// — the engine's indexes on a single-engine server, every shard's on a
+// sharded one — and /metrics grows recsys_ann_* lines. Feature-
+// detected through small interfaces exactly like the cluster, model
+// and WAL surfaces, so a brute-force server serves what it served
+// before.
+
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// ANNStater is implemented by single-engine backends that can report
+// their ANN index state (core.Engine always does; the state carries
+// Enabled=false without WithANN).
+type ANNStater interface {
+	ANNState() core.ANNState
+}
+
+// ShardANNStater is implemented by sharded backends (cluster.Router):
+// per-shard ANN state in shard-ID order.
+type ShardANNStater interface {
+	ShardANN() []cluster.ShardANN
+}
+
+// hasANNSurface reports whether the backend serves approximate
+// candidates and is worth registering /debug/ann for.
+func hasANNSurface(svc any) bool {
+	if sa, ok := svc.(ShardANNStater); ok {
+		for _, sh := range sa.ShardANN() {
+			if sh.ANN.Enabled {
+				return true
+			}
+		}
+		return false
+	}
+	as, ok := svc.(ANNStater)
+	return ok && as.ANNState().Enabled
+}
+
+// handleANN serves GET /debug/ann: the backend's ANN index state,
+// per shard on a sharded deployment.
+func (s *Server) handleANN(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	if sa, ok := s.svc.(ShardANNStater); ok {
+		writeJSON(w, http.StatusOK, map[string]any{"shards": sa.ShardANN()})
+		return
+	}
+	as, ok := s.svc.(ANNStater)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("backend has no ANN index"))
+		return
+	}
+	writeJSON(w, http.StatusOK, as.ANNState())
+}
+
+// writeANNMetrics renders the recsys_ann_* lines on /metrics:
+// unlabelled for a single engine, shard-labelled for a cluster.
+// Backends (or shards) without an ANN index emit nothing.
+func (s *Server) writeANNMetrics(w http.ResponseWriter) {
+	if sa, ok := s.svc.(ShardANNStater); ok {
+		for _, sh := range sa.ShardANN() {
+			if !sh.ANN.Enabled {
+				continue
+			}
+			writeANNLines(w, fmt.Sprintf("{shard=\"%d\"}", sh.Shard), sh.ANN)
+		}
+		return
+	}
+	if as, ok := s.svc.(ANNStater); ok {
+		if st := as.ANNState(); st.Enabled {
+			writeANNLines(w, "", st)
+		}
+	}
+}
+
+func writeANNLines(w io.Writer, labels string, st core.ANNState) {
+	fmt.Fprintf(w, "recsys_ann_searches_total%s %d\n", labels, st.Searches)
+	fmt.Fprintf(w, "recsys_ann_rescored_total%s %d\n", labels, st.Rescored)
+	fmt.Fprintf(w, "recsys_ann_fallbacks_total%s %d\n", labels, st.Fallbacks)
+	fmt.Fprintf(w, "recsys_ann_content_vectors%s %d\n", labels, st.ContentVectors)
+	fmt.Fprintf(w, "recsys_ann_model_vectors%s %d\n", labels, st.ModelVectors)
+	comps := st.ContentStats.DistanceComps + st.ModelStats.DistanceComps
+	fmt.Fprintf(w, "recsys_ann_distance_comps_total%s %d\n", labels, comps)
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/recsys/mf"
+)
+
+func annServer(t testing.TB) *Server {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 501, Users: 50, Items: 70, RatingsPerUser: 18})
+	eng, err := core.New(c.Catalog, c.Ratings, core.WithSeed(1),
+		core.WithTrainer(core.TrainerConfig{
+			Trainer: mf.SGD{Opts: mf.Options{Seed: 1, Factors: 8, Epochs: 4}},
+		}),
+		core.WithANN(core.ANNConfig{Kind: "hnsw", Quantize: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng)
+}
+
+func annClusterServer(t testing.TB) *Server {
+	t.Helper()
+	c := dataset.Movies(dataset.Config{Seed: 501, Users: 50, Items: 70, RatingsPerUser: 18})
+	rt, err := cluster.New(c.Catalog, c.Ratings, cluster.Options{
+		Shards: 3, Seed: 9,
+		ANN: &core.ANNConfig{Kind: "flat"},
+		Trainer: func(shardSeed uint64) core.TrainerConfig {
+			return core.TrainerConfig{
+				Trainer: mf.SGD{Opts: mf.Options{Seed: shardSeed, Factors: 8, Epochs: 4}},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(rt)
+}
+
+func TestANNEndpointEngine(t *testing.T) {
+	s := annServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/debug/ann", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	if out["enabled"] != true || out["kind"] != "hnsw" || out["quantize"] != true {
+		t.Fatalf("body = %v", out)
+	}
+	if out["content_vectors"].(float64) == 0 || out["model_vectors"].(float64) == 0 {
+		t.Fatalf("indexes missing: %v", out)
+	}
+}
+
+func TestANNEndpointCluster(t *testing.T) {
+	s := annClusterServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/debug/ann", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	shards, ok := out["shards"].([]any)
+	if !ok || len(shards) != 3 {
+		t.Fatalf("shards = %v", out["shards"])
+	}
+	for i, raw := range shards {
+		sh := raw.(map[string]any)
+		if sh["shard"].(float64) != float64(i) {
+			t.Fatalf("shard order: %v at index %d", sh["shard"], i)
+		}
+		if sh["ann"].(map[string]any)["enabled"] != true {
+			t.Fatalf("shard %d disabled: %v", i, sh)
+		}
+	}
+}
+
+func TestANNEndpointAbsentWithoutANN(t *testing.T) {
+	_, s := lifecycleServer(t, 0)
+	req := httptest.NewRequest(http.MethodGet, "/debug/ann", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 on a brute-force backend", rec.Code)
+	}
+}
+
+func TestANNMetricsLines(t *testing.T) {
+	s := annServer(t)
+	// Serve one request so the counters are non-trivially populated.
+	if rec, _ := doJSON(t, s, http.MethodGet, "/similar?user=1&item=1&n=3", nil); rec.Code != http.StatusOK {
+		t.Fatalf("similar status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"recsys_ann_searches_total ",
+		"recsys_ann_rescored_total ",
+		"recsys_ann_fallbacks_total ",
+		"recsys_ann_content_vectors ",
+		"recsys_ann_model_vectors ",
+		"recsys_ann_distance_comps_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestANNMetricsShardLabelled(t *testing.T) {
+	s := annClusterServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`recsys_ann_searches_total{shard="0"}`,
+		`recsys_ann_searches_total{shard="2"}`,
+		"recsys_model_version_skew 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestModelsEndpointReportsVersionSkew(t *testing.T) {
+	s := annClusterServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/debug/models", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, out)
+	}
+	sk, ok := out["version_skew"].(map[string]any)
+	if !ok {
+		t.Fatalf("version_skew missing: %v", out)
+	}
+	if sk["enabled"] != true || sk["skew"].(float64) != 0 {
+		t.Fatalf("skew = %v", sk)
+	}
+	if sk["min_version"].(float64) != 1 || sk["max_version"].(float64) != 1 {
+		t.Fatalf("skew bounds = %v", sk)
+	}
+}
+
+func TestDebugMuxServesANN(t *testing.T) {
+	s := annServer(t)
+	mux := s.DebugMux(false)
+	req := httptest.NewRequest(http.MethodGet, "/debug/ann", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug mux /debug/ann status = %d", rec.Code)
+	}
+}

@@ -142,6 +142,9 @@ func (s *Server) DebugMux(withPprof bool) *http.ServeMux {
 		mux.HandleFunc("/debug/models/retrain", s.handleModelRetrain)
 		mux.HandleFunc("/debug/models/rollback", s.handleModelRollback)
 	}
+	if hasANNSurface(s.svc) {
+		mux.HandleFunc("/debug/ann", s.handleANN)
+	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

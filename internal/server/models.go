@@ -34,6 +34,15 @@ type ShardModelStater interface {
 	ShardModels() []cluster.ShardModels
 }
 
+// VersionSkewer is implemented by sharded backends that can summarise
+// the spread of serving model versions across their shards
+// (cluster.Router). The summary rides along in the /debug/models
+// payload and as a recsys_model_version_skew metric so operators spot
+// a shard whose retrains are stuck while its peers advance.
+type VersionSkewer interface {
+	ModelVersionSkew() cluster.VersionSkew
+}
+
 // Retrainer is implemented by backends that can retrain their serving
 // model on demand (core.Engine and cluster.Router).
 type Retrainer interface {
@@ -59,7 +68,11 @@ func hasModelSurface(svc core.Service) bool {
 // modelsPayload builds the GET /debug/models response body.
 func (s *Server) modelsPayload() (any, bool) {
 	if sm, ok := s.svc.(ShardModelStater); ok {
-		return map[string]any{"shards": sm.ShardModels()}, true
+		payload := map[string]any{"shards": sm.ShardModels()}
+		if vs, ok := s.svc.(VersionSkewer); ok {
+			payload["version_skew"] = vs.ModelVersionSkew()
+		}
+		return payload, true
 	}
 	if ms, ok := s.svc.(ModelStater); ok {
 		return ms.ModelsState(), true
@@ -154,6 +167,11 @@ func (s *Server) writeModelMetrics(w http.ResponseWriter) {
 				continue
 			}
 			writeModelLines(w, fmt.Sprintf("{shard=\"%d\"}", shm.Shard), shm.Models)
+		}
+		if vs, ok := s.svc.(VersionSkewer); ok {
+			if sk := vs.ModelVersionSkew(); sk.Enabled {
+				fmt.Fprintf(w, "recsys_model_version_skew %d\n", sk.Skew)
+			}
 		}
 		return
 	}

@@ -132,6 +132,9 @@ func New(svc core.Service, opts ...Option) *Server {
 		s.mux.HandleFunc("/debug/models/retrain", s.handleModelRetrain)
 		s.mux.HandleFunc("/debug/models/rollback", s.handleModelRollback)
 	}
+	if hasANNSurface(svc) {
+		s.mux.HandleFunc("/debug/ann", s.handleANN)
+	}
 	return s
 }
 
@@ -596,6 +599,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeShardMetrics(w)
 	s.writeModelMetrics(w)
 	s.writeWALMetrics(w)
+	s.writeANNMetrics(w)
 	// Per-stage pipeline counters, sorted for a stable scrape.
 	keys := make([]string, 0, len(m.Stages))
 	for k := range m.Stages {
